@@ -1,0 +1,87 @@
+//! The classical one-shot balls-into-bins baseline.
+//!
+//! Throwing `m` balls into `n` bins once, independently and u.a.r., yields
+//! maximum load `Θ(log n / log log n)` w.h.p. for `m = n` — the comparison
+//! point the paper's Section 5 raises when asking whether the repeated
+//! process's `O(log n)` bound can be sharpened to `O(log n/log log n)`.
+
+use rbb_core::config::Config;
+use rbb_core::rng::Xoshiro256pp;
+use rbb_core::sampling::random_assignment;
+use rbb_stats::IntHistogram;
+
+/// One one-shot throw: returns the resulting configuration.
+pub fn oneshot(n: usize, m: u64, rng: &mut Xoshiro256pp) -> Config {
+    Config::from_loads(random_assignment(rng, n, m))
+}
+
+/// Maximum load of a single one-shot throw.
+pub fn oneshot_max_load(n: usize, m: u64, rng: &mut Xoshiro256pp) -> u32 {
+    oneshot(n, m, rng).max_load()
+}
+
+/// Distribution of the one-shot max load over `trials` independent throws.
+pub fn oneshot_max_load_distribution(
+    n: usize,
+    m: u64,
+    trials: usize,
+    seed: u64,
+) -> IntHistogram {
+    let mut hist = IntHistogram::new();
+    for i in 0..trials {
+        let mut rng = Xoshiro256pp::stream(seed, i as u64);
+        hist.add(oneshot_max_load(n, m, &mut rng) as usize);
+    }
+    hist
+}
+
+/// The asymptotic prediction for `m = n`: `ln n / ln ln n` (leading order).
+pub fn predicted_max_load(n: usize) -> f64 {
+    rbb_stats::oneshot_max_load_estimate(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oneshot_conserves_mass() {
+        let mut rng = Xoshiro256pp::seed_from(1);
+        let c = oneshot(100, 100, &mut rng);
+        assert_eq!(c.total_balls(), 100);
+    }
+
+    #[test]
+    fn max_load_at_least_ceiling_average() {
+        let mut rng = Xoshiro256pp::seed_from(2);
+        // m = 4n: max load >= 4 by pigeonhole.
+        assert!(oneshot_max_load(50, 200, &mut rng) >= 4);
+    }
+
+    #[test]
+    fn max_load_matches_theory_scale() {
+        let n = 4096;
+        let hist = oneshot_max_load_distribution(n, n as u64, 100, 3);
+        let mean = hist.mean();
+        let pred = predicted_max_load(n);
+        // Θ(ln n/ln ln n): allow a wide multiplicative window; for n = 4096
+        // prediction ≈ 3.9, empirical mean ≈ 6–7 (second-order terms).
+        assert!(mean > pred && mean < 3.0 * pred, "mean {mean}, pred {pred}");
+    }
+
+    #[test]
+    fn distribution_is_tight() {
+        // One-shot max load concentrates on 2-3 adjacent values.
+        let hist = oneshot_max_load_distribution(1024, 1024, 200, 4);
+        let lo = hist.quantile(0.05).unwrap();
+        let hi = hist.quantile(0.95).unwrap();
+        assert!(hi - lo <= 3, "spread {lo}..{hi}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = oneshot_max_load_distribution(256, 256, 50, 7);
+        let b = oneshot_max_load_distribution(256, 256, 50, 7);
+        assert_eq!(a, b);
+    }
+}

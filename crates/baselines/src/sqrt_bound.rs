@@ -1,0 +1,95 @@
+//! The prior-work `O(√t)` bound of \[12\] (Becchetti et al., SODA 2015) as an
+//! explicit comparison curve.
+//!
+//! Before this paper, the best maximum-load bound for the repeated process
+//! after `t` rounds on regular graphs was of order `√t` (a
+//! "standard-deviation" bound from the non-positive drift). Experiment E10
+//! plots the measured trajectory `M(t)` against both this curve and the
+//! paper's `β·ln n` to visualize how much sharper Theorem 1 is.
+
+/// The `O(√t)` curve: `M(0) + c·√t` with explicit constant `c`.
+///
+/// The constant in \[12\] is unspecified; `c = 1` already dominates the
+/// empirical trajectory, and any `c > 0` diverges from `Θ(log n)` as
+/// `t → ∞` — the comparison is about *shape*.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SqrtBound {
+    /// Additive offset (the initial max load).
+    pub m0: f64,
+    /// Multiplier on `√t`.
+    pub c: f64,
+}
+
+impl SqrtBound {
+    /// The bound with `c = 1` from initial max load `m0`.
+    pub fn unit(m0: f64) -> Self {
+        Self { m0, c: 1.0 }
+    }
+
+    /// Evaluates the bound at round `t`.
+    pub fn at(&self, t: u64) -> f64 {
+        self.m0 + self.c * (t as f64).sqrt()
+    }
+
+    /// The first round at which this bound exceeds `level` (the crossover
+    /// round against a flat `β ln n` line): `t* = ((level − m0)/c)²`.
+    pub fn crossover(&self, level: f64) -> u64 {
+        if level <= self.m0 {
+            return 0;
+        }
+        (((level - self.m0) / self.c).powi(2)).ceil() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_grows_like_sqrt() {
+        let b = SqrtBound::unit(1.0);
+        assert!((b.at(100) - 11.0).abs() < 1e-12);
+        assert!((b.at(400) - 21.0).abs() < 1e-12);
+        // Quadrupling t doubles the sqrt part.
+        let g1 = b.at(400) - b.m0;
+        let g2 = b.at(1600) - b.m0;
+        assert!((g2 / g1 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crossover_inverts_at() {
+        let b = SqrtBound { m0: 2.0, c: 0.5 };
+        let level = 12.0;
+        let t = b.crossover(level);
+        assert!(b.at(t) >= level);
+        assert!(b.at(t.saturating_sub(2)) < level + 1.0);
+    }
+
+    #[test]
+    fn crossover_below_offset_is_zero() {
+        let b = SqrtBound { m0: 5.0, c: 1.0 };
+        assert_eq!(b.crossover(4.0), 0);
+    }
+
+    #[test]
+    fn sqrt_bound_dominates_measured_trajectory() {
+        // The point of E10 in miniature: the real process's M(t) stays far
+        // below m0 + sqrt(t) for moderately large t.
+        use rbb_core::metrics::TrajectoryRecorder;
+        use rbb_core::process::LoadProcess;
+        let n = 256;
+        let mut p = LoadProcess::legitimate_start(n, 1);
+        let mut rec = TrajectoryRecorder::with_stride(100);
+        p.run(20_000, &mut rec);
+        let bound = SqrtBound::unit(1.0);
+        for pt in rec.points().iter().filter(|p| p.round >= 400) {
+            assert!(
+                (pt.max_load as f64) < bound.at(pt.round),
+                "M({}) = {} exceeded sqrt bound {}",
+                pt.round,
+                pt.max_load,
+                bound.at(pt.round)
+            );
+        }
+    }
+}

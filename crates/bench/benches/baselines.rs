@@ -1,0 +1,69 @@
+//! Baseline-process throughput: one-shot throws, d-choice rounds, the
+//! independent-walks round, and Jackson-network events.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use rbb_baselines::{DChoiceProcess, IndependentWalks, JacksonNetwork};
+use rbb_core::rng::Xoshiro256pp;
+use rbb_core::sampling::random_assignment;
+
+fn bench_oneshot(c: &mut Criterion) {
+    let mut g = c.benchmark_group("oneshot_throw");
+    for n in [1024usize, 16384] {
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut rng = Xoshiro256pp::seed_from(1);
+            b.iter(|| black_box(random_assignment(&mut rng, n, n as u64)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_dchoice(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dchoice_step");
+    let n = 4096usize;
+    for d in [1usize, 2, 3] {
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, &d| {
+            let mut p = DChoiceProcess::legitimate_start(n, d, 2);
+            for _ in 0..50 {
+                p.step();
+            }
+            b.iter(|| black_box(p.step()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_independent(c: &mut Criterion) {
+    let n = 4096usize;
+    let mut g = c.benchmark_group("independent_walks_step");
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function(BenchmarkId::from_parameter(n), |b| {
+        let mut p = IndependentWalks::legitimate_start(n, 3);
+        b.iter(|| {
+            p.step();
+            black_box(p.config().max_load())
+        });
+    });
+    g.finish();
+}
+
+fn bench_jackson(c: &mut Criterion) {
+    let mut g = c.benchmark_group("jackson_event");
+    g.throughput(Throughput::Elements(1));
+    for n in [1024usize, 4096] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut j = JacksonNetwork::legitimate_start(n, 4);
+            for _ in 0..1000 {
+                j.step();
+            }
+            b.iter(|| black_box(j.step()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_oneshot, bench_dchoice, bench_independent, bench_jackson);
+criterion_main!(benches);

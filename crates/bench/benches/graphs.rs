@@ -1,0 +1,51 @@
+//! Constrained parallel walks on general topologies (E13 substrate) and
+//! topology construction costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use rbb_core::rng::Xoshiro256pp;
+use rbb_graphs::{complete_with_loops, hypercube, random_regular, ring, torus, GraphLoadProcess};
+
+fn bench_graph_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("graph_walk_step");
+    let n = 1024usize;
+    let mut rng = Xoshiro256pp::seed_from(1);
+    let graphs = vec![
+        ("clique+loops", complete_with_loops(n)),
+        ("ring", ring(n)),
+        ("torus", torus(32, 32)),
+        ("hypercube", hypercube(10)),
+        ("random-4-regular", random_regular(n, 4, &mut rng)),
+    ];
+    for (name, graph) in &graphs {
+        g.throughput(Throughput::Elements(graph.n() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(name), name, |b, _| {
+            let mut p = GraphLoadProcess::one_per_node(graph, 2);
+            for _ in 0..50 {
+                p.step();
+            }
+            b.iter(|| black_box(p.step()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_builders(c: &mut Criterion) {
+    let mut g = c.benchmark_group("topology_build");
+    g.sample_size(20);
+    g.bench_function("random_regular_n1024_d4", |b| {
+        let mut rng = Xoshiro256pp::seed_from(3);
+        b.iter(|| black_box(random_regular(1024, 4, &mut rng)));
+    });
+    g.bench_function("hypercube_d12", |b| {
+        b.iter(|| black_box(hypercube(12)));
+    });
+    g.bench_function("complete_with_loops_n1024", |b| {
+        b.iter(|| black_box(complete_with_loops(1024)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_graph_step, bench_builders);
+criterion_main!(benches);

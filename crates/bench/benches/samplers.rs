@@ -1,0 +1,72 @@
+//! Sampler and PRNG micro-benchmarks, including the DESIGN.md §3.3 ablation:
+//! our xoshiro256++ vs `rand::rngs::StdRng` for the uniform-bin draw that
+//! dominates every engine's inner loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use rand::{RngExt, SeedableRng};
+use rbb_core::rng::Xoshiro256pp;
+use rbb_core::sampling::{binomial, geometric, throw_uniform};
+
+fn bench_prng_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("prng_uniform_draw");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("xoshiro256pp", |b| {
+        let mut rng = Xoshiro256pp::seed_from(1);
+        b.iter(|| black_box(rng.uniform_usize(1024)));
+    });
+    g.bench_function("stdrng", |b| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        b.iter(|| black_box(rng.random_range(0..1024usize)));
+    });
+    g.finish();
+}
+
+fn bench_binomial(c: &mut Criterion) {
+    let mut g = c.benchmark_group("binomial_sampler");
+    // The Lemma-5 law: tiny mean.
+    g.bench_function("B(3n/4, 1/n) n=1024", |b| {
+        let mut rng = Xoshiro256pp::seed_from(2);
+        b.iter(|| black_box(binomial(&mut rng, 768, 1.0 / 1024.0)));
+    });
+    // The batched-Tetris law: mean λn.
+    g.bench_function("B(n, 0.75) n=1024", |b| {
+        let mut rng = Xoshiro256pp::seed_from(3);
+        b.iter(|| black_box(binomial(&mut rng, 1024, 0.75)));
+    });
+    g.finish();
+}
+
+fn bench_geometric(c: &mut Criterion) {
+    c.bench_function("geometric_p_quarter", |b| {
+        let mut rng = Xoshiro256pp::seed_from(4);
+        b.iter(|| black_box(geometric(&mut rng, 0.25)));
+    });
+}
+
+fn bench_throw_uniform(c: &mut Criterion) {
+    // The re-assignment step in isolation (DESIGN.md §3.2).
+    let mut g = c.benchmark_group("throw_uniform");
+    for n in [1024usize, 16384] {
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut rng = Xoshiro256pp::seed_from(5);
+            let mut loads = vec![0u32; n];
+            b.iter(|| {
+                throw_uniform(&mut rng, &mut loads, n);
+                black_box(&mut loads);
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_prng_ablation,
+    bench_binomial,
+    bench_geometric,
+    bench_throw_uniform
+);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Queue-strategy ablation (DESIGN.md §3.4): FIFO vs LIFO vs random
+//! selection in the ball-identity engine. The load law is identical; this
+//! measures the mechanical cost difference (random pick draws an extra
+//! uniform per non-empty bin and swap-removes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use rbb_core::ball_process::BallProcess;
+use rbb_core::config::Config;
+use rbb_core::rng::Xoshiro256pp;
+use rbb_core::strategy::QueueStrategy;
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("strategy_step");
+    let n = 4096usize;
+    for strategy in QueueStrategy::ALL {
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(strategy.label()),
+            &strategy,
+            |b, &strategy| {
+                let mut p = BallProcess::new(
+                    Config::one_per_bin(n),
+                    strategy,
+                    Xoshiro256pp::seed_from(1),
+                );
+                for _ in 0..50 {
+                    p.step();
+                }
+                b.iter(|| black_box(p.step()));
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_deep_queue_strategies(c: &mut Criterion) {
+    // Skewed start: one deep queue stresses the selection path.
+    let mut g = c.benchmark_group("strategy_step_deep_queue");
+    let n = 4096usize;
+    for strategy in QueueStrategy::ALL {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(strategy.label()),
+            &strategy,
+            |b, &strategy| {
+                let mut p = BallProcess::new(
+                    Config::all_in_one(n, n as u32),
+                    strategy,
+                    Xoshiro256pp::seed_from(2),
+                );
+                p.step();
+                b.iter(|| black_box(p.step()));
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_strategies, bench_deep_queue_strategies);
+criterion_main!(benches);

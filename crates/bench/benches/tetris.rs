@@ -1,0 +1,78 @@
+//! Tetris process and Lemma-3 coupling throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use rbb_core::config::Config;
+use rbb_core::coupling::CoupledRun;
+use rbb_core::rng::Xoshiro256pp;
+use rbb_core::sampling::random_assignment;
+use rbb_core::tetris::{BatchedTetris, Tetris};
+
+fn bench_tetris_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tetris_step");
+    for n in [1024usize, 4096, 16384] {
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut t = Tetris::new(Config::one_per_bin(n), Xoshiro256pp::seed_from(1));
+            for _ in 0..50 {
+                t.step();
+            }
+            b.iter(|| black_box(t.step()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_batched_tetris_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("batched_tetris_step");
+    for lambda in [0.5f64, 0.75, 0.95] {
+        let n = 4096usize;
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("lambda-{lambda}")),
+            &lambda,
+            |b, &lambda| {
+                let mut t = BatchedTetris::new(
+                    Config::one_per_bin(n),
+                    lambda,
+                    Xoshiro256pp::seed_from(2),
+                );
+                t.run_silent(50);
+                b.iter(|| black_box(t.step()));
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_coupled_step(c: &mut Criterion) {
+    // Overhead of the joint (original + Tetris) execution vs a lone engine.
+    let mut g = c.benchmark_group("coupled_step");
+    for n in [1024usize, 4096] {
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut rng = Xoshiro256pp::seed_from(3);
+            let start = loop {
+                let cfg = Config::from_loads(random_assignment(&mut rng, n, n as u64));
+                if 4 * cfg.empty_bins() >= n {
+                    break cfg;
+                }
+            };
+            let mut run = CoupledRun::new(start, 3).unwrap();
+            for _ in 0..50 {
+                run.step();
+            }
+            b.iter(|| black_box(run.step()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tetris_step,
+    bench_batched_tetris_step,
+    bench_coupled_step
+);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Traversal engine throughput and the DESIGN.md §3.5 bitset ablation:
+//! word-packed `FixedBitSet` vs a naive `Vec<bool>` for visited tracking.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use rbb_core::rng::Xoshiro256pp;
+use rbb_core::strategy::QueueStrategy;
+use rbb_traversal::{single_token_cover_time, FixedBitSet, Traversal};
+
+fn bench_traversal_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("traversal_step");
+    for n in [256usize, 1024, 4096] {
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut t = Traversal::new(n, QueueStrategy::Fifo, 1);
+            for _ in 0..50 {
+                t.step();
+            }
+            b.iter(|| {
+                t.step();
+                black_box(t.covered_tokens())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_bitset_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("visited_set_insert_and_check_full");
+    let n = 4096usize;
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("fixed_bitset", |b| {
+        let mut rng = Xoshiro256pp::seed_from(2);
+        let mut s = FixedBitSet::new(n);
+        b.iter(|| {
+            let i = rng.uniform_usize(n);
+            s.insert(i);
+            black_box(s.is_full())
+        });
+    });
+    g.bench_function("vec_bool", |b| {
+        let mut rng = Xoshiro256pp::seed_from(2);
+        let mut v = vec![false; n];
+        b.iter(|| {
+            let i = rng.uniform_usize(n);
+            v[i] = true;
+            // Naive fullness check: scan (this is the cost the packed
+            // counter avoids).
+            black_box(v.iter().all(|&x| x))
+        });
+    });
+    g.finish();
+}
+
+fn bench_cover_small(c: &mut Criterion) {
+    let mut g = c.benchmark_group("full_cover_run");
+    g.sample_size(10);
+    g.bench_function("parallel_n128", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut t = Traversal::new(128, QueueStrategy::Fifo, seed);
+            black_box(t.run_to_cover(10_000_000))
+        });
+    });
+    g.bench_function("single_token_n128", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(single_token_cover_time(128, seed, 10_000_000))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_traversal_step, bench_bitset_ablation, bench_cover_small);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! # rbb-bench — criterion benchmarks
+//!
+//! Bench targets (see `benches/`): `engine` (load vs identity engines),
+//! `tetris`, `samplers` (+ PRNG ablation), `graphs`, `traversal` (+ bitset
+//! ablation), `baselines`, `strategies` (FIFO/LIFO/random ablation).
+//! Run with `cargo bench -p rbb-bench`.

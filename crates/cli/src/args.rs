@@ -1,0 +1,154 @@
+//! A tiny `--key value` argument parser (no external dependencies).
+
+use std::collections::HashMap;
+
+/// Parsed command-line arguments: one subcommand plus `--key value` flags.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    command: Option<String>,
+    flags: HashMap<String, String>,
+    /// Bare `--flag` switches (no value).
+    switches: Vec<String>,
+}
+
+/// Parse failure description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Args {
+    /// Parses `argv` (without the program name). The first non-flag token
+    /// is the subcommand; the rest must be `--key value` pairs or known
+    /// boolean switches (a `--key` followed by another `--...` or nothing).
+    pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Self, ParseError> {
+        let tokens: Vec<String> = argv.into_iter().collect();
+        let mut out = Args::default();
+        let mut i = 0;
+        while i < tokens.len() {
+            let t = &tokens[i];
+            if let Some(key) = t.strip_prefix("--") {
+                if key.is_empty() {
+                    return Err(ParseError("empty flag name '--'".into()));
+                }
+                let has_value = tokens
+                    .get(i + 1)
+                    .map(|v| !v.starts_with("--"))
+                    .unwrap_or(false);
+                if has_value {
+                    out.flags.insert(key.to_string(), tokens[i + 1].clone());
+                    i += 2;
+                } else {
+                    out.switches.push(key.to_string());
+                    i += 1;
+                }
+            } else if out.command.is_none() {
+                out.command = Some(t.clone());
+                i += 1;
+            } else {
+                return Err(ParseError(format!("unexpected positional argument '{t}'")));
+            }
+        }
+        Ok(out)
+    }
+
+    /// The subcommand, if any.
+    pub fn command(&self) -> Option<&str> {
+        self.command.as_deref()
+    }
+
+    /// Raw string flag.
+    #[allow(dead_code)] // part of the parser's API surface; used in tests
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(|s| s.as_str())
+    }
+
+    /// Whether a boolean switch was passed.
+    #[allow(dead_code)] // part of the parser's API surface; used in tests
+    pub fn switch(&self, key: &str) -> bool {
+        self.switches.iter().any(|s| s == key)
+    }
+
+    /// Typed flag with default.
+    pub fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ParseError> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| ParseError(format!("flag --{key}: cannot parse '{raw}'"))),
+        }
+    }
+
+    /// String flag with default.
+    pub fn get_str(&self, key: &str, default: &str) -> String {
+        self.flags
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Args, ParseError> {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let a = parse("simulate --n 1024 --rounds 5000").unwrap();
+        assert_eq!(a.command(), Some("simulate"));
+        assert_eq!(a.get("n"), Some("1024"));
+        assert_eq!(a.get_parsed("rounds", 0u64).unwrap(), 5000);
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = parse("simulate").unwrap();
+        assert_eq!(a.get_parsed("n", 256usize).unwrap(), 256);
+        assert_eq!(a.get_str("start", "uniform"), "uniform");
+    }
+
+    #[test]
+    fn switches_without_values() {
+        let a = parse("traverse --verbose --n 64").unwrap();
+        assert!(a.switch("verbose"));
+        assert!(!a.switch("quiet"));
+        assert_eq!(a.get("n"), Some("64"));
+    }
+
+    #[test]
+    fn trailing_switch() {
+        let a = parse("zoo --n 128 --json").unwrap();
+        assert!(a.switch("json"));
+    }
+
+    #[test]
+    fn bad_value_reports_flag() {
+        let a = parse("simulate --n abc").unwrap();
+        let err = a.get_parsed("n", 0usize).unwrap_err();
+        assert!(err.0.contains("--n"), "{err}");
+    }
+
+    #[test]
+    fn rejects_double_positional() {
+        assert!(parse("simulate extra").is_err());
+    }
+
+    #[test]
+    fn rejects_empty_flag() {
+        assert!(parse("simulate -- foo").is_err());
+    }
+
+    #[test]
+    fn no_command_is_ok() {
+        let a = parse("").unwrap();
+        assert_eq!(a.command(), None);
+    }
+}

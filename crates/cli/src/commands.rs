@@ -1,0 +1,259 @@
+//! CLI subcommand implementations.
+
+use rbb_core::adversary::{
+    Adversary, AllInOneAdversary, FaultSchedule, FollowTheLeaderAdversary, RandomAdversary,
+};
+use rbb_core::config::{Config, LegitimacyThreshold};
+use rbb_core::exact::{appendix_b_exact, ExactChain};
+use rbb_core::metrics::{EmptyBinsTracker, LegitimacyTracker, MaxLoadTracker};
+use rbb_core::mixing::mixing_time;
+use rbb_core::process::LoadProcess;
+use rbb_core::rng::Xoshiro256pp;
+use rbb_core::sampling::random_assignment;
+use rbb_core::strategy::QueueStrategy;
+use rbb_graphs::{
+    complete_with_loops, diameter, hypercube, random_regular, ring, spectral_gap, star, torus,
+    Graph, GraphLoadProcess,
+};
+use rbb_sim::fmt_f64;
+use rbb_traversal::{faulty_cover_time, single_token_cover_time, ProgressReport, Traversal};
+
+use crate::args::{Args, ParseError};
+
+/// Builds an initial configuration from a `--start` flag value.
+pub fn build_start(kind: &str, n: usize, seed: u64) -> Result<Config, ParseError> {
+    match kind {
+        "one-per-bin" | "uniform" => Ok(Config::one_per_bin(n)),
+        "all-in-one" => Ok(Config::all_in_one(n, n as u32)),
+        "random" => {
+            let mut rng = Xoshiro256pp::seed_from(seed ^ 0x57A7);
+            Ok(Config::from_loads(random_assignment(&mut rng, n, n as u64)))
+        }
+        "geometric" => Ok(Config::geometric_cascade(n, n as u32)),
+        other => Err(ParseError(format!(
+            "unknown --start '{other}' (one-per-bin | all-in-one | random | geometric)"
+        ))),
+    }
+}
+
+/// Builds a queue strategy from a `--strategy` flag value.
+pub fn build_strategy(kind: &str) -> Result<QueueStrategy, ParseError> {
+    match kind {
+        "fifo" => Ok(QueueStrategy::Fifo),
+        "lifo" => Ok(QueueStrategy::Lifo),
+        "random" => Ok(QueueStrategy::Random),
+        other => Err(ParseError(format!(
+            "unknown --strategy '{other}' (fifo | lifo | random)"
+        ))),
+    }
+}
+
+/// Builds a topology from a `--kind` flag value at size ~`n`.
+pub fn build_topology(kind: &str, n: usize, seed: u64) -> Result<Graph, ParseError> {
+    match kind {
+        "clique" => Ok(complete_with_loops(n)),
+        "ring" => Ok(ring(n)),
+        "torus" => {
+            let side = (n as f64).sqrt().round().max(3.0) as usize;
+            Ok(torus(side, side))
+        }
+        "hypercube" => Ok(hypercube((n as f64).log2().round().max(1.0) as u32)),
+        "regular" => {
+            let mut rng = Xoshiro256pp::seed_from(seed ^ 0x6E0);
+            Ok(random_regular(n, 4, &mut rng))
+        }
+        "star" => Ok(star(n)),
+        other => Err(ParseError(format!(
+            "unknown --kind '{other}' (clique | ring | torus | hypercube | regular | star)"
+        ))),
+    }
+}
+
+/// `rbb simulate` — run the paper's process and summarize.
+pub fn simulate(args: &Args) -> Result<(), ParseError> {
+    let n: usize = args.get_parsed("n", 1024)?;
+    let rounds: u64 = args.get_parsed("rounds", 100 * n as u64)?;
+    let seed: u64 = args.get_parsed("seed", 1)?;
+    let start = build_start(&args.get_str("start", "one-per-bin"), n, seed)?;
+    let threshold = LegitimacyThreshold::default();
+
+    println!("repeated balls-into-bins: n = {n}, start = {}, {rounds} rounds, seed = {seed}", args.get_str("start", "one-per-bin"));
+    let mut p = LoadProcess::new(start, Xoshiro256pp::seed_from(seed));
+    let mut max_t = MaxLoadTracker::new();
+    let mut empty_t = EmptyBinsTracker::new();
+    let mut legit_t = LegitimacyTracker::new(threshold);
+    p.run(rounds, (&mut max_t, &mut empty_t, &mut legit_t));
+
+    println!("  max load over window : {} (bound 4 ln n = {})", max_t.window_max(), threshold.bound(n));
+    println!("  mean per-round max   : {}", fmt_f64(max_t.mean_round_max(), 2));
+    println!(
+        "  min empty bins       : {} ({}%; paper: ≥ 25%)",
+        empty_t.min_empty(),
+        100 * empty_t.min_empty() / n
+    );
+    match legit_t.first_legitimate_round() {
+        Some(r) => println!(
+            "  legitimate from round {r}; violations after: {}",
+            legit_t.violations_after_first()
+        ),
+        None => println!("  never legitimate within the window (!)"),
+    }
+    Ok(())
+}
+
+/// `rbb traverse` — multi-token traversal with optional faults.
+pub fn traverse(args: &Args) -> Result<(), ParseError> {
+    let n: usize = args.get_parsed("n", 512)?;
+    let seed: u64 = args.get_parsed("seed", 1)?;
+    let gamma: u64 = args.get_parsed("gamma", 0)?;
+    let strategy = build_strategy(&args.get_str("strategy", "fifo"))?;
+    let nf = n as f64;
+    let cap = (500.0 * nf * nf.ln().powi(2)) as u64;
+
+    println!("multi-token traversal: n = {n}, strategy = {}", strategy.label());
+    if gamma == 0 {
+        let mut t = Traversal::new(n, strategy, seed);
+        let cover = t
+            .run_to_cover(cap)
+            .ok_or_else(|| ParseError("did not cover within cap".into()))?;
+        let single = single_token_cover_time(n, seed, cap).unwrap_or(0);
+        println!("  parallel cover time  : {cover} rounds");
+        println!("  n ln²n               : {:.0} (constant {:.2})", nf * nf.ln() * nf.ln(), cover as f64 / (nf * nf.ln() * nf.ln()));
+        println!("  single-token baseline: {single} (slowdown {:.2}×)", cover as f64 / single as f64);
+        let rep = ProgressReport::from_process(t.process());
+        println!("  min token progress   : {} (t/ln n = {:.0}); worst wait {}", rep.min_moves, rep.t_over_ln_n, rep.max_wait);
+    } else {
+        let adversary = args.get_str("adversary", "all-in-one");
+        let schedule = FaultSchedule::gamma_n(gamma, n);
+        let mut adv: Box<dyn Adversary> = match adversary.as_str() {
+            "all-in-one" => Box::new(AllInOneAdversary),
+            "random" => Box::new(RandomAdversary),
+            "follow-the-leader" => Box::new(FollowTheLeaderAdversary),
+            other => {
+                return Err(ParseError(format!(
+                    "unknown --adversary '{other}' (all-in-one | random | follow-the-leader)"
+                )))
+            }
+        };
+        let r = faulty_cover_time(n, strategy, schedule, adv.as_mut(), seed, cap);
+        match r.cover_time {
+            Some(c) => println!(
+                "  covered in {c} rounds despite {} '{adversary}' faults (every {} rounds)",
+                r.faults_injected,
+                schedule.period()
+            ),
+            None => println!("  did not cover within cap ({} faults injected)", r.faults_injected),
+        }
+    }
+    Ok(())
+}
+
+/// `rbb topology` — constrained walks on a chosen graph with structure info.
+pub fn topology(args: &Args) -> Result<(), ParseError> {
+    let n: usize = args.get_parsed("n", 1024)?;
+    let seed: u64 = args.get_parsed("seed", 1)?;
+    let kind = args.get_str("kind", "ring");
+    let graph = build_topology(&kind, n, seed)?;
+    let rounds: u64 = args.get_parsed("rounds", 50 * graph.n() as u64)?;
+
+    println!("topology '{kind}': n = {}, edges = {}", graph.n(), graph.num_edges());
+    match graph.regular_degree() {
+        Some(d) => println!("  regular, degree {d}"),
+        None => println!("  irregular"),
+    }
+    println!("  diameter      : {:?}", diameter(&graph));
+    println!("  spectral gap  : {:.4} (lazy walk)", spectral_gap(&graph, 1500));
+
+    let mut p = GraphLoadProcess::one_per_node(&graph, seed);
+    let mut max_t = MaxLoadTracker::new();
+    p.run(rounds, &mut max_t);
+    let ln_n = (graph.n() as f64).ln();
+    println!(
+        "  after {rounds} rounds: max load {} ({} × ln n)",
+        max_t.window_max(),
+        fmt_f64(max_t.window_max() as f64 / ln_n, 2)
+    );
+    Ok(())
+}
+
+/// `rbb exact` — exact small-n analysis.
+pub fn exact(args: &Args) -> Result<(), ParseError> {
+    let n: usize = args.get_parsed("n", 3)?;
+    if n > 6 {
+        return Err(ParseError("exact analysis supports n ≤ 6".into()));
+    }
+    let chain = ExactChain::build(n, n as u32);
+    println!("exact chain: n = m = {n}, {} states", chain.num_states());
+    let pi = chain.stationary(1e-13, 200_000);
+    println!("  E[max load] at stationarity: {}", fmt_f64(chain.expected_max_load(&pi), 4));
+    for k in 1..=n as u32 {
+        println!(
+            "  P(max load ≥ {k}) = {}",
+            fmt_f64(chain.prob_max_load_at_least(&pi, k), 6)
+        );
+    }
+    if let Some(t) = mixing_time(&chain, 0.25, 100_000) {
+        println!("  mixing time (ε = 1/4): {t} rounds");
+    }
+    let ab = appendix_b_exact();
+    println!(
+        "  appendix B (n = 2): P(0,0) = {} > {} = P(0)·P(0) → positively associated",
+        fmt_f64(ab.p_joint_zero, 4),
+        fmt_f64(ab.p_x1_zero * ab.p_x2_zero, 5)
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    #[test]
+    fn start_builders() {
+        assert_eq!(build_start("one-per-bin", 8, 0).unwrap().max_load(), 1);
+        assert_eq!(build_start("all-in-one", 8, 0).unwrap().max_load(), 8);
+        assert_eq!(build_start("random", 8, 0).unwrap().total_balls(), 8);
+        assert!(build_start("bogus", 8, 0).is_err());
+    }
+
+    #[test]
+    fn strategy_builders() {
+        assert_eq!(build_strategy("fifo").unwrap(), QueueStrategy::Fifo);
+        assert!(build_strategy("stack").is_err());
+    }
+
+    #[test]
+    fn topology_builders() {
+        for kind in ["clique", "ring", "torus", "hypercube", "regular", "star"] {
+            let g = build_topology(kind, 64, 1).unwrap();
+            assert!(g.is_connected(), "{kind}");
+        }
+        assert!(build_topology("moebius", 64, 1).is_err());
+    }
+
+    #[test]
+    fn simulate_runs() {
+        simulate(&args("simulate --n 64 --rounds 500")).unwrap();
+    }
+
+    #[test]
+    fn traverse_runs_clean_and_faulty() {
+        traverse(&args("traverse --n 32")).unwrap();
+        traverse(&args("traverse --n 32 --gamma 6")).unwrap();
+    }
+
+    #[test]
+    fn topology_runs() {
+        topology(&args("topology --kind hypercube --n 64 --rounds 500")).unwrap();
+    }
+
+    #[test]
+    fn exact_runs_and_validates_bound() {
+        exact(&args("exact --n 3")).unwrap();
+        assert!(exact(&args("exact --n 9")).is_err());
+    }
+}

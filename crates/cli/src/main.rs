@@ -1,0 +1,59 @@
+//! `rbb` — command-line explorer for the repeated balls-into-bins
+//! reproduction.
+//!
+//! ```text
+//! rbb simulate [--n 1024] [--rounds R] [--start one-per-bin|all-in-one|random|geometric]
+//!              [--strategy fifo|lifo|random] [--seed S]
+//! rbb traverse [--n 512] [--gamma 6] [--adversary all-in-one|random|follow-the-leader]
+//! rbb topology [--kind clique|ring|torus|hypercube|regular|star] [--n 1024] [--rounds R]
+//! rbb exact    [--n 3]
+//! ```
+
+mod args;
+mod commands;
+
+use args::Args;
+
+fn usage() {
+    eprintln!(
+        "usage: rbb <simulate|traverse|topology|exact> [--key value]...\n\
+         \n\
+         simulate   run the paper's process and summarize load/legitimacy\n\
+         traverse   multi-token traversal cover time (optional --gamma faults)\n\
+         topology   constrained walks on a graph, with diameter/spectral gap\n\
+         exact      exact small-n chain: stationary law, mixing, Appendix B\n\
+         \n\
+         common flags: --n <usize> --seed <u64> --rounds <u64>"
+    );
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match Args::parse(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage();
+            std::process::exit(2);
+        }
+    };
+    let result = match args.command() {
+        Some("simulate") => commands::simulate(&args),
+        Some("traverse") => commands::traverse(&args),
+        Some("topology") => commands::topology(&args),
+        Some("exact") => commands::exact(&args),
+        Some(other) => {
+            eprintln!("error: unknown command '{other}'");
+            usage();
+            std::process::exit(2);
+        }
+        None => {
+            usage();
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,165 @@
+//! Per-bin arrival tracking: the random variables `Z_u^{(t)}` of the paper.
+//!
+//! The paper's step (ii) hinges on the fact that the arrival counts
+//! `{Z_u^{(t)}}_t` at a fixed bin are *not* independent across rounds and
+//! not even negatively associated (Appendix B proves positive association
+//! for `n = 2`). [`ArrivalTracker`] reconstructs the arrival series of a
+//! fixed bin from consecutive configurations via the update rule
+//! `arrivals_u(t) = Q_u(t) − max(Q_u(t−1) − 1, 0)`, enabling the
+//! correlation measurement at any scale (experiment E22).
+
+use crate::config::Config;
+use crate::metrics::RoundObserver;
+
+/// Records the per-round arrival counts at one tracked bin.
+#[derive(Debug, Clone)]
+pub struct ArrivalTracker {
+    bin: usize,
+    prev_load: Option<u32>,
+    arrivals: Vec<u32>,
+}
+
+impl ArrivalTracker {
+    /// Tracks arrivals at `bin`. The first observed round is used only to
+    /// initialize the previous load unless the initial configuration is
+    /// supplied via [`ArrivalTracker::with_initial`].
+    pub fn new(bin: usize) -> Self {
+        Self {
+            bin,
+            prev_load: None,
+            arrivals: Vec::new(),
+        }
+    }
+
+    /// Tracks arrivals at `bin` given the load before the first observed
+    /// round, so that round 1's arrivals are captured too.
+    pub fn with_initial(bin: usize, initial: &Config) -> Self {
+        Self {
+            bin,
+            prev_load: Some(initial.loads()[bin]),
+            arrivals: Vec::new(),
+        }
+    }
+
+    /// The tracked bin index.
+    pub fn bin(&self) -> usize {
+        self.bin
+    }
+
+    /// The recorded arrival series (one entry per observed round after the
+    /// first, or per round including the first when initialized with the
+    /// starting configuration).
+    pub fn arrivals(&self) -> &[u32] {
+        &self.arrivals
+    }
+
+    /// The series as `f64` (for the correlation machinery).
+    pub fn series_f64(&self) -> Vec<f64> {
+        self.arrivals.iter().map(|&a| a as f64).collect()
+    }
+
+    /// Fraction of observed rounds with zero arrivals (the Appendix-B
+    /// event `X_t = 0`).
+    pub fn zero_fraction(&self) -> f64 {
+        if self.arrivals.is_empty() {
+            return 0.0;
+        }
+        self.arrivals.iter().filter(|&&a| a == 0).count() as f64 / self.arrivals.len() as f64
+    }
+
+    /// Empirical `P(X_t = 0, X_{t+1} = 0)` over consecutive pairs.
+    pub fn zero_pair_fraction(&self) -> f64 {
+        if self.arrivals.len() < 2 {
+            return 0.0;
+        }
+        let pairs = self
+            .arrivals
+            .windows(2)
+            .filter(|w| w[0] == 0 && w[1] == 0)
+            .count();
+        pairs as f64 / (self.arrivals.len() - 1) as f64
+    }
+}
+
+impl RoundObserver for ArrivalTracker {
+    fn observe(&mut self, _round: u64, config: &Config) {
+        let load = config.loads()[self.bin];
+        if let Some(prev) = self.prev_load {
+            self.arrivals.push(load - prev.saturating_sub(1));
+        }
+        self.prev_load = Some(load);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::LoadProcess;
+
+    #[test]
+    fn reconstructs_arrivals_exactly() {
+        // Feed a hand-built sequence of configurations.
+        let mut t = ArrivalTracker::with_initial(0, &Config::from_loads(vec![2, 0]));
+        // Round 1: bin 0 had 2 → releases 1 → gets a arrivals: new load = 1 + a.
+        t.observe(1, &Config::from_loads(vec![3, 0])); // a = 2
+        t.observe(2, &Config::from_loads(vec![2, 1])); // a = 0
+        t.observe(3, &Config::from_loads(vec![2, 1])); // a = 1
+        assert_eq!(t.arrivals(), &[2, 0, 1]);
+    }
+
+    #[test]
+    fn without_initial_skips_first_round() {
+        let mut t = ArrivalTracker::new(1);
+        t.observe(1, &Config::from_loads(vec![1, 1]));
+        assert!(t.arrivals().is_empty());
+        t.observe(2, &Config::from_loads(vec![1, 1]));
+        assert_eq!(t.arrivals().len(), 1);
+    }
+
+    #[test]
+    fn mean_arrival_rate_matches_busy_fraction() {
+        // At equilibrium, E[arrivals at a bin] = (#non-empty)/n ≈ 0.586
+        // (the measured busy fraction; above-1 backlogs keep it below 1−1/e... 
+        // see E03: empty fraction ≈ 0.414).
+        let n = 512;
+        let mut p = LoadProcess::legitimate_start(n, 3);
+        p.run_silent(2000);
+        let mut t = ArrivalTracker::with_initial(7, p.config());
+        p.run(20_000, &mut t);
+        let mean: f64 = t.series_f64().iter().sum::<f64>() / t.arrivals().len() as f64;
+        assert!((mean - 0.586).abs() < 0.03, "mean arrival rate {mean}");
+    }
+
+    #[test]
+    fn zero_fraction_matches_poisson_limit() {
+        // Arrivals at a bin ≈ Binomial(h, 1/n) ≈ Poisson(0.586):
+        // P(0) ≈ e^{-0.586} ≈ 0.557.
+        let n = 512;
+        let mut p = LoadProcess::legitimate_start(n, 4);
+        p.run_silent(2000);
+        let mut t = ArrivalTracker::with_initial(11, p.config());
+        p.run(20_000, &mut t);
+        assert!((t.zero_fraction() - 0.557).abs() < 0.03, "{}", t.zero_fraction());
+    }
+
+    #[test]
+    fn zero_pair_fraction_at_least_square_of_zero_fraction() {
+        // The Appendix-B phenomenon: positive association makes
+        // P(0,0) ≥ P(0)² (up to noise). Check with generous tolerance.
+        let n = 256;
+        let mut p = LoadProcess::legitimate_start(n, 5);
+        p.run_silent(2000);
+        let mut t = ArrivalTracker::with_initial(3, p.config());
+        p.run(50_000, &mut t);
+        let p0 = t.zero_fraction();
+        let p00 = t.zero_pair_fraction();
+        assert!(p00 >= p0 * p0 - 0.01, "p00 {p00} vs p0² {}", p0 * p0);
+    }
+
+    #[test]
+    fn series_f64_matches_raw() {
+        let mut t = ArrivalTracker::with_initial(0, &Config::from_loads(vec![1]));
+        t.observe(1, &Config::from_loads(vec![1]));
+        assert_eq!(t.series_f64(), vec![1.0]);
+    }
+}

@@ -1,0 +1,417 @@
+//! The repeated balls-into-bins process — ball-identity engine.
+//!
+//! Carries individual ball identities through FIFO/LIFO/random bin queues.
+//! The *load* trajectory is identical in law to [`crate::process::LoadProcess`]
+//! (the paper's strategy-obliviousness); what this engine adds is everything
+//! per-ball: walk progress (number of moves — the `Ω(t/log n)` claim),
+//! queueing delay, and a per-move hook that the traversal crate uses to
+//! maintain visited-set bitmaps for cover-time measurement (Corollary 1).
+
+use std::collections::VecDeque;
+
+use crate::config::Config;
+use crate::metrics::RoundObserver;
+use crate::rng::Xoshiro256pp;
+use crate::strategy::QueueStrategy;
+
+/// Identifier of a ball: dense indices `0..m`.
+pub type BallId = u32;
+
+/// Per-ball accounting.
+#[derive(Debug, Clone, Default)]
+pub struct BallStats {
+    /// Number of random-walk steps the ball has performed (times selected).
+    pub moves: u64,
+    /// Total rounds spent waiting in queues (excluding the move rounds).
+    pub total_wait: u64,
+    /// Maximum single-visit wait.
+    pub max_wait: u64,
+}
+
+/// Ball-identity repeated balls-into-bins simulator.
+#[derive(Debug, Clone)]
+pub struct BallProcess {
+    queues: Vec<VecDeque<BallId>>,
+    /// Load vector kept in lock-step with `queues` so observers get O(n)
+    /// snapshots without scanning queue lengths.
+    config: Config,
+    strategy: QueueStrategy,
+    rng: Xoshiro256pp,
+    round: u64,
+    /// Round at which each ball entered its current bin.
+    arrival_round: Vec<u64>,
+    stats: Vec<BallStats>,
+    /// Scratch buffer reused across rounds: (ball, destination).
+    movers: Vec<(BallId, u32)>,
+}
+
+impl BallProcess {
+    /// Creates the process from an initial configuration: ball ids are
+    /// assigned densely, bin by bin (bin 0 holds balls `0..q_0`, etc).
+    pub fn new(config: Config, strategy: QueueStrategy, rng: Xoshiro256pp) -> Self {
+        let m = config.total_balls();
+        assert!(m <= u32::MAX as u64, "ball ids are u32");
+        let mut queues: Vec<VecDeque<BallId>> = Vec::with_capacity(config.n());
+        let mut next: BallId = 0;
+        for &q in config.loads() {
+            let mut dq = VecDeque::with_capacity(q as usize);
+            for _ in 0..q {
+                dq.push_back(next);
+                next += 1;
+            }
+            queues.push(dq);
+        }
+        Self {
+            queues,
+            config,
+            strategy,
+            rng,
+            round: 0,
+            arrival_round: vec![0; m as usize],
+            stats: vec![BallStats::default(); m as usize],
+            movers: Vec::new(),
+        }
+    }
+
+    /// Convenience: one ball per bin, FIFO.
+    pub fn legitimate_start(n: usize, seed: u64) -> Self {
+        Self::new(
+            Config::one_per_bin(n),
+            QueueStrategy::Fifo,
+            Xoshiro256pp::seed_from(seed),
+        )
+    }
+
+    #[inline]
+    /// Number of bins.
+    pub fn n(&self) -> usize {
+        self.queues.len()
+    }
+
+    #[inline]
+    /// Number of balls `m`.
+    pub fn balls(&self) -> usize {
+        self.stats.len()
+    }
+
+    #[inline]
+    /// Current round (0 before any step).
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    #[inline]
+    /// Current load configuration.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    #[inline]
+    /// The queue strategy in use.
+    pub fn strategy(&self) -> QueueStrategy {
+        self.strategy
+    }
+
+    /// Per-ball statistics.
+    #[inline]
+    pub fn ball_stats(&self) -> &[BallStats] {
+        &self.stats
+    }
+
+    /// The queue of a bin (front = oldest).
+    pub fn queue(&self, bin: usize) -> &VecDeque<BallId> {
+        &self.queues[bin]
+    }
+
+    /// Advances one round. `on_move(ball, dest, round)` fires once per moved
+    /// ball, after the ball's arrival at `dest` is decided.
+    pub fn step_with(&mut self, mut on_move: impl FnMut(BallId, usize, u64)) -> usize {
+        let n = self.queues.len();
+        let round = self.round + 1;
+        self.movers.clear();
+
+        // Selection phase: every non-empty bin releases exactly one ball.
+        for u in 0..n {
+            let len = self.queues[u].len();
+            if len == 0 {
+                continue;
+            }
+            let idx = self.strategy.pick(len, &mut self.rng);
+            let ball = match self.strategy {
+                QueueStrategy::Fifo => self.queues[u].pop_front().expect("non-empty"),
+                QueueStrategy::Lifo => self.queues[u].pop_back().expect("non-empty"),
+                QueueStrategy::Random => {
+                    // Order within the queue is irrelevant under Random, so a
+                    // swap-remove keeps this O(1).
+                    let last = len - 1;
+                    self.queues[u].swap(idx, last);
+                    self.queues[u].pop_back().expect("non-empty")
+                }
+            };
+            let dest = self.rng.uniform_usize(n) as u32;
+            let wait = round - 1 - self.arrival_round[ball as usize];
+            let st = &mut self.stats[ball as usize];
+            st.moves += 1;
+            st.total_wait += wait;
+            st.max_wait = st.max_wait.max(wait);
+            self.movers.push((ball, dest));
+        }
+
+        // Re-assignment phase: all arrivals land simultaneously.
+        let moved = self.movers.len();
+        let loads = self.config.loads_mut();
+        for (u, q) in self.queues.iter().enumerate() {
+            loads[u] = q.len() as u32;
+        }
+        // `movers` is drained via index loop to appease the borrow of `self`.
+        for i in 0..moved {
+            let (ball, dest) = self.movers[i];
+            self.queues[dest as usize].push_back(ball);
+            loads[dest as usize] += 1;
+            self.arrival_round[ball as usize] = round;
+            on_move(ball, dest as usize, round);
+        }
+
+        self.round = round;
+        moved
+    }
+
+    /// Advances one round without a per-move hook.
+    pub fn step(&mut self) -> usize {
+        self.step_with(|_, _, _| {})
+    }
+
+    /// Runs `rounds` rounds with a round observer (no per-move hook).
+    pub fn run(&mut self, rounds: u64, mut observer: impl RoundObserver) {
+        for _ in 0..rounds {
+            self.step();
+            observer.observe(self.round, &self.config);
+        }
+    }
+
+    /// Minimum walk progress over all balls (the quantity bounded below by
+    /// `Ω(t / log n)` under FIFO).
+    pub fn min_progress(&self) -> u64 {
+        self.stats.iter().map(|s| s.moves).min().unwrap_or(0)
+    }
+
+    /// Mean walk progress over all balls.
+    pub fn mean_progress(&self) -> f64 {
+        if self.stats.is_empty() {
+            return 0.0;
+        }
+        self.stats.iter().map(|s| s.moves).sum::<u64>() as f64 / self.stats.len() as f64
+    }
+
+    /// The §4.1 adversary: reassigns every ball to an arbitrary bin given by
+    /// `placement[ball]`. Queue order after a fault is by ball id (the
+    /// adversary controls placement, not intra-bin order, which is
+    /// irrelevant to the analysis).
+    pub fn adversarial_reassign(&mut self, placement: &[usize]) {
+        assert_eq!(placement.len(), self.stats.len(), "one bin per ball");
+        let n = self.queues.len();
+        for q in &mut self.queues {
+            q.clear();
+        }
+        for (ball, &bin) in placement.iter().enumerate() {
+            assert!(bin < n, "bin out of range");
+            self.queues[bin].push_back(ball as BallId);
+            self.arrival_round[ball] = self.round;
+        }
+        let loads = self.config.loads_mut();
+        for (u, q) in self.queues.iter().enumerate() {
+            loads[u] = q.len() as u32;
+        }
+    }
+
+    /// Validates internal consistency (queues vs load vector vs ball count).
+    pub fn validate(&self) -> Result<(), String> {
+        let total: usize = self.queues.iter().map(|q| q.len()).sum();
+        if total != self.stats.len() {
+            return Err(format!("{total} balls in queues, expected {}", self.stats.len()));
+        }
+        for (u, q) in self.queues.iter().enumerate() {
+            if q.len() != self.config.loads()[u] as usize {
+                return Err(format!(
+                    "bin {u}: queue len {} != load {}",
+                    q.len(),
+                    self.config.loads()[u]
+                ));
+            }
+        }
+        let mut seen = vec![false; self.stats.len()];
+        for q in &self.queues {
+            for &b in q {
+                if seen[b as usize] {
+                    return Err(format!("ball {b} appears twice"));
+                }
+                seen[b as usize] = true;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MaxLoadTracker;
+    use crate::process::LoadProcess;
+
+    #[test]
+    fn construction_assigns_dense_ids() {
+        let p = BallProcess::new(
+            Config::from_loads(vec![2, 0, 1]),
+            QueueStrategy::Fifo,
+            Xoshiro256pp::seed_from(1),
+        );
+        assert_eq!(p.queue(0).iter().copied().collect::<Vec<_>>(), vec![0, 1]);
+        assert!(p.queue(1).is_empty());
+        assert_eq!(p.queue(2).iter().copied().collect::<Vec<_>>(), vec![2]);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn step_conserves_balls_all_strategies() {
+        for strategy in QueueStrategy::ALL {
+            let mut p = BallProcess::new(
+                Config::one_per_bin(64),
+                strategy,
+                Xoshiro256pp::seed_from(2),
+            );
+            for _ in 0..100 {
+                p.step();
+                p.validate().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn moved_count_equals_nonempty_bins() {
+        let mut p = BallProcess::legitimate_start(32, 3);
+        let nonempty_before = p.config().nonempty_bins();
+        let moved = p.step();
+        assert_eq!(moved, nonempty_before);
+    }
+
+    #[test]
+    fn fifo_load_trajectory_matches_load_process() {
+        // With the same seed, FIFO consumes RNG draws in exactly the same
+        // order as the load-only engine, so trajectories coincide bit-for-bit.
+        let n = 48;
+        let mut bp = BallProcess::legitimate_start(n, 99);
+        let mut lp = LoadProcess::legitimate_start(n, 99);
+        for _ in 0..200 {
+            bp.step();
+            lp.step();
+            assert_eq!(bp.config(), lp.config());
+        }
+    }
+
+    #[test]
+    fn lifo_load_trajectory_matches_load_process() {
+        let n = 48;
+        let mut bp = BallProcess::new(
+            Config::one_per_bin(n),
+            QueueStrategy::Lifo,
+            Xoshiro256pp::seed_from(99),
+        );
+        let mut lp = LoadProcess::legitimate_start(n, 99);
+        for _ in 0..200 {
+            bp.step();
+            lp.step();
+            assert_eq!(bp.config(), lp.config());
+        }
+    }
+
+    #[test]
+    fn on_move_hook_fires_per_mover() {
+        let mut p = BallProcess::legitimate_start(16, 4);
+        let mut count = 0;
+        let moved = p.step_with(|_, dest, round| {
+            assert!(dest < 16);
+            assert_eq!(round, 1);
+            count += 1;
+        });
+        assert_eq!(count, moved);
+    }
+
+    #[test]
+    fn progress_accumulates() {
+        let mut p = BallProcess::legitimate_start(32, 5);
+        p.run(100, crate::metrics::NullObserver);
+        assert!(p.min_progress() > 0, "every ball should move in 100 rounds");
+        assert!(p.mean_progress() <= 100.0);
+        // In 100 rounds a ball moves at most once per round.
+        assert!(p.ball_stats().iter().all(|s| s.moves <= 100));
+    }
+
+    #[test]
+    fn wait_accounting_consistent() {
+        let mut p = BallProcess::legitimate_start(16, 6);
+        p.run(200, crate::metrics::NullObserver);
+        for s in p.ball_stats() {
+            // moves + waits cannot exceed elapsed rounds.
+            assert!(s.moves + s.total_wait <= 200);
+            assert!(s.max_wait <= s.total_wait || s.max_wait == 0);
+        }
+    }
+
+    #[test]
+    fn single_ball_performs_plain_random_walk() {
+        // With m = 1 the constraint is vacuous: the ball moves every round.
+        let mut p = BallProcess::new(
+            Config::all_in_one(8, 1),
+            QueueStrategy::Fifo,
+            Xoshiro256pp::seed_from(7),
+        );
+        p.run(50, crate::metrics::NullObserver);
+        assert_eq!(p.ball_stats()[0].moves, 50);
+        assert_eq!(p.ball_stats()[0].total_wait, 0);
+    }
+
+    #[test]
+    fn lifo_starves_buried_ball() {
+        // All balls in one bin: under LIFO the bottom ball moves only after
+        // the queue above it drains below it; under FIFO the first ball moves
+        // immediately. Check FIFO moves ball 0 in round 1.
+        let mut fifo = BallProcess::new(
+            Config::all_in_one(8, 8),
+            QueueStrategy::Fifo,
+            Xoshiro256pp::seed_from(8),
+        );
+        fifo.step();
+        assert_eq!(fifo.ball_stats()[0].moves, 1);
+
+        let mut lifo = BallProcess::new(
+            Config::all_in_one(8, 8),
+            QueueStrategy::Lifo,
+            Xoshiro256pp::seed_from(8),
+        );
+        lifo.step();
+        assert_eq!(lifo.ball_stats()[7].moves, 1);
+        assert_eq!(lifo.ball_stats()[0].moves, 0);
+    }
+
+    #[test]
+    fn adversarial_reassign_all_to_one() {
+        let mut p = BallProcess::legitimate_start(16, 9);
+        p.run(10, crate::metrics::NullObserver);
+        let placement = vec![3usize; 16];
+        p.adversarial_reassign(&placement);
+        p.validate().unwrap();
+        assert_eq!(p.config().loads()[3], 16);
+        assert_eq!(p.config().max_load(), 16);
+        p.step();
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn max_load_tracker_via_run() {
+        let mut p = BallProcess::legitimate_start(128, 10);
+        let mut t = MaxLoadTracker::new();
+        p.run(500, &mut t);
+        assert!(t.window_max() >= 1);
+        assert!(t.window_max() < 30, "load blew up: {}", t.window_max());
+    }
+}

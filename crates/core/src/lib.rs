@@ -1,0 +1,93 @@
+//! # rbb-core — Self-stabilizing repeated balls-into-bins
+//!
+//! Faithful implementation of the process studied in
+//!
+//! > L. Becchetti, A. Clementi, E. Natale, F. Pasquale, G. Posta.
+//! > *Self-stabilizing repeated balls-into-bins.* SPAA 2015;
+//! > Distributed Computing 32:59–68, 2019.
+//!
+//! `n` balls start in `n` bins in an arbitrary configuration. Every round,
+//! each non-empty bin releases one ball (FIFO/LIFO/random — the load law is
+//! oblivious to the choice) and the ball is re-assigned to a bin chosen
+//! uniformly at random. The paper proves the process is **self-stabilizing**:
+//! from any configuration it reaches a configuration with maximum load
+//! `O(log n)` within `O(n)` rounds w.h.p., and then keeps the maximum load
+//! `O(log n)` over any polynomially long window w.h.p.
+//!
+//! ## Crate map
+//!
+//! * [`process`] — the load-only engine (the paper's `Q(t)` dynamics).
+//! * [`ball_process`] — the ball-identity engine (per-ball progress, delays,
+//!   per-move hooks for cover-time tracking).
+//! * [`tetris`] — the Tetris majorant process of Section 3 and its
+//!   batched/"leaky bins" generalization.
+//! * [`coupling`] — the Lemma-3 joint construction with per-round domination
+//!   checking.
+//! * [`markov`] — the Lemma-5 drift chain `Z_t` and its Chernoff tail.
+//! * [`config`] — load configurations, legitimacy, initial-state builders.
+//! * [`strategy`] — queue-selection strategies.
+//! * [`metrics`] — streaming round observers (max load, empty bins,
+//!   legitimacy, trajectories).
+//! * [`adversary`] — the Section-4.1 fault model.
+//! * [`arrivals`] / [`phases`] / [`mixing`] — analysis instrumentation:
+//!   per-bin arrival series (the Appendix-B variables at scale), busy-period
+//!   decomposition (the Lemma-6 phase structure), and exact/empirical
+//!   mixing measurements.
+//! * [`exact`] — exact finite-chain analysis for small `n` (ground truth for
+//!   the engines) and the Appendix-B counterexample.
+//! * [`rng`] / [`sampling`] — deterministic PRNG and exact samplers.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use rbb_core::prelude::*;
+//!
+//! // Start from the worst configuration: all 128 balls in one bin.
+//! let config = Config::all_in_one(128, 128);
+//! let mut process = LoadProcess::new(config, Xoshiro256pp::seed_from(7));
+//! let threshold = LegitimacyThreshold::default();
+//!
+//! // Theorem 1(b): a legitimate configuration is reached within O(n) rounds.
+//! let round = process
+//!     .run_until(10 * 128, |c| threshold.is_legitimate(c))
+//!     .expect("converges w.h.p.");
+//! assert!(round <= 3 * 128);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod arrivals;
+pub mod ball_process;
+pub mod config;
+pub mod coupling;
+pub mod exact;
+pub mod markov;
+pub mod metrics;
+pub mod mixing;
+pub mod phases;
+pub mod process;
+pub mod rng;
+pub mod sampling;
+pub mod strategy;
+pub mod tetris;
+
+/// The most commonly used items, re-exported.
+pub mod prelude {
+    pub use crate::adversary::{Adversary, FaultSchedule};
+    pub use crate::arrivals::ArrivalTracker;
+    pub use crate::ball_process::{BallId, BallProcess, BallStats};
+    pub use crate::config::{Config, LegitimacyThreshold};
+    pub use crate::coupling::{CoupledRun, CouplingReport};
+    pub use crate::markov::ZChain;
+    pub use crate::metrics::{
+        EmptyBinsTracker, LegitimacyTracker, MaxLoadTracker, NullObserver, RoundObserver,
+        TrajectoryRecorder,
+    };
+    pub use crate::phases::PhaseTracker;
+    pub use crate::process::LoadProcess;
+    pub use crate::rng::{SplitMix64, Xoshiro256pp};
+    pub use crate::strategy::QueueStrategy;
+    pub use crate::tetris::{BatchedTetris, Tetris};
+}

@@ -1,0 +1,398 @@
+//! Round observers: streaming metrics computed while a process runs.
+//!
+//! Engines call [`RoundObserver::observe`] once per round *after* the round's
+//! re-assignment completes (so round `t ≥ 1` observations correspond to the
+//! paper's `Q(t)`). Observers are composable via tuples, so an experiment can
+//! track max load, empty-bin counts and legitimacy in one pass without
+//! re-scanning the load vector more than each observer needs.
+
+use crate::config::{Config, LegitimacyThreshold};
+
+/// A streaming, per-round metric.
+pub trait RoundObserver {
+    /// Called once per completed round with the round index (1-based) and the
+    /// configuration reached at the end of that round.
+    fn observe(&mut self, round: u64, config: &Config);
+}
+
+/// The no-op observer, for runs where only the final state matters.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullObserver;
+
+impl RoundObserver for NullObserver {
+    #[inline]
+    fn observe(&mut self, _round: u64, _config: &Config) {}
+}
+
+impl<A: RoundObserver, B: RoundObserver> RoundObserver for (A, B) {
+    #[inline]
+    fn observe(&mut self, round: u64, config: &Config) {
+        self.0.observe(round, config);
+        self.1.observe(round, config);
+    }
+}
+
+impl<A: RoundObserver, B: RoundObserver, C: RoundObserver> RoundObserver for (A, B, C) {
+    #[inline]
+    fn observe(&mut self, round: u64, config: &Config) {
+        self.0.observe(round, config);
+        self.1.observe(round, config);
+        self.2.observe(round, config);
+    }
+}
+
+impl<T: RoundObserver + ?Sized> RoundObserver for &mut T {
+    #[inline]
+    fn observe(&mut self, round: u64, config: &Config) {
+        (**self).observe(round, config);
+    }
+}
+
+/// Tracks the maximum load seen over the whole run: the paper's
+/// `M_T = max_{t ≤ T} M(t)` (Lemma 3).
+#[derive(Debug, Default, Clone)]
+pub struct MaxLoadTracker {
+    max: u32,
+    argmax_round: u64,
+    rounds: u64,
+    sum_of_round_max: u64,
+}
+
+impl MaxLoadTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `max_{t ≤ T} M(t)` over the observed window.
+    pub fn window_max(&self) -> u32 {
+        self.max
+    }
+
+    /// First round at which the window max was attained.
+    pub fn argmax_round(&self) -> u64 {
+        self.argmax_round
+    }
+
+    /// Mean of the per-round maximum load.
+    pub fn mean_round_max(&self) -> f64 {
+        if self.rounds == 0 {
+            return 0.0;
+        }
+        self.sum_of_round_max as f64 / self.rounds as f64
+    }
+
+    /// Number of rounds observed.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+}
+
+impl RoundObserver for MaxLoadTracker {
+    #[inline]
+    fn observe(&mut self, round: u64, config: &Config) {
+        let m = config.max_load();
+        if m > self.max {
+            self.max = m;
+            self.argmax_round = round;
+        }
+        self.rounds += 1;
+        self.sum_of_round_max += m as u64;
+    }
+}
+
+/// Tracks the number of empty bins per round: the quantity Lemma 1/2 bounds
+/// below by `n/4` (after the first round) over polynomial windows.
+#[derive(Debug, Clone)]
+pub struct EmptyBinsTracker {
+    /// Rounds strictly before this one are ignored (the paper's bound holds
+    /// from round 1 onward; pass 1 to skip nothing, 2 to skip round 1).
+    from_round: u64,
+    min_empty: usize,
+    min_round: u64,
+    sum_empty: u64,
+    rounds: u64,
+    violations_below_quarter: u64,
+}
+
+impl EmptyBinsTracker {
+    /// Observes from round `from_round` (inclusive) onward.
+    pub fn starting_at(from_round: u64) -> Self {
+        Self {
+            from_round,
+            min_empty: usize::MAX,
+            min_round: 0,
+            sum_empty: 0,
+            rounds: 0,
+            violations_below_quarter: 0,
+        }
+    }
+
+    /// Creates a tracker observing from round 1.
+    pub fn new() -> Self {
+        Self::starting_at(1)
+    }
+
+    /// Minimum number of empty bins over the observed window.
+    pub fn min_empty(&self) -> usize {
+        if self.rounds == 0 {
+            0
+        } else {
+            self.min_empty
+        }
+    }
+
+    /// Round attaining the minimum.
+    pub fn min_round(&self) -> u64 {
+        self.min_round
+    }
+
+    /// Mean number of empty bins per round.
+    pub fn mean_empty(&self) -> f64 {
+        if self.rounds == 0 {
+            return 0.0;
+        }
+        self.sum_empty as f64 / self.rounds as f64
+    }
+
+    /// Number of observed rounds with strictly fewer than `n/4` empty bins —
+    /// the event Lemma 2 proves has probability `e^{-γn}` per window.
+    pub fn violations_below_quarter(&self) -> u64 {
+        self.violations_below_quarter
+    }
+
+    /// Number of observed rounds.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+}
+
+impl Default for EmptyBinsTracker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RoundObserver for EmptyBinsTracker {
+    #[inline]
+    fn observe(&mut self, round: u64, config: &Config) {
+        if round < self.from_round {
+            return;
+        }
+        let e = config.empty_bins();
+        if e < self.min_empty {
+            self.min_empty = e;
+            self.min_round = round;
+        }
+        if 4 * e < config.n() {
+            self.violations_below_quarter += 1;
+        }
+        self.sum_empty += e as u64;
+        self.rounds += 1;
+    }
+}
+
+/// Tracks legitimacy: the first round a legitimate configuration is reached
+/// (Theorem 1(b) convergence) and any later violations (Theorem 1(a)
+/// stability).
+#[derive(Debug, Clone)]
+pub struct LegitimacyTracker {
+    threshold: LegitimacyThreshold,
+    first_legitimate: Option<u64>,
+    violations_after_first: u64,
+    rounds: u64,
+}
+
+impl LegitimacyTracker {
+    /// Creates a tracker with the given legitimacy policy.
+    pub fn new(threshold: LegitimacyThreshold) -> Self {
+        Self {
+            threshold,
+            first_legitimate: None,
+            violations_after_first: 0,
+            rounds: 0,
+        }
+    }
+
+    /// First observed round whose configuration was legitimate, if any.
+    pub fn first_legitimate_round(&self) -> Option<u64> {
+        self.first_legitimate
+    }
+
+    /// Rounds that were illegitimate *after* the first legitimate round —
+    /// zero w.h.p. by Theorem 1(a).
+    pub fn violations_after_first(&self) -> u64 {
+        self.violations_after_first
+    }
+
+    /// Number of observed rounds.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+}
+
+impl RoundObserver for LegitimacyTracker {
+    #[inline]
+    fn observe(&mut self, round: u64, config: &Config) {
+        self.rounds += 1;
+        let legit = self.threshold.is_legitimate(config);
+        match (self.first_legitimate, legit) {
+            (None, true) => self.first_legitimate = Some(round),
+            (Some(_), false) => self.violations_after_first += 1,
+            _ => {}
+        }
+    }
+}
+
+/// A single recorded trajectory row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrajectoryPoint {
+    /// Round index of this point.
+    pub round: u64,
+    /// Maximum load at this round.
+    pub max_load: u32,
+    /// Number of empty bins at this round.
+    pub empty_bins: usize,
+    /// Number of non-empty bins at this round.
+    pub nonempty_bins: usize,
+}
+
+/// Records a (down-sampled) trajectory of summary statistics, for plotting
+/// `M(t)` against the `√t` bound of \[12\] (experiment E10).
+#[derive(Debug, Clone)]
+pub struct TrajectoryRecorder {
+    stride: u64,
+    points: Vec<TrajectoryPoint>,
+}
+
+impl TrajectoryRecorder {
+    /// Records every `stride`-th round (stride ≥ 1); round 1 and every
+    /// multiple of `stride` are kept.
+    pub fn with_stride(stride: u64) -> Self {
+        assert!(stride >= 1);
+        Self {
+            stride,
+            points: Vec::new(),
+        }
+    }
+
+    /// The recorded points, in round order.
+    pub fn points(&self) -> &[TrajectoryPoint] {
+        &self.points
+    }
+
+    /// Consumes the recorder, returning its points.
+    pub fn into_points(self) -> Vec<TrajectoryPoint> {
+        self.points
+    }
+}
+
+impl RoundObserver for TrajectoryRecorder {
+    #[inline]
+    fn observe(&mut self, round: u64, config: &Config) {
+        if round == 1 || round % self.stride == 0 {
+            self.points.push(TrajectoryPoint {
+                round,
+                max_load: config.max_load(),
+                empty_bins: config.empty_bins(),
+                nonempty_bins: config.nonempty_bins(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(loads: &[u32]) -> Config {
+        Config::from_loads(loads.to_vec())
+    }
+
+    #[test]
+    fn max_load_tracker_tracks_window_max() {
+        let mut t = MaxLoadTracker::new();
+        t.observe(1, &cfg(&[1, 2, 0]));
+        t.observe(2, &cfg(&[3, 0, 0]));
+        t.observe(3, &cfg(&[1, 1, 1]));
+        assert_eq!(t.window_max(), 3);
+        assert_eq!(t.argmax_round(), 2);
+        assert_eq!(t.rounds(), 3);
+        assert!((t.mean_round_max() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_load_argmax_is_first_attaining_round() {
+        let mut t = MaxLoadTracker::new();
+        t.observe(1, &cfg(&[5]));
+        t.observe(2, &cfg(&[5]));
+        assert_eq!(t.argmax_round(), 1);
+    }
+
+    #[test]
+    fn empty_bins_tracker_min_and_violations() {
+        let mut t = EmptyBinsTracker::new();
+        t.observe(1, &cfg(&[0, 0, 1, 3])); // 2 empty of 4: ok (2 >= 1)
+        t.observe(2, &cfg(&[1, 1, 1, 1])); // 0 empty: violation
+        assert_eq!(t.min_empty(), 0);
+        assert_eq!(t.min_round(), 2);
+        assert_eq!(t.violations_below_quarter(), 1);
+        assert!((t.mean_empty() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_bins_tracker_skips_early_rounds() {
+        let mut t = EmptyBinsTracker::starting_at(2);
+        t.observe(1, &cfg(&[1, 1])); // ignored
+        assert_eq!(t.rounds(), 0);
+        t.observe(2, &cfg(&[0, 2]));
+        assert_eq!(t.rounds(), 1);
+        assert_eq!(t.min_empty(), 1);
+    }
+
+    #[test]
+    fn quarter_violation_boundary_is_strict() {
+        // n = 4, exactly 1 empty bin: 4*1 == n, not a violation.
+        let mut t = EmptyBinsTracker::new();
+        t.observe(1, &cfg(&[0, 2, 1, 1]));
+        assert_eq!(t.violations_below_quarter(), 0);
+    }
+
+    #[test]
+    fn legitimacy_tracker_convergence_and_stability() {
+        let thr = LegitimacyThreshold::new(1.0); // bound(16) = ceil(ln 16) = 3
+        let mut t = LegitimacyTracker::new(thr);
+        let n16_bad = Config::all_in_one(16, 16);
+        let n16_good = Config::one_per_bin(16);
+        t.observe(1, &n16_bad);
+        assert_eq!(t.first_legitimate_round(), None);
+        t.observe(2, &n16_good);
+        assert_eq!(t.first_legitimate_round(), Some(2));
+        t.observe(3, &n16_bad);
+        assert_eq!(t.violations_after_first(), 1);
+    }
+
+    #[test]
+    fn trajectory_recorder_strides() {
+        let mut t = TrajectoryRecorder::with_stride(3);
+        for r in 1..=9 {
+            t.observe(r, &cfg(&[1, 0]));
+        }
+        let rounds: Vec<u64> = t.points().iter().map(|p| p.round).collect();
+        assert_eq!(rounds, vec![1, 3, 6, 9]);
+    }
+
+    #[test]
+    fn tuple_observer_composes() {
+        let mut pair = (MaxLoadTracker::new(), EmptyBinsTracker::new());
+        pair.observe(1, &cfg(&[0, 4]));
+        assert_eq!(pair.0.window_max(), 4);
+        assert_eq!(pair.1.min_empty(), 1);
+    }
+
+    #[test]
+    fn null_observer_is_noop() {
+        let mut o = NullObserver;
+        o.observe(1, &cfg(&[1]));
+    }
+}

@@ -1,0 +1,186 @@
+//! Mixing of the configuration chain: exact total-variation decay for
+//! small `n` and empirical distribution comparison at scale.
+//!
+//! The paper notes the chain is non-reversible with (very likely) no
+//! product-form stationary law — classical queueing techniques fail. The
+//! chain is still ergodic on its finite state space; this module computes,
+//! via the enumerative kernel of [`crate::exact`], the exact TV distance to
+//! stationarity from any start and the resulting mixing time (experiment
+//! E21), plus an empirical two-start distribution comparison usable at
+//! simulation scale.
+
+use crate::exact::ExactChain;
+use crate::metrics::RoundObserver;
+use crate::config::Config;
+
+/// Exact TV-to-stationarity curve for the finite chain, from a point start.
+///
+/// Returns `d(t) = ‖δ_q P^t − π‖_TV` for `t = 0..=t_max`.
+pub fn tv_decay(chain: &ExactChain, start: &[u32], t_max: usize) -> Vec<f64> {
+    let pi = chain.stationary(1e-14, 200_000);
+    let mut dist = chain.dirac(start);
+    let tv = |d: &[f64]| -> f64 {
+        d.iter()
+            .zip(&pi)
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f64>()
+            / 2.0
+    };
+    let mut out = Vec::with_capacity(t_max + 1);
+    out.push(tv(&dist));
+    for _ in 0..t_max {
+        dist = chain.step_distribution(&dist);
+        out.push(tv(&dist));
+    }
+    out
+}
+
+/// Exact ε-mixing time from the *worst* point start: the smallest `t` with
+/// `max_q d_q(t) ≤ ε`. Returns `None` if not reached within `t_max`.
+pub fn mixing_time(chain: &ExactChain, eps: f64, t_max: usize) -> Option<usize> {
+    assert!(eps > 0.0 && eps < 1.0);
+    // The worst starts are the extreme configurations; scanning all states
+    // is exact and affordable at the sizes this kernel supports.
+    let pi = chain.stationary(1e-14, 200_000);
+    let mut dists: Vec<Vec<f64>> = chain
+        .configs()
+        .iter()
+        .map(|q| chain.dirac(q))
+        .collect();
+    for t in 0..=t_max {
+        let worst = dists
+            .iter()
+            .map(|d| {
+                d.iter()
+                    .zip(&pi)
+                    .map(|(a, b)| (a - b).abs())
+                    .sum::<f64>()
+                    / 2.0
+            })
+            .fold(0.0f64, f64::max);
+        if worst <= eps {
+            return Some(t);
+        }
+        if t < t_max {
+            for d in &mut dists {
+                *d = chain.step_distribution(d);
+            }
+        }
+    }
+    None
+}
+
+/// Streaming per-round max-load distribution collector, for empirical
+/// two-start comparisons at simulation scale (where exact enumeration is
+/// impossible): collect from two differently initialized processes and
+/// compare with a `rbb_stats`-style TV on the normalized histograms.
+#[derive(Debug, Clone, Default)]
+pub struct MaxLoadDistribution {
+    counts: Vec<u64>,
+    rounds: u64,
+}
+
+impl MaxLoadDistribution {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Normalized distribution of the per-round max load.
+    pub fn pmf(&self) -> Vec<f64> {
+        if self.rounds == 0 {
+            return Vec::new();
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / self.rounds as f64)
+            .collect()
+    }
+
+    /// Rounds observed.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+}
+
+impl RoundObserver for MaxLoadDistribution {
+    fn observe(&mut self, _round: u64, config: &Config) {
+        let m = config.max_load() as usize;
+        if m >= self.counts.len() {
+            self.counts.resize(m + 1, 0);
+        }
+        self.counts[m] += 1;
+        self.rounds += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::LoadProcess;
+    use crate::rng::Xoshiro256pp;
+
+    #[test]
+    fn tv_decay_is_monotone_nonincreasing_and_vanishes() {
+        let chain = ExactChain::build(3, 3);
+        let decay = tv_decay(&chain, &[3, 0, 0], 60);
+        assert!(decay[0] > 0.5, "point start far from stationary");
+        for w in decay.windows(2) {
+            // TV to stationarity is non-increasing for any chain.
+            assert!(w[1] <= w[0] + 1e-12, "{} -> {}", w[0], w[1]);
+        }
+        assert!(decay.last().unwrap() < &1e-3, "did not mix: {:?}", decay.last());
+    }
+
+    #[test]
+    fn mixing_time_is_small_for_tiny_chain() {
+        let chain = ExactChain::build(2, 2);
+        let t = mixing_time(&chain, 0.25, 200).expect("mixes");
+        assert!(t >= 1 && t < 50, "mixing time {t}");
+    }
+
+    #[test]
+    fn mixing_time_monotone_in_eps() {
+        let chain = ExactChain::build(3, 3);
+        let loose = mixing_time(&chain, 0.25, 500).unwrap();
+        let tight = mixing_time(&chain, 0.01, 500).unwrap();
+        assert!(tight >= loose, "{tight} < {loose}");
+    }
+
+    #[test]
+    fn mixing_time_none_when_capped() {
+        let chain = ExactChain::build(4, 4);
+        assert_eq!(mixing_time(&chain, 1e-9, 0), None);
+    }
+
+    #[test]
+    fn empirical_distributions_from_two_starts_converge() {
+        use rbb_compare::tv;
+        // Two extreme starts, long runs: per-round max-load distributions
+        // must coincide (the chain forgets its start in O(n) rounds).
+        let n = 128;
+        let mut a = LoadProcess::legitimate_start(n, 21);
+        let mut b = LoadProcess::new(
+            Config::all_in_one(n, n as u32),
+            Xoshiro256pp::seed_from(22),
+        );
+        a.run_silent(2000);
+        b.run_silent(2000);
+        let mut da = MaxLoadDistribution::new();
+        let mut db = MaxLoadDistribution::new();
+        a.run(100_000, &mut da);
+        b.run(100_000, &mut db);
+        let d = tv(&da.pmf(), &db.pmf());
+        assert!(d < 0.05, "TV between equilibria: {d}");
+    }
+
+    /// Minimal local TV helper so the core crate stays free of a stats
+    /// dependency (the stats crate has the production version).
+    mod rbb_compare {
+        pub fn tv(p: &[f64], q: &[f64]) -> f64 {
+            let len = p.len().max(q.len());
+            let get = |v: &[f64], i: usize| v.get(i).copied().unwrap_or(0.0);
+            (0..len).map(|i| (get(p, i) - get(q, i)).abs()).sum::<f64>() / 2.0
+        }
+    }
+}

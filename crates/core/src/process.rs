@@ -1,0 +1,328 @@
+//! The repeated balls-into-bins process — load-only engine.
+//!
+//! This engine simulates exactly the dynamics of Section 2:
+//!
+//! ```text
+//! Q_v(t+1) = max(Q_v(t) - 1, 0) + |{ u ∈ W(t) : X_u(t+1) = v }|
+//! ```
+//!
+//! where `W(t)` is the set of non-empty bins at round `t` and each
+//! `X_u(t+1)` is u.a.r. over the `n` bins. Because exactly one ball leaves
+//! every non-empty bin regardless of *which* ball the queue strategy picks,
+//! the load process is strategy-invariant; this engine therefore carries no
+//! ball identities and runs a round in `O(n)` time over a dense `Vec<u32>`
+//! (see DESIGN.md §3.1 — [`crate::ball_process::BallProcess`] is the
+//! identity-carrying sibling).
+
+use crate::config::Config;
+use crate::metrics::{NullObserver, RoundObserver};
+use crate::rng::Xoshiro256pp;
+use crate::sampling::{throw_uniform, throw_uniform_recording};
+
+/// Load-only repeated balls-into-bins simulator.
+///
+/// ```
+/// use rbb_core::prelude::*;
+///
+/// let mut p = LoadProcess::legitimate_start(64, 7);
+/// let mut tracker = MaxLoadTracker::new();
+/// p.run(1_000, &mut tracker);
+/// assert_eq!(p.config().total_balls(), 64);       // mass conserved
+/// assert!(tracker.window_max() <= 4 * 64u32.ilog2()); // O(log n) loads
+/// ```
+#[derive(Debug, Clone)]
+pub struct LoadProcess {
+    config: Config,
+    rng: Xoshiro256pp,
+    round: u64,
+    balls: u64,
+}
+
+impl LoadProcess {
+    /// Creates a process from an initial configuration and a seeded RNG.
+    pub fn new(config: Config, rng: Xoshiro256pp) -> Self {
+        let balls = config.total_balls();
+        Self {
+            config,
+            rng,
+            round: 0,
+            balls,
+        }
+    }
+
+    /// Convenience constructor: `n` balls into `n` bins, one per bin.
+    pub fn legitimate_start(n: usize, seed: u64) -> Self {
+        Self::new(Config::one_per_bin(n), Xoshiro256pp::seed_from(seed))
+    }
+
+    /// Current round index (0 before any step).
+    #[inline]
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Number of bins.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.config.n()
+    }
+
+    /// Total ball count (invariant across rounds).
+    #[inline]
+    pub fn balls(&self) -> u64 {
+        self.balls
+    }
+
+    /// Current configuration.
+    #[inline]
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// Advances one round; returns the number of balls that moved (equal to
+    /// the number of non-empty bins at the start of the round).
+    pub fn step(&mut self) -> usize {
+        let loads = self.config.loads_mut();
+        let mut departures = 0usize;
+        for l in loads.iter_mut() {
+            if *l > 0 {
+                *l -= 1;
+                departures += 1;
+            }
+        }
+        throw_uniform(&mut self.rng, loads, departures);
+        self.round += 1;
+        debug_assert_eq!(self.config.total_balls(), self.balls);
+        departures
+    }
+
+    /// Advances one round, recording each mover's destination in `dests`
+    /// (bin indices in the order the source bins were scanned). Used by the
+    /// Lemma-3 coupling, which reuses these choices for the Tetris copy.
+    pub fn step_recording(&mut self, dests: &mut Vec<usize>) -> usize {
+        let loads = self.config.loads_mut();
+        let mut departures = 0usize;
+        for l in loads.iter_mut() {
+            if *l > 0 {
+                *l -= 1;
+                departures += 1;
+            }
+        }
+        throw_uniform_recording(&mut self.rng, loads, departures, dests);
+        self.round += 1;
+        departures
+    }
+
+    /// Runs `rounds` rounds, invoking `observer` after each.
+    pub fn run(&mut self, rounds: u64, mut observer: impl RoundObserver) {
+        for _ in 0..rounds {
+            self.step();
+            observer.observe(self.round, &self.config);
+        }
+    }
+
+    /// Runs without observation (slightly faster inner loop).
+    pub fn run_silent(&mut self, rounds: u64) {
+        self.run(rounds, NullObserver);
+    }
+
+    /// Runs until `pred` holds for the current configuration or `max_rounds`
+    /// elapse; returns the round at which the predicate first held.
+    pub fn run_until(
+        &mut self,
+        max_rounds: u64,
+        mut pred: impl FnMut(&Config) -> bool,
+    ) -> Option<u64> {
+        if pred(&self.config) {
+            return Some(self.round);
+        }
+        for _ in 0..max_rounds {
+            self.step();
+            if pred(&self.config) {
+                return Some(self.round);
+            }
+        }
+        None
+    }
+
+    /// Replaces the configuration wholesale — the §4.1 adversary's move.
+    /// Panics if the new configuration changes the ball count (the adversary
+    /// may *re-assign* balls, not create or destroy them).
+    pub fn adversarial_reassign(&mut self, new_config: Config) {
+        assert_eq!(
+            new_config.total_balls(),
+            self.balls,
+            "adversary must conserve balls"
+        );
+        assert_eq!(new_config.n(), self.config.n(), "adversary must keep n bins");
+        self.config = new_config;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LegitimacyThreshold;
+    use crate::metrics::{EmptyBinsTracker, MaxLoadTracker};
+
+    #[test]
+    fn step_conserves_balls() {
+        let mut p = LoadProcess::legitimate_start(64, 1);
+        for _ in 0..200 {
+            p.step();
+            assert_eq!(p.config().total_balls(), 64);
+        }
+    }
+
+    #[test]
+    fn step_returns_nonempty_count() {
+        let mut p = LoadProcess::new(
+            Config::all_in_one(8, 8),
+            Xoshiro256pp::seed_from(2),
+        );
+        // Round 1: only bin 0 is non-empty, so exactly one ball moves.
+        assert_eq!(p.step(), 1);
+    }
+
+    #[test]
+    fn round_counter_advances() {
+        let mut p = LoadProcess::legitimate_start(16, 3);
+        assert_eq!(p.round(), 0);
+        p.run_silent(10);
+        assert_eq!(p.round(), 10);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = LoadProcess::legitimate_start(32, 42);
+        let mut b = LoadProcess::legitimate_start(32, 42);
+        a.run_silent(100);
+        b.run_silent(100);
+        assert_eq!(a.config(), b.config());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = LoadProcess::legitimate_start(32, 1);
+        let mut b = LoadProcess::legitimate_start(32, 2);
+        a.run_silent(50);
+        b.run_silent(50);
+        assert_ne!(a.config(), b.config());
+    }
+
+    #[test]
+    fn empty_bins_appear_after_one_round() {
+        // Lemma 1: from the all-singleton start, one round creates ≥ n/4
+        // empty bins w.h.p. (here: just check plenty appear).
+        let mut p = LoadProcess::legitimate_start(1024, 7);
+        p.step();
+        let empty = p.config().empty_bins();
+        assert!(empty >= 1024 / 4, "only {empty} empty bins after round 1");
+    }
+
+    #[test]
+    fn max_load_stays_logarithmic_short_window() {
+        let n = 512;
+        let mut p = LoadProcess::legitimate_start(n, 11);
+        let mut tracker = MaxLoadTracker::new();
+        p.run(2000, &mut tracker);
+        let bound = LegitimacyThreshold::default().bound(n);
+        assert!(
+            tracker.window_max() <= bound,
+            "max load {} exceeded 4 ln n = {}",
+            tracker.window_max(),
+            bound
+        );
+    }
+
+    #[test]
+    fn empty_fraction_at_least_quarter_in_window() {
+        let mut p = LoadProcess::legitimate_start(1024, 13);
+        let mut tracker = EmptyBinsTracker::new();
+        p.run(2000, &mut tracker);
+        assert_eq!(tracker.violations_below_quarter(), 0);
+        assert!(tracker.min_empty() >= 256);
+    }
+
+    #[test]
+    fn all_in_one_drains_one_per_round() {
+        let n = 64;
+        let mut p = LoadProcess::new(Config::all_in_one(n, n as u32), Xoshiro256pp::seed_from(5));
+        for t in 1..=10u32 {
+            p.step();
+            // Bin 0 loses one per round and receives at most the number of
+            // movers; early on it can only shrink roughly one per round.
+            assert!(p.config().loads()[0] >= n as u32 - 2 * t);
+        }
+    }
+
+    #[test]
+    fn convergence_from_all_in_one_is_linear() {
+        let n = 256;
+        let thr = LegitimacyThreshold::default();
+        let mut p = LoadProcess::new(Config::all_in_one(n, n as u32), Xoshiro256pp::seed_from(6));
+        let hit = p
+            .run_until(20 * n as u64, |c| thr.is_legitimate(c))
+            .expect("should converge");
+        // Needs at least (n - bound) rounds to drain bin 0; should finish in O(n).
+        assert!(hit >= (n as u64 - thr.bound(n) as u64));
+        assert!(hit <= 3 * n as u64, "took {hit} rounds");
+    }
+
+    #[test]
+    fn run_until_immediate_hit() {
+        let mut p = LoadProcess::legitimate_start(16, 8);
+        let hit = p.run_until(10, |_| true);
+        assert_eq!(hit, Some(0));
+    }
+
+    #[test]
+    fn run_until_gives_none_on_timeout() {
+        let mut p = LoadProcess::legitimate_start(16, 9);
+        assert_eq!(p.run_until(5, |c| c.max_load() > 1_000), None);
+    }
+
+    #[test]
+    fn step_recording_matches_departures() {
+        let mut p = LoadProcess::legitimate_start(32, 10);
+        let mut dests = Vec::new();
+        let d = p.step_recording(&mut dests);
+        assert_eq!(d, 32);
+        assert_eq!(dests.len(), 32);
+        assert!(dests.iter().all(|&b| b < 32));
+    }
+
+    #[test]
+    fn adversarial_reassign_conserves() {
+        let mut p = LoadProcess::legitimate_start(16, 11);
+        p.adversarial_reassign(Config::all_in_one(16, 16));
+        assert_eq!(p.config().max_load(), 16);
+        p.step();
+        assert_eq!(p.config().total_balls(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "conserve")]
+    fn adversarial_reassign_rejects_mass_change() {
+        let mut p = LoadProcess::legitimate_start(16, 12);
+        p.adversarial_reassign(Config::all_in_one(16, 17));
+    }
+
+    #[test]
+    fn m_less_than_n_supported() {
+        let mut rng = Xoshiro256pp::seed_from(13);
+        let cfg = Config::random(&mut rng, 100, 50);
+        let mut p = LoadProcess::new(cfg, rng);
+        p.run_silent(100);
+        assert_eq!(p.config().total_balls(), 50);
+    }
+
+    #[test]
+    fn m_greater_than_n_supported() {
+        let mut rng = Xoshiro256pp::seed_from(14);
+        let cfg = Config::random(&mut rng, 100, 400);
+        let mut p = LoadProcess::new(cfg, rng);
+        p.run_silent(100);
+        assert_eq!(p.config().total_balls(), 400);
+    }
+}

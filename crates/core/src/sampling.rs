@@ -1,0 +1,227 @@
+//! Exact distribution samplers used by the simulation engines.
+//!
+//! All samplers are *exact* (no normal approximations): experiments in this
+//! workspace validate probabilistic bounds with explicit constants, so any
+//! sampling bias would contaminate the measurements. The binomial sampler
+//! uses geometric gap-skipping, whose expected cost is `O(np + 1)` — the
+//! processes here only ever need binomials whose mean is at most `O(n)`,
+//! matching the `O(n)`-per-round cost of the engines themselves.
+
+use crate::rng::Xoshiro256pp;
+
+/// Samples `Geometric(p)` on `{1, 2, 3, ...}`: the number of Bernoulli(`p`)
+/// trials up to and including the first success.
+///
+/// Uses the inverse-CDF formula `ceil(ln(1-U) / ln(1-p))`, which is exact for
+/// `p ∈ (0, 1)`.
+#[inline]
+pub fn geometric(rng: &mut Xoshiro256pp, p: f64) -> u64 {
+    debug_assert!(p > 0.0 && p <= 1.0, "geometric p must be in (0, 1]");
+    if p >= 1.0 {
+        return 1;
+    }
+    let u = 1.0 - rng.next_f64(); // in (0, 1]
+    let g = (u.ln() / (1.0 - p).ln()).ceil();
+    if g < 1.0 {
+        1
+    } else {
+        g as u64
+    }
+}
+
+/// Samples `Binomial(n, p)` exactly via geometric gap-skipping.
+///
+/// Successive success positions are spaced by i.i.d. geometric gaps, so we
+/// count how many gaps fit in `n` trials. Expected running time is
+/// `O(n·min(p, 1-p) + 1)`; the `p > 1/2` case is mirrored.
+pub fn binomial(rng: &mut Xoshiro256pp, n: u64, p: f64) -> u64 {
+    debug_assert!((0.0..=1.0).contains(&p), "binomial p must be in [0, 1]");
+    if n == 0 || p <= 0.0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        return n;
+    }
+    if p > 0.5 {
+        return n - binomial(rng, n, 1.0 - p);
+    }
+    let mut successes = 0u64;
+    let mut position = 0u64;
+    loop {
+        let gap = geometric(rng, p);
+        position = position.saturating_add(gap);
+        if position > n {
+            return successes;
+        }
+        successes += 1;
+    }
+}
+
+/// Throws `d` balls independently and uniformly at random into `loads`,
+/// incrementing the hit bins. This is the paper's re-assignment step: the
+/// joint law is exactly `d` i.i.d. uniform bin choices (multinomial).
+#[inline]
+pub fn throw_uniform(rng: &mut Xoshiro256pp, loads: &mut [u32], d: usize) {
+    let n = loads.len();
+    debug_assert!(n > 0);
+    for _ in 0..d {
+        let b = rng.uniform_usize(n);
+        loads[b] += 1;
+    }
+}
+
+/// Throws `d` balls u.a.r. and records each destination in `dests` (cleared
+/// first). Used by the Lemma-3 coupling, which must *reuse* the original
+/// process's destination choices for the Tetris copy.
+pub fn throw_uniform_recording(
+    rng: &mut Xoshiro256pp,
+    loads: &mut [u32],
+    d: usize,
+    dests: &mut Vec<usize>,
+) {
+    dests.clear();
+    let n = loads.len();
+    for _ in 0..d {
+        let b = rng.uniform_usize(n);
+        loads[b] += 1;
+        dests.push(b);
+    }
+}
+
+/// Samples a uniformly random composition: `m` balls into `n` bins, each ball
+/// independent and uniform. Returns the load vector.
+pub fn random_assignment(rng: &mut Xoshiro256pp, n: usize, m: u64) -> Vec<u32> {
+    let mut loads = vec![0u32; n];
+    for _ in 0..m {
+        let b = rng.uniform_usize(n);
+        loads[b] += 1;
+    }
+    loads
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng(seed: u64) -> Xoshiro256pp {
+        Xoshiro256pp::seed_from(seed)
+    }
+
+    #[test]
+    fn geometric_mean_is_inverse_p() {
+        let mut r = rng(1);
+        let p = 0.2;
+        let n = 100_000;
+        let sum: u64 = (0..n).map(|_| geometric(&mut r, p)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn geometric_p_one_is_always_one() {
+        let mut r = rng(2);
+        for _ in 0..100 {
+            assert_eq!(geometric(&mut r, 1.0), 1);
+        }
+    }
+
+    #[test]
+    fn geometric_minimum_is_one() {
+        let mut r = rng(3);
+        assert!((0..10_000).all(|_| geometric(&mut r, 0.9) >= 1));
+    }
+
+    #[test]
+    fn binomial_edge_cases() {
+        let mut r = rng(4);
+        assert_eq!(binomial(&mut r, 0, 0.5), 0);
+        assert_eq!(binomial(&mut r, 100, 0.0), 0);
+        assert_eq!(binomial(&mut r, 100, 1.0), 100);
+    }
+
+    #[test]
+    fn binomial_never_exceeds_n() {
+        let mut r = rng(5);
+        for _ in 0..10_000 {
+            assert!(binomial(&mut r, 20, 0.7) <= 20);
+        }
+    }
+
+    #[test]
+    fn binomial_mean_and_variance_small_p() {
+        // This is the paper's workhorse law: B((3/4)n, 1/n) with mean 3/4.
+        let mut r = rng(6);
+        let n = 768u64; // (3/4) * 1024
+        let p = 1.0 / 1024.0;
+        let trials = 200_000;
+        let samples: Vec<u64> = (0..trials).map(|_| binomial(&mut r, n, p)).collect();
+        let mean = samples.iter().sum::<u64>() as f64 / trials as f64;
+        let var = samples
+            .iter()
+            .map(|&x| (x as f64 - mean).powi(2))
+            .sum::<f64>()
+            / trials as f64;
+        assert!((mean - 0.75).abs() < 0.01, "mean {mean}");
+        // Var = np(1-p) ≈ 0.7493
+        assert!((var - 0.7493).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn binomial_mean_large_p_uses_mirror() {
+        let mut r = rng(7);
+        let trials = 50_000;
+        let sum: u64 = (0..trials).map(|_| binomial(&mut r, 100, 0.9)).sum();
+        let mean = sum as f64 / trials as f64;
+        assert!((mean - 90.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn binomial_half_is_symmetric() {
+        let mut r = rng(8);
+        let trials = 100_000;
+        let sum: u64 = (0..trials).map(|_| binomial(&mut r, 10, 0.5)).sum();
+        let mean = sum as f64 / trials as f64;
+        assert!((mean - 5.0).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn throw_uniform_conserves_and_is_uniform() {
+        let mut r = rng(9);
+        let mut loads = vec![0u32; 10];
+        throw_uniform(&mut r, &mut loads, 100_000);
+        assert_eq!(loads.iter().map(|&x| x as u64).sum::<u64>(), 100_000);
+        for &l in &loads {
+            // Each bin expects 10_000, sd ≈ 95.
+            assert!((l as f64 - 10_000.0).abs() < 500.0, "load {l}");
+        }
+    }
+
+    #[test]
+    fn throw_recording_matches_loads() {
+        let mut r = rng(10);
+        let mut loads = vec![0u32; 8];
+        let mut dests = Vec::new();
+        throw_uniform_recording(&mut r, &mut loads, 50, &mut dests);
+        assert_eq!(dests.len(), 50);
+        let mut recount = vec![0u32; 8];
+        for &d in &dests {
+            recount[d] += 1;
+        }
+        assert_eq!(recount, loads);
+    }
+
+    #[test]
+    fn random_assignment_conserves_mass() {
+        let mut r = rng(11);
+        let loads = random_assignment(&mut r, 64, 64);
+        assert_eq!(loads.len(), 64);
+        assert_eq!(loads.iter().map(|&x| x as u64).sum::<u64>(), 64);
+    }
+
+    #[test]
+    fn random_assignment_zero_balls() {
+        let mut r = rng(12);
+        let loads = random_assignment(&mut r, 16, 0);
+        assert!(loads.iter().all(|&x| x == 0));
+    }
+}

@@ -1,0 +1,89 @@
+//! Queue-selection strategies.
+//!
+//! The paper's analysis is *oblivious* to how a non-empty bin chooses which
+//! enqueued ball to release ("random, FIFO, etc", Section 2, footnote 2):
+//! the load process is identical for every strategy because exactly one ball
+//! leaves each non-empty bin per round regardless of *which* ball it is.
+//! The choice matters only for per-ball quantities (progress, delay, cover
+//! time), which is why [`crate::ball_process::BallProcess`] is generic over
+//! this enum while [`crate::process::LoadProcess`] ignores it.
+
+use crate::rng::Xoshiro256pp;
+
+/// How a non-empty bin selects the ball it releases this round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueueStrategy {
+    /// First-in-first-out. The strategy the paper uses for the progress and
+    /// cover-time corollaries: under FIFO a ball waits at most the load it
+    /// observed on arrival.
+    Fifo,
+    /// Last-in-first-out (a stack). Worst case for individual-ball progress:
+    /// a ball buried under later arrivals can starve.
+    Lifo,
+    /// A uniformly random enqueued ball.
+    Random,
+}
+
+impl QueueStrategy {
+    /// All strategies, for sweep experiments.
+    pub const ALL: [QueueStrategy; 3] =
+        [QueueStrategy::Fifo, QueueStrategy::Lifo, QueueStrategy::Random];
+
+    /// Returns the index (into a queue of length `len ≥ 1`) of the ball to
+    /// release, where index 0 is the oldest ball.
+    #[inline]
+    pub fn pick(&self, len: usize, rng: &mut Xoshiro256pp) -> usize {
+        debug_assert!(len >= 1);
+        match self {
+            QueueStrategy::Fifo => 0,
+            QueueStrategy::Lifo => len - 1,
+            QueueStrategy::Random => rng.uniform_usize(len),
+        }
+    }
+
+    /// Human-readable label used in experiment tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            QueueStrategy::Fifo => "fifo",
+            QueueStrategy::Lifo => "lifo",
+            QueueStrategy::Random => "random",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_picks_front() {
+        let mut rng = Xoshiro256pp::seed_from(1);
+        assert_eq!(QueueStrategy::Fifo.pick(5, &mut rng), 0);
+        assert_eq!(QueueStrategy::Fifo.pick(1, &mut rng), 0);
+    }
+
+    #[test]
+    fn lifo_picks_back() {
+        let mut rng = Xoshiro256pp::seed_from(2);
+        assert_eq!(QueueStrategy::Lifo.pick(5, &mut rng), 4);
+        assert_eq!(QueueStrategy::Lifo.pick(1, &mut rng), 0);
+    }
+
+    #[test]
+    fn random_pick_in_bounds_and_covers() {
+        let mut rng = Xoshiro256pp::seed_from(3);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            let i = QueueStrategy::Random.pick(4, &mut rng);
+            assert!(i < 4);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: Vec<_> = QueueStrategy::ALL.iter().map(|s| s.label()).collect();
+        assert_eq!(labels, vec!["fifo", "lifo", "random"]);
+    }
+}

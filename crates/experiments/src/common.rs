@@ -1,0 +1,91 @@
+//! Shared experiment infrastructure: context, registry, and report helpers.
+
+use rbb_sim::{OutputSink, SeedTree};
+
+/// Everything an experiment needs to run.
+#[derive(Debug, Clone)]
+pub struct ExpContext {
+    /// Seed tree scoped to this experiment.
+    pub seeds: SeedTree,
+    /// Reduced sizes for smoke runs (`--quick`).
+    pub quick: bool,
+    /// Artifact sink (`results/<id>/`), possibly disabled.
+    pub sink: OutputSink,
+}
+
+impl ExpContext {
+    /// A context for unit tests: quick sizes, no artifacts, fixed seed.
+    pub fn for_tests(id: &str) -> Self {
+        Self {
+            seeds: SeedTree::new(0xC0FFEE).scope(id),
+            quick: true,
+            sink: OutputSink::disabled(),
+        }
+    }
+
+    /// Picks `full` or `quick` depending on the context.
+    pub fn pick<T>(&self, full: T, quick: T) -> T {
+        if self.quick {
+            quick
+        } else {
+            full
+        }
+    }
+}
+
+/// A registered experiment.
+pub struct Experiment {
+    /// Identifier, e.g. `"e01"`.
+    pub id: &'static str,
+    /// Short title for the listing.
+    pub title: &'static str,
+    /// The paper claim being reproduced.
+    pub claim: &'static str,
+    /// Entry point.
+    pub run: fn(&ExpContext),
+}
+
+/// Prints the standard experiment header.
+pub fn header(id: &str, title: &str, claim: &str) {
+    println!("\n=== {} — {} ===", id.to_uppercase(), title);
+    println!("claim: {claim}\n");
+}
+
+/// Formats an `Option<u64>` round count (None = cap exceeded).
+pub fn fmt_round(r: Option<u64>) -> String {
+    match r {
+        Some(t) => t.to_string(),
+        None => ">cap".to_string(),
+    }
+}
+
+/// Returns `v[i]` as f64 convenience for building CSV rows.
+pub fn f(x: impl Into<f64>) -> f64 {
+    x.into()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_context_is_quick_and_silent() {
+        let ctx = ExpContext::for_tests("e00");
+        assert!(ctx.quick);
+        assert!(!ctx.sink.enabled());
+        assert_eq!(ctx.pick(10, 2), 2);
+    }
+
+    #[test]
+    fn contexts_scope_seeds_by_id() {
+        let a = ExpContext::for_tests("e01");
+        let b = ExpContext::for_tests("e02");
+        assert_ne!(a.seeds.master(), b.seeds.master());
+    }
+
+    #[test]
+    fn fmt_round_variants() {
+        assert_eq!(fmt_round(Some(42)), "42");
+        assert_eq!(fmt_round(None), ">cap");
+    }
+}

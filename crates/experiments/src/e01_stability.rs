@@ -1,0 +1,161 @@
+//! E01 — Theorem 1(a): stability.
+//!
+//! Starting from a legitimate configuration (one ball per bin), the maximum
+//! load over a polynomially long window stays `O(log n)` w.h.p. We measure
+//! `max_{t ≤ T} M(t)` over `T = min(n², 200·n)` rounds across trials, report
+//! the normalized ratio to `ln n`, and fit `window max = a + b·ln n` — the
+//! paper predicts a good log fit with constant `b` (and `O(√t)`-free shape).
+
+use rbb_core::metrics::MaxLoadTracker;
+use rbb_core::process::LoadProcess;
+use rbb_core::config::{Config, LegitimacyThreshold};
+use rbb_sim::{fmt_f64, run_trials_seeded, Table};
+use rbb_stats::{log_fit, Summary};
+
+use crate::common::{header, ExpContext};
+
+/// One row of the E01 table.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct E01Row {
+    /// Number of bins/balls.
+    pub n: usize,
+    /// Window length in rounds.
+    pub window: u64,
+    /// Trials run.
+    pub trials: usize,
+    /// Mean over trials of the window max load.
+    pub mean_window_max: f64,
+    /// Worst window max over trials.
+    pub worst_window_max: u32,
+    /// `mean_window_max / ln n`.
+    pub ratio_to_ln_n: f64,
+    /// The legitimacy bound `⌈4 ln n⌉` used by the tracker.
+    pub legitimacy_bound: u32,
+    /// Trials whose window max exceeded the bound (should be 0).
+    pub violations: usize,
+}
+
+/// Computes the stability table.
+pub fn compute(ctx: &ExpContext, sizes: &[usize], trials: usize) -> Vec<E01Row> {
+    let thr = LegitimacyThreshold::default();
+    sizes
+        .iter()
+        .map(|&n| {
+            let window = (200 * n as u64).min((n as u64) * (n as u64));
+            let scope = ctx.seeds.scope(&format!("n{n}"));
+            let maxes: Vec<u32> = run_trials_seeded(scope, trials, |_i, seed| {
+                let mut p = LoadProcess::new(
+                    Config::one_per_bin(n),
+                    rbb_core::rng::Xoshiro256pp::seed_from(seed),
+                );
+                let mut t = MaxLoadTracker::new();
+                p.run(window, &mut t);
+                t.window_max()
+            });
+            let bound = thr.bound(n);
+            let s = Summary::from_iter(maxes.iter().map(|&m| m as f64));
+            E01Row {
+                n,
+                window,
+                trials,
+                mean_window_max: s.mean(),
+                worst_window_max: s.max() as u32,
+                ratio_to_ln_n: s.mean() / (n as f64).ln(),
+                legitimacy_bound: bound,
+                violations: maxes.iter().filter(|&&m| m > bound).count(),
+            }
+        })
+        .collect()
+}
+
+/// Runs and prints E01.
+pub fn run(ctx: &ExpContext) {
+    header(
+        "e01",
+        "stability of the maximum load (Theorem 1(a))",
+        "from a legitimate start, M(t) = O(log n) for all t in a poly(n) window, w.h.p.",
+    );
+    let sizes: Vec<usize> = ctx.pick(vec![256, 512, 1024, 2048, 4096, 8192], vec![128, 256]);
+    let trials = ctx.pick(10, 3);
+    let rows = compute(ctx, &sizes, trials);
+
+    let mut table = Table::new([
+        "n",
+        "window",
+        "trials",
+        "mean window max",
+        "worst",
+        "mean/ln n",
+        "4 ln n bound",
+        "violations",
+    ]);
+    for r in &rows {
+        table.row([
+            r.n.to_string(),
+            r.window.to_string(),
+            r.trials.to_string(),
+            fmt_f64(r.mean_window_max, 2),
+            r.worst_window_max.to_string(),
+            fmt_f64(r.ratio_to_ln_n, 3),
+            r.legitimacy_bound.to_string(),
+            r.violations.to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+
+    if rows.len() >= 3 {
+        let xs: Vec<f64> = rows.iter().map(|r| r.n as f64).collect();
+        let ys: Vec<f64> = rows.iter().map(|r| r.mean_window_max).collect();
+        let fit = log_fit(&xs, &ys);
+        println!(
+            "\nlog fit: window max ≈ {} + {}·ln n   (R² = {})",
+            fmt_f64(fit.intercept, 2),
+            fmt_f64(fit.slope, 2),
+            fmt_f64(fit.r_squared, 4)
+        );
+        println!("paper: O(log n) ⇒ slope is a constant; any n^ε or √window growth would break the fit.");
+    }
+    let _ = ctx.sink.write_json("rows", &rows);
+    let _ = ctx.sink.write_text(
+        "table",
+        &{
+            let mut s = String::new();
+            for r in &rows {
+                s.push_str(&format!("{:?}\n", r));
+            }
+            s
+        },
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_compute_is_stable() {
+        let ctx = ExpContext::for_tests("e01");
+        let rows = compute(&ctx, &[128, 256], 3);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert_eq!(r.violations, 0, "stability violated at n={}", r.n);
+            assert!(r.mean_window_max >= 1.0);
+            assert!(r.ratio_to_ln_n < 4.0, "ratio {}", r.ratio_to_ln_n);
+        }
+    }
+
+    #[test]
+    fn window_is_capped_by_n_squared() {
+        let ctx = ExpContext::for_tests("e01");
+        let rows = compute(&ctx, &[16], 1);
+        assert_eq!(rows[0].window, 256);
+    }
+
+    #[test]
+    fn deterministic() {
+        let ctx = ExpContext::for_tests("e01");
+        let a = compute(&ctx, &[64], 2);
+        let b = compute(&ctx, &[64], 2);
+        assert_eq!(a[0].mean_window_max, b[0].mean_window_max);
+    }
+}

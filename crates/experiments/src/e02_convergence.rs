@@ -1,0 +1,193 @@
+//! E02 — Theorem 1(b): O(n) convergence from any configuration.
+//!
+//! From worst-case starts (all balls in one bin, packed-in-√n-bins,
+//! geometric cascade) we measure the first round at which the configuration
+//! is legitimate (`M ≤ 4 ln n`), sweep `n`, and fit `rounds = a + b·n`. The
+//! paper predicts linear convergence; the all-in-one start gives the natural
+//! lower bound `n − O(log n)` since the pile drains one ball per round, so
+//! the fitted slope should be ≈ 1 with R² ≈ 1.
+
+use rbb_core::config::{Config, LegitimacyThreshold};
+use rbb_core::process::LoadProcess;
+use rbb_core::rng::Xoshiro256pp;
+use rbb_sim::{fmt_f64, run_trials_seeded, Table};
+use rbb_stats::{linear_fit, Summary};
+
+use crate::common::{header, ExpContext};
+
+/// Initial-configuration families for the convergence sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StartKind {
+    /// All `n` balls in bin 0.
+    AllInOne,
+    /// Balls packed evenly into `⌈√n⌉` bins.
+    PackedSqrt,
+    /// Geometric cascade (half the balls in bin 0, a quarter in bin 1, …).
+    Geometric,
+}
+
+impl StartKind {
+    /// All families.
+    pub const ALL: [StartKind; 3] = [
+        StartKind::AllInOne,
+        StartKind::PackedSqrt,
+        StartKind::Geometric,
+    ];
+
+    /// Builds the configuration.
+    pub fn build(&self, n: usize) -> Config {
+        match self {
+            StartKind::AllInOne => Config::all_in_one(n, n as u32),
+            StartKind::PackedSqrt => {
+                Config::packed(n, n as u32, (n as f64).sqrt().ceil() as usize)
+            }
+            StartKind::Geometric => Config::geometric_cascade(n, n as u32),
+        }
+    }
+
+    /// Table label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StartKind::AllInOne => "all-in-one",
+            StartKind::PackedSqrt => "packed-sqrt",
+            StartKind::Geometric => "geometric",
+        }
+    }
+}
+
+/// One row of the E02 table.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct E02Row {
+    /// Number of bins/balls.
+    pub n: usize,
+    /// Start family label.
+    pub start: String,
+    /// Mean convergence round over trials.
+    pub mean_rounds: f64,
+    /// Worst convergence round.
+    pub max_rounds: u64,
+    /// `mean_rounds / n` — should be ≤ a small constant.
+    pub rounds_over_n: f64,
+    /// Trials that failed to converge within the 20n cap (expected 0).
+    pub timeouts: usize,
+}
+
+/// Computes the convergence table.
+pub fn compute(
+    ctx: &ExpContext,
+    sizes: &[usize],
+    starts: &[StartKind],
+    trials: usize,
+) -> Vec<E02Row> {
+    let thr = LegitimacyThreshold::default();
+    let mut rows = Vec::new();
+    for &start in starts {
+        for &n in sizes {
+            let scope = ctx.seeds.scope(&format!("{}-n{n}", start.label()));
+            let results: Vec<Option<u64>> = run_trials_seeded(scope, trials, |_i, seed| {
+                let mut p = LoadProcess::new(start.build(n), Xoshiro256pp::seed_from(seed));
+                p.run_until(20 * n as u64, |c| thr.is_legitimate(c))
+            });
+            let ok: Vec<f64> = results.iter().flatten().map(|&t| t as f64).collect();
+            let timeouts = results.iter().filter(|r| r.is_none()).count();
+            let s = Summary::from_slice(&ok);
+            rows.push(E02Row {
+                n,
+                start: start.label().to_string(),
+                mean_rounds: s.mean(),
+                max_rounds: if ok.is_empty() { 0 } else { s.max() as u64 },
+                rounds_over_n: s.mean() / n as f64,
+                timeouts,
+            });
+        }
+    }
+    rows
+}
+
+/// Runs and prints E02.
+pub fn run(ctx: &ExpContext) {
+    header(
+        "e02",
+        "linear-time convergence (Theorem 1(b))",
+        "from ANY configuration, a legitimate configuration is reached within O(n) rounds w.h.p.",
+    );
+    let sizes: Vec<usize> = ctx.pick(
+        vec![256, 512, 1024, 2048, 4096, 8192, 16384],
+        vec![128, 256, 512],
+    );
+    let trials = ctx.pick(20, 3);
+    let rows = compute(ctx, &sizes, &StartKind::ALL, trials);
+
+    let mut table = Table::new(["start", "n", "mean rounds", "worst", "rounds/n", "timeouts"]);
+    for r in &rows {
+        table.row([
+            r.start.clone(),
+            r.n.to_string(),
+            fmt_f64(r.mean_rounds, 1),
+            r.max_rounds.to_string(),
+            fmt_f64(r.rounds_over_n, 3),
+            r.timeouts.to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+
+    // Linear fit on the worst start family.
+    let aio: Vec<&E02Row> = rows.iter().filter(|r| r.start == "all-in-one").collect();
+    if aio.len() >= 3 {
+        let xs: Vec<f64> = aio.iter().map(|r| r.n as f64).collect();
+        let ys: Vec<f64> = aio.iter().map(|r| r.mean_rounds).collect();
+        let fit = linear_fit(&xs, &ys);
+        println!(
+            "\nlinear fit (all-in-one): rounds ≈ {} + {}·n   (R² = {})",
+            fmt_f64(fit.intercept, 1),
+            fmt_f64(fit.slope, 3),
+            fmt_f64(fit.r_squared, 5)
+        );
+        println!("paper: O(n) convergence; the drain lower bound forces slope ≥ 1 − o(1).");
+    }
+    let _ = ctx.sink.write_json("rows", &rows);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_starts_converge_quickly() {
+        let ctx = ExpContext::for_tests("e02");
+        let rows = compute(&ctx, &[128, 256], &StartKind::ALL, 3);
+        for r in &rows {
+            assert_eq!(r.timeouts, 0, "{} n={} timed out", r.start, r.n);
+            assert!(r.rounds_over_n < 3.0, "{} n={}: {}", r.start, r.n, r.rounds_over_n);
+        }
+    }
+
+    #[test]
+    fn all_in_one_is_slowest_family() {
+        let ctx = ExpContext::for_tests("e02");
+        let rows = compute(&ctx, &[256], &StartKind::ALL, 3);
+        let get = |label: &str| {
+            rows.iter()
+                .find(|r| r.start == label)
+                .map(|r| r.mean_rounds)
+                .unwrap()
+        };
+        assert!(get("all-in-one") >= get("geometric"));
+    }
+
+    #[test]
+    fn start_kinds_build_valid_configs() {
+        for k in StartKind::ALL {
+            let c = k.build(100);
+            assert_eq!(c.total_balls(), 100, "{}", k.label());
+        }
+    }
+
+    #[test]
+    fn all_in_one_needs_nearly_n_rounds() {
+        let ctx = ExpContext::for_tests("e02");
+        let rows = compute(&ctx, &[256], &[StartKind::AllInOne], 3);
+        // Drain lower bound: at least n - 4 ln n rounds.
+        assert!(rows[0].mean_rounds >= 256.0 - 4.0 * 256f64.ln() - 1.0);
+    }
+}

@@ -1,0 +1,149 @@
+//! E08 — Corollary 1: parallel cover time O(n log² n).
+//!
+//! Multi-token traversal on the clique under FIFO: the parallel cover time
+//! (every token visits every node) is `O(n log² n)` w.h.p., a single log
+//! factor above the single-token baseline `O(n log n)`. We sweep `n`,
+//! measure both, fit the power law, and report the ratio
+//! `parallel / (n ln² n)` which should be flat in `n`.
+
+use rbb_core::strategy::QueueStrategy;
+use rbb_sim::{fmt_f64, run_trials_seeded, Table};
+use rbb_stats::{power_fit, Summary};
+use rbb_traversal::{single_token_cover_time, Traversal};
+
+use crate::common::{header, ExpContext};
+
+/// One row of the E08 table.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct E08Row {
+    /// Number of nodes/tokens.
+    pub n: usize,
+    /// Trials.
+    pub trials: usize,
+    /// Mean parallel cover time.
+    pub mean_parallel: f64,
+    /// Worst parallel cover time.
+    pub worst_parallel: u64,
+    /// Mean single-token cover time.
+    pub mean_single: f64,
+    /// `mean_parallel / (n ln² n)` — Corollary 1 predicts a flat constant.
+    pub parallel_over_nlog2n: f64,
+    /// `mean_parallel / mean_single` — predicted Θ(log n).
+    pub slowdown_vs_single: f64,
+}
+
+/// Computes the cover-time table.
+pub fn compute(ctx: &ExpContext, sizes: &[usize], trials: usize) -> Vec<E08Row> {
+    sizes
+        .iter()
+        .map(|&n| {
+            let nf = n as f64;
+            let cap = (200.0 * nf * nf.ln().powi(2)) as u64;
+            let scope = ctx.seeds.scope(&format!("n{n}"));
+            let parallel: Vec<u64> = run_trials_seeded(scope, trials, |_i, seed| {
+                let mut t = Traversal::new(n, QueueStrategy::Fifo, seed);
+                t.run_to_cover(cap).expect("cover within generous cap")
+            });
+            let single_scope = ctx.seeds.scope(&format!("single-n{n}"));
+            let single: Vec<u64> = run_trials_seeded(single_scope, trials, |_i, seed| {
+                single_token_cover_time(n, seed, cap).expect("single token covers")
+            });
+            let p = Summary::from_iter(parallel.iter().map(|&x| x as f64));
+            let s = Summary::from_iter(single.iter().map(|&x| x as f64));
+            E08Row {
+                n,
+                trials,
+                mean_parallel: p.mean(),
+                worst_parallel: p.max() as u64,
+                mean_single: s.mean(),
+                parallel_over_nlog2n: p.mean() / (nf * nf.ln() * nf.ln()),
+                slowdown_vs_single: p.mean() / s.mean(),
+            }
+        })
+        .collect()
+}
+
+/// Runs and prints E08.
+pub fn run(ctx: &ExpContext) {
+    header(
+        "e08",
+        "parallel cover time of multi-token traversal (Corollary 1)",
+        "the n-token random-walk protocol on the clique covers in O(n log² n) rounds w.h.p.",
+    );
+    let sizes: Vec<usize> = ctx.pick(vec![128, 256, 512, 1024, 2048], vec![64, 128]);
+    let trials = ctx.pick(10, 3);
+    let rows = compute(ctx, &sizes, trials);
+
+    let mut table = Table::new([
+        "n",
+        "trials",
+        "mean parallel cover",
+        "worst",
+        "mean single cover",
+        "parallel/(n ln^2 n)",
+        "slowdown (par/single)",
+    ]);
+    for r in &rows {
+        table.row([
+            r.n.to_string(),
+            r.trials.to_string(),
+            fmt_f64(r.mean_parallel, 0),
+            r.worst_parallel.to_string(),
+            fmt_f64(r.mean_single, 0),
+            fmt_f64(r.parallel_over_nlog2n, 3),
+            fmt_f64(r.slowdown_vs_single, 2),
+        ]);
+    }
+    print!("{}", table.render());
+
+    if rows.len() >= 3 {
+        let xs: Vec<f64> = rows.iter().map(|r| r.n as f64).collect();
+        let ys: Vec<f64> = rows.iter().map(|r| r.mean_parallel).collect();
+        let fit = power_fit(&xs, &ys);
+        println!(
+            "\npower fit: parallel cover ≈ {}·n^{}   (R² = {})",
+            fmt_f64(fit.coeff, 3),
+            fmt_f64(fit.exponent, 3),
+            fmt_f64(fit.r_squared, 4)
+        );
+        println!(
+            "paper: n log² n has local log-log slope 1 + 2/ln n ≈ {} over this range; \
+             the flat parallel/(n ln² n) column is the sharper check.",
+            fmt_f64(1.0 + 2.0 / (rows[rows.len() / 2].n as f64).ln(), 3)
+        );
+    }
+    let _ = ctx.sink.write_json("rows", &rows);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_and_ratio_is_order_one() {
+        let ctx = ExpContext::for_tests("e08");
+        let rows = compute(&ctx, &[64, 128], 3);
+        for r in &rows {
+            assert!(r.mean_parallel > 0.0);
+            assert!(
+                r.parallel_over_nlog2n > 0.1 && r.parallel_over_nlog2n < 3.0,
+                "n={}: ratio {}",
+                r.n,
+                r.parallel_over_nlog2n
+            );
+            assert!(r.slowdown_vs_single > 1.0, "parallel must be slower");
+        }
+    }
+
+    #[test]
+    fn slowdown_grows_with_n() {
+        let ctx = ExpContext::for_tests("e08");
+        let rows = compute(&ctx, &[32, 256], 3);
+        assert!(
+            rows[1].slowdown_vs_single > rows[0].slowdown_vs_single * 0.9,
+            "slowdown should trend up: {} vs {}",
+            rows[0].slowdown_vs_single,
+            rows[1].slowdown_vs_single
+        );
+    }
+}

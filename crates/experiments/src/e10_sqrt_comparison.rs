@@ -1,0 +1,138 @@
+//! E10 — the trajectory `M(t)` vs the prior `O(√t)` bound of \[12\].
+//!
+//! Before this paper, the best known bound for the maximum load after `t`
+//! rounds grew like `√t`. Theorem 1 replaces it with a flat `O(log n)`.
+//! We record the trajectory over a long window and report, at
+//! logarithmically spaced checkpoints, the measured `M(t)`, the `√t` curve,
+//! and the `4 ln n` line — the measured series should hug the log line while
+//! the `√t` curve diverges.
+
+use rbb_core::metrics::TrajectoryRecorder;
+use rbb_core::process::LoadProcess;
+use rbb_baselines::SqrtBound;
+use rbb_sim::{fmt_f64, Table};
+
+use crate::common::{header, ExpContext};
+
+/// One checkpoint row of E10.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct E10Row {
+    /// Checkpoint round.
+    pub t: u64,
+    /// Measured max load at (approximately) round `t`.
+    pub measured: u32,
+    /// The `m0 + √t` curve value.
+    pub sqrt_bound: f64,
+    /// The `4 ln n` line.
+    pub log_line: f64,
+}
+
+/// Computes the trajectory comparison for one `n`.
+pub fn compute(ctx: &ExpContext, n: usize, window: u64) -> Vec<E10Row> {
+    let stride = (window / 2000).max(1);
+    let mut p = LoadProcess::legitimate_start(n, ctx.seeds.scope(&format!("n{n}")).master());
+    let mut rec = TrajectoryRecorder::with_stride(stride);
+    p.run(window, &mut rec);
+    let bound = SqrtBound::unit(1.0);
+    let log_line = 4.0 * (n as f64).ln();
+
+    // Logarithmically spaced checkpoints.
+    let mut checkpoints = Vec::new();
+    let mut t = 16u64;
+    while t <= window {
+        checkpoints.push(t);
+        t *= 2;
+    }
+    let mut rows: Vec<E10Row> = checkpoints
+        .into_iter()
+        .map(|t| {
+            let pt = rec
+                .points()
+                .iter()
+                .min_by_key(|p| p.round.abs_diff(t))
+                .expect("recorder has points");
+            E10Row {
+                t: pt.round,
+                measured: pt.max_load,
+                sqrt_bound: bound.at(pt.round),
+                log_line,
+            }
+        })
+        .collect();
+    // Coarse recording strides can snap several checkpoints to the same
+    // recorded round; keep each round once.
+    rows.dedup_by_key(|r| r.t);
+    rows
+}
+
+/// Runs and prints E10.
+pub fn run(ctx: &ExpContext) {
+    header(
+        "e10",
+        "M(t) trajectory vs the prior O(√t) bound of [12]",
+        "the measured max load stays at the O(log n) level while the pre-existing √t bound diverges",
+    );
+    let n = ctx.pick(1024, 256);
+    let window = ctx.pick(1_000_000u64, 20_000);
+    let rows = compute(ctx, n, window);
+
+    println!("n = {n}, window = {window} rounds\n");
+    let mut table = Table::new(["t", "measured M(t)", "1 + sqrt(t)  [12]", "4 ln n  [this paper]"]);
+    for r in &rows {
+        table.row([
+            r.t.to_string(),
+            r.measured.to_string(),
+            fmt_f64(r.sqrt_bound, 1),
+            fmt_f64(r.log_line, 1),
+        ]);
+    }
+    print!("{}", table.render());
+
+    let crossover = SqrtBound::unit(1.0).crossover(4.0 * (n as f64).ln());
+    println!(
+        "\ncrossover: the √t curve exceeds the 4 ln n line from t ≈ {crossover}; \
+         beyond it the paper's bound is strictly sharper."
+    );
+    let _ = ctx.sink.write_json("rows", &rows);
+    let _ = ctx.sink.write_csv(
+        "series",
+        &["t", "measured", "sqrt_bound", "log_line"],
+        &rows
+            .iter()
+            .map(|r| vec![r.t as f64, r.measured as f64, r.sqrt_bound, r.log_line])
+            .collect::<Vec<_>>(),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_stays_below_log_line_and_sqrt_eventually_dominates() {
+        let ctx = ExpContext::for_tests("e10");
+        let rows = compute(&ctx, 256, 20_000);
+        assert!(!rows.is_empty());
+        for r in &rows {
+            assert!(
+                (r.measured as f64) <= r.log_line,
+                "t={}: M={} above log line {}",
+                r.t,
+                r.measured,
+                r.log_line
+            );
+        }
+        // At the last checkpoint the sqrt curve is far above the measurement.
+        let last = rows.last().unwrap();
+        assert!(last.sqrt_bound > 4.0 * last.measured as f64);
+    }
+
+    #[test]
+    fn checkpoints_are_increasing() {
+        let ctx = ExpContext::for_tests("e10");
+        let rows = compute(&ctx, 128, 10_000);
+        for w in rows.windows(2) {
+            assert!(w[1].t > w[0].t);
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! E15 — batched Tetris / "leaky bins" (\[18\], Berenbrink et al., PODC 2016).
+//!
+//! The follow-up to this paper's Tetris device: the number of new balls per
+//! round is random, `Binomial(n, λ)`. For `λ < 1` the process is stable with
+//! load growing as `λ → 1`; `λ = 3/4` matches the paper's deterministic
+//! (3/4)n in expectation; `λ = 1` is critical. We sweep λ and report window
+//! max and mean total load.
+
+use rbb_core::config::Config;
+use rbb_core::metrics::MaxLoadTracker;
+use rbb_core::rng::Xoshiro256pp;
+use rbb_core::tetris::BatchedTetris;
+use rbb_sim::{fmt_f64, run_trials_seeded, Table};
+use rbb_stats::Summary;
+
+use crate::common::{header, ExpContext};
+
+/// One row of the E15 table.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct E15Row {
+    /// Arrival rate λ.
+    pub lambda: f64,
+    /// Number of bins.
+    pub n: usize,
+    /// Mean window max load.
+    pub mean_window_max: f64,
+    /// Mean end-of-window total load (balls in system).
+    pub mean_total_load: f64,
+    /// `mean_window_max / ln n`.
+    pub ratio_to_ln_n: f64,
+}
+
+/// Computes the λ sweep.
+pub fn compute(ctx: &ExpContext, n: usize, lambdas: &[f64], trials: usize) -> Vec<E15Row> {
+    lambdas
+        .iter()
+        .map(|&lambda| {
+            let window = 200 * n as u64;
+            let scope = ctx.seeds.scope(&format!("l{}-n{n}", (lambda * 100.0) as u32));
+            let results: Vec<(u32, u64)> = run_trials_seeded(scope, trials, |_i, seed| {
+                let mut p = BatchedTetris::new(
+                    Config::one_per_bin(n),
+                    lambda,
+                    Xoshiro256pp::seed_from(seed),
+                );
+                let mut t = MaxLoadTracker::new();
+                p.run(window, &mut t);
+                (t.window_max(), p.config().total_balls())
+            });
+            let maxes = Summary::from_iter(results.iter().map(|r| r.0 as f64));
+            let totals = Summary::from_iter(results.iter().map(|r| r.1 as f64));
+            E15Row {
+                lambda,
+                n,
+                mean_window_max: maxes.mean(),
+                mean_total_load: totals.mean(),
+                ratio_to_ln_n: maxes.mean() / (n as f64).ln(),
+            }
+        })
+        .collect()
+}
+
+/// Runs and prints E15.
+pub fn run(ctx: &ExpContext) {
+    header(
+        "e15",
+        "batched Tetris / leaky bins ([18])",
+        "Binomial(n, λ) arrivals: stable with O(log n)-ish max load for λ < 1, load grows as λ → 1",
+    );
+    let n = ctx.pick(1024, 256);
+    let lambdas = [0.5, 0.75, 0.9, 0.95, 1.0];
+    let trials = ctx.pick(10, 3);
+    let rows = compute(ctx, n, &lambdas, trials);
+
+    println!("n = {n}\n");
+    let mut table = Table::new([
+        "lambda",
+        "mean window max",
+        "mean/ln n",
+        "mean total load at end",
+    ]);
+    for r in &rows {
+        table.row([
+            fmt_f64(r.lambda, 2),
+            fmt_f64(r.mean_window_max, 2),
+            fmt_f64(r.ratio_to_ln_n, 3),
+            fmt_f64(r.mean_total_load, 0),
+        ]);
+    }
+    print!("{}", table.render());
+    println!(
+        "\nλ = 0.75 reproduces the paper's Tetris scale (compare E07); \
+         λ = 1 is critical — total load performs an unbiased random walk and spreads."
+    );
+    let _ = ctx.sink.write_json("rows", &rows);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_load_monotone_in_lambda() {
+        let ctx = ExpContext::for_tests("e15");
+        let rows = compute(&ctx, 256, &[0.5, 0.9], 3);
+        assert!(rows[1].mean_window_max > rows[0].mean_window_max);
+    }
+
+    #[test]
+    fn subcritical_is_logarithmic() {
+        let ctx = ExpContext::for_tests("e15");
+        let rows = compute(&ctx, 256, &[0.75], 3);
+        assert!(rows[0].ratio_to_ln_n < 6.5, "ratio {}", rows[0].ratio_to_ln_n);
+    }
+
+    #[test]
+    fn equilibrium_total_load_scales_with_lambda() {
+        let ctx = ExpContext::for_tests("e15");
+        let rows = compute(&ctx, 256, &[0.5, 0.75], 3);
+        // Busy fraction solves b = 1 - e^{-λ(…)}: higher λ keeps more balls.
+        assert!(rows[1].mean_total_load > rows[0].mean_total_load);
+    }
+}

@@ -1,0 +1,124 @@
+//! E19 — the closed Jackson network comparator (\[30\]).
+//!
+//! The sequential continuous-time cousin of the paper's process: exponential
+//! unit-rate servers, uniform routing, `n` customers on `n` stations. Its
+//! stationary law is product-form (classical queueing theory); the paper's
+//! parallel chain is not. We compare stationary max-load statistics —
+//! both sit at the `Θ(log)` scale, showing the parallel correlation does not
+//! change the order of congestion, only the analysis difficulty.
+
+use rbb_baselines::JacksonNetwork;
+use rbb_core::metrics::MaxLoadTracker;
+use rbb_core::process::LoadProcess;
+use rbb_sim::{fmt_f64, run_trials_seeded, Table};
+use rbb_stats::Summary;
+
+use crate::common::{header, ExpContext};
+
+/// One row of the E19 table.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct E19Row {
+    /// Number of stations/customers.
+    pub n: usize,
+    /// Jackson: event-averaged mean max load at stationarity.
+    pub jackson_mean_max: f64,
+    /// Jackson: 95th percentile of the max load.
+    pub jackson_p95_max: usize,
+    /// Repeated process: mean per-round max at equilibrium.
+    pub repeated_mean_max: f64,
+    /// Ratio repeated/jackson.
+    pub ratio: f64,
+}
+
+/// Computes the Jackson comparison.
+pub fn compute(ctx: &ExpContext, sizes: &[usize], trials: usize) -> Vec<E19Row> {
+    sizes
+        .iter()
+        .map(|&n| {
+            let scope = ctx.seeds.scope(&format!("jackson-n{n}"));
+            let jackson: Vec<(f64, usize)> = run_trials_seeded(scope, trials, |_i, seed| {
+                let mut j = JacksonNetwork::legitimate_start(n, seed);
+                for _ in 0..(20 * n as u64) {
+                    j.step(); // burn-in
+                }
+                let hist = j.run_events(100 * n as u64);
+                (hist.mean(), hist.quantile(0.95).unwrap_or(0))
+            });
+            let scope = ctx.seeds.scope(&format!("repeated-n{n}"));
+            let repeated: Vec<f64> = run_trials_seeded(scope, trials, |_i, seed| {
+                let mut p = LoadProcess::legitimate_start(n, seed);
+                p.run_silent(4 * n as u64);
+                let mut t = MaxLoadTracker::new();
+                p.run(100 * n as u64, &mut t);
+                t.mean_round_max()
+            });
+            let jm = Summary::from_iter(jackson.iter().map(|j| j.0)).mean();
+            let jp95 = jackson.iter().map(|j| j.1).max().unwrap_or(0);
+            let rm = Summary::from_slice(&repeated).mean();
+            E19Row {
+                n,
+                jackson_mean_max: jm,
+                jackson_p95_max: jp95,
+                repeated_mean_max: rm,
+                ratio: rm / jm,
+            }
+        })
+        .collect()
+}
+
+/// Runs and prints E19.
+pub fn run(ctx: &ExpContext) {
+    header(
+        "e19",
+        "closed Jackson network vs the parallel process ([30])",
+        "the sequential product-form model has the same Θ(log)-scale max load; the delta is analytic, not quantitative",
+    );
+    let sizes: Vec<usize> = ctx.pick(vec![256, 1024, 4096], vec![128, 256]);
+    let trials = ctx.pick(5, 2);
+    let rows = compute(ctx, &sizes, trials);
+
+    let mut table = Table::new([
+        "n",
+        "jackson mean max",
+        "jackson p95 max",
+        "repeated mean round max",
+        "repeated/jackson",
+    ]);
+    for r in &rows {
+        table.row([
+            r.n.to_string(),
+            fmt_f64(r.jackson_mean_max, 2),
+            r.jackson_p95_max.to_string(),
+            fmt_f64(r.repeated_mean_max, 2),
+            fmt_f64(r.ratio, 2),
+        ]);
+    }
+    print!("{}", table.render());
+    println!(
+        "\nboth models keep max load at the Θ(log n / log log n)-to-Θ(log n) scale; \
+         the paper's difficulty is the *parallel* chain's non-product-form stationary law."
+    );
+    let _ = ctx.sink.write_json("rows", &rows);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_order_of_magnitude() {
+        let ctx = ExpContext::for_tests("e19");
+        let rows = compute(&ctx, &[128], 2);
+        let r = &rows[0];
+        assert!(r.ratio > 0.4 && r.ratio < 2.5, "ratio {}", r.ratio);
+    }
+
+    #[test]
+    fn jackson_max_is_logarithmic() {
+        let ctx = ExpContext::for_tests("e19");
+        let rows = compute(&ctx, &[256], 2);
+        let bound = 4.0 * 256f64.ln();
+        assert!(rows[0].jackson_mean_max < bound);
+        assert!(rows[0].jackson_mean_max >= 1.0);
+    }
+}

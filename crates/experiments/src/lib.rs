@@ -1,0 +1,208 @@
+//! # rbb-experiments — the paper's quantitative claims as experiments
+//!
+//! The paper (SPAA 2015 / Distributed Computing 2019) is purely analytical —
+//! it has no numbered tables or figures — so the reproduction target is its
+//! complete set of quantitative claims. Each module `eNN_*` is one
+//! experiment; see DESIGN.md §4 for the index and EXPERIMENTS.md for
+//! paper-vs-measured records. Run them via the `rbb-exp` binary:
+//!
+//! ```text
+//! cargo run -p rbb-experiments --release -- all          # everything
+//! cargo run -p rbb-experiments --release -- e01 e04      # a subset
+//! cargo run -p rbb-experiments --release -- --quick all  # smoke sizes
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod e01_stability;
+pub mod e02_convergence;
+pub mod e03_empty_bins;
+pub mod e04_coupling;
+pub mod e05_tetris_drain;
+pub mod e06_absorption;
+pub mod e07_tetris_load;
+pub mod e08_cover_time;
+pub mod e09_adversarial;
+pub mod e10_sqrt_comparison;
+pub mod e11_appendix_b;
+pub mod e12_more_balls;
+pub mod e13_graphs;
+pub mod e14_dchoice;
+pub mod e15_batched_tetris;
+pub mod e16_strategies;
+pub mod e17_progress;
+pub mod e18_oneshot;
+pub mod e19_jackson;
+pub mod e20_phases;
+pub mod e21_mixing;
+pub mod e22_arrival_correlation;
+pub mod e23_graph_cover;
+pub mod e24_window_scaling;
+
+use common::Experiment;
+
+/// The full experiment registry, in id order.
+pub fn registry() -> Vec<Experiment> {
+    vec![
+        Experiment {
+            id: "e01",
+            title: "stability of the maximum load",
+            claim: "Theorem 1(a): M(t) = O(log n) over poly windows",
+            run: e01_stability::run,
+        },
+        Experiment {
+            id: "e02",
+            title: "linear-time convergence",
+            claim: "Theorem 1(b): legitimate within O(n) rounds from anywhere",
+            run: e02_convergence::run,
+        },
+        Experiment {
+            id: "e03",
+            title: "empty bins stay above n/4",
+            claim: "Lemmas 1-2",
+            run: e03_empty_bins::run,
+        },
+        Experiment {
+            id: "e04",
+            title: "Tetris coupling dominates",
+            claim: "Lemma 3",
+            run: e04_coupling::run,
+        },
+        Experiment {
+            id: "e05",
+            title: "Tetris drains every bin within 5n rounds",
+            claim: "Lemma 4",
+            run: e05_tetris_drain::run,
+        },
+        Experiment {
+            id: "e06",
+            title: "drift-chain absorption tail",
+            claim: "Lemma 5: P_k(tau > t) <= e^{-t/144} for t >= 8k",
+            run: e06_absorption::run,
+        },
+        Experiment {
+            id: "e07",
+            title: "Tetris max load over poly windows",
+            claim: "Lemma 6",
+            run: e07_tetris_load::run,
+        },
+        Experiment {
+            id: "e08",
+            title: "parallel cover time",
+            claim: "Corollary 1: O(n log^2 n)",
+            run: e08_cover_time::run,
+        },
+        Experiment {
+            id: "e09",
+            title: "cover time under adversarial faults",
+            claim: "Section 4.1: constant-factor slowdown for gamma >= 6",
+            run: e09_adversarial::run,
+        },
+        Experiment {
+            id: "e10",
+            title: "M(t) vs the prior O(sqrt t) bound",
+            claim: "improvement over [12]",
+            run: e10_sqrt_comparison::run,
+        },
+        Experiment {
+            id: "e11",
+            title: "negative-association counterexample",
+            claim: "Appendix B: 1/8 > 3/32",
+            run: e11_appendix_b::run,
+        },
+        Experiment {
+            id: "e12",
+            title: "more balls than bins",
+            claim: "Section 5 open question: m up to n log n",
+            run: e12_more_balls::run,
+        },
+        Experiment {
+            id: "e13",
+            title: "general graph topologies",
+            claim: "Section 5 open question: regular graphs",
+            run: e13_graphs::run,
+        },
+        Experiment {
+            id: "e14",
+            title: "repeated d-choice variant",
+            claim: "reference [36]",
+            run: e14_dchoice::run,
+        },
+        Experiment {
+            id: "e15",
+            title: "batched Tetris / leaky bins",
+            claim: "reference [18]",
+            run: e15_batched_tetris::run,
+        },
+        Experiment {
+            id: "e16",
+            title: "queue-strategy obliviousness",
+            claim: "Section 2, footnote 2",
+            run: e16_strategies::run,
+        },
+        Experiment {
+            id: "e17",
+            title: "per-token progress under FIFO",
+            claim: "Section 4: Omega(t/log n)",
+            run: e17_progress::run,
+        },
+        Experiment {
+            id: "e18",
+            title: "one-shot baseline comparison",
+            claim: "Section 5 tightness discussion",
+            run: e18_oneshot::run,
+        },
+        Experiment {
+            id: "e19",
+            title: "closed Jackson network comparator",
+            claim: "related work [30]",
+            run: e19_jackson::run,
+        },
+        Experiment {
+            id: "e20",
+            title: "busy-period phase structure",
+            claim: "Lemma 6 proof device: short phases, small openings",
+            run: e20_phases::run,
+        },
+        Experiment {
+            id: "e21",
+            title: "mixing of the configuration chain",
+            claim: "non-reversible chain forgets its start (exact small-n TV + at-scale check)",
+            run: e21_mixing::run,
+        },
+        Experiment {
+            id: "e22",
+            title: "arrival correlation at scale",
+            claim: "Appendix B generalized: positive association at every n",
+            run: e22_arrival_correlation::run,
+        },
+        Experiment {
+            id: "e23",
+            title: "multi-token traversal beyond the clique",
+            claim: "extension of Corollary 1 to the open-question topologies",
+            run: e23_graph_cover::run,
+        },
+        Experiment {
+            id: "e24",
+            title: "window-length scaling of the max load",
+            claim: "Theorem 1(a)'s 'any polynomial window' quantifier, probed directly",
+            run: e24_window_scaling::run,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_are_unique_and_ordered() {
+        let reg = registry();
+        assert_eq!(reg.len(), 24);
+        for (i, e) in reg.iter().enumerate() {
+            assert_eq!(e.id, format!("e{:02}", i + 1));
+        }
+    }
+}

@@ -1,0 +1,416 @@
+//! Compact CSR graph representation and the topology builders used by the
+//! Section-5 open-question experiments (ring, torus, hypercube, random
+//! regular, …).
+
+use rbb_core::rng::Xoshiro256pp;
+
+/// An undirected graph in compressed-sparse-row form.
+///
+/// Parallel edges are permitted (they arise in the configuration-model
+/// builder and are harmless for random walks — they just bias the neighbor
+/// choice exactly as the model dictates). Self-loops are permitted too and
+/// count once in the adjacency list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    /// `offsets[v]..offsets[v+1]` indexes `neighbors` for vertex `v`.
+    offsets: Vec<usize>,
+    neighbors: Vec<u32>,
+}
+
+impl Graph {
+    /// Builds a graph from an edge list over `n` vertices. Each undirected
+    /// edge `(u, v)` contributes `v` to `u`'s list and `u` to `v`'s list
+    /// (a self-loop contributes a single entry).
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Self {
+        assert!(n >= 1);
+        let mut degree = vec![0usize; n];
+        for &(u, v) in edges {
+            assert!((u as usize) < n && (v as usize) < n, "edge out of range");
+            degree[u as usize] += 1;
+            if u != v {
+                degree[v as usize] += 1;
+            }
+        }
+        let mut offsets = vec![0usize; n + 1];
+        for v in 0..n {
+            offsets[v + 1] = offsets[v] + degree[v];
+        }
+        let mut neighbors = vec![0u32; offsets[n]];
+        let mut cursor = offsets.clone();
+        for &(u, v) in edges {
+            neighbors[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+            if u != v {
+                neighbors[cursor[v as usize]] = u;
+                cursor[v as usize] += 1;
+            }
+        }
+        Self { offsets, neighbors }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges (self-loops count once).
+    pub fn num_edges(&self) -> usize {
+        let loops = (0..self.n())
+            .map(|v| self.neighbors(v).iter().filter(|&&w| w as usize == v).count())
+            .sum::<usize>();
+        (self.neighbors.len() - loops) / 2 + loops
+    }
+
+    /// Degree of `v` (self-loop counts 1).
+    #[inline]
+    pub fn degree(&self, v: usize) -> usize {
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Neighbor list of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: usize) -> &[u32] {
+        &self.neighbors[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// A uniformly random neighbor of `v`. Panics if `v` is isolated.
+    #[inline]
+    pub fn random_neighbor(&self, v: usize, rng: &mut Xoshiro256pp) -> usize {
+        let ns = self.neighbors(v);
+        assert!(!ns.is_empty(), "vertex {v} is isolated");
+        ns[rng.uniform_usize(ns.len())] as usize
+    }
+
+    /// Whether every vertex has the same degree; returns that degree.
+    pub fn regular_degree(&self) -> Option<usize> {
+        let d = self.degree(0);
+        (1..self.n()).all(|v| self.degree(v) == d).then_some(d)
+    }
+
+    /// Whether the graph is connected (BFS from vertex 0; true for n = 1).
+    pub fn is_connected(&self) -> bool {
+        let n = self.n();
+        let mut seen = vec![false; n];
+        let mut queue = std::collections::VecDeque::from([0usize]);
+        seen[0] = true;
+        let mut visited = 1;
+        while let Some(v) = queue.pop_front() {
+            for &w in self.neighbors(v) {
+                let w = w as usize;
+                if !seen[w] {
+                    seen[w] = true;
+                    visited += 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+        visited == n
+    }
+}
+
+/// The complete graph `K_n` **without** self-loops. On `K_n` the constrained
+/// parallel walk differs from the paper's process only in that the paper
+/// allows a ball to land back in its own bin; use [`complete_with_loops`]
+/// for the exact equivalence.
+pub fn complete(n: usize) -> Graph {
+    assert!(n >= 2);
+    let mut edges = Vec::with_capacity(n * (n - 1) / 2);
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            edges.push((u, v));
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// The complete graph with a self-loop at every vertex: a uniform neighbor
+/// choice is then uniform over all `n` bins — *exactly* the paper's
+/// re-assignment law.
+pub fn complete_with_loops(n: usize) -> Graph {
+    assert!(n >= 2);
+    let mut edges = Vec::with_capacity(n * (n + 1) / 2);
+    for u in 0..n as u32 {
+        edges.push((u, u));
+        for v in (u + 1)..n as u32 {
+            edges.push((u, v));
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// The cycle (ring) on `n ≥ 3` vertices — the paper's "simple topologies
+/// such as rings" where the open question is hardest.
+pub fn ring(n: usize) -> Graph {
+    assert!(n >= 3);
+    let edges: Vec<(u32, u32)> = (0..n as u32).map(|u| (u, (u + 1) % n as u32)).collect();
+    Graph::from_edges(n, &edges)
+}
+
+/// The path on `n ≥ 2` vertices (non-regular control case).
+pub fn path(n: usize) -> Graph {
+    assert!(n >= 2);
+    let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|u| (u, u + 1)).collect();
+    Graph::from_edges(n, &edges)
+}
+
+/// The star with center 0 and `n − 1` leaves (maximally irregular).
+pub fn star(n: usize) -> Graph {
+    assert!(n >= 2);
+    let edges: Vec<(u32, u32)> = (1..n as u32).map(|v| (0, v)).collect();
+    Graph::from_edges(n, &edges)
+}
+
+/// The `rows × cols` torus (wrap-around grid; 4-regular when both ≥ 3).
+pub fn torus(rows: usize, cols: usize) -> Graph {
+    assert!(rows >= 3 && cols >= 3, "torus needs both dims ≥ 3");
+    let n = rows * cols;
+    let idx = |r: usize, c: usize| (r * cols + c) as u32;
+    let mut edges = Vec::with_capacity(2 * n);
+    for r in 0..rows {
+        for c in 0..cols {
+            edges.push((idx(r, c), idx(r, (c + 1) % cols)));
+            edges.push((idx(r, c), idx((r + 1) % rows, c)));
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// The `d`-dimensional hypercube (`2^d` vertices, `d`-regular).
+pub fn hypercube(d: u32) -> Graph {
+    assert!(d >= 1 && d <= 24);
+    let n = 1usize << d;
+    let mut edges = Vec::with_capacity(n * d as usize / 2);
+    for u in 0..n as u32 {
+        for bit in 0..d {
+            let v = u ^ (1 << bit);
+            if u < v {
+                edges.push((u, v));
+            }
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// A random simple `d`-regular graph via the configuration model with
+/// edge-swap repair: `n·d` must be even and `d < n`. A random stub pairing
+/// is drawn; self-loops and parallel edges are then removed by degree-
+/// preserving double-edge swaps against uniformly random partner edges
+/// (the standard "erased-with-repair" construction). Finally the result is
+/// resampled until connected (a.a.s. immediate for `d ≥ 3`).
+pub fn random_regular(n: usize, d: usize, rng: &mut Xoshiro256pp) -> Graph {
+    assert!(n >= 2 && d >= 1, "need n ≥ 2, d ≥ 1");
+    assert!(n * d % 2 == 0, "n·d must be even");
+    assert!(d < n, "d must be < n");
+    use std::collections::HashMap;
+    let norm = |a: u32, b: u32| (a.min(b), a.max(b));
+    'resample: loop {
+        let mut stubs: Vec<u32> =
+            (0..n as u32).flat_map(|v| std::iter::repeat_n(v, d)).collect();
+        rng.shuffle(&mut stubs);
+        let mut edges: Vec<(u32, u32)> =
+            stubs.chunks_exact(2).map(|p| norm(p[0], p[1])).collect();
+
+        let mut counts: HashMap<(u32, u32), u32> = HashMap::new();
+        for &e in &edges {
+            *counts.entry(e).or_insert(0) += 1;
+        }
+        let is_bad = |key: (u32, u32), counts: &HashMap<(u32, u32), u32>| {
+            key.0 == key.1 || counts[&key] > 1
+        };
+        let mut bad: Vec<usize> = (0..edges.len())
+            .filter(|&i| is_bad(edges[i], &counts))
+            .collect();
+
+        // Double-edge-swap repair: each bad edge is re-wired against a
+        // random partner edge until the swap yields two fresh simple edges.
+        let mut attempts = 0usize;
+        while let Some(i) = bad.pop() {
+            while is_bad(edges[i], &counts) {
+                attempts += 1;
+                if attempts > 200 * edges.len() {
+                    continue 'resample; // pathological pairing; start over
+                }
+                let j = rng.uniform_usize(edges.len());
+                if j == i {
+                    continue;
+                }
+                let (a, b) = edges[i];
+                let (c, e) = edges[j];
+                // Random orientation of the partner avoids swap bias.
+                let (c, e) = if rng.bernoulli(0.5) { (c, e) } else { (e, c) };
+                let new1 = norm(a, c);
+                let new2 = norm(b, e);
+                if new1.0 == new1.1 || new2.0 == new2.1 || new1 == new2 {
+                    continue;
+                }
+                if counts.get(&new1).copied().unwrap_or(0) > 0
+                    || counts.get(&new2).copied().unwrap_or(0) > 0
+                {
+                    continue;
+                }
+                for old in [edges[i], edges[j]] {
+                    let c = counts.get_mut(&old).expect("old edge tracked");
+                    *c -= 1;
+                    if *c == 0 {
+                        counts.remove(&old);
+                    }
+                }
+                counts.insert(new1, 1);
+                counts.insert(new2, 1);
+                edges[i] = new1;
+                edges[j] = new2;
+            }
+        }
+
+        let g = Graph::from_edges(n, &edges);
+        if g.is_connected() {
+            return g;
+        }
+    }
+}
+
+/// An Erdős–Rényi `G(n, p)` graph, resampled until connected (choose
+/// `p ≳ 2 ln n / n` to keep the retry count small).
+pub fn erdos_renyi(n: usize, p: f64, rng: &mut Xoshiro256pp) -> Graph {
+    assert!(n >= 2);
+    assert!((0.0..=1.0).contains(&p));
+    loop {
+        let mut edges = Vec::new();
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                if rng.bernoulli(p) {
+                    edges.push((u, v));
+                }
+            }
+        }
+        let g = Graph::from_edges(n, &edges);
+        if g.is_connected() {
+            return g;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_graph_structure() {
+        let g = complete(5);
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.num_edges(), 10);
+        assert_eq!(g.regular_degree(), Some(4));
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn complete_with_loops_degree() {
+        let g = complete_with_loops(4);
+        assert_eq!(g.regular_degree(), Some(4)); // 3 neighbors + self
+        for v in 0..4 {
+            assert!(g.neighbors(v).contains(&(v as u32)));
+        }
+    }
+
+    #[test]
+    fn ring_structure() {
+        let g = ring(6);
+        assert_eq!(g.regular_degree(), Some(2));
+        assert_eq!(g.num_edges(), 6);
+        assert!(g.is_connected());
+        assert_eq!(g.neighbors(0).len(), 2);
+    }
+
+    #[test]
+    fn path_endpoints_have_degree_one() {
+        let g = path(5);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(4), 1);
+        assert_eq!(g.degree(2), 2);
+        assert_eq!(g.regular_degree(), None);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn star_structure() {
+        let g = star(9);
+        assert_eq!(g.degree(0), 8);
+        assert!((1..9).all(|v| g.degree(v) == 1));
+    }
+
+    #[test]
+    fn torus_is_four_regular() {
+        let g = torus(4, 5);
+        assert_eq!(g.n(), 20);
+        assert_eq!(g.regular_degree(), Some(4));
+        assert!(g.is_connected());
+        assert_eq!(g.num_edges(), 40);
+    }
+
+    #[test]
+    fn hypercube_structure() {
+        let g = hypercube(4);
+        assert_eq!(g.n(), 16);
+        assert_eq!(g.regular_degree(), Some(4));
+        assert!(g.is_connected());
+        assert_eq!(g.num_edges(), 32);
+        // Neighbors differ by exactly one bit.
+        for &w in g.neighbors(0b0101) {
+            assert_eq!((w ^ 0b0101u32).count_ones(), 1);
+        }
+    }
+
+    #[test]
+    fn random_regular_is_regular_and_connected() {
+        let mut rng = Xoshiro256pp::seed_from(1);
+        let g = random_regular(50, 4, &mut rng);
+        assert_eq!(g.regular_degree(), Some(4));
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn random_regular_rejects_odd_product() {
+        let mut rng = Xoshiro256pp::seed_from(2);
+        random_regular(5, 3, &mut rng);
+    }
+
+    #[test]
+    fn erdos_renyi_connected_by_construction() {
+        let mut rng = Xoshiro256pp::seed_from(3);
+        let g = erdos_renyi(40, 0.3, &mut rng);
+        assert!(g.is_connected());
+        assert_eq!(g.n(), 40);
+    }
+
+    #[test]
+    fn disconnected_graph_detected() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        assert!(!g.is_connected());
+    }
+
+    #[test]
+    fn random_neighbor_is_a_neighbor() {
+        let mut rng = Xoshiro256pp::seed_from(4);
+        let g = ring(10);
+        for _ in 0..50 {
+            let w = g.random_neighbor(3, &mut rng);
+            assert!(g.neighbors(3).contains(&(w as u32)));
+        }
+    }
+
+    #[test]
+    fn self_loop_counts_once() {
+        let g = Graph::from_edges(2, &[(0, 0), (0, 1)]);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(1), 1);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn num_edges_counts_undirected() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        assert_eq!(g.num_edges(), 3);
+    }
+}

@@ -1,0 +1,304 @@
+//! Constrained parallel token walks on arbitrary graphs — the
+//! generalization of the repeated balls-into-bins process that Section 5
+//! poses as an open question.
+//!
+//! Each node holds a queue of tokens. Per round, every non-empty node
+//! forwards exactly one token to a neighbor chosen uniformly at random
+//! (on [`crate::graph::complete_with_loops`] this is *exactly* the paper's
+//! process). [`GraphLoadProcess`] tracks loads only; [`GraphTokenProcess`]
+//! carries token identities and visited-sets for cover-time measurement on
+//! general topologies.
+
+use rbb_core::config::Config;
+use rbb_core::metrics::RoundObserver;
+use rbb_core::rng::Xoshiro256pp;
+
+use crate::graph::Graph;
+
+/// Load-only constrained parallel walk on a graph.
+#[derive(Debug, Clone)]
+pub struct GraphLoadProcess<'g> {
+    graph: &'g Graph,
+    config: Config,
+    rng: Xoshiro256pp,
+    round: u64,
+    /// Scratch: arrivals per node this round.
+    arrivals: Vec<u32>,
+}
+
+impl<'g> GraphLoadProcess<'g> {
+    /// Creates the process; `config` must have one load entry per vertex.
+    pub fn new(graph: &'g Graph, config: Config, rng: Xoshiro256pp) -> Self {
+        assert_eq!(config.n(), graph.n(), "config size must match graph");
+        let n = graph.n();
+        Self {
+            graph,
+            config,
+            rng,
+            round: 0,
+            arrivals: vec![0; n],
+        }
+    }
+
+    /// One token per node.
+    pub fn one_per_node(graph: &'g Graph, seed: u64) -> Self {
+        Self::new(
+            graph,
+            Config::one_per_bin(graph.n()),
+            Xoshiro256pp::seed_from(seed),
+        )
+    }
+
+    #[inline]
+    /// Current configuration.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    #[inline]
+    /// Current round.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Advances one round; returns the number of tokens that moved.
+    pub fn step(&mut self) -> usize {
+        let n = self.graph.n();
+        self.arrivals.iter_mut().for_each(|a| *a = 0);
+        let mut moved = 0usize;
+        {
+            let loads = self.config.loads();
+            for u in 0..n {
+                if loads[u] > 0 {
+                    let v = self.graph.random_neighbor(u, &mut self.rng);
+                    self.arrivals[v] += 1;
+                    moved += 1;
+                }
+            }
+        }
+        let loads = self.config.loads_slice_mut();
+        for u in 0..n {
+            if loads[u] > 0 {
+                loads[u] -= 1;
+            }
+            loads[u] += self.arrivals[u];
+        }
+        self.round += 1;
+        moved
+    }
+
+    /// Runs `rounds` rounds with an observer.
+    pub fn run(&mut self, rounds: u64, mut observer: impl RoundObserver) {
+        for _ in 0..rounds {
+            self.step();
+            observer.observe(self.round, &self.config);
+        }
+    }
+}
+
+/// Token-identity constrained parallel walk: FIFO queues, visited tracking.
+#[derive(Debug, Clone)]
+pub struct GraphTokenProcess<'g> {
+    graph: &'g Graph,
+    queues: Vec<std::collections::VecDeque<u32>>,
+    rng: Xoshiro256pp,
+    round: u64,
+    /// `visited[token]` is a bitmap over vertices (dense words).
+    visited: Vec<Vec<u64>>,
+    /// Vertices not yet visited, per token.
+    unvisited_count: Vec<usize>,
+    /// Number of tokens that have covered the whole graph.
+    covered_tokens: usize,
+    words: usize,
+}
+
+impl<'g> GraphTokenProcess<'g> {
+    /// Places one token per vertex (token `i` starts at vertex `i`).
+    pub fn one_per_node(graph: &'g Graph, seed: u64) -> Self {
+        let n = graph.n();
+        let words = n.div_ceil(64);
+        let mut queues = vec![std::collections::VecDeque::new(); n];
+        let mut visited = vec![vec![0u64; words]; n];
+        for v in 0..n {
+            queues[v].push_back(v as u32);
+            visited[v][v / 64] |= 1 << (v % 64);
+        }
+        Self {
+            graph,
+            queues,
+            rng: Xoshiro256pp::seed_from(seed),
+            round: 0,
+            visited,
+            unvisited_count: vec![n - 1; n],
+            covered_tokens: if n == 1 { 1 } else { 0 },
+            words,
+        }
+    }
+
+    #[inline]
+    /// Current round.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Number of tokens that have visited every vertex.
+    #[inline]
+    pub fn covered_tokens(&self) -> usize {
+        self.covered_tokens
+    }
+
+    /// Whether all tokens have covered the graph.
+    #[inline]
+    pub fn all_covered(&self) -> bool {
+        self.covered_tokens == self.queues.len()
+    }
+
+    /// Maximum queue length (the congestion measure).
+    pub fn max_load(&self) -> usize {
+        self.queues.iter().map(|q| q.len()).max().unwrap_or(0)
+    }
+
+    /// Advances one round (FIFO release at every non-empty node).
+    pub fn step(&mut self) {
+        let n = self.graph.n();
+        let round = self.round + 1;
+        let mut movers: Vec<(u32, u32)> = Vec::new();
+        for u in 0..n {
+            if let Some(token) = self.queues[u].pop_front() {
+                let v = self.graph.random_neighbor(u, &mut self.rng) as u32;
+                movers.push((token, v));
+            }
+        }
+        for &(token, v) in &movers {
+            self.queues[v as usize].push_back(token);
+            let t = token as usize;
+            let (w, b) = ((v as usize) / 64, (v as usize) % 64);
+            if self.visited[t][w] & (1 << b) == 0 {
+                self.visited[t][w] |= 1 << b;
+                self.unvisited_count[t] -= 1;
+                if self.unvisited_count[t] == 0 {
+                    self.covered_tokens += 1;
+                }
+            }
+        }
+        self.round = round;
+        debug_assert_eq!(self.words, self.visited[0].len());
+    }
+
+    /// Runs until every token has covered the graph or `cap` rounds elapse;
+    /// returns the parallel cover time.
+    pub fn run_to_cover(&mut self, cap: u64) -> Option<u64> {
+        while !self.all_covered() {
+            if self.round >= cap {
+                return None;
+            }
+            self.step();
+        }
+        Some(self.round)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{complete_with_loops, hypercube, ring, torus};
+    use rbb_core::metrics::{EmptyBinsTracker, MaxLoadTracker};
+
+    #[test]
+    fn load_process_conserves_tokens() {
+        let g = ring(20);
+        let mut p = GraphLoadProcess::one_per_node(&g, 1);
+        for _ in 0..100 {
+            p.step();
+            assert_eq!(p.config().total_balls(), 20);
+        }
+    }
+
+    #[test]
+    fn load_process_on_clique_matches_paper_dynamics() {
+        // On K_n with self-loops the destination is uniform over all bins:
+        // max load should stay logarithmic as in the paper.
+        let g = complete_with_loops(256);
+        let mut p = GraphLoadProcess::one_per_node(&g, 2);
+        let mut t = MaxLoadTracker::new();
+        p.run(1000, &mut t);
+        assert!(t.window_max() < 24, "max load {}", t.window_max());
+    }
+
+    #[test]
+    fn clique_empty_fraction_quarter() {
+        let g = complete_with_loops(512);
+        let mut p = GraphLoadProcess::one_per_node(&g, 3);
+        let mut t = EmptyBinsTracker::new();
+        p.run(500, &mut t);
+        assert_eq!(t.violations_below_quarter(), 0);
+    }
+
+    #[test]
+    fn regular_graphs_keep_load_moderate() {
+        // The Section-5 conjecture: max load stays logarithmic-ish on
+        // regular graphs over moderate windows.
+        let g = hypercube(8); // 256 vertices
+        let mut p = GraphLoadProcess::one_per_node(&g, 4);
+        let mut t = MaxLoadTracker::new();
+        p.run(1000, &mut t);
+        assert!(t.window_max() < 30, "hypercube max load {}", t.window_max());
+
+        let g = torus(16, 16);
+        let mut p = GraphLoadProcess::one_per_node(&g, 5);
+        let mut t = MaxLoadTracker::new();
+        p.run(1000, &mut t);
+        assert!(t.window_max() < 30, "torus max load {}", t.window_max());
+    }
+
+    #[test]
+    fn token_process_initial_state() {
+        let g = ring(8);
+        let p = GraphTokenProcess::one_per_node(&g, 6);
+        assert_eq!(p.covered_tokens(), 0);
+        assert_eq!(p.max_load(), 1);
+        assert!(!p.all_covered());
+    }
+
+    #[test]
+    fn token_process_covers_small_clique() {
+        let g = complete_with_loops(16);
+        let mut p = GraphTokenProcess::one_per_node(&g, 7);
+        let cover = p.run_to_cover(100_000).expect("should cover");
+        assert!(cover > 0);
+        assert!(p.all_covered());
+    }
+
+    #[test]
+    fn token_process_covers_ring() {
+        let g = ring(12);
+        let mut p = GraphTokenProcess::one_per_node(&g, 8);
+        let cover = p.run_to_cover(10_000_000).expect("should cover ring");
+        // Ring cover for a single walk is Θ(n²); parallel walks with
+        // congestion should still finish within the cap.
+        assert!(cover >= 11);
+    }
+
+    #[test]
+    fn token_cover_cap_returns_none() {
+        let g = ring(64);
+        let mut p = GraphTokenProcess::one_per_node(&g, 9);
+        assert_eq!(p.run_to_cover(5), None);
+    }
+
+    #[test]
+    fn covered_tokens_monotone() {
+        let g = complete_with_loops(12);
+        let mut p = GraphTokenProcess::one_per_node(&g, 10);
+        let mut prev = 0;
+        for _ in 0..2000 {
+            p.step();
+            assert!(p.covered_tokens() >= prev);
+            prev = p.covered_tokens();
+            if p.all_covered() {
+                break;
+            }
+        }
+        assert!(p.all_covered());
+    }
+}

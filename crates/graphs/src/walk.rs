@@ -1,0 +1,178 @@
+//! Single random walks: cover time of the one-token baseline.
+//!
+//! Section 4 compares the parallel (n-token) cover time `O(n log² n)` to the
+//! single-token cover time, which is `O(n log n)` w.h.p. on the clique
+//! (coupon collector). This module provides the single-walk measurement on
+//! any topology.
+
+use rbb_core::rng::Xoshiro256pp;
+
+use crate::graph::Graph;
+
+/// A single random walk on a graph.
+#[derive(Debug, Clone)]
+pub struct RandomWalk<'g> {
+    graph: &'g Graph,
+    position: usize,
+    steps: u64,
+}
+
+impl<'g> RandomWalk<'g> {
+    /// Starts a walk at `start`.
+    pub fn new(graph: &'g Graph, start: usize) -> Self {
+        assert!(start < graph.n());
+        Self {
+            graph,
+            position: start,
+            steps: 0,
+        }
+    }
+
+    /// Current vertex.
+    #[inline]
+    pub fn position(&self) -> usize {
+        self.position
+    }
+
+    /// Steps taken so far.
+    #[inline]
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Moves to a uniformly random neighbor; returns the new vertex.
+    #[inline]
+    pub fn step(&mut self, rng: &mut Xoshiro256pp) -> usize {
+        self.position = self.graph.random_neighbor(self.position, rng);
+        self.steps += 1;
+        self.position
+    }
+}
+
+/// Runs a walk from `start` until all vertices are visited or `cap` steps
+/// elapse; returns the cover time (number of steps) if covered.
+pub fn cover_time(graph: &Graph, start: usize, cap: u64, rng: &mut Xoshiro256pp) -> Option<u64> {
+    let n = graph.n();
+    let mut visited = vec![false; n];
+    visited[start] = true;
+    let mut remaining = n - 1;
+    if remaining == 0 {
+        return Some(0);
+    }
+    let mut walk = RandomWalk::new(graph, start);
+    while walk.steps() < cap {
+        let v = walk.step(rng);
+        if !visited[v] {
+            visited[v] = true;
+            remaining -= 1;
+            if remaining == 0 {
+                return Some(walk.steps());
+            }
+        }
+    }
+    None
+}
+
+/// Hitting time from `start` to `target` (capped).
+pub fn hitting_time(
+    graph: &Graph,
+    start: usize,
+    target: usize,
+    cap: u64,
+    rng: &mut Xoshiro256pp,
+) -> Option<u64> {
+    if start == target {
+        return Some(0);
+    }
+    let mut walk = RandomWalk::new(graph, start);
+    while walk.steps() < cap {
+        if walk.step(rng) == target {
+            return Some(walk.steps());
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{complete_with_loops, ring};
+
+    #[test]
+    fn walk_stays_on_graph() {
+        let g = ring(10);
+        let mut rng = Xoshiro256pp::seed_from(1);
+        let mut w = RandomWalk::new(&g, 0);
+        let mut prev = 0usize;
+        for _ in 0..100 {
+            let v = w.step(&mut rng);
+            assert!(g.neighbors(prev).contains(&(v as u32)));
+            prev = v;
+        }
+        assert_eq!(w.steps(), 100);
+    }
+
+    #[test]
+    fn cover_time_on_clique_is_coupon_collector_scale() {
+        let n = 64;
+        let g = complete_with_loops(n);
+        let mut rng = Xoshiro256pp::seed_from(2);
+        let mut total = 0u64;
+        let trials = 20;
+        for _ in 0..trials {
+            total += cover_time(&g, 0, 1_000_000, &mut rng).unwrap();
+        }
+        let mean = total as f64 / trials as f64;
+        let cc = rbb_stats::coupon_collector(n);
+        // Mean cover ≈ n·H_n; allow generous slack.
+        assert!(mean > 0.5 * cc && mean < 2.0 * cc, "mean {mean}, cc {cc}");
+    }
+
+    #[test]
+    fn cover_time_single_vertex_graph() {
+        // A 2-clique from the same start: must cover in >= 1 step.
+        let g = complete_with_loops(2);
+        let mut rng = Xoshiro256pp::seed_from(3);
+        let t = cover_time(&g, 0, 1000, &mut rng).unwrap();
+        assert!(t >= 1);
+    }
+
+    #[test]
+    fn cover_time_cap_returns_none() {
+        let g = ring(1000);
+        let mut rng = Xoshiro256pp::seed_from(4);
+        // Ring cover time is Θ(n²); 10 steps cannot cover n=1000.
+        assert_eq!(cover_time(&g, 0, 10, &mut rng), None);
+    }
+
+    #[test]
+    fn hitting_time_self_is_zero() {
+        let g = ring(8);
+        let mut rng = Xoshiro256pp::seed_from(5);
+        assert_eq!(hitting_time(&g, 3, 3, 100, &mut rng), Some(0));
+    }
+
+    #[test]
+    fn hitting_time_adjacent_on_ring() {
+        let g = ring(8);
+        let mut rng = Xoshiro256pp::seed_from(6);
+        let t = hitting_time(&g, 0, 1, 100_000, &mut rng).unwrap();
+        assert!(t >= 1);
+    }
+
+    #[test]
+    fn ring_cover_is_quadratic_scale() {
+        // Ring cover time ~ n(n-1)/2 in expectation.
+        let n = 32;
+        let g = ring(n);
+        let mut rng = Xoshiro256pp::seed_from(7);
+        let trials = 20;
+        let mut total = 0u64;
+        for _ in 0..trials {
+            total += cover_time(&g, 0, 10_000_000, &mut rng).unwrap();
+        }
+        let mean = total as f64 / trials as f64;
+        let expect = (n * (n - 1)) as f64 / 2.0;
+        assert!(mean > 0.5 * expect && mean < 2.0 * expect, "mean {mean}");
+    }
+}

@@ -1,0 +1,20 @@
+//! # rbb-sim — the experiment harness
+//!
+//! Deterministic seeding ([`seed::SeedTree`]), rayon-parallel trial fan-out
+//! ([`runner`]), aligned text tables ([`table`]), and JSON/CSV artifact
+//! output ([`output`]). Every experiment in `rbb-experiments` is a pure
+//! function of its [`seed::SeedTree`] scope, so tables regenerate
+//! bit-identically regardless of thread count.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod output;
+pub mod runner;
+pub mod seed;
+pub mod table;
+
+pub use output::{OutputSink, RESULTS_DIR};
+pub use runner::{run_trials, run_trials_seeded, sweep};
+pub use seed::{SeedTree, DEFAULT_MASTER_SEED};
+pub use table::{fmt_f64, Table};

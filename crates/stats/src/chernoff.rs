@@ -1,0 +1,145 @@
+//! The paper's Appendix-A Chernoff bounds and related analytic quantities.
+//!
+//! Lemma 7 of the paper (standard multiplicative Chernoff):
+//!
+//! * lower tail (6): `P(X ≤ (1−δ)μ_L) ≤ exp(−δ²μ_L/2)`
+//! * upper tail (7): `P(X ≥ (1+δ)μ_H) ≤ exp(−δ²μ_H/3)`
+//!
+//! These evaluators let experiments print the analytic bound next to every
+//! empirical tail (e.g. E06 compares the measured absorption tail of the
+//! Lemma-5 chain against `e^{−t/144}`, which is (7) with `δ = 1/6`).
+
+/// Chernoff lower-tail bound (paper inequality (6)).
+pub fn chernoff_lower(mu_l: f64, delta: f64) -> f64 {
+    assert!((0.0..1.0).contains(&delta), "δ must be in (0,1)");
+    assert!(mu_l >= 0.0);
+    (-delta * delta * mu_l / 2.0).exp()
+}
+
+/// Chernoff upper-tail bound (paper inequality (7)).
+pub fn chernoff_upper(mu_h: f64, delta: f64) -> f64 {
+    assert!((0.0..1.0).contains(&delta), "δ must be in (0,1)");
+    assert!(mu_h >= 0.0);
+    (-delta * delta * mu_h / 3.0).exp()
+}
+
+/// The Lemma-1 bound: `P(fewer than n/4 empty bins next round) ≤ e^{−αn}`.
+/// Returns the paper's bound with its explicit constant
+/// `α = ε²/(4(1+ε))` evaluated at the worst case over `b` (the number of
+/// singleton bins); the paper shows `ε > 0` exists for large `n`. We compute
+/// the exact worst-case `ε(n) = min_b (n+b)/2 · e^{−(n+b)/(2(n−1))} / (n/4) − 1`.
+pub fn lemma1_alpha(n: usize) -> f64 {
+    assert!(n >= 2);
+    let nf = n as f64;
+    let mut min_ratio = f64::INFINITY;
+    // The expression is monotone enough to scan coarse b values; the minimum
+    // over b ∈ [0, n] of (n+b)/2 · exp(−(n+b)/(2(n−1))) happens at an
+    // endpoint because the map x ↦ x·e^{−x/(n−1)}/2 is unimodal in x = n+b.
+    for b in [0usize, n] {
+        let x = nf + b as f64;
+        let expected_lb = 0.5 * x * (-x / (2.0 * (nf - 1.0))).exp();
+        min_ratio = min_ratio.min(expected_lb / (nf / 4.0));
+    }
+    let eps = min_ratio - 1.0;
+    if eps <= 0.0 {
+        return 0.0; // bound vacuous at this n (only tiny n)
+    }
+    eps * eps / (4.0 * (1.0 + eps))
+}
+
+/// The Lemma-4 constant: `P(Y₁+⋯+Y_{5n} ≥ 4n) ≤ e^{−αn}` with `α = 1/180`.
+pub fn lemma4_alpha() -> f64 {
+    1.0 / 180.0
+}
+
+/// `n`-th harmonic number `H_n = Σ_{k=1}^n 1/k`.
+pub fn harmonic(n: usize) -> f64 {
+    (1..=n).map(|k| 1.0 / k as f64).sum()
+}
+
+/// Expected cover time of a single random walk on the complete graph with
+/// self-loops permitted at re-assignment: the coupon-collector bound
+/// `n·H_n ≈ n ln n` (see Section 4: "the cover time of the single
+/// random-walk process is w.h.p. O(n log n)").
+pub fn coupon_collector(n: usize) -> f64 {
+    n as f64 * harmonic(n)
+}
+
+/// The classical one-shot balls-into-bins expected maximum load
+/// `≈ ln n / ln ln n` (leading term; `n` balls into `n` bins).
+pub fn oneshot_max_load_estimate(n: usize) -> f64 {
+    assert!(n >= 3);
+    let ln_n = (n as f64).ln();
+    ln_n / ln_n.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chernoff_bounds_decrease_in_mu() {
+        assert!(chernoff_lower(100.0, 0.5) < chernoff_lower(10.0, 0.5));
+        assert!(chernoff_upper(100.0, 0.5) < chernoff_upper(10.0, 0.5));
+    }
+
+    #[test]
+    fn chernoff_bounds_decrease_in_delta() {
+        assert!(chernoff_upper(50.0, 0.9) < chernoff_upper(50.0, 0.1));
+    }
+
+    #[test]
+    fn chernoff_values_match_formulas() {
+        // (7) with δ = 1/6, μ = (3/4)t: exp(−t/144).
+        let t = 288.0;
+        let got = chernoff_upper(0.75 * t, 1.0 / 6.0);
+        assert!((got - (-t / 144.0).exp()).abs() < 1e-15);
+        // Lemma 4: δ = 1/15, μ = 15n/4: exp(−n/180)... (1/15)²·(15n/4)/3 = n/180.
+        let n = 360.0;
+        let got = chernoff_upper(15.0 * n / 4.0, 1.0 / 15.0);
+        assert!((got - (-n / 180.0).exp()).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "δ")]
+    fn chernoff_rejects_bad_delta() {
+        chernoff_upper(10.0, 1.5);
+    }
+
+    #[test]
+    fn lemma1_alpha_positive_for_large_n() {
+        assert!(lemma1_alpha(1000) > 0.0);
+        assert!(lemma1_alpha(100) > 0.0);
+    }
+
+    #[test]
+    fn lemma1_bound_is_tiny_for_moderate_n() {
+        let bound_256 = (-lemma1_alpha(256) * 256.0).exp();
+        assert!(bound_256 < 0.1, "bound {bound_256}");
+        let bound_4096 = (-lemma1_alpha(4096) * 4096.0).exp();
+        assert!(bound_4096 < 1e-10, "bound {bound_4096}");
+    }
+
+    #[test]
+    fn harmonic_known_values() {
+        assert!((harmonic(1) - 1.0).abs() < 1e-12);
+        assert!((harmonic(4) - (1.0 + 0.5 + 1.0 / 3.0 + 0.25)).abs() < 1e-12);
+        // H_n ≈ ln n + γ
+        let h = harmonic(100_000);
+        assert!((h - (100_000f64.ln() + 0.5772156649)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn coupon_collector_scale() {
+        let cc = coupon_collector(1000);
+        assert!(cc > 1000.0 * 6.9 && cc < 1000.0 * 7.6, "cc {cc}");
+    }
+
+    #[test]
+    fn oneshot_estimate_grows_slowly() {
+        let a = oneshot_max_load_estimate(1_000);
+        let b = oneshot_max_load_estimate(1_000_000);
+        assert!(b > a);
+        assert!(b < 2.5 * a, "should grow sub-logarithmically");
+    }
+}

@@ -1,0 +1,192 @@
+//! Confidence intervals: normal-approximation for means, Wilson for
+//! proportions (the w.h.p. event estimators of the experiment suite).
+
+use crate::summary::Summary;
+
+/// A two-sided confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Lower endpoint.
+    pub lo: f64,
+    /// Upper endpoint.
+    pub hi: f64,
+    /// Nominal coverage, e.g. 0.95.
+    pub level: f64,
+}
+
+impl ConfidenceInterval {
+    /// Whether the interval contains `x`.
+    pub fn contains(&self, x: f64) -> bool {
+        self.lo <= x && x <= self.hi
+    }
+
+    /// Interval width.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Midpoint.
+    pub fn center(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+}
+
+/// Standard normal quantile for common levels (two-sided).
+fn z_for_level(level: f64) -> f64 {
+    // Dispatch over the levels experiments actually use; fall back to a
+    // rational approximation of the probit elsewhere.
+    match level {
+        l if (l - 0.90).abs() < 1e-9 => 1.6448536269514722,
+        l if (l - 0.95).abs() < 1e-9 => 1.959963984540054,
+        l if (l - 0.99).abs() < 1e-9 => 2.5758293035489004,
+        _ => probit(0.5 + level / 2.0),
+    }
+}
+
+/// Acklam's rational approximation to the standard normal quantile.
+/// Max absolute error ~1.15e-9 — ample for CI construction.
+pub fn probit(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "probit domain is (0, 1)");
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    let p_low = 0.02425;
+    if p < p_low {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - p_low {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        -probit(1.0 - p)
+    }
+}
+
+/// Normal-approximation CI for a mean from a [`Summary`].
+pub fn mean_ci(summary: &Summary, level: f64) -> ConfidenceInterval {
+    let z = z_for_level(level);
+    let half = z * summary.std_error();
+    ConfidenceInterval {
+        lo: summary.mean() - half,
+        hi: summary.mean() + half,
+        level,
+    }
+}
+
+/// Wilson score interval for a binomial proportion: robust near 0 and 1,
+/// which is exactly where w.h.p. event frequencies live.
+pub fn wilson_ci(successes: u64, trials: u64, level: f64) -> ConfidenceInterval {
+    assert!(trials > 0, "wilson_ci needs at least one trial");
+    assert!(successes <= trials);
+    let z = z_for_level(level);
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = z * ((p * (1.0 - p) + z2 / (4.0 * n)) / n).sqrt() / denom;
+    ConfidenceInterval {
+        lo: (center - half).max(0.0),
+        hi: (center + half).min(1.0),
+        level,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probit_known_values() {
+        assert!((probit(0.5)).abs() < 1e-8);
+        assert!((probit(0.975) - 1.959964).abs() < 1e-5);
+        assert!((probit(0.025) + 1.959964).abs() < 1e-5);
+        assert!((probit(0.999) - 3.090232).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "domain")]
+    fn probit_rejects_bounds() {
+        probit(0.0);
+    }
+
+    #[test]
+    fn mean_ci_covers_true_mean() {
+        let s = Summary::from_slice(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let ci = mean_ci(&s, 0.95);
+        assert!(ci.contains(3.0));
+        assert!(ci.lo < 3.0 && ci.hi > 3.0);
+        assert!((ci.center() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_ci_narrows_with_more_data() {
+        let small = Summary::from_slice(&[1.0, 2.0, 3.0]);
+        let big: Summary = (0..300).map(|i| (i % 3) as f64 + 1.0).collect();
+        assert!(mean_ci(&big, 0.95).width() < mean_ci(&small, 0.95).width());
+    }
+
+    #[test]
+    fn wilson_all_successes_stays_in_unit() {
+        let ci = wilson_ci(100, 100, 0.95);
+        assert!(ci.hi <= 1.0);
+        assert!(ci.lo > 0.9);
+        assert!(ci.contains(0.99));
+    }
+
+    #[test]
+    fn wilson_no_successes() {
+        let ci = wilson_ci(0, 100, 0.95);
+        assert!(ci.lo.abs() < 1e-12, "lo {}", ci.lo);
+        assert!(ci.hi < 0.06, "hi {}", ci.hi);
+    }
+
+    #[test]
+    fn wilson_half() {
+        let ci = wilson_ci(50, 100, 0.95);
+        assert!(ci.contains(0.5));
+        assert!((ci.center() - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn higher_level_is_wider() {
+        let ci90 = wilson_ci(30, 100, 0.90);
+        let ci99 = wilson_ci(30, 100, 0.99);
+        assert!(ci99.width() > ci90.width());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn wilson_rejects_zero_trials() {
+        wilson_ci(0, 0, 0.95);
+    }
+}

@@ -1,0 +1,134 @@
+//! Covariance, correlation and lag autocorrelation for time series.
+//!
+//! Used by experiment E22 to measure the sign and magnitude of the
+//! round-to-round correlation of arrival counts at a fixed bin — the
+//! phenomenon Appendix B proves is *positive* (not negatively associated),
+//! which is exactly what blocks standard concentration arguments.
+
+/// Sample covariance of two equal-length series (unbiased, `n−1`).
+pub fn covariance(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "series length mismatch");
+    assert!(xs.len() >= 2, "need at least two points");
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    xs.iter()
+        .zip(ys)
+        .map(|(&x, &y)| (x - mx) * (y - my))
+        .sum::<f64>()
+        / (n - 1.0)
+}
+
+/// Pearson correlation coefficient. Returns 0 when either series is
+/// constant (no linear association measurable).
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    let cov = covariance(xs, ys);
+    let sx = covariance(xs, xs).sqrt();
+    let sy = covariance(ys, ys).sqrt();
+    if sx == 0.0 || sy == 0.0 {
+        return 0.0;
+    }
+    cov / (sx * sy)
+}
+
+/// Lag-`k` sample autocorrelation of a series (biased normalization by the
+/// lag-0 variance, the standard ACF convention).
+pub fn autocorrelation(xs: &[f64], lag: usize) -> f64 {
+    assert!(xs.len() >= 2, "need at least two points");
+    assert!(lag < xs.len(), "lag {} out of range for length {}", lag, xs.len());
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let denom: f64 = xs.iter().map(|&x| (x - mean).powi(2)).sum();
+    if denom == 0.0 {
+        return if lag == 0 { 1.0 } else { 0.0 };
+    }
+    let num: f64 = xs
+        .windows(lag + 1)
+        .map(|w| (w[0] - mean) * (w[lag] - mean))
+        .sum();
+    num / denom
+}
+
+/// The full ACF up to `max_lag` (inclusive), `acf[0] = 1`.
+pub fn acf(xs: &[f64], max_lag: usize) -> Vec<f64> {
+    (0..=max_lag).map(|k| autocorrelation(xs, k)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covariance_of_identical_series_is_variance() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let v = covariance(&xs, &xs);
+        // Sample variance of 1..4 is 5/3.
+        assert!((v - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn covariance_sign() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!(covariance(&xs, &ys) > 0.0);
+        let zs = [8.0, 6.0, 4.0, 2.0];
+        assert!(covariance(&xs, &zs) < 0.0);
+    }
+
+    #[test]
+    fn pearson_perfect_correlation() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [10.0, 20.0, 30.0];
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+        let zs = [30.0, 20.0, 10.0];
+        assert!((pearson(&xs, &zs) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_constant_series_is_zero() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn acf_lag_zero_is_one() {
+        let xs = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0];
+        let a = acf(&xs, 3);
+        assert!((a[0] - 1.0).abs() < 1e-12);
+        assert_eq!(a.len(), 4);
+        for &v in &a {
+            assert!((-1.0..=1.0).contains(&v), "acf out of range: {v}");
+        }
+    }
+
+    #[test]
+    fn acf_of_alternating_series_is_negative_at_lag_one() {
+        let xs: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        assert!(autocorrelation(&xs, 1) < -0.9);
+    }
+
+    #[test]
+    fn acf_of_constant_series() {
+        let xs = [2.0; 10];
+        assert_eq!(autocorrelation(&xs, 0), 1.0);
+        assert_eq!(autocorrelation(&xs, 3), 0.0);
+    }
+
+    #[test]
+    fn acf_of_persistent_series_positive() {
+        // A slowly varying series has positive lag-1 autocorrelation.
+        let xs: Vec<f64> = (0..200).map(|i| (i as f64 / 20.0).sin()).collect();
+        assert!(autocorrelation(&xs, 1) > 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "lag")]
+    fn lag_out_of_range_panics() {
+        autocorrelation(&[1.0, 2.0], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn covariance_length_mismatch() {
+        covariance(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,103 @@
+//! Distances between probability distributions.
+//!
+//! Total variation distance is the paper's implicit yardstick for
+//! "forgetting the initial configuration": experiment E21 computes exact TV
+//! decay to stationarity for small `n` via the enumerative kernel, and
+//! empirical TV between max-load distributions from different starts.
+
+/// Total variation distance between two finite distributions given as
+/// aligned probability vectors: `½ Σ |p_i − q_i|`. Shorter vectors are
+/// implicitly zero-padded.
+pub fn tv_distance(p: &[f64], q: &[f64]) -> f64 {
+    let len = p.len().max(q.len());
+    let get = |v: &[f64], i: usize| v.get(i).copied().unwrap_or(0.0);
+    (0..len).map(|i| (get(p, i) - get(q, i)).abs()).sum::<f64>() / 2.0
+}
+
+/// Kullback–Leibler divergence `KL(p ‖ q)` in nats. Terms with `p_i = 0`
+/// contribute 0; a `p_i > 0` against `q_i = 0` yields `f64::INFINITY`.
+pub fn kl_divergence(p: &[f64], q: &[f64]) -> f64 {
+    let len = p.len().max(q.len());
+    let get = |v: &[f64], i: usize| v.get(i).copied().unwrap_or(0.0);
+    (0..len)
+        .map(|i| {
+            let pi = get(p, i);
+            let qi = get(q, i);
+            if pi == 0.0 {
+                0.0
+            } else if qi == 0.0 {
+                f64::INFINITY
+            } else {
+                pi * (pi / qi).ln()
+            }
+        })
+        .sum()
+}
+
+/// Normalizes raw counts into a probability vector. Panics on zero total.
+pub fn normalize(counts: &[u64]) -> Vec<f64> {
+    let total: u64 = counts.iter().sum();
+    assert!(total > 0, "cannot normalize an empty histogram");
+    counts.iter().map(|&c| c as f64 / total as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tv_identical_is_zero() {
+        let p = [0.25, 0.5, 0.25];
+        assert_eq!(tv_distance(&p, &p), 0.0);
+    }
+
+    #[test]
+    fn tv_disjoint_is_one() {
+        let p = [1.0, 0.0];
+        let q = [0.0, 1.0];
+        assert!((tv_distance(&p, &q) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tv_is_symmetric_and_padded() {
+        let p = [0.5, 0.5];
+        let q = [0.5, 0.25, 0.25];
+        let d1 = tv_distance(&p, &q);
+        let d2 = tv_distance(&q, &p);
+        assert!((d1 - d2).abs() < 1e-15);
+        assert!((d1 - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kl_zero_for_identical() {
+        let p = [0.3, 0.7];
+        assert!(kl_divergence(&p, &p).abs() < 1e-15);
+    }
+
+    #[test]
+    fn kl_infinite_on_unsupported_mass() {
+        let p = [0.5, 0.5];
+        let q = [1.0, 0.0];
+        assert!(kl_divergence(&p, &q).is_infinite());
+    }
+
+    #[test]
+    fn kl_nonnegative() {
+        let p = [0.2, 0.3, 0.5];
+        let q = [0.4, 0.4, 0.2];
+        assert!(kl_divergence(&p, &q) > 0.0);
+    }
+
+    #[test]
+    fn normalize_sums_to_one() {
+        let n = normalize(&[1, 2, 7]);
+        assert!((n.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((n[2] - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn normalize_rejects_zero_total() {
+        normalize(&[0, 0]);
+    }
+}

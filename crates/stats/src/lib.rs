@@ -1,0 +1,34 @@
+//! # rbb-stats — statistics substrate for the reproduction
+//!
+//! Everything the experiment suite needs to turn raw trial outputs into the
+//! quantities the paper states: streaming moments, exact quantiles and
+//! integer histograms, normal/Wilson confidence intervals, scaling-law fits
+//! (linear / `a + b·ln x` / power law), and evaluators for the paper's own
+//! Chernoff bounds (Appendix A) with their explicit constants.
+//!
+//! No simulation code lives here; the crate is dependency-light and fully
+//! deterministic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chernoff;
+pub mod ci;
+pub mod correlation;
+pub mod distance;
+pub mod histogram;
+pub mod quantile;
+pub mod regression;
+pub mod summary;
+
+pub use chernoff::{
+    chernoff_lower, chernoff_upper, coupon_collector, harmonic, lemma1_alpha, lemma4_alpha,
+    oneshot_max_load_estimate,
+};
+pub use ci::{mean_ci, probit, wilson_ci, ConfidenceInterval};
+pub use correlation::{acf, autocorrelation, covariance, pearson};
+pub use distance::{kl_divergence, normalize, tv_distance};
+pub use histogram::IntHistogram;
+pub use quantile::{ecdf, five_num, median, quantile, quantile_sorted, survival, FiveNum};
+pub use regression::{linear_fit, log_fit, power_fit, LinearFit, PowerFit};
+pub use summary::Summary;

@@ -1,0 +1,138 @@
+//! Exact quantiles and empirical distribution helpers.
+
+/// Exact sample quantile with linear interpolation (type-7, the R default).
+///
+/// `q ∈ [0, 1]`. The input need not be sorted; a sorted copy is made.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "quantile of empty sample");
+    assert!((0.0..=1.0).contains(&q), "q must be in [0, 1]");
+    let mut v: Vec<f64> = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    quantile_sorted(&v, q)
+}
+
+/// Exact quantile of an already sorted sample (type-7 interpolation).
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    assert!((0.0..=1.0).contains(&q));
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let h = q * (n - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = h - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// The median (50th percentile).
+pub fn median(xs: &[f64]) -> f64 {
+    quantile(xs, 0.5)
+}
+
+/// Empirical CDF at `x`: fraction of samples ≤ `x`.
+pub fn ecdf(xs: &[f64], x: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().filter(|&&v| v <= x).count() as f64 / xs.len() as f64
+}
+
+/// Empirical survival function at `x`: fraction of samples > `x`.
+pub fn survival(xs: &[f64], x: f64) -> f64 {
+    1.0 - ecdf(xs, x)
+}
+
+/// Several standard quantiles at once: (min, p25, median, p75, p95, max).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FiveNum {
+    /// Minimum.
+    pub min: f64,
+    /// 25th percentile.
+    pub q25: f64,
+    /// Median.
+    pub median: f64,
+    /// 75th percentile.
+    pub q75: f64,
+    /// 95th percentile.
+    pub q95: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+/// Computes [`FiveNum`] for a sample.
+pub fn five_num(xs: &[f64]) -> FiveNum {
+    let mut v: Vec<f64> = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    FiveNum {
+        min: v[0],
+        q25: quantile_sorted(&v, 0.25),
+        median: quantile_sorted(&v, 0.5),
+        q75: quantile_sorted(&v, 0.75),
+        q95: quantile_sorted(&v, 0.95),
+        max: v[v.len() - 1],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+
+    #[test]
+    fn extreme_quantiles_are_min_max() {
+        let xs = [5.0, 1.0, 3.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 5.0);
+    }
+
+    #[test]
+    fn interpolation_type7() {
+        // R: quantile(c(1,2,3,4), 0.4, type=7) = 2.2
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((quantile(&xs, 0.4) - 2.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singleton_sample() {
+        assert_eq!(quantile(&[7.0], 0.3), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_sample_panics() {
+        quantile(&[], 0.5);
+    }
+
+    #[test]
+    fn ecdf_and_survival() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(ecdf(&xs, 2.0), 0.5);
+        assert_eq!(ecdf(&xs, 0.0), 0.0);
+        assert_eq!(ecdf(&xs, 5.0), 1.0);
+        assert!((survival(&xs, 2.0) - 0.5).abs() < 1e-12);
+        assert_eq!(ecdf(&[], 1.0), 0.0);
+    }
+
+    #[test]
+    fn five_num_is_ordered() {
+        let xs: Vec<f64> = (0..101).map(|i| i as f64).collect();
+        let f = five_num(&xs);
+        assert_eq!(f.min, 0.0);
+        assert_eq!(f.median, 50.0);
+        assert_eq!(f.max, 100.0);
+        assert!(f.min <= f.q25 && f.q25 <= f.median);
+        assert!(f.median <= f.q75 && f.q75 <= f.q95 && f.q95 <= f.max);
+        assert!((f.q95 - 95.0).abs() < 1e-9);
+    }
+}

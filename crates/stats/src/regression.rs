@@ -1,0 +1,184 @@
+//! Least-squares fits for scaling laws.
+//!
+//! The experiment suite fits three families:
+//!
+//! * linear `y = a + b·x` — e.g. convergence time vs `n` (Theorem 1(b):
+//!   expect slope ≈ 1 with `x = n`);
+//! * log-regressor `y = a + b·ln(x)` — e.g. window max load vs `n`
+//!   (Theorem 1(a): expect the `b` coefficient to be a positive constant);
+//! * power law `y = c·x^e` via log-log linear fit — e.g. cover time vs `n`
+//!   (Corollary 1: exponent ≈ 1 with a polylog correction).
+
+/// An ordinary-least-squares line fit `y = intercept + slope·x`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Intercept `a`.
+    pub intercept: f64,
+    /// Slope `b`.
+    pub slope: f64,
+    /// Coefficient of determination.
+    pub r_squared: f64,
+}
+
+impl LinearFit {
+    /// Predicted value at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+}
+
+/// Fits `y = a + b·x` by OLS. Panics on fewer than 2 points or zero
+/// x-variance.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> LinearFit {
+    assert_eq!(xs.len(), ys.len(), "mismatched sample lengths");
+    assert!(xs.len() >= 2, "need at least two points");
+    let n = xs.len() as f64;
+    let mean_x = xs.iter().sum::<f64>() / n;
+    let mean_y = ys.iter().sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        let dx = x - mean_x;
+        let dy = y - mean_y;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    assert!(sxx > 0.0, "x values are constant");
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    LinearFit {
+        intercept,
+        slope,
+        r_squared,
+    }
+}
+
+/// Fits `y = a + b·ln(x)`.
+pub fn log_fit(xs: &[f64], ys: &[f64]) -> LinearFit {
+    let lx: Vec<f64> = xs.iter().map(|&x| {
+        assert!(x > 0.0, "log_fit needs positive x");
+        x.ln()
+    }).collect();
+    linear_fit(&lx, ys)
+}
+
+/// A power-law fit `y = coeff · x^exponent` (via log-log OLS).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerFit {
+    /// Coefficient `c`.
+    pub coeff: f64,
+    /// Exponent `e`.
+    pub exponent: f64,
+    /// R² of the underlying log-log linear fit.
+    pub r_squared: f64,
+}
+
+impl PowerFit {
+    /// Predicted value at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.coeff * x.powf(self.exponent)
+    }
+}
+
+/// Fits `y = c·x^e` by OLS in log-log space. Requires positive data.
+pub fn power_fit(xs: &[f64], ys: &[f64]) -> PowerFit {
+    let lx: Vec<f64> = xs
+        .iter()
+        .map(|&x| {
+            assert!(x > 0.0, "power_fit needs positive x");
+            x.ln()
+        })
+        .collect();
+    let ly: Vec<f64> = ys
+        .iter()
+        .map(|&y| {
+            assert!(y > 0.0, "power_fit needs positive y");
+            y.ln()
+        })
+        .collect();
+    let f = linear_fit(&lx, &ly);
+    PowerFit {
+        coeff: f.intercept.exp(),
+        exponent: f.slope,
+        r_squared: f.r_squared,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 + 3.0 * x).collect();
+        let f = linear_fit(&xs, &ys);
+        assert!((f.intercept - 2.0).abs() < 1e-12);
+        assert!((f.slope - 3.0).abs() < 1e-12);
+        assert!((f.r_squared - 1.0).abs() < 1e-12);
+        assert!((f.predict(10.0) - 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_r2_below_one() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys = [2.9, 5.2, 6.8, 9.1, 11.0];
+        let f = linear_fit(&xs, &ys);
+        assert!((f.slope - 2.0).abs() < 0.1);
+        assert!(f.r_squared > 0.99 && f.r_squared <= 1.0);
+    }
+
+    #[test]
+    fn constant_y_has_r2_one_slope_zero() {
+        let f = linear_fit(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]);
+        assert_eq!(f.slope, 0.0);
+        assert_eq!(f.r_squared, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "constant")]
+    fn constant_x_rejected() {
+        linear_fit(&[2.0, 2.0], &[1.0, 3.0]);
+    }
+
+    #[test]
+    fn log_fit_recovers_log_law() {
+        // y = 1 + 4 ln x, the Theorem-1 shape.
+        let xs: Vec<f64> = (4..12).map(|k| (1usize << k) as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 1.0 + 4.0 * x.ln()).collect();
+        let f = log_fit(&xs, &ys);
+        assert!((f.slope - 4.0).abs() < 1e-9);
+        assert!((f.intercept - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_fit_recovers_power_law() {
+        // y = 2.5 x^1.5
+        let xs = [1.0f64, 2.0, 4.0, 8.0, 16.0];
+        let ys: Vec<f64> = xs.iter().map(|&x| 2.5 * x.powf(1.5)).collect();
+        let f = power_fit(&xs, &ys);
+        assert!((f.exponent - 1.5).abs() < 1e-9);
+        assert!((f.coeff - 2.5).abs() < 1e-9);
+        assert!((f.predict(32.0) - 2.5 * 32.0f64.powf(1.5)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn power_fit_on_nlog2n_data_gives_exponent_slightly_above_one() {
+        // Cover-time-shaped data: y = n ln²n has local log-log slope
+        // 1 + 2/ln n, which for n in [256, 16384] is ≈ 1.2–1.36.
+        let xs: Vec<f64> = (8..15).map(|k| (1usize << k) as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| x * x.ln() * x.ln()).collect();
+        let f = power_fit(&xs, &ys);
+        assert!(f.exponent > 1.1 && f.exponent < 1.4, "exp {}", f.exponent);
+        assert!(f.r_squared > 0.999);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn power_fit_rejects_nonpositive() {
+        power_fit(&[1.0, 2.0], &[0.0, 1.0]);
+    }
+}

@@ -1,0 +1,185 @@
+//! A fixed-capacity bitset used for per-token visited tracking.
+//!
+//! With `n` tokens each tracking `n` visited nodes, memory is `n²` bits;
+//! word-packed storage keeps the cover-time experiments (E08/E09) within
+//! laptop memory up to `n = 16384` (32 MiB of visited bits).
+
+/// A fixed-size set of `usize` indices backed by 64-bit words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FixedBitSet {
+    words: Vec<u64>,
+    capacity: usize,
+    ones: usize,
+}
+
+impl FixedBitSet {
+    /// An empty set over the universe `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+            ones: 0,
+        }
+    }
+
+    /// Universe size.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of set bits.
+    #[inline]
+    pub fn count_ones(&self) -> usize {
+        self.ones
+    }
+
+    /// Whether every index in the universe is set.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.ones == self.capacity
+    }
+
+    /// Whether no index is set.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ones == 0
+    }
+
+    /// Whether `i` is set.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < self.capacity);
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Sets `i`; returns `true` if it was newly inserted.
+    #[inline]
+    pub fn insert(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.capacity, "index {i} out of capacity {}", self.capacity);
+        let w = &mut self.words[i / 64];
+        let mask = 1u64 << (i % 64);
+        if *w & mask == 0 {
+            *w |= mask;
+            self.ones += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes `i`; returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.capacity);
+        let w = &mut self.words[i / 64];
+        let mask = 1u64 << (i % 64);
+        if *w & mask != 0 {
+            *w &= !mask;
+            self.ones -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Clears all bits.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+        self.ones = 0;
+    }
+
+    /// Iterates over set indices in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(move |(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    return None;
+                }
+                let bit = w.trailing_zeros() as usize;
+                w &= w - 1;
+                Some(wi * 64 + bit)
+            })
+        })
+    }
+
+    /// Recomputes `count_ones` from the raw words (validation helper).
+    pub fn recount(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_empty() {
+        let s = FixedBitSet::new(100);
+        assert!(s.is_empty());
+        assert!(!s.is_full());
+        assert_eq!(s.count_ones(), 0);
+        assert_eq!(s.capacity(), 100);
+    }
+
+    #[test]
+    fn insert_and_contains() {
+        let mut s = FixedBitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(!s.insert(64), "double insert returns false");
+        assert!(s.contains(0) && s.contains(64) && s.contains(129));
+        assert!(!s.contains(1));
+        assert_eq!(s.count_ones(), 3);
+        assert_eq!(s.recount(), 3);
+    }
+
+    #[test]
+    fn remove_works() {
+        let mut s = FixedBitSet::new(10);
+        s.insert(5);
+        assert!(s.remove(5));
+        assert!(!s.remove(5));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn full_detection() {
+        let mut s = FixedBitSet::new(65);
+        for i in 0..65 {
+            s.insert(i);
+        }
+        assert!(s.is_full());
+        s.remove(64);
+        assert!(!s.is_full());
+    }
+
+    #[test]
+    fn iter_yields_sorted_indices() {
+        let mut s = FixedBitSet::new(200);
+        for i in [5usize, 63, 64, 65, 190] {
+            s.insert(i);
+        }
+        let got: Vec<usize> = s.iter().collect();
+        assert_eq!(got, vec![5, 63, 64, 65, 190]);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut s = FixedBitSet::new(70);
+        s.insert(3);
+        s.insert(69);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.recount(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_is_trivially_full() {
+        let s = FixedBitSet::new(0);
+        assert!(s.is_full());
+        assert!(s.is_empty());
+    }
+}

@@ -1,0 +1,75 @@
+//! Self-stabilization under attack — the §4.1 adversarial model.
+//!
+//! Every γ·n rounds an adversary grabs all balls and piles them into one
+//! bin. The process shrugs: within O(n) rounds it is legitimate again
+//! (Theorem 1(b)), and as long as γ ≥ 6 the long-run behavior is unharmed.
+//!
+//! Run: `cargo run --release --example adversarial_recovery`
+
+use rbb_core::adversary::{Adversary, AllInOneAdversary, FaultSchedule};
+use rbb_core::prelude::*;
+
+fn main() {
+    let n = 1024;
+    let gamma = 6;
+    let threshold = LegitimacyThreshold::default();
+    let schedule = FaultSchedule::gamma_n(gamma, n);
+    let horizon = 4 * schedule.period();
+
+    println!("n = {n}, adversary strikes every γ·n = {} rounds (γ = {gamma})", schedule.period());
+    println!("legitimacy bound: max load ≤ {}\n", threshold.bound(n));
+
+    let mut process = LoadProcess::new(Config::one_per_bin(n), Xoshiro256pp::seed_from(99));
+    let mut adv = AllInOneAdversary;
+    let mut adv_rng = Xoshiro256pp::seed_from(0xBAD);
+
+    let mut fault_round: Option<u64> = None;
+    let mut recoveries: Vec<u64> = Vec::new();
+    let mut illegitimate_rounds = 0u64;
+
+    for _ in 0..horizon {
+        process.step();
+        let round = process.round();
+        let legit = threshold.is_legitimate(process.config());
+        if !legit {
+            illegitimate_rounds += 1;
+        }
+        if let Some(f) = fault_round {
+            if legit {
+                let took = round - f;
+                println!(
+                    "  recovered {took} rounds after the fault ({:.2}·n)",
+                    took as f64 / n as f64
+                );
+                recoveries.push(took);
+                fault_round = None;
+            }
+        }
+        if schedule.is_faulty(round) {
+            let placement = adv.placement(n, n, process.config(), &mut adv_rng);
+            let mut loads = vec![0u32; n];
+            for &b in &placement {
+                loads[b] += 1;
+            }
+            process.adversarial_reassign(Config::from_loads(loads));
+            println!(
+                "round {round}: ADVERSARY piles all {n} balls into one bin (max load {})",
+                process.config().max_load()
+            );
+            fault_round = Some(round);
+        }
+    }
+
+    let faults = schedule.faults_up_to(horizon);
+    println!("\nsummary over {horizon} rounds and {faults} faults:");
+    println!(
+        "  every fault recovered; worst recovery {} rounds ({:.2}·n — paper: O(n))",
+        recoveries.iter().max().unwrap(),
+        *recoveries.iter().max().unwrap() as f64 / n as f64
+    );
+    println!(
+        "  illegitimate fraction of time: {:.1}% (bounded: each fault costs O(n) of γn = {} rounds)",
+        100.0 * illegitimate_rounds as f64 / horizon as f64,
+        schedule.period()
+    );
+}

@@ -1,0 +1,55 @@
+//! Quickstart: the repeated balls-into-bins process in 60 seconds.
+//!
+//! Demonstrates the paper's two headline behaviors (Theorem 1):
+//! (a) from a legitimate start the max load stays O(log n) for a long time;
+//! (b) from the worst possible start (all balls in one bin) the system
+//!     self-stabilizes in ~n rounds.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use rbb_core::prelude::*;
+
+fn main() {
+    let n = 1024;
+    let threshold = LegitimacyThreshold::default();
+    println!("repeated balls-into-bins, n = {n} balls and bins");
+    println!("legitimacy: max load <= 4 ln n = {}\n", threshold.bound(n));
+
+    // (a) Stability from a legitimate configuration.
+    let mut process = LoadProcess::new(Config::one_per_bin(n), Xoshiro256pp::seed_from(1));
+    let mut max_tracker = MaxLoadTracker::new();
+    let mut empty_tracker = EmptyBinsTracker::new();
+    let window = 100 * n as u64;
+    process.run(window, (&mut max_tracker, &mut empty_tracker));
+    println!("stability over {window} rounds from the one-ball-per-bin start:");
+    println!(
+        "  max load ever seen : {} (first hit at round {})",
+        max_tracker.window_max(),
+        max_tracker.argmax_round()
+    );
+    println!(
+        "  empty bins         : never below {} ({}% of n; paper guarantees >= 25%)",
+        empty_tracker.min_empty(),
+        100 * empty_tracker.min_empty() / n
+    );
+
+    // (b) Self-stabilization from the worst configuration.
+    let worst = Config::all_in_one(n, n as u32);
+    let mut process = LoadProcess::new(worst, Xoshiro256pp::seed_from(2));
+    let round = process
+        .run_until(20 * n as u64, |c| threshold.is_legitimate(c))
+        .expect("Theorem 1(b): converges w.h.p.");
+    println!("\nself-stabilization from all {n} balls in one bin:");
+    println!("  legitimate after {round} rounds (paper: O(n); here {:.2}·n)", round as f64 / n as f64);
+
+    // Bonus: the per-ball view under FIFO.
+    let mut balls = BallProcess::legitimate_start(n, 3);
+    balls.run(2_000, NullObserver);
+    println!("\nper-ball progress after 2000 rounds (FIFO):");
+    println!(
+        "  slowest ball moved {} times (Ω(t/log n) floor ≈ {:.0})",
+        balls.min_progress(),
+        2_000.0 / (n as f64).ln()
+    );
+    println!("  mean moves {:.1} — duty cycle {:.2}", balls.mean_progress(), balls.mean_progress() / 2_000.0);
+}

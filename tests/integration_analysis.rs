@@ -1,0 +1,229 @@
+//! Cross-crate integration for the analysis instrumentation: phases,
+//! arrivals, mixing, delays — the measurements behind experiments E20–E22.
+
+use rbb_core::arrivals::ArrivalTracker;
+use rbb_core::config::Config;
+use rbb_core::exact::ExactChain;
+use rbb_core::mixing::{mixing_time, tv_decay, MaxLoadDistribution};
+use rbb_core::phases::PhaseTracker;
+use rbb_core::metrics::RoundObserver;
+use rbb_core::process::LoadProcess;
+use rbb_core::rng::Xoshiro256pp;
+use rbb_core::strategy::QueueStrategy;
+use rbb_core::ball_process::BallProcess;
+use rbb_stats::{autocorrelation, tv_distance, IntHistogram, Summary};
+use rbb_traversal::record_delays_exact;
+
+/// The arrival series reconstructed from load deltas must total the number
+/// of balls that moved: Σ arrivals over all bins per round = movers.
+#[test]
+fn arrival_reconstruction_is_consistent_with_movers() {
+    let n = 32;
+    let mut p = LoadProcess::legitimate_start(n, 1);
+    let mut trackers: Vec<ArrivalTracker> = (0..n)
+        .map(|b| ArrivalTracker::with_initial(b, p.config()))
+        .collect();
+    let mut movers_per_round = Vec::new();
+    for _ in 0..200 {
+        let before_nonempty = p.config().nonempty_bins();
+        p.step();
+        movers_per_round.push(before_nonempty as u64);
+        for t in trackers.iter_mut() {
+            t.observe(p.round(), p.config());
+        }
+    }
+    for (round_idx, &movers) in movers_per_round.iter().enumerate() {
+        let total: u64 = trackers
+            .iter()
+            .map(|t| t.arrivals()[round_idx] as u64)
+            .sum();
+        assert_eq!(total, movers, "round {round_idx}");
+    }
+}
+
+/// Phase accounting and delay accounting agree with the engine's own
+/// bookkeeping: a FIFO ball's wait is bounded by the phase peak of its bin.
+#[test]
+fn fifo_waits_bounded_by_window_max_load() {
+    let n = 128;
+    let mut p = BallProcess::new(
+        Config::one_per_bin(n),
+        QueueStrategy::Fifo,
+        Xoshiro256pp::seed_from(2),
+    );
+    let hist = record_delays_exact(&mut p, 20_000);
+    let max_wait = hist.max_value().unwrap_or(0) as u32;
+    // Under FIFO the wait equals the load observed on arrival, which is at
+    // most the window max load minus one.
+    let window_max: u32 = p.config().max_load().max(
+        p.ball_stats()
+            .iter()
+            .map(|s| s.max_wait as u32 + 1)
+            .max()
+            .unwrap_or(0),
+    );
+    assert!(max_wait < window_max + 8, "wait {max_wait} vs max {window_max}");
+    // And the engine's own max_wait agrees with the histogram's.
+    let engine_max = p.ball_stats().iter().map(|s| s.max_wait).max().unwrap();
+    assert_eq!(engine_max as usize, hist.max_value().unwrap());
+}
+
+/// Exact mixing time and the simulated distribution agree: after t_mix(0.01)
+/// steps from the worst start, the simulated max-load distribution is close
+/// to the exact stationary one.
+#[test]
+fn simulated_distribution_close_after_exact_mixing_time() {
+    let n = 4usize;
+    let chain = ExactChain::build(n, n as u32);
+    let t_mix = mixing_time(&chain, 0.01, 10_000).unwrap();
+    let pi = chain.stationary(1e-13, 100_000);
+
+    // Exact max-load pmf at stationarity.
+    let mut exact_pmf = vec![0.0; n + 1];
+    for (q, &p) in chain.configs().iter().zip(&pi) {
+        exact_pmf[*q.iter().max().unwrap() as usize] += p;
+    }
+
+    // Simulate many independent chains for exactly t_mix rounds from the
+    // all-in-one start and collect the final max load.
+    let trials = 200_000;
+    let mut hist = IntHistogram::new();
+    for s in 0..trials {
+        let mut p = LoadProcess::new(
+            Config::all_in_one(n, n as u32),
+            Xoshiro256pp::seed_from(1000 + s),
+        );
+        p.run_silent(t_mix as u64);
+        hist.add(p.config().max_load() as usize);
+    }
+    let sim_pmf: Vec<f64> = (0..=n).map(|k| hist.pmf(k)).collect();
+    let tv = tv_distance(&sim_pmf, &exact_pmf);
+    // The chain is within 0.01 TV of stationarity at t_mix; Monte Carlo adds
+    // a bit of noise on top.
+    assert!(tv < 0.02, "TV {tv} at t_mix = {t_mix}");
+}
+
+/// TV decay curves from different starts are ordered by how extreme the
+/// start is: the all-in-one Dirac start more distant than the spread one.
+#[test]
+fn tv_decay_ordered_by_start_extremity() {
+    let chain = ExactChain::build(4, 4);
+    let from_pile = tv_decay(&chain, &[4, 0, 0, 0], 10);
+    let from_spread = tv_decay(&chain, &[1, 1, 1, 1], 10);
+    // After a few steps the pile start is at least as far from π.
+    for t in 2..=6 {
+        assert!(
+            from_pile[t] + 1e-9 >= from_spread[t],
+            "t={t}: pile {} < spread {}",
+            from_pile[t],
+            from_spread[t]
+        );
+    }
+}
+
+/// The MaxLoadDistribution observer and an IntHistogram built by hand agree.
+#[test]
+fn max_load_distribution_matches_manual_histogram() {
+    let n = 64;
+    let mut p1 = LoadProcess::legitimate_start(n, 3);
+    let mut dist = MaxLoadDistribution::new();
+    let rounds = 5_000;
+    p1.run(rounds, &mut dist);
+
+    let mut p2 = LoadProcess::legitimate_start(n, 3);
+    let mut hist = IntHistogram::new();
+    for _ in 0..rounds {
+        p2.step();
+        hist.add(p2.config().max_load() as usize);
+    }
+    let manual: Vec<f64> = (0..=hist.max_value().unwrap()).map(|k| hist.pmf(k)).collect();
+    assert!(tv_distance(&dist.pmf(), &manual) < 1e-12);
+    assert_eq!(dist.rounds(), rounds);
+}
+
+/// Phases tracked on the full bin set account for (almost) all busy time:
+/// the mean phase duration times the phase rate approximates the busy
+/// fraction.
+#[test]
+fn phase_accounting_consistent_with_busy_fraction() {
+    let n = 256;
+    let mut p = LoadProcess::legitimate_start(n, 4);
+    p.run_silent(2000);
+    let mut phases = PhaseTracker::first_k(n);
+    let window = 20_000u64;
+    p.run(window, &mut phases);
+    // Busy bin-rounds ≈ completed phases × mean duration.
+    let busy_bin_rounds = phases.completed() as f64 * phases.mean_duration();
+    let expected = 0.586 * n as f64 * window as f64;
+    let ratio = busy_bin_rounds / expected;
+    assert!(ratio > 0.85 && ratio < 1.15, "ratio {ratio}");
+}
+
+/// Arrival autocorrelation estimates are stable across disjoint halves of a
+/// long run (a sanity check that E22's measurement is not an artifact).
+#[test]
+fn acf_estimate_reproducible_across_halves() {
+    let n = 64;
+    let mut p = LoadProcess::legitimate_start(n, 5);
+    p.run_silent(1000);
+    let mut t = ArrivalTracker::with_initial(0, p.config());
+    p.run(100_000, &mut t);
+    let series = t.series_f64();
+    let half = series.len() / 2;
+    let a1 = autocorrelation(&series[..half], 1);
+    let a2 = autocorrelation(&series[half..], 1);
+    assert!((a1 - a2).abs() < 0.02, "halves disagree: {a1} vs {a2}");
+}
+
+/// Cross-strategy: delays differ but totals of moves match across strategies
+/// at the same horizon (every strategy moves one ball per non-empty bin).
+#[test]
+fn total_moves_strategy_invariant() {
+    let n = 64;
+    let rounds = 2_000u64;
+    let totals: Vec<u64> = QueueStrategy::ALL
+        .iter()
+        .map(|&s| {
+            let mut p = BallProcess::new(
+                Config::one_per_bin(n),
+                s,
+                Xoshiro256pp::seed_from(6),
+            );
+            p.run(rounds, rbb_core::metrics::NullObserver);
+            p.ball_stats().iter().map(|b| b.moves).sum()
+        })
+        .collect();
+    // FIFO and LIFO are bit-identical; random matches in expectation (same
+    // law) — allow a small relative tolerance for it.
+    assert_eq!(totals[0], totals[1]);
+    let rel = (totals[2] as f64 - totals[0] as f64).abs() / totals[0] as f64;
+    assert!(rel < 0.01, "random deviates {rel}");
+}
+
+/// Summary-level check that the per-round max distribution is tight: the
+/// 5-95 quantile spread at equilibrium is a few units.
+#[test]
+fn per_round_max_distribution_is_tight() {
+    let n = 512;
+    let mut p = LoadProcess::legitimate_start(n, 7);
+    p.run_silent(2000);
+    let mut dist = MaxLoadDistribution::new();
+    p.run(50_000, &mut dist);
+    let pmf = dist.pmf();
+    let mut cum = 0.0;
+    let mut q05 = 0usize;
+    let mut q95 = 0usize;
+    for (k, &pk) in pmf.iter().enumerate() {
+        cum += pk;
+        if cum < 0.05 {
+            q05 = k;
+        }
+        if cum <= 0.95 {
+            q95 = k;
+        }
+    }
+    assert!(q95 - q05 <= 6, "spread {q05}..{q95}");
+    let mean: f64 = pmf.iter().enumerate().map(|(k, &p)| k as f64 * p).sum();
+    let s = Summary::from_slice(&[mean]);
+    assert!(s.mean() > 4.0 && s.mean() < 4.0 * (n as f64).ln());
+}

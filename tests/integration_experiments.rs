@@ -1,0 +1,51 @@
+//! Smoke tests over the experiment suite: every registered experiment runs
+//! to completion on quick sizes without writing artifacts. These are the
+//! end-to-end guards that the EXPERIMENTS.md pipeline cannot rot.
+
+use rbb_experiments::common::ExpContext;
+use rbb_experiments::registry;
+
+#[test]
+fn every_experiment_runs_quick() {
+    for e in registry() {
+        let ctx = ExpContext::for_tests(e.id);
+        (e.run)(&ctx);
+    }
+}
+
+#[test]
+fn registry_covers_all_claims() {
+    let reg = registry();
+    let claims: Vec<&str> = reg.iter().map(|e| e.claim).collect();
+    // Every theorem/lemma/corollary/appendix of the paper is mapped.
+    for needle in [
+        "Theorem 1(a)",
+        "Theorem 1(b)",
+        "Lemmas 1-2",
+        "Lemma 3",
+        "Lemma 4",
+        "Lemma 5",
+        "Lemma 6",
+        "Corollary 1",
+        "Section 4.1",
+        "Appendix B",
+    ] {
+        assert!(
+            claims.iter().any(|c| c.contains(needle)),
+            "claim {needle} not covered by any experiment"
+        );
+    }
+}
+
+#[test]
+fn experiment_results_are_deterministic() {
+    // E01 computed twice with the same context gives identical rows.
+    use rbb_experiments::e01_stability;
+    let ctx = ExpContext::for_tests("e01-det");
+    let a = e01_stability::compute(&ctx, &[64, 128], 3);
+    let b = e01_stability::compute(&ctx, &[64, 128], 3);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.mean_window_max, y.mean_window_max);
+        assert_eq!(x.worst_window_max, y.worst_window_max);
+    }
+}

@@ -1,0 +1,140 @@
+//! Cross-crate integration: process engines + metrics + statistics, and the
+//! exact small-n chain as ground truth for the simulators.
+
+use rbb_core::config::{Config, LegitimacyThreshold};
+use rbb_core::exact::ExactChain;
+use rbb_core::metrics::{EmptyBinsTracker, MaxLoadTracker, TrajectoryRecorder};
+use rbb_core::process::LoadProcess;
+use rbb_core::rng::Xoshiro256pp;
+use rbb_stats::{linear_fit, log_fit, IntHistogram, Summary};
+
+/// Theorem 1(a) end-to-end: window max load grows like a + b·ln n with a
+/// good fit, across a size sweep.
+#[test]
+fn window_max_load_fits_log_law() {
+    let sizes = [64usize, 128, 256, 512, 1024];
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for (i, &n) in sizes.iter().enumerate() {
+        let trials = 5;
+        let mut s = Summary::new();
+        for t in 0..trials {
+            let mut p = LoadProcess::legitimate_start(n, 1000 + (i * trials + t) as u64);
+            let mut tracker = MaxLoadTracker::new();
+            p.run(50 * n as u64, &mut tracker);
+            s.push(tracker.window_max() as f64);
+        }
+        xs.push(n as f64);
+        ys.push(s.mean());
+    }
+    let fit = log_fit(&xs, &ys);
+    assert!(fit.slope > 0.5 && fit.slope < 6.0, "slope {}", fit.slope);
+    assert!(fit.r_squared > 0.8, "R² {}", fit.r_squared);
+    // Monotone in n but slowly: the largest n's load under 3x the smallest's.
+    assert!(ys[4] < 3.0 * ys[0], "{ys:?}");
+}
+
+/// Theorem 1(b) end-to-end: convergence from all-in-one is linear in n.
+#[test]
+fn convergence_time_fits_linear_law() {
+    let sizes = [128usize, 256, 512, 1024];
+    let thr = LegitimacyThreshold::default();
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for &n in &sizes {
+        let mut s = Summary::new();
+        for t in 0..5u64 {
+            let mut p = LoadProcess::new(
+                Config::all_in_one(n, n as u32),
+                Xoshiro256pp::seed_from(2000 + t),
+            );
+            let hit = p
+                .run_until(30 * n as u64, |c| thr.is_legitimate(c))
+                .expect("converges");
+            s.push(hit as f64);
+        }
+        xs.push(n as f64);
+        ys.push(s.mean());
+    }
+    let fit = linear_fit(&xs, &ys);
+    assert!(fit.slope > 0.8 && fit.slope < 3.0, "slope {}", fit.slope);
+    assert!(fit.r_squared > 0.97, "R² {}", fit.r_squared);
+}
+
+/// The exact chain (n = m = 3) vs long-run simulation: the stationary
+/// distribution of the max load must match within Monte Carlo error.
+#[test]
+fn simulation_matches_exact_stationary_distribution() {
+    let n = 3usize;
+    let chain = ExactChain::build(n, n as u32);
+    let pi = chain.stationary(1e-13, 100_000);
+    let exact_p_max = |k: u32| chain.prob_max_load_at_least(&pi, k);
+
+    // Long simulated run with burn-in; per-round max load histogram.
+    let mut p = LoadProcess::legitimate_start(n, 77);
+    p.run_silent(10_000);
+    let mut hist = IntHistogram::new();
+    let rounds = 2_000_000u64;
+    for _ in 0..rounds {
+        p.step();
+        hist.add(p.config().max_load() as usize);
+    }
+    for k in 1..=3u32 {
+        let emp = hist.tail(k as usize);
+        let exact = exact_p_max(k);
+        assert!(
+            (emp - exact).abs() < 0.01,
+            "P(max >= {k}): simulated {emp:.4} vs exact {exact:.4}"
+        );
+    }
+}
+
+/// Exact expected max load (n = 4) vs simulation.
+#[test]
+fn simulation_matches_exact_expected_max_load() {
+    let n = 4usize;
+    let chain = ExactChain::build(n, n as u32);
+    let pi = chain.stationary(1e-13, 100_000);
+    let exact = chain.expected_max_load(&pi);
+
+    let mut p = LoadProcess::legitimate_start(n, 78);
+    p.run_silent(10_000);
+    let mut sum = 0u64;
+    let rounds = 1_000_000u64;
+    for _ in 0..rounds {
+        p.step();
+        sum += p.config().max_load() as u64;
+    }
+    let emp = sum as f64 / rounds as f64;
+    assert!((emp - exact).abs() < 0.01, "simulated {emp:.4} vs exact {exact:.4}");
+}
+
+/// The empty-bins guarantee composes with the trajectory recorder: every
+/// recorded point from round 2 on has ≥ n/4 empty bins.
+#[test]
+fn trajectory_points_respect_empty_bins_bound() {
+    let n = 512;
+    let mut p = LoadProcess::legitimate_start(n, 79);
+    let mut rec = TrajectoryRecorder::with_stride(10);
+    let mut empty = EmptyBinsTracker::starting_at(2);
+    p.run(20_000, (&mut rec, &mut empty));
+    assert_eq!(empty.violations_below_quarter(), 0);
+    for pt in rec.points().iter().filter(|p| p.round >= 2) {
+        assert!(4 * pt.empty_bins >= n, "round {}: {} empty", pt.round, pt.empty_bins);
+        assert_eq!(pt.empty_bins + pt.nonempty_bins, n);
+    }
+}
+
+/// Mass conservation composes across adversarial faults and long runs.
+#[test]
+fn mass_conserved_through_faults() {
+    let n = 256;
+    let mut p = LoadProcess::legitimate_start(n, 80);
+    for fault in 0..5 {
+        p.run_silent(997);
+        p.adversarial_reassign(Config::packed(n, n as u32, 1 + fault));
+        assert_eq!(p.config().total_balls(), n as u64);
+    }
+    p.run_silent(5000);
+    assert_eq!(p.config().total_balls(), n as u64);
+}

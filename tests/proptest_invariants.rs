@@ -1,0 +1,168 @@
+//! Property-based tests on the core invariants (proptest).
+
+use proptest::prelude::*;
+
+use rbb_core::ball_process::BallProcess;
+use rbb_core::config::Config;
+use rbb_core::coupling::CoupledRun;
+use rbb_core::exact::{compositions, multinomial_probability, transition_distribution};
+use rbb_core::process::LoadProcess;
+use rbb_core::rng::Xoshiro256pp;
+use rbb_core::sampling::{binomial, random_assignment};
+use rbb_core::strategy::QueueStrategy;
+use rbb_stats::{quantile, IntHistogram, Summary};
+
+/// Arbitrary small configuration: n bins, m balls placed by seed.
+fn arb_config() -> impl Strategy<Value = (Config, u64)> {
+    (2usize..40, 0u64..80, any::<u64>()).prop_map(|(n, m, seed)| {
+        let mut rng = Xoshiro256pp::seed_from(seed);
+        (Config::from_loads(random_assignment(&mut rng, n, m)), seed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Ball count is conserved by any number of rounds from any start.
+    #[test]
+    fn load_process_conserves_mass((config, seed) in arb_config(), rounds in 0u64..200) {
+        let m = config.total_balls();
+        let mut p = LoadProcess::new(config, Xoshiro256pp::seed_from(seed ^ 0xA5));
+        p.run_silent(rounds);
+        prop_assert_eq!(p.config().total_balls(), m);
+    }
+
+    /// The ball-identity engine conserves mass and stays internally
+    /// consistent under every strategy.
+    #[test]
+    fn ball_process_consistent((config, seed) in arb_config(), rounds in 0u64..100,
+                               strat_idx in 0usize..3) {
+        let strategy = QueueStrategy::ALL[strat_idx];
+        let m = config.total_balls();
+        let mut p = BallProcess::new(config, strategy, Xoshiro256pp::seed_from(seed ^ 0xB6));
+        for _ in 0..rounds {
+            p.step();
+        }
+        prop_assert!(p.validate().is_ok());
+        prop_assert_eq!(p.config().total_balls(), m);
+    }
+
+    /// FIFO and LIFO produce identical load trajectories under a shared
+    /// seed (strategy obliviousness at the law level, pinned exactly).
+    #[test]
+    fn fifo_lifo_trajectories_identical(n in 2usize..50, seed in any::<u64>(), rounds in 1u64..60) {
+        let mut fifo = BallProcess::new(
+            Config::one_per_bin(n), QueueStrategy::Fifo, Xoshiro256pp::seed_from(seed));
+        let mut lifo = BallProcess::new(
+            Config::one_per_bin(n), QueueStrategy::Lifo, Xoshiro256pp::seed_from(seed));
+        for _ in 0..rounds {
+            fifo.step();
+            lifo.step();
+        }
+        prop_assert_eq!(fifo.config(), lifo.config());
+    }
+
+    /// Empty bins never fall below the pigeonhole floor: when m ≤ n,
+    /// congested bins never outnumber empty bins (the Lemma-1 structure).
+    #[test]
+    fn pigeonhole_structure_invariant(n in 2usize..60, seed in any::<u64>(), rounds in 0u64..100) {
+        let mut rng = Xoshiro256pp::seed_from(seed);
+        let config = Config::from_loads(random_assignment(&mut rng, n, n as u64));
+        let mut p = LoadProcess::new(config, rng);
+        for _ in 0..rounds {
+            p.step();
+            prop_assert!(p.config().congested_bins() <= p.config().empty_bins());
+        }
+    }
+
+    /// The Lemma-3 coupling certifies domination for every valid start.
+    #[test]
+    fn coupling_domination(n in 8usize..64, seed in any::<u64>(), rounds in 1u64..80) {
+        let mut rng = Xoshiro256pp::seed_from(seed);
+        // Rejection-sample a start with ≥ n/4 empty bins.
+        let config = loop {
+            let c = Config::from_loads(random_assignment(&mut rng, n, n as u64));
+            if 4 * c.empty_bins() >= n {
+                break c;
+            }
+        };
+        let report = CoupledRun::new(config, seed).unwrap().run(rounds);
+        prop_assert!(report.domination_certified());
+        if report.case_ii_rounds == 0 {
+            prop_assert!(report.tetris_window_max >= report.original_window_max);
+        }
+    }
+
+    /// Binomial sampler: always within [0, n], matches Bernoulli-sum law on
+    /// the mean for random parameters.
+    #[test]
+    fn binomial_in_range(n in 0u64..200, p in 0.0f64..=1.0, seed in any::<u64>()) {
+        let mut rng = Xoshiro256pp::seed_from(seed);
+        let x = binomial(&mut rng, n, p);
+        prop_assert!(x <= n);
+    }
+
+    /// Exact-kernel rows are probability distributions that conserve mass,
+    /// for any small configuration.
+    #[test]
+    fn exact_transition_rows_stochastic(q in proptest::collection::vec(0u32..5, 2..5)) {
+        let m: u32 = q.iter().sum();
+        let dist = transition_distribution(&q);
+        let total: f64 = dist.iter().map(|(_, p)| p).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "row sums to {}", total);
+        for (next, p) in &dist {
+            prop_assert!(*p >= 0.0);
+            prop_assert_eq!(next.iter().sum::<u32>(), m);
+        }
+    }
+
+    /// Multinomial probabilities over all compositions sum to 1.
+    #[test]
+    fn multinomial_normalizes(h in 0u32..7, n in 1usize..5) {
+        let total: f64 = compositions(h, n)
+            .iter()
+            .map(|a| multinomial_probability(a, n))
+            .sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    /// Histogram tail/pmf/quantile are mutually consistent.
+    #[test]
+    fn histogram_consistency(values in proptest::collection::vec(0usize..30, 1..200)) {
+        let hist: IntHistogram = values.iter().copied().collect();
+        prop_assert_eq!(hist.total() as usize, values.len());
+        // pmf sums to 1.
+        let max = hist.max_value().unwrap();
+        let pmf_sum: f64 = (0..=max).map(|v| hist.pmf(v)).sum();
+        prop_assert!((pmf_sum - 1.0).abs() < 1e-9);
+        // tail(0) = 1.
+        prop_assert!((hist.tail(0) - 1.0).abs() < 1e-12);
+        // median quantile is an observed value.
+        let med = hist.quantile(0.5).unwrap();
+        prop_assert!(values.contains(&med));
+    }
+
+    /// Summary matches a direct two-pass computation.
+    #[test]
+    fn summary_matches_two_pass(values in proptest::collection::vec(-1e6f64..1e6, 2..100)) {
+        let s = Summary::from_slice(&values);
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        let var = values.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+            / (values.len() - 1) as f64;
+        prop_assert!((s.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((s.variance() - var).abs() < 1e-5 * (1.0 + var));
+    }
+
+    /// Quantiles are monotone in q and bracketed by min/max.
+    #[test]
+    fn quantiles_monotone(values in proptest::collection::vec(-1e3f64..1e3, 1..60),
+                          q1 in 0.0f64..=1.0, q2 in 0.0f64..=1.0) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let a = quantile(&values, lo);
+        let b = quantile(&values, hi);
+        prop_assert!(a <= b + 1e-12);
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(a >= min - 1e-12 && b <= max + 1e-12);
+    }
+}

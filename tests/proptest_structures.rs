@@ -1,0 +1,174 @@
+//! Property-based tests on the substrate data structures: bitsets, graphs,
+//! the sequential baseline, and the distance/correlation helpers.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+use rbb_baselines::SequentialProcess;
+use rbb_core::config::Config;
+use rbb_core::rng::Xoshiro256pp;
+use rbb_core::sampling::random_assignment;
+use rbb_graphs::{bfs_distances, erdos_renyi, random_regular, ring, torus, Graph};
+use rbb_stats::{kl_divergence, normalize, pearson, tv_distance};
+use rbb_traversal::FixedBitSet;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// FixedBitSet behaves exactly like a HashSet<usize> under a random
+    /// operation sequence.
+    #[test]
+    fn bitset_matches_hashset(cap in 1usize..300,
+                              ops in proptest::collection::vec((any::<bool>(), 0usize..300), 0..120)) {
+        let mut bs = FixedBitSet::new(cap);
+        let mut hs: HashSet<usize> = HashSet::new();
+        for (insert, raw) in ops {
+            let i = raw % cap;
+            if insert {
+                prop_assert_eq!(bs.insert(i), hs.insert(i));
+            } else {
+                prop_assert_eq!(bs.remove(i), hs.remove(&i));
+            }
+        }
+        prop_assert_eq!(bs.count_ones(), hs.len());
+        prop_assert_eq!(bs.recount(), hs.len());
+        let mut from_iter: Vec<usize> = bs.iter().collect();
+        let mut expect: Vec<usize> = hs.into_iter().collect();
+        from_iter.sort_unstable();
+        expect.sort_unstable();
+        prop_assert_eq!(from_iter, expect);
+    }
+
+    /// Random regular graphs are simple, regular and connected for feasible
+    /// parameters.
+    #[test]
+    fn random_regular_is_simple_regular_connected(
+        n in 6usize..60, d_raw in 3usize..5, seed in any::<u64>()
+    ) {
+        let d = d_raw;
+        prop_assume!(n * d % 2 == 0 && d < n);
+        let mut rng = Xoshiro256pp::seed_from(seed);
+        let g = random_regular(n, d, &mut rng);
+        prop_assert_eq!(g.regular_degree(), Some(d));
+        prop_assert!(g.is_connected());
+        // Simple: no duplicate neighbor entries, no self-loops.
+        for v in 0..n {
+            let ns = g.neighbors(v);
+            let mut uniq: Vec<u32> = ns.to_vec();
+            uniq.sort_unstable();
+            uniq.dedup();
+            prop_assert_eq!(uniq.len(), ns.len(), "vertex {} has multi-edges", v);
+            prop_assert!(!ns.contains(&(v as u32)), "vertex {} has a loop", v);
+        }
+    }
+
+    /// BFS distances satisfy the triangle property along edges:
+    /// |dist(u) − dist(v)| ≤ 1 for every edge (u, v).
+    #[test]
+    fn bfs_distances_are_lipschitz_on_edges(n in 4usize..40, seed in any::<u64>()) {
+        let mut rng = Xoshiro256pp::seed_from(seed);
+        let g = erdos_renyi(n, 0.35, &mut rng);
+        let dist = bfs_distances(&g, 0);
+        for u in 0..n {
+            for &v in g.neighbors(u) {
+                let (a, b) = (dist[u] as i64, dist[v as usize] as i64);
+                prop_assert!((a - b).abs() <= 1, "edge ({u},{v}): {a} vs {b}");
+            }
+        }
+    }
+
+    /// Graph construction from an edge list preserves the degree sum
+    /// invariant (handshake lemma, adjusted for self-loops counting once).
+    #[test]
+    fn handshake_lemma(n in 2usize..30,
+                       edges in proptest::collection::vec((0u32..30, 0u32..30), 0..60)) {
+        let edges: Vec<(u32, u32)> = edges
+            .into_iter()
+            .map(|(a, b)| (a % n as u32, b % n as u32))
+            .collect();
+        let g = Graph::from_edges(n, &edges);
+        let loops = edges.iter().filter(|(a, b)| a == b).count();
+        let degree_sum: usize = (0..n).map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degree_sum, 2 * (edges.len() - loops) + loops);
+    }
+
+    /// The sequential baseline conserves mass from any start.
+    #[test]
+    fn sequential_process_conserves_mass(n in 2usize..40, seed in any::<u64>(),
+                                         rounds in 0u64..80) {
+        let mut rng = Xoshiro256pp::seed_from(seed);
+        let cfg = Config::from_loads(random_assignment(&mut rng, n, n as u64));
+        let m = cfg.total_balls();
+        let mut p = SequentialProcess::new(cfg, rng);
+        for _ in 0..rounds {
+            p.step();
+        }
+        prop_assert_eq!(p.config().total_balls(), m);
+    }
+
+    /// TV distance is a metric on normalized histograms: symmetric, zero on
+    /// identity, triangle inequality.
+    #[test]
+    fn tv_is_a_metric(a in proptest::collection::vec(1u64..50, 1..10),
+                      b in proptest::collection::vec(1u64..50, 1..10),
+                      c in proptest::collection::vec(1u64..50, 1..10)) {
+        let p = normalize(&a);
+        let q = normalize(&b);
+        let r = normalize(&c);
+        prop_assert!(tv_distance(&p, &p) < 1e-12);
+        prop_assert!((tv_distance(&p, &q) - tv_distance(&q, &p)).abs() < 1e-12);
+        prop_assert!(tv_distance(&p, &r) <= tv_distance(&p, &q) + tv_distance(&q, &r) + 1e-12);
+        prop_assert!(tv_distance(&p, &q) <= 1.0 + 1e-12);
+    }
+
+    /// KL divergence is non-negative on strictly positive distributions
+    /// (Gibbs' inequality).
+    #[test]
+    fn kl_nonnegative(a in proptest::collection::vec(1u64..50, 2..10),
+                      b in proptest::collection::vec(1u64..50, 2..10)) {
+        prop_assume!(a.len() == b.len());
+        let p = normalize(&a);
+        let q = normalize(&b);
+        prop_assert!(kl_divergence(&p, &q) >= -1e-12);
+    }
+
+    /// Pearson correlation is within [−1, 1] and invariant under positive
+    /// affine maps of either argument.
+    #[test]
+    fn pearson_bounded_and_affine_invariant(
+        xs in proptest::collection::vec(-100.0f64..100.0, 3..40),
+        scale in 0.1f64..10.0, shift in -50.0f64..50.0
+    ) {
+        let ys: Vec<f64> = xs.iter().map(|&x| x * 2.0 - 1.0).collect();
+        let r = pearson(&xs, &ys);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+        let xs2: Vec<f64> = xs.iter().map(|&x| scale * x + shift).collect();
+        let r2 = pearson(&xs2, &ys);
+        if r.abs() > 1e-9 {
+            prop_assert!((r - r2).abs() < 1e-6, "{r} vs {r2}");
+        }
+    }
+
+    /// Torus builders produce 4-regular graphs whose BFS distance matches
+    /// the L1 wrap-around metric on a sampled pair.
+    #[test]
+    fn torus_distance_is_wrapped_l1(rows in 3usize..9, cols in 3usize..9,
+                                    r in 0usize..9, c in 0usize..9) {
+        prop_assume!(r < rows && c < cols);
+        let g = torus(rows, cols);
+        let dist = bfs_distances(&g, 0);
+        let v = r * cols + c;
+        let dr = r.min(rows - r);
+        let dc = c.min(cols - c);
+        prop_assert_eq!(dist[v], dr + dc);
+    }
+
+    /// Ring BFS distance from 0 is min(v, n − v).
+    #[test]
+    fn ring_distance_formula(n in 3usize..60, v in 0usize..60) {
+        prop_assume!(v < n);
+        let g = ring(n);
+        let dist = bfs_distances(&g, 0);
+        prop_assert_eq!(dist[v], v.min(n - v));
+    }
+}
