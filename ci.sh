@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# CI gate: formatting, lints, release build, full test suite, and examples.
+# Run from the repository root. Mirrors the tier-1 verify
+# (`cargo build --release && cargo test -q`) plus conformance checks.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> examples"
+for example in quickstart process_zoo topology_tour adversarial_recovery token_scheduler exact_analysis; do
+    echo "--> cargo run --release --example ${example}"
+    cargo run -q --release --example "${example}" >/dev/null
+done
+
+echo "CI OK"

@@ -89,11 +89,11 @@ impl DChoiceProcess {
             }
         }
         let loads = self.config.loads_slice_mut();
-        for u in 0..n {
-            if loads[u] > 0 {
-                loads[u] -= 1;
+        for (load, &arrived) in loads.iter_mut().zip(&self.arrivals).take(n) {
+            if *load > 0 {
+                *load -= 1;
             }
-            loads[u] += self.arrivals[u];
+            *load += arrived;
         }
         self.round += 1;
         moved

@@ -175,10 +175,7 @@ mod tests {
 
     #[test]
     fn single_customer_walks() {
-        let mut j = JacksonNetwork::new(
-            Config::all_in_one(8, 1),
-            Xoshiro256pp::seed_from(3),
-        );
+        let mut j = JacksonNetwork::new(Config::all_in_one(8, 1), Xoshiro256pp::seed_from(3));
         for _ in 0..100 {
             j.step();
             assert_eq!(j.max_load(), 1);
@@ -212,7 +209,10 @@ mod tests {
         let hist = j.run_events(100_000);
         let mean_max = hist.mean();
         // Product-form geometric-ish tails: mean max load ~ O(log n).
-        assert!(mean_max > 2.0 && mean_max < 4.0 * (n as f64).ln(), "mean max {mean_max}");
+        assert!(
+            mean_max > 2.0 && mean_max < 4.0 * (n as f64).ln(),
+            "mean max {mean_max}"
+        );
     }
 
     #[test]

@@ -21,12 +21,7 @@ pub fn oneshot_max_load(n: usize, m: u64, rng: &mut Xoshiro256pp) -> u32 {
 }
 
 /// Distribution of the one-shot max load over `trials` independent throws.
-pub fn oneshot_max_load_distribution(
-    n: usize,
-    m: u64,
-    trials: usize,
-    seed: u64,
-) -> IntHistogram {
+pub fn oneshot_max_load_distribution(n: usize, m: u64, trials: usize, seed: u64) -> IntHistogram {
     let mut hist = IntHistogram::new();
     for i in 0..trials {
         let mut rng = Xoshiro256pp::stream(seed, i as u64);

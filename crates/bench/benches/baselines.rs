@@ -65,5 +65,11 @@ fn bench_jackson(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_oneshot, bench_dchoice, bench_independent, bench_jackson);
+criterion_group!(
+    benches,
+    bench_oneshot,
+    bench_dchoice,
+    bench_independent,
+    bench_jackson
+);
 criterion_main!(benches);

@@ -53,10 +53,8 @@ fn bench_convergence(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             let thr = rbb_core::config::LegitimacyThreshold::default();
             b.iter(|| {
-                let mut p = LoadProcess::new(
-                    Config::all_in_one(n, n as u32),
-                    Xoshiro256pp::seed_from(7),
-                );
+                let mut p =
+                    LoadProcess::new(Config::all_in_one(n, n as u32), Xoshiro256pp::seed_from(7));
                 black_box(p.run_until(20 * n as u64, |c| thr.is_legitimate(c)))
             });
         });
@@ -64,5 +62,10 @@ fn bench_convergence(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_load_engine, bench_ball_engine, bench_convergence);
+criterion_group!(
+    benches,
+    bench_load_engine,
+    bench_ball_engine,
+    bench_convergence
+);
 criterion_main!(benches);

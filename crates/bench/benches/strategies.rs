@@ -20,11 +20,8 @@ fn bench_strategies(c: &mut Criterion) {
             BenchmarkId::from_parameter(strategy.label()),
             &strategy,
             |b, &strategy| {
-                let mut p = BallProcess::new(
-                    Config::one_per_bin(n),
-                    strategy,
-                    Xoshiro256pp::seed_from(1),
-                );
+                let mut p =
+                    BallProcess::new(Config::one_per_bin(n), strategy, Xoshiro256pp::seed_from(1));
                 for _ in 0..50 {
                     p.step();
                 }

@@ -33,11 +33,8 @@ fn bench_batched_tetris_step(c: &mut Criterion) {
             BenchmarkId::from_parameter(format!("lambda-{lambda}")),
             &lambda,
             |b, &lambda| {
-                let mut t = BatchedTetris::new(
-                    Config::one_per_bin(n),
-                    lambda,
-                    Xoshiro256pp::seed_from(2),
-                );
+                let mut t =
+                    BatchedTetris::new(Config::one_per_bin(n), lambda, Xoshiro256pp::seed_from(2));
                 t.run_silent(50);
                 b.iter(|| black_box(t.step()));
             },

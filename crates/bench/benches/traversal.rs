@@ -74,5 +74,10 @@ fn bench_cover_small(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_traversal_step, bench_bitset_ablation, bench_cover_small);
+criterion_group!(
+    benches,
+    bench_traversal_step,
+    bench_bitset_ablation,
+    bench_cover_small
+);
 criterion_main!(benches);

@@ -77,15 +77,25 @@ pub fn simulate(args: &Args) -> Result<(), ParseError> {
     let start = build_start(&args.get_str("start", "one-per-bin"), n, seed)?;
     let threshold = LegitimacyThreshold::default();
 
-    println!("repeated balls-into-bins: n = {n}, start = {}, {rounds} rounds, seed = {seed}", args.get_str("start", "one-per-bin"));
+    println!(
+        "repeated balls-into-bins: n = {n}, start = {}, {rounds} rounds, seed = {seed}",
+        args.get_str("start", "one-per-bin")
+    );
     let mut p = LoadProcess::new(start, Xoshiro256pp::seed_from(seed));
     let mut max_t = MaxLoadTracker::new();
     let mut empty_t = EmptyBinsTracker::new();
     let mut legit_t = LegitimacyTracker::new(threshold);
     p.run(rounds, (&mut max_t, &mut empty_t, &mut legit_t));
 
-    println!("  max load over window : {} (bound 4 ln n = {})", max_t.window_max(), threshold.bound(n));
-    println!("  mean per-round max   : {}", fmt_f64(max_t.mean_round_max(), 2));
+    println!(
+        "  max load over window : {} (bound 4 ln n = {})",
+        max_t.window_max(),
+        threshold.bound(n)
+    );
+    println!(
+        "  mean per-round max   : {}",
+        fmt_f64(max_t.mean_round_max(), 2)
+    );
     println!(
         "  min empty bins       : {} ({}%; paper: ≥ 25%)",
         empty_t.min_empty(),
@@ -110,7 +120,10 @@ pub fn traverse(args: &Args) -> Result<(), ParseError> {
     let nf = n as f64;
     let cap = (500.0 * nf * nf.ln().powi(2)) as u64;
 
-    println!("multi-token traversal: n = {n}, strategy = {}", strategy.label());
+    println!(
+        "multi-token traversal: n = {n}, strategy = {}",
+        strategy.label()
+    );
     if gamma == 0 {
         let mut t = Traversal::new(n, strategy, seed);
         let cover = t
@@ -118,10 +131,20 @@ pub fn traverse(args: &Args) -> Result<(), ParseError> {
             .ok_or_else(|| ParseError("did not cover within cap".into()))?;
         let single = single_token_cover_time(n, seed, cap).unwrap_or(0);
         println!("  parallel cover time  : {cover} rounds");
-        println!("  n ln²n               : {:.0} (constant {:.2})", nf * nf.ln() * nf.ln(), cover as f64 / (nf * nf.ln() * nf.ln()));
-        println!("  single-token baseline: {single} (slowdown {:.2}×)", cover as f64 / single as f64);
+        println!(
+            "  n ln²n               : {:.0} (constant {:.2})",
+            nf * nf.ln() * nf.ln(),
+            cover as f64 / (nf * nf.ln() * nf.ln())
+        );
+        println!(
+            "  single-token baseline: {single} (slowdown {:.2}×)",
+            cover as f64 / single as f64
+        );
         let rep = ProgressReport::from_process(t.process());
-        println!("  min token progress   : {} (t/ln n = {:.0}); worst wait {}", rep.min_moves, rep.t_over_ln_n, rep.max_wait);
+        println!(
+            "  min token progress   : {} (t/ln n = {:.0}); worst wait {}",
+            rep.min_moves, rep.t_over_ln_n, rep.max_wait
+        );
     } else {
         let adversary = args.get_str("adversary", "all-in-one");
         let schedule = FaultSchedule::gamma_n(gamma, n);
@@ -142,7 +165,10 @@ pub fn traverse(args: &Args) -> Result<(), ParseError> {
                 r.faults_injected,
                 schedule.period()
             ),
-            None => println!("  did not cover within cap ({} faults injected)", r.faults_injected),
+            None => println!(
+                "  did not cover within cap ({} faults injected)",
+                r.faults_injected
+            ),
         }
     }
     Ok(())
@@ -156,13 +182,20 @@ pub fn topology(args: &Args) -> Result<(), ParseError> {
     let graph = build_topology(&kind, n, seed)?;
     let rounds: u64 = args.get_parsed("rounds", 50 * graph.n() as u64)?;
 
-    println!("topology '{kind}': n = {}, edges = {}", graph.n(), graph.num_edges());
+    println!(
+        "topology '{kind}': n = {}, edges = {}",
+        graph.n(),
+        graph.num_edges()
+    );
     match graph.regular_degree() {
         Some(d) => println!("  regular, degree {d}"),
         None => println!("  irregular"),
     }
     println!("  diameter      : {:?}", diameter(&graph));
-    println!("  spectral gap  : {:.4} (lazy walk)", spectral_gap(&graph, 1500));
+    println!(
+        "  spectral gap  : {:.4} (lazy walk)",
+        spectral_gap(&graph, 1500)
+    );
 
     let mut p = GraphLoadProcess::one_per_node(&graph, seed);
     let mut max_t = MaxLoadTracker::new();
@@ -185,7 +218,10 @@ pub fn exact(args: &Args) -> Result<(), ParseError> {
     let chain = ExactChain::build(n, n as u32);
     println!("exact chain: n = m = {n}, {} states", chain.num_states());
     let pi = chain.stationary(1e-13, 200_000);
-    println!("  E[max load] at stationarity: {}", fmt_f64(chain.expected_max_load(&pi), 4));
+    println!(
+        "  E[max load] at stationarity: {}",
+        fmt_f64(chain.expected_max_load(&pi), 4)
+    );
     for k in 1..=n as u32 {
         println!(
             "  P(max load ≥ {k}) = {}",

@@ -119,7 +119,7 @@ mod tests {
     #[test]
     fn mean_arrival_rate_matches_busy_fraction() {
         // At equilibrium, E[arrivals at a bin] = (#non-empty)/n ≈ 0.586
-        // (the measured busy fraction; above-1 backlogs keep it below 1−1/e... 
+        // (the measured busy fraction; above-1 backlogs keep it below 1−1/e...
         // see E03: empty fraction ≈ 0.414).
         let n = 512;
         let mut p = LoadProcess::legitimate_start(n, 3);
@@ -139,7 +139,11 @@ mod tests {
         p.run_silent(2000);
         let mut t = ArrivalTracker::with_initial(11, p.config());
         p.run(20_000, &mut t);
-        assert!((t.zero_fraction() - 0.557).abs() < 0.03, "{}", t.zero_fraction());
+        assert!(
+            (t.zero_fraction() - 0.557).abs() < 0.03,
+            "{}",
+            t.zero_fraction()
+        );
     }
 
     #[test]

@@ -228,7 +228,10 @@ impl BallProcess {
     pub fn validate(&self) -> Result<(), String> {
         let total: usize = self.queues.iter().map(|q| q.len()).sum();
         if total != self.stats.len() {
-            return Err(format!("{total} balls in queues, expected {}", self.stats.len()));
+            return Err(format!(
+                "{total} balls in queues, expected {}",
+                self.stats.len()
+            ));
         }
         for (u, q) in self.queues.iter().enumerate() {
             if q.len() != self.config.loads()[u] as usize {

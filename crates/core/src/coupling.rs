@@ -219,10 +219,7 @@ mod tests {
         for seed in 0..10u64 {
             let run = CoupledRun::new(coupling_start(128, seed), seed).unwrap();
             let report = run.run(500);
-            assert!(
-                report.domination_certified(),
-                "seed {seed}: {report:?}"
-            );
+            assert!(report.domination_certified(), "seed {seed}: {report:?}");
             assert!(report.tetris_window_max >= report.original_window_max);
         }
     }

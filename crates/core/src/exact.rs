@@ -398,7 +398,7 @@ mod tests {
         let chain = ExactChain::build(4, 4);
         let pi = chain.stationary(1e-12, 10_000);
         let em = chain.expected_max_load(&pi);
-        assert!(em >= 1.0 && em <= 4.0, "E[max load] = {em}");
+        assert!((1.0..=4.0).contains(&em), "E[max load] = {em}");
     }
 
     #[test]

@@ -113,13 +113,7 @@ pub fn lemma5_applicable(k: u64, t: u64) -> bool {
 /// Samples `trials` absorption times of the chain started at `k`, capping
 /// each run at `cap` steps (a `None` is recorded as `cap + 1`, which keeps
 /// empirical tails conservative). Returns the sorted times.
-pub fn sample_absorption_times(
-    n: usize,
-    k: u64,
-    trials: usize,
-    cap: u64,
-    seed: u64,
-) -> Vec<u64> {
+pub fn sample_absorption_times(n: usize, k: u64, trials: usize, cap: u64, seed: u64) -> Vec<u64> {
     let mut times: Vec<u64> = (0..trials)
         .map(|i| {
             let rng = Xoshiro256pp::stream(seed, i as u64);

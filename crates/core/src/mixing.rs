@@ -9,9 +9,9 @@
 //! E21), plus an empirical two-start distribution comparison usable at
 //! simulation scale.
 
+use crate::config::Config;
 use crate::exact::ExactChain;
 use crate::metrics::RoundObserver;
-use crate::config::Config;
 
 /// Exact TV-to-stationarity curve for the finite chain, from a point start.
 ///
@@ -19,13 +19,8 @@ use crate::config::Config;
 pub fn tv_decay(chain: &ExactChain, start: &[u32], t_max: usize) -> Vec<f64> {
     let pi = chain.stationary(1e-14, 200_000);
     let mut dist = chain.dirac(start);
-    let tv = |d: &[f64]| -> f64 {
-        d.iter()
-            .zip(&pi)
-            .map(|(a, b)| (a - b).abs())
-            .sum::<f64>()
-            / 2.0
-    };
+    let tv =
+        |d: &[f64]| -> f64 { d.iter().zip(&pi).map(|(a, b)| (a - b).abs()).sum::<f64>() / 2.0 };
     let mut out = Vec::with_capacity(t_max + 1);
     out.push(tv(&dist));
     for _ in 0..t_max {
@@ -42,21 +37,11 @@ pub fn mixing_time(chain: &ExactChain, eps: f64, t_max: usize) -> Option<usize> 
     // The worst starts are the extreme configurations; scanning all states
     // is exact and affordable at the sizes this kernel supports.
     let pi = chain.stationary(1e-14, 200_000);
-    let mut dists: Vec<Vec<f64>> = chain
-        .configs()
-        .iter()
-        .map(|q| chain.dirac(q))
-        .collect();
+    let mut dists: Vec<Vec<f64>> = chain.configs().iter().map(|q| chain.dirac(q)).collect();
     for t in 0..=t_max {
         let worst = dists
             .iter()
-            .map(|d| {
-                d.iter()
-                    .zip(&pi)
-                    .map(|(a, b)| (a - b).abs())
-                    .sum::<f64>()
-                    / 2.0
-            })
+            .map(|d| d.iter().zip(&pi).map(|(a, b)| (a - b).abs()).sum::<f64>() / 2.0)
             .fold(0.0f64, f64::max);
         if worst <= eps {
             return Some(t);
@@ -129,14 +114,18 @@ mod tests {
             // TV to stationarity is non-increasing for any chain.
             assert!(w[1] <= w[0] + 1e-12, "{} -> {}", w[0], w[1]);
         }
-        assert!(decay.last().unwrap() < &1e-3, "did not mix: {:?}", decay.last());
+        assert!(
+            decay.last().unwrap() < &1e-3,
+            "did not mix: {:?}",
+            decay.last()
+        );
     }
 
     #[test]
     fn mixing_time_is_small_for_tiny_chain() {
         let chain = ExactChain::build(2, 2);
         let t = mixing_time(&chain, 0.25, 200).expect("mixes");
-        assert!(t >= 1 && t < 50, "mixing time {t}");
+        assert!((1..50).contains(&t), "mixing time {t}");
     }
 
     #[test]
@@ -160,10 +149,7 @@ mod tests {
         // must coincide (the chain forgets its start in O(n) rounds).
         let n = 128;
         let mut a = LoadProcess::legitimate_start(n, 21);
-        let mut b = LoadProcess::new(
-            Config::all_in_one(n, n as u32),
-            Xoshiro256pp::seed_from(22),
-        );
+        let mut b = LoadProcess::new(Config::all_in_one(n, n as u32), Xoshiro256pp::seed_from(22));
         a.run_silent(2000);
         b.run_silent(2000);
         let mut da = MaxLoadDistribution::new();

@@ -188,7 +188,11 @@ mod tests {
             t.max_opening_load()
         );
         // Typical phase is very short (geometric-ish).
-        assert!(t.mean_duration() < 6.0, "mean duration {}", t.mean_duration());
+        assert!(
+            t.mean_duration() < 6.0,
+            "mean duration {}",
+            t.mean_duration()
+        );
     }
 
     #[test]

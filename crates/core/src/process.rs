@@ -154,7 +154,11 @@ impl LoadProcess {
             self.balls,
             "adversary must conserve balls"
         );
-        assert_eq!(new_config.n(), self.config.n(), "adversary must keep n bins");
+        assert_eq!(
+            new_config.n(),
+            self.config.n(),
+            "adversary must keep n bins"
+        );
         self.config = new_config;
     }
 }
@@ -176,10 +180,7 @@ mod tests {
 
     #[test]
     fn step_returns_nonempty_count() {
-        let mut p = LoadProcess::new(
-            Config::all_in_one(8, 8),
-            Xoshiro256pp::seed_from(2),
-        );
+        let mut p = LoadProcess::new(Config::all_in_one(8, 8), Xoshiro256pp::seed_from(2));
         // Round 1: only bin 0 is non-empty, so exactly one ball moves.
         assert_eq!(p.step(), 1);
     }

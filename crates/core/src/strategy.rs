@@ -26,8 +26,11 @@ pub enum QueueStrategy {
 
 impl QueueStrategy {
     /// All strategies, for sweep experiments.
-    pub const ALL: [QueueStrategy; 3] =
-        [QueueStrategy::Fifo, QueueStrategy::Lifo, QueueStrategy::Random];
+    pub const ALL: [QueueStrategy; 3] = [
+        QueueStrategy::Fifo,
+        QueueStrategy::Lifo,
+        QueueStrategy::Random,
+    ];
 
     /// Returns the index (into a queue of length `len ≥ 1`) of the ball to
     /// release, where index 0 is the oldest ball.

@@ -274,10 +274,7 @@ mod tests {
         // From the worst start (all n balls in one bin) every bin must have
         // been empty at least once within 5n rounds, w.h.p.
         let n = 256;
-        let mut t = Tetris::new(
-            Config::all_in_one(n, n as u32),
-            Xoshiro256pp::seed_from(4),
-        );
+        let mut t = Tetris::new(Config::all_in_one(n, n as u32), Xoshiro256pp::seed_from(4));
         let hit = t.run_until_all_emptied(5 * n as u64);
         assert!(hit.is_some(), "not all bins emptied within 5n rounds");
     }
@@ -338,11 +335,7 @@ mod tests {
     #[test]
     fn batched_tetris_subcritical_is_stable() {
         let n = 256;
-        let mut t = BatchedTetris::new(
-            Config::one_per_bin(n),
-            0.5,
-            Xoshiro256pp::seed_from(11),
-        );
+        let mut t = BatchedTetris::new(Config::one_per_bin(n), 0.5, Xoshiro256pp::seed_from(11));
         let mut tracker = MaxLoadTracker::new();
         t.run(2000, &mut tracker);
         assert!(
@@ -355,11 +348,7 @@ mod tests {
     #[test]
     fn batched_tetris_arrival_rate_matches_lambda() {
         let n = 1000;
-        let mut t = BatchedTetris::new(
-            Config::one_per_bin(n),
-            0.75,
-            Xoshiro256pp::seed_from(12),
-        );
+        let mut t = BatchedTetris::new(Config::one_per_bin(n), 0.75, Xoshiro256pp::seed_from(12));
         let rounds = 500;
         let mut arrived_total = 0usize;
         for _ in 0..rounds {

@@ -6,9 +6,9 @@
 //! the normalized ratio to `ln n`, and fit `window max = a + b·ln n` — the
 //! paper predicts a good log fit with constant `b` (and `O(√t)`-free shape).
 
+use rbb_core::config::{Config, LegitimacyThreshold};
 use rbb_core::metrics::MaxLoadTracker;
 use rbb_core::process::LoadProcess;
-use rbb_core::config::{Config, LegitimacyThreshold};
 use rbb_sim::{fmt_f64, run_trials_seeded, Table};
 use rbb_stats::{log_fit, Summary};
 
@@ -113,19 +113,18 @@ pub fn run(ctx: &ExpContext) {
             fmt_f64(fit.slope, 2),
             fmt_f64(fit.r_squared, 4)
         );
-        println!("paper: O(log n) ⇒ slope is a constant; any n^ε or √window growth would break the fit.");
+        println!(
+            "paper: O(log n) ⇒ slope is a constant; any n^ε or √window growth would break the fit."
+        );
     }
     let _ = ctx.sink.write_json("rows", &rows);
-    let _ = ctx.sink.write_text(
-        "table",
-        &{
-            let mut s = String::new();
-            for r in &rows {
-                s.push_str(&format!("{:?}\n", r));
-            }
-            s
-        },
-    );
+    let _ = ctx.sink.write_text("table", &{
+        let mut s = String::new();
+        for r in &rows {
+            s.push_str(&format!("{:?}\n", r));
+        }
+        s
+    });
 }
 
 #[cfg(test)]

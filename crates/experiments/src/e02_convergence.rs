@@ -38,9 +38,7 @@ impl StartKind {
     pub fn build(&self, n: usize) -> Config {
         match self {
             StartKind::AllInOne => Config::all_in_one(n, n as u32),
-            StartKind::PackedSqrt => {
-                Config::packed(n, n as u32, (n as f64).sqrt().ceil() as usize)
-            }
+            StartKind::PackedSqrt => Config::packed(n, n as u32, (n as f64).sqrt().ceil() as usize),
             StartKind::Geometric => Config::geometric_cascade(n, n as u32),
         }
     }
@@ -158,7 +156,13 @@ mod tests {
         let rows = compute(&ctx, &[128, 256], &StartKind::ALL, 3);
         for r in &rows {
             assert_eq!(r.timeouts, 0, "{} n={} timed out", r.start, r.n);
-            assert!(r.rounds_over_n < 3.0, "{} n={}: {}", r.start, r.n, r.rounds_over_n);
+            assert!(
+                r.rounds_over_n < 3.0,
+                "{} n={}: {}",
+                r.start,
+                r.n,
+                r.rounds_over_n
+            );
         }
     }
 

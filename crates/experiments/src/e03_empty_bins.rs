@@ -43,22 +43,22 @@ pub fn compute(ctx: &ExpContext, sizes: &[usize], trials: usize) -> Vec<E03Row> 
             "one-per-bin".to_string(),
             (|n: usize| Config::one_per_bin(n)) as fn(usize) -> Config,
         ),
-        ("all-in-one".to_string(), (|n: usize| {
-            Config::all_in_one(n, n as u32)
-        }) as fn(usize) -> Config),
+        (
+            "all-in-one".to_string(),
+            (|n: usize| Config::all_in_one(n, n as u32)) as fn(usize) -> Config,
+        ),
     ] {
         for &n in sizes {
             let window = 100 * n as u64;
             let scope = ctx.seeds.scope(&format!("{label}-n{n}"));
-            let per_trial: Vec<(usize, f64, u64)> =
-                run_trials_seeded(scope, trials, |_i, seed| {
-                    let mut p = LoadProcess::new(build(n), Xoshiro256pp::seed_from(seed));
-                    // Lemma 2 speaks from round 1 onward for any start; the
-                    // all-in-one start trivially has many empty bins already.
-                    let mut t = EmptyBinsTracker::starting_at(2);
-                    p.run(window, &mut t);
-                    (t.min_empty(), t.mean_empty(), t.violations_below_quarter())
-                });
+            let per_trial: Vec<(usize, f64, u64)> = run_trials_seeded(scope, trials, |_i, seed| {
+                let mut p = LoadProcess::new(build(n), Xoshiro256pp::seed_from(seed));
+                // Lemma 2 speaks from round 1 onward for any start; the
+                // all-in-one start trivially has many empty bins already.
+                let mut t = EmptyBinsTracker::starting_at(2);
+                p.run(window, &mut t);
+                (t.min_empty(), t.mean_empty(), t.violations_below_quarter())
+            });
             let mins = Summary::from_iter(per_trial.iter().map(|x| x.0 as f64 / n as f64));
             let means = Summary::from_iter(per_trial.iter().map(|x| x.1 / n as f64));
             rows.push(E03Row {
@@ -125,7 +125,12 @@ mod tests {
         let rows = compute(&ctx, &[256], 3);
         for r in &rows {
             assert_eq!(r.violations, 0, "{} violated Lemma 2", r.start);
-            assert!(r.min_empty_fraction >= 0.25, "{}: {}", r.start, r.min_empty_fraction);
+            assert!(
+                r.min_empty_fraction >= 0.25,
+                "{}: {}",
+                r.start,
+                r.min_empty_fraction
+            );
         }
     }
 

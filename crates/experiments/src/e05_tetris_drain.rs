@@ -38,13 +38,17 @@ pub struct E05Row {
 pub fn compute(ctx: &ExpContext, sizes: &[usize], trials: usize) -> Vec<E05Row> {
     let mut rows = Vec::new();
     for &(ref label, build) in &[
-        ("all-in-one".to_string(), (|n: usize, _s: u64| {
-            Config::all_in_one(n, n as u32)
-        }) as fn(usize, u64) -> Config),
-        ("uniform-random".to_string(), (|n: usize, s: u64| {
-            let mut rng = Xoshiro256pp::seed_from(s ^ 0xFEED);
-            Config::from_loads(random_assignment(&mut rng, n, n as u64))
-        }) as fn(usize, u64) -> Config),
+        (
+            "all-in-one".to_string(),
+            (|n: usize, _s: u64| Config::all_in_one(n, n as u32)) as fn(usize, u64) -> Config,
+        ),
+        (
+            "uniform-random".to_string(),
+            (|n: usize, s: u64| {
+                let mut rng = Xoshiro256pp::seed_from(s ^ 0xFEED);
+                Config::from_loads(random_assignment(&mut rng, n, n as u64))
+            }) as fn(usize, u64) -> Config,
+        ),
     ] {
         for &n in sizes {
             let budget = 5 * n as u64;

@@ -33,7 +33,13 @@ pub fn compute(ctx: &ExpContext, n: usize, ks: &[u64], trials: usize) -> Vec<E06
     let mut rows = Vec::new();
     for &k in ks {
         let cap = (200 * k).max(4000);
-        let times = sample_absorption_times(n, k, trials, cap, ctx.seeds.scope(&format!("k{k}")).master());
+        let times = sample_absorption_times(
+            n,
+            k,
+            trials,
+            cap,
+            ctx.seeds.scope(&format!("k{k}")).master(),
+        );
         for mult in [1u64, 2, 4, 8] {
             let t = 8 * k * mult;
             let emp = empirical_tail(&times, t);
@@ -113,7 +119,11 @@ mod tests {
         let ctx = ExpContext::for_tests("e06");
         let rows = compute(&ctx, 256, &[1, 4], 2000);
         for r in &rows {
-            assert!(r.bound_holds, "k={} t={}: {} > {}", r.k, r.t, r.empirical_tail, r.chernoff_bound);
+            assert!(
+                r.bound_holds,
+                "k={} t={}: {} > {}",
+                r.k, r.t, r.empirical_tail, r.chernoff_bound
+            );
         }
     }
 

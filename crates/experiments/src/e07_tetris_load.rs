@@ -68,7 +68,14 @@ pub fn run(ctx: &ExpContext) {
     let trials = ctx.pick(10, 3);
     let rows = compute(ctx, &sizes, trials);
 
-    let mut table = Table::new(["n", "window", "trials", "mean window max", "worst", "mean/ln n"]);
+    let mut table = Table::new([
+        "n",
+        "window",
+        "trials",
+        "mean window max",
+        "worst",
+        "mean/ln n",
+    ]);
     for r in &rows {
         table.row([
             r.n.to_string(),
@@ -104,7 +111,12 @@ mod tests {
         let ctx = ExpContext::for_tests("e07");
         let rows = compute(&ctx, &[128, 256], 3);
         for r in &rows {
-            assert!(r.ratio_to_ln_n < 6.5, "n={}: ratio {}", r.n, r.ratio_to_ln_n);
+            assert!(
+                r.ratio_to_ln_n < 6.5,
+                "n={}: ratio {}",
+                r.n,
+                r.ratio_to_ln_n
+            );
             assert!(r.mean_window_max >= 1.0);
         }
     }

@@ -128,7 +128,11 @@ pub fn run(ctx: &ExpContext) {
         table.row([
             r.n.to_string(),
             r.adversary.clone(),
-            if r.gamma == 0 { "-".into() } else { r.gamma.to_string() },
+            if r.gamma == 0 {
+                "-".into()
+            } else {
+                r.gamma.to_string()
+            },
             fmt_f64(r.mean_cover, 0),
             fmt_f64(r.mean_faults, 1),
             fmt_f64(r.slowdown, 2),
@@ -150,7 +154,13 @@ mod tests {
         let rows = compute(&ctx, &[64], &[6], 3);
         for r in &rows {
             assert_eq!(r.timeouts, 0, "{} γ={} timed out", r.adversary, r.gamma);
-            assert!(r.slowdown < 25.0, "{} γ={}: slowdown {}", r.adversary, r.gamma, r.slowdown);
+            assert!(
+                r.slowdown < 25.0,
+                "{} γ={}: slowdown {}",
+                r.adversary,
+                r.gamma,
+                r.slowdown
+            );
         }
     }
 
@@ -158,7 +168,9 @@ mod tests {
     fn control_row_present_per_n() {
         let ctx = ExpContext::for_tests("e09");
         let rows = compute(&ctx, &[64], &[6], 2);
-        assert!(rows.iter().any(|r| r.adversary == "none" && r.slowdown == 1.0));
+        assert!(rows
+            .iter()
+            .any(|r| r.adversary == "none" && r.slowdown == 1.0));
     }
 
     #[test]

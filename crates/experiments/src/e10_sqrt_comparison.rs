@@ -7,9 +7,9 @@
 //! and the `4 ln n` line — the measured series should hug the log line while
 //! the `√t` curve diverges.
 
+use rbb_baselines::SqrtBound;
 use rbb_core::metrics::TrajectoryRecorder;
 use rbb_core::process::LoadProcess;
-use rbb_baselines::SqrtBound;
 use rbb_sim::{fmt_f64, Table};
 
 use crate::common::{header, ExpContext};
@@ -77,7 +77,12 @@ pub fn run(ctx: &ExpContext) {
     let rows = compute(ctx, n, window);
 
     println!("n = {n}, window = {window} rounds\n");
-    let mut table = Table::new(["t", "measured M(t)", "1 + sqrt(t)  [12]", "4 ln n  [this paper]"]);
+    let mut table = Table::new([
+        "t",
+        "measured M(t)",
+        "1 + sqrt(t)  [12]",
+        "4 ln n  [this paper]",
+    ]);
     for r in &rows {
         table.row([
             r.t.to_string(),

@@ -128,7 +128,11 @@ mod tests {
         let mc = compute_monte(&ctx, 100_000);
         assert!((mc.p_x1_zero - 0.25).abs() < 0.01, "{}", mc.p_x1_zero);
         assert!((mc.p_x2_zero - 0.375).abs() < 0.01, "{}", mc.p_x2_zero);
-        assert!((mc.p_joint_zero - 0.125).abs() < 0.01, "{}", mc.p_joint_zero);
+        assert!(
+            (mc.p_joint_zero - 0.125).abs() < 0.01,
+            "{}",
+            mc.p_joint_zero
+        );
         // The violation itself.
         assert!(mc.p_joint_zero > mc.p_x1_zero * mc.p_x2_zero);
     }

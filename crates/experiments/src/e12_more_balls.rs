@@ -40,7 +40,12 @@ pub struct E12Row {
 }
 
 /// Computes the m-sweep table.
-pub fn compute(ctx: &ExpContext, n: usize, factors: &[(String, u64)], trials: usize) -> Vec<E12Row> {
+pub fn compute(
+    ctx: &ExpContext,
+    n: usize,
+    factors: &[(String, u64)],
+    trials: usize,
+) -> Vec<E12Row> {
     factors
         .iter()
         .map(|(label, m)| {
@@ -148,12 +153,7 @@ mod tests {
     #[test]
     fn max_load_increases_with_m() {
         let ctx = ExpContext::for_tests("e12");
-        let rows = compute(
-            &ctx,
-            128,
-            &[("a".into(), 128), ("b".into(), 512)],
-            2,
-        );
+        let rows = compute(&ctx, 128, &[("a".into(), 128), ("b".into(), 512)], 2);
         assert!(rows[1].mean_window_max > rows[0].mean_window_max);
     }
 

@@ -9,7 +9,9 @@
 
 use rbb_core::metrics::MaxLoadTracker;
 use rbb_core::rng::Xoshiro256pp;
-use rbb_graphs::{complete_with_loops, hypercube, random_regular, ring, star, torus, Graph, GraphLoadProcess};
+use rbb_graphs::{
+    complete_with_loops, hypercube, random_regular, ring, star, torus, Graph, GraphLoadProcess,
+};
 use rbb_sim::{fmt_f64, run_trials_seeded, Table};
 use rbb_stats::Summary;
 

@@ -36,7 +36,9 @@ pub fn compute(ctx: &ExpContext, n: usize, lambdas: &[f64], trials: usize) -> Ve
         .iter()
         .map(|&lambda| {
             let window = 200 * n as u64;
-            let scope = ctx.seeds.scope(&format!("l{}-n{n}", (lambda * 100.0) as u32));
+            let scope = ctx
+                .seeds
+                .scope(&format!("l{}-n{n}", (lambda * 100.0) as u32));
             let results: Vec<(u32, u64)> = run_trials_seeded(scope, trials, |_i, seed| {
                 let mut p = BatchedTetris::new(
                     Config::one_per_bin(n),
@@ -110,7 +112,11 @@ mod tests {
     fn subcritical_is_logarithmic() {
         let ctx = ExpContext::for_tests("e15");
         let rows = compute(&ctx, 256, &[0.75], 3);
-        assert!(rows[0].ratio_to_ln_n < 6.5, "ratio {}", rows[0].ratio_to_ln_n);
+        assert!(
+            rows[0].ratio_to_ln_n < 6.5,
+            "ratio {}",
+            rows[0].ratio_to_ln_n
+        );
     }
 
     #[test]

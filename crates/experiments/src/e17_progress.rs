@@ -58,7 +58,12 @@ pub fn compute(
                     );
                     p.run(t, NullObserver);
                     let r = ProgressReport::from_process(&p);
-                    (r.min_moves, r.mean_duty_cycle(), r.min_progress_ratio(), r.max_wait)
+                    (
+                        r.min_moves,
+                        r.mean_duty_cycle(),
+                        r.min_progress_ratio(),
+                        r.max_wait,
+                    )
                 });
             let mins = Summary::from_iter(reports.iter().map(|r| r.0 as f64));
             let duty = Summary::from_iter(reports.iter().map(|r| r.1));
@@ -125,14 +130,22 @@ mod tests {
     fn fifo_ratio_bounded_below() {
         let ctx = ExpContext::for_tests("e17");
         let rows = compute(&ctx, &[128], &[QueueStrategy::Fifo], 3);
-        assert!(rows[0].min_progress_ratio > 1.0, "ratio {}", rows[0].min_progress_ratio);
+        assert!(
+            rows[0].min_progress_ratio > 1.0,
+            "ratio {}",
+            rows[0].min_progress_ratio
+        );
     }
 
     #[test]
     fn duty_cycle_near_busy_fraction() {
         let ctx = ExpContext::for_tests("e17");
         let rows = compute(&ctx, &[256], &[QueueStrategy::Fifo], 3);
-        assert!((rows[0].mean_duty_cycle - 0.586).abs() < 0.03, "duty {}", rows[0].mean_duty_cycle);
+        assert!(
+            (rows[0].mean_duty_cycle - 0.586).abs() < 0.03,
+            "duty {}",
+            rows[0].mean_duty_cycle
+        );
     }
 
     #[test]

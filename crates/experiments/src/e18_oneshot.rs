@@ -133,6 +133,10 @@ mod tests {
     fn window_premium_is_bounded() {
         let ctx = ExpContext::for_tests("e18");
         let rows = compute(&ctx, &[512], 3);
-        assert!(rows[0].window_over_oneshot < 4.0, "{}", rows[0].window_over_oneshot);
+        assert!(
+            rows[0].window_over_oneshot < 4.0,
+            "{}",
+            rows[0].window_over_oneshot
+        );
     }
 }

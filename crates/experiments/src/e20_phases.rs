@@ -46,7 +46,12 @@ pub fn compute(ctx: &ExpContext, sizes: &[usize], trials: usize) -> Vec<E20Row> 
                     p.run_silent(4 * n as u64); // equilibrate
                     let mut t = PhaseTracker::first_k(tracked);
                     p.run(window, &mut t);
-                    (t.completed(), t.mean_duration(), t.max_duration(), t.max_opening_load())
+                    (
+                        t.completed(),
+                        t.mean_duration(),
+                        t.max_duration(),
+                        t.max_opening_load(),
+                    )
                 });
             let phases: usize = per_trial.iter().map(|r| r.0).sum();
             let mean_dur = Summary::from_iter(per_trial.iter().map(|r| r.1)).mean();
@@ -116,8 +121,16 @@ mod tests {
         let r = &rows[0];
         assert!(r.phases > 500);
         assert!(r.mean_duration < 8.0, "mean duration {}", r.mean_duration);
-        assert!(r.max_duration_over_ln_n < 25.0, "{}", r.max_duration_over_ln_n);
-        assert!(r.max_opening_over_oneshot < 5.0, "{}", r.max_opening_over_oneshot);
+        assert!(
+            r.max_duration_over_ln_n < 25.0,
+            "{}",
+            r.max_duration_over_ln_n
+        );
+        assert!(
+            r.max_opening_over_oneshot < 5.0,
+            "{}",
+            r.max_opening_over_oneshot
+        );
     }
 
     #[test]

@@ -44,10 +44,7 @@ pub fn compute_exact(sizes: &[usize]) -> Vec<E21Exact> {
             let mut start = vec![0u32; n];
             start[0] = n as u32;
             let full = tv_decay(&chain, &start, 16);
-            let decay = [1usize, 2, 4, 8, 16]
-                .iter()
-                .map(|&t| full[t])
-                .collect();
+            let decay = [1usize, 2, 4, 8, 16].iter().map(|&t| full[t]).collect();
             E21Exact {
                 n,
                 states: chain.num_states(),

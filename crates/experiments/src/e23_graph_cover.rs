@@ -83,12 +83,8 @@ pub fn compute(ctx: &ExpContext, n: usize, trials: usize) -> Vec<E23Row> {
                     let single = cover_time(&g, 0, cap, &mut rng);
                     (parallel, single)
                 });
-            let par = Summary::from_iter(
-                results.iter().filter_map(|r| r.0.map(|x| x as f64)),
-            );
-            let single = Summary::from_iter(
-                results.iter().filter_map(|r| r.1.map(|x| x as f64)),
-            );
+            let par = Summary::from_iter(results.iter().filter_map(|r| r.0.map(|x| x as f64)));
+            let single = Summary::from_iter(results.iter().filter_map(|r| r.1.map(|x| x as f64)));
             E23Row {
                 topology: name.to_string(),
                 n,

@@ -67,7 +67,10 @@ pub fn run(ctx: &ExpContext) {
     let trials = ctx.pick(5, 2);
     let rows = compute(ctx, n, &windows, trials);
 
-    println!("n = {n} (ln n = {:.2}), equilibrated start\n", (n as f64).ln());
+    println!(
+        "n = {n} (ln n = {:.2}), equilibrated start\n",
+        (n as f64).ln()
+    );
     let mut table = Table::new(["window T", "mean window max", "mean/ln n"]);
     for r in &rows {
         table.row([

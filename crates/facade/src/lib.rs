@@ -1,0 +1,17 @@
+//! # rbb — workspace facade
+//!
+//! Re-exports the reproduction's crates under one roof so downstream users
+//! (and the repo-level `tests/` and `examples/`) can depend on a single
+//! package. See `rbb_core` for the paper engine and `rbb_experiments` for
+//! the claim-by-claim experiment suite.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use rbb_baselines as baselines;
+pub use rbb_core as core;
+pub use rbb_experiments as experiments;
+pub use rbb_graphs as graphs;
+pub use rbb_sim as sim;
+pub use rbb_stats as stats;
+pub use rbb_traversal as traversal;

@@ -57,7 +57,12 @@ impl Graph {
     /// Number of undirected edges (self-loops count once).
     pub fn num_edges(&self) -> usize {
         let loops = (0..self.n())
-            .map(|v| self.neighbors(v).iter().filter(|&&w| w as usize == v).count())
+            .map(|v| {
+                self.neighbors(v)
+                    .iter()
+                    .filter(|&&w| w as usize == v)
+                    .count()
+            })
             .sum::<usize>();
         (self.neighbors.len() - loops) / 2 + loops
     }
@@ -178,7 +183,7 @@ pub fn torus(rows: usize, cols: usize) -> Graph {
 
 /// The `d`-dimensional hypercube (`2^d` vertices, `d`-regular).
 pub fn hypercube(d: u32) -> Graph {
-    assert!(d >= 1 && d <= 24);
+    assert!((1..=24).contains(&d));
     let n = 1usize << d;
     let mut edges = Vec::with_capacity(n * d as usize / 2);
     for u in 0..n as u32 {
@@ -205,19 +210,18 @@ pub fn random_regular(n: usize, d: usize, rng: &mut Xoshiro256pp) -> Graph {
     use std::collections::HashMap;
     let norm = |a: u32, b: u32| (a.min(b), a.max(b));
     'resample: loop {
-        let mut stubs: Vec<u32> =
-            (0..n as u32).flat_map(|v| std::iter::repeat_n(v, d)).collect();
+        let mut stubs: Vec<u32> = (0..n as u32)
+            .flat_map(|v| std::iter::repeat_n(v, d))
+            .collect();
         rng.shuffle(&mut stubs);
-        let mut edges: Vec<(u32, u32)> =
-            stubs.chunks_exact(2).map(|p| norm(p[0], p[1])).collect();
+        let mut edges: Vec<(u32, u32)> = stubs.chunks_exact(2).map(|p| norm(p[0], p[1])).collect();
 
         let mut counts: HashMap<(u32, u32), u32> = HashMap::new();
         for &e in &edges {
             *counts.entry(e).or_insert(0) += 1;
         }
-        let is_bad = |key: (u32, u32), counts: &HashMap<(u32, u32), u32>| {
-            key.0 == key.1 || counts[&key] > 1
-        };
+        let is_bad =
+            |key: (u32, u32), counts: &HashMap<(u32, u32), u32>| key.0 == key.1 || counts[&key] > 1;
         let mut bad: Vec<usize> = (0..edges.len())
             .filter(|&i| is_bad(edges[i], &counts))
             .collect();

@@ -17,8 +17,8 @@ pub mod properties;
 pub mod walk;
 
 pub use graph::{
-    complete, complete_with_loops, erdos_renyi, hypercube, path, random_regular, ring, star,
-    torus, Graph,
+    complete, complete_with_loops, erdos_renyi, hypercube, path, random_regular, ring, star, torus,
+    Graph,
 };
 pub use parallel::{GraphLoadProcess, GraphTokenProcess};
 pub use properties::{bfs_distances, degree_stats, diameter, eccentricity, spectral_gap};

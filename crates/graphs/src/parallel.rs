@@ -68,8 +68,8 @@ impl<'g> GraphLoadProcess<'g> {
         let mut moved = 0usize;
         {
             let loads = self.config.loads();
-            for u in 0..n {
-                if loads[u] > 0 {
+            for (u, &load) in loads.iter().enumerate().take(n) {
+                if load > 0 {
                     let v = self.graph.random_neighbor(u, &mut self.rng);
                     self.arrivals[v] += 1;
                     moved += 1;
@@ -77,11 +77,11 @@ impl<'g> GraphLoadProcess<'g> {
             }
         }
         let loads = self.config.loads_slice_mut();
-        for u in 0..n {
-            if loads[u] > 0 {
-                loads[u] -= 1;
+        for (load, &arrived) in loads.iter_mut().zip(&self.arrivals).take(n) {
+            if *load > 0 {
+                *load -= 1;
             }
-            loads[u] += self.arrivals[u];
+            *load += arrived;
         }
         self.round += 1;
         moved

@@ -65,7 +65,9 @@ pub fn lazy_walk_slem(graph: &Graph, iterations: usize) -> f64 {
     assert!(n >= 2);
     // Stationary distribution of the (lazy) walk: proportional to degree.
     let total_degree: f64 = (0..n).map(|v| graph.degree(v) as f64).sum();
-    let pi: Vec<f64> = (0..n).map(|v| graph.degree(v) as f64 / total_degree).collect();
+    let pi: Vec<f64> = (0..n)
+        .map(|v| graph.degree(v) as f64 / total_degree)
+        .collect();
 
     // Deterministic pseudo-random start vector, orthogonalized against π in
     // the π-weighted inner product (left eigenvector convention on

@@ -59,12 +59,7 @@ impl OutputSink {
     }
 
     /// Writes rows of `f64` as CSV with a header to `name.csv`.
-    pub fn write_csv(
-        &self,
-        name: &str,
-        header: &[&str],
-        rows: &[Vec<f64>],
-    ) -> std::io::Result<()> {
+    pub fn write_csv(&self, name: &str, header: &[&str], rows: &[Vec<f64>]) -> std::io::Result<()> {
         if !self.enabled {
             return Ok(());
         }
@@ -147,7 +142,10 @@ mod tests {
         let base = tmpdir("text");
         let sink = OutputSink::new(&base, "e96", true);
         sink.write_text("table", "hello\n").unwrap();
-        assert_eq!(fs::read_to_string(base.join("e96/table.txt")).unwrap(), "hello\n");
+        assert_eq!(
+            fs::read_to_string(base.join("e96/table.txt")).unwrap(),
+            "hello\n"
+        );
         fs::remove_dir_all(&base).unwrap();
     }
 }

@@ -42,9 +42,10 @@ impl SeedTree {
 
     /// Seed for trial `i` in this scope.
     pub fn trial(&self, i: u64) -> u64 {
-        let mut sm = SplitMix64::new(self.master.wrapping_add(i.wrapping_mul(
-            0x9E37_79B9_7F4A_7C15,
-        )));
+        let mut sm = SplitMix64::new(
+            self.master
+                .wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        );
         sm.next_u64()
     }
 
@@ -91,10 +92,7 @@ mod tests {
     #[test]
     fn nested_scopes_differ_from_flat() {
         let t = SeedTree::default();
-        assert_ne!(
-            t.scope("a").scope("b").master(),
-            t.scope("ab").master()
-        );
+        assert_ne!(t.scope("a").scope("b").master(), t.scope("ab").master());
     }
 
     #[test]

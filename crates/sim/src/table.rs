@@ -127,7 +127,7 @@ mod tests {
 
     #[test]
     fn fmt_f64_digits() {
-        assert_eq!(fmt_f64(3.14159, 2), "3.14");
+        assert_eq!(fmt_f64(8.14159, 2), "8.14");
         assert_eq!(fmt_f64(2.0, 1), "2.0");
     }
 

@@ -35,7 +35,12 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
 /// lag-0 variance, the standard ACF convention).
 pub fn autocorrelation(xs: &[f64], lag: usize) -> f64 {
     assert!(xs.len() >= 2, "need at least two points");
-    assert!(lag < xs.len(), "lag {} out of range for length {}", lag, xs.len());
+    assert!(
+        lag < xs.len(),
+        "lag {} out of range for length {}",
+        lag,
+        xs.len()
+    );
     let n = xs.len() as f64;
     let mean = xs.iter().sum::<f64>() / n;
     let denom: f64 = xs.iter().map(|&x| (x - mean).powi(2)).sum();
@@ -102,7 +107,9 @@ mod tests {
 
     #[test]
     fn acf_of_alternating_series_is_negative_at_lag_one() {
-        let xs: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let xs: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         assert!(autocorrelation(&xs, 1) < -0.9);
     }
 

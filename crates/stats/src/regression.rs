@@ -48,7 +48,11 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> LinearFit {
     assert!(sxx > 0.0, "x values are constant");
     let slope = sxy / sxx;
     let intercept = mean_y - slope * mean_x;
-    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    let r_squared = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
     LinearFit {
         intercept,
         slope,
@@ -58,10 +62,13 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> LinearFit {
 
 /// Fits `y = a + b·ln(x)`.
 pub fn log_fit(xs: &[f64], ys: &[f64]) -> LinearFit {
-    let lx: Vec<f64> = xs.iter().map(|&x| {
-        assert!(x > 0.0, "log_fit needs positive x");
-        x.ln()
-    }).collect();
+    let lx: Vec<f64> = xs
+        .iter()
+        .map(|&x| {
+            assert!(x > 0.0, "log_fit needs positive x");
+            x.ln()
+        })
+        .collect();
     linear_fit(&lx, ys)
 }
 

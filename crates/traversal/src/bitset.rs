@@ -56,7 +56,11 @@ impl FixedBitSet {
     /// Sets `i`; returns `true` if it was newly inserted.
     #[inline]
     pub fn insert(&mut self, i: usize) -> bool {
-        debug_assert!(i < self.capacity, "index {i} out of capacity {}", self.capacity);
+        debug_assert!(
+            i < self.capacity,
+            "index {i} out of capacity {}",
+            self.capacity
+        );
         let w = &mut self.words[i / 64];
         let mask = 1u64 << (i % 64);
         if *w & mask == 0 {

@@ -31,8 +31,7 @@ impl DelayRecorder {
     /// invisible in this delta view — use [`record_delays_exact`] for the
     /// full distribution including zeros.
     pub fn record(&mut self, process: &mut BallProcess, rounds: u64) {
-        let mut prev_waits: Vec<u64> =
-            process.ball_stats().iter().map(|s| s.total_wait).collect();
+        let mut prev_waits: Vec<u64> = process.ball_stats().iter().map(|s| s.total_wait).collect();
         for _ in 0..rounds {
             process.step();
             for (ball, stat) in process.ball_stats().iter().enumerate() {

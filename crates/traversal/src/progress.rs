@@ -141,7 +141,11 @@ mod tests {
         lifo.run(30, NullObserver);
         // Ball 0 is at the bottom of the pile; with arrivals landing on top
         // it is unlikely to have moved in 30 rounds.
-        assert_eq!(lifo.ball_stats()[0].moves, 0, "bottom ball starved under LIFO");
+        assert_eq!(
+            lifo.ball_stats()[0].moves,
+            0,
+            "bottom ball starved under LIFO"
+        );
 
         let fifo = run_fifo(n, 2000, 5);
         let r = ProgressReport::from_process(&fifo);

@@ -211,7 +211,10 @@ mod tests {
         let nf = n as f64;
         let scale = nf * nf.ln() * nf.ln();
         // Expect cover within [0.2, 3]× of n ln²n for this size.
-        assert!(cover > 0.2 * scale && cover < 3.0 * scale, "cover {cover}, scale {scale}");
+        assert!(
+            cover > 0.2 * scale && cover < 3.0 * scale,
+            "cover {cover}, scale {scale}"
+        );
     }
 
     #[test]
@@ -256,11 +259,7 @@ mod tests {
 
     #[test]
     fn from_skewed_config_still_covers() {
-        let mut t = Traversal::from_config(
-            Config::all_in_one(12, 12),
-            QueueStrategy::Fifo,
-            8,
-        );
+        let mut t = Traversal::from_config(Config::all_in_one(12, 12), QueueStrategy::Fifo, 8);
         assert!(t.run_to_cover(1_000_000).is_some());
     }
 

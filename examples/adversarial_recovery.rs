@@ -16,7 +16,10 @@ fn main() {
     let schedule = FaultSchedule::gamma_n(gamma, n);
     let horizon = 4 * schedule.period();
 
-    println!("n = {n}, adversary strikes every γ·n = {} rounds (γ = {gamma})", schedule.period());
+    println!(
+        "n = {n}, adversary strikes every γ·n = {} rounds (γ = {gamma})",
+        schedule.period()
+    );
     println!("legitimacy bound: max load ≤ {}\n", threshold.bound(n));
 
     let mut process = LoadProcess::new(Config::one_per_bin(n), Xoshiro256pp::seed_from(99));

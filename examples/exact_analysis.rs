@@ -6,15 +6,18 @@
 //!
 //! Run: `cargo run --release --example exact_analysis`
 
+use rbb_core::config::Config;
 use rbb_core::exact::{appendix_b_exact, ExactChain};
 use rbb_core::mixing::{mixing_time, tv_decay};
 use rbb_core::process::LoadProcess;
 use rbb_core::rng::Xoshiro256pp;
-use rbb_core::config::Config;
 
 fn main() {
     println!("=== the exact configuration chain, n = m = 2..5 ===\n");
-    println!("{:<4} {:>7} {:>14} {:>12} {:>12}", "n", "states", "E[max load]", "t_mix(1/4)", "t_mix(.01)");
+    println!(
+        "{:<4} {:>7} {:>14} {:>12} {:>12}",
+        "n", "states", "E[max load]", "t_mix(1/4)", "t_mix(.01)"
+    );
     for n in 2..=5usize {
         let chain = ExactChain::build(n, n as u32);
         let pi = chain.stationary(1e-13, 200_000);

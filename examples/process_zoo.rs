@@ -12,11 +12,14 @@ fn main() {
     let n = 1024;
     let window = 50_000u64;
     let nf = n as f64;
-    println!("process zoo: n = {n}, window = {window} rounds (ln n = {:.1})\n", nf.ln());
+    println!(
+        "process zoo: n = {n}, window = {window} rounds (ln n = {:.1})\n",
+        nf.ln()
+    );
     println!("{:<34} {:>8} {:>12}", "process", "max load", "max/ln n");
     println!("{}", "-".repeat(58));
 
-    let mut row = |name: &str, max: f64| {
+    let row = |name: &str, max: f64| {
         println!("{name:<34} {max:>8.1} {:>12.2}", max / nf.ln());
     };
 
@@ -37,7 +40,10 @@ fn main() {
         let mut bt = BatchedTetris::new(Config::one_per_bin(n), lambda, Xoshiro256pp::seed_from(3));
         let mut t = MaxLoadTracker::new();
         bt.run(window, &mut t);
-        row(&format!("batched tetris λ = {lambda}"), t.window_max() as f64);
+        row(
+            &format!("batched tetris λ = {lambda}"),
+            t.window_max() as f64,
+        );
     }
 
     // d-choice ([36]).

@@ -40,7 +40,10 @@ fn main() {
         .run_until(20 * n as u64, |c| threshold.is_legitimate(c))
         .expect("Theorem 1(b): converges w.h.p.");
     println!("\nself-stabilization from all {n} balls in one bin:");
-    println!("  legitimate after {round} rounds (paper: O(n); here {:.2}·n)", round as f64 / n as f64);
+    println!(
+        "  legitimate after {round} rounds (paper: O(n); here {:.2}·n)",
+        round as f64 / n as f64
+    );
 
     // Bonus: the per-ball view under FIFO.
     let mut balls = BallProcess::legitimate_start(n, 3);
@@ -51,5 +54,9 @@ fn main() {
         balls.min_progress(),
         2_000.0 / (n as f64).ln()
     );
-    println!("  mean moves {:.1} — duty cycle {:.2}", balls.mean_progress(), balls.mean_progress() / 2_000.0);
+    println!(
+        "  mean moves {:.1} — duty cycle {:.2}",
+        balls.mean_progress(),
+        balls.mean_progress() / 2_000.0
+    );
 }

@@ -37,7 +37,10 @@ fn main() {
         }
     }
     let cover = traversal.round();
-    assert!(traversal.all_covered(), "protocol must finish within budget");
+    assert!(
+        traversal.all_covered(),
+        "protocol must finish within budget"
+    );
 
     println!("\nall tasks processed by all nodes after {cover} rounds");
     println!(

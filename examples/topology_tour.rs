@@ -9,7 +9,9 @@
 
 use rbb_core::metrics::{EmptyBinsTracker, MaxLoadTracker};
 use rbb_core::rng::Xoshiro256pp;
-use rbb_graphs::{complete_with_loops, hypercube, random_regular, ring, star, torus, Graph, GraphLoadProcess};
+use rbb_graphs::{
+    complete_with_loops, hypercube, random_regular, ring, star, torus, Graph, GraphLoadProcess,
+};
 
 fn tour(name: &str, graph: &Graph, rounds: u64) {
     let mut p = GraphLoadProcess::one_per_node(graph, 0xD15C0);
@@ -38,7 +40,11 @@ fn main() {
     tour("clique + loops", &complete_with_loops(1024), rounds);
     tour("hypercube d=10", &hypercube(10), rounds);
     tour("torus 32x32", &torus(32, 32), rounds);
-    tour("random 4-regular", &random_regular(1024, 4, &mut rng), rounds);
+    tour(
+        "random 4-regular",
+        &random_regular(1024, 4, &mut rng),
+        rounds,
+    );
     tour("ring", &ring(1024), rounds);
     tour("star (control)", &star(1024), rounds);
 

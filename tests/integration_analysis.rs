@@ -2,15 +2,15 @@
 //! arrivals, mixing, delays — the measurements behind experiments E20–E22.
 
 use rbb_core::arrivals::ArrivalTracker;
+use rbb_core::ball_process::BallProcess;
 use rbb_core::config::Config;
 use rbb_core::exact::ExactChain;
+use rbb_core::metrics::RoundObserver;
 use rbb_core::mixing::{mixing_time, tv_decay, MaxLoadDistribution};
 use rbb_core::phases::PhaseTracker;
-use rbb_core::metrics::RoundObserver;
 use rbb_core::process::LoadProcess;
 use rbb_core::rng::Xoshiro256pp;
 use rbb_core::strategy::QueueStrategy;
-use rbb_core::ball_process::BallProcess;
 use rbb_stats::{autocorrelation, tv_distance, IntHistogram, Summary};
 use rbb_traversal::record_delays_exact;
 
@@ -62,7 +62,10 @@ fn fifo_waits_bounded_by_window_max_load() {
             .max()
             .unwrap_or(0),
     );
-    assert!(max_wait < window_max + 8, "wait {max_wait} vs max {window_max}");
+    assert!(
+        max_wait < window_max + 8,
+        "wait {max_wait} vs max {window_max}"
+    );
     // And the engine's own max_wait agrees with the histogram's.
     let engine_max = p.ball_stats().iter().map(|s| s.max_wait).max().unwrap();
     assert_eq!(engine_max as usize, hist.max_value().unwrap());
@@ -136,7 +139,9 @@ fn max_load_distribution_matches_manual_histogram() {
         p2.step();
         hist.add(p2.config().max_load() as usize);
     }
-    let manual: Vec<f64> = (0..=hist.max_value().unwrap()).map(|k| hist.pmf(k)).collect();
+    let manual: Vec<f64> = (0..=hist.max_value().unwrap())
+        .map(|k| hist.pmf(k))
+        .collect();
     assert!(tv_distance(&dist.pmf(), &manual) < 1e-12);
     assert_eq!(dist.rounds(), rounds);
 }
@@ -184,11 +189,7 @@ fn total_moves_strategy_invariant() {
     let totals: Vec<u64> = QueueStrategy::ALL
         .iter()
         .map(|&s| {
-            let mut p = BallProcess::new(
-                Config::one_per_bin(n),
-                s,
-                Xoshiro256pp::seed_from(6),
-            );
+            let mut p = BallProcess::new(Config::one_per_bin(n), s, Xoshiro256pp::seed_from(6));
             p.run(rounds, rbb_core::metrics::NullObserver);
             p.ball_stats().iter().map(|b| b.moves).sum()
         })

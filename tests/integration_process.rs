@@ -106,7 +106,10 @@ fn simulation_matches_exact_expected_max_load() {
         sum += p.config().max_load() as u64;
     }
     let emp = sum as f64 / rounds as f64;
-    assert!((emp - exact).abs() < 0.01, "simulated {emp:.4} vs exact {exact:.4}");
+    assert!(
+        (emp - exact).abs() < 0.01,
+        "simulated {emp:.4} vs exact {exact:.4}"
+    );
 }
 
 /// The empty-bins guarantee composes with the trajectory recorder: every
@@ -120,7 +123,12 @@ fn trajectory_points_respect_empty_bins_bound() {
     p.run(20_000, (&mut rec, &mut empty));
     assert_eq!(empty.violations_below_quarter(), 0);
     for pt in rec.points().iter().filter(|p| p.round >= 2) {
-        assert!(4 * pt.empty_bins >= n, "round {}: {} empty", pt.round, pt.empty_bins);
+        assert!(
+            4 * pt.empty_bins >= n,
+            "round {}: {} empty",
+            pt.round,
+            pt.empty_bins
+        );
         assert_eq!(pt.empty_bins + pt.nonempty_bins, n);
     }
 }

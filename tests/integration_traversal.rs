@@ -47,7 +47,10 @@ fn traversal_engines_agree_on_clique() {
         b_sum += b.run_to_cover(10_000_000).unwrap() as f64;
     }
     let ratio = a_sum / b_sum;
-    assert!(ratio > 0.5 && ratio < 2.0, "engines disagree: ratio {ratio}");
+    assert!(
+        ratio > 0.5 && ratio < 2.0,
+        "engines disagree: ratio {ratio}"
+    );
 }
 
 /// §4.1 end-to-end: γ = 6 faults from two different adversaries leave the

@@ -1,0 +1,128 @@
+//! Offline vendored stub of `proptest`.
+//!
+//! Provides the subset this workspace's property tests use: the
+//! [`proptest!`] macro, [`Strategy`] with `prop_map`, [`any`], range and
+//! tuple strategies, [`collection::vec`], and the `prop_assert*` /
+//! `prop_assume!` macros. Cases are generated from a deterministic RNG
+//! seeded by the test name; failing inputs are reported via panic message.
+//! There is no shrinking — a failure prints the property message only.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Arbitrary, Strategy};
+pub use test_runner::{run_proptest, Config, TestCaseError, TestRng};
+
+/// Everything the tests import, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests.
+///
+/// Supports an optional leading `#![proptest_config(expr)]` followed by
+/// `fn name(pat in strategy, ...) { body }` items carrying their own
+/// attributes (doc comments, `#[test]`).
+#[macro_export]
+macro_rules! proptest {
+    (@run ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                $crate::test_runner::run_proptest(config, stringify!($name), |prop_rng| {
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), prop_rng);)+
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::test_runner::Config::default()); $($rest)*);
+    };
+}
+
+/// Fails the current test case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Fails the current test case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(, $($fmt:tt)+)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "{:?} != {:?}{}",
+            left,
+            right,
+            {
+                #[allow(unused_mut, unused_assignments)]
+                let mut extra = String::new();
+                $(extra = format!(": {}", format!($($fmt)+));)?
+                extra
+            }
+        );
+    }};
+}
+
+/// Fails the current test case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(, $($fmt:tt)+)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "{:?} == {:?}{}",
+            left,
+            right,
+            {
+                #[allow(unused_mut, unused_assignments)]
+                let mut extra = String::new();
+                $(extra = format!(": {}", format!($($fmt)+));)?
+                extra
+            }
+        );
+    }};
+}
+
+/// Rejects the current test case (resampled, not counted) unless `cond`
+/// holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}

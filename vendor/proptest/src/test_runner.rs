@@ -1,0 +1,117 @@
+//! Deterministic case generation and the pass/reject/fail loop.
+
+/// Runner configuration. Mirrors `ProptestConfig` where the workspace uses
+/// it (`with_cases`).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of successful (non-rejected) cases required.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A configuration running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Outcome of a single generated case, produced by the `prop_assert*` and
+/// `prop_assume!` macros.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case did not satisfy an assumption; resample without counting it.
+    Reject,
+    /// The property failed; aborts the test with the message.
+    Fail(String),
+}
+
+/// Deterministic generator RNG (SplitMix64), seeded from the test name so
+/// every test exercises a distinct but reproducible stream.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates an RNG from a raw seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Creates an RNG seeded by hashing `name` (FNV-1a).
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        Self::new(h)
+    }
+
+    /// Returns the next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Unbiased uniform draw in `[0, bound)`.
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        let mut x = self.next_u64();
+        let mut m = (x as u128).wrapping_mul(bound as u128);
+        let mut lo = m as u64;
+        if lo < bound {
+            let t = bound.wrapping_neg() % bound;
+            while lo < t {
+                x = self.next_u64();
+                m = (x as u128).wrapping_mul(bound as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform double in `[0, 1)`.
+    #[inline]
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Runs `cases` successful executions of `f`, resampling rejected cases and
+/// panicking on the first failure.
+pub fn run_proptest<F>(config: Config, name: &str, mut f: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let mut rng = TestRng::from_name(name);
+    let cases = config.cases.max(1);
+    let max_attempts = u64::from(cases) * 64 + 1024;
+    let mut passed: u32 = 0;
+    let mut attempts: u64 = 0;
+    while passed < cases {
+        attempts += 1;
+        assert!(
+            attempts <= max_attempts,
+            "{name}: too many rejected cases ({passed}/{cases} passed after {attempts} attempts)"
+        );
+        match f(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => continue,
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("{name}: property failed after {passed} passing cases: {msg}")
+            }
+        }
+    }
+}

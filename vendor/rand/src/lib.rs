@@ -1,0 +1,258 @@
+//! Offline vendored stub of the `rand` crate.
+//!
+//! The build environment has no network access to crates.io, so this crate
+//! provides exactly the trait surface the workspace uses — [`TryRng`], the
+//! blanket [`Rng`] for infallible generators, [`RngExt::random_range`],
+//! [`SeedableRng`], and [`rngs::StdRng`] — with compatible semantics. It is
+//! not a general-purpose replacement for the real `rand`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::convert::Infallible;
+
+/// A fallible random number generator (the `rand` 0.9+ `TryRngCore` shape).
+pub trait TryRng {
+    /// Error produced by the generator; [`Infallible`] for in-memory PRNGs.
+    type Error;
+
+    /// Returns the next 32 random bits.
+    fn try_next_u32(&mut self) -> Result<u32, Self::Error>;
+
+    /// Returns the next 64 random bits.
+    fn try_next_u64(&mut self) -> Result<u64, Self::Error>;
+
+    /// Fills `dst` with random bytes.
+    fn try_fill_bytes(&mut self, dst: &mut [u8]) -> Result<(), Self::Error>;
+}
+
+/// An infallible random number generator.
+///
+/// Blanket-implemented for every [`TryRng`] whose error is [`Infallible`],
+/// so implementing [`TryRng`] is enough to join the ecosystem.
+pub trait Rng: TryRng<Error = Infallible> {
+    /// Returns the next 32 random bits.
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        match self.try_next_u32() {
+            Ok(x) => x,
+        }
+    }
+
+    /// Returns the next 64 random bits.
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        match self.try_next_u64() {
+            Ok(x) => x,
+        }
+    }
+
+    /// Fills `dst` with random bytes.
+    #[inline]
+    fn fill_bytes(&mut self, dst: &mut [u8]) {
+        match self.try_fill_bytes(dst) {
+            Ok(()) => {}
+        }
+    }
+}
+
+impl<T: TryRng<Error = Infallible>> Rng for T {}
+
+/// Ranges that can be sampled uniformly.
+pub trait SampleRange<T> {
+    /// Draws a uniform value from the range.
+    fn sample<G: Rng + ?Sized>(self, rng: &mut G) -> T;
+}
+
+macro_rules! impl_sample_range_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            #[inline]
+            fn sample<G: Rng + ?Sized>(self, rng: &mut G) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (uniform_below(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample<G: Rng + ?Sized>(self, rng: &mut G) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return lo + (rng.next_u64() as $t);
+                }
+                lo + (uniform_below(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_range_uint!(u32, u64, usize);
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    #[inline]
+    fn sample<G: Rng + ?Sized>(self, rng: &mut G) -> f64 {
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+/// Unbiased uniform draw in `[0, bound)` (Lemire multiply-shift rejection).
+#[inline]
+fn uniform_below<G: Rng + ?Sized>(rng: &mut G, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    let mut x = rng.next_u64();
+    let mut m = (x as u128).wrapping_mul(bound as u128);
+    let mut lo = m as u64;
+    if lo < bound {
+        let t = bound.wrapping_neg() % bound;
+        while lo < t {
+            x = rng.next_u64();
+            m = (x as u128).wrapping_mul(bound as u128);
+            lo = m as u64;
+        }
+    }
+    (m >> 64) as u64
+}
+
+/// Convenience sampling methods, blanket-implemented for every [`Rng`].
+pub trait RngExt: Rng {
+    /// Draws a uniform value from `range`.
+    #[inline]
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+}
+
+impl<T: Rng> RngExt for T {}
+
+/// A generator that can be instantiated from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// Seed type, e.g. `[u8; 32]`.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Creates a generator from the full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64`, expanding it through SplitMix64.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Infallible, SeedableRng, TryRng};
+
+    /// Stand-in for `rand::rngs::StdRng`: a xoshiro256++ generator.
+    ///
+    /// Only determinism and uniformity matter for this workspace (the real
+    /// `StdRng` is explicitly not reproducible across `rand` versions).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl TryRng for StdRng {
+        type Error = Infallible;
+
+        #[inline]
+        fn try_next_u32(&mut self) -> Result<u32, Infallible> {
+            Ok((self.next_raw() >> 32) as u32)
+        }
+
+        #[inline]
+        fn try_next_u64(&mut self) -> Result<u64, Infallible> {
+            Ok(self.next_raw())
+        }
+
+        fn try_fill_bytes(&mut self, dst: &mut [u8]) -> Result<(), Infallible> {
+            let mut chunks = dst.chunks_exact_mut(8);
+            for chunk in &mut chunks {
+                chunk.copy_from_slice(&self.next_raw().to_le_bytes());
+            }
+            let rem = chunks.into_remainder();
+            if !rem.is_empty() {
+                let bytes = self.next_raw().to_le_bytes();
+                rem.copy_from_slice(&bytes[..rem.len()]);
+            }
+            Ok(())
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, w) in s.iter_mut().enumerate() {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+                *w = u64::from_le_bytes(b);
+            }
+            if s == [0, 0, 0, 0] {
+                s = [0x9E37_79B9_7F4A_7C15, 1, 2, 3];
+            }
+            Self { s }
+        }
+    }
+
+    impl StdRng {
+        #[inline]
+        fn next_raw(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn std_rng_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..16 {
+            assert_eq!(
+                a.random_range(0..1_000_000usize),
+                b.random_range(0..1_000_000usize)
+            );
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x = rng.random_range(10..20u64);
+            assert!((10..20).contains(&x));
+            let y = rng.random_range(0.0..1.0f64);
+            assert!((0.0..1.0).contains(&y));
+            let z = rng.random_range(0..=5u32);
+            assert!(z <= 5);
+        }
+    }
+}

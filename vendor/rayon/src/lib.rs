@@ -1,0 +1,162 @@
+//! Offline vendored stub of `rayon`'s parallel-iterator surface.
+//!
+//! The build environment has no network access, so this crate implements the
+//! one shape the workspace uses — `(0..n).into_par_iter().map(f).collect()`
+//! — on top of `std::thread::scope`. Work is split into one contiguous chunk
+//! per available core and results are concatenated in index order, so the
+//! output is identical to the sequential computation regardless of thread
+//! count.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// The traits users import, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{FromParallelIterator, IntoParallelIterator, ParallelIterator};
+}
+
+/// Conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// The parallel iterator produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// A data-parallel iterator over an index range.
+pub trait ParallelIterator: Sized {
+    /// Element type.
+    type Item: Send;
+
+    /// Maps each element through `f` in parallel.
+    fn map<O, F>(self, f: F) -> ParMap<Self, F>
+    where
+        O: Send,
+        F: Fn(Self::Item) -> O + Sync,
+    {
+        ParMap { inner: self, f }
+    }
+
+    /// Collects all elements, preserving index order.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_iter(self.run())
+    }
+
+    /// Executes the iterator, returning elements in index order.
+    fn run(self) -> Vec<Self::Item>;
+}
+
+/// Collection types a parallel iterator can gather into.
+pub trait FromParallelIterator<T: Send> {
+    /// Builds the collection from elements in index order.
+    fn from_par_iter(items: Vec<T>) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+/// Parallel iterator over `Range<usize>`.
+#[derive(Debug, Clone)]
+pub struct ParRange {
+    range: Range<usize>,
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    type Iter = ParRange;
+
+    fn into_par_iter(self) -> ParRange {
+        ParRange { range: self }
+    }
+}
+
+impl ParallelIterator for ParRange {
+    type Item = usize;
+
+    fn run(self) -> Vec<usize> {
+        self.range.collect()
+    }
+}
+
+/// A mapped parallel iterator.
+#[derive(Debug, Clone)]
+pub struct ParMap<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<O, F> ParallelIterator for ParMap<ParRange, F>
+where
+    O: Send,
+    F: Fn(usize) -> O + Sync,
+{
+    type Item = O;
+
+    fn run(self) -> Vec<O> {
+        par_map_range(self.inner.range, &self.f)
+    }
+}
+
+/// Maps `f` over `range` using one chunk per available core; results are in
+/// index order.
+fn par_map_range<O, F>(range: Range<usize>, f: &F) -> Vec<O>
+where
+    O: Send,
+    F: Fn(usize) -> O + Sync,
+{
+    let n = range.len();
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n.max(1));
+    if threads <= 1 {
+        return range.map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut parts: Vec<Vec<O>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let start = (range.start + t * chunk).min(range.end);
+                let end = (start + chunk).min(range.end);
+                scope.spawn(move || (start..end).map(f).collect::<Vec<O>>())
+            })
+            .collect();
+        for handle in handles {
+            parts.push(handle.join().expect("parallel worker panicked"));
+        }
+    });
+    parts.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn matches_sequential_map() {
+        let par: Vec<usize> = (0..1000).into_par_iter().map(|i| i * i).collect();
+        let seq: Vec<usize> = (0..1000).map(|i| i * i).collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn empty_range_is_fine() {
+        let out: Vec<usize> = (5..5).into_par_iter().map(|i| i).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn tiny_ranges_are_fine() {
+        let out: Vec<usize> = (0..1).into_par_iter().map(|i| i + 7).collect();
+        assert_eq!(out, vec![7]);
+    }
+}

@@ -1,0 +1,212 @@
+//! Offline vendored stub of `serde`.
+//!
+//! The build environment has no network access, so this crate provides the
+//! slice of serde the workspace uses: a [`Serialize`] trait (with a
+//! same-named derive macro re-exported from `serde_derive`) that lowers
+//! values into a small JSON-shaped [`Value`] model, which `serde_json`
+//! renders. The full serde serializer/visitor machinery is intentionally
+//! absent.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+// Lets the derive's generated `serde::...` paths resolve inside this crate's
+// own tests.
+extern crate self as serde;
+
+pub use serde_derive::Serialize;
+
+use std::collections::BTreeMap;
+
+/// A JSON-shaped value tree: the serialization data model of this stub.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer (kept separate to round-trip `u64::MAX`).
+    UInt(u64),
+    /// Floating-point number. Non-finite values render as `null`.
+    Float(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+/// Types that can lower themselves into a [`Value`].
+///
+/// Derivable for structs with named fields via `#[derive(serde::Serialize)]`.
+pub trait Serialize {
+    /// Lowers `self` into the value model.
+    fn serialize(&self) -> Value;
+}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_serialize_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+    )*};
+}
+
+impl_serialize_int!(i8, i16, i32, i64, isize);
+impl_serialize_uint!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(x) => x.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize(&self) -> Value {
+        Value::Array(vec![self.0.serialize(), self.1.serialize()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize(&self) -> Value {
+        Value::Array(vec![
+            self.0.serialize(),
+            self.1.serialize(),
+            self.2.serialize(),
+        ])
+    }
+}
+
+impl<K: ToString, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.serialize()))
+                .collect(),
+        )
+    }
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_lower_to_expected_variants() {
+        assert_eq!(5usize.serialize(), Value::UInt(5));
+        assert_eq!((-3i32).serialize(), Value::Int(-3));
+        assert_eq!(1.5f64.serialize(), Value::Float(1.5));
+        assert_eq!(true.serialize(), Value::Bool(true));
+        assert_eq!("hi".serialize(), Value::Str("hi".to_string()));
+        assert_eq!(None::<u32>.serialize(), Value::Null);
+    }
+
+    #[test]
+    fn containers_lower_recursively() {
+        let v = vec![1u32, 2, 3].serialize();
+        assert_eq!(
+            v,
+            Value::Array(vec![Value::UInt(1), Value::UInt(2), Value::UInt(3)])
+        );
+        let t = (1u32, "x").serialize();
+        assert_eq!(
+            t,
+            Value::Array(vec![Value::UInt(1), Value::Str("x".into())])
+        );
+    }
+
+    #[test]
+    fn derive_produces_ordered_object() {
+        #[derive(Serialize)]
+        struct Rec {
+            n: usize,
+            value: f64,
+        }
+        let v = Rec { n: 7, value: 0.5 }.serialize();
+        assert_eq!(
+            v,
+            Value::Object(vec![
+                ("n".to_string(), Value::UInt(7)),
+                ("value".to_string(), Value::Float(0.5)),
+            ])
+        );
+    }
+}

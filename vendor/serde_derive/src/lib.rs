@@ -1,0 +1,115 @@
+//! Offline vendored stub of `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` for non-generic structs with named
+//! fields — the only shape this workspace derives — by walking the raw
+//! `proc_macro` token stream directly (the real `syn`/`quote` stack is not
+//! available offline). The generated impl lowers the struct into
+//! `serde::Value::Object` with fields in declaration order.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` for a struct with named fields.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (`#[...]`, including doc comments) and
+    // visibility, then expect `struct Name`.
+    skip_attributes_and_vis(&tokens, &mut i);
+    match tokens.get(i) {
+        Some(TokenTree::Ident(kw)) if kw.to_string() == "struct" => i += 1,
+        other => panic!("#[derive(Serialize)] stub supports only structs, got {other:?}"),
+    }
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(name)) => name.to_string(),
+        other => panic!("expected struct name, got {other:?}"),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("#[derive(Serialize)] stub does not support generic structs ({name})");
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!("#[derive(Serialize)] stub requires named fields on {name}, got {other:?}"),
+    };
+
+    let mut entries = String::new();
+    for field in field_names(body) {
+        entries.push_str(&format!(
+            "({field:?}.to_string(), serde::Serialize::serialize(&self.{field})),"
+        ));
+    }
+
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> serde::Value {{\n\
+                 serde::Value::Object(vec![{entries}])\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl must parse")
+}
+
+/// Advances `i` past any `#[...]` attributes and a `pub` / `pub(...)`
+/// visibility prefix.
+fn skip_attributes_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(kw)) if kw.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Extracts field names, in order, from the token stream of a named-field
+/// struct body. Splits on commas outside `<...>` nesting so types like
+/// `BTreeMap<String, f64>` don't confuse the scan.
+fn field_names(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(field)) = tokens.get(i) else {
+            break;
+        };
+        names.push(field.to_string());
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field name, got {other:?}"),
+        }
+        // Consume the type up to the next top-level comma.
+        let mut angle_depth = 0i32;
+        while let Some(tt) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tt {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    names
+}
