@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# CI gate: formatting, lints, release build, full test suite, and examples.
+# CI gate: formatting, lints, docs, release build, full test suite, bench
+# compile smoke, examples, experiment smoke, and the perf gate.
 # Run from the repository root. Mirrors the tier-1 verify
 # (`cargo build --release && cargo test -q`) plus conformance checks.
+# Fully offline: all external dependencies are vendored under `vendor/`.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -11,16 +13,31 @@ cargo fmt --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc (RUSTDOCFLAGS=-D warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+
 echo "==> cargo build --release"
 cargo build --release
 
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cargo bench --no-run (compile smoke)"
+cargo bench --workspace --no-run -q
+
 echo "==> examples"
 for example in quickstart process_zoo topology_tour adversarial_recovery token_scheduler exact_analysis; do
     echo "--> cargo run --release --example ${example}"
     cargo run -q --release --example "${example}" >/dev/null
 done
+
+echo "==> rbb-exp --quick smoke (e01, e24)"
+cargo run -q --release --bin rbb-exp -- --quick --no-write e01 e24 >/dev/null
+
+# The gate writes its quick-profile report to an untracked path so it never
+# clobbers the committed full-profile BENCH.json snapshot (refresh that one
+# deliberately with `cargo run --release --bin rbb-bench -- --json BENCH.json`).
+echo "==> rbb-bench perf gate (target/BENCH.json)"
+cargo run -q --release --bin rbb-bench -- --quick --json target/BENCH.json --min-engine-speedup 1.5
 
 echo "CI OK"

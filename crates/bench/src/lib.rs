@@ -1,6 +1,286 @@
-//! # rbb-bench — criterion benchmarks
+//! # rbb-bench — throughput measurement
 //!
-//! Bench targets (see `benches/`): `engine` (load vs identity engines),
-//! `tetris`, `samplers` (+ PRNG ablation), `graphs`, `traversal` (+ bitset
-//! ablation), `baselines`, `strategies` (FIFO/LIFO/random ablation).
-//! Run with `cargo bench -p rbb-bench`.
+//! Two entry points:
+//!
+//! * **`rbb-bench` binary** (`src/main.rs`) — the repo's perf gate: warmup +
+//!   repetition + median-throughput measurements of the hot paths (engines,
+//!   Tetris, traversal, graph walks, trial scheduler), emitted as a
+//!   machine-readable `BENCH.json` (see [`BenchReport`]) and consumed by
+//!   `ci.sh` as a compile-and-smoke gate with a minimum engine-speedup
+//!   threshold.
+//! * **criterion bench targets** (`benches/`): `engine` (load vs identity
+//!   engines, scalar vs batched), `tetris`, `samplers` (+ PRNG ablation),
+//!   `graphs`, `traversal` (+ bitset ablation), `baselines`, `strategies`
+//!   (FIFO/LIFO/random ablation). Run with `cargo bench -p rbb-bench`.
+//!
+//! This library holds the measurement harness and the `BENCH.json` schema so
+//! both stay unit-testable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+/// Version of the `BENCH.json` schema emitted by [`BenchReport::to_json`].
+/// Bump on any breaking change to the report shape.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// One measured benchmark: `reps` timed iterations after `warmup` untimed
+/// ones, summarized by min/median/mean nanoseconds per iteration and the
+/// median-derived throughput.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct BenchResult {
+    /// Unique benchmark name, `group/variant` by convention.
+    pub name: String,
+    /// Logical group (e.g. `engine`), used for derived cross-variant ratios.
+    pub group: String,
+    /// Problem size (bins, vertices, or grid width — see `unit`).
+    pub n: u64,
+    /// Work items performed per timed iteration (rounds, steps, trials).
+    pub items_per_iter: u64,
+    /// What one work item is: the throughput unit is `<unit>/s`.
+    pub unit: String,
+    /// Number of timed repetitions the summary is computed from.
+    pub reps: usize,
+    /// Fastest repetition, in nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Median repetition, in nanoseconds per iteration — the headline
+    /// number (robust to one-off scheduling noise).
+    pub median_ns: f64,
+    /// Mean over repetitions, in nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// `items_per_iter / median_seconds` — the headline throughput.
+    pub throughput_per_sec: f64,
+}
+
+/// Identification half of a benchmark: everything except the timings.
+#[derive(Debug, Clone)]
+pub struct Spec {
+    /// Unique benchmark name, `group/variant` by convention.
+    pub name: String,
+    /// Logical group.
+    pub group: String,
+    /// Problem size.
+    pub n: u64,
+    /// Work items per timed iteration.
+    pub items_per_iter: u64,
+    /// Throughput unit (`rounds`, `steps`, `trials`, ...).
+    pub unit: String,
+}
+
+impl Spec {
+    /// Convenience constructor.
+    pub fn new(
+        name: impl Into<String>,
+        group: impl Into<String>,
+        n: u64,
+        items_per_iter: u64,
+        unit: impl Into<String>,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            group: group.into(),
+            n,
+            items_per_iter,
+            unit: unit.into(),
+        }
+    }
+}
+
+/// Median of a non-empty sample (mean of the middle two for even sizes).
+/// Thin wrapper over [`rbb_stats::median`] so the bench summary can never
+/// diverge from the stats crate's definition.
+pub fn median(samples: &[f64]) -> f64 {
+    assert!(!samples.is_empty(), "median of an empty sample");
+    rbb_stats::median(samples)
+}
+
+/// Times `routine`: `warmup` untimed iterations (cache/branch-predictor
+/// warm-up and, for the engines, burn-in to the stationary load profile),
+/// then `reps` timed iterations summarized into a [`BenchResult`].
+pub fn measure(spec: Spec, warmup: usize, reps: usize, mut routine: impl FnMut()) -> BenchResult {
+    let reps = reps.max(1);
+    for _ in 0..warmup {
+        routine();
+    }
+    let mut samples_ns = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let start = Instant::now();
+        routine();
+        samples_ns.push(start.elapsed().as_secs_f64() * 1e9);
+    }
+    let median_ns = median(&samples_ns);
+    let min_ns = samples_ns.iter().copied().fold(f64::INFINITY, f64::min);
+    let mean_ns = samples_ns.iter().sum::<f64>() / reps as f64;
+    BenchResult {
+        throughput_per_sec: if median_ns > 0.0 {
+            spec.items_per_iter as f64 * 1e9 / median_ns
+        } else {
+            0.0
+        },
+        name: spec.name,
+        group: spec.group,
+        n: spec.n,
+        items_per_iter: spec.items_per_iter,
+        unit: spec.unit,
+        reps,
+        min_ns,
+        median_ns,
+        mean_ns,
+    }
+}
+
+/// Cross-benchmark numbers derived from the raw measurements. `None` fields
+/// render as JSON `null` when the contributing benchmarks were filtered out.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Derived {
+    /// Median throughput of `engine/scalar`, in rounds/sec.
+    pub engine_rounds_per_sec_scalar: Option<f64>,
+    /// Median throughput of `engine/batched`, in rounds/sec.
+    pub engine_rounds_per_sec_batched: Option<f64>,
+    /// `batched / scalar` — the perf-gate headline; `ci.sh` enforces a
+    /// minimum via `--min-engine-speedup`.
+    pub engine_speedup_batched_vs_scalar: Option<f64>,
+}
+
+impl Derived {
+    /// Computes the derived metrics from the measured set.
+    pub fn from_results(results: &[BenchResult]) -> Self {
+        let throughput = |name: &str| {
+            results
+                .iter()
+                .find(|r| r.name == name)
+                .map(|r| r.throughput_per_sec)
+        };
+        let scalar = throughput("engine/scalar");
+        let batched = throughput("engine/batched");
+        let speedup = match (scalar, batched) {
+            (Some(s), Some(b)) if s > 0.0 => Some(b / s),
+            _ => None,
+        };
+        Self {
+            engine_rounds_per_sec_scalar: scalar,
+            engine_rounds_per_sec_batched: batched,
+            engine_speedup_batched_vs_scalar: speedup,
+        }
+    }
+}
+
+/// The `BENCH.json` document: schema version, run configuration, raw
+/// measurements, and derived ratios. Timings are wall-clock and
+/// machine-dependent; comparisons are only meaningful against a baseline
+/// captured on the same machine (which is exactly how `ci.sh` uses the
+/// batched-vs-scalar speedup — both sides run in the same process).
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct BenchReport {
+    /// Schema version ([`SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Unix timestamp (seconds) the run finished.
+    pub generated_unix: u64,
+    /// Whether this was a `--quick` smoke run (smaller sizes, fewer reps).
+    pub quick: bool,
+    /// Worker threads the scheduler benchmarks used.
+    pub threads: usize,
+    /// Untimed warmup iterations per benchmark.
+    pub warmup_iters: usize,
+    /// Timed repetitions per benchmark.
+    pub reps: usize,
+    /// Master seed the benchmark processes were constructed from.
+    pub seed: u64,
+    /// The raw measurements.
+    pub benchmarks: Vec<BenchResult>,
+    /// Cross-benchmark ratios.
+    pub derived: Derived,
+}
+
+impl BenchReport {
+    /// Renders the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report is always renderable")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> Spec {
+        Spec::new("engine/scalar", "engine", 64, 10, "rounds")
+    }
+
+    #[test]
+    fn median_odd_even_and_unsorted() {
+        assert_eq!(median(&[3.0]), 3.0);
+        assert_eq!(median(&[5.0, 1.0, 3.0]), 3.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+
+    #[test]
+    fn measure_runs_warmup_plus_reps_and_is_positive() {
+        let mut calls = 0usize;
+        let r = measure(spec(), 3, 7, || {
+            calls += 1;
+            std::hint::black_box((0..100).sum::<u64>());
+        });
+        assert_eq!(calls, 10);
+        assert_eq!(r.reps, 7);
+        assert!(r.min_ns > 0.0 && r.min_ns <= r.median_ns);
+        assert!(r.throughput_per_sec > 0.0);
+        assert_eq!(r.items_per_iter, 10);
+    }
+
+    #[test]
+    fn measure_clamps_zero_reps_to_one() {
+        let r = measure(spec(), 0, 0, || {});
+        assert_eq!(r.reps, 1);
+    }
+
+    #[test]
+    fn derived_speedup_from_engine_pair() {
+        let mut scalar = measure(spec(), 0, 1, || {});
+        scalar.throughput_per_sec = 100.0;
+        let mut batched = scalar.clone();
+        batched.name = "engine/batched".into();
+        batched.throughput_per_sec = 250.0;
+        let d = Derived::from_results(&[scalar, batched]);
+        assert_eq!(d.engine_rounds_per_sec_scalar, Some(100.0));
+        assert_eq!(d.engine_speedup_batched_vs_scalar, Some(2.5));
+    }
+
+    #[test]
+    fn derived_is_null_when_engines_filtered_out() {
+        let d = Derived::from_results(&[]);
+        assert_eq!(d.engine_speedup_batched_vs_scalar, None);
+        // ...and the nulls survive serialization.
+        let v = serde::Serialize::serialize(&d);
+        let text = serde_json::to_string(&v).unwrap();
+        assert!(text.contains("\"engine_speedup_batched_vs_scalar\":null"));
+    }
+
+    #[test]
+    fn report_renders_schema_fields() {
+        let results = vec![measure(spec(), 0, 2, || {})];
+        let report = BenchReport {
+            schema_version: SCHEMA_VERSION,
+            generated_unix: 0,
+            quick: true,
+            threads: 1,
+            warmup_iters: 0,
+            reps: 2,
+            seed: 42,
+            derived: Derived::from_results(&results),
+            benchmarks: results,
+        };
+        let json = report.to_json();
+        for key in [
+            "\"schema_version\": 1",
+            "\"benchmarks\"",
+            "\"median_ns\"",
+            "\"throughput_per_sec\"",
+            "\"derived\"",
+            "\"unit\": \"rounds\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
+    }
+}

@@ -1,0 +1,385 @@
+//! `rbb-bench` — the repo's machine-readable perf gate.
+//!
+//! Runs warmup + repetition + median-throughput measurements of every hot
+//! path (load/ball engines scalar vs batched, Tetris, traversal, graph
+//! walks, the work-stealing trial scheduler) and emits `BENCH.json` (see
+//! [`rbb_bench::BenchReport`] for the schema). `ci.sh` runs it with
+//! `--quick --json target/BENCH.json --min-engine-speedup 1.5` as a smoke
+//! gate; the committed `BENCH.json` snapshot is refreshed deliberately with
+//! a full-profile run.
+//!
+//! Usage:
+//! ```text
+//! rbb-bench [--quick] [--json <path>] [--only <substring>]
+//!           [--reps <k>] [--seed <u64>] [--min-engine-speedup <x>] [--list]
+//! ```
+
+use rbb_bench::{measure, BenchReport, BenchResult, Derived, Spec, SCHEMA_VERSION};
+use rbb_core::ball_process::BallProcess;
+use rbb_core::config::Config;
+use rbb_core::metrics::NullObserver;
+use rbb_core::process::LoadProcess;
+use rbb_core::rng::Xoshiro256pp;
+use rbb_core::strategy::QueueStrategy;
+use rbb_core::tetris::Tetris;
+use rbb_graphs::{complete, ring, RandomWalk};
+use rbb_sim::{sweep_par_seeded, SeedTree};
+use rbb_traversal::Traversal;
+
+/// Sizes and iteration counts for one run profile.
+struct Profile {
+    /// Bins for the load-engine pair (the perf-gate headline).
+    engine_n: usize,
+    /// Rounds per timed iteration for the engines and Tetris.
+    engine_rounds: u64,
+    /// Bins for the ball-identity engine pair.
+    ball_n: usize,
+    ball_rounds: u64,
+    /// Nodes (= tokens) for the traversal engine.
+    traversal_n: usize,
+    traversal_rounds: u64,
+    /// Vertices for the single-walk benchmarks.
+    walk_n: usize,
+    walk_steps: u64,
+    /// Scheduler grid: `params × trials` trials of `sched_rounds` rounds.
+    sched_params: usize,
+    sched_trials: usize,
+    sched_n: usize,
+    sched_rounds: u64,
+    warmup: usize,
+    reps: usize,
+}
+
+const FULL: Profile = Profile {
+    engine_n: 4096,
+    engine_rounds: 400,
+    ball_n: 2048,
+    ball_rounds: 200,
+    traversal_n: 512,
+    traversal_rounds: 200,
+    walk_n: 1024,
+    walk_steps: 200_000,
+    sched_params: 4,
+    sched_trials: 8,
+    sched_n: 256,
+    sched_rounds: 400,
+    warmup: 3,
+    reps: 15,
+};
+
+const QUICK: Profile = Profile {
+    engine_n: 1024,
+    engine_rounds: 100,
+    ball_n: 512,
+    ball_rounds: 50,
+    traversal_n: 128,
+    traversal_rounds: 50,
+    walk_n: 256,
+    walk_steps: 20_000,
+    sched_params: 2,
+    sched_trials: 4,
+    sched_n: 128,
+    sched_rounds: 100,
+    warmup: 1,
+    reps: 5,
+};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: rbb-bench [--quick] [--json <path>] [--only <substring>]\n\
+         \u{20}                [--reps <k>] [--seed <u64>] [--min-engine-speedup <x>] [--list]"
+    );
+    std::process::exit(2);
+}
+
+/// A registered benchmark: its identity plus a deferred fixture builder.
+/// Fixtures (processes, graphs) are only constructed once a benchmark
+/// survives the `--only` filter; `--list` never constructs any.
+struct Bench {
+    spec: Spec,
+    build: Box<dyn FnOnce() -> Box<dyn FnMut()>>,
+}
+
+/// The benchmark registry — the single source of truth for names, sizes,
+/// and routines (`--list`, `--only`, and the measurements all read it).
+fn registry(p: &Profile, seed: u64) -> Vec<Bench> {
+    let mk = |spec: Spec, build: Box<dyn FnOnce() -> Box<dyn FnMut()>>| Bench { spec, build };
+    let (engine_n, engine_rounds) = (p.engine_n, p.engine_rounds);
+    let (ball_n, ball_rounds) = (p.ball_n, p.ball_rounds);
+    let (trav_n, trav_rounds) = (p.traversal_n, p.traversal_rounds);
+    let (walk_n, walk_steps) = (p.walk_n, p.walk_steps);
+    let (sched_params, sched_trials, sched_n, sched_rounds) =
+        (p.sched_params, p.sched_trials, p.sched_n, p.sched_rounds);
+
+    let ball_fixture = move |seed: u64| {
+        BallProcess::new(
+            Config::one_per_bin(ball_n),
+            QueueStrategy::Fifo,
+            Xoshiro256pp::seed_from(seed),
+        )
+    };
+
+    vec![
+        mk(
+            Spec::new(
+                "engine/scalar",
+                "engine",
+                engine_n as u64,
+                engine_rounds,
+                "rounds",
+            ),
+            Box::new(move || {
+                let mut proc = LoadProcess::legitimate_start(engine_n, seed);
+                Box::new(move || proc.run_silent(engine_rounds))
+            }),
+        ),
+        mk(
+            Spec::new(
+                "engine/batched",
+                "engine",
+                engine_n as u64,
+                engine_rounds,
+                "rounds",
+            ),
+            Box::new(move || {
+                let mut proc = LoadProcess::legitimate_start(engine_n, seed);
+                Box::new(move || proc.run_rounds_batched(engine_rounds))
+            }),
+        ),
+        mk(
+            Spec::new(
+                "ball_engine/scalar",
+                "ball_engine",
+                ball_n as u64,
+                ball_rounds,
+                "rounds",
+            ),
+            Box::new(move || {
+                let mut proc = ball_fixture(seed);
+                Box::new(move || {
+                    for _ in 0..ball_rounds {
+                        proc.step();
+                    }
+                })
+            }),
+        ),
+        mk(
+            Spec::new(
+                "ball_engine/batched",
+                "ball_engine",
+                ball_n as u64,
+                ball_rounds,
+                "rounds",
+            ),
+            Box::new(move || {
+                let mut proc = ball_fixture(seed);
+                Box::new(move || {
+                    for _ in 0..ball_rounds {
+                        proc.step_batched();
+                    }
+                })
+            }),
+        ),
+        mk(
+            Spec::new(
+                "tetris/step",
+                "tetris",
+                engine_n as u64,
+                engine_rounds,
+                "rounds",
+            ),
+            Box::new(move || {
+                let mut proc =
+                    Tetris::new(Config::one_per_bin(engine_n), Xoshiro256pp::seed_from(seed));
+                Box::new(move || proc.run(engine_rounds, NullObserver))
+            }),
+        ),
+        mk(
+            Spec::new(
+                "traversal/step",
+                "traversal",
+                trav_n as u64,
+                trav_rounds,
+                "rounds",
+            ),
+            Box::new(move || {
+                let mut trav = Traversal::new(trav_n, QueueStrategy::Fifo, seed);
+                Box::new(move || {
+                    for _ in 0..trav_rounds {
+                        trav.step();
+                    }
+                })
+            }),
+        ),
+        mk(
+            Spec::new("walk/complete", "walk", walk_n as u64, walk_steps, "steps"),
+            Box::new(move || {
+                let clique = complete(walk_n);
+                let mut rng = Xoshiro256pp::seed_from(seed);
+                let mut walk_pos = 0usize;
+                Box::new(move || {
+                    let mut walk = RandomWalk::new(&clique, walk_pos);
+                    for _ in 0..walk_steps {
+                        walk.step(&mut rng);
+                    }
+                    walk_pos = walk.position();
+                })
+            }),
+        ),
+        mk(
+            Spec::new("walk/ring", "walk", walk_n as u64, walk_steps, "steps"),
+            Box::new(move || {
+                let cycle = ring(walk_n);
+                let mut rng = Xoshiro256pp::seed_from(seed ^ 1);
+                let mut walk_pos = 0usize;
+                Box::new(move || {
+                    let mut walk = RandomWalk::new(&cycle, walk_pos);
+                    for _ in 0..walk_steps {
+                        walk.step(&mut rng);
+                    }
+                    walk_pos = walk.position();
+                })
+            }),
+        ),
+        mk(
+            // The (param × trial) grid through the work-stealing scheduler:
+            // measures fan-out overhead + parallel trial throughput.
+            Spec::new(
+                "scheduler/sweep_par",
+                "scheduler",
+                (sched_params * sched_trials) as u64,
+                (sched_params * sched_trials) as u64,
+                "trials",
+            ),
+            Box::new(move || {
+                let grid: Vec<usize> = (0..sched_params).map(|i| sched_n + i).collect();
+                let tree = SeedTree::new(seed);
+                Box::new(move || {
+                    let out = sweep_par_seeded(
+                        tree,
+                        &grid,
+                        sched_trials,
+                        |n| format!("bench-n{n}"),
+                        |&n, _i, seed| {
+                            let mut p = LoadProcess::legitimate_start(n, seed);
+                            p.run_rounds_batched(sched_rounds);
+                            p.config().max_load()
+                        },
+                    );
+                    std::hint::black_box(out);
+                })
+            }),
+        ),
+    ]
+}
+
+/// Runs the (filtered) registry: warm-up also burns the engines in to their
+/// stationary load profile, so the timed iterations measure equilibrium
+/// throughput.
+fn run_benchmarks(p: &Profile, seed: u64, only: Option<&str>, reps: usize) -> Vec<BenchResult> {
+    registry(p, seed)
+        .into_iter()
+        .filter(|b| only.is_none_or(|pat| b.spec.name.contains(pat)))
+        .map(|b| {
+            let mut routine = (b.build)();
+            let r = measure(b.spec, p.warmup, reps, &mut routine);
+            println!(
+                "{:<24} n={:<6} {:>14.1} ns/iter {:>16.0} {}/s",
+                r.name, r.n, r.median_ns, r.throughput_per_sec, r.unit
+            );
+            r
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut json_path: Option<String> = None;
+    let mut only: Option<String> = None;
+    let mut reps_override: Option<usize> = None;
+    let mut seed: u64 = 42;
+    let mut min_speedup: Option<f64> = None;
+    let mut list = false;
+
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--list" => list = true,
+            "--json" => json_path = Some(take(&mut i)),
+            "--only" => only = Some(take(&mut i)),
+            "--reps" => reps_override = Some(take(&mut i).parse().unwrap_or_else(|_| usage())),
+            "--seed" => seed = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--min-engine-speedup" => {
+                min_speedup = Some(take(&mut i).parse().unwrap_or_else(|_| usage()))
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    if list {
+        // Unconsumed builders construct no fixtures, so listing is free.
+        for bench in registry(&QUICK, seed) {
+            println!("{}", bench.spec.name);
+        }
+        return;
+    }
+
+    let profile = if quick { &QUICK } else { &FULL };
+    let reps = reps_override.unwrap_or(profile.reps);
+    println!(
+        "rbb-bench: {} profile, {} warmup + {} reps per benchmark, seed {seed}\n",
+        if quick { "quick" } else { "full" },
+        profile.warmup,
+        reps
+    );
+    let results = run_benchmarks(profile, seed, only.as_deref(), reps);
+    let derived = Derived::from_results(&results);
+
+    if let Some(speedup) = derived.engine_speedup_batched_vs_scalar {
+        println!("\nengine speedup (batched vs scalar): {speedup:.2}x");
+    }
+
+    let report = BenchReport {
+        schema_version: SCHEMA_VERSION,
+        generated_unix: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+        quick,
+        threads: rayon::current_num_threads(),
+        warmup_iters: profile.warmup,
+        reps,
+        seed,
+        derived,
+        benchmarks: results,
+    };
+
+    if let Some(path) = &json_path {
+        std::fs::write(path, report.to_json() + "\n")
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("wrote {path}");
+    }
+
+    if let Some(min) = min_speedup {
+        match report.derived.engine_speedup_batched_vs_scalar {
+            Some(speedup) if speedup >= min => {
+                println!("perf gate OK: {speedup:.2}x >= {min:.2}x");
+            }
+            Some(speedup) => {
+                eprintln!("perf gate FAILED: engine speedup {speedup:.2}x < required {min:.2}x");
+                std::process::exit(1);
+            }
+            None => {
+                eprintln!("perf gate FAILED: engine benchmarks were filtered out");
+                std::process::exit(1);
+            }
+        }
+    }
+}

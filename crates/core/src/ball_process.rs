@@ -12,6 +12,7 @@ use std::collections::VecDeque;
 use crate::config::Config;
 use crate::metrics::RoundObserver;
 use crate::rng::Xoshiro256pp;
+use crate::sampling::UniformSampler;
 use crate::strategy::QueueStrategy;
 
 /// Identifier of a ball: dense indices `0..m`.
@@ -43,6 +44,8 @@ pub struct BallProcess {
     stats: Vec<BallStats>,
     /// Scratch buffer reused across rounds: (ball, destination).
     movers: Vec<(BallId, u32)>,
+    /// Destination scratch for the batched hot path (empty until first use).
+    batch_dests: Vec<u32>,
 }
 
 impl BallProcess {
@@ -70,6 +73,7 @@ impl BallProcess {
             arrival_round: vec![0; m as usize],
             stats: vec![BallStats::default(); m as usize],
             movers: Vec::new(),
+            batch_dests: Vec::new(),
         }
     }
 
@@ -179,6 +183,77 @@ impl BallProcess {
     /// Advances one round without a per-move hook.
     pub fn step(&mut self) -> usize {
         self.step_with(|_, _, _| {})
+    }
+
+    /// Advances one round through the batched hot path. For [`Fifo`] and
+    /// [`Lifo`] the queue pick consumes no randomness, so all of a round's
+    /// destination draws form one contiguous batch: they are filled through
+    /// a [`UniformSampler`] into a reused scratch buffer in the same bin
+    /// order the scalar path draws them, making the two paths bit-identical
+    /// from equal state. [`Random`] interleaves queue-index draws with
+    /// destination draws, so batching would permute the RNG stream; that
+    /// strategy transparently falls back to the scalar [`step_with`].
+    ///
+    /// [`Fifo`]: QueueStrategy::Fifo
+    /// [`Lifo`]: QueueStrategy::Lifo
+    /// [`Random`]: QueueStrategy::Random
+    /// [`step_with`]: BallProcess::step_with
+    pub fn step_batched_with(&mut self, mut on_move: impl FnMut(BallId, usize, u64)) -> usize {
+        if self.strategy == QueueStrategy::Random {
+            return self.step_with(on_move);
+        }
+        let n = self.queues.len();
+        let round = self.round + 1;
+        self.movers.clear();
+
+        // Selection phase: every non-empty bin releases exactly one ball.
+        // No RNG is consumed here under FIFO/LIFO.
+        for u in 0..n {
+            if self.queues[u].is_empty() {
+                continue;
+            }
+            let ball = match self.strategy {
+                QueueStrategy::Fifo => self.queues[u].pop_front().expect("non-empty"),
+                QueueStrategy::Lifo => self.queues[u].pop_back().expect("non-empty"),
+                QueueStrategy::Random => unreachable!("handled by scalar fallback"),
+            };
+            self.movers.push((ball, 0));
+        }
+        let moved = self.movers.len();
+
+        // One contiguous batch of destination draws, in mover (= bin) order.
+        self.batch_dests.resize(moved, 0);
+        UniformSampler::new(n as u64).fill_u32(&mut self.rng, &mut self.batch_dests);
+        for i in 0..moved {
+            let (ball, dest_slot) = &mut self.movers[i];
+            *dest_slot = self.batch_dests[i];
+            let wait = round - 1 - self.arrival_round[*ball as usize];
+            let st = &mut self.stats[*ball as usize];
+            st.moves += 1;
+            st.total_wait += wait;
+            st.max_wait = st.max_wait.max(wait);
+        }
+
+        // Re-assignment phase: all arrivals land simultaneously.
+        let loads = self.config.loads_mut();
+        for (u, q) in self.queues.iter().enumerate() {
+            loads[u] = q.len() as u32;
+        }
+        for i in 0..moved {
+            let (ball, dest) = self.movers[i];
+            self.queues[dest as usize].push_back(ball);
+            loads[dest as usize] += 1;
+            self.arrival_round[ball as usize] = round;
+            on_move(ball, dest as usize, round);
+        }
+
+        self.round = round;
+        moved
+    }
+
+    /// Advances one round through the batched hot path, without a hook.
+    pub fn step_batched(&mut self) -> usize {
+        self.step_batched_with(|_, _, _| {})
     }
 
     /// Runs `rounds` rounds with a round observer (no per-move hook).
@@ -394,6 +469,58 @@ mod tests {
         lifo.step();
         assert_eq!(lifo.ball_stats()[7].moves, 1);
         assert_eq!(lifo.ball_stats()[0].moves, 0);
+    }
+
+    #[test]
+    fn batched_step_bit_identical_for_fifo_and_lifo() {
+        for strategy in [QueueStrategy::Fifo, QueueStrategy::Lifo] {
+            let mut scalar = BallProcess::new(
+                Config::one_per_bin(64),
+                strategy,
+                Xoshiro256pp::seed_from(77),
+            );
+            let mut batched = scalar.clone();
+            for _ in 0..150 {
+                let a = scalar.step();
+                let b = batched.step_batched();
+                assert_eq!(a, b);
+                assert_eq!(scalar.config(), batched.config());
+            }
+            batched.validate().unwrap();
+            // Per-ball accounting agrees too, not just the load vector.
+            for (s, t) in scalar.ball_stats().iter().zip(batched.ball_stats()) {
+                assert_eq!(s.moves, t.moves);
+                assert_eq!(s.total_wait, t.total_wait);
+                assert_eq!(s.max_wait, t.max_wait);
+            }
+        }
+    }
+
+    #[test]
+    fn batched_step_random_falls_back_to_scalar() {
+        let mut scalar = BallProcess::new(
+            Config::one_per_bin(32),
+            QueueStrategy::Random,
+            Xoshiro256pp::seed_from(78),
+        );
+        let mut batched = scalar.clone();
+        for _ in 0..100 {
+            scalar.step();
+            batched.step_batched();
+            assert_eq!(scalar.config(), batched.config());
+        }
+    }
+
+    #[test]
+    fn batched_hook_fires_per_mover() {
+        let mut p = BallProcess::legitimate_start(16, 79);
+        let mut count = 0;
+        let moved = p.step_batched_with(|_, dest, round| {
+            assert!(dest < 16);
+            assert_eq!(round, 1);
+            count += 1;
+        });
+        assert_eq!(count, moved);
     }
 
     #[test]

@@ -17,7 +17,7 @@
 use crate::config::Config;
 use crate::metrics::{NullObserver, RoundObserver};
 use crate::rng::Xoshiro256pp;
-use crate::sampling::{throw_uniform, throw_uniform_recording};
+use crate::sampling::{throw_uniform, throw_uniform_batched, throw_uniform_recording};
 
 /// Load-only repeated balls-into-bins simulator.
 ///
@@ -36,6 +36,9 @@ pub struct LoadProcess {
     rng: Xoshiro256pp,
     round: u64,
     balls: u64,
+    /// Destination scratch reused by the batched hot path; empty until the
+    /// first `step_batched` call, so the scalar path pays nothing for it.
+    dests: Vec<u32>,
 }
 
 impl LoadProcess {
@@ -47,6 +50,7 @@ impl LoadProcess {
             rng,
             round: 0,
             balls,
+            dests: Vec::new(),
         }
     }
 
@@ -94,6 +98,49 @@ impl LoadProcess {
         self.round += 1;
         debug_assert_eq!(self.config.total_balls(), self.balls);
         departures
+    }
+
+    /// Advances one round through the batched hot path. Semantically (and
+    /// bit-for-bit, given equal starting state) identical to [`step`]: the
+    /// departure scan is branchless and the destination draws are batched
+    /// through [`crate::sampling::UniformSampler`] into a reused scratch
+    /// buffer, but the RNG stream is consumed in exactly the same order, so
+    /// the two paths produce the same trajectory from the same seed.
+    ///
+    /// [`step`]: LoadProcess::step
+    pub fn step_batched(&mut self) -> usize {
+        let loads = self.config.loads_mut();
+        let mut departures = 0usize;
+        for l in loads.iter_mut() {
+            // Branchless: at ~63% occupancy in equilibrium the `l > 0`
+            // branch is close to worst-case unpredictable, so the scalar
+            // path's compare-and-jump stalls the O(n) scan.
+            let occupied = (*l > 0) as u32;
+            *l -= occupied;
+            departures += occupied as usize;
+        }
+        throw_uniform_batched(&mut self.rng, loads, departures, &mut self.dests);
+        self.round += 1;
+        debug_assert_eq!(self.config.total_balls(), self.balls);
+        departures
+    }
+
+    /// Runs `rounds` rounds through the batched hot path, invoking
+    /// `observer` after each. Same trajectory as [`run`] from equal state.
+    ///
+    /// [`run`]: LoadProcess::run
+    pub fn run_batched(&mut self, rounds: u64, mut observer: impl RoundObserver) {
+        for _ in 0..rounds {
+            self.step_batched();
+            observer.observe(self.round, &self.config);
+        }
+    }
+
+    /// Runs `rounds` rounds through the batched hot path without
+    /// observation — the throughput-critical entry point used by the
+    /// benchmark harness and long-horizon experiments.
+    pub fn run_rounds_batched(&mut self, rounds: u64) {
+        self.run_batched(rounds, NullObserver);
     }
 
     /// Advances one round, recording each mover's destination in `dests`
@@ -307,6 +354,66 @@ mod tests {
     fn adversarial_reassign_rejects_mass_change() {
         let mut p = LoadProcess::legitimate_start(16, 12);
         p.adversarial_reassign(Config::all_in_one(16, 17));
+    }
+
+    #[test]
+    fn batched_step_is_bit_identical_to_scalar() {
+        // The batched hot path must be indistinguishable from the scalar
+        // path: same loads and same RNG consumption, round for round.
+        for n in [1usize, 7, 64, 1000] {
+            let mut scalar = LoadProcess::legitimate_start(n, 21);
+            let mut batched = scalar.clone();
+            for _ in 0..300 {
+                let a = scalar.step();
+                let b = batched.step_batched();
+                assert_eq!(a, b);
+                assert_eq!(scalar.config(), batched.config());
+            }
+        }
+    }
+
+    #[test]
+    fn batched_and_scalar_steps_interleave() {
+        // Because both paths consume the RNG identically, they can be mixed
+        // freely mid-trajectory.
+        let mut reference = LoadProcess::legitimate_start(128, 22);
+        let mut mixed = reference.clone();
+        for i in 0..200 {
+            reference.step();
+            if i % 2 == 0 {
+                mixed.step_batched();
+            } else {
+                mixed.step();
+            }
+        }
+        assert_eq!(reference.config(), mixed.config());
+        assert_eq!(reference.round(), mixed.round());
+    }
+
+    #[test]
+    fn run_rounds_batched_matches_run_silent() {
+        let mut a = LoadProcess::legitimate_start(256, 23);
+        let mut b = a.clone();
+        a.run_silent(500);
+        b.run_rounds_batched(500);
+        assert_eq!(a.config(), b.config());
+        assert_eq!(b.round(), 500);
+        assert_eq!(b.config().total_balls(), 256);
+    }
+
+    #[test]
+    fn run_batched_invokes_observer() {
+        let mut p = LoadProcess::legitimate_start(64, 24);
+        let mut tracker = MaxLoadTracker::new();
+        p.run_batched(100, &mut tracker);
+        assert!(tracker.window_max() >= 1);
+    }
+
+    #[test]
+    fn batched_from_all_in_one_conserves() {
+        let mut p = LoadProcess::new(Config::all_in_one(64, 200), Xoshiro256pp::seed_from(25));
+        p.run_rounds_batched(300);
+        assert_eq!(p.config().total_balls(), 200);
     }
 
     #[test]

@@ -70,6 +70,86 @@ pub fn throw_uniform(rng: &mut Xoshiro256pp, loads: &mut [u32], d: usize) {
     }
 }
 
+/// A uniform sampler over `[0, bound)` with the Lemire rejection threshold
+/// (`2^64 mod bound`) precomputed once, so batch draws pay no per-draw
+/// division or modulo.
+///
+/// Draw-for-draw compatible with [`Xoshiro256pp::next_below`]: both accept a
+/// raw 64-bit output iff the low half of `x · bound` is at least the
+/// threshold, so filling a batch through this sampler consumes the RNG
+/// stream identically to a loop of scalar draws and produces bit-identical
+/// values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UniformSampler {
+    bound: u64,
+    threshold: u64,
+}
+
+impl UniformSampler {
+    /// Creates a sampler over `[0, bound)`. Panics if `bound` is zero.
+    #[inline]
+    pub fn new(bound: u64) -> Self {
+        assert!(bound > 0, "UniformSampler bound must be positive");
+        Self {
+            bound,
+            threshold: bound.wrapping_neg() % bound,
+        }
+    }
+
+    /// The exclusive upper bound of the sampler.
+    #[inline]
+    pub fn bound(&self) -> u64 {
+        self.bound
+    }
+
+    /// Draws one value in `[0, bound)` (multiply-shift, precomputed
+    /// rejection threshold; usually a single multiplication).
+    #[inline]
+    pub fn sample(&self, rng: &mut Xoshiro256pp) -> u64 {
+        loop {
+            let m = (rng.next_u64() as u128).wrapping_mul(self.bound as u128);
+            if (m as u64) >= self.threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Fills `out` with i.i.d. draws in `[0, bound)`. Requires the bound to
+    /// fit `u32` (bin indices are dense `u32`s throughout the workspace).
+    #[inline]
+    pub fn fill_u32(&self, rng: &mut Xoshiro256pp, out: &mut [u32]) {
+        debug_assert!(
+            self.bound <= u32::MAX as u64 + 1,
+            "fill_u32 bound {} exceeds u32 range",
+            self.bound
+        );
+        for slot in out.iter_mut() {
+            *slot = self.sample(rng) as u32;
+        }
+    }
+}
+
+/// Batched form of [`throw_uniform`]: draws all `d` destinations into the
+/// reusable `dests` scratch buffer first (amortizing the Lemire threshold
+/// over the whole batch), then scatters the increments. Consumes the RNG
+/// identically to [`throw_uniform`], so the resulting `loads` and the
+/// post-call RNG state are bit-identical to the scalar path.
+#[inline]
+pub fn throw_uniform_batched(
+    rng: &mut Xoshiro256pp,
+    loads: &mut [u32],
+    d: usize,
+    dests: &mut Vec<u32>,
+) {
+    let n = loads.len();
+    debug_assert!(n > 0);
+    dests.resize(d, 0);
+    UniformSampler::new(n as u64).fill_u32(rng, dests);
+    for &b in dests.iter() {
+        loads[b as usize] += 1;
+    }
+}
+
 /// Throws `d` balls u.a.r. and records each destination in `dests` (cleared
 /// first). Used by the Lemma-3 coupling, which must *reuse* the original
 /// process's destination choices for the Tetris copy.
@@ -208,6 +288,70 @@ mod tests {
             recount[d] += 1;
         }
         assert_eq!(recount, loads);
+    }
+
+    #[test]
+    fn uniform_sampler_matches_next_below_bit_for_bit() {
+        // The batched sampler must consume the RNG stream exactly like the
+        // scalar `next_below`, for any bound (including powers of two, where
+        // the threshold is zero and no rejection ever happens).
+        for bound in [1u64, 2, 3, 7, 64, 100, 1023, 1024, 1025] {
+            let sampler = UniformSampler::new(bound);
+            let mut a = rng(100 + bound);
+            let mut b = a.clone();
+            for _ in 0..10_000 {
+                assert_eq!(sampler.sample(&mut a), b.next_below(bound));
+            }
+            // Post-run states coincide: identical stream consumption.
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn fill_u32_matches_scalar_draw_loop() {
+        let sampler = UniformSampler::new(77);
+        let mut a = rng(200);
+        let mut b = a.clone();
+        let mut batch = vec![0u32; 5000];
+        sampler.fill_u32(&mut a, &mut batch);
+        let scalar: Vec<u32> = (0..5000).map(|_| b.next_below(77) as u32).collect();
+        assert_eq!(batch, scalar);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn throw_uniform_batched_is_bit_identical_to_scalar() {
+        let mut a = rng(300);
+        let mut b = a.clone();
+        let mut loads_scalar = vec![0u32; 100];
+        let mut loads_batched = vec![0u32; 100];
+        let mut scratch = Vec::new();
+        for d in [0usize, 1, 17, 1000] {
+            throw_uniform(&mut a, &mut loads_scalar, d);
+            throw_uniform_batched(&mut b, &mut loads_batched, d, &mut scratch);
+            assert_eq!(loads_scalar, loads_batched);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn throw_uniform_batched_reuses_scratch() {
+        let mut r = rng(301);
+        let mut loads = vec![0u32; 16];
+        let mut scratch = Vec::with_capacity(64);
+        throw_uniform_batched(&mut r, &mut loads, 64, &mut scratch);
+        let ptr = scratch.as_ptr();
+        throw_uniform_batched(&mut r, &mut loads, 32, &mut scratch);
+        // Shrinking reuses the allocation; no per-round realloc.
+        assert_eq!(scratch.as_ptr(), ptr);
+        assert_eq!(scratch.len(), 32);
+        assert_eq!(loads.iter().map(|&x| x as u64).sum::<u64>(), 96);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn uniform_sampler_rejects_zero_bound() {
+        let _ = UniformSampler::new(0);
     }
 
     #[test]

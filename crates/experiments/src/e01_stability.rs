@@ -9,7 +9,7 @@
 use rbb_core::config::{Config, LegitimacyThreshold};
 use rbb_core::metrics::MaxLoadTracker;
 use rbb_core::process::LoadProcess;
-use rbb_sim::{fmt_f64, run_trials_seeded, Table};
+use rbb_sim::{fmt_f64, sweep_par_seeded, Table};
 use rbb_stats::{log_fit, Summary};
 
 use crate::common::{header, ExpContext};
@@ -35,23 +35,35 @@ pub struct E01Row {
     pub violations: usize,
 }
 
-/// Computes the stability table.
+/// The measured window: `min(200·n, n²)` rounds.
+fn window_for(n: usize) -> u64 {
+    (200 * n as u64).min((n as u64) * (n as u64))
+}
+
+/// Computes the stability table. The whole (n × trial) grid runs as one
+/// parallel fan-out ([`sweep_par_seeded`]) on the batched engine hot path;
+/// both changes preserve the published numbers bit for bit.
 pub fn compute(ctx: &ExpContext, sizes: &[usize], trials: usize) -> Vec<E01Row> {
     let thr = LegitimacyThreshold::default();
-    sizes
-        .iter()
-        .map(|&n| {
-            let window = (200 * n as u64).min((n as u64) * (n as u64));
-            let scope = ctx.seeds.scope(&format!("n{n}"));
-            let maxes: Vec<u32> = run_trials_seeded(scope, trials, |_i, seed| {
-                let mut p = LoadProcess::new(
-                    Config::one_per_bin(n),
-                    rbb_core::rng::Xoshiro256pp::seed_from(seed),
-                );
-                let mut t = MaxLoadTracker::new();
-                p.run(window, &mut t);
-                t.window_max()
-            });
+    let grid = sweep_par_seeded(
+        ctx.seeds,
+        sizes,
+        trials,
+        |n| format!("n{n}"),
+        |&n, _i, seed| {
+            let window = window_for(n);
+            let mut p = LoadProcess::new(
+                Config::one_per_bin(n),
+                rbb_core::rng::Xoshiro256pp::seed_from(seed),
+            );
+            let mut t = MaxLoadTracker::new();
+            p.run_batched(window, &mut t);
+            t.window_max()
+        },
+    );
+    grid.into_iter()
+        .map(|(n, maxes)| {
+            let window = window_for(n);
             let bound = thr.bound(n);
             let s = Summary::from_iter(maxes.iter().map(|&m| m as f64));
             E01Row {

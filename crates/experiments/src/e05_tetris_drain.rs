@@ -10,7 +10,7 @@ use rbb_core::config::Config;
 use rbb_core::rng::Xoshiro256pp;
 use rbb_core::sampling::random_assignment;
 use rbb_core::tetris::Tetris;
-use rbb_sim::{fmt_f64, run_trials_seeded, Table};
+use rbb_sim::{fmt_f64, sweep_par_seeded, Table};
 use rbb_stats::Summary;
 
 use crate::common::{header, ExpContext};
@@ -34,48 +34,56 @@ pub struct E05Row {
     pub over_budget: usize,
 }
 
-/// Computes the drain table.
+/// Builds an initial Tetris configuration from `(n, trial seed)`.
+type StartBuilder = fn(usize, u64) -> Config;
+
+/// Computes the drain table: the (start × n) double loop flattens into one
+/// parallel trial grid with per-parameter seed scopes derived as before.
 pub fn compute(ctx: &ExpContext, sizes: &[usize], trials: usize) -> Vec<E05Row> {
-    let mut rows = Vec::new();
-    for &(ref label, build) in &[
-        (
-            "all-in-one".to_string(),
-            (|n: usize, _s: u64| Config::all_in_one(n, n as u32)) as fn(usize, u64) -> Config,
-        ),
-        (
-            "uniform-random".to_string(),
-            (|n: usize, s: u64| {
-                let mut rng = Xoshiro256pp::seed_from(s ^ 0xFEED);
-                Config::from_loads(random_assignment(&mut rng, n, n as u64))
-            }) as fn(usize, u64) -> Config,
-        ),
-    ] {
-        for &n in sizes {
-            let budget = 5 * n as u64;
-            let scope = ctx.seeds.scope(&format!("{label}-n{n}"));
-            let times: Vec<Option<u64>> = run_trials_seeded(scope, trials, |_i, seed| {
-                let mut t = Tetris::new(build(n, seed), Xoshiro256pp::seed_from(seed));
-                // Run past the budget to observe the actual drain time.
-                t.run_until_all_emptied(20 * n as u64)
-            });
-            let ok: Vec<f64> = times.iter().flatten().map(|&t| t as f64).collect();
-            let s = Summary::from_slice(&ok);
-            let worst = if ok.is_empty() { 0 } else { s.max() as u64 };
-            rows.push(E05Row {
-                n,
-                start: label.clone(),
-                trials,
-                mean_all_emptied: s.mean(),
-                worst_all_emptied: worst,
-                fraction_of_budget: worst as f64 / budget as f64,
-                over_budget: times
-                    .iter()
-                    .filter(|t| t.map(|x| x > budget).unwrap_or(true))
-                    .count(),
-            });
+    let starts: [(String, StartBuilder); 2] = [
+        ("all-in-one".to_string(), |n, _s| {
+            Config::all_in_one(n, n as u32)
+        }),
+        ("uniform-random".to_string(), |n, s| {
+            let mut rng = Xoshiro256pp::seed_from(s ^ 0xFEED);
+            Config::from_loads(random_assignment(&mut rng, n, n as u64))
+        }),
+    ];
+    let params: Vec<(String, StartBuilder, usize)> = starts
+        .iter()
+        .flat_map(|(label, build)| sizes.iter().map(|&n| (label.clone(), *build, n)))
+        .collect();
+    sweep_par_seeded(
+        ctx.seeds,
+        &params,
+        trials,
+        |(label, _, n)| format!("{label}-n{n}"),
+        |(_, build, n), _i, seed| {
+            let mut t = Tetris::new(build(*n, seed), Xoshiro256pp::seed_from(seed));
+            // Run past the budget to observe the actual drain time.
+            t.run_until_all_emptied(20 * *n as u64)
+        },
+    )
+    .into_iter()
+    .map(|((label, _, n), times)| {
+        let budget = 5 * n as u64;
+        let ok: Vec<f64> = times.iter().flatten().map(|&t| t as f64).collect();
+        let s = Summary::from_slice(&ok);
+        let worst = if ok.is_empty() { 0 } else { s.max() as u64 };
+        E05Row {
+            n,
+            start: label,
+            trials,
+            mean_all_emptied: s.mean(),
+            worst_all_emptied: worst,
+            fraction_of_budget: worst as f64 / budget as f64,
+            over_budget: times
+                .iter()
+                .filter(|t| t.map(|x| x > budget).unwrap_or(true))
+                .count(),
         }
-    }
-    rows
+    })
+    .collect()
 }
 
 /// Runs and prints E05.

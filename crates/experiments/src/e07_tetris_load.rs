@@ -9,7 +9,7 @@ use rbb_core::config::Config;
 use rbb_core::metrics::MaxLoadTracker;
 use rbb_core::rng::Xoshiro256pp;
 use rbb_core::tetris::Tetris;
-use rbb_sim::{fmt_f64, run_trials_seeded, Table};
+use rbb_sim::{fmt_f64, sweep_par_seeded, Table};
 use rbb_stats::{log_fit, Summary};
 
 use crate::common::{header, ExpContext};
@@ -31,30 +31,40 @@ pub struct E07Row {
     pub ratio_to_ln_n: f64,
 }
 
-/// Computes the Tetris stability table.
+/// The measured window: `min(200·n, n²)` rounds (the E01 protocol).
+fn window_for(n: usize) -> u64 {
+    (200 * n as u64).min((n as u64) * (n as u64))
+}
+
+/// Computes the Tetris stability table as one parallel (n × trial) grid;
+/// seeds are derived as before, so the published numbers are unchanged.
 pub fn compute(ctx: &ExpContext, sizes: &[usize], trials: usize) -> Vec<E07Row> {
-    sizes
-        .iter()
-        .map(|&n| {
-            let window = (200 * n as u64).min((n as u64) * (n as u64));
-            let scope = ctx.seeds.scope(&format!("n{n}"));
-            let maxes: Vec<u32> = run_trials_seeded(scope, trials, |_i, seed| {
-                let mut t = Tetris::new(Config::one_per_bin(n), Xoshiro256pp::seed_from(seed));
-                let mut tracker = MaxLoadTracker::new();
-                t.run(window, &mut tracker);
-                tracker.window_max()
-            });
-            let s = Summary::from_iter(maxes.iter().map(|&m| m as f64));
-            E07Row {
-                n,
-                window,
-                trials,
-                mean_window_max: s.mean(),
-                worst_window_max: s.max() as u32,
-                ratio_to_ln_n: s.mean() / (n as f64).ln(),
-            }
-        })
-        .collect()
+    sweep_par_seeded(
+        ctx.seeds,
+        sizes,
+        trials,
+        |n| format!("n{n}"),
+        |&n, _i, seed| {
+            let mut t = Tetris::new(Config::one_per_bin(n), Xoshiro256pp::seed_from(seed));
+            let mut tracker = MaxLoadTracker::new();
+            t.run(window_for(n), &mut tracker);
+            tracker.window_max()
+        },
+    )
+    .into_iter()
+    .map(|(n, maxes)| {
+        let window = window_for(n);
+        let s = Summary::from_iter(maxes.iter().map(|&m| m as f64));
+        E07Row {
+            n,
+            window,
+            trials,
+            mean_window_max: s.mean(),
+            worst_window_max: s.max() as u32,
+            ratio_to_ln_n: s.mean() / (n as f64).ln(),
+        }
+    })
+    .collect()
 }
 
 /// Runs and prints E07.

@@ -17,7 +17,7 @@ use rbb_core::metrics::MaxLoadTracker;
 use rbb_core::process::LoadProcess;
 use rbb_core::rng::Xoshiro256pp;
 use rbb_core::sampling::random_assignment;
-use rbb_sim::{fmt_f64, run_trials_seeded, Table};
+use rbb_sim::{fmt_f64, sweep_par_seeded, Table};
 use rbb_stats::Summary;
 
 use crate::common::{header, ExpContext};
@@ -46,32 +46,35 @@ pub fn compute(
     factors: &[(String, u64)],
     trials: usize,
 ) -> Vec<E12Row> {
-    factors
-        .iter()
-        .map(|(label, m)| {
-            let m = *m;
+    sweep_par_seeded(
+        ctx.seeds,
+        factors,
+        trials,
+        |(_, m)| format!("m{m}-n{n}"),
+        |(_, m), _i, seed| {
             let window = 100 * n as u64;
-            let scope = ctx.seeds.scope(&format!("m{m}-n{n}"));
-            let maxes: Vec<u32> = run_trials_seeded(scope, trials, |_i, seed| {
-                let mut rng = Xoshiro256pp::seed_from(seed);
-                let cfg = Config::from_loads(random_assignment(&mut rng, n, m));
-                let mut p = LoadProcess::new(cfg, rng);
-                let mut t = MaxLoadTracker::new();
-                p.run(window, &mut t);
-                t.window_max()
-            });
-            let s = Summary::from_iter(maxes.iter().map(|&x| x as f64));
-            let avg = m as f64 / n as f64;
-            E12Row {
-                n,
-                m,
-                label: label.clone(),
-                mean_window_max: s.mean(),
-                excess_over_average: s.mean() - avg,
-                excess_over_ln_n: (s.mean() - avg) / (n as f64).ln(),
-            }
-        })
-        .collect()
+            let mut rng = Xoshiro256pp::seed_from(seed);
+            let cfg = Config::from_loads(random_assignment(&mut rng, n, *m));
+            let mut p = LoadProcess::new(cfg, rng);
+            let mut t = MaxLoadTracker::new();
+            p.run_batched(window, &mut t);
+            t.window_max()
+        },
+    )
+    .into_iter()
+    .map(|((label, m), maxes)| {
+        let s = Summary::from_iter(maxes.iter().map(|&x| x as f64));
+        let avg = m as f64 / n as f64;
+        E12Row {
+            n,
+            m,
+            label,
+            mean_window_max: s.mean(),
+            excess_over_average: s.mean() - avg,
+            excess_over_ln_n: (s.mean() - avg) / (n as f64).ln(),
+        }
+    })
+    .collect()
 }
 
 /// The standard factor sweep for a given `n`.

@@ -7,7 +7,7 @@
 
 use rbb_baselines::DChoiceProcess;
 use rbb_core::metrics::MaxLoadTracker;
-use rbb_sim::{fmt_f64, run_trials_seeded, Table};
+use rbb_sim::{fmt_f64, sweep_par_seeded, Table};
 use rbb_stats::Summary;
 
 use crate::common::{header, ExpContext};
@@ -27,31 +27,39 @@ pub struct E14Row {
     pub ratio_to_ln_ln_n: f64,
 }
 
-/// Computes the d-choice table.
+/// Computes the d-choice table: the double loop over `(d, n)` flattens into
+/// one parallel (parameter × trial) grid with the seeds derived as before.
 pub fn compute(ctx: &ExpContext, sizes: &[usize], ds: &[usize], trials: usize) -> Vec<E14Row> {
-    let mut rows = Vec::new();
-    for &d in ds {
-        for &n in sizes {
+    let params: Vec<(usize, usize)> = ds
+        .iter()
+        .flat_map(|&d| sizes.iter().map(move |&n| (d, n)))
+        .collect();
+    sweep_par_seeded(
+        ctx.seeds,
+        &params,
+        trials,
+        |&(d, n)| format!("d{d}-n{n}"),
+        |&(d, n), _i, seed| {
             let window = 100 * n as u64;
-            let scope = ctx.seeds.scope(&format!("d{d}-n{n}"));
-            let maxes: Vec<u32> = run_trials_seeded(scope, trials, |_i, seed| {
-                let mut p = DChoiceProcess::legitimate_start(n, d, seed);
-                let mut t = MaxLoadTracker::new();
-                p.run(window, &mut t);
-                t.window_max()
-            });
-            let s = Summary::from_iter(maxes.iter().map(|&x| x as f64));
-            let nf = n as f64;
-            rows.push(E14Row {
-                n,
-                d,
-                mean_window_max: s.mean(),
-                ratio_to_ln_n: s.mean() / nf.ln(),
-                ratio_to_ln_ln_n: s.mean() / nf.ln().ln(),
-            });
+            let mut p = DChoiceProcess::legitimate_start(n, d, seed);
+            let mut t = MaxLoadTracker::new();
+            p.run(window, &mut t);
+            t.window_max()
+        },
+    )
+    .into_iter()
+    .map(|((d, n), maxes)| {
+        let s = Summary::from_iter(maxes.iter().map(|&x| x as f64));
+        let nf = n as f64;
+        E14Row {
+            n,
+            d,
+            mean_window_max: s.mean(),
+            ratio_to_ln_n: s.mean() / nf.ln(),
+            ratio_to_ln_ln_n: s.mean() / nf.ln().ln(),
         }
-    }
-    rows
+    })
+    .collect()
 }
 
 /// Runs and prints E14.

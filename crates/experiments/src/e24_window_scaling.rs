@@ -10,7 +10,7 @@
 
 use rbb_core::metrics::MaxLoadTracker;
 use rbb_core::process::LoadProcess;
-use rbb_sim::{fmt_f64, run_trials_seeded, Table};
+use rbb_sim::{fmt_f64, sweep_par_seeded, Table};
 use rbb_stats::{log_fit, Summary};
 
 use crate::common::{header, ExpContext};
@@ -28,28 +28,34 @@ pub struct E24Row {
     pub ratio_to_ln_n: f64,
 }
 
-/// Computes the window sweep at fixed `n`.
+/// Computes the window sweep at fixed `n`. The longest window is four
+/// decades past the shortest, so the trial grid is maximally uneven — the
+/// shape the work-stealing [`sweep_par_seeded`] fan-out exists for.
 pub fn compute(ctx: &ExpContext, n: usize, windows: &[u64], trials: usize) -> Vec<E24Row> {
-    windows
-        .iter()
-        .map(|&window| {
-            let scope = ctx.seeds.scope(&format!("w{window}-n{n}"));
-            let maxes: Vec<u32> = run_trials_seeded(scope, trials, |_i, seed| {
-                let mut p = LoadProcess::legitimate_start(n, seed);
-                p.run_silent(4 * n as u64); // equilibrate first
-                let mut t = MaxLoadTracker::new();
-                p.run(window, &mut t);
-                t.window_max()
-            });
-            let s = Summary::from_iter(maxes.iter().map(|&x| x as f64));
-            E24Row {
-                n,
-                window,
-                mean_window_max: s.mean(),
-                ratio_to_ln_n: s.mean() / (n as f64).ln(),
-            }
-        })
-        .collect()
+    sweep_par_seeded(
+        ctx.seeds,
+        windows,
+        trials,
+        |window| format!("w{window}-n{n}"),
+        |&window, _i, seed| {
+            let mut p = LoadProcess::legitimate_start(n, seed);
+            p.run_rounds_batched(4 * n as u64); // equilibrate first
+            let mut t = MaxLoadTracker::new();
+            p.run_batched(window, &mut t);
+            t.window_max()
+        },
+    )
+    .into_iter()
+    .map(|(window, maxes)| {
+        let s = Summary::from_iter(maxes.iter().map(|&x| x as f64));
+        E24Row {
+            n,
+            window,
+            mean_window_max: s.mean(),
+            ratio_to_ln_n: s.mean() / (n as f64).ln(),
+        }
+    })
+    .collect()
 }
 
 /// Runs and prints E24.

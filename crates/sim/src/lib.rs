@@ -1,10 +1,11 @@
 //! # rbb-sim — the experiment harness
 //!
 //! Deterministic seeding ([`seed::SeedTree`]), rayon-parallel trial fan-out
-//! ([`runner`]), aligned text tables ([`table`]), and JSON/CSV artifact
-//! output ([`output`]). Every experiment in `rbb-experiments` is a pure
-//! function of its [`seed::SeedTree`] scope, so tables regenerate
-//! bit-identically regardless of thread count.
+//! ([`runner`]) including the whole-grid [`runner::sweep_par`], aligned text
+//! tables ([`table`]), and JSON/CSV artifact output ([`output`]). Every
+//! experiment in `rbb-experiments` is a pure function of its
+//! [`seed::SeedTree`] scope, so tables regenerate bit-identically regardless
+//! of thread count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -15,6 +16,6 @@ pub mod seed;
 pub mod table;
 
 pub use output::{OutputSink, RESULTS_DIR};
-pub use runner::{run_trials, run_trials_seeded, sweep};
+pub use runner::{run_trials, run_trials_seeded, sweep, sweep_par, sweep_par_seeded};
 pub use seed::{SeedTree, DEFAULT_MASTER_SEED};
 pub use table::{fmt_f64, Table};

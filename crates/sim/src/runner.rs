@@ -2,8 +2,17 @@
 //!
 //! Experiments are embarrassingly parallel over independent trials; per the
 //! hpc-parallel guides we use rayon's parallel iterators for the fan-out.
-//! Determinism: each trial's RNG is derived from `(seed tree, trial index)`,
-//! so results are independent of thread count and scheduling.
+//! [`sweep_par`]/[`sweep_par_seeded`] flatten the full (parameter × trial)
+//! grid into one fan-out so uneven parameters cannot leave workers idle.
+//!
+//! # Determinism
+//!
+//! Every trial's RNG is derived purely from `(seed tree, scope name, trial
+//! index)` — never from thread ids, scheduling order, or worker count — and
+//! the scheduler's collect is order-preserving. Consequently every function
+//! in this module returns bit-identical results for `RAYON_NUM_THREADS=1`
+//! and any other thread count, and the parallel grid functions match their
+//! sequential counterparts exactly.
 
 use rayon::prelude::*;
 
@@ -36,9 +45,13 @@ pub fn run_trials_seeded<T: Send>(
         .collect()
 }
 
-/// Runs a keyed parameter sweep: for each parameter in `params`, runs
-/// `trials` trials in parallel (parameters are processed sequentially so
-/// that progress output stays ordered). Returns `(param, results)` pairs.
+/// Runs a keyed parameter sweep with one parallel fan-out *per parameter*:
+/// parameters are visited one after another, each running its `trials`
+/// trials in parallel. Prefer [`sweep_par`], which parallelizes the whole
+/// (parameter × trial) grid; this variant only remains for callers that
+/// interleave per-parameter side effects (e.g. printing a table row as soon
+/// as a parameter finishes). Seeds are derived identically in both, so they
+/// return identical results. Returns `(param, results)` pairs.
 pub fn sweep<P: Clone + Sync, T: Send>(
     seeds: SeedTree,
     params: &[P],
@@ -56,6 +69,70 @@ pub fn sweep<P: Clone + Sync, T: Send>(
                 .collect();
             (p.clone(), results)
         })
+        .collect()
+}
+
+/// Runs a keyed parameter sweep as one parallel fan-out over the full
+/// (parameter × trial) grid, so a parameter with few or cheap trials never
+/// leaves workers idle while an expensive one finishes.
+///
+/// Trial RNGs are derived exactly as in [`sweep`] — from
+/// `seeds.scope(scope_name(p)).trial_rng(i)` — so the two functions return
+/// identical results, independent of thread count (see the module docs for
+/// the determinism contract). Results are grouped back into `(param,
+/// results)` pairs in parameter order, trials in trial order.
+pub fn sweep_par<P: Clone + Sync, T: Send>(
+    seeds: SeedTree,
+    params: &[P],
+    trials: usize,
+    scope_name: impl Fn(&P) -> String,
+    f: impl Fn(&P, usize, Xoshiro256pp) -> T + Sync,
+) -> Vec<(P, Vec<T>)> {
+    grid_par(seeds, params, trials, scope_name, |p, i, scope| {
+        f(p, i, scope.trial_rng(i as u64))
+    })
+}
+
+/// Like [`sweep_par`], but hands each trial its raw derived seed instead of
+/// an RNG (for trial bodies that need several derived streams). The seed for
+/// `(p, i)` is `seeds.scope(scope_name(p)).trial(i)` — identical to calling
+/// [`run_trials_seeded`] once per parameter on the scoped tree.
+pub fn sweep_par_seeded<P: Clone + Sync, T: Send>(
+    seeds: SeedTree,
+    params: &[P],
+    trials: usize,
+    scope_name: impl Fn(&P) -> String,
+    f: impl Fn(&P, usize, u64) -> T + Sync,
+) -> Vec<(P, Vec<T>)> {
+    grid_par(seeds, params, trials, scope_name, |p, i, scope| {
+        f(p, i, scope.trial(i as u64))
+    })
+}
+
+/// Shared (parameter × trial) grid fan-out behind [`sweep_par`] and
+/// [`sweep_par_seeded`]: flattens the grid into one parallel iterator and
+/// regroups the order-preserving collect by parameter.
+fn grid_par<P: Clone + Sync, T: Send>(
+    seeds: SeedTree,
+    params: &[P],
+    trials: usize,
+    scope_name: impl Fn(&P) -> String,
+    f: impl Fn(&P, usize, &SeedTree) -> T + Sync,
+) -> Vec<(P, Vec<T>)> {
+    if trials == 0 {
+        return params.iter().map(|p| (p.clone(), Vec::new())).collect();
+    }
+    // Scopes are pre-derived once per parameter (they are pure functions of
+    // the tree and the name, but there is no reason to re-hash per trial).
+    let scopes: Vec<SeedTree> = params.iter().map(|p| seeds.scope(&scope_name(p))).collect();
+    let flat: Vec<T> = (0..params.len() * trials)
+        .into_par_iter()
+        .map(|k| f(&params[k / trials], k % trials, &scopes[k / trials]))
+        .collect();
+    let mut flat = flat.into_iter();
+    params
+        .iter()
+        .map(|p| (p.clone(), flat.by_ref().take(trials).collect()))
         .collect()
 }
 
@@ -92,6 +169,90 @@ mod tests {
         let out = run_trials_seeded(tree, 8, |_, seed| seed);
         let expect: Vec<u64> = (0..8).map(|i| tree.trial(i)).collect();
         assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn sweep_par_matches_sequential_sweep() {
+        // The grid fan-out must be indistinguishable from the per-parameter
+        // variant: same scope/trial seed derivation, same grouping.
+        let tree = SeedTree::new(6);
+        let name = |p: &usize| format!("n{p}");
+        let body = |p: &usize, i: usize, mut rng: Xoshiro256pp| (*p, i, rng.next_u64());
+        let seq = sweep(tree, &[8usize, 16, 32], 5, name, body);
+        let par = sweep_par(tree, &[8usize, 16, 32], 5, name, body);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn sweep_par_seeded_matches_per_param_run_trials_seeded() {
+        let tree = SeedTree::new(7);
+        let params = [3usize, 9, 27];
+        let trials = 4;
+        let par = sweep_par_seeded(
+            tree,
+            &params,
+            trials,
+            |p| format!("p{p}"),
+            |p, i, seed| (*p, i, seed),
+        );
+        for (k, &p) in params.iter().enumerate() {
+            let scope = tree.scope(&format!("p{p}"));
+            let expect = run_trials_seeded(scope, trials, |i, seed| (p, i, seed));
+            assert_eq!(par[k].0, p);
+            assert_eq!(par[k].1, expect);
+        }
+    }
+
+    #[test]
+    fn sweep_par_is_deterministic_across_runs() {
+        let run = || {
+            sweep_par(
+                SeedTree::new(8),
+                &[2usize, 4, 6, 8],
+                7,
+                |p| format!("x{p}"),
+                |p, i, mut rng| (*p, i, rng.next_u64()),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn sweep_par_uneven_trial_costs_keep_results_ordered() {
+        // Parameter 50 is ~100x more expensive per trial than parameter 1:
+        // under a static split this shape idled workers; here it must still
+        // return exact (param, trial) ordering.
+        let out = sweep_par(
+            SeedTree::new(9),
+            &[1usize, 50],
+            8,
+            |p| format!("w{p}"),
+            |p, i, mut rng| {
+                let mut acc = 0u64;
+                for _ in 0..(p * p * 40) {
+                    acc = acc.wrapping_add(rng.next_u64());
+                }
+                (*p, i, acc)
+            },
+        );
+        assert_eq!(out.len(), 2);
+        for (k, (p, results)) in out.iter().enumerate() {
+            assert_eq!(*p, [1, 50][k]);
+            assert_eq!(results.len(), 8);
+            for (i, &(rp, ri, _)) in results.iter().enumerate() {
+                assert_eq!((rp, ri), (*p, i));
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_par_zero_trials_and_empty_params() {
+        let name = |p: &usize| format!("{p}");
+        let body = |p: &usize, _: usize, _: Xoshiro256pp| *p;
+        let out = sweep_par(SeedTree::new(10), &[1usize, 2], 0, name, body);
+        assert_eq!(out, vec![(1, vec![]), (2, vec![])]);
+        let out = sweep_par(SeedTree::new(10), &[], 5, name, body);
+        assert!(out.is_empty());
     }
 
     #[test]

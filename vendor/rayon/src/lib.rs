@@ -1,20 +1,57 @@
 //! Offline vendored stub of `rayon`'s parallel-iterator surface.
 //!
 //! The build environment has no network access, so this crate implements the
-//! one shape the workspace uses — `(0..n).into_par_iter().map(f).collect()`
-//! — on top of `std::thread::scope`. Work is split into one contiguous chunk
-//! per available core and results are concatenated in index order, so the
-//! output is identical to the sequential computation regardless of thread
-//! count.
+//! shapes the workspace uses — `(0..n).into_par_iter().map(f).collect()`,
+//! optionally tuned with `with_min_len` — on top of `std::thread::scope`.
+//!
+//! Unlike the original one-static-chunk-per-core splitter, work is scheduled
+//! through a shared chunk queue: the index range is cut into many chunks
+//! (several per worker, never smaller than the configured minimum length)
+//! and workers claim the next chunk from an atomic counter as they finish
+//! their previous one. Uneven per-item workloads therefore rebalance
+//! dynamically instead of idling whole cores behind one slow static chunk.
+//!
+//! Guarantees, matching real rayon where the workspace relies on them:
+//!
+//! * **Order-preserving collect** — results are concatenated in chunk (and
+//!   hence index) order, so the output is identical to the sequential
+//!   computation regardless of thread count or claim interleaving.
+//! * **Panic propagation** — a panic inside the mapped closure is captured
+//!   on the worker, re-raised on the calling thread with its original
+//!   payload after all workers have been joined, and never deadlocks the
+//!   pool.
+//! * **`RAYON_NUM_THREADS`** — overrides the worker count (values `>= 1`;
+//!   `0`, unset, or unparsable fall back to `std::thread::available_parallelism`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// How many chunks each worker gets on average: small enough to amortize
+/// the per-chunk atomic claim, large enough that a worker stuck on an
+/// expensive chunk leaves plenty for the others to steal.
+const CHUNKS_PER_THREAD: usize = 8;
 
 /// The traits users import, mirroring `rayon::prelude`.
 pub mod prelude {
     pub use crate::{FromParallelIterator, IntoParallelIterator, ParallelIterator};
+}
+
+/// Number of worker threads a parallel iterator will use, honoring the
+/// `RAYON_NUM_THREADS` environment variable (mirrors
+/// `rayon::current_num_threads`).
+pub fn current_num_threads() -> usize {
+    match std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1),
+    }
 }
 
 /// Conversion into a parallel iterator.
@@ -42,6 +79,11 @@ pub trait ParallelIterator: Sized {
         ParMap { inner: self, f }
     }
 
+    /// Sets the minimum number of items a scheduling chunk may hold
+    /// (mirrors `IndexedParallelIterator::with_min_len`). Use it to stop
+    /// very cheap per-item work from being cut into too many chunks.
+    fn with_min_len(self, min: usize) -> Self;
+
     /// Collects all elements, preserving index order.
     fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
         C::from_par_iter(self.run())
@@ -67,6 +109,7 @@ impl<T: Send> FromParallelIterator<T> for Vec<T> {
 #[derive(Debug, Clone)]
 pub struct ParRange {
     range: Range<usize>,
+    min_len: usize,
 }
 
 impl IntoParallelIterator for Range<usize> {
@@ -74,12 +117,20 @@ impl IntoParallelIterator for Range<usize> {
     type Iter = ParRange;
 
     fn into_par_iter(self) -> ParRange {
-        ParRange { range: self }
+        ParRange {
+            range: self,
+            min_len: 1,
+        }
     }
 }
 
 impl ParallelIterator for ParRange {
     type Item = usize;
+
+    fn with_min_len(mut self, min: usize) -> Self {
+        self.min_len = min.max(1);
+        self
+    }
 
     fn run(self) -> Vec<usize> {
         self.range.collect()
@@ -100,46 +151,96 @@ where
 {
     type Item = O;
 
+    fn with_min_len(mut self, min: usize) -> Self {
+        self.inner = self.inner.with_min_len(min);
+        self
+    }
+
     fn run(self) -> Vec<O> {
-        par_map_range(self.inner.range, &self.f)
+        par_map_range(
+            self.inner.range,
+            &self.f,
+            current_num_threads(),
+            self.inner.min_len,
+        )
     }
 }
 
-/// Maps `f` over `range` using one chunk per available core; results are in
-/// index order.
-fn par_map_range<O, F>(range: Range<usize>, f: &F) -> Vec<O>
+/// Maps `f` over `range` on `threads` workers pulling chunks of at least
+/// `min_len` items from a shared claim counter; results are in index order.
+fn par_map_range<O, F>(range: Range<usize>, f: &F, threads: usize, min_len: usize) -> Vec<O>
 where
     O: Send,
     F: Fn(usize) -> O + Sync,
 {
     let n = range.len();
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n.max(1));
-    if threads <= 1 {
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.max(1).min(n);
+    let (chunk, num_chunks) = chunk_layout(n, threads, min_len);
+    if threads <= 1 || num_chunks <= 1 {
         return range.map(f).collect();
     }
-    let chunk = n.div_ceil(threads);
-    let mut parts: Vec<Vec<O>> = Vec::with_capacity(threads);
+
+    let next = AtomicUsize::new(0);
+    let mut completed: Vec<(usize, Vec<O>)> = Vec::with_capacity(num_chunks);
+    let mut panic_payload = None;
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
-            .map(|t| {
-                let start = (range.start + t * chunk).min(range.end);
-                let end = (start + chunk).min(range.end);
-                scope.spawn(move || (start..end).map(f).collect::<Vec<O>>())
+            .map(|_| {
+                let next = &next;
+                scope.spawn(move || {
+                    let mut parts: Vec<(usize, Vec<O>)> = Vec::new();
+                    loop {
+                        let c = next.fetch_add(1, Ordering::Relaxed);
+                        if c >= num_chunks {
+                            return parts;
+                        }
+                        let start = range.start + c * chunk;
+                        let end = (start + chunk).min(range.end);
+                        parts.push((c, (start..end).map(f).collect()));
+                    }
+                })
             })
             .collect();
         for handle in handles {
-            parts.push(handle.join().expect("parallel worker panicked"));
+            match handle.join() {
+                Ok(parts) => completed.extend(parts),
+                // Drain the claim counter so surviving workers stop quickly,
+                // then keep joining: the panic is re-raised only after every
+                // worker has finished.
+                Err(payload) => {
+                    next.fetch_add(num_chunks, Ordering::Relaxed);
+                    panic_payload.get_or_insert(payload);
+                }
+            }
         }
     });
-    parts.into_iter().flatten().collect()
+    if let Some(payload) = panic_payload {
+        std::panic::resume_unwind(payload);
+    }
+
+    completed.sort_unstable_by_key(|&(c, _)| c);
+    debug_assert!(completed.iter().enumerate().all(|(i, &(c, _))| i == c));
+    completed.into_iter().flat_map(|(_, part)| part).collect()
+}
+
+/// Computes the scheduling granularity: chunks of `max(min_len,
+/// n / (threads * CHUNKS_PER_THREAD))` items, so there are several chunks
+/// per worker unless the caller's minimum forbids it.
+fn chunk_layout(n: usize, threads: usize, min_len: usize) -> (usize, usize) {
+    let chunk = min_len
+        .max(1)
+        .max(n.div_ceil(threads.max(1) * CHUNKS_PER_THREAD));
+    (chunk, n.div_ceil(chunk))
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::{chunk_layout, par_map_range};
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn matches_sequential_map() {
@@ -158,5 +259,120 @@ mod tests {
     fn tiny_ranges_are_fine() {
         let out: Vec<usize> = (0..1).into_par_iter().map(|i| i + 7).collect();
         assert_eq!(out, vec![7]);
+    }
+
+    #[test]
+    fn order_preserved_for_every_thread_count() {
+        let expect: Vec<usize> = (0..257).map(|i| i * 3).collect();
+        for threads in [1, 2, 3, 4, 8, 16] {
+            let got = par_map_range(0..257, &|i| i * 3, threads, 1);
+            assert_eq!(got, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn uneven_workloads_stay_correct_and_ordered() {
+        // Item cost varies by four orders of magnitude; under the old
+        // static split the first worker would own all the heavy items.
+        let work = |i: usize| -> u64 {
+            let iters = if i % 97 == 0 { 20_000 } else { 2 };
+            let mut acc = i as u64;
+            for _ in 0..iters {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            acc
+        };
+        let seq: Vec<u64> = (0..500).map(work).collect();
+        for threads in [2, 4, 8] {
+            assert_eq!(par_map_range(0..500, &work, threads, 1), seq);
+        }
+    }
+
+    #[test]
+    fn chunking_leaves_room_to_steal() {
+        // With several chunks per worker, a worker that lands on a slow
+        // chunk leaves the rest claimable by its peers.
+        let (chunk, num_chunks) = chunk_layout(10_000, 4, 1);
+        assert!(num_chunks >= 3 * 4, "only {num_chunks} chunks");
+        assert!(chunk * num_chunks >= 10_000);
+        // min_len caps the granularity...
+        let (chunk, num_chunks) = chunk_layout(10_000, 4, 5_000);
+        assert_eq!(chunk, 5_000);
+        assert_eq!(num_chunks, 2);
+        // ...and tiny inputs collapse to a single sequential chunk.
+        let (_, num_chunks) = chunk_layout(3, 4, 8);
+        assert_eq!(num_chunks, 1);
+    }
+
+    #[test]
+    fn all_workers_can_claim_chunks() {
+        // Count how many distinct chunks get claimed: the dynamic queue
+        // hands out all of them exactly once whatever the interleaving.
+        let claimed = AtomicUsize::new(0);
+        let out = par_map_range(
+            0..4096,
+            &|i| {
+                if i % 512 == 0 {
+                    claimed.fetch_add(1, Ordering::Relaxed);
+                }
+                i
+            },
+            4,
+            1,
+        );
+        assert_eq!(out.len(), 4096);
+        assert_eq!(claimed.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn panics_propagate_with_payload() {
+        let result = std::panic::catch_unwind(|| {
+            let _: Vec<usize> = par_map_range(
+                0..1000,
+                &|i| {
+                    if i == 613 {
+                        panic!("boom at {i}");
+                    }
+                    i
+                },
+                4,
+                1,
+            );
+        });
+        let payload = result.expect_err("panic must propagate to the caller");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("boom at 613"), "payload lost: {msg:?}");
+    }
+
+    #[test]
+    fn with_min_len_does_not_change_results() {
+        let expect: Vec<usize> = (0..300).map(|i| i + 1).collect();
+        for min in [1, 7, 64, 1000] {
+            let got: Vec<usize> = (0..300)
+                .into_par_iter()
+                .with_min_len(min)
+                .map(|i| i + 1)
+                .collect();
+            assert_eq!(got, expect, "min_len = {min}");
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        // The determinism contract `sweep_par` builds on: output depends
+        // only on the input, never on worker count.
+        let f = |i: usize| i.wrapping_mul(0x9E3779B97F4A7C15usize) >> 7;
+        let one = par_map_range(0..1111, &f, 1, 1);
+        for threads in [2, 3, 8, 32] {
+            assert_eq!(par_map_range(0..1111, &f, threads, 1), one);
+        }
+    }
+
+    #[test]
+    fn current_num_threads_is_positive() {
+        assert!(super::current_num_threads() >= 1);
     }
 }
