@@ -31,8 +31,20 @@ for example in quickstart process_zoo topology_tour adversarial_recovery token_s
     cargo run -q --release --example "${example}" >/dev/null
 done
 
-echo "==> rbb-exp --quick smoke (e01, e24)"
-cargo run -q --release --bin rbb-exp -- --quick --no-write e01 e24 >/dev/null
+echo "==> committed scenario specs validate and run (rbb sim --spec --quick)"
+for spec in specs/*.json; do
+    echo "--> rbb sim --spec ${spec} --quick"
+    cargo run -q --release --bin rbb -- sim --spec "${spec}" --quick >/dev/null
+done
+
+echo "==> rbb-exp --quick smoke (spec-migrated set + e24)"
+cargo run -q --release --bin rbb-exp -- --quick --no-write e01 e05 e09 e13 e14 e16 e24 >/dev/null
+
+echo "==> rbb-exp rejects unknown experiment ids"
+if cargo run -q --release --bin rbb-exp -- --quick --no-write e01 e99 >/dev/null 2>&1; then
+    echo "ERROR: rbb-exp accepted unknown id e99" >&2
+    exit 1
+fi
 
 # The gate writes its quick-profile report to an untracked path so it never
 # clobbers the committed full-profile BENCH.json snapshot (refresh that one

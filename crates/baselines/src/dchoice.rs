@@ -7,7 +7,7 @@
 //! `O(log log n)`-scale. Experiment E14 contrasts the two.
 
 use rbb_core::config::Config;
-use rbb_core::metrics::RoundObserver;
+use rbb_core::engine::Engine;
 use rbb_core::rng::Xoshiro256pp;
 
 /// Repeated balls-into-bins with `d` uniform choices per re-assignment.
@@ -98,13 +98,25 @@ impl DChoiceProcess {
         self.round += 1;
         moved
     }
+}
 
-    /// Runs `rounds` rounds with an observer.
-    pub fn run(&mut self, rounds: u64, mut observer: impl RoundObserver) {
-        for _ in 0..rounds {
-            self.step();
-            observer.observe(self.round, &self.config);
-        }
+/// The run family is provided by [`Engine`]; the d-choice kernel has no
+/// batched variant (candidate draws depend on live loads), so
+/// `step_batched` defaults to the scalar step.
+impl Engine for DChoiceProcess {
+    #[inline]
+    fn step(&mut self) -> usize {
+        DChoiceProcess::step(self)
+    }
+
+    #[inline]
+    fn round(&self) -> u64 {
+        self.round
+    }
+
+    #[inline]
+    fn config(&self) -> &Config {
+        &self.config
     }
 }
 

@@ -70,6 +70,7 @@ impl IndependentWalks {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rbb_core::engine::Engine;
     use rbb_core::metrics::MaxLoadTracker;
 
     #[test]

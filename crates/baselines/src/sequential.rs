@@ -88,6 +88,7 @@ impl SequentialProcess {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rbb_core::engine::Engine;
     use rbb_core::metrics::MaxLoadTracker;
     use rbb_core::process::LoadProcess;
 

@@ -44,6 +44,7 @@ impl SqrtBound {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rbb_core::engine::Engine;
 
     #[test]
     fn bound_grows_like_sqrt() {

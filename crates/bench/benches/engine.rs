@@ -9,6 +9,7 @@ use std::hint::black_box;
 
 use rbb_core::ball_process::BallProcess;
 use rbb_core::config::Config;
+use rbb_core::engine::Engine;
 use rbb_core::process::LoadProcess;
 use rbb_core::rng::Xoshiro256pp;
 use rbb_core::strategy::QueueStrategy;
@@ -32,7 +33,7 @@ fn bench_load_engine_batched(c: &mut Criterion) {
         g.throughput(Throughput::Elements(n as u64));
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             let mut p = LoadProcess::legitimate_start(n, 42);
-            p.run_rounds_batched(100); // equilibrate
+            p.run_silent(100); // equilibrate
             b.iter(|| black_box(p.step_batched()));
         });
     }

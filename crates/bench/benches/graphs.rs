@@ -21,7 +21,7 @@ fn bench_graph_step(c: &mut Criterion) {
     for (name, graph) in &graphs {
         g.throughput(Throughput::Elements(graph.n() as u64));
         g.bench_with_input(BenchmarkId::from_parameter(name), name, |b, _| {
-            let mut p = GraphLoadProcess::one_per_node(graph, 2);
+            let mut p = GraphLoadProcess::one_per_node(graph.clone(), 2);
             for _ in 0..50 {
                 p.step();
             }

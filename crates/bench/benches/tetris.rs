@@ -5,6 +5,7 @@ use std::hint::black_box;
 
 use rbb_core::config::Config;
 use rbb_core::coupling::CoupledRun;
+use rbb_core::engine::Engine;
 use rbb_core::rng::Xoshiro256pp;
 use rbb_core::sampling::random_assignment;
 use rbb_core::tetris::{BatchedTetris, Tetris};

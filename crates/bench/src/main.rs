@@ -17,13 +17,14 @@
 use rbb_bench::{measure, BenchReport, BenchResult, Derived, Spec, SCHEMA_VERSION};
 use rbb_core::ball_process::BallProcess;
 use rbb_core::config::Config;
+use rbb_core::engine::Engine;
 use rbb_core::metrics::NullObserver;
 use rbb_core::process::LoadProcess;
 use rbb_core::rng::Xoshiro256pp;
 use rbb_core::strategy::QueueStrategy;
 use rbb_core::tetris::Tetris;
 use rbb_graphs::{complete, ring, RandomWalk};
-use rbb_sim::{sweep_par_seeded, SeedTree};
+use rbb_sim::{sweep_par_seeded, ScenarioSpec, SeedTree};
 use rbb_traversal::Traversal;
 
 /// Sizes and iteration counts for one run profile.
@@ -129,8 +130,14 @@ fn registry(p: &Profile, seed: u64) -> Vec<Bench> {
                 "rounds",
             ),
             Box::new(move || {
+                // Explicit scalar stepping: `Engine::run_silent` drives the
+                // batched kernel, and the gate needs the scalar baseline.
                 let mut proc = LoadProcess::legitimate_start(engine_n, seed);
-                Box::new(move || proc.run_silent(engine_rounds))
+                Box::new(move || {
+                    for _ in 0..engine_rounds {
+                        proc.step();
+                    }
+                })
             }),
         ),
         mk(
@@ -143,7 +150,28 @@ fn registry(p: &Profile, seed: u64) -> Vec<Bench> {
             ),
             Box::new(move || {
                 let mut proc = LoadProcess::legitimate_start(engine_n, seed);
-                Box::new(move || proc.run_rounds_batched(engine_rounds))
+                Box::new(move || proc.run_silent(engine_rounds))
+            }),
+        ),
+        mk(
+            // The spec-driven factory path: the same batched engine behind
+            // `Box<dyn Engine>`, built from a declarative ScenarioSpec.
+            // Tracks engine/batched to keep the factory overhead-free.
+            Spec::new(
+                "engine/spec",
+                "engine",
+                engine_n as u64,
+                engine_rounds,
+                "rounds",
+            ),
+            Box::new(move || {
+                let spec = ScenarioSpec::builder(engine_n).seed(seed).build();
+                let mut engine = rbb_sim::build_engine(&spec).expect("valid spec");
+                Box::new(move || {
+                    for _ in 0..engine_rounds {
+                        engine.step_batched();
+                    }
+                })
             }),
         ),
         mk(
@@ -262,7 +290,7 @@ fn registry(p: &Profile, seed: u64) -> Vec<Bench> {
                         |n| format!("bench-n{n}"),
                         |&n, _i, seed| {
                             let mut p = LoadProcess::legitimate_start(n, seed);
-                            p.run_rounds_batched(sched_rounds);
+                            p.run_silent(sched_rounds);
                             p.config().max_load()
                         },
                     );

@@ -4,8 +4,9 @@ use rbb_core::adversary::{
     Adversary, AllInOneAdversary, FaultSchedule, FollowTheLeaderAdversary, RandomAdversary,
 };
 use rbb_core::config::{Config, LegitimacyThreshold};
+use rbb_core::engine::Engine;
 use rbb_core::exact::{appendix_b_exact, ExactChain};
-use rbb_core::metrics::{EmptyBinsTracker, LegitimacyTracker, MaxLoadTracker};
+use rbb_core::metrics::ObserverStack;
 use rbb_core::mixing::mixing_time;
 use rbb_core::process::LoadProcess;
 use rbb_core::rng::Xoshiro256pp;
@@ -15,7 +16,7 @@ use rbb_graphs::{
     complete_with_loops, diameter, hypercube, random_regular, ring, spectral_gap, star, torus,
     Graph, GraphLoadProcess,
 };
-use rbb_sim::fmt_f64;
+use rbb_sim::{fmt_f64, HorizonSpec, ScenarioSpec, StopSpec};
 use rbb_traversal::{faulty_cover_time, single_token_cover_time, ProgressReport, Traversal};
 
 use crate::args::{Args, ParseError};
@@ -69,6 +70,101 @@ pub fn build_topology(kind: &str, n: usize, seed: u64) -> Result<Graph, ParseErr
     }
 }
 
+/// Prints the post-run summary shared by `sim` and `simulate`.
+fn print_summary(n: usize, stack: &ObserverStack, threshold: LegitimacyThreshold) {
+    if let Some(max_t) = &stack.max_load {
+        println!(
+            "  max load over window : {} (bound 4 ln n = {})",
+            max_t.window_max(),
+            threshold.bound(n)
+        );
+        println!(
+            "  mean per-round max   : {}",
+            fmt_f64(max_t.mean_round_max(), 2)
+        );
+    }
+    if let Some(empty_t) = &stack.empty_bins {
+        println!(
+            "  min empty bins       : {} ({}%; paper: ≥ 25%)",
+            empty_t.min_empty(),
+            100 * empty_t.min_empty() / n
+        );
+    }
+    if let Some(legit_t) = &stack.legitimacy {
+        match legit_t.first_legitimate_round() {
+            Some(r) => println!(
+                "  legitimate from round {r}; violations after: {}",
+                legit_t.violations_after_first()
+            ),
+            None => println!("  never legitimate within the window (!)"),
+        }
+    }
+}
+
+/// `rbb sim` — run a declarative [`ScenarioSpec`] from a JSON file.
+pub fn sim(args: &Args) -> Result<(), ParseError> {
+    let path = args
+        .get("spec")
+        .ok_or_else(|| ParseError("sim requires --spec <file.json>".into()))?
+        .to_string();
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| ParseError(format!("cannot read {path}: {e}")))?;
+    let mut spec: ScenarioSpec =
+        serde_json::from_str(&text).map_err(|e| ParseError(format!("{path}: {e}")))?;
+    if let Some(seed) = args.get("seed") {
+        let seed: u64 = seed
+            .parse()
+            .map_err(|_| ParseError(format!("--seed: cannot parse '{seed}'")))?;
+        spec = spec.with_seed(seed);
+    }
+    let mut scenario = spec
+        .scenario()
+        .map_err(|e| ParseError(format!("{path}: {e}")))?;
+    if args.switch("quick") {
+        // Smoke mode: cap the horizon so CI can validate committed specs
+        // without paying the full run. The comparison uses the *resolved*
+        // horizon (factor-n horizons scale with the engine's possibly
+        // rounded n, not the requested one).
+        const QUICK_CAP: u64 = 2_000;
+        if scenario.horizon() > QUICK_CAP {
+            spec.horizon = HorizonSpec::Rounds { rounds: QUICK_CAP };
+            scenario = spec
+                .scenario()
+                .map_err(|e| ParseError(format!("{path}: {e}")))?;
+        }
+    }
+    let threshold = LegitimacyThreshold::default();
+    let n = scenario.engine().n();
+    println!(
+        "scenario '{}': n = {n}, {} balls, horizon {} rounds, seed = {}",
+        spec.name.as_deref().unwrap_or(&path),
+        scenario.engine().balls(),
+        scenario.horizon(),
+        spec.seed,
+    );
+    let mut stack = ObserverStack::new()
+        .with_max_load()
+        .with_empty_bins()
+        .with_legitimacy(threshold);
+    let outcome = scenario.run_observed(&mut stack);
+
+    println!("  rounds run           : {}", outcome.rounds);
+    if spec.stop != StopSpec::Horizon {
+        match outcome.stop_round {
+            Some(r) => println!("  stop condition met at: round {r}"),
+            None => println!("  stop condition       : not met within horizon"),
+        }
+    }
+    if spec.adversary.is_some() {
+        println!("  faults injected      : {}", outcome.faults);
+    }
+    print_summary(n, &stack, threshold);
+    if let Some(p) = scenario.engine().min_progress() {
+        println!("  min token progress   : {p}");
+    }
+    Ok(())
+}
+
 /// `rbb simulate` — run the paper's process and summarize.
 pub fn simulate(args: &Args) -> Result<(), ParseError> {
     let n: usize = args.get_parsed("n", 1024)?;
@@ -82,32 +178,12 @@ pub fn simulate(args: &Args) -> Result<(), ParseError> {
         args.get_str("start", "one-per-bin")
     );
     let mut p = LoadProcess::new(start, Xoshiro256pp::seed_from(seed));
-    let mut max_t = MaxLoadTracker::new();
-    let mut empty_t = EmptyBinsTracker::new();
-    let mut legit_t = LegitimacyTracker::new(threshold);
-    p.run(rounds, (&mut max_t, &mut empty_t, &mut legit_t));
-
-    println!(
-        "  max load over window : {} (bound 4 ln n = {})",
-        max_t.window_max(),
-        threshold.bound(n)
-    );
-    println!(
-        "  mean per-round max   : {}",
-        fmt_f64(max_t.mean_round_max(), 2)
-    );
-    println!(
-        "  min empty bins       : {} ({}%; paper: ≥ 25%)",
-        empty_t.min_empty(),
-        100 * empty_t.min_empty() / n
-    );
-    match legit_t.first_legitimate_round() {
-        Some(r) => println!(
-            "  legitimate from round {r}; violations after: {}",
-            legit_t.violations_after_first()
-        ),
-        None => println!("  never legitimate within the window (!)"),
-    }
+    let mut stack = ObserverStack::new()
+        .with_max_load()
+        .with_empty_bins()
+        .with_legitimacy(threshold);
+    p.run(rounds, &mut stack);
+    print_summary(n, &stack, threshold);
     Ok(())
 }
 
@@ -197,8 +273,8 @@ pub fn topology(args: &Args) -> Result<(), ParseError> {
         spectral_gap(&graph, 1500)
     );
 
-    let mut p = GraphLoadProcess::one_per_node(&graph, seed);
-    let mut max_t = MaxLoadTracker::new();
+    let mut p = GraphLoadProcess::one_per_node(graph.clone(), seed);
+    let mut max_t = rbb_core::metrics::MaxLoadTracker::new();
     p.run(rounds, &mut max_t);
     let ln_n = (graph.n() as f64).ln();
     println!(

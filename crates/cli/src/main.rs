@@ -2,6 +2,7 @@
 //! reproduction.
 //!
 //! ```text
+//! rbb sim      --spec <file.json> [--seed S] [--quick]
 //! rbb simulate [--n 1024] [--rounds R] [--start one-per-bin|all-in-one|random|geometric]
 //!              [--strategy fifo|lifo|random] [--seed S]
 //! rbb traverse [--n 512] [--gamma 6] [--adversary all-in-one|random|follow-the-leader]
@@ -16,8 +17,9 @@ use args::Args;
 
 fn usage() {
     eprintln!(
-        "usage: rbb <simulate|traverse|topology|exact> [--key value]...\n\
+        "usage: rbb <sim|simulate|traverse|topology|exact> [--key value]...\n\
          \n\
+         sim        run a declarative scenario: --spec <file.json> [--seed S] [--quick]\n\
          simulate   run the paper's process and summarize load/legitimacy\n\
          traverse   multi-token traversal cover time (optional --gamma faults)\n\
          topology   constrained walks on a graph, with diameter/spectral gap\n\
@@ -38,6 +40,7 @@ fn main() {
         }
     };
     let result = match args.command() {
+        Some("sim") => commands::sim(&args),
         Some("simulate") => commands::simulate(&args),
         Some("traverse") => commands::traverse(&args),
         Some("topology") => commands::topology(&args),

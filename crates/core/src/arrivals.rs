@@ -94,6 +94,7 @@ impl RoundObserver for ArrivalTracker {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::Engine;
     use crate::process::LoadProcess;
 
     #[test]

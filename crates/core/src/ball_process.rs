@@ -10,7 +10,7 @@
 use std::collections::VecDeque;
 
 use crate::config::Config;
-use crate::metrics::RoundObserver;
+use crate::engine::Engine;
 use crate::rng::Xoshiro256pp;
 use crate::sampling::UniformSampler;
 use crate::strategy::QueueStrategy;
@@ -190,9 +190,22 @@ impl BallProcess {
     /// destination draws form one contiguous batch: they are filled through
     /// a [`UniformSampler`] into a reused scratch buffer in the same bin
     /// order the scalar path draws them, making the two paths bit-identical
-    /// from equal state. [`Random`] interleaves queue-index draws with
-    /// destination draws, so batching would permute the RNG stream; that
-    /// strategy transparently falls back to the scalar [`step_with`].
+    /// from equal state.
+    ///
+    /// # Why `Random` cannot be batched
+    ///
+    /// Under [`Random`] the scalar path consumes the RNG stream as
+    /// `pick(len₀), dest₀, pick(len₁), dest₁, …` — one queue-index draw
+    /// (whose bound is the *current* queue length, itself a function of all
+    /// earlier rounds) interleaved with each destination draw. A batched
+    /// kernel would have to draw all destinations as one contiguous block,
+    /// which permutes that stream: every draw after the first bin would see
+    /// different raw words, so the trajectory would diverge from the scalar
+    /// path and from the published experiment numbers. Since the workspace
+    /// guarantees `step_batched ≡ step` bit-for-bit for every engine (the
+    /// [`Engine`] run family is batched by default), `Random` transparently
+    /// falls back to the scalar [`step_with`]; the equivalence test
+    /// `batched_step_random_falls_back_to_scalar` pins the contract down.
     ///
     /// [`Fifo`]: QueueStrategy::Fifo
     /// [`Lifo`]: QueueStrategy::Lifo
@@ -254,14 +267,6 @@ impl BallProcess {
     /// Advances one round through the batched hot path, without a hook.
     pub fn step_batched(&mut self) -> usize {
         self.step_batched_with(|_, _, _| {})
-    }
-
-    /// Runs `rounds` rounds with a round observer (no per-move hook).
-    pub fn run(&mut self, rounds: u64, mut observer: impl RoundObserver) {
-        for _ in 0..rounds {
-            self.step();
-            observer.observe(self.round, &self.config);
-        }
     }
 
     /// Minimum walk progress over all balls (the quantity bounded below by
@@ -327,6 +332,43 @@ impl BallProcess {
             }
         }
         Ok(())
+    }
+}
+
+/// The run family is provided by [`Engine`]; FIFO/LIFO get the batched
+/// kernel, `Random` falls back to the bit-identical scalar path (see
+/// [`BallProcess::step_batched_with`]).
+impl Engine for BallProcess {
+    #[inline]
+    fn step(&mut self) -> usize {
+        BallProcess::step(self)
+    }
+
+    #[inline]
+    fn step_batched(&mut self) -> usize {
+        BallProcess::step_batched(self)
+    }
+
+    #[inline]
+    fn round(&self) -> u64 {
+        self.round
+    }
+
+    #[inline]
+    fn config(&self) -> &Config {
+        &self.config
+    }
+
+    fn supports_faults(&self) -> bool {
+        true
+    }
+
+    fn apply_fault(&mut self, placement: &[usize]) {
+        self.adversarial_reassign(placement);
+    }
+
+    fn min_progress(&self) -> Option<u64> {
+        Some(BallProcess::min_progress(self))
     }
 }
 
@@ -498,16 +540,37 @@ mod tests {
 
     #[test]
     fn batched_step_random_falls_back_to_scalar() {
-        let mut scalar = BallProcess::new(
-            Config::one_per_bin(32),
-            QueueStrategy::Random,
-            Xoshiro256pp::seed_from(78),
-        );
-        let mut batched = scalar.clone();
-        for _ in 0..100 {
-            scalar.step();
-            batched.step_batched();
-            assert_eq!(scalar.config(), batched.config());
+        // The Random strategy interleaves queue-index draws with destination
+        // draws (see `step_batched_with`), so its "batched" path must be the
+        // scalar path verbatim: bit-identical loads, RNG stream, and
+        // per-ball accounting — including from a skewed start where queue
+        // lengths (and hence pick bounds) vary wildly.
+        let mut rng = Xoshiro256pp::seed_from(78);
+        let skewed = Config::random(&mut rng, 32, 64);
+        for start in [Config::one_per_bin(32), skewed] {
+            let mut scalar = BallProcess::new(
+                start.clone(),
+                QueueStrategy::Random,
+                Xoshiro256pp::seed_from(78),
+            );
+            let mut batched = scalar.clone();
+            for i in 0..100 {
+                // Interleave entry points: the streams must stay in lockstep.
+                let (a, b) = if i % 2 == 0 {
+                    (scalar.step(), batched.step_batched())
+                } else {
+                    (scalar.step_batched(), batched.step())
+                };
+                assert_eq!(a, b);
+                assert_eq!(scalar.config(), batched.config());
+            }
+            batched.validate().unwrap();
+            for (s, t) in scalar.ball_stats().iter().zip(batched.ball_stats()) {
+                assert_eq!(
+                    (s.moves, s.total_wait, s.max_wait),
+                    (t.moves, t.total_wait, t.max_wait)
+                );
+            }
         }
     }
 

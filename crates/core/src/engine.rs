@@ -1,0 +1,252 @@
+//! The unified simulation surface: one trait in front of every engine.
+//!
+//! Every process in this workspace — [`LoadProcess`], [`BallProcess`],
+//! [`Tetris`], [`BatchedTetris`], the d-choice and graph-walk engines in the
+//! sibling crates — advances in synchronous rounds over a load
+//! [`Config`]uration. [`Engine`] captures exactly that contract, so drivers
+//! (the CLI, the `rbb_sim` scenario runner, the benchmark harness) can be
+//! written once against `dyn Engine` instead of once per process, and the
+//! historical per-process run families (`run` / `run_silent` / `run_batched`
+//! / `run_rounds_batched` / `run_until`) collapse into the provided methods
+//! here.
+//!
+//! # Scalar vs batched
+//!
+//! [`Engine::step`] is the scalar reference path; [`Engine::step_batched`]
+//! is the throughput path and **defaults to `step`** for engines without a
+//! dedicated batched kernel. Engines that do override it (the load and ball
+//! engines) guarantee the two paths are **bit-identical** from equal state —
+//! same trajectory, same RNG consumption — which their unit tests pin down.
+//! The provided run family therefore drives `step_batched` unconditionally:
+//! callers get the fastest available kernel without choosing between
+//! drifting method variants.
+//!
+//! [`LoadProcess`]: crate::process::LoadProcess
+//! [`BallProcess`]: crate::ball_process::BallProcess
+//! [`Tetris`]: crate::tetris::Tetris
+//! [`BatchedTetris`]: crate::tetris::BatchedTetris
+
+use crate::config::Config;
+use crate::metrics::RoundObserver;
+
+/// A round-synchronous simulation engine over a load configuration.
+///
+/// The required surface is object-safe (the `rbb_sim` scenario factory hands
+/// out `Box<dyn Engine>`); the generic run family is provided on top of it
+/// for concrete engines.
+///
+/// ```
+/// use rbb_core::prelude::*;
+///
+/// let mut p = LoadProcess::legitimate_start(64, 7);
+/// let mut tracker = MaxLoadTracker::new();
+/// p.run(1_000, &mut tracker); // batched hot path, observer per round
+/// assert_eq!(p.round(), 1_000);
+/// assert!(tracker.window_max() >= 1);
+/// ```
+pub trait Engine {
+    /// Advances one round through the scalar reference path; returns the
+    /// number of balls that moved this round.
+    fn step(&mut self) -> usize;
+
+    /// Advances one round through the batched hot path. Engines with a
+    /// dedicated batched kernel guarantee bit-identical trajectories to
+    /// [`step`](Engine::step) from equal state; the default is `step`.
+    fn step_batched(&mut self) -> usize {
+        self.step()
+    }
+
+    /// Current round index (0 before any step).
+    fn round(&self) -> u64;
+
+    /// Snapshot of the current load configuration — the uniform metric
+    /// surface observers and stop conditions read.
+    fn config(&self) -> &Config;
+
+    /// Number of bins (nodes).
+    fn n(&self) -> usize {
+        self.config().n()
+    }
+
+    /// Current total ball (token) count.
+    fn balls(&self) -> u64 {
+        self.config().total_balls()
+    }
+
+    /// Whether [`apply_fault`](Engine::apply_fault) is supported. Engines
+    /// whose state cannot replay an arbitrary placement (e.g. Tetris, whose
+    /// ball count is not conserved) report `false` and the scenario layer
+    /// rejects adversarial specs against them.
+    fn supports_faults(&self) -> bool {
+        false
+    }
+
+    /// The §4.1 adversary move: reassigns every ball, `placement[ball] =
+    /// bin`. Panics if unsupported ([`supports_faults`] is the guard) or if
+    /// the placement does not match the engine's ball count / bin range.
+    ///
+    /// [`supports_faults`]: Engine::supports_faults
+    fn apply_fault(&mut self, placement: &[usize]) {
+        let _ = placement;
+        panic!("this engine does not support adversarial reassignment");
+    }
+
+    /// Coverage progress for engines that track a visited-set goal
+    /// (traversal / token walks): `Some(true)` once every token has visited
+    /// every node. `None` for engines without a coverage notion.
+    fn covered(&self) -> Option<bool> {
+        None
+    }
+
+    /// Minimum per-ball walk progress, for engines that carry ball
+    /// identities (`Ω(t / log n)` under FIFO). `None` for load-only engines.
+    fn min_progress(&self) -> Option<u64> {
+        None
+    }
+
+    /// Runs `rounds` rounds through the batched hot path, invoking
+    /// `observer` after each round.
+    fn run(&mut self, rounds: u64, mut observer: impl RoundObserver)
+    where
+        Self: Sized,
+    {
+        for _ in 0..rounds {
+            self.step_batched();
+            observer.observe(self.round(), self.config());
+        }
+    }
+
+    /// Runs `rounds` rounds through the batched hot path without
+    /// observation — the throughput-critical entry point.
+    fn run_silent(&mut self, rounds: u64)
+    where
+        Self: Sized,
+    {
+        for _ in 0..rounds {
+            self.step_batched();
+        }
+    }
+
+    /// Runs until `pred` holds for the current configuration or `max_rounds`
+    /// elapse; returns the round at which the predicate first held (checked
+    /// before the first step, so an immediately-true predicate returns the
+    /// current round).
+    fn run_until(&mut self, max_rounds: u64, mut pred: impl FnMut(&Config) -> bool) -> Option<u64>
+    where
+        Self: Sized,
+    {
+        if pred(self.config()) {
+            return Some(self.round());
+        }
+        for _ in 0..max_rounds {
+            self.step_batched();
+            if pred(self.config()) {
+                return Some(self.round());
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ball_process::BallProcess;
+    use crate::metrics::{MaxLoadTracker, NullObserver};
+    use crate::process::LoadProcess;
+    use crate::rng::Xoshiro256pp;
+    use crate::strategy::QueueStrategy;
+    use crate::tetris::{BatchedTetris, Tetris};
+
+    /// The trait surface works through a trait object (the scenario factory
+    /// depends on this).
+    #[test]
+    fn engines_are_object_safe() {
+        let engines: Vec<Box<dyn Engine>> = vec![
+            Box::new(LoadProcess::legitimate_start(16, 1)),
+            Box::new(BallProcess::legitimate_start(16, 1)),
+            Box::new(Tetris::new(
+                Config::one_per_bin(16),
+                Xoshiro256pp::seed_from(1),
+            )),
+            Box::new(BatchedTetris::new(
+                Config::one_per_bin(16),
+                0.75,
+                Xoshiro256pp::seed_from(1),
+            )),
+        ];
+        for mut e in engines {
+            assert_eq!(e.round(), 0);
+            assert_eq!(e.n(), 16);
+            e.step();
+            e.step_batched();
+            assert_eq!(e.round(), 2);
+            assert!(e.config().n() == 16);
+        }
+    }
+
+    #[test]
+    fn provided_run_family_drives_batched_path() {
+        // Trait run == inherent batched stepping, bit for bit.
+        let mut via_trait = LoadProcess::legitimate_start(64, 3);
+        let mut by_hand = via_trait.clone();
+        via_trait.run_silent(200);
+        for _ in 0..200 {
+            by_hand.step_batched();
+        }
+        assert_eq!(via_trait.config(), by_hand.config());
+
+        let mut tracker = MaxLoadTracker::new();
+        let mut observed = LoadProcess::legitimate_start(64, 3);
+        observed.run(200, &mut tracker);
+        assert_eq!(tracker.rounds(), 200);
+        assert_eq!(observed.config(), via_trait.config());
+    }
+
+    #[test]
+    fn run_until_checks_before_first_step() {
+        let mut p = LoadProcess::legitimate_start(16, 4);
+        assert_eq!(p.run_until(10, |_| true), Some(0));
+        assert_eq!(p.round(), 0);
+        assert_eq!(p.run_until(5, |c| c.max_load() > 1_000), None);
+        assert_eq!(p.round(), 5);
+    }
+
+    #[test]
+    fn default_apply_fault_panics_and_supports_faults_gates_it() {
+        let mut t = Tetris::new(Config::one_per_bin(8), Xoshiro256pp::seed_from(5));
+        assert!(!Engine::supports_faults(&t));
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            t.apply_fault(&[0; 8]);
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn ball_engine_reports_progress_load_engine_does_not() {
+        let mut bp = BallProcess::legitimate_start(16, 6);
+        bp.run(50, NullObserver);
+        assert!(Engine::min_progress(&bp).expect("ball engine tracks progress") > 0);
+        let lp = LoadProcess::legitimate_start(16, 6);
+        assert_eq!(Engine::min_progress(&lp), None);
+    }
+
+    #[test]
+    fn fault_via_trait_matches_inherent_reassign() {
+        let mut a = LoadProcess::legitimate_start(8, 7);
+        let mut b = a.clone();
+        a.apply_fault(&[0; 8]);
+        b.adversarial_reassign(Config::all_in_one(8, 8));
+        assert_eq!(a.config(), b.config());
+
+        let mut bp = BallProcess::new(
+            Config::one_per_bin(4),
+            QueueStrategy::Fifo,
+            Xoshiro256pp::seed_from(8),
+        );
+        assert!(bp.supports_faults());
+        bp.apply_fault(&[2, 2, 2, 2]);
+        assert_eq!(bp.config().loads()[2], 4);
+        bp.validate().unwrap();
+    }
+}

@@ -62,6 +62,7 @@ pub mod arrivals;
 pub mod ball_process;
 pub mod config;
 pub mod coupling;
+pub mod engine;
 pub mod exact;
 pub mod markov;
 pub mod metrics;
@@ -80,10 +81,11 @@ pub mod prelude {
     pub use crate::ball_process::{BallId, BallProcess, BallStats};
     pub use crate::config::{Config, LegitimacyThreshold};
     pub use crate::coupling::{CoupledRun, CouplingReport};
+    pub use crate::engine::Engine;
     pub use crate::markov::ZChain;
     pub use crate::metrics::{
-        EmptyBinsTracker, LegitimacyTracker, MaxLoadTracker, NullObserver, RoundObserver,
-        TrajectoryRecorder,
+        EmptyBinsTracker, LegitimacyTracker, MaxLoadTracker, NullObserver, ObserverStack,
+        RoundObserver, TrajectoryRecorder,
     };
     pub use crate::phases::PhaseTracker;
     pub use crate::process::LoadProcess;

@@ -301,6 +301,82 @@ impl RoundObserver for TrajectoryRecorder {
     }
 }
 
+/// A composable stack of the standard round observers, replacing the
+/// per-experiment ad-hoc closures and observer tuples: enable the metrics a
+/// scenario needs, pass one value to the run loop, read the components back
+/// afterwards.
+///
+/// ```
+/// use rbb_core::prelude::*;
+///
+/// let mut p = LoadProcess::legitimate_start(128, 3);
+/// let mut stack = ObserverStack::new().with_max_load().with_empty_bins();
+/// p.run(500, &mut stack);
+/// assert!(stack.max_load.as_ref().unwrap().window_max() >= 1);
+/// assert!(stack.empty_bins.as_ref().unwrap().min_empty() >= 128 / 4);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct ObserverStack {
+    /// Window max load (Theorem 1(a)), when enabled.
+    pub max_load: Option<MaxLoadTracker>,
+    /// Empty-bin floor (Lemmas 1–2), when enabled.
+    pub empty_bins: Option<EmptyBinsTracker>,
+    /// Legitimacy progress: first legitimate round + later violations
+    /// (Theorem 1), when enabled.
+    pub legitimacy: Option<LegitimacyTracker>,
+    /// Down-sampled trajectory trace, when enabled.
+    pub trace: Option<TrajectoryRecorder>,
+}
+
+impl ObserverStack {
+    /// An empty stack: observing costs nothing until components are added.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a [`MaxLoadTracker`].
+    pub fn with_max_load(mut self) -> Self {
+        self.max_load = Some(MaxLoadTracker::new());
+        self
+    }
+
+    /// Adds an [`EmptyBinsTracker`] (observing from round 1).
+    pub fn with_empty_bins(mut self) -> Self {
+        self.empty_bins = Some(EmptyBinsTracker::new());
+        self
+    }
+
+    /// Adds a [`LegitimacyTracker`] with the given policy.
+    pub fn with_legitimacy(mut self, threshold: LegitimacyThreshold) -> Self {
+        self.legitimacy = Some(LegitimacyTracker::new(threshold));
+        self
+    }
+
+    /// Adds a [`TrajectoryRecorder`] sampling every `stride`-th round.
+    pub fn with_trace(mut self, stride: u64) -> Self {
+        self.trace = Some(TrajectoryRecorder::with_stride(stride));
+        self
+    }
+}
+
+impl RoundObserver for ObserverStack {
+    #[inline]
+    fn observe(&mut self, round: u64, config: &Config) {
+        if let Some(t) = &mut self.max_load {
+            t.observe(round, config);
+        }
+        if let Some(t) = &mut self.empty_bins {
+            t.observe(round, config);
+        }
+        if let Some(t) = &mut self.legitimacy {
+            t.observe(round, config);
+        }
+        if let Some(t) = &mut self.trace {
+            t.observe(round, config);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -394,5 +470,49 @@ mod tests {
     fn null_observer_is_noop() {
         let mut o = NullObserver;
         o.observe(1, &cfg(&[1]));
+    }
+
+    #[test]
+    fn observer_stack_updates_enabled_components_only() {
+        let mut stack = ObserverStack::new().with_max_load().with_trace(2);
+        stack.observe(1, &cfg(&[0, 4]));
+        stack.observe(2, &cfg(&[2, 2]));
+        let max = stack.max_load.as_ref().unwrap();
+        assert_eq!(max.window_max(), 4);
+        assert_eq!(max.rounds(), 2);
+        assert!(stack.empty_bins.is_none());
+        assert!(stack.legitimacy.is_none());
+        let rounds: Vec<u64> = stack
+            .trace
+            .as_ref()
+            .unwrap()
+            .points()
+            .iter()
+            .map(|p| p.round)
+            .collect();
+        assert_eq!(rounds, vec![1, 2]);
+    }
+
+    #[test]
+    fn observer_stack_matches_standalone_trackers() {
+        let mut stack = ObserverStack::new()
+            .with_max_load()
+            .with_empty_bins()
+            .with_legitimacy(LegitimacyThreshold::default());
+        let mut solo = (
+            MaxLoadTracker::new(),
+            EmptyBinsTracker::new(),
+            LegitimacyTracker::new(LegitimacyThreshold::default()),
+        );
+        for (r, c) in [(1, cfg(&[0, 0, 3, 1])), (2, cfg(&[1, 1, 1, 1]))] {
+            stack.observe(r, &c);
+            solo.observe(r, &c);
+        }
+        assert_eq!(stack.max_load.unwrap().window_max(), solo.0.window_max());
+        assert_eq!(stack.empty_bins.unwrap().min_empty(), solo.1.min_empty());
+        assert_eq!(
+            stack.legitimacy.unwrap().first_legitimate_round(),
+            solo.2.first_legitimate_round()
+        );
     }
 }

@@ -102,6 +102,7 @@ impl RoundObserver for MaxLoadDistribution {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::Engine;
     use crate::process::LoadProcess;
     use crate::rng::Xoshiro256pp;
 

@@ -116,6 +116,7 @@ impl RoundObserver for PhaseTracker {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::Engine;
     use crate::process::LoadProcess;
 
     fn cfg(loads: &[u32]) -> Config {

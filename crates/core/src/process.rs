@@ -14,8 +14,9 @@
 //! (see DESIGN.md §3.1 — [`crate::ball_process::BallProcess`] is the
 //! identity-carrying sibling).
 
+use crate::adversary::placement_to_config;
 use crate::config::Config;
-use crate::metrics::{NullObserver, RoundObserver};
+use crate::engine::Engine;
 use crate::rng::Xoshiro256pp;
 use crate::sampling::{throw_uniform, throw_uniform_batched, throw_uniform_recording};
 
@@ -125,24 +126,6 @@ impl LoadProcess {
         departures
     }
 
-    /// Runs `rounds` rounds through the batched hot path, invoking
-    /// `observer` after each. Same trajectory as [`run`] from equal state.
-    ///
-    /// [`run`]: LoadProcess::run
-    pub fn run_batched(&mut self, rounds: u64, mut observer: impl RoundObserver) {
-        for _ in 0..rounds {
-            self.step_batched();
-            observer.observe(self.round, &self.config);
-        }
-    }
-
-    /// Runs `rounds` rounds through the batched hot path without
-    /// observation — the throughput-critical entry point used by the
-    /// benchmark harness and long-horizon experiments.
-    pub fn run_rounds_batched(&mut self, rounds: u64) {
-        self.run_batched(rounds, NullObserver);
-    }
-
     /// Advances one round, recording each mover's destination in `dests`
     /// (bin indices in the order the source bins were scanned). Used by the
     /// Lemma-3 coupling, which reuses these choices for the Tetris copy.
@@ -160,38 +143,6 @@ impl LoadProcess {
         departures
     }
 
-    /// Runs `rounds` rounds, invoking `observer` after each.
-    pub fn run(&mut self, rounds: u64, mut observer: impl RoundObserver) {
-        for _ in 0..rounds {
-            self.step();
-            observer.observe(self.round, &self.config);
-        }
-    }
-
-    /// Runs without observation (slightly faster inner loop).
-    pub fn run_silent(&mut self, rounds: u64) {
-        self.run(rounds, NullObserver);
-    }
-
-    /// Runs until `pred` holds for the current configuration or `max_rounds`
-    /// elapse; returns the round at which the predicate first held.
-    pub fn run_until(
-        &mut self,
-        max_rounds: u64,
-        mut pred: impl FnMut(&Config) -> bool,
-    ) -> Option<u64> {
-        if pred(&self.config) {
-            return Some(self.round);
-        }
-        for _ in 0..max_rounds {
-            self.step();
-            if pred(&self.config) {
-                return Some(self.round);
-            }
-        }
-        None
-    }
-
     /// Replaces the configuration wholesale — the §4.1 adversary's move.
     /// Panics if the new configuration changes the ball count (the adversary
     /// may *re-assign* balls, not create or destroy them).
@@ -207,6 +158,41 @@ impl LoadProcess {
             "adversary must keep n bins"
         );
         self.config = new_config;
+    }
+}
+
+/// The run family (`run`, `run_silent`, `run_until`) is provided by
+/// [`Engine`]; both step paths are bit-identical, so the trait's
+/// batched-by-default policy never changes a trajectory.
+impl Engine for LoadProcess {
+    #[inline]
+    fn step(&mut self) -> usize {
+        LoadProcess::step(self)
+    }
+
+    #[inline]
+    fn step_batched(&mut self) -> usize {
+        LoadProcess::step_batched(self)
+    }
+
+    #[inline]
+    fn round(&self) -> u64 {
+        self.round
+    }
+
+    #[inline]
+    fn config(&self) -> &Config {
+        &self.config
+    }
+
+    fn supports_faults(&self) -> bool {
+        true
+    }
+
+    /// Placement-based fault: folds `placement[ball] = bin` into a load
+    /// vector (ball identities are irrelevant to the load-only engine).
+    fn apply_fault(&mut self, placement: &[usize]) {
+        self.adversarial_reassign(placement_to_config(self.n(), placement));
     }
 }
 
@@ -391,28 +377,30 @@ mod tests {
     }
 
     #[test]
-    fn run_rounds_batched_matches_run_silent() {
+    fn run_silent_matches_scalar_stepping() {
         let mut a = LoadProcess::legitimate_start(256, 23);
         let mut b = a.clone();
-        a.run_silent(500);
-        b.run_rounds_batched(500);
+        for _ in 0..500 {
+            a.step();
+        }
+        b.run_silent(500);
         assert_eq!(a.config(), b.config());
         assert_eq!(b.round(), 500);
         assert_eq!(b.config().total_balls(), 256);
     }
 
     #[test]
-    fn run_batched_invokes_observer() {
+    fn run_invokes_observer() {
         let mut p = LoadProcess::legitimate_start(64, 24);
         let mut tracker = MaxLoadTracker::new();
-        p.run_batched(100, &mut tracker);
+        p.run(100, &mut tracker);
         assert!(tracker.window_max() >= 1);
     }
 
     #[test]
     fn batched_from_all_in_one_conserves() {
         let mut p = LoadProcess::new(Config::all_in_one(64, 200), Xoshiro256pp::seed_from(25));
-        p.run_rounds_batched(300);
+        p.run_silent(300);
         assert_eq!(p.config().total_balls(), 200);
     }
 

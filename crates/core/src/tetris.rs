@@ -14,7 +14,7 @@
 //! of new balls per round is `Binomial(n, λ)`.
 
 use crate::config::Config;
-use crate::metrics::{NullObserver, RoundObserver};
+use crate::engine::Engine;
 use crate::rng::Xoshiro256pp;
 use crate::sampling::{binomial, throw_uniform};
 
@@ -118,14 +118,6 @@ impl Tetris {
         discarded
     }
 
-    /// Runs `rounds` rounds with an observer.
-    pub fn run(&mut self, rounds: u64, mut observer: impl RoundObserver) {
-        for _ in 0..rounds {
-            self.step();
-            observer.observe(self.round, &self.config);
-        }
-    }
-
     /// Runs until every bin has been empty at least once, or `max_rounds`
     /// elapse. Returns the first round by which all bins have emptied
     /// (Lemma 4 asserts this is ≤ `5n` w.h.p. from any start).
@@ -158,6 +150,27 @@ impl Tetris {
     }
 }
 
+/// The run family is provided by [`Engine`]. Tetris has no batched kernel
+/// (arrival counts already amortize the sampling), so `step_batched`
+/// defaults to the scalar step. Faults are unsupported: Tetris does not
+/// conserve balls, so an arbitrary placement has no well-defined meaning.
+impl Engine for Tetris {
+    #[inline]
+    fn step(&mut self) -> usize {
+        Tetris::step(self)
+    }
+
+    #[inline]
+    fn round(&self) -> u64 {
+        self.round
+    }
+
+    #[inline]
+    fn config(&self) -> &Config {
+        &self.config
+    }
+}
+
 /// Batched Tetris ("leaky bins", \[18\]): per round, every non-empty bin
 /// discards one ball and `Binomial(n, λ)` new balls arrive u.a.r.
 ///
@@ -172,7 +185,7 @@ pub struct BatchedTetris {
 }
 
 impl BatchedTetris {
-    /// Current configuration.
+    /// Creates the process with arrival rate `λ ∈ [0, 1]`.
     pub fn new(config: Config, lambda: f64, rng: Xoshiro256pp) -> Self {
         assert!((0.0..=1.0).contains(&lambda), "λ must be in [0, 1]");
         Self {
@@ -184,25 +197,26 @@ impl BatchedTetris {
     }
 
     #[inline]
-    /// Current round.
+    /// Current configuration.
     pub fn config(&self) -> &Config {
         &self.config
     }
 
     #[inline]
-    /// The arrival rate λ.
+    /// Current round.
     pub fn round(&self) -> u64 {
         self.round
     }
 
     #[inline]
-    /// Advances one round; returns `(discarded, arrived)`.
+    /// The arrival rate λ.
     pub fn lambda(&self) -> f64 {
         self.lambda
     }
 
-    /// Advances one round; returns `(discarded, arrived)`.
-    pub fn step(&mut self) -> (usize, usize) {
+    /// Advances one round; returns `(discarded, arrived)` — the count-pair
+    /// variant of [`Engine::step`] for callers that track the arrival rate.
+    pub fn step_counts(&mut self) -> (usize, usize) {
         let n = self.config.n();
         let arrivals = binomial(&mut self.rng, n as u64, self.lambda) as usize;
         let loads = self.config.loads_mut();
@@ -217,18 +231,25 @@ impl BatchedTetris {
         self.round += 1;
         (discarded, arrivals)
     }
+}
 
-    /// Runs `rounds` rounds with an observer.
-    pub fn run(&mut self, rounds: u64, mut observer: impl RoundObserver) {
-        for _ in 0..rounds {
-            self.step();
-            observer.observe(self.round, &self.config);
-        }
+/// The run family is provided by [`Engine`]; [`Engine::step`] returns the
+/// discarded count (use [`BatchedTetris::step_counts`] to also observe the
+/// random arrival count).
+impl Engine for BatchedTetris {
+    #[inline]
+    fn step(&mut self) -> usize {
+        self.step_counts().0
     }
 
-    /// Runs without observation.
-    pub fn run_silent(&mut self, rounds: u64) {
-        self.run(rounds, NullObserver);
+    #[inline]
+    fn round(&self) -> u64 {
+        self.round
+    }
+
+    #[inline]
+    fn config(&self) -> &Config {
+        &self.config
     }
 }
 
@@ -352,7 +373,7 @@ mod tests {
         let rounds = 500;
         let mut arrived_total = 0usize;
         for _ in 0..rounds {
-            let (_, a) = t.step();
+            let (_, a) = t.step_counts();
             arrived_total += a;
         }
         let per_round = arrived_total as f64 / rounds as f64;

@@ -6,10 +6,9 @@
 //! the normalized ratio to `ln n`, and fit `window max = a + b·ln n` — the
 //! paper predicts a good log fit with constant `b` (and `O(√t)`-free shape).
 
-use rbb_core::config::{Config, LegitimacyThreshold};
-use rbb_core::metrics::MaxLoadTracker;
-use rbb_core::process::LoadProcess;
-use rbb_sim::{fmt_f64, sweep_par_seeded, Table};
+use rbb_core::config::LegitimacyThreshold;
+use rbb_core::metrics::ObserverStack;
+use rbb_sim::{fmt_f64, sweep_par_seeded, ScenarioSpec, Table};
 use rbb_stats::{log_fit, Summary};
 
 use crate::common::{header, ExpContext};
@@ -40,9 +39,19 @@ fn window_for(n: usize) -> u64 {
     (200 * n as u64).min((n as u64) * (n as u64))
 }
 
+/// The declarative scenario behind one E01 cell: the paper's process from
+/// the legitimate start, run for the full window.
+pub fn spec_for(n: usize) -> ScenarioSpec {
+    ScenarioSpec::builder(n)
+        .name("e01-stability")
+        .horizon_rounds(window_for(n))
+        .build()
+}
+
 /// Computes the stability table. The whole (n × trial) grid runs as one
-/// parallel fan-out ([`sweep_par_seeded`]) on the batched engine hot path;
-/// both changes preserve the published numbers bit for bit.
+/// parallel fan-out ([`sweep_par_seeded`]) of spec-built scenarios on the
+/// batched engine hot path; the spec migration preserves the published
+/// numbers bit for bit (same seeds, same trajectories).
 pub fn compute(ctx: &ExpContext, sizes: &[usize], trials: usize) -> Vec<E01Row> {
     let thr = LegitimacyThreshold::default();
     let grid = sweep_par_seeded(
@@ -51,14 +60,10 @@ pub fn compute(ctx: &ExpContext, sizes: &[usize], trials: usize) -> Vec<E01Row> 
         trials,
         |n| format!("n{n}"),
         |&n, _i, seed| {
-            let window = window_for(n);
-            let mut p = LoadProcess::new(
-                Config::one_per_bin(n),
-                rbb_core::rng::Xoshiro256pp::seed_from(seed),
-            );
-            let mut t = MaxLoadTracker::new();
-            p.run_batched(window, &mut t);
-            t.window_max()
+            let mut scenario = spec_for(n).scenario_seeded(seed).expect("valid spec");
+            let mut stack = ObserverStack::new().with_max_load();
+            scenario.run_observed(&mut stack);
+            stack.max_load.expect("enabled").window_max()
         },
     );
     grid.into_iter()

@@ -8,6 +8,7 @@
 //! the fitted slope should be ≈ 1 with R² ≈ 1.
 
 use rbb_core::config::{Config, LegitimacyThreshold};
+use rbb_core::engine::Engine;
 use rbb_core::process::LoadProcess;
 use rbb_core::rng::Xoshiro256pp;
 use rbb_sim::{fmt_f64, run_trials_seeded, Table};

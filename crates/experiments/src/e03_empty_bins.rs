@@ -8,6 +8,7 @@
 //! round — comfortably above the `0.25` the lemma needs.
 
 use rbb_core::config::Config;
+use rbb_core::engine::Engine;
 use rbb_core::metrics::EmptyBinsTracker;
 use rbb_core::process::LoadProcess;
 use rbb_core::rng::Xoshiro256pp;

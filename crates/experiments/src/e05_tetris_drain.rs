@@ -6,11 +6,7 @@
 //! first round by which *all* bins have emptied, from the all-in-one and
 //! uniform-random starts, and compare to the `5n` budget.
 
-use rbb_core::config::Config;
-use rbb_core::rng::Xoshiro256pp;
-use rbb_core::sampling::random_assignment;
-use rbb_core::tetris::Tetris;
-use rbb_sim::{fmt_f64, sweep_par_seeded, Table};
+use rbb_sim::{fmt_f64, sweep_par_seeded, ArrivalSpec, ScenarioSpec, StartSpec, StopSpec, Table};
 use rbb_stats::Summary;
 
 use crate::common::{header, ExpContext};
@@ -34,34 +30,45 @@ pub struct E05Row {
     pub over_budget: usize,
 }
 
-/// Builds an initial Tetris configuration from `(n, trial seed)`.
-type StartBuilder = fn(usize, u64) -> Config;
+/// The declarative scenario behind one E05 cell: the Tetris process from
+/// the given start, run until every bin has emptied once (the horizon sits
+/// well past the 5n budget so the actual drain time is observed).
+pub fn spec_for(n: usize, start: StartSpec) -> ScenarioSpec {
+    ScenarioSpec::builder(n)
+        .name("e05-tetris-drain")
+        .arrival(ArrivalSpec::Tetris)
+        .start(start)
+        .stop(StopSpec::AllEmptied)
+        .horizon_rounds(20 * n as u64)
+        .build()
+}
 
 /// Computes the drain table: the (start × n) double loop flattens into one
-/// parallel trial grid with per-parameter seed scopes derived as before.
+/// parallel trial grid of spec-built scenarios with per-parameter seed
+/// scopes derived as before (the random start keeps its historical
+/// `seed ^ 0xFEED` stream, now spelled `StartSpec::Random { salt }`).
 pub fn compute(ctx: &ExpContext, sizes: &[usize], trials: usize) -> Vec<E05Row> {
-    let starts: [(String, StartBuilder); 2] = [
-        ("all-in-one".to_string(), |n, _s| {
-            Config::all_in_one(n, n as u32)
-        }),
-        ("uniform-random".to_string(), |n, s| {
-            let mut rng = Xoshiro256pp::seed_from(s ^ 0xFEED);
-            Config::from_loads(random_assignment(&mut rng, n, n as u64))
-        }),
+    let starts: [(String, StartSpec); 2] = [
+        ("all-in-one".to_string(), StartSpec::AllInOne),
+        (
+            "uniform-random".to_string(),
+            StartSpec::Random { salt: 0xFEED },
+        ),
     ];
-    let params: Vec<(String, StartBuilder, usize)> = starts
+    let params: Vec<(String, StartSpec, usize)> = starts
         .iter()
-        .flat_map(|(label, build)| sizes.iter().map(|&n| (label.clone(), *build, n)))
+        .flat_map(|(label, start)| sizes.iter().map(|&n| (label.clone(), *start, n)))
         .collect();
     sweep_par_seeded(
         ctx.seeds,
         &params,
         trials,
         |(label, _, n)| format!("{label}-n{n}"),
-        |(_, build, n), _i, seed| {
-            let mut t = Tetris::new(build(*n, seed), Xoshiro256pp::seed_from(seed));
-            // Run past the budget to observe the actual drain time.
-            t.run_until_all_emptied(20 * *n as u64)
+        |(_, start, n), _i, seed| {
+            let mut scenario = spec_for(*n, *start)
+                .scenario_seeded(seed)
+                .expect("valid spec");
+            scenario.run().stop_round
         },
     )
     .into_iter()

@@ -6,6 +6,7 @@
 //! the original's (it dominates) while remaining logarithmic.
 
 use rbb_core::config::Config;
+use rbb_core::engine::Engine;
 use rbb_core::metrics::MaxLoadTracker;
 use rbb_core::rng::Xoshiro256pp;
 use rbb_core::tetris::Tetris;

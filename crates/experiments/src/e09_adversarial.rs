@@ -7,11 +7,11 @@
 //! for `γ ∈ {6, 8, 12}` under the worst (all-in-one) and benign (random)
 //! adversaries.
 
-use rbb_core::adversary::{AllInOneAdversary, FaultSchedule, RandomAdversary};
-use rbb_core::strategy::QueueStrategy;
-use rbb_sim::{fmt_f64, run_trials_seeded, Table};
+use rbb_sim::{
+    fmt_f64, run_trials_seeded, AdversaryKindSpec, ScenarioSpec, ScheduleSpec, StopSpec,
+    StrategySpec, Table,
+};
 use rbb_stats::Summary;
-use rbb_traversal::faulty_cover_time;
 
 use crate::common::{header, ExpContext};
 
@@ -34,27 +34,38 @@ pub struct E09Row {
     pub timeouts: usize,
 }
 
+/// The declarative scenario behind one E09 cell: the FIFO traversal run to
+/// coverage, optionally under a `γ·n`-periodic adversary. The control arm
+/// (`adversary: None`) replaces the historical never-firing
+/// `FaultSchedule::every(u64::MAX / 2)` — the engine stream is untouched
+/// either way, so the trajectories coincide.
+pub fn spec_for(n: usize, adversary: Option<(AdversaryKindSpec, u64)>) -> ScenarioSpec {
+    let nf = n as f64;
+    let cap = (400.0 * nf * nf.ln().powi(2)) as u64;
+    let mut b = ScenarioSpec::builder(n)
+        .name("e09-adversarial")
+        .strategy(StrategySpec::Fifo)
+        .stop(StopSpec::Covered)
+        .horizon_rounds(cap);
+    if let Some((kind, gamma)) = adversary {
+        b = b.adversary(kind, ScheduleSpec::Gamma { gamma });
+    }
+    b.build()
+}
+
 /// Computes the adversarial cover-time table.
 pub fn compute(ctx: &ExpContext, sizes: &[usize], gammas: &[u64], trials: usize) -> Vec<E09Row> {
     let mut rows = Vec::new();
     for &n in sizes {
-        let nf = n as f64;
-        let cap = (400.0 * nf * nf.ln().powi(2)) as u64;
-
         // Control arm: no faults.
         let scope = ctx.seeds.scope(&format!("clean-n{n}"));
         let clean: Vec<u64> = run_trials_seeded(scope, trials, |_i, seed| {
-            let mut adv = AllInOneAdversary;
-            faulty_cover_time(
-                n,
-                QueueStrategy::Fifo,
-                FaultSchedule::every(u64::MAX / 2),
-                &mut adv,
-                seed,
-                cap,
-            )
-            .cover_time
-            .expect("clean run covers")
+            spec_for(n, None)
+                .scenario_seeded(seed)
+                .expect("valid spec")
+                .run()
+                .stop_round
+                .expect("clean run covers")
         });
         let clean_mean = Summary::from_iter(clean.iter().map(|&x| x as f64)).mean();
         rows.push(E09Row {
@@ -70,17 +81,18 @@ pub fn compute(ctx: &ExpContext, sizes: &[usize], gammas: &[u64], trials: usize)
         for &gamma in gammas {
             for adversary in ["all-in-one", "random"] {
                 let scope = ctx.seeds.scope(&format!("{adversary}-g{gamma}-n{n}"));
+                let kind = if adversary == "all-in-one" {
+                    AdversaryKindSpec::AllInOne
+                } else {
+                    AdversaryKindSpec::Random
+                };
                 let results: Vec<(Option<u64>, u64)> =
                     run_trials_seeded(scope, trials, |_i, seed| {
-                        let schedule = FaultSchedule::gamma_n(gamma, n);
-                        let r = if adversary == "all-in-one" {
-                            let mut adv = AllInOneAdversary;
-                            faulty_cover_time(n, QueueStrategy::Fifo, schedule, &mut adv, seed, cap)
-                        } else {
-                            let mut adv = RandomAdversary;
-                            faulty_cover_time(n, QueueStrategy::Fifo, schedule, &mut adv, seed, cap)
-                        };
-                        (r.cover_time, r.faults_injected)
+                        let outcome = spec_for(n, Some((kind, gamma)))
+                            .scenario_seeded(seed)
+                            .expect("valid spec")
+                            .run();
+                        (outcome.stop_round, outcome.faults)
                     });
                 let ok: Vec<f64> = results
                     .iter()

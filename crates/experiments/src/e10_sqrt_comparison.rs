@@ -8,6 +8,7 @@
 //! the `√t` curve diverges.
 
 use rbb_baselines::SqrtBound;
+use rbb_core::engine::Engine;
 use rbb_core::metrics::TrajectoryRecorder;
 use rbb_core::process::LoadProcess;
 use rbb_sim::{fmt_f64, Table};

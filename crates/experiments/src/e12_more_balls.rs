@@ -13,6 +13,7 @@
 //! where the proof technique stops working.
 
 use rbb_core::config::Config;
+use rbb_core::engine::Engine;
 use rbb_core::metrics::MaxLoadTracker;
 use rbb_core::process::LoadProcess;
 use rbb_core::rng::Xoshiro256pp;
@@ -57,7 +58,7 @@ pub fn compute(
             let cfg = Config::from_loads(random_assignment(&mut rng, n, *m));
             let mut p = LoadProcess::new(cfg, rng);
             let mut t = MaxLoadTracker::new();
-            p.run_batched(window, &mut t);
+            p.run(window, &mut t);
             t.window_max()
         },
     )

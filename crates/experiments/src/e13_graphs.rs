@@ -7,12 +7,8 @@
 //! `n`, and report window max loads; non-regular controls (star) show how
 //! irregularity breaks the conjecture.
 
-use rbb_core::metrics::MaxLoadTracker;
-use rbb_core::rng::Xoshiro256pp;
-use rbb_graphs::{
-    complete_with_loops, hypercube, random_regular, ring, star, torus, Graph, GraphLoadProcess,
-};
-use rbb_sim::{fmt_f64, run_trials_seeded, Table};
+use rbb_core::metrics::ObserverStack;
+use rbb_sim::{fmt_f64, run_trials_seeded, ScenarioSpec, Table, TopologySpec};
 use rbb_stats::Summary;
 
 use crate::common::{header, ExpContext};
@@ -34,20 +30,21 @@ pub struct E13Row {
     pub ratio_to_ln_n: f64,
 }
 
-fn build_topology(name: &str, n: usize, seed: u64) -> Graph {
+fn topology_spec(name: &str) -> TopologySpec {
     match name {
-        "clique+loops" => complete_with_loops(n),
-        "ring" => ring(n),
-        "torus" => {
-            let side = (n as f64).sqrt().round() as usize;
-            torus(side, side)
-        }
-        "hypercube" => hypercube((n as f64).log2().round() as u32),
-        "random-4-regular" => {
-            let mut rng = Xoshiro256pp::seed_from(seed ^ 0x6EA9);
-            random_regular(n, 4, &mut rng)
-        }
-        "star" => star(n),
+        // Through the *graph* engine (neighbor sampler), keeping every row
+        // of the table on the same sampling footing — and the historical
+        // RNG stream.
+        "clique+loops" => TopologySpec::CompleteGraph,
+        "ring" => TopologySpec::Ring,
+        "torus" => TopologySpec::Torus,
+        "hypercube" => TopologySpec::Hypercube,
+        // The historical per-trial graph stream: `seed ^ 0x6EA9`.
+        "random-4-regular" => TopologySpec::RandomRegular {
+            degree: 4,
+            salt: 0x6EA9,
+        },
+        "star" => TopologySpec::Star,
         other => panic!("unknown topology {other}"),
     }
 }
@@ -62,22 +59,38 @@ pub const TOPOLOGIES: [&str; 6] = [
     "star",
 ];
 
+/// The declarative scenario behind one E13 cell: the load-only constrained
+/// walk on the named topology for `window_factor · n` rounds (the factor
+/// horizon tracks the builder's rounding of `n`, as before).
+pub fn spec_for(name: &str, n: usize, window_factor: u64) -> ScenarioSpec {
+    ScenarioSpec::builder(n)
+        .name("e13-graphs")
+        .topology(topology_spec(name))
+        .horizon_factor(window_factor)
+        .build()
+}
+
 /// Computes the topology table at size ~`n` (exact for powers of two /
 /// perfect squares; the builders round as needed).
+///
+/// Note the clique row runs through [`TopologySpec::Complete`]'s graph
+/// engine — the same uniform-destination walk as the dedicated load engine,
+/// drawn through the neighbor sampler, exactly as E13 always did.
 pub fn compute(ctx: &ExpContext, n: usize, trials: usize, window_factor: u64) -> Vec<E13Row> {
     TOPOLOGIES
         .iter()
         .map(|&name| {
             let scope = ctx.seeds.scope(&format!("{name}-n{n}"));
             let maxes: Vec<u32> = run_trials_seeded(scope, trials, |_i, seed| {
-                let g = build_topology(name, n, seed);
-                let mut p = GraphLoadProcess::one_per_node(&g, seed);
-                let mut t = MaxLoadTracker::new();
-                p.run(window_factor * g.n() as u64, &mut t);
-                t.window_max()
+                let mut scenario = spec_for(name, n, window_factor)
+                    .scenario_seeded(seed)
+                    .expect("valid spec");
+                let mut stack = ObserverStack::new().with_max_load();
+                scenario.run_observed(&mut stack);
+                stack.max_load.expect("enabled").window_max()
             });
             // Rebuild once to report structure (deterministic topologies).
-            let g = build_topology(name, n, 0);
+            let g = topology_spec(name).build(n, 0);
             let actual_n = g.n();
             let s = Summary::from_iter(maxes.iter().map(|&x| x as f64));
             E13Row {
@@ -165,7 +178,7 @@ mod tests {
     #[test]
     fn topologies_build_at_256() {
         for t in TOPOLOGIES {
-            let g = build_topology(t, 256, 1);
+            let g = topology_spec(t).build(256, 1);
             assert!(g.is_connected(), "{t} disconnected");
         }
     }

@@ -5,9 +5,8 @@
 //! collapses the max load; we sweep `n` for `d ∈ {1, 2, 3}` and report
 //! window max loads side by side.
 
-use rbb_baselines::DChoiceProcess;
-use rbb_core::metrics::MaxLoadTracker;
-use rbb_sim::{fmt_f64, sweep_par_seeded, Table};
+use rbb_core::metrics::ObserverStack;
+use rbb_sim::{fmt_f64, sweep_par_seeded, ArrivalSpec, ScenarioSpec, Table};
 use rbb_stats::Summary;
 
 use crate::common::{header, ExpContext};
@@ -27,8 +26,19 @@ pub struct E14Row {
     pub ratio_to_ln_ln_n: f64,
 }
 
+/// The declarative scenario behind one E14 cell: `d`-choice re-assignment
+/// from the legitimate start over a `100·n` window.
+pub fn spec_for(n: usize, d: usize) -> ScenarioSpec {
+    ScenarioSpec::builder(n)
+        .name("e14-dchoice")
+        .arrival(ArrivalSpec::DChoice { d })
+        .horizon_factor(100)
+        .build()
+}
+
 /// Computes the d-choice table: the double loop over `(d, n)` flattens into
-/// one parallel (parameter × trial) grid with the seeds derived as before.
+/// one parallel (parameter × trial) grid of spec-built scenarios with the
+/// seeds derived as before.
 pub fn compute(ctx: &ExpContext, sizes: &[usize], ds: &[usize], trials: usize) -> Vec<E14Row> {
     let params: Vec<(usize, usize)> = ds
         .iter()
@@ -40,11 +50,10 @@ pub fn compute(ctx: &ExpContext, sizes: &[usize], ds: &[usize], trials: usize) -
         trials,
         |&(d, n)| format!("d{d}-n{n}"),
         |&(d, n), _i, seed| {
-            let window = 100 * n as u64;
-            let mut p = DChoiceProcess::legitimate_start(n, d, seed);
-            let mut t = MaxLoadTracker::new();
-            p.run(window, &mut t);
-            t.window_max()
+            let mut scenario = spec_for(n, d).scenario_seeded(seed).expect("valid spec");
+            let mut stack = ObserverStack::new().with_max_load();
+            scenario.run_observed(&mut stack);
+            stack.max_load.expect("enabled").window_max()
         },
     )
     .into_iter()

@@ -7,6 +7,7 @@
 //! max and mean total load.
 
 use rbb_core::config::Config;
+use rbb_core::engine::Engine;
 use rbb_core::metrics::MaxLoadTracker;
 use rbb_core::rng::Xoshiro256pp;
 use rbb_core::tetris::BatchedTetris;

@@ -9,10 +9,10 @@
 
 use rbb_core::ball_process::BallProcess;
 use rbb_core::config::Config;
-use rbb_core::metrics::MaxLoadTracker;
+use rbb_core::metrics::ObserverStack;
 use rbb_core::rng::Xoshiro256pp;
 use rbb_core::strategy::QueueStrategy;
-use rbb_sim::{fmt_f64, run_trials_seeded, Table};
+use rbb_sim::{fmt_f64, run_trials_seeded, ScenarioSpec, StrategySpec, Table};
 use rbb_stats::{mean_ci, Summary};
 
 use crate::common::{header, ExpContext};
@@ -32,6 +32,16 @@ pub struct E16Row {
     pub ci_half_width: f64,
 }
 
+/// The declarative scenario behind one E16 cell: the ball-identity engine
+/// under the given queue strategy over a `100·n` window.
+pub fn spec_for(n: usize, strategy: QueueStrategy) -> ScenarioSpec {
+    ScenarioSpec::builder(n)
+        .name("e16-strategies")
+        .strategy(StrategySpec::from_core(strategy))
+        .horizon_factor(100)
+        .build()
+}
+
 /// Computes per-strategy window-max summaries. All strategies share the same
 /// per-trial seeds (same scope), so differences are strategy-only.
 pub fn compute(ctx: &ExpContext, n: usize, trials: usize) -> Vec<E16Row> {
@@ -40,14 +50,12 @@ pub fn compute(ctx: &ExpContext, n: usize, trials: usize) -> Vec<E16Row> {
         .map(|&strategy| {
             let scope = ctx.seeds.scope(&format!("n{n}")); // shared across strategies
             let maxes: Vec<u32> = run_trials_seeded(scope, trials, |_i, seed| {
-                let mut p = BallProcess::new(
-                    Config::one_per_bin(n),
-                    strategy,
-                    Xoshiro256pp::seed_from(seed),
-                );
-                let mut t = MaxLoadTracker::new();
-                p.run(100 * n as u64, &mut t);
-                t.window_max()
+                let mut scenario = spec_for(n, strategy)
+                    .scenario_seeded(seed)
+                    .expect("valid spec");
+                let mut stack = ObserverStack::new().with_max_load();
+                scenario.run_observed(&mut stack);
+                stack.max_load.expect("enabled").window_max()
             });
             let s = Summary::from_iter(maxes.iter().map(|&x| x as f64));
             let ci = mean_ci(&s, 0.95);

@@ -9,6 +9,7 @@
 
 use rbb_core::ball_process::BallProcess;
 use rbb_core::config::Config;
+use rbb_core::engine::Engine;
 use rbb_core::metrics::NullObserver;
 use rbb_core::rng::Xoshiro256pp;
 use rbb_core::strategy::QueueStrategy;

@@ -8,6 +8,7 @@
 //! `100n` window — the gap between (b)/(a) and (c) is the window effect.
 
 use rbb_baselines::oneshot_max_load_distribution;
+use rbb_core::engine::Engine;
 use rbb_core::metrics::MaxLoadTracker;
 use rbb_core::process::LoadProcess;
 use rbb_sim::{fmt_f64, run_trials_seeded, Table};

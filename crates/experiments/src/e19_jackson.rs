@@ -8,6 +8,7 @@
 //! change the order of congestion, only the analysis difficulty.
 
 use rbb_baselines::JacksonNetwork;
+use rbb_core::engine::Engine;
 use rbb_core::metrics::MaxLoadTracker;
 use rbb_core::process::LoadProcess;
 use rbb_sim::{fmt_f64, run_trials_seeded, Table};

@@ -6,6 +6,7 @@
 //! We measure both distributions directly in the original process — opening
 //! loads, durations, and within-phase peaks — across an `n` sweep.
 
+use rbb_core::engine::Engine;
 use rbb_core::phases::PhaseTracker;
 use rbb_core::process::LoadProcess;
 use rbb_sim::{fmt_f64, run_trials_seeded, Table};

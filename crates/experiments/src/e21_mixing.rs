@@ -10,6 +10,7 @@
 //! burn-in — near zero, as Theorem 1(b) predicts).
 
 use rbb_core::config::Config;
+use rbb_core::engine::Engine;
 use rbb_core::exact::ExactChain;
 use rbb_core::mixing::{mixing_time, tv_decay, MaxLoadDistribution};
 use rbb_core::process::LoadProcess;

@@ -9,6 +9,7 @@
 //! `P(0,0) − P(0)²` across an `n` sweep at equilibrium.
 
 use rbb_core::arrivals::ArrivalTracker;
+use rbb_core::engine::Engine;
 use rbb_core::process::LoadProcess;
 use rbb_sim::{fmt_f64, run_trials_seeded, Table};
 use rbb_stats::{autocorrelation, Summary};

@@ -77,10 +77,10 @@ pub fn compute(ctx: &ExpContext, n: usize, trials: usize) -> Vec<E23Row> {
             let results: Vec<(Option<u64>, Option<u64>)> =
                 run_trials_seeded(scope, trials, |_i, seed| {
                     let g = build(name, n, seed);
-                    let mut p = GraphTokenProcess::one_per_node(&g, seed);
-                    let parallel = p.run_to_cover(cap);
                     let mut rng = Xoshiro256pp::seed_from(seed ^ 0x51);
                     let single = cover_time(&g, 0, cap, &mut rng);
+                    let mut p = GraphTokenProcess::one_per_node(g, seed);
+                    let parallel = p.run_to_cover(cap);
                     (parallel, single)
                 });
             let par = Summary::from_iter(results.iter().filter_map(|r| r.0.map(|x| x as f64)));

@@ -8,6 +8,7 @@
 //! any `T = n^c` costs only `c·b·ln n` extra, preserving `O(log n)`. We fix
 //! `n` and sweep `T` over four decades to measure exactly that.
 
+use rbb_core::engine::Engine;
 use rbb_core::metrics::MaxLoadTracker;
 use rbb_core::process::LoadProcess;
 use rbb_sim::{fmt_f64, sweep_par_seeded, Table};
@@ -39,9 +40,9 @@ pub fn compute(ctx: &ExpContext, n: usize, windows: &[u64], trials: usize) -> Ve
         |window| format!("w{window}-n{n}"),
         |&window, _i, seed| {
             let mut p = LoadProcess::legitimate_start(n, seed);
-            p.run_rounds_batched(4 * n as u64); // equilibrate first
+            p.run_silent(4 * n as u64); // equilibrate first
             let mut t = MaxLoadTracker::new();
-            p.run_batched(window, &mut t);
+            p.run(window, &mut t);
             t.window_max()
         },
     )

@@ -54,6 +54,16 @@ fn main() {
     }
 
     let run_all = selected.iter().any(|s| s == "all");
+    // Reject unknown ids up front: silently ignoring `rbb-exp e01 e99`
+    // would report success while skipping work.
+    let unknown: Vec<&String> = selected
+        .iter()
+        .filter(|s| *s != "all" && !registry.iter().any(|e| e.id == s.as_str()))
+        .collect();
+    if !unknown.is_empty() {
+        eprintln!("unknown experiment id(s): {unknown:?}");
+        usage();
+    }
     let tree = SeedTree::new(seed);
     let start = std::time::Instant::now();
     let mut ran = 0usize;

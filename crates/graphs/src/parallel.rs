@@ -6,19 +6,22 @@
 //! forwards exactly one token to a neighbor chosen uniformly at random
 //! (on [`crate::graph::complete_with_loops`] this is *exactly* the paper's
 //! process). [`GraphLoadProcess`] tracks loads only; [`GraphTokenProcess`]
-//! carries token identities and visited-sets for cover-time measurement on
-//! general topologies.
+//! carries token identities (under any [`QueueStrategy`]) and visited-sets
+//! for cover-time measurement on general topologies. Both own their graph,
+//! so they can stand behind the unified [`Engine`] trait and be built by
+//! the `rbb_sim` scenario factory.
 
 use rbb_core::config::Config;
-use rbb_core::metrics::RoundObserver;
+use rbb_core::engine::Engine;
 use rbb_core::rng::Xoshiro256pp;
+use rbb_core::strategy::QueueStrategy;
 
 use crate::graph::Graph;
 
 /// Load-only constrained parallel walk on a graph.
 #[derive(Debug, Clone)]
-pub struct GraphLoadProcess<'g> {
-    graph: &'g Graph,
+pub struct GraphLoadProcess {
+    graph: Graph,
     config: Config,
     rng: Xoshiro256pp,
     round: u64,
@@ -26,9 +29,9 @@ pub struct GraphLoadProcess<'g> {
     arrivals: Vec<u32>,
 }
 
-impl<'g> GraphLoadProcess<'g> {
+impl GraphLoadProcess {
     /// Creates the process; `config` must have one load entry per vertex.
-    pub fn new(graph: &'g Graph, config: Config, rng: Xoshiro256pp) -> Self {
+    pub fn new(graph: Graph, config: Config, rng: Xoshiro256pp) -> Self {
         assert_eq!(config.n(), graph.n(), "config size must match graph");
         let n = graph.n();
         Self {
@@ -41,12 +44,15 @@ impl<'g> GraphLoadProcess<'g> {
     }
 
     /// One token per node.
-    pub fn one_per_node(graph: &'g Graph, seed: u64) -> Self {
-        Self::new(
-            graph,
-            Config::one_per_bin(graph.n()),
-            Xoshiro256pp::seed_from(seed),
-        )
+    pub fn one_per_node(graph: Graph, seed: u64) -> Self {
+        let config = Config::one_per_bin(graph.n());
+        Self::new(graph, config, Xoshiro256pp::seed_from(seed))
+    }
+
+    /// The topology being walked.
+    #[inline]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
     }
 
     #[inline]
@@ -86,21 +92,55 @@ impl<'g> GraphLoadProcess<'g> {
         self.round += 1;
         moved
     }
+}
 
-    /// Runs `rounds` rounds with an observer.
-    pub fn run(&mut self, rounds: u64, mut observer: impl RoundObserver) {
-        for _ in 0..rounds {
-            self.step();
-            observer.observe(self.round, &self.config);
+/// The run family is provided by [`Engine`]. Faults reassign loads by
+/// placement (token identities are irrelevant to the load-only walk).
+impl Engine for GraphLoadProcess {
+    #[inline]
+    fn step(&mut self) -> usize {
+        GraphLoadProcess::step(self)
+    }
+
+    #[inline]
+    fn round(&self) -> u64 {
+        self.round
+    }
+
+    #[inline]
+    fn config(&self) -> &Config {
+        &self.config
+    }
+
+    fn supports_faults(&self) -> bool {
+        true
+    }
+
+    fn apply_fault(&mut self, placement: &[usize]) {
+        assert_eq!(
+            placement.len() as u64,
+            self.config.total_balls(),
+            "adversary must conserve tokens"
+        );
+        let n = self.graph.n();
+        let loads = self.config.loads_slice_mut();
+        loads.iter_mut().for_each(|l| *l = 0);
+        for &v in placement {
+            assert!(v < n, "placement out of range");
+            loads[v] += 1;
         }
     }
 }
 
-/// Token-identity constrained parallel walk: FIFO queues, visited tracking.
+/// Token-identity constrained parallel walk: per-node queues under any
+/// [`QueueStrategy`], with visited tracking for cover-time measurement.
 #[derive(Debug, Clone)]
-pub struct GraphTokenProcess<'g> {
-    graph: &'g Graph,
+pub struct GraphTokenProcess {
+    graph: Graph,
     queues: Vec<std::collections::VecDeque<u32>>,
+    /// Load vector kept in lock-step with `queues` for O(n) observation.
+    config: Config,
+    strategy: QueueStrategy,
     rng: Xoshiro256pp,
     round: u64,
     /// `visited[token]` is a bitmap over vertices (dense words).
@@ -112,9 +152,17 @@ pub struct GraphTokenProcess<'g> {
     words: usize,
 }
 
-impl<'g> GraphTokenProcess<'g> {
-    /// Places one token per vertex (token `i` starts at vertex `i`).
-    pub fn one_per_node(graph: &'g Graph, seed: u64) -> Self {
+impl GraphTokenProcess {
+    /// Places one token per vertex (token `i` starts at vertex `i`), FIFO
+    /// release — the historical default.
+    pub fn one_per_node(graph: Graph, seed: u64) -> Self {
+        Self::with_strategy(graph, QueueStrategy::Fifo, seed)
+    }
+
+    /// Places one token per vertex under an arbitrary queue strategy. FIFO
+    /// consumes no selection randomness, so `with_strategy(g, Fifo, s)` is
+    /// bit-identical to the historical FIFO-only process.
+    pub fn with_strategy(graph: Graph, strategy: QueueStrategy, seed: u64) -> Self {
         let n = graph.n();
         let words = n.div_ceil(64);
         let mut queues = vec![std::collections::VecDeque::new(); n];
@@ -126,6 +174,8 @@ impl<'g> GraphTokenProcess<'g> {
         Self {
             graph,
             queues,
+            config: Config::one_per_bin(n),
+            strategy,
             rng: Xoshiro256pp::seed_from(seed),
             round: 0,
             visited,
@@ -133,6 +183,18 @@ impl<'g> GraphTokenProcess<'g> {
             covered_tokens: if n == 1 { 1 } else { 0 },
             words,
         }
+    }
+
+    /// The topology being walked.
+    #[inline]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The queue strategy in use.
+    #[inline]
+    pub fn strategy(&self) -> QueueStrategy {
+        self.strategy
     }
 
     #[inline]
@@ -158,31 +220,57 @@ impl<'g> GraphTokenProcess<'g> {
         self.queues.iter().map(|q| q.len()).max().unwrap_or(0)
     }
 
-    /// Advances one round (FIFO release at every non-empty node).
-    pub fn step(&mut self) {
+    /// Marks `v` visited for `token`, updating coverage counters.
+    fn mark_visited(&mut self, token: usize, v: usize) {
+        let (w, b) = (v / 64, v % 64);
+        if self.visited[token][w] & (1 << b) == 0 {
+            self.visited[token][w] |= 1 << b;
+            self.unvisited_count[token] -= 1;
+            if self.unvisited_count[token] == 0 {
+                self.covered_tokens += 1;
+            }
+        }
+    }
+
+    /// Advances one round (every non-empty node releases one token chosen
+    /// by the strategy); returns the number of tokens that moved.
+    pub fn step(&mut self) -> usize {
         let n = self.graph.n();
         let round = self.round + 1;
         let mut movers: Vec<(u32, u32)> = Vec::new();
         for u in 0..n {
-            if let Some(token) = self.queues[u].pop_front() {
-                let v = self.graph.random_neighbor(u, &mut self.rng) as u32;
-                movers.push((token, v));
+            let len = self.queues[u].len();
+            if len == 0 {
+                continue;
+            }
+            let idx = self.strategy.pick(len, &mut self.rng);
+            let token = match self.strategy {
+                QueueStrategy::Fifo => self.queues[u].pop_front().expect("non-empty"),
+                QueueStrategy::Lifo => self.queues[u].pop_back().expect("non-empty"),
+                QueueStrategy::Random => {
+                    let last = len - 1;
+                    self.queues[u].swap(idx, last);
+                    self.queues[u].pop_back().expect("non-empty")
+                }
+            };
+            let v = self.graph.random_neighbor(u, &mut self.rng) as u32;
+            movers.push((token, v));
+        }
+        let moved = movers.len();
+        {
+            let loads = self.config.loads_slice_mut();
+            for (u, q) in self.queues.iter().enumerate() {
+                loads[u] = q.len() as u32;
             }
         }
         for &(token, v) in &movers {
             self.queues[v as usize].push_back(token);
-            let t = token as usize;
-            let (w, b) = ((v as usize) / 64, (v as usize) % 64);
-            if self.visited[t][w] & (1 << b) == 0 {
-                self.visited[t][w] |= 1 << b;
-                self.unvisited_count[t] -= 1;
-                if self.unvisited_count[t] == 0 {
-                    self.covered_tokens += 1;
-                }
-            }
+            self.config.loads_slice_mut()[v as usize] += 1;
+            self.mark_visited(token as usize, v as usize);
         }
         self.round = round;
         debug_assert_eq!(self.words, self.visited[0].len());
+        moved
     }
 
     /// Runs until every token has covered the graph or `cap` rounds elapse;
@@ -196,6 +284,60 @@ impl<'g> GraphTokenProcess<'g> {
         }
         Some(self.round)
     }
+
+    /// The §4.1 adversary on a graph: `placement[token] = node`. Queue order
+    /// after a fault is by token id; the post-fault position counts as
+    /// visited (the token is there).
+    pub fn adversarial_reassign(&mut self, placement: &[usize]) {
+        let n = self.graph.n();
+        assert_eq!(placement.len(), n, "one node per token");
+        for q in &mut self.queues {
+            q.clear();
+        }
+        for (token, &node) in placement.iter().enumerate() {
+            assert!(node < n, "node out of range");
+            self.queues[node].push_back(token as u32);
+        }
+        self.config
+            .loads_slice_mut()
+            .iter_mut()
+            .for_each(|l| *l = 0);
+        for (token, &node) in placement.iter().enumerate() {
+            self.config.loads_slice_mut()[node] += 1;
+            self.mark_visited(token, node);
+        }
+    }
+}
+
+/// The run family is provided by [`Engine`]; `covered` exposes the
+/// cover-time goal to generic drivers and stop conditions.
+impl Engine for GraphTokenProcess {
+    #[inline]
+    fn step(&mut self) -> usize {
+        GraphTokenProcess::step(self)
+    }
+
+    #[inline]
+    fn round(&self) -> u64 {
+        self.round
+    }
+
+    #[inline]
+    fn config(&self) -> &Config {
+        &self.config
+    }
+
+    fn supports_faults(&self) -> bool {
+        true
+    }
+
+    fn apply_fault(&mut self, placement: &[usize]) {
+        self.adversarial_reassign(placement);
+    }
+
+    fn covered(&self) -> Option<bool> {
+        Some(self.all_covered())
+    }
 }
 
 #[cfg(test)]
@@ -207,7 +349,7 @@ mod tests {
     #[test]
     fn load_process_conserves_tokens() {
         let g = ring(20);
-        let mut p = GraphLoadProcess::one_per_node(&g, 1);
+        let mut p = GraphLoadProcess::one_per_node(g, 1);
         for _ in 0..100 {
             p.step();
             assert_eq!(p.config().total_balls(), 20);
@@ -219,7 +361,7 @@ mod tests {
         // On K_n with self-loops the destination is uniform over all bins:
         // max load should stay logarithmic as in the paper.
         let g = complete_with_loops(256);
-        let mut p = GraphLoadProcess::one_per_node(&g, 2);
+        let mut p = GraphLoadProcess::one_per_node(g, 2);
         let mut t = MaxLoadTracker::new();
         p.run(1000, &mut t);
         assert!(t.window_max() < 24, "max load {}", t.window_max());
@@ -228,7 +370,7 @@ mod tests {
     #[test]
     fn clique_empty_fraction_quarter() {
         let g = complete_with_loops(512);
-        let mut p = GraphLoadProcess::one_per_node(&g, 3);
+        let mut p = GraphLoadProcess::one_per_node(g, 3);
         let mut t = EmptyBinsTracker::new();
         p.run(500, &mut t);
         assert_eq!(t.violations_below_quarter(), 0);
@@ -238,41 +380,48 @@ mod tests {
     fn regular_graphs_keep_load_moderate() {
         // The Section-5 conjecture: max load stays logarithmic-ish on
         // regular graphs over moderate windows.
-        let g = hypercube(8); // 256 vertices
-        let mut p = GraphLoadProcess::one_per_node(&g, 4);
+        let mut p = GraphLoadProcess::one_per_node(hypercube(8), 4); // 256 vertices
         let mut t = MaxLoadTracker::new();
         p.run(1000, &mut t);
         assert!(t.window_max() < 30, "hypercube max load {}", t.window_max());
 
-        let g = torus(16, 16);
-        let mut p = GraphLoadProcess::one_per_node(&g, 5);
+        let mut p = GraphLoadProcess::one_per_node(torus(16, 16), 5);
         let mut t = MaxLoadTracker::new();
         p.run(1000, &mut t);
         assert!(t.window_max() < 30, "torus max load {}", t.window_max());
     }
 
     #[test]
+    fn load_process_fault_reassigns_loads() {
+        let mut p = GraphLoadProcess::one_per_node(ring(8), 11);
+        p.apply_fault(&[3; 8]);
+        assert_eq!(p.config().loads()[3], 8);
+        assert_eq!(p.config().total_balls(), 8);
+        p.step();
+        assert_eq!(p.config().total_balls(), 8);
+    }
+
+    #[test]
     fn token_process_initial_state() {
-        let g = ring(8);
-        let p = GraphTokenProcess::one_per_node(&g, 6);
+        let p = GraphTokenProcess::one_per_node(ring(8), 6);
         assert_eq!(p.covered_tokens(), 0);
         assert_eq!(p.max_load(), 1);
         assert!(!p.all_covered());
+        assert_eq!(p.config().total_balls(), 8);
     }
 
     #[test]
     fn token_process_covers_small_clique() {
-        let g = complete_with_loops(16);
-        let mut p = GraphTokenProcess::one_per_node(&g, 7);
+        let mut p = GraphTokenProcess::one_per_node(complete_with_loops(16), 7);
         let cover = p.run_to_cover(100_000).expect("should cover");
         assert!(cover > 0);
         assert!(p.all_covered());
+        assert_eq!(Engine::covered(&p), Some(true));
     }
 
     #[test]
     fn token_process_covers_ring() {
-        let g = ring(12);
-        let mut p = GraphTokenProcess::one_per_node(&g, 8);
+        let mut p = GraphTokenProcess::one_per_node(ring(12), 8);
         let cover = p.run_to_cover(10_000_000).expect("should cover ring");
         // Ring cover for a single walk is Θ(n²); parallel walks with
         // congestion should still finish within the cap.
@@ -281,15 +430,13 @@ mod tests {
 
     #[test]
     fn token_cover_cap_returns_none() {
-        let g = ring(64);
-        let mut p = GraphTokenProcess::one_per_node(&g, 9);
+        let mut p = GraphTokenProcess::one_per_node(ring(64), 9);
         assert_eq!(p.run_to_cover(5), None);
     }
 
     #[test]
     fn covered_tokens_monotone() {
-        let g = complete_with_loops(12);
-        let mut p = GraphTokenProcess::one_per_node(&g, 10);
+        let mut p = GraphTokenProcess::one_per_node(complete_with_loops(12), 10);
         let mut prev = 0;
         for _ in 0..2000 {
             p.step();
@@ -300,5 +447,79 @@ mod tests {
             }
         }
         assert!(p.all_covered());
+    }
+
+    #[test]
+    fn fifo_strategy_matches_historical_process() {
+        // `with_strategy(Fifo)` must not consume selection randomness: its
+        // trajectory must coincide with the pre-strategy FIFO-only walker.
+        // The reference below re-implements that historical step loop
+        // directly against the graph (pop_front + one neighbor draw per
+        // non-empty node, simultaneous arrivals) so a future change that
+        // makes the FIFO path consume extra RNG draws fails this test.
+        let g = torus(4, 4);
+        let n = g.n();
+        let mut reference_rng = Xoshiro256pp::seed_from(12);
+        let mut queues: Vec<std::collections::VecDeque<u32>> =
+            (0..n).map(|v| [v as u32].into_iter().collect()).collect();
+        let mut p = GraphTokenProcess::with_strategy(g.clone(), QueueStrategy::Fifo, 12);
+        for _ in 0..200 {
+            let mut movers: Vec<(u32, usize)> = Vec::new();
+            for (u, queue) in queues.iter_mut().enumerate() {
+                if let Some(token) = queue.pop_front() {
+                    movers.push((token, g.random_neighbor(u, &mut reference_rng)));
+                }
+            }
+            for &(token, v) in &movers {
+                queues[v].push_back(token);
+            }
+            p.step();
+            let reference_loads: Vec<u32> = queues.iter().map(|q| q.len() as u32).collect();
+            assert_eq!(p.config().loads(), &reference_loads[..]);
+            for (u, q) in queues.iter().enumerate() {
+                assert_eq!(
+                    p.queue_tokens(u),
+                    q.iter().copied().collect::<Vec<_>>(),
+                    "queue order diverged at node {u}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_strategies_cover_the_ring() {
+        for strategy in QueueStrategy::ALL {
+            let mut p = GraphTokenProcess::with_strategy(ring(8), strategy, 13);
+            assert!(
+                p.run_to_cover(10_000_000).is_some(),
+                "{} failed to cover",
+                strategy.label()
+            );
+        }
+    }
+
+    #[test]
+    fn token_fault_reassigns_and_marks_visited() {
+        let mut p = GraphTokenProcess::one_per_node(ring(8), 14);
+        let placement: Vec<usize> = (0..8).map(|i| (i + 2) % 8).collect();
+        p.adversarial_reassign(&placement);
+        assert_eq!(p.config().total_balls(), 8);
+        for (token, &node) in placement.iter().enumerate() {
+            assert!(p.visited_contains(token, node));
+        }
+        p.step();
+        assert_eq!(p.config().total_balls(), 8);
+    }
+
+    impl GraphTokenProcess {
+        /// Test helper: whether `token` has visited `node`.
+        fn visited_contains(&self, token: usize, node: usize) -> bool {
+            self.visited[token][node / 64] & (1 << (node % 64)) != 0
+        }
+
+        /// Test helper: the tokens queued at `node`, front first.
+        fn queue_tokens(&self, node: usize) -> Vec<u32> {
+            self.queues[node].iter().copied().collect()
+        }
     }
 }

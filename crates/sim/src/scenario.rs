@@ -1,0 +1,542 @@
+//! The scenario runner: one driver loop for every engine and stop rule.
+//!
+//! [`ScenarioSpec::scenario`] builds the right engine behind
+//! `Box<dyn Engine>` (see the factory table in [`build_engine`]), arms the
+//! optional adversary, and returns a [`Scenario`] whose run loop replays
+//! exactly the semantics of the historical per-engine run families:
+//!
+//! * every round: `step_batched` (bit-identical to the scalar path for the
+//!   engines that override it), then observers, then — on fault rounds,
+//!   if the stop condition has not yet been met — the adversary;
+//! * stop conditions are checked before the first step (an immediately
+//!   satisfied condition stops at round 0, like `run_until` and
+//!   `run_until_all_emptied` did) and after each round.
+//!
+//! RNG conventions (engine `seed_from(seed)`, traversal `stream(seed, 0)`,
+//! adversary `stream(seed, 0xADFE)`) match the pre-spec experiments, so
+//! migrated experiments regenerate identical numbers.
+
+use rbb_baselines::DChoiceProcess;
+use rbb_core::adversary::{
+    Adversary, AllInOneAdversary, FaultSchedule, FollowTheLeaderAdversary, PackedAdversary,
+    RandomAdversary,
+};
+use rbb_core::ball_process::BallProcess;
+use rbb_core::config::{Config, LegitimacyThreshold};
+use rbb_core::engine::Engine;
+use rbb_core::metrics::{ObserverStack, RoundObserver};
+use rbb_core::process::LoadProcess;
+use rbb_core::rng::Xoshiro256pp;
+use rbb_core::tetris::{BatchedTetris, Tetris};
+use rbb_graphs::{GraphLoadProcess, GraphTokenProcess};
+use rbb_traversal::Traversal;
+
+use crate::spec::{
+    AdversaryKindSpec, ArrivalSpec, ScenarioSpec, ScheduleSpec, SpecError, StopSpec,
+};
+
+/// Builds the engine a spec describes. The factory table:
+///
+/// | topology | arrival | strategy | stop | engine |
+/// |---|---|---|---|---|
+/// | complete | uniform | — | any but covered | [`LoadProcess`] |
+/// | complete | uniform | set | covered | [`Traversal`] |
+/// | complete | uniform | set | other | [`BallProcess`] |
+/// | complete | d-choice | — | any | [`DChoiceProcess`] |
+/// | complete | tetris | — | any | [`Tetris`] |
+/// | complete | batched-tetris | — | any | [`BatchedTetris`] |
+/// | graph | uniform | — | any but covered | [`GraphLoadProcess`] |
+/// | graph | uniform | set | any | [`GraphTokenProcess`] |
+pub fn build_engine(spec: &ScenarioSpec) -> Result<Box<dyn Engine>, SpecError> {
+    spec.validate()?;
+    let seed = spec.seed;
+    let m = spec.balls_or_default();
+
+    if !spec.topology.is_complete() {
+        let graph = spec.topology.build(spec.n, seed);
+        return match spec.strategy {
+            None => {
+                let config = spec
+                    .start
+                    .build(graph.n(), m_for_graph(&graph, m, spec)?, seed)?;
+                Ok(Box::new(GraphLoadProcess::new(
+                    graph,
+                    config,
+                    Xoshiro256pp::seed_from(seed),
+                )))
+            }
+            Some(s) => Ok(Box::new(GraphTokenProcess::with_strategy(
+                graph,
+                s.to_core(),
+                seed,
+            ))),
+        };
+    }
+
+    match spec.arrival {
+        ArrivalSpec::Uniform => {
+            let config = spec.start.build(spec.n, m, seed)?;
+            match (spec.strategy, spec.stop) {
+                (None, _) => Ok(Box::new(LoadProcess::new(
+                    config,
+                    Xoshiro256pp::seed_from(seed),
+                ))),
+                (Some(s), StopSpec::Covered) => {
+                    Ok(Box::new(Traversal::from_config(config, s.to_core(), seed)))
+                }
+                (Some(s), _) => Ok(Box::new(BallProcess::new(
+                    config,
+                    s.to_core(),
+                    Xoshiro256pp::seed_from(seed),
+                ))),
+            }
+        }
+        ArrivalSpec::DChoice { d } => {
+            let config = spec.start.build(spec.n, m, seed)?;
+            Ok(Box::new(DChoiceProcess::new(
+                config,
+                d,
+                Xoshiro256pp::seed_from(seed),
+            )))
+        }
+        ArrivalSpec::Tetris => {
+            let config = spec.start.build(spec.n, m, seed)?;
+            Ok(Box::new(Tetris::new(config, Xoshiro256pp::seed_from(seed))))
+        }
+        ArrivalSpec::BatchedTetris { lambda } => {
+            let config = spec.start.build(spec.n, m, seed)?;
+            Ok(Box::new(BatchedTetris::new(
+                config,
+                lambda,
+                Xoshiro256pp::seed_from(seed),
+            )))
+        }
+    }
+}
+
+/// Ball count over a built graph: the requested count, except that a
+/// default (`balls: null`) and the one-per-bin start follow the graph's
+/// possibly-rounded size (torus/hypercube), where one-per-node is the only
+/// consistent count.
+fn m_for_graph(graph: &rbb_graphs::Graph, m: u64, spec: &ScenarioSpec) -> Result<u64, SpecError> {
+    if spec.balls.is_none() || matches!(spec.start, crate::spec::StartSpec::OnePerBin) {
+        return Ok(graph.n() as u64);
+    }
+    Ok(m)
+}
+
+fn build_adversary(kind: AdversaryKindSpec) -> Box<dyn Adversary> {
+    match kind {
+        AdversaryKindSpec::AllInOne => Box::new(AllInOneAdversary),
+        AdversaryKindSpec::Packed { k } => Box::new(PackedAdversary { k }),
+        AdversaryKindSpec::FollowTheLeader => Box::new(FollowTheLeaderAdversary),
+        AdversaryKindSpec::Random => Box::new(RandomAdversary),
+    }
+}
+
+/// The armed adversary of a running scenario.
+struct FaultArm {
+    schedule: FaultSchedule,
+    adversary: Box<dyn Adversary>,
+    rng: Xoshiro256pp,
+}
+
+/// Driver-side stop-condition state.
+enum StopState {
+    Horizon,
+    Legitimate(LegitimacyThreshold),
+    AllEmptied {
+        emptied: Vec<bool>,
+        remaining: usize,
+    },
+    Covered,
+}
+
+impl StopState {
+    fn init(stop: StopSpec, engine: &dyn Engine) -> Self {
+        match stop {
+            StopSpec::Horizon => StopState::Horizon,
+            StopSpec::Legitimate => StopState::Legitimate(LegitimacyThreshold::default()),
+            StopSpec::AllEmptied => {
+                let loads = engine.config().loads();
+                let emptied: Vec<bool> = loads.iter().map(|&l| l == 0).collect();
+                let remaining = emptied.iter().filter(|&&e| !e).count();
+                StopState::AllEmptied { emptied, remaining }
+            }
+            StopSpec::Covered => StopState::Covered,
+        }
+    }
+
+    /// Folds the post-step configuration into the state (the Lemma-4
+    /// "every bin emptied at least once" bookkeeping).
+    fn update(&mut self, config: &Config) {
+        if let StopState::AllEmptied { emptied, remaining } = self {
+            for (u, &l) in config.loads().iter().enumerate() {
+                if l == 0 && !emptied[u] {
+                    emptied[u] = true;
+                    *remaining -= 1;
+                }
+            }
+        }
+    }
+
+    fn met(&self, engine: &dyn Engine) -> bool {
+        match self {
+            StopState::Horizon => false,
+            StopState::Legitimate(thr) => thr.is_legitimate(engine.config()),
+            StopState::AllEmptied { remaining, .. } => *remaining == 0,
+            StopState::Covered => engine.covered() == Some(true),
+        }
+    }
+}
+
+/// What a scenario run produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScenarioOutcome {
+    /// Rounds actually executed (`== engine.round()` afterwards).
+    pub rounds: u64,
+    /// The round at which a non-horizon stop condition was first met, if it
+    /// was met within the horizon (`None` for plain horizon runs and for
+    /// runs that timed out).
+    pub stop_round: Option<u64>,
+    /// Number of adversarial faults injected.
+    pub faults: u64,
+}
+
+/// A runnable scenario: engine + optional adversary + stop rule.
+///
+/// ```
+/// use rbb_sim::ScenarioSpec;
+///
+/// let spec = ScenarioSpec::builder(64).horizon_rounds(500).seed(7).build();
+/// let mut scenario = spec.scenario().unwrap();
+/// let outcome = scenario.run();
+/// assert_eq!(outcome.rounds, 500);
+/// assert_eq!(scenario.engine().round(), 500);
+/// ```
+pub struct Scenario {
+    engine: Box<dyn Engine>,
+    fault_arm: Option<FaultArm>,
+    horizon: u64,
+    stop: StopSpec,
+}
+
+impl ScenarioSpec {
+    /// Validates the spec and constructs the scenario (factory entry point).
+    pub fn scenario(&self) -> Result<Scenario, SpecError> {
+        let engine = build_engine(self)?;
+        let fault_arm = match &self.adversary {
+            None => None,
+            Some(adv) => {
+                if !engine.supports_faults() {
+                    return Err(SpecError(
+                        "this engine does not support adversarial reassignment".into(),
+                    ));
+                }
+                let schedule = match adv.schedule {
+                    ScheduleSpec::Gamma { gamma } => FaultSchedule::gamma_n(gamma, engine.n()),
+                    ScheduleSpec::Period { period } => FaultSchedule::every(period),
+                };
+                Some(FaultArm {
+                    schedule,
+                    adversary: build_adversary(adv.kind),
+                    rng: Xoshiro256pp::stream(self.seed, 0xADFE),
+                })
+            }
+        };
+        let horizon = self.horizon.resolve(engine.n());
+        Ok(Scenario {
+            engine,
+            fault_arm,
+            horizon,
+            stop: self.stop,
+        })
+    }
+
+    /// Convenience: builds the scenario with a different seed (sweeps).
+    pub fn scenario_seeded(&self, seed: u64) -> Result<Scenario, SpecError> {
+        self.with_seed(seed).scenario()
+    }
+}
+
+impl Scenario {
+    /// The engine, for post-run inspection (final configuration, coverage,
+    /// progress).
+    pub fn engine(&self) -> &dyn Engine {
+        self.engine.as_ref()
+    }
+
+    /// The resolved round budget.
+    pub fn horizon(&self) -> u64 {
+        self.horizon
+    }
+
+    /// Runs the scenario without observers.
+    pub fn run(&mut self) -> ScenarioOutcome {
+        self.run_observed(&mut ObserverStack::new())
+    }
+
+    /// Runs the scenario, feeding every completed round to `observers`.
+    pub fn run_observed(&mut self, observers: &mut ObserverStack) -> ScenarioOutcome {
+        let engine = self.engine.as_mut();
+        let mut stop = StopState::init(self.stop, engine);
+        let mut faults = 0u64;
+        let start_round = engine.round();
+
+        if self.stop != StopSpec::Horizon && stop.met(engine) {
+            return ScenarioOutcome {
+                rounds: 0,
+                stop_round: Some(engine.round()),
+                faults: 0,
+            };
+        }
+
+        let mut stop_round = None;
+        for _ in 0..self.horizon {
+            engine.step_batched();
+            observers.observe(engine.round(), engine.config());
+            stop.update(engine.config());
+            if let Some(arm) = &mut self.fault_arm {
+                if arm.schedule.is_faulty(engine.round()) && !stop.met(engine) {
+                    let placement = arm.adversary.placement(
+                        engine.n(),
+                        engine.balls() as usize,
+                        engine.config(),
+                        &mut arm.rng,
+                    );
+                    engine.apply_fault(&placement);
+                    stop.update(engine.config());
+                    faults += 1;
+                }
+            }
+            if self.stop != StopSpec::Horizon && stop.met(engine) {
+                stop_round = Some(engine.round());
+                break;
+            }
+        }
+
+        ScenarioOutcome {
+            rounds: engine.round() - start_round,
+            stop_round,
+            faults,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{StartSpec, StrategySpec, TopologySpec};
+    use rbb_core::metrics::MaxLoadTracker;
+
+    #[test]
+    fn default_spec_runs_the_load_engine_bit_identically() {
+        let spec = ScenarioSpec::builder(128)
+            .horizon_rounds(400)
+            .seed(5)
+            .build();
+        let mut scenario = spec.scenario().unwrap();
+        let mut stack = ObserverStack::new().with_max_load();
+        let outcome = scenario.run_observed(&mut stack);
+        assert_eq!(outcome.rounds, 400);
+        assert_eq!(outcome.stop_round, None);
+        assert_eq!(outcome.faults, 0);
+
+        // Hand-built reference.
+        let mut p = LoadProcess::new(Config::one_per_bin(128), Xoshiro256pp::seed_from(5));
+        let mut t = MaxLoadTracker::new();
+        p.run(400, &mut t);
+        assert_eq!(p.config(), scenario.engine().config());
+        assert_eq!(
+            t.window_max(),
+            stack.max_load.as_ref().unwrap().window_max()
+        );
+    }
+
+    #[test]
+    fn tetris_all_emptied_matches_run_until_all_emptied() {
+        let n = 128;
+        for (start, m) in [
+            (StartSpec::AllInOne, n as u64),
+            (StartSpec::Random { salt: 0xFEED }, n as u64),
+        ] {
+            let spec = ScenarioSpec::builder(n)
+                .arrival(ArrivalSpec::Tetris)
+                .start(start)
+                .stop(StopSpec::AllEmptied)
+                .horizon_rounds(20 * n as u64)
+                .seed(11)
+                .build();
+            let mut scenario = spec.scenario().unwrap();
+            let outcome = scenario.run();
+
+            let config = start.build(n, m, 11).unwrap();
+            let mut t = Tetris::new(config, Xoshiro256pp::seed_from(11));
+            let expect = t.run_until_all_emptied(20 * n as u64);
+            assert_eq!(outcome.stop_round, expect, "start {start:?}");
+        }
+    }
+
+    #[test]
+    fn covered_scenario_matches_faulty_cover_time() {
+        let n = 48;
+        let seed = 3;
+        let nf = n as f64;
+        let cap = (400.0 * nf * nf.ln().powi(2)) as u64;
+        let spec = ScenarioSpec::builder(n)
+            .strategy(StrategySpec::Fifo)
+            .stop(StopSpec::Covered)
+            .adversary(
+                AdversaryKindSpec::AllInOne,
+                ScheduleSpec::Gamma { gamma: 6 },
+            )
+            .horizon_rounds(cap)
+            .seed(seed)
+            .build();
+        let mut scenario = spec.scenario().unwrap();
+        let outcome = scenario.run();
+
+        let mut adv = AllInOneAdversary;
+        let reference = rbb_traversal::faulty_cover_time(
+            n,
+            rbb_core::strategy::QueueStrategy::Fifo,
+            FaultSchedule::gamma_n(6, n),
+            &mut adv,
+            seed,
+            cap,
+        );
+        assert_eq!(outcome.stop_round, reference.cover_time);
+        assert_eq!(outcome.faults, reference.faults_injected);
+    }
+
+    #[test]
+    fn clean_covered_run_matches_plain_traversal() {
+        let n = 32;
+        let spec = ScenarioSpec::builder(n)
+            .strategy(StrategySpec::Fifo)
+            .stop(StopSpec::Covered)
+            .horizon_rounds(10_000_000)
+            .seed(9)
+            .build();
+        let outcome = spec.scenario().unwrap().run();
+        let mut t = Traversal::new(n, rbb_core::strategy::QueueStrategy::Fifo, 9);
+        assert_eq!(outcome.stop_round, t.run_to_cover(10_000_000));
+    }
+
+    #[test]
+    fn legitimate_stop_matches_run_until() {
+        let n = 128;
+        let spec = ScenarioSpec::builder(n)
+            .start(StartSpec::AllInOne)
+            .stop(StopSpec::Legitimate)
+            .horizon_rounds(20 * n as u64)
+            .seed(6)
+            .build();
+        let outcome = spec.scenario().unwrap().run();
+
+        let thr = LegitimacyThreshold::default();
+        let mut p = LoadProcess::new(Config::all_in_one(n, n as u32), Xoshiro256pp::seed_from(6));
+        let expect = p.run_until(20 * n as u64, |c| thr.is_legitimate(c));
+        assert_eq!(outcome.stop_round, expect);
+        assert!(outcome.stop_round.is_some());
+    }
+
+    #[test]
+    fn immediate_stop_returns_round_zero() {
+        let spec = ScenarioSpec::builder(64)
+            .stop(StopSpec::Legitimate)
+            .horizon_rounds(100)
+            .build();
+        let outcome = spec.scenario().unwrap().run();
+        assert_eq!(outcome.stop_round, Some(0));
+        assert_eq!(outcome.rounds, 0);
+    }
+
+    #[test]
+    fn graph_topology_engine_matches_hand_built() {
+        let spec = ScenarioSpec::builder(64)
+            .topology(TopologySpec::Ring)
+            .horizon_factor(10)
+            .seed(21)
+            .build();
+        let mut scenario = spec.scenario().unwrap();
+        let mut stack = ObserverStack::new().with_max_load();
+        scenario.run_observed(&mut stack);
+
+        let mut p = GraphLoadProcess::one_per_node(rbb_graphs::ring(64), 21);
+        let mut t = MaxLoadTracker::new();
+        p.run(640, &mut t);
+        assert_eq!(stack.max_load.unwrap().window_max(), t.window_max());
+        assert_eq!(scenario.engine().config(), p.config());
+    }
+
+    #[test]
+    fn lifo_adversary_graph_combo_needs_zero_new_code() {
+        // The motivating example: LIFO + adversary + graph-restricted.
+        let spec = ScenarioSpec::builder(32)
+            .topology(TopologySpec::Torus)
+            .strategy(StrategySpec::Lifo)
+            .adversary(
+                AdversaryKindSpec::FollowTheLeader,
+                ScheduleSpec::Period { period: 50 },
+            )
+            .stop(StopSpec::Covered)
+            .horizon_rounds(2_000_000)
+            .seed(13)
+            .build();
+        let mut scenario = spec.scenario().unwrap();
+        let outcome = scenario.run();
+        assert!(outcome.faults > 0, "horizon long enough for faults");
+        assert!(
+            outcome.stop_round.is_some(),
+            "torus LIFO walk should still cover"
+        );
+        // Torus of requested size 32 rounds to 6×6 = 36 nodes.
+        assert_eq!(scenario.engine().n(), 36);
+    }
+
+    #[test]
+    fn dchoice_spec_matches_hand_built() {
+        let spec = ScenarioSpec::builder(256)
+            .arrival(ArrivalSpec::DChoice { d: 2 })
+            .horizon_factor(10)
+            .seed(17)
+            .build();
+        let mut scenario = spec.scenario().unwrap();
+        let mut stack = ObserverStack::new().with_max_load();
+        scenario.run_observed(&mut stack);
+
+        let mut p = DChoiceProcess::legitimate_start(256, 2, 17);
+        let mut t = MaxLoadTracker::new();
+        p.run(2560, &mut t);
+        assert_eq!(stack.max_load.unwrap().window_max(), t.window_max());
+    }
+
+    #[test]
+    fn fault_arm_requires_engine_support() {
+        let spec = ScenarioSpec::builder(64)
+            .arrival(ArrivalSpec::DChoice { d: 2 })
+            .adversary(
+                AdversaryKindSpec::AllInOne,
+                ScheduleSpec::Gamma { gamma: 6 },
+            )
+            .build();
+        assert!(spec.scenario().is_err());
+    }
+
+    #[test]
+    fn outcome_counts_faults_on_horizon_runs() {
+        let spec = ScenarioSpec::builder(64)
+            .adversary(
+                AdversaryKindSpec::AllInOne,
+                ScheduleSpec::Period { period: 100 },
+            )
+            .horizon_rounds(1000)
+            .seed(2)
+            .build();
+        let outcome = spec.scenario().unwrap().run();
+        assert_eq!(outcome.rounds, 1000);
+        assert_eq!(outcome.faults, 10);
+        assert_eq!(outcome.stop_round, None);
+    }
+}

@@ -1,0 +1,974 @@
+//! Declarative scenario specifications.
+//!
+//! A [`ScenarioSpec`] describes a complete simulation scenario as *data* —
+//! bins, balls, initial configuration, arrival model, queue strategy,
+//! topology, adversary schedule, horizon, and stop condition — and the
+//! [`scenario`](ScenarioSpec::scenario) factory turns it into a runnable
+//! [`Scenario`](crate::scenario::Scenario) around the right engine behind
+//! the unified [`Engine`](rbb_core::engine::Engine) trait. New scenario
+//! combinations (e.g. LIFO + adversary + graph-restricted walks) therefore
+//! need zero new code: compose the fields and run.
+//!
+//! Specs serialize to JSON (`serde_json::to_string_pretty`) and parse back
+//! (`serde_json::from_str`) losslessly; `rbb sim --spec <file.json>` runs a
+//! committed spec from the command line. See `specs/` in the repository
+//! root for examples and README.md for the schema.
+//!
+//! # Determinism
+//!
+//! Engine construction is a pure function of `(spec, seed)`: the engine RNG
+//! is seeded `seed_from(seed)` (the traversal engine keeps its historical
+//! `stream(seed, 0)` convention), randomized starts draw from
+//! `seed_from(seed ^ salt)`, randomized topologies from
+//! `seed_from(seed ^ salt)`, and the adversary from `stream(seed, 0xADFE)`
+//! — exactly the conventions the experiments used before the spec API, so
+//! spec-driven runs are bit-identical to the hand-constructed ones.
+
+use serde::{DeError, Deserialize, Serialize, Value};
+
+use rbb_core::config::Config;
+use rbb_core::rng::Xoshiro256pp;
+use rbb_core::sampling::random_assignment;
+use rbb_core::strategy::QueueStrategy;
+
+/// Validation failure for a [`ScenarioSpec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError(pub String);
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Initial configuration of the balls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StartSpec {
+    /// One ball per bin (requires `balls == n`) — the legitimate start.
+    OnePerBin,
+    /// All balls in bin 0 — the worst case for convergence.
+    AllInOne,
+    /// Balls split evenly over the first `k` bins.
+    Packed {
+        /// Number of bins the balls are packed into.
+        k: usize,
+    },
+    /// Geometric cascade: bin `i` holds `~m/2^{i+1}` balls.
+    Geometric,
+    /// One-shot uniform random throw, drawn from `seed ^ salt`.
+    Random {
+        /// XOR-salt applied to the scenario seed for the start's own stream.
+        salt: u64,
+    },
+}
+
+impl StartSpec {
+    /// Builds the initial configuration over `n` bins with `m` balls.
+    pub fn build(&self, n: usize, m: u64, seed: u64) -> Result<Config, SpecError> {
+        let m32 = u32::try_from(m).map_err(|_| SpecError("balls must fit in u32".into()))?;
+        match self {
+            StartSpec::OnePerBin => {
+                if m != n as u64 {
+                    return Err(SpecError(format!(
+                        "start one-per-bin requires balls == n (got {m} balls, {n} bins)"
+                    )));
+                }
+                Ok(Config::one_per_bin(n))
+            }
+            StartSpec::AllInOne => Ok(Config::all_in_one(n, m32)),
+            StartSpec::Packed { k } => {
+                if *k < 1 || *k > n {
+                    return Err(SpecError(format!("packed k = {k} out of range 1..={n}")));
+                }
+                Ok(Config::packed(n, m32, *k))
+            }
+            StartSpec::Geometric => Ok(Config::geometric_cascade(n, m32)),
+            StartSpec::Random { salt } => {
+                let mut rng = Xoshiro256pp::seed_from(seed ^ salt);
+                Ok(Config::from_loads(random_assignment(&mut rng, n, m)))
+            }
+        }
+    }
+}
+
+/// How a moving ball picks its destination (the rebalancing rule).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalSpec {
+    /// Uniform over bins / neighbors — the paper's process.
+    Uniform,
+    /// Least loaded of `d` uniform candidates (\[36\]; `d = 1` ≡ uniform).
+    DChoice {
+        /// Number of uniform candidates per re-assignment.
+        d: usize,
+    },
+    /// The Section-3 Tetris majorant: `⌊(3/4)n⌋` fresh arrivals per round.
+    Tetris,
+    /// Leaky bins (\[18\]): `Binomial(n, λ)` fresh arrivals per round.
+    BatchedTetris {
+        /// Arrival rate λ ∈ [0, 1].
+        lambda: f64,
+    },
+}
+
+/// The queue-selection strategy, when ball identities matter.
+///
+/// Mirrors [`QueueStrategy`] at the spec layer (the core crate stays free
+/// of serde).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrategySpec {
+    /// First in, first out.
+    Fifo,
+    /// Last in, first out.
+    Lifo,
+    /// Uniformly random enqueued ball.
+    Random,
+}
+
+impl StrategySpec {
+    /// The core-crate strategy this spec value names.
+    pub fn to_core(self) -> QueueStrategy {
+        match self {
+            StrategySpec::Fifo => QueueStrategy::Fifo,
+            StrategySpec::Lifo => QueueStrategy::Lifo,
+            StrategySpec::Random => QueueStrategy::Random,
+        }
+    }
+
+    /// Spec value for a core strategy.
+    pub fn from_core(s: QueueStrategy) -> Self {
+        match s {
+            QueueStrategy::Fifo => StrategySpec::Fifo,
+            QueueStrategy::Lifo => StrategySpec::Lifo,
+            QueueStrategy::Random => StrategySpec::Random,
+        }
+    }
+}
+
+/// The graph the walk is constrained to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologySpec {
+    /// Complete graph with self-loops — exactly the paper's process, served
+    /// by the dedicated (fast) clique engines.
+    Complete,
+    /// The same complete-with-loops graph, but run through the generic
+    /// graph-walk engine. Identical in *law* to [`Complete`][Self::Complete]
+    /// while consuming the RNG through the neighbor sampler — use it when
+    /// comparing topologies on equal sampling footing (experiment E13).
+    CompleteGraph,
+    /// Cycle.
+    Ring,
+    /// `side × side` torus with `side = round(√n)`.
+    Torus,
+    /// Hypercube of dimension `round(log₂ n)`.
+    Hypercube,
+    /// Random `degree`-regular graph drawn from `seed ^ salt`.
+    RandomRegular {
+        /// Vertex degree.
+        degree: usize,
+        /// XOR-salt applied to the scenario seed for the graph's stream.
+        salt: u64,
+    },
+    /// Star — the non-regular control.
+    Star,
+}
+
+impl TopologySpec {
+    /// Whether this is the complete-with-loops topology (the paper's clique
+    /// process, served by the dedicated engines).
+    pub fn is_complete(&self) -> bool {
+        matches!(self, TopologySpec::Complete)
+    }
+
+    /// Builds the graph at requested size `n` (rounded by the builder where
+    /// the family demands it: torus to a square, hypercube to a power of 2).
+    pub fn build(&self, n: usize, seed: u64) -> rbb_graphs::Graph {
+        match self {
+            TopologySpec::Complete | TopologySpec::CompleteGraph => {
+                rbb_graphs::complete_with_loops(n)
+            }
+            TopologySpec::Ring => rbb_graphs::ring(n),
+            TopologySpec::Torus => {
+                let side = (n as f64).sqrt().round() as usize;
+                rbb_graphs::torus(side, side)
+            }
+            TopologySpec::Hypercube => rbb_graphs::hypercube((n as f64).log2().round() as u32),
+            TopologySpec::RandomRegular { degree, salt } => {
+                let mut rng = Xoshiro256pp::seed_from(seed ^ salt);
+                rbb_graphs::random_regular(n, *degree, &mut rng)
+            }
+            TopologySpec::Star => rbb_graphs::star(n),
+        }
+    }
+}
+
+/// Which balls the adversary piles where in a faulty round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdversaryKindSpec {
+    /// Everything into bin 0.
+    AllInOne,
+    /// Evenly into the first `k` bins.
+    Packed {
+        /// Number of target bins.
+        k: usize,
+    },
+    /// Everything onto the currently fullest bin.
+    FollowTheLeader,
+    /// Fresh uniform re-throw (the benign control).
+    Random,
+}
+
+/// When faults fire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleSpec {
+    /// Every `γ·n` rounds (the paper's parameterization; γ ≥ 6 analyzed).
+    Gamma {
+        /// Period multiplier γ.
+        gamma: u64,
+    },
+    /// Every `period` rounds.
+    Period {
+        /// Fault period in rounds (≥ 1).
+        period: u64,
+    },
+}
+
+/// The adversary arm of a scenario: who reassigns, and how often.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdversarySpec {
+    /// Reassignment rule.
+    pub kind: AdversaryKindSpec,
+    /// Fault clock.
+    pub schedule: ScheduleSpec,
+}
+
+/// How long the scenario runs (an upper bound when a stop condition is set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HorizonSpec {
+    /// A fixed number of rounds.
+    Rounds {
+        /// Round budget.
+        rounds: u64,
+    },
+    /// `factor · n` rounds, scaled by the *engine's* bin count (after any
+    /// topology rounding).
+    FactorN {
+        /// Multiplier on n.
+        factor: u64,
+    },
+}
+
+impl HorizonSpec {
+    /// Resolves to a concrete round budget for engine size `n`.
+    pub fn resolve(&self, n: usize) -> u64 {
+        match self {
+            HorizonSpec::Rounds { rounds } => *rounds,
+            HorizonSpec::FactorN { factor } => factor * n as u64,
+        }
+    }
+}
+
+/// When the run ends before the horizon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopSpec {
+    /// Run the full horizon.
+    Horizon,
+    /// Stop at the first legitimate configuration (`M(q) ≤ 4 ln n`).
+    Legitimate,
+    /// Stop once every bin has been empty at least once (Lemma 4).
+    AllEmptied,
+    /// Stop once every token has visited every node (Corollary 1). Requires
+    /// an engine with token identities (a `strategy`).
+    Covered,
+}
+
+/// A complete, serializable scenario description. See the module docs for
+/// the JSON schema and determinism contract.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Optional human-readable label (printed by `rbb sim`).
+    pub name: Option<String>,
+    /// Number of bins (nodes). Topology builders may round (torus, cube).
+    pub n: usize,
+    /// Number of balls (defaults to `n`).
+    pub balls: Option<u64>,
+    /// Initial configuration.
+    pub start: StartSpec,
+    /// Rebalancing rule.
+    pub arrival: ArrivalSpec,
+    /// Queue strategy; `None` runs the load-only engine.
+    pub strategy: Option<StrategySpec>,
+    /// Topology; [`TopologySpec::Complete`] is the paper's process.
+    pub topology: TopologySpec,
+    /// Optional adversary arm.
+    pub adversary: Option<AdversarySpec>,
+    /// Round budget.
+    pub horizon: HorizonSpec,
+    /// Early-stop condition.
+    pub stop: StopSpec,
+    /// Master seed for this run (sweeps override per trial).
+    pub seed: u64,
+}
+
+impl ScenarioSpec {
+    /// A builder seeded with the paper's defaults: `n` balls in `n` bins,
+    /// one per bin, uniform re-assignment on the clique, no strategy, no
+    /// adversary, `100·n` rounds, horizon stop, seed 1.
+    pub fn builder(n: usize) -> ScenarioSpecBuilder {
+        ScenarioSpecBuilder {
+            spec: ScenarioSpec {
+                name: None,
+                n,
+                balls: None,
+                start: StartSpec::OnePerBin,
+                arrival: ArrivalSpec::Uniform,
+                strategy: None,
+                topology: TopologySpec::Complete,
+                adversary: None,
+                horizon: HorizonSpec::FactorN { factor: 100 },
+                stop: StopSpec::Horizon,
+                seed: 1,
+            },
+        }
+    }
+
+    /// The ball count (defaults to `n`).
+    pub fn balls_or_default(&self) -> u64 {
+        self.balls.unwrap_or(self.n as u64)
+    }
+
+    /// Returns a copy with the seed replaced — the sweep entry point (one
+    /// spec, many trial seeds).
+    pub fn with_seed(&self, seed: u64) -> Self {
+        Self {
+            seed,
+            ..self.clone()
+        }
+    }
+
+    /// Checks the spec for structural and cross-field validity without
+    /// constructing an engine. [`scenario`](ScenarioSpec::scenario) calls
+    /// this first, so factory users get the same diagnostics.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.n < 2 {
+            return Err(SpecError("n must be at least 2".into()));
+        }
+        let m = self.balls_or_default();
+        if m == 0 {
+            return Err(SpecError("balls must be positive".into()));
+        }
+        if u32::try_from(m).is_err() {
+            return Err(SpecError("balls must fit in u32".into()));
+        }
+        if matches!(self.start, StartSpec::OnePerBin) && m != self.n as u64 {
+            return Err(SpecError(format!(
+                "start one-per-bin requires balls == n (got {m} balls, {} bins); \
+                 omit `balls` to default it",
+                self.n
+            )));
+        }
+        if self.horizon.resolve(self.n) == 0 {
+            return Err(SpecError("horizon must be positive".into()));
+        }
+        if let StartSpec::Packed { k } = self.start {
+            if k < 1 || k > self.n {
+                return Err(SpecError(format!(
+                    "packed start k = {k} out of range 1..={}",
+                    self.n
+                )));
+            }
+        }
+        match self.arrival {
+            ArrivalSpec::DChoice { d } => {
+                if d < 1 {
+                    return Err(SpecError("d-choice needs d >= 1".into()));
+                }
+                if self.strategy.is_some() {
+                    return Err(SpecError(
+                        "d-choice is a load-only engine; remove `strategy`".into(),
+                    ));
+                }
+                if !self.topology.is_complete() {
+                    return Err(SpecError("d-choice runs on the complete topology".into()));
+                }
+            }
+            ArrivalSpec::Tetris | ArrivalSpec::BatchedTetris { .. } => {
+                if self.strategy.is_some() {
+                    return Err(SpecError(
+                        "Tetris engines are load-only; remove `strategy`".into(),
+                    ));
+                }
+                if !self.topology.is_complete() {
+                    return Err(SpecError("Tetris runs on the complete topology".into()));
+                }
+                if self.adversary.is_some() {
+                    return Err(SpecError(
+                        "Tetris does not conserve balls, so adversarial reassignment is undefined"
+                            .into(),
+                    ));
+                }
+                if let ArrivalSpec::BatchedTetris { lambda } = self.arrival {
+                    if !(0.0..=1.0).contains(&lambda) {
+                        return Err(SpecError(format!("lambda = {lambda} outside [0, 1]")));
+                    }
+                }
+            }
+            ArrivalSpec::Uniform => {}
+        }
+        if !self.topology.is_complete() {
+            if self.strategy.is_some() && !matches!(self.start, StartSpec::OnePerBin) {
+                return Err(SpecError(
+                    "graph token walks start one-per-node; use start one-per-bin".into(),
+                ));
+            }
+            // Builder preconditions, surfaced as spec diagnostics instead of
+            // panics inside the graph constructors.
+            match self.topology {
+                TopologySpec::Ring if self.n < 3 => {
+                    return Err(SpecError("ring needs n >= 3".into()))
+                }
+                TopologySpec::Torus if ((self.n as f64).sqrt().round() as usize) < 3 => {
+                    return Err(SpecError("torus needs n >= 7 (side >= 3)".into()))
+                }
+                TopologySpec::RandomRegular { degree, .. } => {
+                    if degree < 1 || degree >= self.n {
+                        return Err(SpecError(format!(
+                            "regular topology needs 1 <= degree < n (degree {degree}, n {})",
+                            self.n
+                        )));
+                    }
+                    if self.n * degree % 2 != 0 {
+                        return Err(SpecError(format!(
+                            "regular topology needs n·degree even (n {}, degree {degree})",
+                            self.n
+                        )));
+                    }
+                }
+                _ => {}
+            }
+        }
+        if self.stop == StopSpec::Covered && self.strategy.is_none() {
+            return Err(SpecError(
+                "the covered stop needs token identities; set a `strategy`".into(),
+            ));
+        }
+        if let Some(adv) = &self.adversary {
+            match adv.schedule {
+                ScheduleSpec::Gamma { gamma: 0 } => {
+                    return Err(SpecError("gamma must be >= 1".into()))
+                }
+                ScheduleSpec::Period { period: 0 } => {
+                    return Err(SpecError("fault period must be >= 1".into()))
+                }
+                _ => {}
+            }
+            if let AdversaryKindSpec::Packed { k } = adv.kind {
+                if k == 0 {
+                    return Err(SpecError("packed adversary needs k >= 1".into()));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Fluent construction of a [`ScenarioSpec`]; see
+/// [`ScenarioSpec::builder`] for the defaults.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpecBuilder {
+    spec: ScenarioSpec,
+}
+
+impl ScenarioSpecBuilder {
+    /// Sets the display name.
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.spec.name = Some(name.into());
+        self
+    }
+
+    /// Sets the ball count (default: `n`).
+    pub fn balls(mut self, m: u64) -> Self {
+        self.spec.balls = Some(m);
+        self
+    }
+
+    /// Sets the initial configuration.
+    pub fn start(mut self, start: StartSpec) -> Self {
+        self.spec.start = start;
+        self
+    }
+
+    /// Sets the arrival model.
+    pub fn arrival(mut self, arrival: ArrivalSpec) -> Self {
+        self.spec.arrival = arrival;
+        self
+    }
+
+    /// Sets the queue strategy (ball-identity engines).
+    pub fn strategy(mut self, s: StrategySpec) -> Self {
+        self.spec.strategy = Some(s);
+        self
+    }
+
+    /// Sets the topology.
+    pub fn topology(mut self, t: TopologySpec) -> Self {
+        self.spec.topology = t;
+        self
+    }
+
+    /// Sets the adversary arm.
+    pub fn adversary(mut self, kind: AdversaryKindSpec, schedule: ScheduleSpec) -> Self {
+        self.spec.adversary = Some(AdversarySpec { kind, schedule });
+        self
+    }
+
+    /// Sets a fixed-round horizon.
+    pub fn horizon_rounds(mut self, rounds: u64) -> Self {
+        self.spec.horizon = HorizonSpec::Rounds { rounds };
+        self
+    }
+
+    /// Sets a `factor·n` horizon.
+    pub fn horizon_factor(mut self, factor: u64) -> Self {
+        self.spec.horizon = HorizonSpec::FactorN { factor };
+        self
+    }
+
+    /// Sets the stop condition.
+    pub fn stop(mut self, stop: StopSpec) -> Self {
+        self.spec.stop = stop;
+        self
+    }
+
+    /// Sets the seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.spec.seed = seed;
+        self
+    }
+
+    /// Finishes the build (unvalidated; `scenario()` validates).
+    pub fn build(self) -> ScenarioSpec {
+        self.spec
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serde: enums lower to `{"kind": "...", ...params}` objects (param-less
+// spec enums to plain strings) against the vendored serde stub's Value
+// model. Hand-written because the stub's derive covers structs only.
+// ---------------------------------------------------------------------------
+
+fn kind_obj(kind: &str, params: Vec<(&str, Value)>) -> Value {
+    let mut entries = vec![("kind".to_string(), Value::Str(kind.to_string()))];
+    entries.extend(params.into_iter().map(|(k, v)| (k.to_string(), v)));
+    Value::Object(entries)
+}
+
+fn read_kind(value: &Value, what: &str) -> Result<String, DeError> {
+    let kind = value
+        .get("kind")
+        .ok_or_else(|| DeError::expected(&format!("{what} object"), value))?;
+    kind.as_str()
+        .map(str::to_string)
+        .ok_or_else(|| DeError::expected("string `kind`", kind))
+}
+
+fn read_param<T: Deserialize>(value: &Value, key: &str) -> Result<T, DeError> {
+    T::deserialize(serde::field(value, key)?).map_err(|e| e.in_field(key))
+}
+
+impl Serialize for StartSpec {
+    fn serialize(&self) -> Value {
+        match self {
+            StartSpec::OnePerBin => kind_obj("one-per-bin", vec![]),
+            StartSpec::AllInOne => kind_obj("all-in-one", vec![]),
+            StartSpec::Packed { k } => kind_obj("packed", vec![("k", k.serialize())]),
+            StartSpec::Geometric => kind_obj("geometric", vec![]),
+            StartSpec::Random { salt } => kind_obj("random", vec![("salt", salt.serialize())]),
+        }
+    }
+}
+
+impl Deserialize for StartSpec {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match read_kind(value, "start")?.as_str() {
+            "one-per-bin" => Ok(StartSpec::OnePerBin),
+            "all-in-one" => Ok(StartSpec::AllInOne),
+            "packed" => Ok(StartSpec::Packed {
+                k: read_param(value, "k")?,
+            }),
+            "geometric" => Ok(StartSpec::Geometric),
+            "random" => Ok(StartSpec::Random {
+                salt: read_param(value, "salt")?,
+            }),
+            other => Err(DeError(format!("unknown start kind '{other}'"))),
+        }
+    }
+}
+
+impl Serialize for ArrivalSpec {
+    fn serialize(&self) -> Value {
+        match self {
+            ArrivalSpec::Uniform => kind_obj("uniform", vec![]),
+            ArrivalSpec::DChoice { d } => kind_obj("d-choice", vec![("d", d.serialize())]),
+            ArrivalSpec::Tetris => kind_obj("tetris", vec![]),
+            ArrivalSpec::BatchedTetris { lambda } => {
+                kind_obj("batched-tetris", vec![("lambda", lambda.serialize())])
+            }
+        }
+    }
+}
+
+impl Deserialize for ArrivalSpec {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match read_kind(value, "arrival")?.as_str() {
+            "uniform" => Ok(ArrivalSpec::Uniform),
+            "d-choice" => Ok(ArrivalSpec::DChoice {
+                d: read_param(value, "d")?,
+            }),
+            "tetris" => Ok(ArrivalSpec::Tetris),
+            "batched-tetris" => Ok(ArrivalSpec::BatchedTetris {
+                lambda: read_param(value, "lambda")?,
+            }),
+            other => Err(DeError(format!("unknown arrival kind '{other}'"))),
+        }
+    }
+}
+
+impl Serialize for StrategySpec {
+    fn serialize(&self) -> Value {
+        Value::Str(
+            match self {
+                StrategySpec::Fifo => "fifo",
+                StrategySpec::Lifo => "lifo",
+                StrategySpec::Random => "random",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl Deserialize for StrategySpec {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value.as_str() {
+            Some("fifo") => Ok(StrategySpec::Fifo),
+            Some("lifo") => Ok(StrategySpec::Lifo),
+            Some("random") => Ok(StrategySpec::Random),
+            Some(other) => Err(DeError(format!("unknown strategy '{other}'"))),
+            None => Err(DeError::expected("strategy string", value)),
+        }
+    }
+}
+
+impl Serialize for TopologySpec {
+    fn serialize(&self) -> Value {
+        match self {
+            TopologySpec::Complete => kind_obj("complete", vec![]),
+            TopologySpec::CompleteGraph => kind_obj("complete-graph", vec![]),
+            TopologySpec::Ring => kind_obj("ring", vec![]),
+            TopologySpec::Torus => kind_obj("torus", vec![]),
+            TopologySpec::Hypercube => kind_obj("hypercube", vec![]),
+            TopologySpec::RandomRegular { degree, salt } => kind_obj(
+                "random-regular",
+                vec![("degree", degree.serialize()), ("salt", salt.serialize())],
+            ),
+            TopologySpec::Star => kind_obj("star", vec![]),
+        }
+    }
+}
+
+impl Deserialize for TopologySpec {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match read_kind(value, "topology")?.as_str() {
+            "complete" => Ok(TopologySpec::Complete),
+            "complete-graph" => Ok(TopologySpec::CompleteGraph),
+            "ring" => Ok(TopologySpec::Ring),
+            "torus" => Ok(TopologySpec::Torus),
+            "hypercube" => Ok(TopologySpec::Hypercube),
+            "random-regular" => Ok(TopologySpec::RandomRegular {
+                degree: read_param(value, "degree")?,
+                salt: read_param(value, "salt")?,
+            }),
+            "star" => Ok(TopologySpec::Star),
+            other => Err(DeError(format!("unknown topology kind '{other}'"))),
+        }
+    }
+}
+
+impl Serialize for AdversarySpec {
+    fn serialize(&self) -> Value {
+        let mut params = Vec::new();
+        let kind = match self.kind {
+            AdversaryKindSpec::AllInOne => "all-in-one",
+            AdversaryKindSpec::Packed { k } => {
+                params.push(("k", k.serialize()));
+                "packed"
+            }
+            AdversaryKindSpec::FollowTheLeader => "follow-the-leader",
+            AdversaryKindSpec::Random => "random",
+        };
+        match self.schedule {
+            ScheduleSpec::Gamma { gamma } => params.push(("gamma", gamma.serialize())),
+            ScheduleSpec::Period { period } => params.push(("period", period.serialize())),
+        }
+        kind_obj(kind, params)
+    }
+}
+
+impl Deserialize for AdversarySpec {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        let kind = match read_kind(value, "adversary")?.as_str() {
+            "all-in-one" => AdversaryKindSpec::AllInOne,
+            "packed" => AdversaryKindSpec::Packed {
+                k: read_param(value, "k")?,
+            },
+            "follow-the-leader" => AdversaryKindSpec::FollowTheLeader,
+            "random" => AdversaryKindSpec::Random,
+            other => return Err(DeError(format!("unknown adversary kind '{other}'"))),
+        };
+        let gamma: Option<u64> = read_param(value, "gamma")?;
+        let period: Option<u64> = read_param(value, "period")?;
+        let schedule = match (gamma, period) {
+            (Some(gamma), None) => ScheduleSpec::Gamma { gamma },
+            (None, Some(period)) => ScheduleSpec::Period { period },
+            _ => {
+                return Err(DeError(
+                    "adversary needs exactly one of `gamma` or `period`".to_string(),
+                ))
+            }
+        };
+        Ok(AdversarySpec { kind, schedule })
+    }
+}
+
+impl Serialize for HorizonSpec {
+    fn serialize(&self) -> Value {
+        match self {
+            HorizonSpec::Rounds { rounds } => {
+                kind_obj("rounds", vec![("rounds", rounds.serialize())])
+            }
+            HorizonSpec::FactorN { factor } => {
+                kind_obj("factor-n", vec![("factor", factor.serialize())])
+            }
+        }
+    }
+}
+
+impl Deserialize for HorizonSpec {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match read_kind(value, "horizon")?.as_str() {
+            "rounds" => Ok(HorizonSpec::Rounds {
+                rounds: read_param(value, "rounds")?,
+            }),
+            "factor-n" => Ok(HorizonSpec::FactorN {
+                factor: read_param(value, "factor")?,
+            }),
+            other => Err(DeError(format!("unknown horizon kind '{other}'"))),
+        }
+    }
+}
+
+impl Serialize for StopSpec {
+    fn serialize(&self) -> Value {
+        Value::Str(
+            match self {
+                StopSpec::Horizon => "horizon",
+                StopSpec::Legitimate => "legitimate",
+                StopSpec::AllEmptied => "all-emptied",
+                StopSpec::Covered => "covered",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl Deserialize for StopSpec {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value.as_str() {
+            Some("horizon") => Ok(StopSpec::Horizon),
+            Some("legitimate") => Ok(StopSpec::Legitimate),
+            Some("all-emptied") => Ok(StopSpec::AllEmptied),
+            Some("covered") => Ok(StopSpec::Covered),
+            Some(other) => Err(DeError(format!("unknown stop '{other}'"))),
+            None => Err(DeError::expected("stop string", value)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_spec() -> ScenarioSpec {
+        ScenarioSpec::builder(256)
+            .name("kitchen-sink")
+            .balls(256)
+            .start(StartSpec::Random { salt: 0xFEED })
+            .strategy(StrategySpec::Lifo)
+            .topology(TopologySpec::Complete)
+            .adversary(
+                AdversaryKindSpec::Packed { k: 3 },
+                ScheduleSpec::Gamma { gamma: 6 },
+            )
+            .horizon_rounds(5_000)
+            .stop(StopSpec::Covered)
+            .seed(42)
+            .build()
+    }
+
+    #[test]
+    fn builder_defaults_are_the_paper_process() {
+        let spec = ScenarioSpec::builder(128).build();
+        assert_eq!(spec.n, 128);
+        assert_eq!(spec.balls_or_default(), 128);
+        assert_eq!(spec.start, StartSpec::OnePerBin);
+        assert_eq!(spec.arrival, ArrivalSpec::Uniform);
+        assert_eq!(spec.strategy, None);
+        assert_eq!(spec.topology, TopologySpec::Complete);
+        assert_eq!(spec.horizon.resolve(spec.n), 12_800);
+        assert_eq!(spec.stop, StopSpec::Horizon);
+        spec.validate().unwrap();
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let spec = full_spec();
+        let json = serde_json::to_string_pretty(&spec).unwrap();
+        let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn minimal_json_with_nulls_parses() {
+        let json = r#"{
+            "name": null, "n": 64, "balls": null,
+            "start": {"kind": "one-per-bin"},
+            "arrival": {"kind": "uniform"},
+            "strategy": null,
+            "topology": {"kind": "complete"},
+            "adversary": null,
+            "horizon": {"kind": "factor-n", "factor": 10},
+            "stop": "horizon",
+            "seed": 7
+        }"#;
+        let spec: ScenarioSpec = serde_json::from_str(json).unwrap();
+        assert_eq!(
+            spec,
+            ScenarioSpec::builder(64).horizon_factor(10).seed(7).build()
+        );
+        // Omitting the optional keys entirely is equivalent to null.
+        let json_sparse = r#"{
+            "n": 64,
+            "start": {"kind": "one-per-bin"},
+            "arrival": {"kind": "uniform"},
+            "topology": {"kind": "complete"},
+            "horizon": {"kind": "factor-n", "factor": 10},
+            "stop": "horizon",
+            "seed": 7
+        }"#;
+        let sparse: ScenarioSpec = serde_json::from_str(json_sparse).unwrap();
+        assert_eq!(sparse, spec);
+    }
+
+    #[test]
+    fn bad_json_reports_field() {
+        let json = r#"{
+            "n": 64,
+            "start": {"kind": "sideways"},
+            "arrival": {"kind": "uniform"},
+            "topology": {"kind": "complete"},
+            "horizon": {"kind": "rounds", "rounds": 10},
+            "stop": "horizon",
+            "seed": 1
+        }"#;
+        let err = serde_json::from_str::<ScenarioSpec>(json).unwrap_err();
+        assert!(err.to_string().contains("start"), "{err}");
+    }
+
+    #[test]
+    fn validation_catches_cross_field_conflicts() {
+        let bad = [
+            ScenarioSpec::builder(1).build(),
+            ScenarioSpec::builder(64).balls(0).build(),
+            ScenarioSpec::builder(64).horizon_rounds(0).build(),
+            ScenarioSpec::builder(64)
+                .arrival(ArrivalSpec::DChoice { d: 0 })
+                .build(),
+            ScenarioSpec::builder(64)
+                .arrival(ArrivalSpec::DChoice { d: 2 })
+                .strategy(StrategySpec::Fifo)
+                .build(),
+            ScenarioSpec::builder(64)
+                .arrival(ArrivalSpec::Tetris)
+                .topology(TopologySpec::Ring)
+                .build(),
+            ScenarioSpec::builder(64)
+                .arrival(ArrivalSpec::BatchedTetris { lambda: 1.5 })
+                .build(),
+            ScenarioSpec::builder(64)
+                .arrival(ArrivalSpec::Tetris)
+                .adversary(
+                    AdversaryKindSpec::AllInOne,
+                    ScheduleSpec::Gamma { gamma: 6 },
+                )
+                .build(),
+            ScenarioSpec::builder(64).stop(StopSpec::Covered).build(),
+            ScenarioSpec::builder(64)
+                .strategy(StrategySpec::Fifo)
+                .adversary(
+                    AdversaryKindSpec::AllInOne,
+                    ScheduleSpec::Period { period: 0 },
+                )
+                .build(),
+            ScenarioSpec::builder(64)
+                .start(StartSpec::Packed { k: 100 })
+                .build(),
+            ScenarioSpec::builder(64)
+                .topology(TopologySpec::Ring)
+                .strategy(StrategySpec::Fifo)
+                .start(StartSpec::AllInOne)
+                .build(),
+        ];
+        for spec in bad {
+            assert!(spec.validate().is_err(), "accepted: {spec:?}");
+        }
+    }
+
+    #[test]
+    fn start_builders_match_config_constructors() {
+        let n = 16;
+        assert_eq!(
+            StartSpec::OnePerBin.build(n, 16, 1).unwrap(),
+            Config::one_per_bin(n)
+        );
+        assert_eq!(
+            StartSpec::AllInOne.build(n, 20, 1).unwrap(),
+            Config::all_in_one(n, 20)
+        );
+        assert_eq!(
+            StartSpec::Packed { k: 4 }.build(n, 20, 1).unwrap(),
+            Config::packed(n, 20, 4)
+        );
+        assert_eq!(
+            StartSpec::Geometric.build(n, 16, 1).unwrap(),
+            Config::geometric_cascade(n, 16)
+        );
+        // Random start derives from seed ^ salt — the e05 convention.
+        let mut rng = Xoshiro256pp::seed_from(9 ^ 0xFEED);
+        let expect = Config::from_loads(random_assignment(&mut rng, n, 16));
+        assert_eq!(
+            StartSpec::Random { salt: 0xFEED }.build(n, 16, 9).unwrap(),
+            expect
+        );
+        assert!(StartSpec::OnePerBin.build(n, 15, 1).is_err());
+    }
+
+    #[test]
+    fn with_seed_only_changes_seed() {
+        let spec = full_spec();
+        let reseeded = spec.with_seed(99);
+        assert_eq!(reseeded.seed, 99);
+        assert_eq!(reseeded.with_seed(spec.seed), spec);
+    }
+}

@@ -82,6 +82,7 @@ pub fn record_delays_exact(process: &mut BallProcess, rounds: u64) -> IntHistogr
 mod tests {
     use super::*;
     use rbb_core::config::Config;
+    use rbb_core::engine::Engine;
     use rbb_core::rng::Xoshiro256pp;
     use rbb_core::strategy::QueueStrategy;
 

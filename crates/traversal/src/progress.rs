@@ -64,6 +64,7 @@ impl ProgressReport {
 mod tests {
     use super::*;
     use rbb_core::config::Config;
+    use rbb_core::engine::Engine;
     use rbb_core::metrics::NullObserver;
     use rbb_core::rng::Xoshiro256pp;
     use rbb_core::strategy::QueueStrategy;

@@ -8,6 +8,7 @@
 
 use rbb_core::ball_process::BallProcess;
 use rbb_core::config::Config;
+use rbb_core::engine::Engine;
 use rbb_core::rng::Xoshiro256pp;
 use rbb_core::strategy::QueueStrategy;
 
@@ -110,8 +111,9 @@ impl Traversal {
         &self.visited[token]
     }
 
-    /// Advances one round, updating visited sets.
-    pub fn step(&mut self) {
+    /// Advances one round, updating visited sets; returns the number of
+    /// tokens that moved.
+    pub fn step(&mut self) -> usize {
         let visited = &mut self.visited;
         let covered = &mut self.covered_tokens;
         self.process.step_with(|ball, dest, _round| {
@@ -119,7 +121,7 @@ impl Traversal {
             if v.insert(dest) && v.is_full() {
                 *covered += 1;
             }
-        });
+        })
     }
 
     /// Runs until all tokens cover all nodes, or `cap` rounds; returns the
@@ -144,6 +146,43 @@ impl Traversal {
                 self.covered_tokens += 1;
             }
         }
+    }
+}
+
+/// The run family is provided by [`Engine`]. The traversal's visited-set
+/// bookkeeping rides on the scalar per-move hook, so `step_batched`
+/// defaults to the scalar step; `covered` exposes the Corollary-1 goal to
+/// generic drivers and stop conditions.
+impl Engine for Traversal {
+    #[inline]
+    fn step(&mut self) -> usize {
+        Traversal::step(self)
+    }
+
+    #[inline]
+    fn round(&self) -> u64 {
+        Traversal::round(self)
+    }
+
+    #[inline]
+    fn config(&self) -> &Config {
+        self.process.config()
+    }
+
+    fn supports_faults(&self) -> bool {
+        true
+    }
+
+    fn apply_fault(&mut self, placement: &[usize]) {
+        self.adversarial_reassign(placement);
+    }
+
+    fn covered(&self) -> Option<bool> {
+        Some(self.all_covered())
+    }
+
+    fn min_progress(&self) -> Option<u64> {
+        Some(self.process.min_progress())
     }
 }
 

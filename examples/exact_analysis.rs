@@ -7,6 +7,7 @@
 //! Run: `cargo run --release --example exact_analysis`
 
 use rbb_core::config::Config;
+use rbb_core::engine::Engine;
 use rbb_core::exact::{appendix_b_exact, ExactChain};
 use rbb_core::mixing::{mixing_time, tv_decay};
 use rbb_core::process::LoadProcess;

@@ -7,22 +7,23 @@
 //!
 //! Run: `cargo run --release --example topology_tour`
 
+use rbb_core::engine::Engine;
 use rbb_core::metrics::{EmptyBinsTracker, MaxLoadTracker};
 use rbb_core::rng::Xoshiro256pp;
 use rbb_graphs::{
     complete_with_loops, hypercube, random_regular, ring, star, torus, Graph, GraphLoadProcess,
 };
 
-fn tour(name: &str, graph: &Graph, rounds: u64) {
-    let mut p = GraphLoadProcess::one_per_node(graph, 0xD15C0);
-    let mut max_t = MaxLoadTracker::new();
-    let mut empty_t = EmptyBinsTracker::new();
-    p.run(rounds, (&mut max_t, &mut empty_t));
+fn tour(name: &str, graph: Graph, rounds: u64) {
     let n = graph.n();
     let degree = graph
         .regular_degree()
         .map(|d| d.to_string())
         .unwrap_or_else(|| "irregular".into());
+    let mut p = GraphLoadProcess::one_per_node(graph, 0xD15C0);
+    let mut max_t = MaxLoadTracker::new();
+    let mut empty_t = EmptyBinsTracker::new();
+    p.run(rounds, (&mut max_t, &mut empty_t));
     println!(
         "{name:<18} n={n:<5} degree={degree:<9} max load={:<3} ({:.2}·ln n)  min empty={:>4} ({:>2}%)",
         max_t.window_max(),
@@ -37,16 +38,16 @@ fn main() {
     println!("constrained parallel token walks, {rounds} rounds each\n");
 
     let mut rng = Xoshiro256pp::seed_from(0x6E0);
-    tour("clique + loops", &complete_with_loops(1024), rounds);
-    tour("hypercube d=10", &hypercube(10), rounds);
-    tour("torus 32x32", &torus(32, 32), rounds);
+    tour("clique + loops", complete_with_loops(1024), rounds);
+    tour("hypercube d=10", hypercube(10), rounds);
+    tour("torus 32x32", torus(32, 32), rounds);
     tour(
         "random 4-regular",
-        &random_regular(1024, 4, &mut rng),
+        random_regular(1024, 4, &mut rng),
         rounds,
     );
-    tour("ring", &ring(1024), rounds);
-    tour("star (control)", &star(1024), rounds);
+    tour("ring", ring(1024), rounds);
+    tour("star (control)", star(1024), rounds);
 
     println!(
         "\nreading: every regular topology keeps the max load near the clique's O(log n) level, \

@@ -4,6 +4,7 @@
 use rbb_core::arrivals::ArrivalTracker;
 use rbb_core::ball_process::BallProcess;
 use rbb_core::config::Config;
+use rbb_core::engine::Engine;
 use rbb_core::exact::ExactChain;
 use rbb_core::metrics::RoundObserver;
 use rbb_core::mixing::{mixing_time, tv_decay, MaxLoadDistribution};

@@ -2,6 +2,7 @@
 //! exact small-n chain as ground truth for the simulators.
 
 use rbb_core::config::{Config, LegitimacyThreshold};
+use rbb_core::engine::Engine;
 use rbb_core::exact::ExactChain;
 use rbb_core::metrics::{EmptyBinsTracker, MaxLoadTracker, TrajectoryRecorder};
 use rbb_core::process::LoadProcess;

@@ -42,8 +42,7 @@ fn traversal_engines_agree_on_clique() {
     for t in 0..5u64 {
         let mut a = Traversal::new(n, QueueStrategy::Fifo, 600 + t);
         a_sum += a.run_to_cover(10_000_000).unwrap() as f64;
-        let g = complete_with_loops(n);
-        let mut b = GraphTokenProcess::one_per_node(&g, 700 + t);
+        let mut b = GraphTokenProcess::one_per_node(complete_with_loops(n), 700 + t);
         b_sum += b.run_to_cover(10_000_000).unwrap() as f64;
     }
     let ratio = a_sum / b_sum;

@@ -5,6 +5,7 @@ use proptest::prelude::*;
 use rbb_core::ball_process::BallProcess;
 use rbb_core::config::Config;
 use rbb_core::coupling::CoupledRun;
+use rbb_core::engine::Engine;
 use rbb_core::exact::{compositions, multinomial_probability, transition_distribution};
 use rbb_core::process::LoadProcess;
 use rbb_core::rng::Xoshiro256pp;

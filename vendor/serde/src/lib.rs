@@ -4,8 +4,9 @@
 //! slice of serde the workspace uses: a [`Serialize`] trait (with a
 //! same-named derive macro re-exported from `serde_derive`) that lowers
 //! values into a small JSON-shaped [`Value`] model, which `serde_json`
-//! renders. The full serde serializer/visitor machinery is intentionally
-//! absent.
+//! renders, and the mirror-image [`Deserialize`] trait that rebuilds values
+//! from a parsed [`Value`] tree. The full serde serializer/visitor machinery
+//! is intentionally absent.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -14,7 +15,7 @@
 // own tests.
 extern crate self as serde;
 
-pub use serde_derive::Serialize;
+pub use serde_derive::{Deserialize, Serialize};
 
 use std::collections::BTreeMap;
 
@@ -165,6 +166,193 @@ impl Serialize for Value {
     }
 }
 
+impl Value {
+    /// Human-readable name of the variant, used in error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::UInt(_) => "uint",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// The object entries, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The array items, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Looks up `key` in an object; returns [`Value::Null`] when the key is
+    /// absent (mirroring serde's treatment of optional fields) and `None`
+    /// when `self` is not an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => Some(
+                entries
+                    .iter()
+                    .find(|(k, _)| k == key)
+                    .map(|(_, v)| v)
+                    .unwrap_or(&Value::Null),
+            ),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization failure: what was expected and what was found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// A "expected X, got Y" error.
+    pub fn expected(what: &str, got: &Value) -> Self {
+        DeError(format!("expected {what}, got {}", got.kind()))
+    }
+
+    /// An error tagged with the field it occurred under.
+    pub fn in_field(self, field: &str) -> Self {
+        DeError(format!("{field}: {}", self.0))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can rebuild themselves from a [`Value`].
+///
+/// Derivable for structs with named fields via
+/// `#[derive(serde::Deserialize)]`; a missing key deserializes the field
+/// from [`Value::Null`], so `Option` fields treat absence as `None`.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from the value model.
+    fn deserialize(value: &Value) -> Result<Self, DeError>;
+}
+
+/// Looks up a struct field in an object value: missing keys yield
+/// [`Value::Null`] (so `Option` fields default to `None`). Used by the
+/// `#[derive(Deserialize)]` expansion.
+pub fn field<'v>(value: &'v Value, key: &str) -> Result<&'v Value, DeError> {
+    value
+        .get(key)
+        .ok_or_else(|| DeError::expected("object", value))
+}
+
+macro_rules! impl_deserialize_uint {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, DeError> {
+                let raw: u64 = match value {
+                    Value::UInt(x) => *x,
+                    Value::Int(x) if *x >= 0 => *x as u64,
+                    other => return Err(DeError::expected("unsigned integer", other)),
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| DeError(format!("{raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_deserialize_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, DeError> {
+                let raw: i64 = match value {
+                    Value::Int(x) => *x,
+                    Value::UInt(x) if *x <= i64::MAX as u64 => *x as i64,
+                    other => return Err(DeError::expected("integer", other)),
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| DeError(format!("{raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_deserialize_uint!(u8, u16, u32, u64, usize);
+impl_deserialize_int!(i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Float(x) => Ok(*x),
+            Value::Int(x) => Ok(*x as f64),
+            Value::UInt(x) => Ok(*x as f64),
+            other => Err(DeError::expected("number", other)),
+        }
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other)),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Array(items) => items.iter().map(T::deserialize).collect(),
+            other => Err(DeError::expected("array", other)),
+        }
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -208,5 +396,58 @@ mod tests {
                 ("value".to_string(), Value::Float(0.5)),
             ])
         );
+    }
+
+    #[test]
+    fn primitives_deserialize_back() {
+        assert_eq!(usize::deserialize(&Value::UInt(5)), Ok(5));
+        assert_eq!(u64::deserialize(&Value::Int(9)), Ok(9));
+        assert_eq!(i32::deserialize(&Value::Int(-3)), Ok(-3));
+        assert_eq!(f64::deserialize(&Value::Float(1.5)), Ok(1.5));
+        assert_eq!(f64::deserialize(&Value::Int(2)), Ok(2.0));
+        assert_eq!(bool::deserialize(&Value::Bool(true)), Ok(true));
+        assert_eq!(String::deserialize(&Value::Str("x".into())), Ok("x".into()));
+        assert!(u8::deserialize(&Value::UInt(300)).is_err());
+        assert!(usize::deserialize(&Value::Str("5".into())).is_err());
+    }
+
+    #[test]
+    fn options_map_null_to_none() {
+        assert_eq!(Option::<u32>::deserialize(&Value::Null), Ok(None));
+        assert_eq!(Option::<u32>::deserialize(&Value::UInt(4)), Ok(Some(4)));
+    }
+
+    #[test]
+    fn vectors_deserialize_elementwise() {
+        let v = Value::Array(vec![Value::UInt(1), Value::UInt(2)]);
+        assert_eq!(Vec::<u32>::deserialize(&v), Ok(vec![1, 2]));
+        assert!(Vec::<u32>::deserialize(&Value::UInt(1)).is_err());
+    }
+
+    #[test]
+    fn missing_object_key_reads_as_null() {
+        let obj = Value::Object(vec![("a".into(), Value::UInt(1))]);
+        assert_eq!(obj.get("a"), Some(&Value::UInt(1)));
+        assert_eq!(obj.get("b"), Some(&Value::Null));
+        assert_eq!(Value::UInt(1).get("a"), None);
+    }
+
+    #[test]
+    fn derive_deserialize_round_trips_struct() {
+        #[derive(Serialize, Deserialize, Debug, PartialEq)]
+        struct Rec {
+            n: usize,
+            label: Option<String>,
+        }
+        let rec = Rec {
+            n: 3,
+            label: Some("hi".into()),
+        };
+        assert_eq!(Rec::deserialize(&rec.serialize()), Ok(rec));
+        // Missing optional key -> None; missing required key -> error.
+        let partial = Value::Object(vec![("n".into(), Value::UInt(1))]);
+        assert_eq!(Rec::deserialize(&partial), Ok(Rec { n: 1, label: None }));
+        let empty = Value::Object(vec![]);
+        assert!(Rec::deserialize(&empty).is_err());
     }
 }

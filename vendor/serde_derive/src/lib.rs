@@ -1,41 +1,22 @@
 //! Offline vendored stub of `serde_derive`.
 //!
-//! Implements `#[derive(Serialize)]` for non-generic structs with named
-//! fields — the only shape this workspace derives — by walking the raw
-//! `proc_macro` token stream directly (the real `syn`/`quote` stack is not
-//! available offline). The generated impl lowers the struct into
-//! `serde::Value::Object` with fields in declaration order.
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for
+//! non-generic structs with named fields — the only shape this workspace
+//! derives — by walking the raw `proc_macro` token stream directly (the
+//! real `syn`/`quote` stack is not available offline). `Serialize` lowers
+//! the struct into `serde::Value::Object` with fields in declaration order;
+//! `Deserialize` rebuilds it field by field, reading missing keys as
+//! `Value::Null` so `Option` fields treat absence as `None`.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// Derives `serde::Serialize` for a struct with named fields.
 #[proc_macro_derive(Serialize)]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
-    let tokens: Vec<TokenTree> = input.into_iter().collect();
-    let mut i = 0;
-
-    // Skip outer attributes (`#[...]`, including doc comments) and
-    // visibility, then expect `struct Name`.
-    skip_attributes_and_vis(&tokens, &mut i);
-    match tokens.get(i) {
-        Some(TokenTree::Ident(kw)) if kw.to_string() == "struct" => i += 1,
-        other => panic!("#[derive(Serialize)] stub supports only structs, got {other:?}"),
-    }
-    let name = match tokens.get(i) {
-        Some(TokenTree::Ident(name)) => name.to_string(),
-        other => panic!("expected struct name, got {other:?}"),
-    };
-    i += 1;
-    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
-        panic!("#[derive(Serialize)] stub does not support generic structs ({name})");
-    }
-    let body = match tokens.get(i) {
-        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
-        other => panic!("#[derive(Serialize)] stub requires named fields on {name}, got {other:?}"),
-    };
+    let (name, fields) = parse_named_struct(input, "Serialize");
 
     let mut entries = String::new();
-    for field in field_names(body) {
+    for field in &fields {
         entries.push_str(&format!(
             "({field:?}.to_string(), serde::Serialize::serialize(&self.{field})),"
         ));
@@ -50,6 +31,58 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     )
     .parse()
     .expect("generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize` for a struct with named fields.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, fields) = parse_named_struct(input, "Deserialize");
+
+    let mut entries = String::new();
+    for field in &fields {
+        entries.push_str(&format!(
+            "{field}: serde::Deserialize::deserialize(serde::field(value, {field:?})?)\
+                 .map_err(|e| e.in_field({field:?}))?,"
+        ));
+    }
+
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+             fn deserialize(value: &serde::Value) -> Result<Self, serde::DeError> {{\n\
+                 Ok(Self {{ {entries} }})\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl must parse")
+}
+
+/// Parses `input` as a non-generic named-field struct, returning its name
+/// and field names in declaration order.
+fn parse_named_struct(input: TokenStream, derive: &str) -> (String, Vec<String>) {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (`#[...]`, including doc comments) and
+    // visibility, then expect `struct Name`.
+    skip_attributes_and_vis(&tokens, &mut i);
+    match tokens.get(i) {
+        Some(TokenTree::Ident(kw)) if kw.to_string() == "struct" => i += 1,
+        other => panic!("#[derive({derive})] stub supports only structs, got {other:?}"),
+    }
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(name)) => name.to_string(),
+        other => panic!("expected struct name, got {other:?}"),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("#[derive({derive})] stub does not support generic structs ({name})");
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!("#[derive({derive})] stub requires named fields on {name}, got {other:?}"),
+    };
+    (name, field_names(body))
 }
 
 /// Advances `i` past any `#[...]` attributes and a `pub` / `pub(...)`

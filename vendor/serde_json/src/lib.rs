@@ -3,28 +3,39 @@
 //! Renders the `serde` stub's [`Value`] model as JSON text, matching the
 //! real `serde_json` output conventions the workspace relies on: two-space
 //! pretty indentation, `"key": value` separators, and floats always carrying
-//! a decimal point (`2.0`, not `2`).
+//! a decimal point (`2.0`, not `2`) — and parses JSON text back into the
+//! [`Value`] model ([`from_str`]) for `serde::Deserialize` round trips.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt;
 
-use serde::{Serialize, Value};
+use serde::{Deserialize, Serialize, Value};
 
-/// Serialization error. The stub's value model is always renderable, so this
-/// is never produced; it exists so call sites can keep `Result` handling
-/// compatible with the real `serde_json`.
+/// Serialization or parse error.
 #[derive(Debug)]
-pub struct Error(());
+pub struct Error(String);
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str("JSON serialization error")
+        write!(f, "JSON error: {}", self.0)
     }
 }
 
 impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error(e.0)
+    }
+}
 
 /// Serializes `value` as compact JSON.
 pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
@@ -38,6 +49,202 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Erro
     let mut out = String::new();
     write_value(&mut out, &value.serialize(), Some(2), 0);
     Ok(out)
+}
+
+/// Parses JSON text into a `T` via the [`Value`] model (the stub's analogue
+/// of `serde_json::from_str`). Integral numbers parse as `UInt` when
+/// non-negative and `Int` otherwise; numbers with a fraction or exponent
+/// parse as `Float`.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse_value_str(s)?;
+    Ok(T::deserialize(&value)?)
+}
+
+/// Parses JSON text into a raw [`Value`] tree.
+pub fn parse_value_str(s: &str) -> Result<Value, Error> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error::new(format!("trailing input at byte {pos}")));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), Error> {
+    if bytes.get(*pos) == Some(&b) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(Error::new(format!(
+            "expected '{}' at byte {}",
+            b as char, *pos
+        )))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(Error::new("unexpected end of input")),
+        Some(b'n') => parse_literal(bytes, pos, "null", Value::Null),
+        Some(b't') => parse_literal(bytes, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Value::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Value::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(Error::new(format!("expected ',' or ']' at byte {}", *pos))),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut entries = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Object(entries));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, b':')?;
+                let value = parse_value(bytes, pos)?;
+                entries.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Object(entries));
+                    }
+                    _ => return Err(Error::new(format!("expected ',' or '}}' at byte {}", *pos))),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &str, value: Value) -> Result<Value, Error> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(Error::new(format!("invalid literal at byte {}", *pos)))
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, Error> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(Error::new("unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| Error::new("truncated \\u escape"))?;
+                        let hex = std::str::from_utf8(hex)
+                            .map_err(|_| Error::new("invalid \\u escape"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| Error::new("invalid \\u escape"))?;
+                        // Surrogates are not paired; the workspace only emits
+                        // BMP control escapes, which this covers.
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| Error::new("invalid \\u code point"))?,
+                        );
+                        *pos += 4;
+                    }
+                    _ => return Err(Error::new(format!("invalid escape at byte {}", *pos))),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 character (multi-byte safe).
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| Error::new("invalid UTF-8 in string"))?;
+                let c = rest.chars().next().expect("non-empty");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ASCII number");
+    if text.is_empty() || text == "-" {
+        return Err(Error::new(format!("invalid number at byte {start}")));
+    }
+    if !is_float {
+        if let Some(stripped) = text.strip_prefix('-') {
+            if let Ok(x) = stripped.parse::<u64>() {
+                if x <= i64::MAX as u64 {
+                    return Ok(Value::Int(-(x as i64)));
+                }
+            }
+        } else if let Ok(x) = text.parse::<u64>() {
+            return Ok(Value::UInt(x));
+        }
+    }
+    text.parse::<f64>()
+        .map(Value::Float)
+        .map_err(|_| Error::new(format!("invalid number '{text}'")))
 }
 
 fn write_value(out: &mut String, value: &Value, indent: Option<usize>, depth: usize) {
@@ -178,5 +385,72 @@ mod tests {
     fn empty_containers_stay_inline() {
         assert_eq!(to_string_pretty(&Value::Array(vec![])).unwrap(), "[]");
         assert_eq!(to_string_pretty(&Value::Object(vec![])).unwrap(), "{}");
+    }
+
+    #[test]
+    fn parse_round_trips_rendered_values() {
+        let v = Value::Object(vec![
+            ("n".to_string(), Value::UInt(5)),
+            ("delta".to_string(), Value::Int(-3)),
+            ("rate".to_string(), Value::Float(0.75)),
+            ("label".to_string(), Value::Str("a\"b\n".to_string())),
+            ("flag".to_string(), Value::Bool(true)),
+            ("gap".to_string(), Value::Null),
+            (
+                "xs".to_string(),
+                Value::Array(vec![Value::UInt(1), Value::Float(2.0)]),
+            ),
+        ]);
+        for rendered in [to_string(&v).unwrap(), to_string_pretty(&v).unwrap()] {
+            assert_eq!(parse_value_str(&rendered).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in ["", "{", "[1,", "{\"a\" 1}", "nul", "1 2", "--3", "\"x"] {
+            assert!(parse_value_str(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parse_handles_whitespace_and_nesting() {
+        let v = parse_value_str(" { \"a\" : [ 1 , { \"b\" : null } ] } ").unwrap();
+        assert_eq!(
+            v,
+            Value::Object(vec![(
+                "a".to_string(),
+                Value::Array(vec![
+                    Value::UInt(1),
+                    Value::Object(vec![("b".to_string(), Value::Null)]),
+                ]),
+            )])
+        );
+    }
+
+    #[test]
+    fn parse_unicode_escapes_and_multibyte() {
+        assert_eq!(
+            parse_value_str("\"\\u0041é\"").unwrap(),
+            Value::Str("Aé".to_string())
+        );
+    }
+
+    #[test]
+    fn from_str_drives_deserialize() {
+        let xs: Vec<u32> = from_str("[1, 2, 3]").unwrap();
+        assert_eq!(xs, vec![1, 2, 3]);
+        assert!(from_str::<Vec<u32>>("[1, -2]").is_err());
+    }
+
+    #[test]
+    fn numbers_classify_by_shape() {
+        assert_eq!(
+            parse_value_str("18446744073709551615").unwrap(),
+            Value::UInt(u64::MAX)
+        );
+        assert_eq!(parse_value_str("-7").unwrap(), Value::Int(-7));
+        assert_eq!(parse_value_str("1e3").unwrap(), Value::Float(1000.0));
+        assert_eq!(parse_value_str("2.5").unwrap(), Value::Float(2.5));
     }
 }
