@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # CI gate: formatting, lints, docs, release build, full test suite, bench
-# compile smoke, examples, experiment smoke, and the perf gate.
+# compile smoke, examples, spec validation (scenario + ensemble), the
+# ensemble thread-count determinism diff, the theory-conformance suite
+# (budgeted, at two thread counts), experiment smoke, and the perf gate.
 # Run from the repository root. Mirrors the tier-1 verify
 # (`cargo build --release && cargo test -q`) plus conformance checks.
 # Fully offline: all external dependencies are vendored under `vendor/`.
@@ -31,14 +33,40 @@ for example in quickstart process_zoo topology_tour adversarial_recovery token_s
     cargo run -q --release --example "${example}" >/dev/null
 done
 
-echo "==> committed scenario specs validate and run (rbb sim --spec --quick)"
+echo "==> committed specs validate and run (rbb sim / rbb ensemble, --quick)"
 for spec in specs/*.json; do
-    echo "--> rbb sim --spec ${spec} --quick"
-    cargo run -q --release --bin rbb -- sim --spec "${spec}" --quick >/dev/null
+    case "$(basename "${spec}")" in
+        ensemble-*) subcommand=ensemble ;;
+        *)          subcommand=sim ;;
+    esac
+    echo "--> rbb ${subcommand} --spec ${spec} --quick"
+    cargo run -q --release --bin rbb -- "${subcommand}" --spec "${spec}" --quick >/dev/null
 done
 
-echo "==> rbb-exp --quick smoke (spec-migrated set + e24)"
-cargo run -q --release --bin rbb-exp -- --quick --no-write e01 e05 e09 e13 e14 e16 e24 >/dev/null
+echo "==> ensemble determinism gate: byte-identical reports at 1 vs 4 threads"
+RAYON_NUM_THREADS=1 cargo run -q --release --bin rbb -- ensemble \
+    --spec specs/ensemble-stability.json > target/ensemble-t1.json
+RAYON_NUM_THREADS=4 cargo run -q --release --bin rbb -- ensemble \
+    --spec specs/ensemble-stability.json > target/ensemble-t4.json
+if ! diff -q target/ensemble-t1.json target/ensemble-t4.json >/dev/null; then
+    echo "ERROR: ensemble report differs between RAYON_NUM_THREADS=1 and =4" >&2
+    diff target/ensemble-t1.json target/ensemble-t4.json >&2 || true
+    exit 1
+fi
+
+echo "==> theory-conformance suite (named group, wall-clock budget 300s)"
+conformance_started=${SECONDS}
+RAYON_NUM_THREADS=1 cargo test -q -p rbb --test conformance_theory --test thread_invariance
+RAYON_NUM_THREADS=4 cargo test -q -p rbb --test conformance_theory --test thread_invariance
+conformance_elapsed=$((SECONDS - conformance_started))
+echo "    conformance suite took ${conformance_elapsed}s"
+if [ "${conformance_elapsed}" -gt 300 ]; then
+    echo "ERROR: conformance suite exceeded its 300s wall-clock budget" >&2
+    exit 1
+fi
+
+echo "==> rbb-exp --quick smoke (spec/ensemble-migrated set + e24)"
+cargo run -q --release --bin rbb-exp -- --quick --no-write e01 e05 e09 e12 e13 e14 e16 e24 >/dev/null
 
 echo "==> rbb-exp rejects unknown experiment ids"
 if cargo run -q --release --bin rbb-exp -- --quick --no-write e01 e99 >/dev/null 2>&1; then

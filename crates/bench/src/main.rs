@@ -24,7 +24,7 @@ use rbb_core::rng::Xoshiro256pp;
 use rbb_core::strategy::QueueStrategy;
 use rbb_core::tetris::Tetris;
 use rbb_graphs::{complete, ring, RandomWalk};
-use rbb_sim::{sweep_par_seeded, ScenarioSpec, SeedTree};
+use rbb_sim::{sweep_par_seeded, EnsembleSpec, MetricKind, MetricSpec, ScenarioSpec, SeedTree};
 use rbb_traversal::Traversal;
 
 /// Sizes and iteration counts for one run profile.
@@ -47,6 +47,10 @@ struct Profile {
     sched_trials: usize,
     sched_n: usize,
     sched_rounds: u64,
+    /// Ensemble target: `ens_reps` seeds of `ens_rounds` rounds at `ens_n`.
+    ens_n: usize,
+    ens_reps: usize,
+    ens_rounds: u64,
     warmup: usize,
     reps: usize,
 }
@@ -64,6 +68,9 @@ const FULL: Profile = Profile {
     sched_trials: 8,
     sched_n: 256,
     sched_rounds: 400,
+    ens_n: 512,
+    ens_reps: 32,
+    ens_rounds: 500,
     warmup: 3,
     reps: 15,
 };
@@ -81,6 +88,9 @@ const QUICK: Profile = Profile {
     sched_trials: 4,
     sched_n: 128,
     sched_rounds: 100,
+    ens_n: 128,
+    ens_reps: 8,
+    ens_rounds: 100,
     warmup: 1,
     reps: 5,
 };
@@ -111,6 +121,7 @@ fn registry(p: &Profile, seed: u64) -> Vec<Bench> {
     let (walk_n, walk_steps) = (p.walk_n, p.walk_steps);
     let (sched_params, sched_trials, sched_n, sched_rounds) =
         (p.sched_params, p.sched_trials, p.sched_n, p.sched_rounds);
+    let (ens_n, ens_reps, ens_rounds) = (p.ens_n, p.ens_reps, p.ens_rounds);
 
     let ball_fixture = move |seed: u64| {
         BallProcess::new(
@@ -295,6 +306,33 @@ fn registry(p: &Profile, seed: u64) -> Vec<Bench> {
                         },
                     );
                     std::hint::black_box(out);
+                })
+            }),
+        ),
+        mk(
+            // The full ensemble pipeline: parallel seed fan-out + streaming
+            // accumulator fold + report construction. Measures trials/s of
+            // the `rbb ensemble` hot path end to end.
+            Spec::new(
+                "ensemble/run",
+                "ensemble",
+                ens_n as u64,
+                ens_reps as u64,
+                "trials",
+            ),
+            Box::new(move || {
+                let scenario = ScenarioSpec::builder(ens_n)
+                    .name("bench-ensemble")
+                    .horizon_rounds(ens_rounds)
+                    .build();
+                let bound = 4.0 * (ens_n as f64).ln();
+                let spec = EnsembleSpec::new(scenario, seed, ens_reps).with_metrics(vec![
+                    MetricSpec::with_thresholds(MetricKind::WindowMaxLoad, vec![bound]),
+                    MetricSpec::plain(MetricKind::MeanRoundMax),
+                ]);
+                Box::new(move || {
+                    let report = spec.run().expect("valid ensemble");
+                    std::hint::black_box(report);
                 })
             }),
         ),

@@ -16,7 +16,7 @@ use rbb_graphs::{
     complete_with_loops, diameter, hypercube, random_regular, ring, spectral_gap, star, torus,
     Graph, GraphLoadProcess,
 };
-use rbb_sim::{fmt_f64, HorizonSpec, ScenarioSpec, StopSpec};
+use rbb_sim::{fmt_f64, EnsembleSpec, HorizonSpec, ScenarioSpec, StopSpec};
 use rbb_traversal::{faulty_cover_time, single_token_cover_time, ProgressReport, Traversal};
 
 use crate::args::{Args, ParseError};
@@ -162,6 +162,47 @@ pub fn sim(args: &Args) -> Result<(), ParseError> {
     if let Some(p) = scenario.engine().min_progress() {
         println!("  min token progress   : {p}");
     }
+    Ok(())
+}
+
+/// `rbb ensemble` — run a declarative [`EnsembleSpec`] and print its JSON
+/// report. The report is a pure function of the spec (and the flags), so
+/// two invocations — at any `RAYON_NUM_THREADS` — print byte-identical
+/// output; CI diffs them.
+pub fn ensemble(args: &Args) -> Result<(), ParseError> {
+    let path = args
+        .get("spec")
+        .ok_or_else(|| ParseError("ensemble requires --spec <file.json>".into()))?
+        .to_string();
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| ParseError(format!("cannot read {path}: {e}")))?;
+    let mut spec: EnsembleSpec =
+        serde_json::from_str(&text).map_err(|e| ParseError(format!("{path}: {e}")))?;
+    if let Some(seeds) = args.get("seeds") {
+        spec.replications = seeds
+            .parse()
+            .map_err(|_| ParseError(format!("--seeds: cannot parse '{seeds}'")))?;
+    }
+    if let Some(master) = args.get("master-seed") {
+        spec.master_seed = master
+            .parse()
+            .map_err(|_| ParseError(format!("--master-seed: cannot parse '{master}'")))?;
+    }
+    if args.switch("quick") {
+        // Smoke mode mirrors `rbb sim --quick`: cap the *horizon* (so CI can
+        // validate committed ensembles cheaply) but keep the replication
+        // count — the determinism gate wants the full seed set.
+        const QUICK_CAP: u64 = 2_000;
+        let scenario = spec
+            .scenario
+            .scenario()
+            .map_err(|e| ParseError(format!("{path}: {e}")))?;
+        if scenario.horizon() > QUICK_CAP {
+            spec.scenario.horizon = HorizonSpec::Rounds { rounds: QUICK_CAP };
+        }
+    }
+    let report = spec.run().map_err(|e| ParseError(format!("{path}: {e}")))?;
+    println!("{}", report.to_json());
     Ok(())
 }
 

@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! rbb sim      --spec <file.json> [--seed S] [--quick]
+//! rbb ensemble --spec <file.json> [--seeds N] [--master-seed S] [--quick]
 //! rbb simulate [--n 1024] [--rounds R] [--start one-per-bin|all-in-one|random|geometric]
 //!              [--strategy fifo|lifo|random] [--seed S]
 //! rbb traverse [--n 512] [--gamma 6] [--adversary all-in-one|random|follow-the-leader]
@@ -17,9 +18,11 @@ use args::Args;
 
 fn usage() {
     eprintln!(
-        "usage: rbb <sim|simulate|traverse|topology|exact> [--key value]...\n\
+        "usage: rbb <sim|ensemble|simulate|traverse|topology|exact> [--key value]...\n\
          \n\
          sim        run a declarative scenario: --spec <file.json> [--seed S] [--quick]\n\
+         ensemble   run a many-seed ensemble and print its JSON report:\n\
+         \u{20}          --spec <file.json> [--seeds N] [--master-seed S] [--quick]\n\
          simulate   run the paper's process and summarize load/legitimacy\n\
          traverse   multi-token traversal cover time (optional --gamma faults)\n\
          topology   constrained walks on a graph, with diameter/spectral gap\n\
@@ -41,6 +44,7 @@ fn main() {
     };
     let result = match args.command() {
         Some("sim") => commands::sim(&args),
+        Some("ensemble") => commands::ensemble(&args),
         Some("simulate") => commands::simulate(&args),
         Some("traverse") => commands::traverse(&args),
         Some("topology") => commands::topology(&args),

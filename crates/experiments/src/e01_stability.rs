@@ -3,13 +3,18 @@
 //! Starting from a legitimate configuration (one ball per bin), the maximum
 //! load over a polynomially long window stays `O(log n)` w.h.p. We measure
 //! `max_{t ≤ T} M(t)` over `T = min(n², 200·n)` rounds across trials, report
-//! the normalized ratio to `ln n`, and fit `window max = a + b·ln n` — the
-//! paper predicts a good log fit with constant `b` (and `O(√t)`-free shape).
+//! the normalized ratio to `ln n`, the empirical violation probability with
+//! its Wilson upper bound (the w.h.p. claim, machine-checked), and fit
+//! `window max = a + b·ln n` — the paper predicts a good log fit with
+//! constant `b` (and `O(√t)`-free shape).
+//!
+//! Each size runs as a declarative [`EnsembleSpec`] whose `master_seed` is
+//! this experiment's scoped seed-tree master, so the migration onto the
+//! ensemble API reproduces the published trajectories bit for bit.
 
 use rbb_core::config::LegitimacyThreshold;
-use rbb_core::metrics::ObserverStack;
-use rbb_sim::{fmt_f64, sweep_par_seeded, ScenarioSpec, Table};
-use rbb_stats::{log_fit, Summary};
+use rbb_sim::{fmt_f64, EnsembleSpec, MetricKind, MetricSpec, ScenarioSpec, Table};
+use rbb_stats::log_fit;
 
 use crate::common::{header, ExpContext};
 
@@ -32,6 +37,10 @@ pub struct E01Row {
     pub legitimacy_bound: u32,
     /// Trials whose window max exceeded the bound (should be 0).
     pub violations: usize,
+    /// Empirical `P(window max > bound)` — the tail the w.h.p. claim bounds.
+    pub p_violation: f64,
+    /// Wilson 95% upper bound on that tail probability.
+    pub p_violation_hi: f64,
 }
 
 /// The measured window: `min(200·n, n²)` rounds.
@@ -48,38 +57,47 @@ pub fn spec_for(n: usize) -> ScenarioSpec {
         .build()
 }
 
-/// Computes the stability table. The whole (n × trial) grid runs as one
-/// parallel fan-out ([`sweep_par_seeded`]) of spec-built scenarios on the
-/// batched engine hot path; the spec migration preserves the published
-/// numbers bit for bit (same seeds, same trajectories).
+/// The declarative ensemble behind one E01 row: `trials` seeds of
+/// [`spec_for`], with the stability-violation tail (`window max > 4 ln n`,
+/// i.e. `>= bound + 1`) as the reported threshold.
+pub fn ensemble_for(ctx: &ExpContext, n: usize, trials: usize) -> EnsembleSpec {
+    let bound = LegitimacyThreshold::default().bound(n);
+    EnsembleSpec::new(
+        spec_for(n),
+        ctx.seeds.scope(&format!("n{n}")).master(),
+        trials,
+    )
+    .with_metrics(vec![MetricSpec::with_thresholds(
+        MetricKind::WindowMaxLoad,
+        vec![bound as f64 + 1.0],
+    )])
+}
+
+/// Computes the stability table: one streaming ensemble per size. Seeds
+/// derive exactly as the pre-ensemble (sweep-based) implementation derived
+/// them, so the published numbers are preserved bit for bit.
 pub fn compute(ctx: &ExpContext, sizes: &[usize], trials: usize) -> Vec<E01Row> {
     let thr = LegitimacyThreshold::default();
-    let grid = sweep_par_seeded(
-        ctx.seeds,
-        sizes,
-        trials,
-        |n| format!("n{n}"),
-        |&n, _i, seed| {
-            let mut scenario = spec_for(n).scenario_seeded(seed).expect("valid spec");
-            let mut stack = ObserverStack::new().with_max_load();
-            scenario.run_observed(&mut stack);
-            stack.max_load.expect("enabled").window_max()
-        },
-    );
-    grid.into_iter()
-        .map(|(n, maxes)| {
-            let window = window_for(n);
+    sizes
+        .iter()
+        .map(|&n| {
+            let report = ensemble_for(ctx, n, trials).run().expect("valid ensemble");
+            let wml = report
+                .metric(MetricKind::WindowMaxLoad)
+                .expect("requested metric");
             let bound = thr.bound(n);
-            let s = Summary::from_iter(maxes.iter().map(|&m| m as f64));
+            let tail = wml.tail_at(bound as f64 + 1.0).expect("requested tail");
             E01Row {
                 n,
-                window,
+                window: window_for(n),
                 trials,
-                mean_window_max: s.mean(),
-                worst_window_max: s.max() as u32,
-                ratio_to_ln_n: s.mean() / (n as f64).ln(),
+                mean_window_max: wml.mean,
+                worst_window_max: wml.max as u32,
+                ratio_to_ln_n: wml.mean / (n as f64).ln(),
                 legitimacy_bound: bound,
-                violations: maxes.iter().filter(|&&m| m > bound).count(),
+                violations: tail.exceed_count as usize,
+                p_violation: tail.probability,
+                p_violation_hi: tail.wilson.hi,
             }
         })
         .collect()
@@ -105,6 +123,8 @@ pub fn run(ctx: &ExpContext) {
         "mean/ln n",
         "4 ln n bound",
         "violations",
+        "P(viol)",
+        "wilson hi",
     ]);
     for r in &rows {
         table.row([
@@ -116,6 +136,8 @@ pub fn run(ctx: &ExpContext) {
             fmt_f64(r.ratio_to_ln_n, 3),
             r.legitimacy_bound.to_string(),
             r.violations.to_string(),
+            fmt_f64(r.p_violation, 3),
+            fmt_f64(r.p_violation_hi, 3),
         ]);
     }
     print!("{}", table.render());
@@ -147,6 +169,8 @@ pub fn run(ctx: &ExpContext) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rbb_core::metrics::ObserverStack;
+    use rbb_sim::sweep_par_seeded;
 
     #[test]
     fn quick_compute_is_stable() {
@@ -155,6 +179,8 @@ mod tests {
         assert_eq!(rows.len(), 2);
         for r in &rows {
             assert_eq!(r.violations, 0, "stability violated at n={}", r.n);
+            assert_eq!(r.p_violation, 0.0);
+            assert!(r.p_violation_hi < 1.0, "Wilson bound is informative");
             assert!(r.mean_window_max >= 1.0);
             assert!(r.ratio_to_ln_n < 4.0, "ratio {}", r.ratio_to_ln_n);
         }
@@ -173,5 +199,35 @@ mod tests {
         let a = compute(&ctx, &[64], 2);
         let b = compute(&ctx, &[64], 2);
         assert_eq!(a[0].mean_window_max, b[0].mean_window_max);
+    }
+
+    /// The migration contract: the ensemble reproduces the historical
+    /// sweep-based trial results bit for bit (same seeds, same engine).
+    #[test]
+    fn ensemble_matches_historical_sweep() {
+        let ctx = ExpContext::for_tests("e01");
+        let sizes = [64usize, 128];
+        let trials = 3;
+        let rows = compute(&ctx, &sizes, trials);
+
+        let grid = sweep_par_seeded(
+            ctx.seeds,
+            &sizes,
+            trials,
+            |n| format!("n{n}"),
+            |&n, _i, seed| {
+                let mut scenario = spec_for(n).scenario_seeded(seed).expect("valid spec");
+                let mut stack = ObserverStack::new().with_max_load();
+                scenario.run_observed(&mut stack);
+                stack.max_load.expect("enabled").window_max()
+            },
+        );
+        for (row, (n, maxes)) in rows.iter().zip(grid) {
+            assert_eq!(row.n, n);
+            // Same Welford fold in the same trial order: exactly equal.
+            let s = rbb_stats::Summary::from_iter(maxes.iter().map(|&m| m as f64));
+            assert_eq!(row.mean_window_max, s.mean(), "n = {n}");
+            assert_eq!(row.worst_window_max, *maxes.iter().max().unwrap());
+        }
     }
 }

@@ -3,11 +3,16 @@
 //! Re-assigning each ball to the least loaded of `d` uniformly chosen bins
 //! (`d = 1` is exactly the paper's process). The power-of-two-choices effect
 //! collapses the max load; we sweep `n` for `d ∈ {1, 2, 3}` and report
-//! window max loads side by side.
+//! window max loads side by side, plus the empirical probability of ever
+//! exceeding the `4 ln n` legitimacy bound with its Wilson upper bound —
+//! zero for every `d` at these sizes, and collapsing margins for `d ≥ 2`.
+//!
+//! Each `(d, n)` cell runs as a declarative [`EnsembleSpec`] whose
+//! `master_seed` is the cell's scoped seed-tree master, preserving the
+//! pre-ensemble trial seeds bit for bit.
 
-use rbb_core::metrics::ObserverStack;
-use rbb_sim::{fmt_f64, sweep_par_seeded, ArrivalSpec, ScenarioSpec, Table};
-use rbb_stats::Summary;
+use rbb_core::config::LegitimacyThreshold;
+use rbb_sim::{fmt_f64, ArrivalSpec, EnsembleSpec, MetricKind, MetricSpec, ScenarioSpec, Table};
 
 use crate::common::{header, ExpContext};
 
@@ -24,6 +29,10 @@ pub struct E14Row {
     pub ratio_to_ln_n: f64,
     /// `mean / ln ln n` (d ≥ 2 reference scale).
     pub ratio_to_ln_ln_n: f64,
+    /// Empirical `P(window max >= 4 ln n bound)`.
+    pub p_exceed_bound: f64,
+    /// Wilson 95% upper bound on that tail probability.
+    pub p_exceed_hi: f64,
 }
 
 /// The declarative scenario behind one E14 cell: `d`-choice re-assignment
@@ -36,39 +45,46 @@ pub fn spec_for(n: usize, d: usize) -> ScenarioSpec {
         .build()
 }
 
-/// Computes the d-choice table: the double loop over `(d, n)` flattens into
-/// one parallel (parameter × trial) grid of spec-built scenarios with the
-/// seeds derived as before.
-pub fn compute(ctx: &ExpContext, sizes: &[usize], ds: &[usize], trials: usize) -> Vec<E14Row> {
-    let params: Vec<(usize, usize)> = ds
-        .iter()
-        .flat_map(|&d| sizes.iter().map(move |&n| (d, n)))
-        .collect();
-    sweep_par_seeded(
-        ctx.seeds,
-        &params,
+/// The declarative ensemble behind one E14 cell.
+pub fn ensemble_for(ctx: &ExpContext, n: usize, d: usize, trials: usize) -> EnsembleSpec {
+    let bound = LegitimacyThreshold::default().bound(n);
+    EnsembleSpec::new(
+        spec_for(n, d),
+        ctx.seeds.scope(&format!("d{d}-n{n}")).master(),
         trials,
-        |&(d, n)| format!("d{d}-n{n}"),
-        |&(d, n), _i, seed| {
-            let mut scenario = spec_for(n, d).scenario_seeded(seed).expect("valid spec");
-            let mut stack = ObserverStack::new().with_max_load();
-            scenario.run_observed(&mut stack);
-            stack.max_load.expect("enabled").window_max()
-        },
     )
-    .into_iter()
-    .map(|((d, n), maxes)| {
-        let s = Summary::from_iter(maxes.iter().map(|&x| x as f64));
-        let nf = n as f64;
-        E14Row {
-            n,
-            d,
-            mean_window_max: s.mean(),
-            ratio_to_ln_n: s.mean() / nf.ln(),
-            ratio_to_ln_ln_n: s.mean() / nf.ln().ln(),
-        }
-    })
-    .collect()
+    .with_metrics(vec![MetricSpec::with_thresholds(
+        MetricKind::WindowMaxLoad,
+        vec![bound as f64],
+    )])
+}
+
+/// Computes the d-choice table: one streaming ensemble per `(d, n)` cell,
+/// with the seeds derived as before the ensemble migration.
+pub fn compute(ctx: &ExpContext, sizes: &[usize], ds: &[usize], trials: usize) -> Vec<E14Row> {
+    let thr = LegitimacyThreshold::default();
+    ds.iter()
+        .flat_map(|&d| sizes.iter().map(move |&n| (d, n)))
+        .map(|(d, n)| {
+            let report = ensemble_for(ctx, n, d, trials)
+                .run()
+                .expect("valid ensemble");
+            let wml = report
+                .metric(MetricKind::WindowMaxLoad)
+                .expect("requested metric");
+            let tail = wml.tail_at(thr.bound(n) as f64).expect("requested tail");
+            let nf = n as f64;
+            E14Row {
+                n,
+                d,
+                mean_window_max: wml.mean,
+                ratio_to_ln_n: wml.mean / nf.ln(),
+                ratio_to_ln_ln_n: wml.mean / nf.ln().ln(),
+                p_exceed_bound: tail.probability,
+                p_exceed_hi: tail.wilson.hi,
+            }
+        })
+        .collect()
 }
 
 /// Runs and prints E14.
@@ -83,7 +99,15 @@ pub fn run(ctx: &ExpContext) {
     let trials = ctx.pick(10, 3);
     let rows = compute(ctx, &sizes, &ds, trials);
 
-    let mut table = Table::new(["d", "n", "mean window max", "mean/ln n", "mean/ln ln n"]);
+    let mut table = Table::new([
+        "d",
+        "n",
+        "mean window max",
+        "mean/ln n",
+        "mean/ln ln n",
+        "P(≥ 4 ln n)",
+        "wilson hi",
+    ]);
     for r in &rows {
         table.row([
             r.d.to_string(),
@@ -91,6 +115,8 @@ pub fn run(ctx: &ExpContext) {
             fmt_f64(r.mean_window_max, 2),
             fmt_f64(r.ratio_to_ln_n, 3),
             fmt_f64(r.ratio_to_ln_ln_n, 2),
+            fmt_f64(r.p_exceed_bound, 3),
+            fmt_f64(r.p_exceed_hi, 3),
         ]);
     }
     print!("{}", table.render());
@@ -104,6 +130,8 @@ pub fn run(ctx: &ExpContext) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rbb_core::metrics::ObserverStack;
+    use rbb_sim::sweep_par_seeded;
 
     #[test]
     fn d2_below_d1_at_same_n() {
@@ -112,6 +140,7 @@ mod tests {
         let d1 = rows.iter().find(|r| r.d == 1).unwrap();
         let d2 = rows.iter().find(|r| r.d == 2).unwrap();
         assert!(d2.mean_window_max < d1.mean_window_max);
+        assert_eq!(d2.p_exceed_bound, 0.0);
     }
 
     #[test]
@@ -119,5 +148,37 @@ mod tests {
         let ctx = ExpContext::for_tests("e14");
         let rows = compute(&ctx, &[256], &[1], 3);
         assert!(rows[0].ratio_to_ln_n < 4.0);
+        assert!(rows[0].p_exceed_hi <= 1.0);
+    }
+
+    /// The migration contract: per-cell ensembles reproduce the historical
+    /// flattened (d × n × trial) sweep bit for bit.
+    #[test]
+    fn ensemble_matches_historical_sweep() {
+        let ctx = ExpContext::for_tests("e14");
+        let (sizes, ds, trials) = ([128usize], [1usize, 2], 2);
+        let rows = compute(&ctx, &sizes, &ds, trials);
+
+        let params: Vec<(usize, usize)> = ds
+            .iter()
+            .flat_map(|&d| sizes.iter().map(move |&n| (d, n)))
+            .collect();
+        let grid = sweep_par_seeded(
+            ctx.seeds,
+            &params,
+            trials,
+            |&(d, n)| format!("d{d}-n{n}"),
+            |&(d, n), _i, seed| {
+                let mut scenario = spec_for(n, d).scenario_seeded(seed).expect("valid spec");
+                let mut stack = ObserverStack::new().with_max_load();
+                scenario.run_observed(&mut stack);
+                stack.max_load.expect("enabled").window_max()
+            },
+        );
+        for (row, ((d, n), maxes)) in rows.iter().zip(grid) {
+            assert_eq!((row.d, row.n), (d, n));
+            let s = rbb_stats::Summary::from_iter(maxes.iter().map(|&m| m as f64));
+            assert_eq!(row.mean_window_max, s.mean(), "d = {d}, n = {n}");
+        }
     }
 }

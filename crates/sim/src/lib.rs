@@ -7,7 +7,10 @@
 //! simulation (n, balls, start, arrival model, queue strategy, topology,
 //! adversary schedule, horizon, stop condition) as serializable data, and
 //! [`scenario::Scenario`] runs it through the unified
-//! [`Engine`](rbb_core::engine::Engine) trait. Every experiment in
+//! [`Engine`](rbb_core::engine::Engine) trait; [`ensemble::EnsembleSpec`]
+//! replicates one scenario across many seeds and folds the trials into
+//! mergeable streaming statistics (see the [`ensemble`] module for the
+//! determinism contract and report schema). Every experiment in
 //! `rbb-experiments` is a pure function of its [`seed::SeedTree`] scope, so
 //! tables regenerate bit-identically regardless of thread count; spec-built
 //! engines reproduce the hand-constructed trajectories bit for bit (see the
@@ -32,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ensemble;
 pub mod output;
 pub mod runner;
 pub mod scenario;
@@ -39,6 +43,9 @@ pub mod seed;
 pub mod spec;
 pub mod table;
 
+pub use ensemble::{
+    EnsembleReport, EnsembleSpec, MetricKind, MetricReport, MetricSpec, ReportSpec,
+};
 pub use output::{OutputSink, RESULTS_DIR};
 pub use runner::{run_trials, run_trials_seeded, sweep, sweep_par, sweep_par_seeded};
 pub use scenario::{build_engine, Scenario, ScenarioOutcome};

@@ -1,0 +1,309 @@
+//! Mergeable streaming accumulators for ensemble runs.
+//!
+//! An ensemble folds thousands of per-trial metric values into a constant
+//! amount of state: a Welford [`Summary`] for moments, an [`IntHistogram`]
+//! for exact quantiles and tails (kept only while every observation is a
+//! small non-negative integer), and an [`ExceedanceCounter`] for
+//! w.h.p.-event tail probabilities with Wilson intervals. All three merge
+//! associatively, so partial accumulators built on different workers
+//! combine into the same totals as a single sequential pass.
+
+use crate::ci::{wilson_ci, ConfidenceInterval};
+use crate::histogram::IntHistogram;
+use crate::summary::Summary;
+
+/// Largest value the exact-quantile histogram will track. Metrics whose
+/// observations exceed this (or are negative / fractional) fall back to
+/// moment-only summaries — the histogram is dropped rather than resized
+/// without bound.
+const HISTOGRAM_CAP: f64 = 16_777_216.0; // 2^24
+
+/// Counts, per threshold, how many observations were `>=` that threshold.
+///
+/// This is the estimator behind every "tail probability" column: the
+/// empirical `P(X >= t)` together with a Wilson score interval, which stays
+/// honest at the 0-and-1 boundary where w.h.p. events live.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExceedanceCounter {
+    thresholds: Vec<f64>,
+    exceed: Vec<u64>,
+    observations: u64,
+}
+
+impl ExceedanceCounter {
+    /// A counter over the given thresholds (any order, duplicates allowed).
+    pub fn new(thresholds: Vec<f64>) -> Self {
+        let exceed = vec![0; thresholds.len()];
+        Self {
+            thresholds,
+            exceed,
+            observations: 0,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.observations += 1;
+        for (t, c) in self.thresholds.iter().zip(&mut self.exceed) {
+            if x >= *t {
+                *c += 1;
+            }
+        }
+    }
+
+    /// Merges another counter. Panics if the threshold lists differ.
+    pub fn merge(&mut self, other: &ExceedanceCounter) {
+        assert_eq!(
+            self.thresholds, other.thresholds,
+            "cannot merge exceedance counters over different thresholds"
+        );
+        for (a, &b) in self.exceed.iter_mut().zip(&other.exceed) {
+            *a += b;
+        }
+        self.observations += other.observations;
+    }
+
+    /// The thresholds, in construction order.
+    pub fn thresholds(&self) -> &[f64] {
+        &self.thresholds
+    }
+
+    /// Total observations pushed.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// Raw exceedance count for threshold index `i`.
+    pub fn count(&self, i: usize) -> u64 {
+        self.exceed[i]
+    }
+
+    /// Empirical `P(X >= thresholds[i])` (0 when empty).
+    pub fn tail(&self, i: usize) -> f64 {
+        if self.observations == 0 {
+            0.0
+        } else {
+            self.exceed[i] as f64 / self.observations as f64
+        }
+    }
+
+    /// Wilson interval for the tail probability at threshold index `i`.
+    /// Returns `None` when no observations were pushed.
+    pub fn wilson(&self, i: usize, level: f64) -> Option<ConfidenceInterval> {
+        if self.observations == 0 {
+            return None;
+        }
+        Some(wilson_ci(self.exceed[i], self.observations, level))
+    }
+}
+
+/// The complete streaming state for one ensemble metric: moments, an exact
+/// integer histogram (while representable), and tail counters.
+///
+/// Memory is bounded by the largest observed integer value (for the
+/// histogram) and the threshold count — never by the number of
+/// observations, so a 10k-seed ensemble aggregates online.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricAccumulator {
+    summary: Summary,
+    /// Exact distribution, kept only while every observation is a
+    /// non-negative integer below [`HISTOGRAM_CAP`].
+    histogram: Option<IntHistogram>,
+    exceedance: ExceedanceCounter,
+    /// Observations that carried no value (e.g. a stop condition that was
+    /// never met within the horizon).
+    missing: u64,
+}
+
+impl MetricAccumulator {
+    /// An empty accumulator with tail counters at `thresholds`.
+    pub fn new(thresholds: Vec<f64>) -> Self {
+        Self {
+            summary: Summary::new(),
+            histogram: Some(IntHistogram::new()),
+            exceedance: ExceedanceCounter::new(thresholds),
+            missing: 0,
+        }
+    }
+
+    /// Folds one per-trial observation in; `None` counts as missing.
+    pub fn push(&mut self, x: Option<f64>) {
+        let Some(x) = x else {
+            self.missing += 1;
+            return;
+        };
+        self.summary.push(x);
+        self.exceedance.push(x);
+        if let Some(h) = &mut self.histogram {
+            if x >= 0.0 && x.fract() == 0.0 && x < HISTOGRAM_CAP {
+                h.add(x as usize);
+            } else {
+                // A single non-integer observation demotes the metric to
+                // moment/tail-only reporting, for good.
+                self.histogram = None;
+            }
+        }
+    }
+
+    /// Merges another accumulator (associative; both orders agree up to
+    /// floating-point rounding in the moments).
+    pub fn merge(&mut self, other: &MetricAccumulator) {
+        self.summary.merge(&other.summary);
+        self.exceedance.merge(&other.exceedance);
+        self.missing += other.missing;
+        match (&mut self.histogram, &other.histogram) {
+            (Some(a), Some(b)) => a.merge(b),
+            _ => self.histogram = None,
+        }
+    }
+
+    /// Moments over the present observations.
+    pub fn summary(&self) -> &Summary {
+        &self.summary
+    }
+
+    /// The exact histogram, if every observation so far was a small
+    /// non-negative integer.
+    pub fn histogram(&self) -> Option<&IntHistogram> {
+        self.histogram.as_ref().filter(|h| h.total() > 0)
+    }
+
+    /// Tail counters.
+    pub fn exceedance(&self) -> &ExceedanceCounter {
+        &self.exceedance
+    }
+
+    /// Observations pushed as `None`.
+    pub fn missing(&self) -> u64 {
+        self.missing
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exceedance_counts_at_and_above_threshold() {
+        let mut c = ExceedanceCounter::new(vec![2.0, 5.0]);
+        for x in [1.0, 2.0, 3.0, 5.0] {
+            c.push(x);
+        }
+        assert_eq!(c.observations(), 4);
+        assert_eq!(c.count(0), 3); // 2, 3, 5
+        assert_eq!(c.count(1), 1); // 5
+        assert!((c.tail(0) - 0.75).abs() < 1e-12);
+        let ci = c.wilson(1, 0.95).unwrap();
+        assert!(ci.contains(0.25));
+    }
+
+    #[test]
+    fn exceedance_merge_matches_sequential() {
+        let xs: Vec<f64> = (0..40).map(|i| (i % 7) as f64).collect();
+        let mut all = ExceedanceCounter::new(vec![3.0]);
+        let mut a = ExceedanceCounter::new(vec![3.0]);
+        let mut b = ExceedanceCounter::new(vec![3.0]);
+        for (i, &x) in xs.iter().enumerate() {
+            all.push(x);
+            if i < 13 {
+                a.push(x)
+            } else {
+                b.push(x)
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    #[should_panic(expected = "different thresholds")]
+    fn exceedance_merge_rejects_mismatched_thresholds() {
+        let mut a = ExceedanceCounter::new(vec![1.0]);
+        let b = ExceedanceCounter::new(vec![2.0]);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn empty_exceedance_has_no_interval() {
+        let c = ExceedanceCounter::new(vec![1.0]);
+        assert_eq!(c.tail(0), 0.0);
+        assert!(c.wilson(0, 0.95).is_none());
+    }
+
+    #[test]
+    fn accumulator_tracks_moments_histogram_and_tails() {
+        let mut acc = MetricAccumulator::new(vec![4.0]);
+        for x in [2.0, 3.0, 4.0, 7.0] {
+            acc.push(Some(x));
+        }
+        acc.push(None);
+        assert_eq!(acc.summary().count(), 4);
+        assert_eq!(acc.missing(), 1);
+        assert!((acc.summary().mean() - 4.0).abs() < 1e-12);
+        let h = acc.histogram().expect("all-integer metric");
+        assert_eq!(h.quantile(0.5), Some(3));
+        assert_eq!(acc.exceedance().count(0), 2);
+    }
+
+    #[test]
+    fn fractional_observation_demotes_histogram_permanently() {
+        let mut acc = MetricAccumulator::new(vec![]);
+        acc.push(Some(1.0));
+        acc.push(Some(2.5));
+        acc.push(Some(3.0));
+        assert!(acc.histogram().is_none());
+        assert_eq!(acc.summary().count(), 3);
+    }
+
+    #[test]
+    fn oversized_and_negative_values_also_demote() {
+        let mut acc = MetricAccumulator::new(vec![]);
+        acc.push(Some(HISTOGRAM_CAP));
+        assert!(acc.histogram().is_none());
+        let mut acc = MetricAccumulator::new(vec![]);
+        acc.push(Some(-1.0));
+        assert!(acc.histogram().is_none());
+    }
+
+    #[test]
+    fn accumulator_merge_matches_sequential_fold() {
+        let xs: Vec<Option<f64>> = (0..50)
+            .map(|i| {
+                if i % 9 == 0 {
+                    None
+                } else {
+                    Some((i % 11) as f64)
+                }
+            })
+            .collect();
+        let mut all = MetricAccumulator::new(vec![5.0]);
+        let mut a = MetricAccumulator::new(vec![5.0]);
+        let mut b = MetricAccumulator::new(vec![5.0]);
+        for (i, &x) in xs.iter().enumerate() {
+            all.push(x);
+            if i < 17 {
+                a.push(x)
+            } else {
+                b.push(x)
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.summary().count(), all.summary().count());
+        assert!((a.summary().mean() - all.summary().mean()).abs() < 1e-12);
+        assert!((a.summary().variance() - all.summary().variance()).abs() < 1e-10);
+        assert_eq!(a.histogram(), all.histogram());
+        assert_eq!(a.exceedance(), all.exceedance());
+        assert_eq!(a.missing(), all.missing());
+    }
+
+    #[test]
+    fn merge_with_demoted_histogram_demotes() {
+        let mut a = MetricAccumulator::new(vec![]);
+        a.push(Some(1.0));
+        let mut b = MetricAccumulator::new(vec![]);
+        b.push(Some(0.5));
+        a.merge(&b);
+        assert!(a.histogram().is_none());
+        assert_eq!(a.summary().count(), 2);
+    }
+}

@@ -1,0 +1,127 @@
+//! Goodness-of-fit statistics for checking empirical laws against exact
+//! (enumerative) distributions — the machinery behind the theory-conformance
+//! test suite, which compares ensemble estimates to the stationary law of
+//! `rbb_core::exact::ExactChain` and to the paper's Chernoff envelopes.
+
+/// Pearson's chi-square statistic `Σ (O_i − E_i)² / E_i` between observed
+/// counts and expected probabilities. Cells with `expected[i] == 0` must
+/// carry no observations (panics otherwise: mass on an impossible state is
+/// a modeling bug, not a sampling fluctuation). Shorter vectors are
+/// implicitly zero-padded.
+pub fn chi_square_stat(observed: &[u64], expected: &[f64]) -> f64 {
+    let total: u64 = observed.iter().sum();
+    assert!(total > 0, "chi-square needs at least one observation");
+    let len = observed.len().max(expected.len());
+    let get_o = |i: usize| observed.get(i).copied().unwrap_or(0);
+    let get_e = |i: usize| expected.get(i).copied().unwrap_or(0.0);
+    (0..len)
+        .map(|i| {
+            let o = get_o(i) as f64;
+            let e = get_e(i) * total as f64;
+            if e == 0.0 {
+                assert!(
+                    o == 0.0,
+                    "observed mass on a state with zero expected probability (cell {i})"
+                );
+                0.0
+            } else {
+                (o - e) * (o - e) / e
+            }
+        })
+        .sum()
+}
+
+/// Pools cells whose expected count `n·p_i` falls below `min_expected` into
+/// one tail cell, returning `(observed, expected)` ready for
+/// [`chi_square_stat`]. The classical chi-square approximation wants every
+/// expected cell count at least ~5; exact chains over tiny state spaces have
+/// long thin tails that need pooling first.
+pub fn pool_cells(observed: &[u64], expected: &[f64], min_expected: f64) -> (Vec<u64>, Vec<f64>) {
+    let total: u64 = observed.iter().sum();
+    assert!(total > 0, "pooling needs at least one observation");
+    let len = observed.len().max(expected.len());
+    let mut out_o = Vec::new();
+    let mut out_e = Vec::new();
+    let mut pool_o = 0u64;
+    let mut pool_e = 0.0;
+    for i in 0..len {
+        let o = observed.get(i).copied().unwrap_or(0);
+        let e = expected.get(i).copied().unwrap_or(0.0);
+        if e * total as f64 >= min_expected {
+            out_o.push(o);
+            out_e.push(e);
+        } else {
+            pool_o += o;
+            pool_e += e;
+        }
+    }
+    if pool_e > 0.0 || pool_o > 0 {
+        out_o.push(pool_o);
+        out_e.push(pool_e);
+    }
+    (out_o, out_e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chi_square_zero_for_exact_match() {
+        // 100 observations split exactly as expected.
+        let observed = [25u64, 50, 25];
+        let expected = [0.25, 0.5, 0.25];
+        assert!(chi_square_stat(&observed, &expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chi_square_known_value() {
+        // O = [10, 30], E = [0.5, 0.5] over 40: (10-20)²/20 + (30-20)²/20 = 10.
+        let got = chi_square_stat(&[10, 30], &[0.5, 0.5]);
+        assert!((got - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chi_square_pads_shorter_vectors() {
+        // Expected has a third cell the observations never hit: E_3 = 0.2·50
+        // = 10, O_3 = 0 contributes 10.
+        let got = chi_square_stat(&[20, 30], &[0.4, 0.4, 0.2]);
+        assert!(got > 9.99);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero expected probability")]
+    fn chi_square_rejects_impossible_mass() {
+        chi_square_stat(&[1, 1], &[1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one observation")]
+    fn chi_square_rejects_empty() {
+        chi_square_stat(&[0, 0], &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn pooling_collects_thin_cells() {
+        // 100 observations; cells below expected count 5 (p < 0.05) pool.
+        let observed = [60u64, 30, 4, 3, 2, 1];
+        let expected = [0.6, 0.3, 0.04, 0.03, 0.02, 0.01];
+        let (o, e) = pool_cells(&observed, &expected, 5.0);
+        assert_eq!(o, vec![60, 30, 10]);
+        assert!((e[2] - 0.1).abs() < 1e-12);
+        assert_eq!(o.iter().sum::<u64>(), 100);
+        assert!((e.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        // The pooled table is chi-square ready.
+        let stat = chi_square_stat(&o, &e);
+        assert!(stat.abs() < 1e-12);
+    }
+
+    #[test]
+    fn pooling_keeps_everything_when_cells_are_fat() {
+        let observed = [50u64, 50];
+        let expected = [0.5, 0.5];
+        let (o, e) = pool_cells(&observed, &expected, 5.0);
+        assert_eq!(o, observed.to_vec());
+        assert_eq!(e, expected.to_vec());
+    }
+}

@@ -2,9 +2,11 @@
 //!
 //! Everything the experiment suite needs to turn raw trial outputs into the
 //! quantities the paper states: streaming moments, exact quantiles and
-//! integer histograms, normal/Wilson confidence intervals, scaling-law fits
-//! (linear / `a + b·ln x` / power law), and evaluators for the paper's own
-//! Chernoff bounds (Appendix A) with their explicit constants.
+//! integer histograms, mergeable ensemble accumulators ([`accumulator`]),
+//! normal/Wilson confidence intervals, scaling-law fits (linear /
+//! `a + b·ln x` / power law), goodness-of-fit statistics against exact laws
+//! ([`conformance`]), and evaluators for the paper's own Chernoff bounds
+//! (Appendix A) with their explicit constants.
 //!
 //! No simulation code lives here; the crate is dependency-light and fully
 //! deterministic.
@@ -12,8 +14,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod accumulator;
 pub mod chernoff;
 pub mod ci;
+pub mod conformance;
 pub mod correlation;
 pub mod distance;
 pub mod histogram;
@@ -21,11 +25,13 @@ pub mod quantile;
 pub mod regression;
 pub mod summary;
 
+pub use accumulator::{ExceedanceCounter, MetricAccumulator};
 pub use chernoff::{
     chernoff_lower, chernoff_upper, coupon_collector, harmonic, lemma1_alpha, lemma4_alpha,
     oneshot_max_load_estimate,
 };
 pub use ci::{mean_ci, probit, wilson_ci, ConfidenceInterval};
+pub use conformance::{chi_square_stat, pool_cells};
 pub use correlation::{acf, autocorrelation, covariance, pearson};
 pub use distance::{kl_divergence, normalize, tv_distance};
 pub use histogram::IntHistogram;

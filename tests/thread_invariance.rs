@@ -1,0 +1,68 @@
+//! Thread-count invariance: ensembles and parallel sweeps return — and
+//! render — byte-identical results no matter how many workers the
+//! scheduler uses.
+//!
+//! The vendored rayon honors `RAYON_NUM_THREADS` per fan-out, so one test
+//! can exercise several worker counts in-process. Everything lives in a
+//! single `#[test]` because the environment variable is process-global;
+//! `ci.sh` additionally runs the whole suite under `RAYON_NUM_THREADS=1`
+//! and `=4` and diffs the `rbb ensemble` CLI output.
+
+use rbb_sim::{sweep_par, EnsembleSpec, MetricKind, MetricSpec, ScenarioSpec, SeedTree};
+
+fn ensemble_report_json() -> String {
+    let scenario = ScenarioSpec::builder(128)
+        .name("thread-invariance")
+        .horizon_rounds(400)
+        .build();
+    EnsembleSpec::new(scenario, 0xBEEF, 64)
+        .with_metrics(vec![
+            MetricSpec::with_thresholds(MetricKind::WindowMaxLoad, vec![10.0, 20.0]),
+            MetricSpec::plain(MetricKind::MeanRoundMax),
+            MetricSpec::plain(MetricKind::MinEmptyBins),
+        ])
+        .run()
+        .unwrap()
+        .to_json()
+}
+
+fn sweep_result() -> Vec<(usize, Vec<u64>)> {
+    sweep_par(
+        SeedTree::new(0xF00D),
+        &[16usize, 32, 64],
+        8,
+        |p| format!("n{p}"),
+        |_, _, mut rng| rng.next_u64(),
+    )
+}
+
+#[test]
+fn ensemble_and_sweep_are_byte_identical_across_thread_counts() {
+    let mut reports = Vec::new();
+    let mut sweeps = Vec::new();
+    for threads in ["1", "2", "4"] {
+        std::env::set_var("RAYON_NUM_THREADS", threads);
+        assert_eq!(
+            rayon::current_num_threads(),
+            threads.parse::<usize>().unwrap()
+        );
+        reports.push(ensemble_report_json());
+        sweeps.push(sweep_result());
+    }
+    std::env::remove_var("RAYON_NUM_THREADS");
+
+    assert_eq!(
+        reports[0], reports[1],
+        "ensemble report differs between 1 and 2 threads"
+    );
+    assert_eq!(
+        reports[0], reports[2],
+        "ensemble report differs between 1 and 4 threads"
+    );
+    assert_eq!(sweeps[0], sweeps[1]);
+    assert_eq!(sweeps[0], sweeps[2]);
+
+    // And the unconstrained default matches the pinned runs too.
+    assert_eq!(reports[0], ensemble_report_json());
+    assert_eq!(sweeps[0], sweep_result());
+}
