@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # CI gate: formatting, lints, docs, release build, full test suite, bench
-# compile smoke, examples, spec validation (scenario + ensemble), the
+# compile smoke, examples, spec validation (scenario + ensemble, including
+# the sparse-regime specs), the sparse-vs-dense equivalence proptests, the
 # ensemble thread-count determinism diff, the theory-conformance suite
-# (budgeted, at two thread counts), experiment smoke, and the perf gate.
+# (budgeted, at two thread counts), experiment smoke, and the perf gates
+# (batched-vs-scalar and sparse-vs-dense).
 # Run from the repository root. Mirrors the tier-1 verify
 # (`cargo build --release && cargo test -q`) plus conformance checks.
 # Fully offline: all external dependencies are vendored under `vendor/`.
@@ -54,6 +56,9 @@ if ! diff -q target/ensemble-t1.json target/ensemble-t4.json >/dev/null; then
     exit 1
 fi
 
+echo "==> sparse-vs-dense engine equivalence proptests"
+cargo test -q -p rbb --test proptest_sparse
+
 echo "==> theory-conformance suite (named group, wall-clock budget 300s)"
 conformance_started=${SECONDS}
 RAYON_NUM_THREADS=1 cargo test -q -p rbb --test conformance_theory --test thread_invariance
@@ -65,8 +70,8 @@ if [ "${conformance_elapsed}" -gt 300 ]; then
     exit 1
 fi
 
-echo "==> rbb-exp --quick smoke (spec/ensemble-migrated set + e24)"
-cargo run -q --release --bin rbb-exp -- --quick --no-write e01 e05 e09 e12 e13 e14 e16 e24 >/dev/null
+echo "==> rbb-exp --quick smoke (spec/ensemble-migrated set + e24 + sparse-regime e25)"
+cargo run -q --release --bin rbb-exp -- --quick --no-write e01 e05 e09 e12 e13 e14 e16 e24 e25 >/dev/null
 
 echo "==> rbb-exp rejects unknown experiment ids"
 if cargo run -q --release --bin rbb-exp -- --quick --no-write e01 e99 >/dev/null 2>&1; then
@@ -77,7 +82,10 @@ fi
 # The gate writes its quick-profile report to an untracked path so it never
 # clobbers the committed full-profile BENCH.json snapshot (refresh that one
 # deliberately with `cargo run --release --bin rbb-bench -- --json BENCH.json`).
-echo "==> rbb-bench perf gate (target/BENCH.json)"
-cargo run -q --release --bin rbb-bench -- --quick --json target/BENCH.json --min-engine-speedup 1.5
+# Sparse gate: measured ~30x at m/n = 1/1024 (quick profile); 3x leaves a wide
+# margin for noisy machines while still failing on any real regression.
+echo "==> rbb-bench perf gates (batched >= 1.5x scalar, sparse >= 3x dense at m << n)"
+cargo run -q --release --bin rbb-bench -- --quick --json target/BENCH.json \
+    --min-engine-speedup 1.5 --min-sparse-speedup 3.0
 
 echo "CI OK"

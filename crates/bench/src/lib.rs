@@ -141,6 +141,15 @@ pub struct Derived {
     /// `batched / scalar` — the perf-gate headline; `ci.sh` enforces a
     /// minimum via `--min-engine-speedup`.
     pub engine_speedup_batched_vs_scalar: Option<f64>,
+    /// Median throughput of `engine/sparse` (the sparse occupancy engine at
+    /// `m/n ≤ 1/64`), in rounds/sec.
+    pub engine_rounds_per_sec_sparse: Option<f64>,
+    /// Median throughput of `engine/sparse-baseline` (the dense engine on
+    /// the same `(n, m)` workload), in rounds/sec.
+    pub engine_rounds_per_sec_sparse_baseline: Option<f64>,
+    /// `sparse / sparse-baseline` — the sparse-regime gate; `ci.sh`
+    /// enforces a minimum via `--min-sparse-speedup`.
+    pub engine_speedup_sparse_vs_dense: Option<f64>,
 }
 
 impl Derived {
@@ -152,16 +161,21 @@ impl Derived {
                 .find(|r| r.name == name)
                 .map(|r| r.throughput_per_sec)
         };
-        let scalar = throughput("engine/scalar");
-        let batched = throughput("engine/batched");
-        let speedup = match (scalar, batched) {
-            (Some(s), Some(b)) if s > 0.0 => Some(b / s),
+        let ratio = |num: Option<f64>, den: Option<f64>| match (num, den) {
+            (Some(x), Some(y)) if y > 0.0 => Some(x / y),
             _ => None,
         };
+        let scalar = throughput("engine/scalar");
+        let batched = throughput("engine/batched");
+        let sparse = throughput("engine/sparse");
+        let sparse_baseline = throughput("engine/sparse-baseline");
         Self {
             engine_rounds_per_sec_scalar: scalar,
             engine_rounds_per_sec_batched: batched,
-            engine_speedup_batched_vs_scalar: speedup,
+            engine_speedup_batched_vs_scalar: ratio(batched, scalar),
+            engine_rounds_per_sec_sparse: sparse,
+            engine_rounds_per_sec_sparse_baseline: sparse_baseline,
+            engine_speedup_sparse_vs_dense: ratio(sparse, sparse_baseline),
         }
     }
 }
@@ -248,9 +262,23 @@ mod tests {
     }
 
     #[test]
+    fn derived_sparse_speedup_from_pair() {
+        let mut sparse = measure(spec(), 0, 1, || {});
+        sparse.name = "engine/sparse".into();
+        sparse.throughput_per_sec = 900.0;
+        let mut baseline = sparse.clone();
+        baseline.name = "engine/sparse-baseline".into();
+        baseline.throughput_per_sec = 100.0;
+        let d = Derived::from_results(&[sparse, baseline]);
+        assert_eq!(d.engine_speedup_sparse_vs_dense, Some(9.0));
+        assert_eq!(d.engine_speedup_batched_vs_scalar, None);
+    }
+
+    #[test]
     fn derived_is_null_when_engines_filtered_out() {
         let d = Derived::from_results(&[]);
         assert_eq!(d.engine_speedup_batched_vs_scalar, None);
+        assert_eq!(d.engine_speedup_sparse_vs_dense, None);
         // ...and the nulls survive serialization.
         let v = serde::Serialize::serialize(&d);
         let text = serde_json::to_string(&v).unwrap();

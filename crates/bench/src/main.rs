@@ -11,7 +11,8 @@
 //! Usage:
 //! ```text
 //! rbb-bench [--quick] [--json <path>] [--only <substring>]
-//!           [--reps <k>] [--seed <u64>] [--min-engine-speedup <x>] [--list]
+//!           [--reps <k>] [--seed <u64>] [--min-engine-speedup <x>]
+//!           [--min-sparse-speedup <x>] [--list]
 //! ```
 
 use rbb_bench::{measure, BenchReport, BenchResult, Derived, Spec, SCHEMA_VERSION};
@@ -24,7 +25,10 @@ use rbb_core::rng::Xoshiro256pp;
 use rbb_core::strategy::QueueStrategy;
 use rbb_core::tetris::Tetris;
 use rbb_graphs::{complete, ring, RandomWalk};
-use rbb_sim::{sweep_par_seeded, EnsembleSpec, MetricKind, MetricSpec, ScenarioSpec, SeedTree};
+use rbb_sim::{
+    sweep_par_seeded, EngineSpec, EnsembleSpec, MetricKind, MetricSpec, ScenarioSpec, SeedTree,
+    StartSpec,
+};
 use rbb_traversal::Traversal;
 
 /// Sizes and iteration counts for one run profile.
@@ -47,6 +51,12 @@ struct Profile {
     sched_trials: usize,
     sched_n: usize,
     sched_rounds: u64,
+    /// Sparse-regime pair: `sparse_m` balls over `sparse_n` bins
+    /// (`m/n ≤ 1/64`), run for `sparse_rounds` rounds by the sparse engine
+    /// and the dense baseline.
+    sparse_n: usize,
+    sparse_m: u64,
+    sparse_rounds: u64,
     /// Ensemble target: `ens_reps` seeds of `ens_rounds` rounds at `ens_n`.
     ens_n: usize,
     ens_reps: usize,
@@ -68,6 +78,9 @@ const FULL: Profile = Profile {
     sched_trials: 8,
     sched_n: 256,
     sched_rounds: 400,
+    sparse_n: 1 << 22,
+    sparse_m: 4096, // density 1/1024 — well inside the ≤ 1/64 gate regime
+    sparse_rounds: 40,
     ens_n: 512,
     ens_reps: 32,
     ens_rounds: 500,
@@ -88,6 +101,9 @@ const QUICK: Profile = Profile {
     sched_trials: 4,
     sched_n: 128,
     sched_rounds: 100,
+    sparse_n: 1 << 20,
+    sparse_m: 1024,
+    sparse_rounds: 20,
     ens_n: 128,
     ens_reps: 8,
     ens_rounds: 100,
@@ -98,7 +114,8 @@ const QUICK: Profile = Profile {
 fn usage() -> ! {
     eprintln!(
         "usage: rbb-bench [--quick] [--json <path>] [--only <substring>]\n\
-         \u{20}                [--reps <k>] [--seed <u64>] [--min-engine-speedup <x>] [--list]"
+         \u{20}                [--reps <k>] [--seed <u64>] [--min-engine-speedup <x>]\n\
+         \u{20}                [--min-sparse-speedup <x>] [--list]"
     );
     std::process::exit(2);
 }
@@ -121,6 +138,7 @@ fn registry(p: &Profile, seed: u64) -> Vec<Bench> {
     let (walk_n, walk_steps) = (p.walk_n, p.walk_steps);
     let (sched_params, sched_trials, sched_n, sched_rounds) =
         (p.sched_params, p.sched_trials, p.sched_n, p.sched_rounds);
+    let (sparse_n, sparse_m, sparse_rounds) = (p.sparse_n, p.sparse_m, p.sparse_rounds);
     let (ens_n, ens_reps, ens_rounds) = (p.ens_n, p.ens_reps, p.ens_rounds);
 
     let ball_fixture = move |seed: u64| {
@@ -215,6 +233,58 @@ fn registry(p: &Profile, seed: u64) -> Vec<Bench> {
                 Box::new(move || {
                     for _ in 0..ball_rounds {
                         proc.step_batched();
+                    }
+                })
+            }),
+        ),
+        mk(
+            // The sparse occupancy engine in its home regime (m/n ≤ 1/64):
+            // rounds cost O(#occupied), so throughput is independent of n.
+            Spec::new(
+                "engine/sparse",
+                "engine",
+                sparse_n as u64,
+                sparse_rounds,
+                "rounds",
+            ),
+            Box::new(move || {
+                let spec = ScenarioSpec::builder(sparse_n)
+                    .balls(sparse_m)
+                    .start(StartSpec::RandomMultinomial { salt: 0x5AA5E })
+                    .engine(EngineSpec::Sparse)
+                    .seed(seed)
+                    .build();
+                let mut engine = rbb_sim::build_engine(&spec).expect("valid sparse spec");
+                Box::new(move || {
+                    for _ in 0..sparse_rounds {
+                        engine.step_batched();
+                    }
+                })
+            }),
+        ),
+        mk(
+            // The dense engine on the identical workload — the baseline the
+            // --min-sparse-speedup gate compares against. Same start
+            // configuration and RNG stream, so both sides do identical
+            // "work" in the process sense; only the storage differs.
+            Spec::new(
+                "engine/sparse-baseline",
+                "engine",
+                sparse_n as u64,
+                sparse_rounds,
+                "rounds",
+            ),
+            Box::new(move || {
+                let spec = ScenarioSpec::builder(sparse_n)
+                    .balls(sparse_m)
+                    .start(StartSpec::RandomMultinomial { salt: 0x5AA5E })
+                    .engine(EngineSpec::Dense)
+                    .seed(seed)
+                    .build();
+                let mut engine = rbb_sim::build_engine(&spec).expect("valid dense spec");
+                Box::new(move || {
+                    for _ in 0..sparse_rounds {
+                        engine.step_batched();
                     }
                 })
             }),
@@ -366,6 +436,7 @@ fn main() {
     let mut reps_override: Option<usize> = None;
     let mut seed: u64 = 42;
     let mut min_speedup: Option<f64> = None;
+    let mut min_sparse_speedup: Option<f64> = None;
     let mut list = false;
 
     let mut i = 0;
@@ -383,6 +454,9 @@ fn main() {
             "--seed" => seed = take(&mut i).parse().unwrap_or_else(|_| usage()),
             "--min-engine-speedup" => {
                 min_speedup = Some(take(&mut i).parse().unwrap_or_else(|_| usage()))
+            }
+            "--min-sparse-speedup" => {
+                min_sparse_speedup = Some(take(&mut i).parse().unwrap_or_else(|_| usage()))
             }
             _ => usage(),
         }
@@ -410,6 +484,9 @@ fn main() {
 
     if let Some(speedup) = derived.engine_speedup_batched_vs_scalar {
         println!("\nengine speedup (batched vs scalar): {speedup:.2}x");
+    }
+    if let Some(speedup) = derived.engine_speedup_sparse_vs_dense {
+        println!("sparse-regime speedup (sparse vs dense engine): {speedup:.2}x");
     }
 
     let report = BenchReport {
@@ -444,6 +521,24 @@ fn main() {
             }
             None => {
                 eprintln!("perf gate FAILED: engine benchmarks were filtered out");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(min) = min_sparse_speedup {
+        match report.derived.engine_speedup_sparse_vs_dense {
+            Some(speedup) if speedup >= min => {
+                println!("sparse perf gate OK: {speedup:.2}x >= {min:.2}x");
+            }
+            Some(speedup) => {
+                eprintln!(
+                    "sparse perf gate FAILED: sparse-vs-dense speedup {speedup:.2}x < \
+                     required {min:.2}x"
+                );
+                std::process::exit(1);
+            }
+            None => {
+                eprintln!("sparse perf gate FAILED: sparse benchmarks were filtered out");
                 std::process::exit(1);
             }
         }

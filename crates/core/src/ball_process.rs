@@ -46,6 +46,9 @@ pub struct BallProcess {
     movers: Vec<(BallId, u32)>,
     /// Destination scratch for the batched hot path (empty until first use).
     batch_dests: Vec<u32>,
+    /// Uniform sampler keyed on `n`, cached so the batched path does not
+    /// rebuild the Lemire rejection threshold (a `u64` modulo) every round.
+    sampler: UniformSampler,
 }
 
 impl BallProcess {
@@ -64,6 +67,7 @@ impl BallProcess {
             }
             queues.push(dq);
         }
+        let sampler = UniformSampler::new(config.n() as u64);
         Self {
             queues,
             config,
@@ -74,6 +78,7 @@ impl BallProcess {
             stats: vec![BallStats::default(); m as usize],
             movers: Vec::new(),
             batch_dests: Vec::new(),
+            sampler,
         }
     }
 
@@ -236,7 +241,7 @@ impl BallProcess {
 
         // One contiguous batch of destination draws, in mover (= bin) order.
         self.batch_dests.resize(moved, 0);
-        UniformSampler::new(n as u64).fill_u32(&mut self.rng, &mut self.batch_dests);
+        self.sampler.fill_u32(&mut self.rng, &mut self.batch_dests);
         for i in 0..moved {
             let (ball, dest_slot) = &mut self.movers[i];
             *dest_slot = self.batch_dests[i];

@@ -22,8 +22,20 @@ pub struct Config {
 
 impl Config {
     /// Builds a configuration from an explicit load vector.
+    ///
+    /// Rejects configurations whose **total** ball count exceeds `u32::MAX`:
+    /// per-bin loads are `u32`, and the adversary (or plain drift) can pile
+    /// every ball into one bin, so any larger total could silently wrap a
+    /// bin counter in release builds. The throw paths additionally carry
+    /// checked-add debug assertions as a second line of defense.
     pub fn from_loads(loads: Vec<u32>) -> Self {
         assert!(!loads.is_empty(), "a configuration needs at least one bin");
+        let total: u64 = loads.iter().map(|&x| x as u64).sum();
+        assert!(
+            total <= u32::MAX as u64,
+            "total ball count {total} exceeds u32::MAX ({}) and could overflow a single bin",
+            u32::MAX
+        );
         Self { loads }
     }
 
@@ -319,5 +331,19 @@ mod tests {
     #[should_panic]
     fn empty_config_rejected() {
         Config::from_loads(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "could overflow a single bin")]
+    fn overflowing_total_rejected() {
+        // Per-bin u32 loads admit totals up to n·u32::MAX, but the process
+        // can concentrate all mass in one bin — reject at construction.
+        Config::from_loads(vec![u32::MAX, 1]);
+    }
+
+    #[test]
+    fn u32_max_total_is_the_accepted_boundary() {
+        let q = Config::from_loads(vec![u32::MAX, 0]);
+        assert_eq!(q.total_balls(), u32::MAX as u64);
     }
 }

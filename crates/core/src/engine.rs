@@ -61,6 +61,19 @@ pub trait Engine {
 
     /// Snapshot of the current load configuration — the uniform metric
     /// surface observers and stop conditions read.
+    ///
+    /// For engines whose canonical state is a dense load vector this is
+    /// free; the sparse engine materializes (and caches) an `O(n)` snapshot
+    /// on demand. Per-round drivers should therefore prefer the cheap
+    /// accessors below ([`max_load`], [`empty_bins`], [`nonempty_bins`],
+    /// [`bin_load`]) — [`crate::metrics::ObserverStack::observe_engine`] and
+    /// the `rbb_sim` scenario loop only touch those, so a sparse round never
+    /// pays `O(n)`.
+    ///
+    /// [`max_load`]: Engine::max_load
+    /// [`empty_bins`]: Engine::empty_bins
+    /// [`nonempty_bins`]: Engine::nonempty_bins
+    /// [`bin_load`]: Engine::bin_load
     fn config(&self) -> &Config;
 
     /// Number of bins (nodes).
@@ -71,6 +84,38 @@ pub trait Engine {
     /// Current total ball (token) count.
     fn balls(&self) -> u64 {
         self.config().total_balls()
+    }
+
+    /// Maximum load `M(q)` of the current configuration. Default reads
+    /// [`config`](Engine::config); sparse engines override it with an
+    /// `O(#occupied)` scan.
+    fn max_load(&self) -> u32 {
+        self.config().max_load()
+    }
+
+    /// Number of empty bins. Default reads [`config`](Engine::config);
+    /// sparse engines answer in `O(1)` (`n − #occupied`).
+    fn empty_bins(&self) -> usize {
+        self.config().empty_bins()
+    }
+
+    /// Number of non-empty bins (`|W|` — exactly next round's movers).
+    fn nonempty_bins(&self) -> usize {
+        self.config().nonempty_bins()
+    }
+
+    /// Load of one bin. Default indexes [`config`](Engine::config); sparse
+    /// engines answer from their occupancy map in `O(1)`.
+    fn bin_load(&self, bin: usize) -> u32 {
+        self.config().loads()[bin]
+    }
+
+    /// Indices of the currently non-empty bins, for engines that can
+    /// produce the list without materializing a dense configuration (the
+    /// sparse engine). `None` means "derive it from `config()`" — the
+    /// `all-emptied` stop condition uses this to initialize its worklist.
+    fn nonempty_bins_list(&self) -> Option<Vec<u32>> {
+        None
     }
 
     /// Whether [`apply_fault`](Engine::apply_fault) is supported. Engines

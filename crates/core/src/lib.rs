@@ -17,6 +17,9 @@
 //! ## Crate map
 //!
 //! * [`process`] — the load-only engine (the paper's `Q(t)` dynamics).
+//! * [`sparse`] — the sparse occupancy engine for the `m ≪ n` regime:
+//!   bit-identical trajectories at `O(#non-empty bins)` per round and
+//!   `O(m)` memory.
 //! * [`ball_process`] — the ball-identity engine (per-ball progress, delays,
 //!   per-move hooks for cover-time tracking).
 //! * [`tetris`] — the Tetris majorant process of Section 3 and its
@@ -71,6 +74,7 @@ pub mod phases;
 pub mod process;
 pub mod rng;
 pub mod sampling;
+pub mod sparse;
 pub mod strategy;
 pub mod tetris;
 
@@ -90,6 +94,7 @@ pub mod prelude {
     pub use crate::phases::PhaseTracker;
     pub use crate::process::LoadProcess;
     pub use crate::rng::{SplitMix64, Xoshiro256pp};
+    pub use crate::sparse::SparseLoadProcess;
     pub use crate::strategy::QueueStrategy;
     pub use crate::tetris::{BatchedTetris, Tetris};
 }

@@ -7,6 +7,7 @@
 //! re-scanning the load vector more than each observer needs.
 
 use crate::config::{Config, LegitimacyThreshold};
+use crate::engine::Engine;
 
 /// A streaming, per-round metric.
 pub trait RoundObserver {
@@ -86,18 +87,25 @@ impl MaxLoadTracker {
     pub fn rounds(&self) -> u64 {
         self.rounds
     }
+
+    /// Folds one round's pre-computed max load in — the allocation-free
+    /// primitive behind both [`RoundObserver::observe`] and the sparse
+    /// engines' [`ObserverStack::observe_engine`] path.
+    #[inline]
+    pub fn record(&mut self, round: u64, max_load: u32) {
+        if max_load > self.max {
+            self.max = max_load;
+            self.argmax_round = round;
+        }
+        self.rounds += 1;
+        self.sum_of_round_max += max_load as u64;
+    }
 }
 
 impl RoundObserver for MaxLoadTracker {
     #[inline]
     fn observe(&mut self, round: u64, config: &Config) {
-        let m = config.max_load();
-        if m > self.max {
-            self.max = m;
-            self.argmax_round = round;
-        }
-        self.rounds += 1;
-        self.sum_of_round_max += m as u64;
+        self.record(round, config.max_load());
     }
 }
 
@@ -165,6 +173,30 @@ impl EmptyBinsTracker {
     pub fn rounds(&self) -> u64 {
         self.rounds
     }
+
+    /// Whether this round is inside the observed window (callers on the
+    /// cheap-accessor path check before computing the empty-bin count).
+    #[inline]
+    pub fn observing(&self, round: u64) -> bool {
+        round >= self.from_round
+    }
+
+    /// Folds one round's pre-computed empty-bin count over `n` bins in.
+    #[inline]
+    pub fn record(&mut self, round: u64, empty: usize, n: usize) {
+        if round < self.from_round {
+            return;
+        }
+        if empty < self.min_empty {
+            self.min_empty = empty;
+            self.min_round = round;
+        }
+        if 4 * empty < n {
+            self.violations_below_quarter += 1;
+        }
+        self.sum_empty += empty as u64;
+        self.rounds += 1;
+    }
 }
 
 impl Default for EmptyBinsTracker {
@@ -176,19 +208,7 @@ impl Default for EmptyBinsTracker {
 impl RoundObserver for EmptyBinsTracker {
     #[inline]
     fn observe(&mut self, round: u64, config: &Config) {
-        if round < self.from_round {
-            return;
-        }
-        let e = config.empty_bins();
-        if e < self.min_empty {
-            self.min_empty = e;
-            self.min_round = round;
-        }
-        if 4 * e < config.n() {
-            self.violations_below_quarter += 1;
-        }
-        self.sum_empty += e as u64;
-        self.rounds += 1;
+        self.record(round, config.empty_bins(), config.n());
     }
 }
 
@@ -229,18 +249,25 @@ impl LegitimacyTracker {
     pub fn rounds(&self) -> u64 {
         self.rounds
     }
-}
 
-impl RoundObserver for LegitimacyTracker {
+    /// Folds one round's pre-computed max load over `n` bins in (legitimacy
+    /// is `max_load ≤ bound(n)`, exactly [`LegitimacyThreshold::is_legitimate`]).
     #[inline]
-    fn observe(&mut self, round: u64, config: &Config) {
+    pub fn record(&mut self, round: u64, max_load: u32, n: usize) {
         self.rounds += 1;
-        let legit = self.threshold.is_legitimate(config);
+        let legit = max_load <= self.threshold.bound(n);
         match (self.first_legitimate, legit) {
             (None, true) => self.first_legitimate = Some(round),
             (Some(_), false) => self.violations_after_first += 1,
             _ => {}
         }
+    }
+}
+
+impl RoundObserver for LegitimacyTracker {
+    #[inline]
+    fn observe(&mut self, round: u64, config: &Config) {
+        self.record(round, config.max_load(), config.n());
     }
 }
 
@@ -285,18 +312,36 @@ impl TrajectoryRecorder {
     pub fn into_points(self) -> Vec<TrajectoryPoint> {
         self.points
     }
+
+    /// Whether this round would be sampled (callers on the cheap-accessor
+    /// path check before computing the point's statistics).
+    #[inline]
+    pub fn wants(&self, round: u64) -> bool {
+        round == 1 || round % self.stride == 0
+    }
+
+    /// Appends a pre-computed point for a sampled round.
+    #[inline]
+    pub fn record(&mut self, round: u64, max_load: u32, empty_bins: usize, nonempty_bins: usize) {
+        self.points.push(TrajectoryPoint {
+            round,
+            max_load,
+            empty_bins,
+            nonempty_bins,
+        });
+    }
 }
 
 impl RoundObserver for TrajectoryRecorder {
     #[inline]
     fn observe(&mut self, round: u64, config: &Config) {
-        if round == 1 || round % self.stride == 0 {
-            self.points.push(TrajectoryPoint {
+        if self.wants(round) {
+            self.record(
                 round,
-                max_load: config.max_load(),
-                empty_bins: config.empty_bins(),
-                nonempty_bins: config.nonempty_bins(),
-            });
+                config.max_load(),
+                config.empty_bins(),
+                config.nonempty_bins(),
+            );
         }
     }
 }
@@ -356,6 +401,43 @@ impl ObserverStack {
     pub fn with_trace(mut self, stride: u64) -> Self {
         self.trace = Some(TrajectoryRecorder::with_stride(stride));
         self
+    }
+
+    /// Whether any component is enabled.
+    pub fn is_empty(&self) -> bool {
+        self.max_load.is_none()
+            && self.empty_bins.is_none()
+            && self.legitimacy.is_none()
+            && self.trace.is_none()
+    }
+
+    /// Observes one completed round through the [`Engine`]'s cheap metric
+    /// accessors instead of a dense [`Config`] snapshot. Values are
+    /// identical to [`RoundObserver::observe`] on `engine.config()` — each
+    /// statistic is computed at most once per round and only if a component
+    /// needs it — but a sparse engine pays `O(#occupied)` instead of `O(n)`
+    /// (and an empty stack pays nothing at all). The `rbb_sim` scenario
+    /// driver observes exclusively through this method.
+    pub fn observe_engine(&mut self, round: u64, engine: &dyn Engine) {
+        let traced = self.trace.as_ref().is_some_and(|t| t.wants(round));
+        let need_max = self.max_load.is_some() || self.legitimacy.is_some() || traced;
+        let max = if need_max { engine.max_load() } else { 0 };
+        let need_empty = traced || self.empty_bins.as_ref().is_some_and(|t| t.observing(round));
+        let empty = if need_empty { engine.empty_bins() } else { 0 };
+        if let Some(t) = &mut self.max_load {
+            t.record(round, max);
+        }
+        if let Some(t) = &mut self.empty_bins {
+            t.record(round, empty, engine.n());
+        }
+        if let Some(t) = &mut self.legitimacy {
+            t.record(round, max, engine.n());
+        }
+        if let Some(t) = &mut self.trace {
+            if t.wants(round) {
+                t.record(round, max, empty, engine.nonempty_bins());
+            }
+        }
     }
 }
 
@@ -491,6 +573,57 @@ mod tests {
             .map(|p| p.round)
             .collect();
         assert_eq!(rounds, vec![1, 2]);
+    }
+
+    #[test]
+    fn observe_engine_matches_config_observation() {
+        // The cheap-accessor path must produce the exact same statistics as
+        // observing the dense configuration directly.
+        use crate::process::LoadProcess;
+        let mut p = LoadProcess::legitimate_start(64, 9);
+        let mut via_engine = ObserverStack::new()
+            .with_max_load()
+            .with_empty_bins()
+            .with_legitimacy(LegitimacyThreshold::default())
+            .with_trace(3);
+        let mut via_config = via_engine.clone();
+        for _ in 0..120 {
+            p.step();
+            via_engine.observe_engine(p.round(), &p);
+            via_config.observe(p.round(), p.config());
+        }
+        let (a, b) = (&via_engine, &via_config);
+        assert_eq!(
+            a.max_load.as_ref().unwrap().window_max(),
+            b.max_load.as_ref().unwrap().window_max()
+        );
+        assert_eq!(
+            a.max_load.as_ref().unwrap().mean_round_max(),
+            b.max_load.as_ref().unwrap().mean_round_max()
+        );
+        assert_eq!(
+            a.empty_bins.as_ref().unwrap().min_empty(),
+            b.empty_bins.as_ref().unwrap().min_empty()
+        );
+        assert_eq!(
+            a.empty_bins.as_ref().unwrap().violations_below_quarter(),
+            b.empty_bins.as_ref().unwrap().violations_below_quarter()
+        );
+        assert_eq!(
+            a.legitimacy.as_ref().unwrap().first_legitimate_round(),
+            b.legitimacy.as_ref().unwrap().first_legitimate_round()
+        );
+        assert_eq!(
+            a.trace.as_ref().unwrap().points(),
+            b.trace.as_ref().unwrap().points()
+        );
+    }
+
+    #[test]
+    fn observer_stack_is_empty_reports_components() {
+        assert!(ObserverStack::new().is_empty());
+        assert!(!ObserverStack::new().with_max_load().is_empty());
+        assert!(!ObserverStack::new().with_trace(2).is_empty());
     }
 
     #[test]

@@ -18,7 +18,9 @@ use crate::adversary::placement_to_config;
 use crate::config::Config;
 use crate::engine::Engine;
 use crate::rng::Xoshiro256pp;
-use crate::sampling::{throw_uniform, throw_uniform_batched, throw_uniform_recording};
+use crate::sampling::{
+    throw_uniform, throw_uniform_batched, throw_uniform_recording, UniformSampler,
+};
 
 /// Load-only repeated balls-into-bins simulator.
 ///
@@ -40,18 +42,24 @@ pub struct LoadProcess {
     /// Destination scratch reused by the batched hot path; empty until the
     /// first `step_batched` call, so the scalar path pays nothing for it.
     dests: Vec<u32>,
+    /// Uniform sampler keyed on `n` (the bin count never changes over a
+    /// process's lifetime), so the batched path does not re-pay the
+    /// `2^64 mod n` rejection-threshold division every round.
+    sampler: UniformSampler,
 }
 
 impl LoadProcess {
     /// Creates a process from an initial configuration and a seeded RNG.
     pub fn new(config: Config, rng: Xoshiro256pp) -> Self {
         let balls = config.total_balls();
+        let sampler = UniformSampler::new(config.n() as u64);
         Self {
             config,
             rng,
             round: 0,
             balls,
             dests: Vec::new(),
+            sampler,
         }
     }
 
@@ -120,7 +128,13 @@ impl LoadProcess {
             *l -= occupied;
             departures += occupied as usize;
         }
-        throw_uniform_batched(&mut self.rng, loads, departures, &mut self.dests);
+        throw_uniform_batched(
+            &self.sampler,
+            &mut self.rng,
+            loads,
+            departures,
+            &mut self.dests,
+        );
         self.round += 1;
         debug_assert_eq!(self.config.total_balls(), self.balls);
         departures
@@ -355,6 +369,24 @@ mod tests {
                 assert_eq!(a, b);
                 assert_eq!(scalar.config(), batched.config());
             }
+        }
+    }
+
+    #[test]
+    fn cached_sampler_keeps_rng_state_bit_identical_to_scalar() {
+        // The cached `UniformSampler` must not change what the batched path
+        // consumes: after any number of rounds the loads AND the raw RNG
+        // state match the scalar path exactly.
+        for n in [2usize, 33, 500] {
+            let mut scalar = LoadProcess::legitimate_start(n, 77);
+            let mut batched = scalar.clone();
+            for _ in 0..250 {
+                scalar.step();
+                batched.step_batched();
+            }
+            assert_eq!(scalar.config, batched.config);
+            assert_eq!(scalar.rng, batched.rng, "RNG state diverged at n={n}");
+            assert_eq!(batched.sampler.bound(), n as u64, "sampler keyed on n");
         }
     }
 

@@ -13,7 +13,11 @@ use crate::rng::Xoshiro256pp;
 /// trials up to and including the first success.
 ///
 /// Uses the inverse-CDF formula `ceil(ln(1-U) / ln(1-p))`, which is exact for
-/// `p ∈ (0, 1)`.
+/// `p ∈ (0, 1)`. The denominator is computed as `(-p).ln_1p()`: the naive
+/// `(1.0 - p).ln()` loses all of `p`'s precision below `~1e-9` (the subtraction
+/// rounds) and is exactly `0.0` once `p < f64::EPSILON/2`, which turned every
+/// sample into `inf → u64::MAX`. `ln_1p` keeps full relative precision down to
+/// the smallest subnormal `p`.
 #[inline]
 pub fn geometric(rng: &mut Xoshiro256pp, p: f64) -> u64 {
     debug_assert!(p > 0.0 && p <= 1.0, "geometric p must be in (0, 1]");
@@ -21,11 +25,11 @@ pub fn geometric(rng: &mut Xoshiro256pp, p: f64) -> u64 {
         return 1;
     }
     let u = 1.0 - rng.next_f64(); // in (0, 1]
-    let g = (u.ln() / (1.0 - p).ln()).ceil();
+    let g = (u.ln() / (-p).ln_1p()).ceil();
     if g < 1.0 {
         1
     } else {
-        g as u64
+        g as u64 // saturates at u64::MAX only when the true sample overflows
     }
 }
 
@@ -66,6 +70,7 @@ pub fn throw_uniform(rng: &mut Xoshiro256pp, loads: &mut [u32], d: usize) {
     debug_assert!(n > 0);
     for _ in 0..d {
         let b = rng.uniform_usize(n);
+        debug_assert_ne!(loads[b], u32::MAX, "bin {b} load would overflow u32");
         loads[b] += 1;
     }
 }
@@ -134,8 +139,13 @@ impl UniformSampler {
 /// over the whole batch), then scatters the increments. Consumes the RNG
 /// identically to [`throw_uniform`], so the resulting `loads` and the
 /// post-call RNG state are bit-identical to the scalar path.
+///
+/// The caller passes the [`UniformSampler`] (keyed on `loads.len()`) so the
+/// per-round `2^64 mod n` threshold division is paid once at engine
+/// construction, not once per round; the engines cache it next to their RNG.
 #[inline]
 pub fn throw_uniform_batched(
+    sampler: &UniformSampler,
     rng: &mut Xoshiro256pp,
     loads: &mut [u32],
     d: usize,
@@ -143,9 +153,19 @@ pub fn throw_uniform_batched(
 ) {
     let n = loads.len();
     debug_assert!(n > 0);
+    debug_assert_eq!(
+        sampler.bound(),
+        n as u64,
+        "cached sampler must be keyed on the bin count"
+    );
     dests.resize(d, 0);
-    UniformSampler::new(n as u64).fill_u32(rng, dests);
+    sampler.fill_u32(rng, dests);
     for &b in dests.iter() {
+        debug_assert_ne!(
+            loads[b as usize],
+            u32::MAX,
+            "bin {b} load would overflow u32"
+        );
         loads[b as usize] += 1;
     }
 }
@@ -163,6 +183,7 @@ pub fn throw_uniform_recording(
     let n = loads.len();
     for _ in 0..d {
         let b = rng.uniform_usize(n);
+        debug_assert_ne!(loads[b], u32::MAX, "bin {b} load would overflow u32");
         loads[b] += 1;
         dests.push(b);
     }
@@ -170,13 +191,144 @@ pub fn throw_uniform_recording(
 
 /// Samples a uniformly random composition: `m` balls into `n` bins, each ball
 /// independent and uniform. Returns the load vector.
+///
+/// This is the *stream-compatible* initializer — one `uniform_usize(n)` draw
+/// per ball, in ball order — which every published experiment number depends
+/// on. [`random_assignment_multinomial`] is the large-`m` fast path with a
+/// different (but equal-in-law) RNG stream; it must never silently replace
+/// this function where seeds are pinned.
 pub fn random_assignment(rng: &mut Xoshiro256pp, n: usize, m: u64) -> Vec<u32> {
     let mut loads = vec![0u32; n];
     for _ in 0..m {
         let b = rng.uniform_usize(n);
+        debug_assert_ne!(loads[b], u32::MAX, "bin {b} load would overflow u32");
         loads[b] += 1;
     }
     loads
+}
+
+/// Sorted occupied-bin entries of the same law as [`random_assignment`], but
+/// consuming one `uniform_usize(n)` draw per ball exactly like the dense
+/// version — the sparse engine's stream-compatible initializer. Returns
+/// `(bin, load)` pairs sorted by bin index, only for non-empty bins, so
+/// memory is `O(#occupied)` on top of the transient `O(m)` draw buffer and
+/// no `O(n)` vector is ever allocated.
+pub fn random_assignment_entries(rng: &mut Xoshiro256pp, n: usize, m: u64) -> Vec<(u32, u32)> {
+    assert!(
+        n <= u32::MAX as usize + 1,
+        "bin count {n} exceeds the u32 index range"
+    );
+    let mut draws: Vec<u32> = (0..m).map(|_| rng.uniform_usize(n) as u32).collect();
+    draws.sort_unstable();
+    let mut entries: Vec<(u32, u32)> = Vec::new();
+    for b in draws {
+        match entries.last_mut() {
+            Some((bin, load)) if *bin == b => {
+                debug_assert_ne!(*load, u32::MAX, "bin {b} load would overflow u32");
+                *load += 1;
+            }
+            _ => entries.push((b, 1)),
+        }
+    }
+    entries
+}
+
+/// Number of sub-blocks a range is split into per level of
+/// [`random_assignment_multinomial`]; also the per-node ball count below
+/// which the sampler falls back to direct per-ball throws within the range.
+const MULTINOMIAL_FANOUT: u64 = 64;
+
+/// Samples the same multinomial law as [`random_assignment`] — `m` i.i.d.
+/// uniform balls over `n` bins — via recursive **binomial splitting**,
+/// returning sorted `(bin, load)` entries for the occupied bins only.
+///
+/// The range `[0, n)` is cut into 64 (`MULTINOMIAL_FANOUT`) blocks and the
+/// ball count is divided among them with a chain of exact conditional
+/// binomials (`k_i ~ Binomial(remaining, |block_i| / |remaining range|)`);
+/// blocks that receive at most 64 balls finish with direct per-ball
+/// uniform throws inside the block. Expected cost is
+/// `O(m · log_64 n)` geometric draws with **`O(#occupied)` memory** and a
+/// sequential (sorted) output — no `O(n)` dense vector, no random-access
+/// scatter. That makes it the initializer of choice for large-`m` starts in
+/// the sparse regime (`n = 10^8` would otherwise pay a 400 MB load vector
+/// before the first round).
+///
+/// **Not stream-compatible** with [`random_assignment`]: it consumes the RNG
+/// through binomials instead of per-ball uniforms, so the two samplers agree
+/// in law but not per seed. Published numbers pin the per-ball stream; this
+/// fast path is opt-in (spec start kind `random-multinomial`).
+pub fn random_assignment_multinomial(rng: &mut Xoshiro256pp, n: usize, m: u64) -> Vec<(u32, u32)> {
+    assert!(n > 0, "need at least one bin");
+    assert!(
+        n <= u32::MAX as usize + 1,
+        "bin count {n} exceeds the u32 index range"
+    );
+    assert!(
+        m <= u32::MAX as u64,
+        "ball count {m} could overflow a u32 bin"
+    );
+    let mut entries = Vec::new();
+    split_range(rng, 0, n as u64, m, &mut entries);
+    entries
+}
+
+/// Recursive worker of [`random_assignment_multinomial`]: distributes `m`
+/// balls u.a.r. over bins `[lo, lo + len)`, appending occupied entries in
+/// bin order.
+fn split_range(rng: &mut Xoshiro256pp, lo: u64, len: u64, m: u64, out: &mut Vec<(u32, u32)>) {
+    if m == 0 {
+        return;
+    }
+    if len == 1 {
+        out.push((lo as u32, m as u32));
+        return;
+    }
+    if m <= MULTINOMIAL_FANOUT {
+        // Few balls over a wide range: direct per-ball throws, then an
+        // insertion-merge into the (sorted) output tail.
+        let start = out.len();
+        for _ in 0..m {
+            let b = lo + rng.next_below(len);
+            let pos = out[start..].partition_point(|&(bin, _)| (bin as u64) < b) + start;
+            match out.get_mut(pos) {
+                Some((bin, load)) if *bin as u64 == b => *load += 1,
+                _ => out.insert(pos, (b as u32, 1)),
+            }
+        }
+        return;
+    }
+    // Chain of conditional binomials over MULTINOMIAL_FANOUT blocks: given
+    // the balls remaining after earlier blocks, each block's count is
+    // Binomial(remaining, |block| / |remaining range|) — together an exact
+    // multinomial split of m over the blocks.
+    let blocks = MULTINOMIAL_FANOUT.min(len);
+    let mut remaining_balls = m;
+    let mut cursor = lo;
+    let end = lo + len;
+    for i in 0..blocks {
+        // Even partition: block i covers [lo + i*len/blocks, lo + (i+1)*len/blocks).
+        let block_end = lo + (i + 1) * len / blocks;
+        let block_len = block_end - cursor;
+        if block_len == 0 {
+            continue;
+        }
+        let remaining_range = end - cursor;
+        let k = if remaining_range == block_len {
+            remaining_balls // last block takes whatever is left
+        } else {
+            binomial(
+                rng,
+                remaining_balls,
+                block_len as f64 / remaining_range as f64,
+            )
+        };
+        split_range(rng, cursor, block_len, k, out);
+        remaining_balls -= k;
+        cursor = block_end;
+        if remaining_balls == 0 {
+            return;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -326,9 +478,10 @@ mod tests {
         let mut loads_scalar = vec![0u32; 100];
         let mut loads_batched = vec![0u32; 100];
         let mut scratch = Vec::new();
+        let sampler = UniformSampler::new(100);
         for d in [0usize, 1, 17, 1000] {
             throw_uniform(&mut a, &mut loads_scalar, d);
-            throw_uniform_batched(&mut b, &mut loads_batched, d, &mut scratch);
+            throw_uniform_batched(&sampler, &mut b, &mut loads_batched, d, &mut scratch);
             assert_eq!(loads_scalar, loads_batched);
             assert_eq!(a, b);
         }
@@ -339,9 +492,10 @@ mod tests {
         let mut r = rng(301);
         let mut loads = vec![0u32; 16];
         let mut scratch = Vec::with_capacity(64);
-        throw_uniform_batched(&mut r, &mut loads, 64, &mut scratch);
+        let sampler = UniformSampler::new(16);
+        throw_uniform_batched(&sampler, &mut r, &mut loads, 64, &mut scratch);
         let ptr = scratch.as_ptr();
-        throw_uniform_batched(&mut r, &mut loads, 32, &mut scratch);
+        throw_uniform_batched(&sampler, &mut r, &mut loads, 32, &mut scratch);
         // Shrinking reuses the allocation; no per-round realloc.
         assert_eq!(scratch.as_ptr(), ptr);
         assert_eq!(scratch.len(), 32);
@@ -352,6 +506,131 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn uniform_sampler_rejects_zero_bound() {
         let _ = UniformSampler::new(0);
+    }
+
+    #[test]
+    fn geometric_tiny_p_is_finite_and_unbiased() {
+        // Regression: `(1.0 - p).ln()` is exactly 0.0 for p < f64::EPSILON/2,
+        // which made every sample inf → u64::MAX. With ln_1p the samples are
+        // finite and the mean tracks 1/p.
+        let mut r = rng(40);
+        let p = 1e-17;
+        let k = 2000;
+        let mut sum = 0.0f64;
+        for _ in 0..k {
+            let g = geometric(&mut r, p);
+            assert!(g < u64::MAX, "sample saturated at u64::MAX");
+            sum += g as f64;
+        }
+        let mean = sum / k as f64;
+        // sd of the sample mean is (1/p)/sqrt(k) ≈ 2.2% of the mean.
+        assert!(
+            (mean * p - 1.0).abs() < 0.15,
+            "mean {mean:e} vs expected {:e}",
+            1.0 / p
+        );
+    }
+
+    #[test]
+    fn geometric_sub_1e9_p_has_full_precision() {
+        // In the 1e-9..1e-16 band the old denominator silently lost up to
+        // ~half its digits; the mean must track 1/p tightly.
+        let mut r = rng(41);
+        let p = 1e-12;
+        let k = 5000;
+        let sum: f64 = (0..k).map(|_| geometric(&mut r, p) as f64).sum();
+        let mean = sum / k as f64;
+        assert!((mean * p - 1.0).abs() < 0.1, "mean {mean:e}");
+    }
+
+    #[test]
+    fn binomial_stays_sane_at_sparse_regime_n() {
+        // B(n, 1/n) at n = 10^8 — the sparse-regime workhorse: mean 1,
+        // cheap (O(np) = O(1) gaps), and never wildly large.
+        let mut r = rng(42);
+        let n = 100_000_000u64;
+        let p = 1.0 / n as f64;
+        let trials = 20_000;
+        let mut sum = 0u64;
+        for _ in 0..trials {
+            let b = binomial(&mut r, n, p);
+            assert!(b <= 20, "B(1e8, 1e-8) produced {b}");
+            sum += b;
+        }
+        let mean = sum as f64 / trials as f64;
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn random_assignment_entries_match_dense_stream() {
+        // Same RNG stream, same configuration — just the sparse encoding.
+        for (n, m) in [(16usize, 16u64), (1000, 10), (64, 300), (8, 0)] {
+            let mut a = rng(500 + n as u64);
+            let mut b = a.clone();
+            let dense = random_assignment(&mut a, n, m);
+            let entries = random_assignment_entries(&mut b, n, m);
+            assert_eq!(a, b, "RNG streams diverged");
+            let mut rebuilt = vec![0u32; n];
+            for &(bin, load) in &entries {
+                assert!(load > 0, "empty entry");
+                rebuilt[bin as usize] = load;
+            }
+            assert_eq!(rebuilt, dense);
+            assert!(entries.windows(2).all(|w| w[0].0 < w[1].0), "sorted unique");
+        }
+    }
+
+    #[test]
+    fn multinomial_assignment_conserves_and_sorts() {
+        let mut r = rng(43);
+        for (n, m) in [
+            (1usize, 100u64),
+            (7, 0),
+            (1000, 1),
+            (100_000, 4096),
+            (64, 10_000),
+        ] {
+            let entries = random_assignment_multinomial(&mut r, n, m);
+            let total: u64 = entries.iter().map(|&(_, l)| l as u64).sum();
+            assert_eq!(total, m, "mass violated at n={n} m={m}");
+            assert!(entries.iter().all(|&(b, l)| (b as usize) < n && l > 0));
+            assert!(
+                entries.windows(2).all(|w| w[0].0 < w[1].0),
+                "entries must be sorted and unique"
+            );
+        }
+    }
+
+    #[test]
+    fn multinomial_assignment_is_uniform_in_law() {
+        // Small n, large m: per-bin counts must match the multinomial
+        // marginals (mean m/n, sd ~ sqrt(m/n)).
+        let mut r = rng(44);
+        let (n, m) = (10usize, 100_000u64);
+        let mut totals = vec![0u64; n];
+        for _ in 0..10 {
+            for (b, l) in random_assignment_multinomial(&mut r, n, m) {
+                totals[b as usize] += l as u64;
+            }
+        }
+        let expect = 10.0 * m as f64 / n as f64; // 100_000 per bin, sd ≈ 300
+        for (b, &t) in totals.iter().enumerate() {
+            assert!(
+                (t as f64 - expect).abs() < 5.0 * 300.0,
+                "bin {b}: {t} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn multinomial_assignment_sparse_regime_is_cheap_and_sparse() {
+        // n = 10^8, m = 10^4: no dense vector, #occupied ≈ m, all loads tiny.
+        let mut r = rng(45);
+        let entries = random_assignment_multinomial(&mut r, 100_000_000, 10_000);
+        let total: u64 = entries.iter().map(|&(_, l)| l as u64).sum();
+        assert_eq!(total, 10_000);
+        assert!(entries.len() > 9_900, "collisions are rare at this density");
+        assert!(entries.iter().all(|&(_, l)| l <= 4));
     }
 
     #[test]

@@ -1,0 +1,570 @@
+//! The repeated balls-into-bins process — sparse occupancy engine for the
+//! `m ≪ n` regime.
+//!
+//! [`crate::process::LoadProcess`] scans a dense `Vec<u32>` of all `n` bins
+//! every round, so a round costs `O(n)` even when only a few thousand bins
+//! are ever occupied. [`SparseLoadProcess`] stores **only the occupied
+//! bins** — an index→load hash map plus an unordered worklist of occupied
+//! indices — so one round costs `O(#non-empty bins + departures)` and
+//! resident memory is `O(m)`, independent of `n`. That unlocks the regime
+//! the paper's stability claims are most interesting in at scale
+//! (`n = 10^8`, `m = 10^3..10^5`), where the dense engine cannot even
+//! afford its own load vector comfortably.
+//!
+//! # Why the two engines are bit-identical
+//!
+//! The process consumes randomness in exactly one place: after every
+//! non-empty bin releases one ball, the round's `d` departures each draw an
+//! i.i.d. uniform destination over `[0, n)`. The *number* of draws depends
+//! only on how many bins are non-empty — never on how the loads are stored
+//! — and both engines draw through the same primitive
+//! ([`Xoshiro256pp::uniform_usize`] scalar / [`UniformSampler`] batched,
+//! themselves bit-compatible). So from the same seed and the same starting
+//! configuration, the dense and sparse engines consume identical RNG
+//! streams and traverse identical configuration trajectories, round for
+//! round — including across `apply_fault` reassignments, which consume no
+//! engine randomness. The cross-engine proptests (`tests/proptest_sparse.rs`)
+//! pin this over the full factory matrix, fault injection included.
+//!
+//! # Observing without densifying
+//!
+//! [`Engine::config`] must hand out a dense [`Config`]; the sparse engine
+//! materializes one lazily into a [`OnceCell`] cache (invalidated by every
+//! mutation), so callers that genuinely need the dense view — final
+//! inspection, the adversary's `placement(…, &Config, …)`, equivalence
+//! tests — pay `O(n)` only when they ask. The per-round driver surface
+//! ([`Engine::max_load`], [`Engine::empty_bins`], [`Engine::nonempty_bins`],
+//! [`Engine::bin_load`], [`Engine::nonempty_bins_list`]) is overridden with
+//! `O(#occupied)`-or-better implementations, and the `rbb_sim` scenario
+//! loop and [`crate::metrics::ObserverStack::observe_engine`] read only
+//! that surface.
+
+use std::cell::OnceCell;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+use crate::config::Config;
+use crate::engine::Engine;
+use crate::rng::Xoshiro256pp;
+use crate::sampling::UniformSampler;
+
+/// A deterministic, dependency-free hasher for `u32` bin indices: one round
+/// of the SplitMix64 finalizer (full avalanche in ~5 ALU ops). The std
+/// default (`RandomState`/SipHash) would be several times slower on 4-byte
+/// keys *and* randomly seeded per process, making map iteration order — and
+/// therefore debugging — non-reproducible. Bin indices are uniform random
+/// draws, so no adversarial-key defense is needed here.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct BinHasher {
+    hash: u64,
+}
+
+impl Hasher for BinHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback (unused by the u32 key path).
+        for &b in bytes {
+            self.hash = (self.hash ^ b as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, key: u32) {
+        let mut z = (key as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        self.hash = z ^ (z >> 31);
+    }
+}
+
+/// The `BuildHasher` for [`BinHasher`]-keyed maps.
+pub type BuildBinHasher = BuildHasherDefault<BinHasher>;
+
+/// Occupancy map type of the sparse engine.
+type LoadMap = HashMap<u32, u32, BuildBinHasher>;
+
+/// Sparse load-only repeated balls-into-bins simulator: bit-identical in
+/// trajectory to [`LoadProcess`](crate::process::LoadProcess) from the same
+/// seed and start, at `O(#non-empty bins + departures)` per round and
+/// `O(m)` memory.
+///
+/// ```
+/// use rbb_core::prelude::*;
+/// use rbb_core::sparse::SparseLoadProcess;
+///
+/// // 10^7 bins, 1000 balls: rounds cost O(1000), memory O(1000).
+/// let mut p = SparseLoadProcess::from_entries(
+///     10_000_000,
+///     vec![(0, 1_000)],
+///     Xoshiro256pp::seed_from(7),
+/// );
+/// p.run_silent(2_000);
+/// assert_eq!(p.balls(), 1_000);
+/// assert!(Engine::max_load(&p) >= 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SparseLoadProcess {
+    n: usize,
+    rng: Xoshiro256pp,
+    round: u64,
+    balls: u64,
+    /// Occupied bins only: `loads[&b]` ≥ 1 always.
+    loads: LoadMap,
+    /// Unordered worklist of the occupied bin indices — the round's
+    /// departure scan iterates this, never `[0, n)`.
+    occupied: Vec<u32>,
+    /// Uniform sampler keyed on `n` (cached, like the dense engine's).
+    sampler: UniformSampler,
+    /// Destination scratch for the batched path.
+    dests: Vec<u32>,
+    /// Lazily materialized dense view for `Engine::config`; invalidated on
+    /// every mutation, so steady-state stepping never allocates `O(n)`.
+    dense: OnceCell<Config>,
+}
+
+impl SparseLoadProcess {
+    /// Creates a sparse process from occupied-bin `(bin, load)` entries —
+    /// the `O(#entries)` constructor that never touches a dense vector.
+    /// Duplicate bins are merged; zero loads are ignored.
+    ///
+    /// Panics if `n == 0`, a bin index is out of range, or the total ball
+    /// count exceeds `u32::MAX` (the per-bin capacity — see
+    /// [`Config::from_loads`]).
+    pub fn from_entries(
+        n: usize,
+        entries: impl IntoIterator<Item = (u32, u32)>,
+        rng: Xoshiro256pp,
+    ) -> Self {
+        assert!(n > 0, "a configuration needs at least one bin");
+        // Bin indices are u32 throughout the workspace; a larger n would
+        // silently truncate destination draws (`as u32`) in release builds.
+        assert!(
+            n <= u32::MAX as usize + 1,
+            "bin count {n} exceeds the u32 index range"
+        );
+        let mut loads = LoadMap::default();
+        let mut occupied = Vec::new();
+        let mut balls = 0u64;
+        for (bin, load) in entries {
+            assert!((bin as usize) < n, "bin {bin} out of range 0..{n}");
+            if load == 0 {
+                continue;
+            }
+            balls += load as u64;
+            match loads.entry(bin) {
+                Entry::Occupied(mut e) => *e.get_mut() += load,
+                Entry::Vacant(e) => {
+                    e.insert(load);
+                    occupied.push(bin);
+                }
+            }
+        }
+        assert!(
+            balls <= u32::MAX as u64,
+            "total ball count {balls} exceeds u32::MAX and could overflow a single bin"
+        );
+        Self {
+            n,
+            rng,
+            round: 0,
+            balls,
+            loads,
+            occupied,
+            sampler: UniformSampler::new(n as u64),
+            dests: Vec::new(),
+            dense: OnceCell::new(),
+        }
+    }
+
+    /// Creates a sparse process from a dense configuration (collecting its
+    /// non-empty bins) — the drop-in replacement for
+    /// [`LoadProcess::new`](crate::process::LoadProcess::new).
+    pub fn new(config: Config, rng: Xoshiro256pp) -> Self {
+        let entries = config
+            .loads()
+            .iter()
+            .enumerate()
+            .filter(|&(_, &l)| l > 0)
+            .map(|(b, &l)| (b as u32, l));
+        Self::from_entries(config.n(), entries, rng)
+    }
+
+    /// Convenience constructor: `n` balls into `n` bins, one per bin.
+    pub fn legitimate_start(n: usize, seed: u64) -> Self {
+        Self::from_entries(
+            n,
+            (0..n as u32).map(|b| (b, 1)),
+            Xoshiro256pp::seed_from(seed),
+        )
+    }
+
+    /// Current round index (0 before any step).
+    #[inline]
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Number of bins.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Total ball count (invariant across rounds).
+    #[inline]
+    pub fn balls(&self) -> u64 {
+        self.balls
+    }
+
+    /// Number of occupied (non-empty) bins.
+    #[inline]
+    pub fn occupied_bins(&self) -> usize {
+        self.loads.len()
+    }
+
+    /// Drops the dense snapshot cache; every mutation must call this.
+    #[inline]
+    fn invalidate(&mut self) {
+        self.dense.take();
+    }
+
+    /// Departure phase: every occupied bin releases one ball; bins reaching
+    /// zero leave the map and the worklist. Returns the departure count.
+    fn depart_all(&mut self) -> usize {
+        let loads = &mut self.loads;
+        let before = self.occupied.len();
+        self.occupied.retain(|&b| {
+            let slot = loads.get_mut(&b).expect("worklist entries are occupied");
+            *slot -= 1;
+            if *slot == 0 {
+                loads.remove(&b);
+                false
+            } else {
+                true
+            }
+        });
+        before
+    }
+
+    /// Arrival of one ball in bin `b`.
+    #[inline]
+    fn arrive(&mut self, b: u32) {
+        match self.loads.entry(b) {
+            Entry::Occupied(mut e) => {
+                let slot = e.get_mut();
+                debug_assert_ne!(*slot, u32::MAX, "bin {b} load would overflow u32");
+                *slot += 1;
+            }
+            Entry::Vacant(e) => {
+                e.insert(1);
+                self.occupied.push(b);
+            }
+        }
+    }
+
+    /// Closes a round: bumps the counter, invalidates the dense cache, and
+    /// (in debug builds) re-checks mass conservation.
+    fn finish_round(&mut self, departures: usize) -> usize {
+        self.round += 1;
+        self.invalidate();
+        debug_assert_eq!(
+            self.loads.values().map(|&l| l as u64).sum::<u64>(),
+            self.balls,
+            "mass violated"
+        );
+        debug_assert_eq!(self.loads.len(), self.occupied.len());
+        departures
+    }
+
+    /// Advances one round through the scalar path; returns the number of
+    /// balls that moved. Consumes the RNG exactly like
+    /// [`LoadProcess::step`](crate::process::LoadProcess::step): `d` scalar
+    /// uniform draws, where `d` is the number of non-empty bins.
+    pub fn step(&mut self) -> usize {
+        let departures = self.depart_all();
+        for _ in 0..departures {
+            let b = self.rng.uniform_usize(self.n) as u32;
+            self.arrive(b);
+        }
+        self.finish_round(departures)
+    }
+
+    /// Advances one round through the batched path (destinations drawn
+    /// through the cached [`UniformSampler`] into a reused scratch buffer).
+    /// Bit-identical to [`step`](SparseLoadProcess::step) — and to the dense
+    /// engine's batched path — from equal state.
+    pub fn step_batched(&mut self) -> usize {
+        let departures = self.depart_all();
+        self.dests.resize(departures, 0);
+        let mut dests = std::mem::take(&mut self.dests);
+        self.sampler.fill_u32(&mut self.rng, &mut dests);
+        for &b in &dests {
+            self.arrive(b);
+        }
+        self.dests = dests;
+        self.finish_round(departures)
+    }
+}
+
+impl Engine for SparseLoadProcess {
+    #[inline]
+    fn step(&mut self) -> usize {
+        SparseLoadProcess::step(self)
+    }
+
+    #[inline]
+    fn step_batched(&mut self) -> usize {
+        SparseLoadProcess::step_batched(self)
+    }
+
+    #[inline]
+    fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Materializes (and caches) the dense snapshot — `O(n)`, so per-round
+    /// drivers use the cheap accessors below instead (see the module docs).
+    fn config(&self) -> &Config {
+        self.dense.get_or_init(|| {
+            let mut loads = vec![0u32; self.n];
+            for (&b, &l) in &self.loads {
+                loads[b as usize] = l;
+            }
+            Config::from_loads(loads)
+        })
+    }
+
+    #[inline]
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn balls(&self) -> u64 {
+        self.balls
+    }
+
+    fn max_load(&self) -> u32 {
+        self.loads.values().copied().max().unwrap_or(0)
+    }
+
+    #[inline]
+    fn empty_bins(&self) -> usize {
+        self.n - self.loads.len()
+    }
+
+    #[inline]
+    fn nonempty_bins(&self) -> usize {
+        self.loads.len()
+    }
+
+    #[inline]
+    fn bin_load(&self, bin: usize) -> u32 {
+        self.loads.get(&(bin as u32)).copied().unwrap_or(0)
+    }
+
+    fn nonempty_bins_list(&self) -> Option<Vec<u32>> {
+        Some(self.occupied.clone())
+    }
+
+    fn supports_faults(&self) -> bool {
+        true
+    }
+
+    /// Placement-based fault, `O(m)`: rebuilds the occupancy map from
+    /// `placement[ball] = bin` without a dense detour. Consumes no engine
+    /// randomness, exactly like the dense engine's fault path, so faulty
+    /// trajectories stay bit-identical too.
+    fn apply_fault(&mut self, placement: &[usize]) {
+        assert_eq!(
+            placement.len() as u64,
+            self.balls,
+            "adversary must conserve balls"
+        );
+        self.loads.clear();
+        self.occupied.clear();
+        for &bin in placement {
+            assert!(bin < self.n, "bin {bin} out of range 0..{}", self.n);
+            self.arrive(bin as u32);
+        }
+        self.invalidate();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::LoadProcess;
+
+    fn rng(seed: u64) -> Xoshiro256pp {
+        Xoshiro256pp::seed_from(seed)
+    }
+
+    /// Steps a dense/sparse pair in lockstep, asserting full agreement.
+    fn assert_twins(mut dense: LoadProcess, mut sparse: SparseLoadProcess, rounds: u64) {
+        for r in 0..rounds {
+            let (a, b) = if r % 3 == 0 {
+                (dense.step(), sparse.step())
+            } else {
+                (Engine::step_batched(&mut dense), sparse.step_batched())
+            };
+            assert_eq!(a, b, "departure count diverged at round {r}");
+            assert_eq!(Engine::max_load(&dense), Engine::max_load(&sparse));
+            assert_eq!(Engine::empty_bins(&dense), Engine::empty_bins(&sparse));
+            assert_eq!(dense.config(), Engine::config(&sparse), "round {r}");
+        }
+        assert_eq!(dense.round(), Engine::round(&sparse));
+    }
+
+    #[test]
+    fn trajectory_is_bit_identical_to_dense_from_any_start() {
+        for (n, m) in [(64usize, 64u32), (100, 7), (33, 200), (2, 1)] {
+            let config = Config::all_in_one(n, m);
+            assert_twins(
+                LoadProcess::new(config.clone(), rng(9)),
+                SparseLoadProcess::new(config, rng(9)),
+                120,
+            );
+        }
+    }
+
+    #[test]
+    fn legitimate_start_matches_dense() {
+        assert_twins(
+            LoadProcess::legitimate_start(128, 5),
+            SparseLoadProcess::legitimate_start(128, 5),
+            100,
+        );
+    }
+
+    #[test]
+    fn from_entries_merges_and_validates() {
+        let p = SparseLoadProcess::from_entries(10, vec![(3, 2), (3, 1), (9, 5), (0, 0)], rng(1));
+        assert_eq!(p.balls(), 8);
+        assert_eq!(p.occupied_bins(), 2);
+        assert_eq!(Engine::bin_load(&p, 3), 3);
+        assert_eq!(Engine::bin_load(&p, 9), 5);
+        assert_eq!(Engine::bin_load(&p, 0), 0);
+        assert_eq!(Engine::config(&p).loads()[3], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_entries_rejects_out_of_range_bin() {
+        SparseLoadProcess::from_entries(4, vec![(4, 1)], rng(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "could overflow")]
+    fn from_entries_rejects_overflowing_mass() {
+        SparseLoadProcess::from_entries(4, vec![(0, u32::MAX), (1, 1)], rng(1));
+    }
+
+    #[test]
+    fn dense_cache_invalidates_on_step() {
+        let mut p = SparseLoadProcess::legitimate_start(16, 3);
+        let before = Engine::config(&p).clone();
+        p.step();
+        let after = Engine::config(&p);
+        assert_ne!(&before, after, "stale dense snapshot served after a step");
+        assert_eq!(after.total_balls(), 16);
+    }
+
+    #[test]
+    fn cheap_accessors_match_dense_view() {
+        let mut p = SparseLoadProcess::from_entries(1000, vec![(1, 3), (997, 1)], rng(7));
+        p.run_silent(50);
+        let dense = Engine::config(&p).clone();
+        assert_eq!(Engine::max_load(&p), dense.max_load());
+        assert_eq!(Engine::empty_bins(&p), dense.empty_bins());
+        assert_eq!(Engine::nonempty_bins(&p), dense.nonempty_bins());
+        for b in 0..1000 {
+            assert_eq!(Engine::bin_load(&p, b), dense.loads()[b]);
+        }
+        let mut list = Engine::nonempty_bins_list(&p).unwrap();
+        list.sort_unstable();
+        let expect: Vec<u32> = dense
+            .loads()
+            .iter()
+            .enumerate()
+            .filter(|&(_, &l)| l > 0)
+            .map(|(b, _)| b as u32)
+            .collect();
+        assert_eq!(list, expect);
+    }
+
+    #[test]
+    fn apply_fault_matches_dense_fault_path() {
+        let mut dense = LoadProcess::legitimate_start(32, 21);
+        let mut sparse = SparseLoadProcess::legitimate_start(32, 21);
+        for _ in 0..40 {
+            dense.step();
+            sparse.step();
+        }
+        let placement: Vec<usize> = (0..32).map(|i| i % 5).collect();
+        Engine::apply_fault(&mut dense, &placement);
+        Engine::apply_fault(&mut sparse, &placement);
+        assert_eq!(dense.config(), Engine::config(&sparse));
+        // Post-fault trajectories keep agreeing (no RNG was consumed).
+        assert_twins(dense, sparse, 60);
+    }
+
+    #[test]
+    #[should_panic(expected = "conserve")]
+    fn apply_fault_rejects_mass_change() {
+        let mut p = SparseLoadProcess::legitimate_start(8, 1);
+        Engine::apply_fault(&mut p, &[0; 9]);
+    }
+
+    #[test]
+    fn round_cost_tracks_occupancy_not_n() {
+        // Smoke-level scale check: n = 10^7 with 500 balls must step fast
+        // (a dense engine would scan 10^7 slots per round — ~10^10 slot
+        // visits for this loop).
+        let mut p = SparseLoadProcess::from_entries(10_000_000, vec![(0, 500)], rng(2));
+        p.run_silent(1_000);
+        assert_eq!(p.balls(), 500);
+        assert!(p.occupied_bins() <= 500);
+        assert!(Engine::empty_bins(&p) >= 10_000_000 - 500);
+    }
+
+    #[test]
+    fn engine_run_family_works() {
+        let mut p = SparseLoadProcess::legitimate_start(64, 11);
+        let hit = p.run_until(10_000, |c| c.max_load() >= 3);
+        assert!(hit.is_some());
+        let mut q = SparseLoadProcess::from_entries(64, vec![(0, 64)], rng(11));
+        q.run_silent(100);
+        assert_eq!(q.round, 100);
+        assert_eq!(q.balls(), 64);
+    }
+
+    #[test]
+    fn worklist_and_map_stay_consistent_under_churn() {
+        let mut p = SparseLoadProcess::from_entries(50, vec![(10, 40)], rng(13));
+        for _ in 0..300 {
+            p.step();
+            assert_eq!(p.occupied.len(), p.loads.len());
+            assert!(p.occupied.iter().all(|b| p.loads.contains_key(b)));
+            assert!(p.loads.values().all(|&l| l > 0));
+        }
+    }
+
+    #[test]
+    fn bin_hasher_is_deterministic() {
+        let mut a = BinHasher::default();
+        let mut b = BinHasher::default();
+        a.write_u32(12345);
+        b.write_u32(12345);
+        assert_eq!(a.finish(), b.finish());
+        let mut c = BinHasher::default();
+        c.write_u32(12346);
+        assert_ne!(a.finish(), c.finish());
+    }
+}

@@ -40,6 +40,7 @@ pub mod e21_mixing;
 pub mod e22_arrival_correlation;
 pub mod e23_graph_cover;
 pub mod e24_window_scaling;
+pub mod e25_sparse_regime;
 
 use common::Experiment;
 
@@ -190,6 +191,12 @@ pub fn registry() -> Vec<Experiment> {
             claim: "Theorem 1(a)'s 'any polynomial window' quantifier, probed directly",
             run: e24_window_scaling::run,
         },
+        Experiment {
+            id: "e25",
+            title: "the sparse regime (m << n) at engine-breaking scale",
+            claim: "stability with room to spare and Theta(m) convergence at n up to 10^8",
+            run: e25_sparse_regime::run,
+        },
     ]
 }
 
@@ -200,7 +207,7 @@ mod tests {
     #[test]
     fn registry_ids_are_unique_and_ordered() {
         let reg = registry();
-        assert_eq!(reg.len(), 24);
+        assert_eq!(reg.len(), 25);
         for (i, e) in reg.iter().enumerate() {
             assert_eq!(e.id, format!("e{:02}", i + 1));
         }

@@ -290,7 +290,9 @@ impl EnsembleSpec {
                             Some(stack.max_load.as_ref().expect("enabled").mean_round_max())
                         }
                         MetricKind::FinalMaxLoad => {
-                            Some(scenario.engine().config().max_load() as f64)
+                            // Cheap accessor: identical to config().max_load()
+                            // but O(#occupied) on sparse engines.
+                            Some(scenario.engine().max_load() as f64)
                         }
                         MetricKind::MinEmptyBins => {
                             Some(stack.empty_bins.as_ref().expect("enabled").min_empty() as f64)

@@ -22,24 +22,25 @@ use rbb_core::adversary::{
     RandomAdversary,
 };
 use rbb_core::ball_process::BallProcess;
-use rbb_core::config::{Config, LegitimacyThreshold};
+use rbb_core::config::LegitimacyThreshold;
 use rbb_core::engine::Engine;
-use rbb_core::metrics::{ObserverStack, RoundObserver};
+use rbb_core::metrics::ObserverStack;
 use rbb_core::process::LoadProcess;
 use rbb_core::rng::Xoshiro256pp;
+use rbb_core::sparse::SparseLoadProcess;
 use rbb_core::tetris::{BatchedTetris, Tetris};
 use rbb_graphs::{GraphLoadProcess, GraphTokenProcess};
 use rbb_traversal::Traversal;
 
 use crate::spec::{
-    AdversaryKindSpec, ArrivalSpec, ScenarioSpec, ScheduleSpec, SpecError, StopSpec,
+    AdversaryKindSpec, ArrivalSpec, EngineSpec, ScenarioSpec, ScheduleSpec, SpecError, StopSpec,
 };
 
 /// Builds the engine a spec describes. The factory table:
 ///
 /// | topology | arrival | strategy | stop | engine |
 /// |---|---|---|---|---|
-/// | complete | uniform | — | any but covered | [`LoadProcess`] |
+/// | complete | uniform | — | any but covered | [`LoadProcess`] / [`SparseLoadProcess`] |
 /// | complete | uniform | set | covered | [`Traversal`] |
 /// | complete | uniform | set | other | [`BallProcess`] |
 /// | complete | d-choice | — | any | [`DChoiceProcess`] |
@@ -47,6 +48,13 @@ use crate::spec::{
 /// | complete | batched-tetris | — | any | [`BatchedTetris`] |
 /// | graph | uniform | — | any but covered | [`GraphLoadProcess`] |
 /// | graph | uniform | set | any | [`GraphTokenProcess`] |
+///
+/// The load-only cell resolves dense vs sparse through
+/// [`ScenarioSpec::resolved_engine`] (bit-identical trajectories either
+/// way); the sparse engine is built from [`StartSpec::build_entries`]
+/// without ever allocating a dense `O(n)` start vector.
+///
+/// [`StartSpec::build_entries`]: crate::spec::StartSpec::build_entries
 pub fn build_engine(spec: &ScenarioSpec) -> Result<Box<dyn Engine>, SpecError> {
     spec.validate()?;
     let seed = spec.seed;
@@ -74,23 +82,36 @@ pub fn build_engine(spec: &ScenarioSpec) -> Result<Box<dyn Engine>, SpecError> {
     }
 
     match spec.arrival {
-        ArrivalSpec::Uniform => {
-            let config = spec.start.build(spec.n, m, seed)?;
-            match (spec.strategy, spec.stop) {
-                (None, _) => Ok(Box::new(LoadProcess::new(
-                    config,
-                    Xoshiro256pp::seed_from(seed),
-                ))),
-                (Some(s), StopSpec::Covered) => {
-                    Ok(Box::new(Traversal::from_config(config, s.to_core(), seed)))
+        ArrivalSpec::Uniform => match (spec.strategy, spec.stop) {
+            (None, _) => {
+                if spec.resolved_engine() == EngineSpec::Sparse {
+                    let entries = spec.start.build_entries(spec.n, m, seed)?;
+                    Ok(Box::new(SparseLoadProcess::from_entries(
+                        spec.n,
+                        entries,
+                        Xoshiro256pp::seed_from(seed),
+                    )))
+                } else {
+                    let config = spec.start.build(spec.n, m, seed)?;
+                    Ok(Box::new(LoadProcess::new(
+                        config,
+                        Xoshiro256pp::seed_from(seed),
+                    )))
                 }
-                (Some(s), _) => Ok(Box::new(BallProcess::new(
+            }
+            (Some(s), StopSpec::Covered) => {
+                let config = spec.start.build(spec.n, m, seed)?;
+                Ok(Box::new(Traversal::from_config(config, s.to_core(), seed)))
+            }
+            (Some(s), _) => {
+                let config = spec.start.build(spec.n, m, seed)?;
+                Ok(Box::new(BallProcess::new(
                     config,
                     s.to_core(),
                     Xoshiro256pp::seed_from(seed),
-                ))),
+                )))
             }
-        }
+        },
         ArrivalSpec::DChoice { d } => {
             let config = spec.start.build(spec.n, m, seed)?;
             Ok(Box::new(DChoiceProcess::new(
@@ -142,12 +163,21 @@ struct FaultArm {
 }
 
 /// Driver-side stop-condition state.
+///
+/// Every variant reads the engine through the cheap metric accessors
+/// ([`Engine::max_load`], [`Engine::bin_load`], …) rather than a dense
+/// [`Engine::config`] snapshot, so stop checking never forces a sparse
+/// engine to materialize `O(n)` state per round. Values are identical for
+/// dense engines (the accessors default to reading the configuration).
 enum StopState {
     Horizon,
     Legitimate(LegitimacyThreshold),
+    /// Lemma-4 bookkeeping: the worklist of bins that have never yet been
+    /// observed empty (initially-empty bins count as already emptied). It
+    /// only ever shrinks, so the per-round cost tracks the unfinished set —
+    /// `O(#initially-occupied)` at worst, `O(m)` in the sparse regime.
     AllEmptied {
-        emptied: Vec<bool>,
-        remaining: usize,
+        never_emptied: Vec<u32>,
     },
     Covered,
 }
@@ -158,33 +188,35 @@ impl StopState {
             StopSpec::Horizon => StopState::Horizon,
             StopSpec::Legitimate => StopState::Legitimate(LegitimacyThreshold::default()),
             StopSpec::AllEmptied => {
-                let loads = engine.config().loads();
-                let emptied: Vec<bool> = loads.iter().map(|&l| l == 0).collect();
-                let remaining = emptied.iter().filter(|&&e| !e).count();
-                StopState::AllEmptied { emptied, remaining }
+                let never_emptied = engine.nonempty_bins_list().unwrap_or_else(|| {
+                    engine
+                        .config()
+                        .loads()
+                        .iter()
+                        .enumerate()
+                        .filter(|&(_, &l)| l > 0)
+                        .map(|(u, _)| u as u32)
+                        .collect()
+                });
+                StopState::AllEmptied { never_emptied }
             }
             StopSpec::Covered => StopState::Covered,
         }
     }
 
-    /// Folds the post-step configuration into the state (the Lemma-4
-    /// "every bin emptied at least once" bookkeeping).
-    fn update(&mut self, config: &Config) {
-        if let StopState::AllEmptied { emptied, remaining } = self {
-            for (u, &l) in config.loads().iter().enumerate() {
-                if l == 0 && !emptied[u] {
-                    emptied[u] = true;
-                    *remaining -= 1;
-                }
-            }
+    /// Folds the post-step state in (the Lemma-4 "every bin emptied at
+    /// least once" bookkeeping).
+    fn update(&mut self, engine: &dyn Engine) {
+        if let StopState::AllEmptied { never_emptied } = self {
+            never_emptied.retain(|&b| engine.bin_load(b as usize) > 0);
         }
     }
 
     fn met(&self, engine: &dyn Engine) -> bool {
         match self {
             StopState::Horizon => false,
-            StopState::Legitimate(thr) => thr.is_legitimate(engine.config()),
-            StopState::AllEmptied { remaining, .. } => *remaining == 0,
+            StopState::Legitimate(thr) => engine.max_load() <= thr.bound(engine.n()),
+            StopState::AllEmptied { never_emptied } => never_emptied.is_empty(),
             StopState::Covered => engine.covered() == Some(true),
         }
     }
@@ -277,6 +309,13 @@ impl Scenario {
     }
 
     /// Runs the scenario, feeding every completed round to `observers`.
+    ///
+    /// The loop reads the engine exclusively through the cheap metric
+    /// accessors ([`ObserverStack::observe_engine`], the accessor-based
+    /// stop-condition state); a dense [`Engine::config`] snapshot is only
+    /// materialized on fault rounds, where the adversary's placement rule
+    /// inspects the current configuration. A sparse-engine round therefore
+    /// costs `O(#occupied)` end to end, observers included.
     pub fn run_observed(&mut self, observers: &mut ObserverStack) -> ScenarioOutcome {
         let engine = self.engine.as_mut();
         let mut stop = StopState::init(self.stop, engine);
@@ -294,8 +333,8 @@ impl Scenario {
         let mut stop_round = None;
         for _ in 0..self.horizon {
             engine.step_batched();
-            observers.observe(engine.round(), engine.config());
-            stop.update(engine.config());
+            observers.observe_engine(engine.round(), engine);
+            stop.update(engine);
             if let Some(arm) = &mut self.fault_arm {
                 if arm.schedule.is_faulty(engine.round()) && !stop.met(engine) {
                     let placement = arm.adversary.placement(
@@ -305,7 +344,7 @@ impl Scenario {
                         &mut arm.rng,
                     );
                     engine.apply_fault(&placement);
-                    stop.update(engine.config());
+                    stop.update(engine);
                     faults += 1;
                 }
             }
@@ -327,6 +366,7 @@ impl Scenario {
 mod tests {
     use super::*;
     use crate::spec::{StartSpec, StrategySpec, TopologySpec};
+    use rbb_core::config::Config;
     use rbb_core::metrics::MaxLoadTracker;
 
     #[test]
@@ -510,6 +550,104 @@ mod tests {
         let mut t = MaxLoadTracker::new();
         p.run(2560, &mut t);
         assert_eq!(stack.max_load.unwrap().window_max(), t.window_max());
+    }
+
+    #[test]
+    fn sparse_and_dense_scenarios_agree_bit_for_bit() {
+        // Same spec, both engines, observers + legitimacy stop + adversary:
+        // outcome and every observed statistic must coincide.
+        let base = ScenarioSpec::builder(512)
+            .balls(6)
+            .start(StartSpec::AllInOne)
+            .adversary(
+                AdversaryKindSpec::AllInOne,
+                ScheduleSpec::Period { period: 37 },
+            )
+            .horizon_rounds(300)
+            .seed(17)
+            .build();
+        assert_eq!(base.resolved_engine(), EngineSpec::Sparse, "64·6 ≤ 512");
+        let dense_spec = ScenarioSpec {
+            engine: Some(EngineSpec::Dense),
+            ..base.clone()
+        };
+        let sparse_spec = ScenarioSpec {
+            engine: Some(EngineSpec::Sparse),
+            ..base
+        };
+
+        let mut dense = dense_spec.scenario().unwrap();
+        let mut sparse = sparse_spec.scenario().unwrap();
+        let mut dense_stack = ObserverStack::new()
+            .with_max_load()
+            .with_empty_bins()
+            .with_legitimacy(LegitimacyThreshold::default())
+            .with_trace(10);
+        let mut sparse_stack = dense_stack.clone();
+        let a = dense.run_observed(&mut dense_stack);
+        let b = sparse.run_observed(&mut sparse_stack);
+        assert_eq!(a, b);
+        assert_eq!(dense.engine().config(), sparse.engine().config());
+        assert_eq!(
+            dense_stack.max_load.as_ref().unwrap().window_max(),
+            sparse_stack.max_load.as_ref().unwrap().window_max()
+        );
+        assert_eq!(
+            dense_stack.empty_bins.as_ref().unwrap().min_empty(),
+            sparse_stack.empty_bins.as_ref().unwrap().min_empty()
+        );
+        assert_eq!(
+            dense_stack.trace.as_ref().unwrap().points(),
+            sparse_stack.trace.as_ref().unwrap().points()
+        );
+    }
+
+    #[test]
+    fn sparse_all_emptied_stop_matches_dense() {
+        for seed in [3u64, 29] {
+            let spec = ScenarioSpec::builder(256)
+                .balls(4)
+                .start(StartSpec::Packed { k: 2 })
+                .stop(StopSpec::AllEmptied)
+                .horizon_rounds(5_000)
+                .seed(seed)
+                .build();
+            let dense = ScenarioSpec {
+                engine: Some(EngineSpec::Dense),
+                ..spec.clone()
+            }
+            .scenario()
+            .unwrap()
+            .run();
+            let sparse = ScenarioSpec {
+                engine: Some(EngineSpec::Sparse),
+                ..spec
+            }
+            .scenario()
+            .unwrap()
+            .run();
+            assert_eq!(dense, sparse, "seed {seed}");
+            assert!(dense.stop_round.is_some(), "4 balls empty quickly");
+        }
+    }
+
+    #[test]
+    fn sparse_scenario_scales_past_dense_feasibility() {
+        // n = 10^7 with 200 balls for 500 rounds: a dense engine would
+        // visit 5·10^9 slots; the sparse scenario finishes instantly.
+        let spec = ScenarioSpec::builder(10_000_000)
+            .balls(200)
+            .start(StartSpec::RandomMultinomial { salt: 0xBEEF })
+            .horizon_rounds(500)
+            .seed(7)
+            .build();
+        assert_eq!(spec.resolved_engine(), EngineSpec::Sparse);
+        let mut scenario = spec.scenario().unwrap();
+        let mut stack = ObserverStack::new().with_max_load().with_empty_bins();
+        let outcome = scenario.run_observed(&mut stack);
+        assert_eq!(outcome.rounds, 500);
+        assert_eq!(scenario.engine().balls(), 200);
+        assert!(stack.empty_bins.unwrap().min_empty() >= 10_000_000 - 200);
     }
 
     #[test]

@@ -23,12 +23,40 @@
 //! `seed_from(seed ^ salt)`, and the adversary from `stream(seed, 0xADFE)`
 //! — exactly the conventions the experiments used before the spec API, so
 //! spec-driven runs are bit-identical to the hand-constructed ones.
+//!
+//! # Dense vs sparse engine (`engine` field)
+//!
+//! The paper's load-only process on the complete topology is served by two
+//! interchangeable engines: the dense
+//! [`LoadProcess`](rbb_core::process::LoadProcess) (an `O(n)` scan per
+//! round) and the sparse
+//! [`SparseLoadProcess`](rbb_core::sparse::SparseLoadProcess)
+//! (`O(#non-empty bins + departures)` per round, `O(m)` memory). Because
+//! the process consumes randomness only through the round's `d` i.i.d.
+//! uniform destination draws — `d` being the number of non-empty bins,
+//! never a function of how loads are *stored* — the two engines are
+//! **bit-identical in trajectory from the same seed** (pinned by
+//! `tests/proptest_sparse.rs` across the factory matrix, faults included).
+//! The `engine` field selects between them:
+//!
+//! * `"dense"` — always the dense engine.
+//! * `"sparse"` — always the sparse engine (rejected for specs outside the
+//!   load-only uniform/complete cell, which has no sparse implementation).
+//! * `"auto"` (also the default when the field is omitted/`null`) — sparse
+//!   iff the spec is in the load-only cell **and** `64·balls ≤ n`
+//!   ([`SPARSE_AUTO_RATIO`]). The 1/64 density cut-off is deliberately
+//!   conservative: benchmarks put the throughput crossover near 1/100 (a
+//!   dense round streams `4n` bytes branchlessly, a sparse round pays a few
+//!   hash-map operations per ball), and below 1/64 the sparse engine also
+//!   wins `O(n) → O(m)` on memory, which at `n = 10^8` is the difference
+//!   between a 400 MB load vector and a few megabytes. Either way the
+//!   trajectory is the same, so `auto` can never change published numbers.
 
 use serde::{DeError, Deserialize, Serialize, Value};
 
 use rbb_core::config::Config;
 use rbb_core::rng::Xoshiro256pp;
-use rbb_core::sampling::random_assignment;
+use rbb_core::sampling::{random_assignment_entries, random_assignment_multinomial};
 use rbb_core::strategy::QueueStrategy;
 
 /// Validation failure for a [`ScenarioSpec`].
@@ -57,17 +85,54 @@ pub enum StartSpec {
     },
     /// Geometric cascade: bin `i` holds `~m/2^{i+1}` balls.
     Geometric,
-    /// One-shot uniform random throw, drawn from `seed ^ salt`.
+    /// One-shot uniform random throw, drawn from `seed ^ salt` — one
+    /// uniform draw per ball (the stream every published number pins).
     Random {
+        /// XOR-salt applied to the scenario seed for the start's own stream.
+        salt: u64,
+    },
+    /// The same one-shot uniform law as `random`, sampled via binomial
+    /// splitting ([`random_assignment_multinomial`]): `O(#occupied)` memory
+    /// and a sequential output, the initializer of choice for large-`m`
+    /// sparse-regime starts. Equal in law to `random` but **not** per-seed
+    /// stream-compatible with it — published `random`-start numbers are
+    /// unaffected because this is a distinct start kind.
+    RandomMultinomial {
         /// XOR-salt applied to the scenario seed for the start's own stream.
         salt: u64,
     },
 }
 
 impl StartSpec {
-    /// Builds the initial configuration over `n` bins with `m` balls.
+    /// Builds the initial configuration over `n` bins with `m` balls —
+    /// the densified [`build_entries`](StartSpec::build_entries), so each
+    /// start layout is defined in exactly one place. Equal to the historic
+    /// `Config` constructors (`one_per_bin`, `all_in_one`, `packed`,
+    /// `geometric_cascade`, `random_assignment`) configuration-for-
+    /// configuration *and*, for `random`, draw-for-draw on the
+    /// `seed ^ salt` stream — pinned by the `start_builders_match_config_
+    /// constructors` and `build_entries_densify_to_build_for_every_start`
+    /// tests.
     pub fn build(&self, n: usize, m: u64, seed: u64) -> Result<Config, SpecError> {
+        let mut loads = vec![0u32; n];
+        for (b, l) in self.build_entries(n, m, seed)? {
+            loads[b as usize] = l;
+        }
+        Ok(Config::from_loads(loads))
+    }
+
+    /// Builds the initial configuration as sparse occupied-bin `(bin, load)`
+    /// entries, without ever allocating an `O(n)` vector (except for the
+    /// inherently dense `one-per-bin` start). Densifying the result equals
+    /// [`build`](StartSpec::build) exactly — same configuration, and for
+    /// `random` the same `seed ^ salt` draw stream — so a sparse engine
+    /// started from these entries is bit-identical to a dense engine
+    /// started from `build`.
+    pub fn build_entries(&self, n: usize, m: u64, seed: u64) -> Result<Vec<(u32, u32)>, SpecError> {
         let m32 = u32::try_from(m).map_err(|_| SpecError("balls must fit in u32".into()))?;
+        if n == 0 {
+            return Err(SpecError("need at least one bin".into()));
+        }
         match self {
             StartSpec::OnePerBin => {
                 if m != n as u64 {
@@ -75,23 +140,72 @@ impl StartSpec {
                         "start one-per-bin requires balls == n (got {m} balls, {n} bins)"
                     )));
                 }
-                Ok(Config::one_per_bin(n))
+                Ok((0..n as u32).map(|b| (b, 1)).collect())
             }
-            StartSpec::AllInOne => Ok(Config::all_in_one(n, m32)),
+            StartSpec::AllInOne => Ok(vec![(0, m32)]),
             StartSpec::Packed { k } => {
                 if *k < 1 || *k > n {
                     return Err(SpecError(format!("packed k = {k} out of range 1..={n}")));
                 }
-                Ok(Config::packed(n, m32, *k))
+                // Mirrors Config::packed: m/k each, remainder onto bin 0.
+                let per = m32 / *k as u32;
+                let rem = m32 % *k as u32;
+                let mut entries: Vec<(u32, u32)> = Vec::with_capacity(*k);
+                for i in 0..*k as u32 {
+                    let load = per + if i == 0 { rem } else { 0 };
+                    if load > 0 {
+                        entries.push((i, load));
+                    }
+                }
+                Ok(entries)
             }
-            StartSpec::Geometric => Ok(Config::geometric_cascade(n, m32)),
+            StartSpec::Geometric => {
+                // Mirrors Config::geometric_cascade: halve what's left per
+                // bin (at least 1), unplaceable tail back onto bin 0.
+                let mut entries: Vec<(u32, u32)> = Vec::new();
+                let mut left = m32;
+                for b in 0..n as u32 {
+                    if left == 0 {
+                        break;
+                    }
+                    let take = (left / 2).max(1);
+                    entries.push((b, take));
+                    left -= take;
+                }
+                if left > 0 {
+                    entries[0].1 += left;
+                }
+                Ok(entries)
+            }
             StartSpec::Random { salt } => {
                 let mut rng = Xoshiro256pp::seed_from(seed ^ salt);
-                Ok(Config::from_loads(random_assignment(&mut rng, n, m)))
+                Ok(random_assignment_entries(&mut rng, n, m))
+            }
+            StartSpec::RandomMultinomial { salt } => {
+                let mut rng = Xoshiro256pp::seed_from(seed ^ salt);
+                Ok(random_assignment_multinomial(&mut rng, n, m))
             }
         }
     }
 }
+
+/// Which load-process implementation serves the spec — see the module docs
+/// ("Dense vs sparse engine") for the full contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineSpec {
+    /// The dense `O(n)`-per-round engine.
+    Dense,
+    /// The sparse `O(#occupied)`-per-round engine (load-only cell only).
+    Sparse,
+    /// Pick per the density heuristic: sparse iff `SPARSE_AUTO_RATIO·balls
+    /// ≤ n` (and the spec is in the load-only cell). The default.
+    #[default]
+    Auto,
+}
+
+/// `auto` engine selection picks the sparse engine when
+/// `SPARSE_AUTO_RATIO · balls ≤ n`. See the module docs for why 1/64.
+pub const SPARSE_AUTO_RATIO: u64 = 64;
 
 /// How a moving ball picks its destination (the rebalancing rule).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -299,6 +413,10 @@ pub struct ScenarioSpec {
     pub arrival: ArrivalSpec,
     /// Queue strategy; `None` runs the load-only engine.
     pub strategy: Option<StrategySpec>,
+    /// Load-process implementation: `"dense"`, `"sparse"`, or `"auto"`
+    /// (`None` ≡ auto). See the module docs for the density heuristic and
+    /// the bit-identity guarantee.
+    pub engine: Option<EngineSpec>,
     /// Topology; [`TopologySpec::Complete`] is the paper's process.
     pub topology: TopologySpec,
     /// Optional adversary arm.
@@ -324,6 +442,7 @@ impl ScenarioSpec {
                 start: StartSpec::OnePerBin,
                 arrival: ArrivalSpec::Uniform,
                 strategy: None,
+                engine: None,
                 topology: TopologySpec::Complete,
                 adversary: None,
                 horizon: HorizonSpec::FactorN { factor: 100 },
@@ -336,6 +455,38 @@ impl ScenarioSpec {
     /// The ball count (defaults to `n`).
     pub fn balls_or_default(&self) -> u64 {
         self.balls.unwrap_or(self.n as u64)
+    }
+
+    /// Whether the spec lands in the load-only uniform/complete factory
+    /// cell — the only cell with both a dense and a sparse implementation.
+    pub fn is_load_only_cell(&self) -> bool {
+        self.topology.is_complete()
+            && self.strategy.is_none()
+            && matches!(self.arrival, ArrivalSpec::Uniform)
+    }
+
+    /// Resolves the `engine` field to a concrete choice: explicit
+    /// `dense`/`sparse` win; `auto` (and an omitted field) picks sparse iff
+    /// the spec is in the load-only cell and
+    /// [`SPARSE_AUTO_RATIO`]` · balls ≤ n`. Trajectories are bit-identical
+    /// either way, so this is purely a performance decision.
+    pub fn resolved_engine(&self) -> EngineSpec {
+        match self.engine.unwrap_or_default() {
+            EngineSpec::Dense => EngineSpec::Dense,
+            EngineSpec::Sparse => EngineSpec::Sparse,
+            EngineSpec::Auto => {
+                let sparse = self.is_load_only_cell()
+                    && self
+                        .balls_or_default()
+                        .checked_mul(SPARSE_AUTO_RATIO)
+                        .is_some_and(|scaled| scaled <= self.n as u64);
+                if sparse {
+                    EngineSpec::Sparse
+                } else {
+                    EngineSpec::Dense
+                }
+            }
+        }
     }
 
     /// Returns a copy with the seed replaced — the sweep entry point (one
@@ -354,6 +505,14 @@ impl ScenarioSpec {
         if self.n < 2 {
             return Err(SpecError("n must be at least 2".into()));
         }
+        if self.n > u32::MAX as usize + 1 {
+            // Bin indices are u32 throughout the workspace; a larger n
+            // would silently truncate destination draws in release builds.
+            return Err(SpecError(format!(
+                "n = {} exceeds the u32 bin-index range",
+                self.n
+            )));
+        }
         let m = self.balls_or_default();
         if m == 0 {
             return Err(SpecError("balls must be positive".into()));
@@ -370,6 +529,14 @@ impl ScenarioSpec {
         }
         if self.horizon.resolve(self.n) == 0 {
             return Err(SpecError("horizon must be positive".into()));
+        }
+        if self.engine == Some(EngineSpec::Sparse) && !self.is_load_only_cell() {
+            return Err(SpecError(
+                "the sparse engine serves the load-only uniform process on the complete \
+                 topology; remove `strategy`/`topology`/`arrival` overrides or set \
+                 engine to \"dense\" or \"auto\""
+                    .into(),
+            ));
         }
         if let StartSpec::Packed { k } = self.start {
             if k < 1 || k > self.n {
@@ -511,6 +678,12 @@ impl ScenarioSpecBuilder {
         self
     }
 
+    /// Sets the load-process implementation (default: auto).
+    pub fn engine(mut self, e: EngineSpec) -> Self {
+        self.spec.engine = Some(e);
+        self
+    }
+
     /// Sets the topology.
     pub fn topology(mut self, t: TopologySpec) -> Self {
         self.spec.topology = t;
@@ -586,6 +759,9 @@ impl Serialize for StartSpec {
             StartSpec::Packed { k } => kind_obj("packed", vec![("k", k.serialize())]),
             StartSpec::Geometric => kind_obj("geometric", vec![]),
             StartSpec::Random { salt } => kind_obj("random", vec![("salt", salt.serialize())]),
+            StartSpec::RandomMultinomial { salt } => {
+                kind_obj("random-multinomial", vec![("salt", salt.serialize())])
+            }
         }
     }
 }
@@ -602,7 +778,35 @@ impl Deserialize for StartSpec {
             "random" => Ok(StartSpec::Random {
                 salt: read_param(value, "salt")?,
             }),
+            "random-multinomial" => Ok(StartSpec::RandomMultinomial {
+                salt: read_param(value, "salt")?,
+            }),
             other => Err(DeError(format!("unknown start kind '{other}'"))),
+        }
+    }
+}
+
+impl Serialize for EngineSpec {
+    fn serialize(&self) -> Value {
+        Value::Str(
+            match self {
+                EngineSpec::Dense => "dense",
+                EngineSpec::Sparse => "sparse",
+                EngineSpec::Auto => "auto",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl Deserialize for EngineSpec {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value.as_str() {
+            Some("dense") => Ok(EngineSpec::Dense),
+            Some("sparse") => Ok(EngineSpec::Sparse),
+            Some("auto") => Ok(EngineSpec::Auto),
+            Some(other) => Err(DeError(format!("unknown engine '{other}'"))),
+            None => Err(DeError::expected("engine string", value)),
         }
     }
 }
@@ -799,6 +1003,7 @@ impl Deserialize for StopSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rbb_core::sampling::random_assignment;
 
     fn full_spec() -> ScenarioSpec {
         ScenarioSpec::builder(256)
@@ -890,6 +1095,10 @@ mod tests {
     fn validation_catches_cross_field_conflicts() {
         let bad = [
             ScenarioSpec::builder(1).build(),
+            ScenarioSpec::builder(u32::MAX as usize + 2)
+                .balls(100)
+                .start(StartSpec::AllInOne)
+                .build(),
             ScenarioSpec::builder(64).balls(0).build(),
             ScenarioSpec::builder(64).horizon_rounds(0).build(),
             ScenarioSpec::builder(64)
@@ -962,6 +1171,137 @@ mod tests {
             expect
         );
         assert!(StartSpec::OnePerBin.build(n, 15, 1).is_err());
+    }
+
+    #[test]
+    fn build_entries_densify_to_build_for_every_start() {
+        // The sparse start builders must produce exactly the configuration
+        // the dense builders do — same loads, and for `random` the same
+        // seed ^ salt draw stream.
+        let n = 40;
+        let cases = [
+            (StartSpec::OnePerBin, 40u64),
+            (StartSpec::AllInOne, 23),
+            (StartSpec::Packed { k: 7 }, 23),
+            (StartSpec::Geometric, 23),
+            (StartSpec::Random { salt: 0xFEED }, 23),
+            (StartSpec::RandomMultinomial { salt: 0xFEED }, 23),
+            (StartSpec::Geometric, 1),
+            (StartSpec::Packed { k: 40 }, 3),
+        ];
+        for (start, m) in cases {
+            let dense = start.build(n, m, 9).unwrap();
+            let entries = start.build_entries(n, m, 9).unwrap();
+            let mut rebuilt = vec![0u32; n];
+            for (b, l) in entries {
+                assert!(l > 0, "{start:?}: zero entry");
+                assert_eq!(rebuilt[b as usize], 0, "{start:?}: duplicate bin {b}");
+                rebuilt[b as usize] = l;
+            }
+            assert_eq!(rebuilt, dense.loads(), "{start:?} with m = {m}");
+        }
+    }
+
+    #[test]
+    fn engine_field_round_trips_and_defaults_to_auto() {
+        let spec = ScenarioSpec::builder(6400)
+            .balls(10)
+            .start(StartSpec::AllInOne)
+            .engine(EngineSpec::Sparse)
+            .build();
+        let json = serde_json::to_string_pretty(&spec).unwrap();
+        assert!(json.contains("\"engine\": \"sparse\""));
+        let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+        // Omitted field parses as None and resolves via the heuristic.
+        let default = ScenarioSpec::builder(64).build();
+        assert_eq!(default.engine, None);
+        assert!(serde_json::to_string_pretty(&default)
+            .unwrap()
+            .contains("\"engine\": null"));
+    }
+
+    #[test]
+    fn auto_heuristic_picks_sparse_only_when_sparse_enough() {
+        // Density 1 (the paper's m = n): dense.
+        assert_eq!(
+            ScenarioSpec::builder(1024).build().resolved_engine(),
+            EngineSpec::Dense
+        );
+        // 64·m == n: sparse (boundary inclusive).
+        assert_eq!(
+            ScenarioSpec::builder(1024)
+                .balls(16)
+                .start(StartSpec::AllInOne)
+                .build()
+                .resolved_engine(),
+            EngineSpec::Sparse
+        );
+        // Just above the boundary: dense.
+        assert_eq!(
+            ScenarioSpec::builder(1024)
+                .balls(17)
+                .start(StartSpec::AllInOne)
+                .build()
+                .resolved_engine(),
+            EngineSpec::Dense
+        );
+        // Sparse density but outside the load-only cell: dense.
+        assert_eq!(
+            ScenarioSpec::builder(2048)
+                .balls(8)
+                .start(StartSpec::AllInOne)
+                .arrival(ArrivalSpec::DChoice { d: 2 })
+                .build()
+                .resolved_engine(),
+            EngineSpec::Dense
+        );
+        // Explicit choices always win.
+        assert_eq!(
+            ScenarioSpec::builder(1024)
+                .engine(EngineSpec::Sparse)
+                .build()
+                .resolved_engine(),
+            EngineSpec::Sparse
+        );
+        assert_eq!(
+            ScenarioSpec::builder(1 << 20)
+                .balls(1)
+                .start(StartSpec::AllInOne)
+                .engine(EngineSpec::Dense)
+                .build()
+                .resolved_engine(),
+            EngineSpec::Dense
+        );
+    }
+
+    #[test]
+    fn sparse_engine_rejected_outside_load_only_cell() {
+        let bad = [
+            ScenarioSpec::builder(64)
+                .engine(EngineSpec::Sparse)
+                .strategy(StrategySpec::Fifo)
+                .build(),
+            ScenarioSpec::builder(64)
+                .engine(EngineSpec::Sparse)
+                .topology(TopologySpec::Ring)
+                .build(),
+            ScenarioSpec::builder(64)
+                .engine(EngineSpec::Sparse)
+                .arrival(ArrivalSpec::Tetris)
+                .build(),
+        ];
+        for spec in bad {
+            let err = spec.validate().unwrap_err();
+            assert!(err.0.contains("sparse engine"), "{err}");
+        }
+        // Auto never errors — it just resolves to dense there.
+        ScenarioSpec::builder(64)
+            .engine(EngineSpec::Auto)
+            .strategy(StrategySpec::Fifo)
+            .build()
+            .validate()
+            .unwrap();
     }
 
     #[test]

@@ -216,6 +216,16 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "confidence level must be in (0, 1), got 1")]
+    fn exceedance_wilson_rejects_out_of_range_level() {
+        // Regression: this used to surface as an opaque "probit domain is
+        // (0, 1)" panic from deep inside the quantile approximation.
+        let mut c = ExceedanceCounter::new(vec![1.0]);
+        c.push(2.0);
+        let _ = c.wilson(0, 1.0);
+    }
+
+    #[test]
     #[should_panic(expected = "different thresholds")]
     fn exceedance_merge_rejects_mismatched_thresholds() {
         let mut a = ExceedanceCounter::new(vec![1.0]);

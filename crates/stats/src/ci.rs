@@ -31,6 +31,18 @@ impl ConfidenceInterval {
     }
 }
 
+/// Rejects out-of-range confidence levels at the public CI constructors with
+/// an actionable message, instead of letting them fall through to `probit`'s
+/// opaque "probit domain is (0, 1)" panic (reached via `0.5 + level/2`, so
+/// the reported domain did not even match the caller's argument).
+#[inline]
+fn assert_level(level: f64) {
+    assert!(
+        level > 0.0 && level < 1.0,
+        "confidence level must be in (0, 1), got {level}"
+    );
+}
+
 /// Standard normal quantile for common levels (two-sided).
 fn z_for_level(level: f64) -> f64 {
     // Dispatch over the levels experiments actually use; fall back to a
@@ -95,7 +107,10 @@ pub fn probit(p: f64) -> f64 {
 }
 
 /// Normal-approximation CI for a mean from a [`Summary`].
+///
+/// Panics if `level` is not strictly inside `(0, 1)`.
 pub fn mean_ci(summary: &Summary, level: f64) -> ConfidenceInterval {
+    assert_level(level);
     let z = z_for_level(level);
     let half = z * summary.std_error();
     ConfidenceInterval {
@@ -107,9 +122,13 @@ pub fn mean_ci(summary: &Summary, level: f64) -> ConfidenceInterval {
 
 /// Wilson score interval for a binomial proportion: robust near 0 and 1,
 /// which is exactly where w.h.p. event frequencies live.
+///
+/// Panics if `level` is not strictly inside `(0, 1)` (this also guards
+/// `ExceedanceCounter::wilson`, which delegates here).
 pub fn wilson_ci(successes: u64, trials: u64, level: f64) -> ConfidenceInterval {
     assert!(trials > 0, "wilson_ci needs at least one trial");
     assert!(successes <= trials);
+    assert_level(level);
     let z = z_for_level(level);
     let n = trials as f64;
     let p = successes as f64 / n;
@@ -191,5 +210,34 @@ mod tests {
     #[should_panic(expected = "at least one trial")]
     fn wilson_rejects_zero_trials() {
         wilson_ci(0, 0, 0.95);
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence level must be in (0, 1), got 1")]
+    fn wilson_rejects_level_one() {
+        wilson_ci(3, 10, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence level must be in (0, 1), got 0")]
+    fn wilson_rejects_level_zero() {
+        wilson_ci(3, 10, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence level must be in (0, 1)")]
+    fn mean_ci_rejects_level_above_one() {
+        mean_ci(&Summary::from_slice(&[1.0, 2.0]), 1.5);
+    }
+
+    #[test]
+    fn extreme_but_valid_levels_work() {
+        // Just inside the domain on both sides: finite intervals, no panic.
+        for level in [1e-6, 0.5, 0.999_999] {
+            let ci = wilson_ci(5, 10, level);
+            assert!(ci.lo.is_finite() && ci.hi.is_finite());
+            let m = mean_ci(&Summary::from_slice(&[1.0, 2.0, 3.0]), level);
+            assert!(m.width().is_finite());
+        }
     }
 }

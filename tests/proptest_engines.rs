@@ -34,6 +34,15 @@ fn engine_matrix() -> Vec<Combo> {
             StopSpec::Horizon,
         ),
         (
+            // The sparse occupancy engine (spec_for forces engine: sparse
+            // for this label); scalar and batched kernels both exist.
+            "load-sparse",
+            ArrivalSpec::Uniform,
+            None,
+            TopologySpec::Complete,
+            StopSpec::Horizon,
+        ),
+        (
             "ball-fifo",
             ArrivalSpec::Uniform,
             Some(StrategySpec::Fifo),
@@ -124,6 +133,9 @@ fn spec_for(combo: &Combo, n: usize, seed: u64) -> ScenarioSpec {
         .seed(seed);
     if let Some(s) = strategy {
         b = b.strategy(*s);
+    }
+    if *label == "load-sparse" {
+        b = b.engine(rbb_sim::EngineSpec::Sparse);
     }
     b.build()
 }

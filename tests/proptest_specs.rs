@@ -13,16 +13,17 @@ use rbb_core::rng::Xoshiro256pp;
 use rbb_core::strategy::QueueStrategy;
 use rbb_core::tetris::{BatchedTetris, Tetris};
 use rbb_sim::{
-    AdversaryKindSpec, ArrivalSpec, HorizonSpec, ScenarioSpec, ScheduleSpec, StartSpec, StopSpec,
-    StrategySpec, TopologySpec,
+    AdversaryKindSpec, ArrivalSpec, EngineSpec, HorizonSpec, ScenarioSpec, ScheduleSpec, StartSpec,
+    StopSpec, StrategySpec, TopologySpec,
 };
 
 fn arb_start() -> impl Strategy<Value = StartSpec> {
-    (0usize..5, 1usize..8, any::<u64>()).prop_map(|(pick, k, salt)| match pick {
+    (0usize..6, 1usize..8, any::<u64>()).prop_map(|(pick, k, salt)| match pick {
         0 => StartSpec::OnePerBin,
         1 => StartSpec::AllInOne,
         2 => StartSpec::Packed { k },
         3 => StartSpec::Geometric,
+        4 => StartSpec::RandomMultinomial { salt },
         _ => StartSpec::Random { salt },
     })
 }
@@ -67,7 +68,7 @@ fn arb_spec() -> impl Strategy<Value = ScenarioSpec> {
         arb_strategy(),
         arb_topology(),
         (0usize..5, 1usize..10, 1u64..10_000),
-        (1u64..100_000, 0usize..4, any::<u64>()),
+        (1u64..100_000, 0usize..4, 0usize..4),
     )
         .prop_map(
             |(
@@ -77,7 +78,7 @@ fn arb_spec() -> impl Strategy<Value = ScenarioSpec> {
                 strategy,
                 topology,
                 (adv_pick, adv_k, adv_period),
-                (horizon, stop_pick, _),
+                (horizon, stop_pick, engine_pick),
             )| {
                 ScenarioSpec {
                     name: Some(format!("prop-{n}-{seed}")),
@@ -86,6 +87,12 @@ fn arb_spec() -> impl Strategy<Value = ScenarioSpec> {
                     start,
                     arrival,
                     strategy,
+                    engine: match engine_pick {
+                        0 => None,
+                        1 => Some(EngineSpec::Dense),
+                        2 => Some(EngineSpec::Sparse),
+                        _ => Some(EngineSpec::Auto),
+                    },
                     topology,
                     adversary: match adv_pick {
                         0 => None,

@@ -26,6 +26,23 @@ fn ensemble_report_json() -> String {
         .to_json()
 }
 
+/// The committed sparse-regime ensemble (`specs/ensemble-sparse.json`),
+/// loaded from disk so this test and the CI spec validation can never
+/// drift apart. Horizon trimmed to keep the three-thread-count run cheap.
+fn sparse_ensemble_report_json() -> String {
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../specs/ensemble-sparse.json");
+    let text = std::fs::read_to_string(&path).expect("committed sparse ensemble spec");
+    let mut spec: EnsembleSpec = serde_json::from_str(&text).expect("spec parses");
+    assert_eq!(
+        spec.scenario.resolved_engine(),
+        rbb_sim::EngineSpec::Sparse,
+        "committed spec must exercise the sparse engine"
+    );
+    spec.scenario.horizon = rbb_sim::HorizonSpec::Rounds { rounds: 300 };
+    spec.run().unwrap().to_json()
+}
+
 fn sweep_result() -> Vec<(usize, Vec<u64>)> {
     sweep_par(
         SeedTree::new(0xF00D),
@@ -39,6 +56,7 @@ fn sweep_result() -> Vec<(usize, Vec<u64>)> {
 #[test]
 fn ensemble_and_sweep_are_byte_identical_across_thread_counts() {
     let mut reports = Vec::new();
+    let mut sparse_reports = Vec::new();
     let mut sweeps = Vec::new();
     for threads in ["1", "2", "4"] {
         std::env::set_var("RAYON_NUM_THREADS", threads);
@@ -47,6 +65,7 @@ fn ensemble_and_sweep_are_byte_identical_across_thread_counts() {
             threads.parse::<usize>().unwrap()
         );
         reports.push(ensemble_report_json());
+        sparse_reports.push(sparse_ensemble_report_json());
         sweeps.push(sweep_result());
     }
     std::env::remove_var("RAYON_NUM_THREADS");
@@ -59,10 +78,19 @@ fn ensemble_and_sweep_are_byte_identical_across_thread_counts() {
         reports[0], reports[2],
         "ensemble report differs between 1 and 4 threads"
     );
+    assert_eq!(
+        sparse_reports[0], sparse_reports[1],
+        "sparse ensemble report differs between 1 and 2 threads"
+    );
+    assert_eq!(
+        sparse_reports[0], sparse_reports[2],
+        "sparse ensemble report differs between 1 and 4 threads"
+    );
     assert_eq!(sweeps[0], sweeps[1]);
     assert_eq!(sweeps[0], sweeps[2]);
 
     // And the unconstrained default matches the pinned runs too.
     assert_eq!(reports[0], ensemble_report_json());
+    assert_eq!(sparse_reports[0], sparse_ensemble_report_json());
     assert_eq!(sweeps[0], sweep_result());
 }
