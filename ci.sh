@@ -17,6 +17,14 @@ cargo fmt --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> rbb-lint (repo-invariant static analysis, JSON artifact for CI)"
+cargo run -q --release -p rbb-lint -- --self-check
+mkdir -p target
+# The JSON artifact is written even when findings exist (exit 1), so the
+# workflow can upload it from a failed run; the text invocation is the gate.
+cargo run -q --release -p rbb-lint -- --format json > target/rbb-lint.json || true
+cargo run -q --release -p rbb-lint
+
 echo "==> cargo doc (RUSTDOCFLAGS=-D warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 

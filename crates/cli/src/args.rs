@@ -1,12 +1,12 @@
 //! A tiny `--key value` argument parser (no external dependencies).
 
-use std::collections::HashMap;
+use rbb_core::det_hash::DetHashMap;
 
 /// Parsed command-line arguments: one subcommand plus `--key value` flags.
 #[derive(Debug, Clone, Default)]
 pub struct Args {
     command: Option<String>,
-    flags: HashMap<String, String>,
+    flags: DetHashMap<String, String>,
     /// Bare `--flag` switches (no value).
     switches: Vec<String>,
 }

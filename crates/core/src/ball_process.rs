@@ -54,6 +54,13 @@ pub struct BallProcess {
 impl BallProcess {
     /// Creates the process from an initial configuration: ball ids are
     /// assigned densely, bin by bin (bin 0 holds balls `0..q_0`, etc).
+    ///
+    /// # RNG stream
+    ///
+    /// Takes ownership of `rng` as the process's engine stream. Construction
+    /// consumes no draws; each round consumes one uniform destination draw per
+    /// ball released, plus one queue-position draw per non-empty bin under
+    /// [`QueueStrategy::Random`].
     pub fn new(config: Config, strategy: QueueStrategy, rng: Xoshiro256pp) -> Self {
         let m = config.total_balls();
         assert!(m <= u32::MAX as u64, "ball ids are u32");
@@ -87,6 +94,7 @@ impl BallProcess {
         Self::new(
             Config::one_per_bin(n),
             QueueStrategy::Fifo,
+            // rbb-lint: allow(rng-construct, reason = "engine-convention stream for a core convenience constructor; core cannot depend on rbb_sim::seed")
             Xoshiro256pp::seed_from(seed),
         )
     }
@@ -147,16 +155,20 @@ impl BallProcess {
             }
             let idx = self.strategy.pick(len, &mut self.rng);
             let ball = match self.strategy {
+                // rbb-lint: allow(panic, reason = "only non-empty bins enter the release loop")
                 QueueStrategy::Fifo => self.queues[u].pop_front().expect("non-empty"),
+                // rbb-lint: allow(panic, reason = "only non-empty bins enter the release loop")
                 QueueStrategy::Lifo => self.queues[u].pop_back().expect("non-empty"),
                 QueueStrategy::Random => {
                     // Order within the queue is irrelevant under Random, so a
                     // swap-remove keeps this O(1).
                     let last = len - 1;
                     self.queues[u].swap(idx, last);
+                    // rbb-lint: allow(panic, reason = "only non-empty bins enter the release loop")
                     self.queues[u].pop_back().expect("non-empty")
                 }
             };
+            // rbb-lint: allow(lossy-cast, reason = "n <= u32::MAX + 1 is asserted at construction; draws are < n")
             let dest = self.rng.uniform_usize(n) as u32;
             let wait = round - 1 - self.arrival_round[ball as usize];
             let st = &mut self.stats[ball as usize];
@@ -170,6 +182,7 @@ impl BallProcess {
         let moved = self.movers.len();
         let loads = self.config.loads_mut();
         for (u, q) in self.queues.iter().enumerate() {
+            // rbb-lint: allow(lossy-cast, reason = "queue length <= total balls <= u32::MAX, asserted at construction")
             loads[u] = q.len() as u32;
         }
         // `movers` is drained via index loop to appease the borrow of `self`.
@@ -231,8 +244,11 @@ impl BallProcess {
                 continue;
             }
             let ball = match self.strategy {
+                // rbb-lint: allow(panic, reason = "only non-empty bins enter the release loop")
                 QueueStrategy::Fifo => self.queues[u].pop_front().expect("non-empty"),
+                // rbb-lint: allow(panic, reason = "only non-empty bins enter the release loop")
                 QueueStrategy::Lifo => self.queues[u].pop_back().expect("non-empty"),
+                // rbb-lint: allow(panic, reason = "step_batched delegates Random strategies to the scalar path before this match")
                 QueueStrategy::Random => unreachable!("handled by scalar fallback"),
             };
             self.movers.push((ball, 0));
@@ -255,6 +271,7 @@ impl BallProcess {
         // Re-assignment phase: all arrivals land simultaneously.
         let loads = self.config.loads_mut();
         for (u, q) in self.queues.iter().enumerate() {
+            // rbb-lint: allow(lossy-cast, reason = "queue length <= total balls <= u32::MAX, asserted at construction")
             loads[u] = q.len() as u32;
         }
         for i in 0..moved {
@@ -305,6 +322,7 @@ impl BallProcess {
         }
         let loads = self.config.loads_mut();
         for (u, q) in self.queues.iter().enumerate() {
+            // rbb-lint: allow(lossy-cast, reason = "queue length <= total balls <= u32::MAX, asserted at construction")
             loads[u] = q.len() as u32;
         }
     }

@@ -62,7 +62,9 @@ impl Config {
     pub fn packed(n: usize, m: u32, k: usize) -> Self {
         assert!(k >= 1 && k <= n);
         let mut loads = vec![0; n];
+        // rbb-lint: allow(lossy-cast, reason = "k <= n is asserted above, and n fits the u32 bin-index range")
         let per = m / k as u32;
+        // rbb-lint: allow(lossy-cast, reason = "k <= n is asserted above, and n fits the u32 bin-index range")
         let rem = m % k as u32;
         for l in loads.iter_mut().take(k) {
             *l = per;
@@ -90,6 +92,11 @@ impl Config {
     }
 
     /// `m` balls thrown independently and u.a.r. — the one-shot random start.
+    ///
+    /// # RNG stream
+    ///
+    /// Consumes exactly `m` uniform draws from `rng` (one per ball, in ball
+    /// order) via [`random_assignment`].
     pub fn random(rng: &mut Xoshiro256pp, n: usize, m: u64) -> Self {
         Self::from_loads(random_assignment(rng, n, m))
     }
@@ -208,6 +215,7 @@ impl LegitimacyThreshold {
     /// The integer load bound for `n` bins: `⌈β·ln n⌉` (at least 1).
     pub fn bound(&self, n: usize) -> u32 {
         assert!(n >= 2, "the process is defined for n >= 2");
+        // rbb-lint: allow(lossy-cast, reason = "beta * ln(n) is tiny (< 100 for any feasible n); ceil of it fits u32")
         ((self.beta * (n as f64).ln()).ceil() as u32).max(1)
     }
 

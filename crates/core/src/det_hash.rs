@@ -1,0 +1,189 @@
+//! Deterministic hashing for result-affecting collections.
+//!
+//! `std::collections::HashMap`'s default `RandomState` is seeded per
+//! process, so map layout — and therefore iteration order, debug output,
+//! and any float accumulation folded in map order — differs between runs.
+//! That silently breaks the workspace's central guarantee: bit-identical
+//! trajectories and reports from a fixed master seed. Every map or set
+//! whose contents can influence a result must therefore use the
+//! deterministic hasher defined here (enforced by `rbb-lint` rule
+//! `det-map` and by `clippy.toml`'s disallowed-types list).
+//!
+//! [`DetHasher`] runs each written word through the SplitMix64 finalizer
+//! (full avalanche in ~5 ALU ops), folding successive writes into the
+//! running state so composite keys (tuples, `Vec<u32>` configurations)
+//! hash well. It is several times faster than SipHash on small integer
+//! keys. The trade-off is documented and deliberate: there is no
+//! adversarial-key defense (HashDoS), which is fine because every key in
+//! this workspace is an internally generated bin index, edge, or
+//! configuration — never attacker-controlled input.
+//!
+//! Iteration order of a `DetHashMap` is still *arbitrary* (it depends on
+//! hash values, capacity, and insertion history) — it is merely
+//! reproducible across runs and platforms for an identical operation
+//! sequence. Code must not let map order reach results unless the fold is
+//! order-independent; `rbb-lint` rule `unordered-iter` polices that.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// SplitMix64 finalizer: the avalanche mix used for every written word.
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic, dependency-free hasher (see the module docs).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DetHasher {
+    hash: u64,
+}
+
+impl DetHasher {
+    #[inline]
+    fn combine(&mut self, word: u64) {
+        self.hash = mix64(self.hash ^ word);
+    }
+}
+
+impl Hasher for DetHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Byte-stream fallback (str keys, #[derive(Hash)] structs): FNV-1a
+        // into the running word, then one avalanche round.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in bytes {
+            h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+        }
+        self.combine(h);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.combine(v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.combine(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.combine(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.combine(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.combine(v as u64);
+    }
+}
+
+/// The `BuildHasher` for [`DetHasher`]-keyed collections.
+pub type BuildDetHasher = BuildHasherDefault<DetHasher>;
+
+/// Drop-in deterministic replacement for `std::collections::HashMap`.
+pub type DetHashMap<K, V> = HashMap<K, V, BuildDetHasher>;
+
+/// Drop-in deterministic replacement for `std::collections::HashSet`.
+pub type DetHashSet<K> = HashSet<K, BuildDetHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_u32_keys_are_deterministic_and_distinct() {
+        let mut a = DetHasher::default();
+        let mut b = DetHasher::default();
+        a.write_u32(12345);
+        b.write_u32(12345);
+        assert_eq!(a.finish(), b.finish());
+        let mut c = DetHasher::default();
+        c.write_u32(12346);
+        assert_ne!(a.finish(), c.finish());
+    }
+
+    #[test]
+    fn successive_writes_fold_not_overwrite() {
+        // (a, b) must differ from (b, a) and from b alone.
+        let mut ab = DetHasher::default();
+        ab.write_u32(1);
+        ab.write_u32(2);
+        let mut ba = DetHasher::default();
+        ba.write_u32(2);
+        ba.write_u32(1);
+        let mut b = DetHasher::default();
+        b.write_u32(2);
+        assert_ne!(ab.finish(), ba.finish());
+        assert_ne!(ab.finish(), b.finish());
+    }
+
+    #[test]
+    fn composite_keys_hash_via_std_hash_impls() {
+        use std::hash::{BuildHasher, Hash};
+        let s = BuildDetHasher::default();
+        let h = |k: &dyn Fn(&mut DetHasher)| {
+            let mut hasher = s.build_hasher();
+            k(&mut hasher);
+            hasher.finish()
+        };
+        let tuple_a = h(&|hr| (3u32, 7u32).hash(hr));
+        let tuple_b = h(&|hr| (7u32, 3u32).hash(hr));
+        assert_ne!(tuple_a, tuple_b);
+        let vec_a = h(&|hr| vec![1u32, 2, 3].hash(hr));
+        let vec_b = h(&|hr| vec![1u32, 2].hash(hr));
+        assert_ne!(vec_a, vec_b);
+    }
+
+    #[test]
+    fn map_iteration_order_is_reproducible() {
+        let build = || {
+            let mut m: DetHashMap<u32, u32> = DetHashMap::default();
+            for i in 0..1000u32 {
+                m.insert(i.wrapping_mul(2654435761), i);
+            }
+            m.iter().map(|(&k, &v)| (k, v)).collect::<Vec<_>>()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn u32_keys_spread_over_buckets() {
+        // Sanity: sequential keys avalanche (no accidental identity hash).
+        let mut hashes: Vec<u64> = (0..64u32)
+            .map(|k| {
+                let mut hr = DetHasher::default();
+                hr.write_u32(k);
+                hr.finish()
+            })
+            .collect();
+        hashes.sort_unstable();
+        hashes.dedup();
+        assert_eq!(hashes.len(), 64);
+        // Low 6 bits (bucket selector at capacity 64) hit many values.
+        let mut low: Vec<u64> = (0..64u32)
+            .map(|k| {
+                let mut hr = DetHasher::default();
+                hr.write_u32(k);
+                hr.finish() & 63
+            })
+            .collect();
+        low.sort_unstable();
+        low.dedup();
+        assert!(low.len() > 32, "only {} distinct buckets", low.len());
+    }
+}

@@ -133,6 +133,7 @@ pub trait Engine {
     /// [`supports_faults`]: Engine::supports_faults
     fn apply_fault(&mut self, placement: &[usize]) {
         let _ = placement;
+        // rbb-lint: allow(panic, reason = "guarded by supports_faults(); the scenario factory rejects faulty specs for engines without support")
         panic!("this engine does not support adversarial reassignment");
     }
 

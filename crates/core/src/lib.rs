@@ -28,6 +28,8 @@
 //!   checking.
 //! * [`markov`] — the Lemma-5 drift chain `Z_t` and its Chernoff tail.
 //! * [`config`] — load configurations, legitimacy, initial-state builders.
+//! * [`det_hash`] — the deterministic hasher every result-affecting map
+//!   must use (enforced by `rbb-lint`).
 //! * [`strategy`] — queue-selection strategies.
 //! * [`metrics`] — streaming round observers (max load, empty bins,
 //!   legitimacy, trajectories).
@@ -65,6 +67,7 @@ pub mod arrivals;
 pub mod ball_process;
 pub mod config;
 pub mod coupling;
+pub mod det_hash;
 pub mod engine;
 pub mod exact;
 pub mod markov;
@@ -85,6 +88,7 @@ pub mod prelude {
     pub use crate::ball_process::{BallId, BallProcess, BallStats};
     pub use crate::config::{Config, LegitimacyThreshold};
     pub use crate::coupling::{CoupledRun, CouplingReport};
+    pub use crate::det_hash::{DetHashMap, DetHashSet};
     pub use crate::engine::Engine;
     pub use crate::markov::ZChain;
     pub use crate::metrics::{

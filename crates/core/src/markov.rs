@@ -30,6 +30,12 @@ pub struct ZChain {
 impl ZChain {
     /// Creates the chain with bin-count parameter `n` (arrivals are
     /// `B(⌊3n/4⌋, 1/n)`), started at `k`.
+    ///
+    /// # RNG stream
+    ///
+    /// Takes ownership of `rng` as the chain's stream; each step consumes the
+    /// draws of one exact `Binomial(floor(3n/4), 1/n)` arrival sample (a
+    /// data-dependent number of geometric draws, expected `O(1)`).
     pub fn new(n: usize, k: u64, rng: Xoshiro256pp) -> Self {
         assert!(n >= 2);
         Self {
@@ -116,6 +122,7 @@ pub fn lemma5_applicable(k: u64, t: u64) -> bool {
 pub fn sample_absorption_times(n: usize, k: u64, trials: usize, cap: u64, seed: u64) -> Vec<u64> {
     let mut times: Vec<u64> = (0..trials)
         .map(|i| {
+            // rbb-lint: allow(rng-construct, reason = "per-trial disjoint streams for absorption sampling; core cannot depend on rbb_sim::seed")
             let rng = Xoshiro256pp::stream(seed, i as u64);
             let mut chain = ZChain::new(n, k, rng);
             chain.absorption_time(cap).unwrap_or(cap + 1)

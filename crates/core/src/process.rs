@@ -50,6 +50,12 @@ pub struct LoadProcess {
 
 impl LoadProcess {
     /// Creates a process from an initial configuration and a seeded RNG.
+    ///
+    /// # RNG stream
+    ///
+    /// Takes ownership of `rng` as the engine stream: each round consumes one
+    /// uniform destination draw per ball released, in bin order (the contract
+    /// of [`throw_uniform`]).
     pub fn new(config: Config, rng: Xoshiro256pp) -> Self {
         let balls = config.total_balls();
         let sampler = UniformSampler::new(config.n() as u64);
@@ -65,6 +71,7 @@ impl LoadProcess {
 
     /// Convenience constructor: `n` balls into `n` bins, one per bin.
     pub fn legitimate_start(n: usize, seed: u64) -> Self {
+        // rbb-lint: allow(rng-construct, reason = "engine-convention stream for a core convenience constructor; core cannot depend on rbb_sim::seed")
         Self::new(Config::one_per_bin(n), Xoshiro256pp::seed_from(seed))
     }
 
@@ -124,6 +131,7 @@ impl LoadProcess {
             // Branchless: at ~63% occupancy in equilibrium the `l > 0`
             // branch is close to worst-case unpredictable, so the scalar
             // path's compare-and-jump stalls the O(n) scan.
+            // rbb-lint: allow(lossy-cast, reason = "bool-to-u32 cast is lossless (0 or 1)")
             let occupied = (*l > 0) as u32;
             *l -= occupied;
             departures += occupied as usize;

@@ -150,6 +150,7 @@ impl Xoshiro256pp {
     pub fn exponential(&mut self, rate: f64) -> f64 {
         debug_assert!(rate > 0.0);
         // 1 - U in (0, 1] avoids ln(0).
+        // rbb-lint: allow(ln-complement, reason = "1 - next_f64() maps [0,1) onto (0,1] to dodge ln(0); committed bit-exact trajectories pin this exact expression, so the ln_1p form cannot be swapped in (see README numerical notes)")
         -(1.0 - self.next_f64()).ln() / rate
     }
 }
@@ -159,6 +160,7 @@ impl TryRng for Xoshiro256pp {
 
     #[inline]
     fn try_next_u32(&mut self) -> Result<u32, Infallible> {
+        // rbb-lint: allow(lossy-cast, reason = "intentional: takes the high 32 bits of the u64 draw")
         Ok((Xoshiro256pp::next_u64(self) >> 32) as u32)
     }
 

@@ -19,6 +19,10 @@ use crate::rng::Xoshiro256pp;
 /// sample into `inf → u64::MAX`. `ln_1p` keeps full relative precision down to
 /// the smallest subnormal `p`.
 #[inline]
+///
+/// # RNG stream
+///
+/// Consumes exactly one `next_f64` draw.
 pub fn geometric(rng: &mut Xoshiro256pp, p: f64) -> u64 {
     debug_assert!(p > 0.0 && p <= 1.0, "geometric p must be in (0, 1]");
     if p >= 1.0 {
@@ -38,6 +42,12 @@ pub fn geometric(rng: &mut Xoshiro256pp, p: f64) -> u64 {
 /// Successive success positions are spaced by i.i.d. geometric gaps, so we
 /// count how many gaps fit in `n` trials. Expected running time is
 /// `O(n·min(p, 1-p) + 1)`; the `p > 1/2` case is mirrored.
+///
+/// # RNG stream
+///
+/// Consumes one [`geometric`] draw per success counted — a data-dependent
+/// count with expectation `n * min(p, 1-p) + 1`. The `p > 1/2` mirror
+/// consumes exactly the draws of its complement.
 pub fn binomial(rng: &mut Xoshiro256pp, n: u64, p: f64) -> u64 {
     debug_assert!((0.0..=1.0).contains(&p), "binomial p must be in [0, 1]");
     if n == 0 || p <= 0.0 {
@@ -65,6 +75,10 @@ pub fn binomial(rng: &mut Xoshiro256pp, n: u64, p: f64) -> u64 {
 /// incrementing the hit bins. This is the paper's re-assignment step: the
 /// joint law is exactly `d` i.i.d. uniform bin choices (multinomial).
 #[inline]
+///
+/// # RNG stream
+///
+/// Consumes exactly `d` `uniform_usize` draws, one per ball in throw order.
 pub fn throw_uniform(rng: &mut Xoshiro256pp, loads: &mut [u32], d: usize) {
     let n = loads.len();
     debug_assert!(n > 0);
@@ -110,6 +124,11 @@ impl UniformSampler {
     /// Draws one value in `[0, bound)` (multiply-shift, precomputed
     /// rejection threshold; usually a single multiplication).
     #[inline]
+    ///
+    /// # RNG stream
+    ///
+    /// Consumes one `next_u64` draw per rejection-loop iteration — almost
+    /// always exactly one (the rejection probability is `bound / 2^64`).
     pub fn sample(&self, rng: &mut Xoshiro256pp) -> u64 {
         loop {
             let m = (rng.next_u64() as u128).wrapping_mul(self.bound as u128);
@@ -122,6 +141,10 @@ impl UniformSampler {
     /// Fills `out` with i.i.d. draws in `[0, bound)`. Requires the bound to
     /// fit `u32` (bin indices are dense `u32`s throughout the workspace).
     #[inline]
+    ///
+    /// # RNG stream
+    ///
+    /// Consumes one [`Self::sample`] draw per slot, in slot order.
     pub fn fill_u32(&self, rng: &mut Xoshiro256pp, out: &mut [u32]) {
         debug_assert!(
             self.bound <= u32::MAX as u64 + 1,
@@ -129,6 +152,7 @@ impl UniformSampler {
             self.bound
         );
         for slot in out.iter_mut() {
+            // rbb-lint: allow(lossy-cast, reason = "bound <= u32::MAX + 1 is asserted above, and draws are < bound")
             *slot = self.sample(rng) as u32;
         }
     }
@@ -144,6 +168,11 @@ impl UniformSampler {
 /// per-round `2^64 mod n` threshold division is paid once at engine
 /// construction, not once per round; the engines cache it next to their RNG.
 #[inline]
+///
+/// # RNG stream
+///
+/// Bit-compatible with [`throw_uniform`]: consumes exactly `d` sampler
+/// draws in the same order, leaving the RNG in the identical state.
 pub fn throw_uniform_batched(
     sampler: &UniformSampler,
     rng: &mut Xoshiro256pp,
@@ -173,6 +202,11 @@ pub fn throw_uniform_batched(
 /// Throws `d` balls u.a.r. and records each destination in `dests` (cleared
 /// first). Used by the Lemma-3 coupling, which must *reuse* the original
 /// process's destination choices for the Tetris copy.
+///
+/// # RNG stream
+///
+/// Consumes exactly `d` `uniform_usize` draws, one per ball in throw
+/// order — the same stream contract as [`throw_uniform`].
 pub fn throw_uniform_recording(
     rng: &mut Xoshiro256pp,
     loads: &mut [u32],
@@ -197,6 +231,11 @@ pub fn throw_uniform_recording(
 /// on. [`random_assignment_multinomial`] is the large-`m` fast path with a
 /// different (but equal-in-law) RNG stream; it must never silently replace
 /// this function where seeds are pinned.
+///
+/// # RNG stream
+///
+/// Consumes exactly `m` `uniform_usize` draws, one per ball in ball order
+/// — the stream every published experiment number pins.
 pub fn random_assignment(rng: &mut Xoshiro256pp, n: usize, m: u64) -> Vec<u32> {
     let mut loads = vec![0u32; n];
     for _ in 0..m {
@@ -213,11 +252,17 @@ pub fn random_assignment(rng: &mut Xoshiro256pp, n: usize, m: u64) -> Vec<u32> {
 /// `(bin, load)` pairs sorted by bin index, only for non-empty bins, so
 /// memory is `O(#occupied)` on top of the transient `O(m)` draw buffer and
 /// no `O(n)` vector is ever allocated.
+///
+/// # RNG stream
+///
+/// Consumes exactly `m` `uniform_usize` draws — stream-compatible with
+/// [`random_assignment`].
 pub fn random_assignment_entries(rng: &mut Xoshiro256pp, n: usize, m: u64) -> Vec<(u32, u32)> {
     assert!(
         n <= u32::MAX as usize + 1,
         "bin count {n} exceeds the u32 index range"
     );
+    // rbb-lint: allow(lossy-cast, reason = "n <= u32::MAX + 1 is asserted above; draws are < n")
     let mut draws: Vec<u32> = (0..m).map(|_| rng.uniform_usize(n) as u32).collect();
     draws.sort_unstable();
     let mut entries: Vec<(u32, u32)> = Vec::new();
@@ -257,6 +302,12 @@ const MULTINOMIAL_FANOUT: u64 = 64;
 /// through binomials instead of per-ball uniforms, so the two samplers agree
 /// in law but not per seed. Published numbers pin the per-ball stream; this
 /// fast path is opt-in (spec start kind `random-multinomial`).
+///
+/// # RNG stream
+///
+/// **Not stream-compatible** with [`random_assignment`]: consumes
+/// binomial-splitting draws (a data-dependent count). Equal in law,
+/// different per seed.
 pub fn random_assignment_multinomial(rng: &mut Xoshiro256pp, n: usize, m: u64) -> Vec<(u32, u32)> {
     assert!(n > 0, "need at least one bin");
     assert!(
@@ -280,6 +331,7 @@ fn split_range(rng: &mut Xoshiro256pp, lo: u64, len: u64, m: u64, out: &mut Vec<
         return;
     }
     if len == 1 {
+        // rbb-lint: allow(lossy-cast, reason = "single-bin range: lo < n fits u32, and m <= u32::MAX is asserted at entry")
         out.push((lo as u32, m as u32));
         return;
     }
@@ -292,6 +344,7 @@ fn split_range(rng: &mut Xoshiro256pp, lo: u64, len: u64, m: u64, out: &mut Vec<
             let pos = out[start..].partition_point(|&(bin, _)| (bin as u64) < b) + start;
             match out.get_mut(pos) {
                 Some((bin, load)) if *bin as u64 == b => *load += 1,
+                // rbb-lint: allow(lossy-cast, reason = "b < n <= u32::MAX + 1, asserted at entry")
                 _ => out.insert(pos, (b as u32, 1)),
             }
         }

@@ -41,53 +41,22 @@
 
 use std::cell::OnceCell;
 use std::collections::hash_map::Entry;
-use std::collections::HashMap;
-use std::hash::{BuildHasherDefault, Hasher};
 
 use crate::config::Config;
+use crate::det_hash::DetHashMap;
 use crate::engine::Engine;
 use crate::rng::Xoshiro256pp;
 use crate::sampling::UniformSampler;
 
-/// A deterministic, dependency-free hasher for `u32` bin indices: one round
-/// of the SplitMix64 finalizer (full avalanche in ~5 ALU ops). The std
-/// default (`RandomState`/SipHash) would be several times slower on 4-byte
-/// keys *and* randomly seeded per process, making map iteration order — and
-/// therefore debugging — non-reproducible. Bin indices are uniform random
-/// draws, so no adversarial-key defense is needed here.
-#[derive(Debug, Default, Clone, Copy)]
-pub struct BinHasher {
-    hash: u64,
-}
-
-impl Hasher for BinHasher {
-    #[inline]
-    fn finish(&self) -> u64 {
-        self.hash
-    }
-
-    #[inline]
-    fn write(&mut self, bytes: &[u8]) {
-        // Generic fallback (unused by the u32 key path).
-        for &b in bytes {
-            self.hash = (self.hash ^ b as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        }
-    }
-
-    #[inline]
-    fn write_u32(&mut self, key: u32) {
-        let mut z = (key as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        self.hash = z ^ (z >> 31);
-    }
-}
-
-/// The `BuildHasher` for [`BinHasher`]-keyed maps.
-pub type BuildBinHasher = BuildHasherDefault<BinHasher>;
-
-/// Occupancy map type of the sparse engine.
-type LoadMap = HashMap<u32, u32, BuildBinHasher>;
+/// Occupancy map type of the sparse engine: bin index → load, keyed through
+/// the workspace-wide deterministic hasher ([`crate::det_hash`] — formerly
+/// this module's private `BinHasher`, hoisted so every result-affecting map
+/// shares one implementation). The std default (`RandomState`/SipHash)
+/// would be several times slower on 4-byte keys *and* randomly seeded per
+/// process, making map layout — and therefore debugging — non-reproducible.
+/// Bin indices are uniform random draws, so no adversarial-key defense is
+/// needed here.
+type LoadMap = DetHashMap<u32, u32>;
 
 /// Sparse load-only repeated balls-into-bins simulator: bit-identical in
 /// trajectory to [`LoadProcess`](crate::process::LoadProcess) from the same
@@ -136,6 +105,12 @@ impl SparseLoadProcess {
     /// Panics if `n == 0`, a bin index is out of range, or the total ball
     /// count exceeds `u32::MAX` (the per-bin capacity — see
     /// [`Config::from_loads`]).
+    ///
+    /// # RNG stream
+    ///
+    /// Takes ownership of `rng` as the engine stream. Bit-compatible with the
+    /// dense engine: each round consumes one uniform destination draw per ball
+    /// released, in bin order.
     pub fn from_entries(
         n: usize,
         entries: impl IntoIterator<Item = (u32, u32)>,
@@ -185,12 +160,18 @@ impl SparseLoadProcess {
     /// Creates a sparse process from a dense configuration (collecting its
     /// non-empty bins) — the drop-in replacement for
     /// [`LoadProcess::new`](crate::process::LoadProcess::new).
+    ///
+    /// # RNG stream
+    ///
+    /// Takes ownership of `rng` as the engine stream — see
+    /// [`Self::from_entries`] for the per-round draw contract.
     pub fn new(config: Config, rng: Xoshiro256pp) -> Self {
         let entries = config
             .loads()
             .iter()
             .enumerate()
             .filter(|&(_, &l)| l > 0)
+            // rbb-lint: allow(lossy-cast, reason = "enumerate index < n, and from_entries asserts n fits the u32 index range")
             .map(|(b, &l)| (b as u32, l));
         Self::from_entries(config.n(), entries, rng)
     }
@@ -199,7 +180,9 @@ impl SparseLoadProcess {
     pub fn legitimate_start(n: usize, seed: u64) -> Self {
         Self::from_entries(
             n,
+            // rbb-lint: allow(lossy-cast, reason = "from_entries asserts n fits the u32 index range")
             (0..n as u32).map(|b| (b, 1)),
+            // rbb-lint: allow(rng-construct, reason = "engine-convention stream for a core convenience constructor; core cannot depend on rbb_sim::seed")
             Xoshiro256pp::seed_from(seed),
         )
     }
@@ -240,6 +223,7 @@ impl SparseLoadProcess {
         let loads = &mut self.loads;
         let before = self.occupied.len();
         self.occupied.retain(|&b| {
+            // rbb-lint: allow(panic, reason = "worklist entries are occupied by construction")
             let slot = loads.get_mut(&b).expect("worklist entries are occupied");
             *slot -= 1;
             if *slot == 0 {
@@ -274,6 +258,7 @@ impl SparseLoadProcess {
         self.round += 1;
         self.invalidate();
         debug_assert_eq!(
+            // rbb-lint: allow(unordered-iter, reason = "integer sum is order-independent")
             self.loads.values().map(|&l| l as u64).sum::<u64>(),
             self.balls,
             "mass violated"
@@ -289,6 +274,7 @@ impl SparseLoadProcess {
     pub fn step(&mut self) -> usize {
         let departures = self.depart_all();
         for _ in 0..departures {
+            // rbb-lint: allow(lossy-cast, reason = "n fits the u32 index range (asserted at construction); draws are < n")
             let b = self.rng.uniform_usize(self.n) as u32;
             self.arrive(b);
         }
@@ -333,6 +319,7 @@ impl Engine for SparseLoadProcess {
     fn config(&self) -> &Config {
         self.dense.get_or_init(|| {
             let mut loads = vec![0u32; self.n];
+            // rbb-lint: allow(unordered-iter, reason = "scatter into a dense per-bin vector is order-independent")
             for (&b, &l) in &self.loads {
                 loads[b as usize] = l;
             }
@@ -351,6 +338,7 @@ impl Engine for SparseLoadProcess {
     }
 
     fn max_load(&self) -> u32 {
+        // rbb-lint: allow(unordered-iter, reason = "max over values is order-independent")
         self.loads.values().copied().max().unwrap_or(0)
     }
 
@@ -366,6 +354,7 @@ impl Engine for SparseLoadProcess {
 
     #[inline]
     fn bin_load(&self, bin: usize) -> u32 {
+        // rbb-lint: allow(lossy-cast, reason = "bin < n, and n fits the u32 index range (asserted at construction)")
         self.loads.get(&(bin as u32)).copied().unwrap_or(0)
     }
 
@@ -391,6 +380,7 @@ impl Engine for SparseLoadProcess {
         self.occupied.clear();
         for &bin in placement {
             assert!(bin < self.n, "bin {bin} out of range 0..{}", self.n);
+            // rbb-lint: allow(lossy-cast, reason = "bin < n, and n fits the u32 index range (asserted at construction)")
             self.arrive(bin as u32);
         }
         self.invalidate();
@@ -557,14 +547,14 @@ mod tests {
     }
 
     #[test]
-    fn bin_hasher_is_deterministic() {
-        let mut a = BinHasher::default();
-        let mut b = BinHasher::default();
-        a.write_u32(12345);
-        b.write_u32(12345);
-        assert_eq!(a.finish(), b.finish());
-        let mut c = BinHasher::default();
-        c.write_u32(12346);
-        assert_ne!(a.finish(), c.finish());
+    fn load_map_layout_is_reproducible_across_builds() {
+        let build = || {
+            let mut m = LoadMap::default();
+            for i in 0..500u32 {
+                m.insert(i.wrapping_mul(48_271), i + 1);
+            }
+            m.keys().copied().collect::<Vec<u32>>()
+        };
+        assert_eq!(build(), build(), "deterministic hasher, identical layout");
     }
 }

@@ -35,6 +35,11 @@ impl QueueStrategy {
     /// Returns the index (into a queue of length `len ≥ 1`) of the ball to
     /// release, where index 0 is the oldest ball.
     #[inline]
+    ///
+    /// # RNG stream
+    ///
+    /// Consumes one `uniform_usize` draw under `Random`, zero under
+    /// `Fifo`/`Lifo`.
     pub fn pick(&self, len: usize, rng: &mut Xoshiro256pp) -> usize {
         debug_assert!(len >= 1);
         match self {

@@ -39,6 +39,12 @@ pub struct Tetris {
 impl Tetris {
     /// Creates the process. The paper's precondition (≥ `n/4` empty bins)
     /// is *not* enforced here: Lemma 4 is stated from any configuration.
+    ///
+    /// # RNG stream
+    ///
+    /// Takes ownership of `rng` as the process's stream; each round consumes
+    /// one uniform destination draw per arriving ball (`floor(3n/4)` per
+    /// round).
     pub fn new(config: Config, rng: Xoshiro256pp) -> Self {
         let n = config.n();
         Self {
@@ -186,6 +192,12 @@ pub struct BatchedTetris {
 
 impl BatchedTetris {
     /// Creates the process with arrival rate `λ ∈ [0, 1]`.
+    ///
+    /// # RNG stream
+    ///
+    /// Takes ownership of `rng` as the process's stream; each round consumes
+    /// one `Binomial(n, lambda)` arrival-count sample plus one uniform
+    /// destination draw per arriving ball.
     pub fn new(config: Config, lambda: f64, rng: Xoshiro256pp) -> Self {
         assert!((0.0..=1.0).contains(&lambda), "λ must be in [0, 1]");
         Self {

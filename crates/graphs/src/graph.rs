@@ -207,7 +207,7 @@ pub fn random_regular(n: usize, d: usize, rng: &mut Xoshiro256pp) -> Graph {
     assert!(n >= 2 && d >= 1, "need n ≥ 2, d ≥ 1");
     assert!(n * d % 2 == 0, "n·d must be even");
     assert!(d < n, "d must be < n");
-    use std::collections::HashMap;
+    use rbb_core::det_hash::DetHashMap;
     let norm = |a: u32, b: u32| (a.min(b), a.max(b));
     'resample: loop {
         let mut stubs: Vec<u32> = (0..n as u32)
@@ -216,12 +216,13 @@ pub fn random_regular(n: usize, d: usize, rng: &mut Xoshiro256pp) -> Graph {
         rng.shuffle(&mut stubs);
         let mut edges: Vec<(u32, u32)> = stubs.chunks_exact(2).map(|p| norm(p[0], p[1])).collect();
 
-        let mut counts: HashMap<(u32, u32), u32> = HashMap::new();
+        let mut counts: DetHashMap<(u32, u32), u32> = DetHashMap::default();
         for &e in &edges {
             *counts.entry(e).or_insert(0) += 1;
         }
-        let is_bad =
-            |key: (u32, u32), counts: &HashMap<(u32, u32), u32>| key.0 == key.1 || counts[&key] > 1;
+        let is_bad = |key: (u32, u32), counts: &DetHashMap<(u32, u32), u32>| {
+            key.0 == key.1 || counts[&key] > 1
+        };
         let mut bad: Vec<usize> = (0..edges.len())
             .filter(|&i| is_bad(edges[i], &counts))
             .collect();

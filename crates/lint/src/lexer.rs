@@ -1,0 +1,516 @@
+//! A hand-rolled, span-preserving Rust lexer.
+//!
+//! `rbb-lint` deliberately stops at the token level: a full parser (or a
+//! `rustc` driver) would be far more code, a nightly toolchain dependency,
+//! or both — and every rule the repo needs can be phrased over a token
+//! stream as long as that stream is *exactly* right about what is code and
+//! what is a comment, string, raw string, char, or lifetime. Getting those
+//! five right is the entire job of this module; the classic failure mode of
+//! grep-based lint scripts (flagging `unwrap` inside a doc example or a
+//! string literal) is impossible here because doc comments and literals are
+//! their own token kinds.
+//!
+//! Invariants (pinned by `tests/lexer_roundtrip.rs` over every `.rs` file
+//! in the workspace, plus a generative property test):
+//!
+//! * tokens are non-overlapping, strictly increasing byte ranges;
+//! * every byte outside a token is ASCII whitespace;
+//! * concatenating gap bytes and token texts reproduces the input exactly.
+//!
+//! The lexer never fails: unterminated literals or stray bytes degrade to a
+//! best-effort token that still satisfies the invariants above (a linter
+//! must keep scanning a broken file, not abort the run).
+
+/// What a token is. Comments are real tokens (so suppression annotations
+/// and doc sections can be inspected); rules that match code patterns skip
+/// them via [`Token::is_code`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including `r#raw` identifiers).
+    Ident,
+    /// Lifetime or loop label (`'a`, `'static`).
+    Lifetime,
+    /// Integer or float literal, with suffix if any.
+    Number,
+    /// String literal: `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`.
+    Str,
+    /// Char or byte literal: `'x'`, `b'\n'`.
+    Char,
+    /// Punctuation, longest-match (`::`, `->`, `..=`, `>>`, …).
+    Punct,
+    /// Non-doc comment (`// …`, `/* … */`).
+    Comment,
+    /// Doc comment (`/// …`, `//! …`, `/** … */`, `/*! … */`).
+    DocComment,
+}
+
+/// One lexed token: kind plus byte span and 1-based position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind.
+    pub kind: TokKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of the first byte.
+    pub line: u32,
+    /// 1-based column (in bytes) of the first byte.
+    pub col: u32,
+}
+
+impl Token {
+    /// The token's text within `src`.
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.start..self.end]
+    }
+
+    /// Whether rules should pattern-match this token (not a comment).
+    pub fn is_code(&self) -> bool {
+        !matches!(self.kind, TokKind::Comment | TokKind::DocComment)
+    }
+}
+
+/// Multi-byte punctuation, longest first so maximal munch is a prefix scan.
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "..",
+];
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src` into tokens. Infallible; see the module docs.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        line_start: 0,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'s> {
+    src: &'s [u8],
+    pos: usize,
+    line: u32,
+    line_start: usize,
+    out: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.src.len() {
+            let b = self.src[self.pos];
+            match b {
+                b'\n' => {
+                    self.pos += 1;
+                    self.line += 1;
+                    self.line_start = self.pos;
+                }
+                _ if b.is_ascii_whitespace() => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(self.pos),
+                b'\'' => self.char_or_lifetime(),
+                _ if b.is_ascii_digit() => self.number(),
+                _ if is_ident_start(b) => self.ident_or_prefixed_literal(),
+                _ => self.punct(),
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn emit(&mut self, kind: TokKind, start: usize) {
+        let col = (start - self.line_start) as u32 + 1;
+        self.out.push(Token {
+            kind,
+            start,
+            end: self.pos,
+            line: self.line,
+            col,
+        });
+    }
+
+    /// Emit with a line/col captured before a possibly multi-line token.
+    fn emit_at(&mut self, kind: TokKind, start: usize, line: u32, col: u32) {
+        self.out.push(Token {
+            kind,
+            start,
+            end: self.pos,
+            line,
+            col,
+        });
+    }
+
+    fn advance_line_state(&mut self, from: usize) {
+        for i in from..self.pos {
+            if self.src[i] == b'\n' {
+                self.line += 1;
+                self.line_start = i + 1;
+            }
+        }
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.pos;
+        while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        let text = &self.src[start..self.pos];
+        // `////…` is a plain comment by rustdoc's rules; `///` and `//!` doc.
+        let doc =
+            (text.starts_with(b"///") && !text.starts_with(b"////")) || text.starts_with(b"//!");
+        let kind = if doc {
+            TokKind::DocComment
+        } else {
+            TokKind::Comment
+        };
+        self.emit(kind, start);
+    }
+
+    fn block_comment(&mut self) {
+        let start = self.pos;
+        let (line, col) = (self.line, (start - self.line_start) as u32 + 1);
+        let text_start = self.pos;
+        self.pos += 2;
+        let mut depth = 1usize;
+        while self.pos < self.src.len() && depth > 0 {
+            if self.src[self.pos..].starts_with(b"/*") {
+                depth += 1;
+                self.pos += 2;
+            } else if self.src[self.pos..].starts_with(b"*/") {
+                depth -= 1;
+                self.pos += 2;
+            } else {
+                self.pos += 1;
+            }
+        }
+        self.advance_line_state(text_start);
+        let text = &self.src[start..self.pos];
+        let doc = (text.starts_with(b"/**") && !text.starts_with(b"/***") && text.len() > 4)
+            || text.starts_with(b"/*!");
+        let kind = if doc {
+            TokKind::DocComment
+        } else {
+            TokKind::Comment
+        };
+        self.emit_at(kind, start, line, col);
+    }
+
+    /// A `"…"` string starting at `start` (the quote may be preceded by a
+    /// prefix the caller already consumed; `start` points at the prefix).
+    fn string(&mut self, start: usize) {
+        let (line, col) = (self.line, (start - self.line_start) as u32 + 1);
+        debug_assert_eq!(self.src[self.pos], b'"');
+        self.pos += 1;
+        while self.pos < self.src.len() {
+            match self.src[self.pos] {
+                b'\\' => self.pos = (self.pos + 2).min(self.src.len()),
+                b'"' => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.advance_line_state(start);
+        self.emit_at(TokKind::Str, start, line, col);
+    }
+
+    /// A raw string `r##"…"##` whose `r`/`br` prefix begins at `start`;
+    /// `self.pos` points at the first `#` or the quote.
+    fn raw_string(&mut self, start: usize) {
+        let (line, col) = (self.line, (start - self.line_start) as u32 + 1);
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        if self.peek(0) == Some(b'"') {
+            self.pos += 1;
+            loop {
+                match self.peek(0) {
+                    None => break,
+                    Some(b'"') => {
+                        let tail = &self.src[self.pos + 1..];
+                        if tail.len() >= hashes && tail[..hashes].iter().all(|&c| c == b'#') {
+                            self.pos += 1 + hashes;
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    Some(_) => self.pos += 1,
+                }
+            }
+        }
+        self.advance_line_state(start);
+        self.emit_at(TokKind::Str, start, line, col);
+    }
+
+    fn char_or_lifetime(&mut self) {
+        let start = self.pos;
+        self.pos += 1; // the opening quote
+        match self.peek(0) {
+            Some(b'\\') => {
+                // Escaped char literal: skip escape, then scan to the close
+                // (handles \u{…} and friends).
+                self.pos += 2;
+                while self.pos < self.src.len() && self.src[self.pos] != b'\'' {
+                    self.pos += 1;
+                }
+                self.pos = (self.pos + 1).min(self.src.len());
+                self.emit(TokKind::Char, start);
+            }
+            Some(b) if is_ident_start(b) => {
+                // `'a'` (char) vs `'a` / `'static` (lifetime): consume the
+                // ident run, then look for a closing quote.
+                let mut j = self.pos;
+                while j < self.src.len() && is_ident_continue(self.src[j]) {
+                    j += 1;
+                }
+                if self.src.get(j) == Some(&b'\'') && j == self.pos + 1 {
+                    self.pos = j + 1;
+                    self.emit(TokKind::Char, start);
+                } else {
+                    self.pos = j;
+                    self.emit(TokKind::Lifetime, start);
+                }
+            }
+            Some(_) => {
+                // Non-ident char literal: `'('`, `' '`, `'.'`.
+                self.pos += 1;
+                if self.peek(0) == Some(b'\'') {
+                    self.pos += 1;
+                }
+                self.emit(TokKind::Char, start);
+            }
+            None => self.emit(TokKind::Punct, start),
+        }
+    }
+
+    fn number(&mut self) {
+        let start = self.pos;
+        if self.src[self.pos..].starts_with(b"0x")
+            || self.src[self.pos..].starts_with(b"0o")
+            || self.src[self.pos..].starts_with(b"0b")
+        {
+            self.pos += 2;
+            while self
+                .peek(0)
+                .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+            {
+                self.pos += 1;
+            }
+            self.emit(TokKind::Number, start);
+            return;
+        }
+        let digits = |lx: &mut Self| {
+            while lx.peek(0).is_some_and(|b| b.is_ascii_digit() || b == b'_') {
+                lx.pos += 1;
+            }
+        };
+        digits(self);
+        // Fractional part — but not `1..n` (range) or `1.method()`.
+        if self.peek(0) == Some(b'.')
+            && self.peek(1) != Some(b'.')
+            && !self.peek(1).is_some_and(is_ident_start)
+        {
+            self.pos += 1;
+            digits(self);
+        }
+        // Exponent.
+        if matches!(self.peek(0), Some(b'e' | b'E'))
+            && (self.peek(1).is_some_and(|b| b.is_ascii_digit())
+                || (matches!(self.peek(1), Some(b'+' | b'-'))
+                    && self.peek(2).is_some_and(|b| b.is_ascii_digit())))
+        {
+            self.pos += 2;
+            digits(self);
+        }
+        // Type suffix (`u32`, `f64`, `usize`).
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.pos += 1;
+        }
+        self.emit(TokKind::Number, start);
+    }
+
+    fn ident_or_prefixed_literal(&mut self) {
+        let start = self.pos;
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.pos += 1;
+        }
+        let text = &self.src[start..self.pos];
+        match (text, self.peek(0)) {
+            // Raw identifier `r#name` (but not a raw string `r#"…"`).
+            (b"r", Some(b'#')) if self.peek(1).is_some_and(is_ident_start) => {
+                self.pos += 1;
+                while self.peek(0).is_some_and(is_ident_continue) {
+                    self.pos += 1;
+                }
+                self.emit(TokKind::Ident, start);
+            }
+            (b"r" | b"br" | b"rb", Some(b'"' | b'#')) => self.raw_string(start),
+            (b"b", Some(b'"')) => self.string(start),
+            (b"b", Some(b'\'')) => {
+                // Byte char literal `b'x'` / `b'\n'`.
+                self.pos += 1;
+                if self.peek(0) == Some(b'\\') {
+                    self.pos += 2;
+                    while self.pos < self.src.len() && self.src[self.pos] != b'\'' {
+                        self.pos += 1;
+                    }
+                    self.pos = (self.pos + 1).min(self.src.len());
+                } else {
+                    // One full character (broken files may hold a multibyte
+                    // char here; stay on a char boundary), then the close.
+                    self.pos = (self.pos + 1).min(self.src.len());
+                    while self.peek(0).is_some_and(|b| (0x80..0xC0).contains(&b)) {
+                        self.pos += 1;
+                    }
+                    if self.peek(0) == Some(b'\'') {
+                        self.pos += 1;
+                    }
+                }
+                self.emit(TokKind::Char, start);
+            }
+            _ => self.emit(TokKind::Ident, start),
+        }
+    }
+
+    fn punct(&mut self) {
+        let start = self.pos;
+        let rest = &self.src[self.pos..];
+        for p in PUNCTS {
+            if rest.starts_with(p.as_bytes()) {
+                self.pos += p.len();
+                self.emit(TokKind::Punct, start);
+                return;
+            }
+        }
+        // Single byte (possibly a stray non-ASCII byte; UTF-8 continuation
+        // bytes are >= 0x80 and classified as ident, so this is ASCII).
+        self.pos += 1;
+        self.emit(TokKind::Punct, start);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_not_code() {
+        let src = r##"let s = "a.unwrap() // not code"; // real comment
+let r = r#"panic!("x")"#; /* block /* nested */ done */"##;
+        let toks = kinds(src);
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Ident)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(idents, ["let", "s", "let", "r"]);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Str).count(), 2);
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::Comment).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn doc_comments_are_distinguished() {
+        let src = "/// doc\n//! inner\n//// plain\n// plain\nfn f() {}\n";
+        let toks = lex(src);
+        let docs = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::DocComment)
+            .count();
+        let plains = toks.iter().filter(|t| t.kind == TokKind::Comment).count();
+        assert_eq!(docs, 2);
+        assert_eq!(plains, 2);
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; let p = '('; }";
+        let toks = kinds(src);
+        let lifes = toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count();
+        let chars = toks.iter().filter(|(k, _)| *k == TokKind::Char).count();
+        assert_eq!(lifes, 2);
+        assert_eq!(chars, 3);
+    }
+
+    #[test]
+    fn numbers_with_suffixes_ranges_and_floats() {
+        let src = "let a = 1.0f64; let b = 0x_FF; let c = 1..n; let d = 2.5e-3; let e = 1_000u32;";
+        let nums: Vec<String> = kinds(src)
+            .into_iter()
+            .filter(|(k, _)| *k == TokKind::Number)
+            .map(|(_, s)| s)
+            .collect();
+        assert_eq!(nums, ["1.0f64", "0x_FF", "1", "2.5e-3", "1_000u32"]);
+    }
+
+    #[test]
+    fn maximal_munch_puncts() {
+        let src = "a::b->c >>= d .. e ..= f >> g";
+        let puncts: Vec<String> = kinds(src)
+            .into_iter()
+            .filter(|(k, _)| *k == TokKind::Punct)
+            .map(|(_, s)| s)
+            .collect();
+        assert_eq!(puncts, ["::", "->", ">>=", "..", "..=", ">>"]);
+    }
+
+    #[test]
+    fn roundtrip_reconstruction() {
+        let src = "/// doc\nfn main() { let s = r#\"x\"#; // c\n  let y = 'a'; }\n";
+        let toks = lex(src);
+        let mut rebuilt = String::new();
+        let mut prev = 0usize;
+        for t in &toks {
+            assert!(t.start >= prev, "overlap");
+            assert!(src[prev..t.start].bytes().all(|b| b.is_ascii_whitespace()));
+            rebuilt.push_str(&src[prev..t.start]);
+            rebuilt.push_str(t.text(src));
+            prev = t.end;
+        }
+        rebuilt.push_str(&src[prev..]);
+        assert_eq!(rebuilt, src);
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let src = "let r#type = 1; let rb = r\"raw\";";
+        let toks = kinds(src);
+        assert!(toks.contains(&(TokKind::Ident, "r#type".to_string())));
+        assert!(toks.contains(&(TokKind::Str, "r\"raw\"".to_string())));
+    }
+
+    #[test]
+    fn unterminated_literals_do_not_panic() {
+        for src in ["let s = \"abc", "let s = r#\"abc", "let c = '", "/* open"] {
+            let toks = lex(src);
+            assert!(!toks.is_empty());
+            assert!(toks.iter().all(|t| t.end <= src.len()));
+        }
+    }
+}

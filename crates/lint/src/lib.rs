@@ -1,0 +1,350 @@
+//! # rbb-lint — repo-invariant static analysis for the rbb workspace
+//!
+//! A zero-dependency, offline analyzer enforcing the discipline the rest of
+//! the workspace's guarantees rest on: determinism (no randomized hashers,
+//! no hash-order-dependent results, no wall-clock or environment reads in
+//! result-affecting code), RNG-stream hygiene (no entropy seeding, RNG
+//! construction only at sanctioned sites, documented stream contracts), and
+//! numerical safety (no catastrophic-cancellation complements, no silent
+//! truncating casts, no panics in library paths).
+//!
+//! The analyzer is token-level by design: [`lexer`] produces an exact,
+//! span-preserving token stream (comments and string literals are their own
+//! token kinds, so rules never fire inside them) and [`rules`] pattern-
+//! matches over it. See `crates/lint/README.md` for the lexer design, the
+//! known blind spots of token-level matching, and how to add a rule.
+//!
+//! Entry points: [`lint_root`] walks a workspace, [`lint_source`] lints one
+//! string, [`self_check`] proves every rule can both fire and stay quiet.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{lint_source, rule_info, FileReport, Finding, RuleInfo, RULES};
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Run statistics accompanying the findings of [`lint_root`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RunStats {
+    /// Number of `.rs` files linted.
+    pub files: usize,
+    /// Findings suppressed by valid allow comments.
+    pub suppressed: usize,
+}
+
+/// Path components that end a walk: build output, lint fixtures (which
+/// contain violations on purpose), vendored stubs, VCS internals.
+const SKIP_DIRS: &[&str] = &["target", "fixtures", "vendor", ".git"];
+
+/// Recursively collects `.rs` files under `dir`, sorted for deterministic
+/// report order.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name) {
+                collect_rs(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Crate name (path component after `crates/`) and path-level test
+/// exemption for a path relative to the workspace root.
+fn classify(rel: &str) -> (String, bool) {
+    let comps: Vec<&str> = rel.split('/').collect();
+    let crate_name = match comps.first() {
+        Some(&"crates") if comps.len() > 1 => comps[1].to_string(),
+        _ => String::new(),
+    };
+    let testish = comps[..comps.len().saturating_sub(1)]
+        .iter()
+        .any(|c| matches!(*c, "tests" | "benches" | "examples"))
+        || comps.first() == Some(&"tests")
+        || comps.first() == Some(&"examples");
+    (crate_name, testish)
+}
+
+/// Lints every `.rs` file under `root/crates`, `root/tests`, and
+/// `root/examples`. Returns surviving findings (sorted by path, then line)
+/// and run statistics.
+pub fn lint_root(root: &Path) -> io::Result<(Vec<Finding>, RunStats)> {
+    let mut files = Vec::new();
+    for sub in ["crates", "tests", "examples"] {
+        let dir = root.join(sub);
+        if dir.is_dir() {
+            collect_rs(&dir, &mut files)?;
+        }
+    }
+    let mut findings = Vec::new();
+    let mut stats = RunStats::default();
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = fs::read_to_string(path)?;
+        let (crate_name, testish) = classify(&rel);
+        let report = lint_source(&rel, &src, &crate_name, testish);
+        stats.files += 1;
+        stats.suppressed += report.suppressed;
+        findings.extend(report.findings);
+    }
+    Ok((findings, stats))
+}
+
+/// Locates the workspace root by walking up from `start` until a directory
+/// containing both `Cargo.toml` and `crates/` is found.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// One embedded self-check sample: a rule id, a source that must trigger
+/// it, and a source that must not.
+struct SelfCheck {
+    rule: &'static str,
+    hit: &'static str,
+    clean: &'static str,
+}
+
+/// Minimal hit/clean pairs per rule. All samples are linted as non-test
+/// code in crate `core` (path `crates/core/src/sample.rs`).
+const SELF_CHECKS: &[SelfCheck] = &[
+    SelfCheck {
+        rule: "det-map",
+        hit: "fn f() { let m: HashMap<u32, u32> = HashMap::new(); }",
+        clean: "fn f() { let m: HashMap<u32, u32, BuildDetHasher> = Default::default(); }",
+    },
+    SelfCheck {
+        rule: "unordered-iter",
+        hit: "fn f(m: &DetHashMap<u32, u32>) -> f64 { let mut s = 0.0; for (_k, v) in m.iter() { s += *v as f64; } s }",
+        clean: "fn f(m: &DetHashMap<u32, u32>) -> Vec<u32> { let mut v: Vec<u32> = m.keys().copied().collect(); v.sort_unstable(); v }",
+    },
+    SelfCheck {
+        rule: "rng-entropy",
+        hit: "fn f() { let rng = Xoshiro256pp::from_entropy(); }",
+        clean: "fn f(seed: u64) { let _s = seed; }",
+    },
+    SelfCheck {
+        rule: "rng-construct",
+        hit: "fn f() { let rng = Xoshiro256pp::seed_from(7); }",
+        clean: "fn f(rng: &mut Xoshiro256pp) { let _ = rng; }",
+    },
+    SelfCheck {
+        rule: "ln-complement",
+        hit: "fn f(x: f64) -> f64 { (1.0 - x).ln() }",
+        clean: "fn f(x: f64) -> f64 { (-x).ln_1p() }",
+    },
+    SelfCheck {
+        rule: "exp-complement",
+        hit: "fn f(x: f64) -> f64 { 1.0 - x.exp() }",
+        clean: "fn f(x: f64) -> f64 { -x.exp_m1() }",
+    },
+    SelfCheck {
+        rule: "lossy-cast",
+        hit: "fn f(x: usize) -> u32 { x as u32 }",
+        clean: "fn f(x: usize) -> u64 { x as u64 }",
+    },
+    SelfCheck {
+        rule: "panic",
+        hit: "fn f(x: Option<u32>) -> u32 { x.unwrap() }",
+        clean: "fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }",
+    },
+    SelfCheck {
+        rule: "rng-doc",
+        hit: "/// Draws a sample.\npub fn draw(rng: &mut Xoshiro256pp) -> u64 { rng.next_u64() }",
+        clean: "/// Draws a sample.\n///\n/// # RNG stream\n///\n/// Consumes one draw from the caller's stream.\npub fn draw(rng: &mut Xoshiro256pp) -> u64 { rng.next_u64() }",
+    },
+    SelfCheck {
+        rule: "partial-cmp",
+        hit: "fn f(v: &mut [f64]) { v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)); }",
+        clean: "fn f(v: &mut [f64]) { v.sort_by(f64::total_cmp); }",
+    },
+    SelfCheck {
+        rule: "wall-clock",
+        hit: "fn f() -> std::time::Instant { Instant::now() }",
+        clean: "fn f(elapsed_rounds: u64) -> u64 { elapsed_rounds }",
+    },
+    SelfCheck {
+        rule: "env-read",
+        hit: "fn f() -> String { env::var(\"RBB_THREADS\").unwrap_or_default() }",
+        clean: "fn f(threads: usize) -> usize { threads }",
+    },
+    SelfCheck {
+        rule: "malformed-allow",
+        hit: "// rbb-lint: allow(panic)\nfn f(x: Option<u32>) -> u32 { x.unwrap_or(1) }",
+        clean: "fn f(x: u64) -> u64 { x }",
+    },
+    SelfCheck {
+        rule: "unused-allow",
+        hit: "// rbb-lint: allow(panic, reason = \"stale\")\nfn f(x: Option<u32>) -> u32 { x.unwrap_or(1) }",
+        clean: "// rbb-lint: allow(panic, reason = \"checked nonempty above\")\nfn f(x: Option<u32>) -> u32 { x.unwrap() }",
+    },
+];
+
+/// Verifies every rule can both fire (on its `hit` sample) and stay quiet
+/// (on its `clean` sample), and that suppression works. Returns the list of
+/// failures, empty on success.
+pub fn self_check() -> Vec<String> {
+    let mut errors = Vec::new();
+    for sc in SELF_CHECKS {
+        let hit = lint_source("crates/core/src/sample.rs", sc.hit, "core", false);
+        if !hit.findings.iter().any(|f| f.rule == sc.rule) {
+            errors.push(format!(
+                "rule `{}` did not fire on its hit sample (got: {:?})",
+                sc.rule,
+                hit.findings.iter().map(|f| f.rule).collect::<Vec<_>>()
+            ));
+        }
+        let clean = lint_source("crates/core/src/sample.rs", sc.clean, "core", false);
+        if let Some(f) = clean.findings.iter().find(|f| f.rule == sc.rule) {
+            errors.push(format!(
+                "rule `{}` fired on its clean sample at {}:{} ({})",
+                sc.rule, f.line, f.col, f.message
+            ));
+        }
+    }
+    // Suppression round-trip: an allow with a reason silences the finding
+    // and is counted as used.
+    let suppressed = lint_source(
+        "crates/core/src/sample.rs",
+        "fn f(x: Option<u32>) -> u32 {\n    // rbb-lint: allow(panic, reason = \"caller guarantees Some\")\n    x.unwrap()\n}\n",
+        "core",
+        false,
+    );
+    if !suppressed.findings.is_empty() || suppressed.suppressed != 1 {
+        errors.push(format!(
+            "suppression round-trip failed: findings={:?} suppressed={}",
+            suppressed
+                .findings
+                .iter()
+                .map(|f| f.rule)
+                .collect::<Vec<_>>(),
+            suppressed.suppressed
+        ));
+    }
+    // Rule table sanity: ids unique and non-empty docs.
+    for (i, r) in RULES.iter().enumerate() {
+        if RULES[..i].iter().any(|o| o.id == r.id) {
+            errors.push(format!("duplicate rule id `{}`", r.id));
+        }
+        if r.summary.is_empty() || r.explanation.is_empty() || r.fix_hint.is_empty() {
+            errors.push(format!("rule `{}` has empty documentation", r.id));
+        }
+    }
+    errors
+}
+
+/// Escapes a string for inclusion in JSON output.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders findings and stats as a JSON document (stable field order).
+pub fn to_json(findings: &[Finding], stats: &RunStats) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"col\": {}, \"message\": \"{}\", \"hint\": \"{}\"}}",
+            json_escape(f.rule),
+            json_escape(&f.file),
+            f.line,
+            f.col,
+            json_escape(&f.message),
+            json_escape(f.hint)
+        ));
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str(&format!(
+        "],\n  \"summary\": {{\"files\": {}, \"findings\": {}, \"suppressed\": {}}}\n}}\n",
+        stats.files,
+        findings.len(),
+        stats.suppressed
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_check_passes() {
+        let errors = self_check();
+        assert!(
+            errors.is_empty(),
+            "self-check failures:\n{}",
+            errors.join("\n")
+        );
+    }
+
+    #[test]
+    fn classify_paths() {
+        assert_eq!(classify("crates/core/src/rng.rs"), ("core".into(), false));
+        assert_eq!(classify("crates/core/tests/t.rs"), ("core".into(), true));
+        assert_eq!(classify("crates/sim/benches/b.rs"), ("sim".into(), true));
+        assert_eq!(classify("tests/determinism.rs"), (String::new(), true));
+        assert_eq!(classify("examples/demo.rs"), (String::new(), true));
+    }
+
+    #[test]
+    fn json_output_is_well_formed_enough() {
+        let f = Finding {
+            rule: "panic",
+            file: "crates/core/src/a.rs".into(),
+            line: 3,
+            col: 7,
+            message: "msg with \"quotes\"".into(),
+            hint: "hint",
+        };
+        let s = to_json(
+            &[f],
+            &RunStats {
+                files: 1,
+                suppressed: 0,
+            },
+        );
+        assert!(s.contains("\\\"quotes\\\""));
+        assert!(s.contains("\"findings\": ["));
+        assert!(s.contains("\"summary\": {\"files\": 1, \"findings\": 1, \"suppressed\": 0}"));
+    }
+}

@@ -1,0 +1,134 @@
+//! `rbb-lint` command-line driver.
+//!
+//! ```text
+//! rbb-lint [--root PATH] [--format text|json] [--self-check] [--list-rules]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 unsuppressed findings, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use rbb_lint::{find_root, lint_root, to_json, RULES};
+
+fn usage() -> &'static str {
+    "usage: rbb-lint [--root PATH] [--format text|json] [--self-check] [--list-rules]\n\
+     \n\
+     Lints crates/, tests/, and examples/ under the workspace root for\n\
+     determinism, RNG-stream, and numerical-safety violations.\n\
+     \n\
+     --root PATH     workspace root (default: found by walking up from cwd)\n\
+     --format FMT    text (default) or json\n\
+     --self-check    verify every rule fires/stays quiet on embedded samples\n\
+     --list-rules    print the rule table and exit\n\
+     \n\
+     exit status: 0 clean, 1 findings, 2 error"
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut format = String::from("text");
+    let mut do_self_check = false;
+    let mut list_rules = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--root requires a path\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = "text".into(),
+                Some("json") => format = "json".into(),
+                other => {
+                    eprintln!("--format must be text or json (got {other:?})\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--self-check" => do_self_check = true,
+            "--list-rules" => list_rules = true,
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if list_rules {
+        for r in RULES {
+            println!("{:16} {}", r.id, r.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if do_self_check {
+        let errors = rbb_lint::self_check();
+        if errors.is_empty() {
+            println!(
+                "rbb-lint self-check: all {} rules fire and stay quiet",
+                RULES.len()
+            );
+            return ExitCode::SUCCESS;
+        }
+        for e in &errors {
+            eprintln!("self-check: {e}");
+        }
+        return ExitCode::from(2);
+    }
+
+    let root = match root.or_else(|| std::env::current_dir().ok().and_then(|d| find_root(&d))) {
+        Some(r) => r,
+        None => {
+            eprintln!(
+                "could not locate workspace root (no Cargo.toml + crates/ above cwd); pass --root"
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    let (findings, stats) = match lint_root(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("rbb-lint: I/O error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if format == "json" {
+        print!("{}", to_json(&findings, &stats));
+    } else {
+        for f in &findings {
+            println!(
+                "{}:{}:{}: [{}] {}",
+                f.file, f.line, f.col, f.rule, f.message
+            );
+            println!("    hint: {}", f.hint);
+        }
+        let verdict = if findings.is_empty() {
+            "clean"
+        } else {
+            "FAILED"
+        };
+        println!(
+            "rbb-lint: {} files, {} findings, {} suppressed — {}",
+            stats.files,
+            findings.len(),
+            stats.suppressed,
+            verdict
+        );
+    }
+
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,1263 @@
+//! The rule engine: repo-specific invariants checked over the token stream.
+//!
+//! Every rule has an id, a one-line summary, a full explanation, and a fix
+//! hint (see [`RULES`]). Findings are suppressed per-site with an allow
+//! comment whose grammar is:
+//!
+//! ```text
+//! // rbb-lint: allow(rule-id[, rule-id…], reason = "why this site is safe")
+//! ```
+//!
+//! The reason is mandatory. A comment on its own line applies to the next
+//! line that contains code; a trailing comment applies to its own line.
+//! Malformed allows and allows that match no finding are themselves
+//! findings (`malformed-allow`, `unused-allow`), so suppressions cannot rot
+//! silently.
+//!
+//! ## Scoping
+//!
+//! Result-affecting crates are `core`, `sim`, and `stats`: a determinism or
+//! numerical bug there changes reported trajectories and statistics.
+//! Most rules fire only in those crates and only in non-test code — files
+//! under `tests/`, `benches/`, or `examples/` directories, and regions
+//! under `#[cfg(test)]`, are exempt. Entropy rules fire everywhere
+//! including tests: a nondeterministically seeded test is flaky by
+//! construction.
+
+use crate::lexer::{lex, TokKind, Token};
+
+/// Crates whose code can affect reported results.
+const RESULT_CRATES: &[&str] = &["core", "sim", "stats"];
+
+/// Static description of one rule.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Stable identifier used in output and allow comments.
+    pub id: &'static str,
+    /// One-line summary for `--list-rules` and the README table.
+    pub summary: &'static str,
+    /// Why the pattern is hazardous in this repo.
+    pub explanation: &'static str,
+    /// What to do instead.
+    pub fix_hint: &'static str,
+}
+
+/// The rule registry. Order is the order findings are reported in per file.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "det-map",
+        summary: "std HashMap/HashSet with the default RandomState in result-affecting crates",
+        explanation: "RandomState is seeded per process, so map layout and iteration order \
+                      differ between runs, breaking bit-identical trajectories and reports.",
+        fix_hint: "use rbb_core::det_hash::{DetHashMap, DetHashSet} (or pass BuildDetHasher \
+                   explicitly as the third type parameter)",
+    },
+    RuleInfo {
+        id: "unordered-iter",
+        summary: "iteration over a hash map/set whose order can reach results",
+        explanation: "even with a deterministic hasher, map order depends on capacity and \
+                      insertion history; folding floats or emitting output in map order makes \
+                      results depend on incidental layout.",
+        fix_hint: "collect into a Vec and sort before consuming (the sanctioned worklist \
+                   pattern), or justify order-independence in an allow reason",
+    },
+    RuleInfo {
+        id: "rng-entropy",
+        summary: "entropy-based RNG seeding or OS randomness",
+        explanation: "from_entropy/thread_rng/OsRng-style sources make runs unreproducible; \
+                      every random stream in this repo must derive from the master seed.",
+        fix_hint: "derive a stream from the ScenarioSpec master seed via rbb_sim::seed",
+    },
+    RuleInfo {
+        id: "rng-construct",
+        summary: "RNG constructed outside the sanctioned construction sites",
+        explanation: "ad-hoc Xoshiro256pp/SplitMix64 construction scatters stream-derivation \
+                      logic and invites seed collisions between subsystems.",
+        fix_hint: "route through rbb_sim::seed helpers (engine_rng, adversary_rng, salted_rng, \
+                   SeedTree) or add the site to the sanctioned list if it is one",
+    },
+    RuleInfo {
+        id: "ln-complement",
+        summary: "(1.0 - x).ln()-style complement feeding a log/power",
+        explanation: "for small x, 1.0 - x rounds to 1.0 and the logarithm loses all \
+                      precision (catastrophic cancellation); this exact bug class produced \
+                      wrong geometric samples before PR 5.",
+        fix_hint: "use (-x).ln_1p() for ln(1-x), x.ln_1p() for ln(1+x), or a guarded \
+                   complement via exact integer counts",
+    },
+    RuleInfo {
+        id: "exp-complement",
+        summary: "1.0 - exp(x)-style complement",
+        explanation: "for x near 0, exp(x) is near 1 and the subtraction cancels; the \
+                      result has few correct digits.",
+        fix_hint: "use -x.exp_m1() for 1 - e^x",
+    },
+    RuleInfo {
+        id: "lossy-cast",
+        summary: "truncating `as` cast to a narrow unsigned type",
+        explanation: "`as u32`/`as u16`/`as u8` silently wraps out-of-range values; a bin \
+                      count or round index that outgrows the target type corrupts results \
+                      instead of failing.",
+        fix_hint: "use try_from with an expect carrying an invariant message, or justify \
+                   the bound in an allow reason",
+    },
+    RuleInfo {
+        id: "panic",
+        summary: "unwrap/expect/panic! in non-test result-affecting code",
+        explanation: "library code in core/sim/stats is driven by user-supplied specs; a \
+                      panic tears down a whole ensemble run instead of reporting a usable \
+                      error.",
+        fix_hint: "return a Result, use unwrap_or/match, or annotate with an allow whose \
+                   reason states the invariant that makes the panic unreachable",
+    },
+    RuleInfo {
+        id: "rng-doc",
+        summary: "pub fn consuming an RNG without a `# RNG stream` doc section",
+        explanation: "stream discipline is part of a sampler's contract: callers must know \
+                      how many draws a call consumes and from which stream, or two \
+                      subsystems will silently share or skew a stream.",
+        fix_hint: "add a `# RNG stream` section to the doc comment describing the draws \
+                   consumed and the stream expected",
+    },
+    RuleInfo {
+        id: "partial-cmp",
+        summary: "partial_cmp on floats (NaN-unwrapping comparator)",
+        explanation: "sort_by(|a, b| a.partial_cmp(b).unwrap()) panics on NaN and orders \
+                      nothing deterministically if NaN slips through.",
+        fix_hint: "use f64::total_cmp, and assert input is NaN-free at the boundary",
+    },
+    RuleInfo {
+        id: "wall-clock",
+        summary: "wall-clock time read in result-affecting code",
+        explanation: "Instant::now/SystemTime::now make control flow or output depend on \
+                      machine speed; results must be a pure function of the spec and seed.",
+        fix_hint: "thread timing through the caller (bench/CLI layers may measure; \
+                   core/sim/stats must not)",
+    },
+    RuleInfo {
+        id: "env-read",
+        summary: "environment variable read in result-affecting code",
+        explanation: "std::env::var makes results depend on ambient machine state that is \
+                      not captured in the ScenarioSpec, breaking reproduction from a spec \
+                      file alone.",
+        fix_hint: "plumb configuration through ScenarioSpec / function parameters",
+    },
+    RuleInfo {
+        id: "malformed-allow",
+        summary: "rbb-lint allow comment that does not parse or lacks a reason",
+        explanation: "an unparseable suppression silently suppresses nothing; a reason-less \
+                      one hides the justification the next reader needs.",
+        fix_hint: "use: // rbb-lint: allow(rule-id, reason = \"...\") with a non-empty \
+                   reason and known rule ids",
+    },
+    RuleInfo {
+        id: "unused-allow",
+        summary: "rbb-lint allow comment that suppressed nothing",
+        explanation: "stale suppressions accumulate and mask future real findings at the \
+                      same site.",
+        fix_hint: "delete the allow comment (the code it excused has changed)",
+    },
+];
+
+/// Looks up a rule by id.
+pub fn rule_info(id: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+/// One lint finding, pre-suppression.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule id (an entry of [`RULES`]).
+    pub rule: &'static str,
+    /// Display path of the file.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based byte column.
+    pub col: u32,
+    /// Site-specific message.
+    pub message: String,
+    /// The rule's fix hint.
+    pub hint: &'static str,
+}
+
+/// Per-file lint outcome.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    /// Findings that survived suppression.
+    pub findings: Vec<Finding>,
+    /// Number of findings suppressed by allow comments.
+    pub suppressed: usize,
+}
+
+/// Where a rule applies.
+struct Scope {
+    /// If false, only `RESULT_CRATES`.
+    all_crates: bool,
+    /// If false, skip `tests/`/`benches/`/`examples/` files and
+    /// `#[cfg(test)]` regions.
+    include_tests: bool,
+    /// Path suffixes exempt from the rule (sanctioned definition sites).
+    exempt: &'static [&'static str],
+}
+
+const SCOPE_RESULT: Scope = Scope {
+    all_crates: false,
+    include_tests: false,
+    exempt: &[],
+};
+
+/// Lint context for one file.
+struct Ctx<'a> {
+    src: &'a str,
+    /// Full token stream (comments included).
+    toks: Vec<Token>,
+    /// Indices into `toks` of code tokens (non-comment).
+    code: Vec<usize>,
+    path: &'a str,
+    crate_name: &'a str,
+    /// Path-level test exemption (tests/, benches/, examples/).
+    testish: bool,
+    /// Byte ranges under `#[cfg(test)]`.
+    test_regions: Vec<(usize, usize)>,
+}
+
+impl<'a> Ctx<'a> {
+    fn new(path: &'a str, src: &'a str, crate_name: &'a str, testish: bool) -> Self {
+        let toks = lex(src);
+        let code: Vec<usize> = (0..toks.len()).filter(|&i| toks[i].is_code()).collect();
+        let mut ctx = Ctx {
+            src,
+            toks,
+            code,
+            path,
+            crate_name,
+            testish,
+            test_regions: Vec::new(),
+        };
+        ctx.test_regions = ctx.find_test_regions();
+        ctx
+    }
+
+    /// Code token at code-index `i`, if any.
+    fn t(&self, i: usize) -> Option<&Token> {
+        self.code.get(i).map(|&fi| &self.toks[fi])
+    }
+
+    /// Text of code token `i` ("" past the end).
+    fn s(&self, i: usize) -> &str {
+        self.t(i).map_or("", |t| t.text(self.src))
+    }
+
+    fn kind(&self, i: usize) -> Option<TokKind> {
+        self.t(i).map(|t| t.kind)
+    }
+
+    fn in_test_region(&self, byte: usize) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(s, e)| s <= byte && byte < e)
+    }
+
+    fn active(&self, scope: &Scope, byte: usize) -> bool {
+        if !scope.all_crates && !RESULT_CRATES.contains(&self.crate_name) {
+            return false;
+        }
+        if scope.exempt.iter().any(|e| self.path.ends_with(e)) {
+            return false;
+        }
+        if !scope.include_tests && (self.testish || self.in_test_region(byte)) {
+            return false;
+        }
+        true
+    }
+
+    /// Detects `#[cfg(test)]`-attributed items (incl. `cfg(all(test, …))`)
+    /// by token pattern, returning the byte range of each item.
+    fn find_test_regions(&self) -> Vec<(usize, usize)> {
+        let mut regions = Vec::new();
+        let n = self.code.len();
+        let mut i = 0;
+        while i + 4 < n {
+            if self.s(i) == "#"
+                && self.s(i + 1) == "["
+                && self.s(i + 2) == "cfg"
+                && self.s(i + 3) == "("
+            {
+                // Scan the balanced cfg(...) group for a `test` ident.
+                let mut depth = 1usize;
+                let mut j = i + 4;
+                let mut has_test = false;
+                while j < n && depth > 0 {
+                    match self.s(j) {
+                        "(" => depth += 1,
+                        ")" => depth -= 1,
+                        "test" => has_test = true,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                // Expect the closing `]`.
+                if has_test && self.s(j) == "]" {
+                    let start = self.t(i).map_or(0, |t| t.start);
+                    // Skip any further attributes between cfg and the item.
+                    let mut k = j + 1;
+                    while self.s(k) == "#" && self.s(k + 1) == "[" {
+                        let mut d = 1usize;
+                        let mut m = k + 2;
+                        while m < n && d > 0 {
+                            match self.s(m) {
+                                "[" => d += 1,
+                                "]" => d -= 1,
+                                _ => {}
+                            }
+                            m += 1;
+                        }
+                        k = m;
+                    }
+                    // Item body: to the matching `}` of its first `{`, or to
+                    // `;` for declaration-only items.
+                    let mut end = None;
+                    let mut m = k;
+                    while m < n && m < k + 64 {
+                        match self.s(m) {
+                            "{" => {
+                                let close = self.match_brace(m);
+                                end = Some(self.t(close).map_or(self.src.len(), |t| t.end));
+                                break;
+                            }
+                            ";" => {
+                                end = Some(self.t(m).map_or(self.src.len(), |t| t.end));
+                                break;
+                            }
+                            _ => m += 1,
+                        }
+                    }
+                    if let Some(e) = end {
+                        regions.push((start, e));
+                        i = m;
+                    }
+                }
+                i = j.max(i + 1);
+            } else {
+                i += 1;
+            }
+        }
+        regions
+    }
+
+    /// Code index of the `}` matching the `{` at code index `open`
+    /// (clamped to the last token on unbalanced input).
+    fn match_brace(&self, open: usize) -> usize {
+        let mut depth = 0usize;
+        let mut i = open;
+        while let Some(_t) = self.t(i) {
+            match self.s(i) {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return i;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        self.code.len().saturating_sub(1)
+    }
+}
+
+/// A parsed suppression comment.
+struct Allow {
+    rules: Vec<String>,
+    /// Line the allow applies to.
+    target_line: u32,
+    /// Line of the comment itself (for unused-allow reporting).
+    comment_line: u32,
+    col: u32,
+    used: bool,
+}
+
+/// Lints one file's source. `path` is the display path, `crate_name` the
+/// component after `crates/` ("" for repo-level tests), `testish` the
+/// path-level test exemption.
+pub fn lint_source(path: &str, src: &str, crate_name: &str, testish: bool) -> FileReport {
+    let ctx = Ctx::new(path, src, crate_name, testish);
+    let mut raw: Vec<Finding> = Vec::new();
+
+    rule_det_map(&ctx, &mut raw);
+    rule_unordered_iter(&ctx, &mut raw);
+    rule_rng_entropy(&ctx, &mut raw);
+    rule_rng_construct(&ctx, &mut raw);
+    rule_ln_complement(&ctx, &mut raw);
+    rule_exp_complement(&ctx, &mut raw);
+    rule_lossy_cast(&ctx, &mut raw);
+    rule_panic(&ctx, &mut raw);
+    rule_rng_doc(&ctx, &mut raw);
+    rule_partial_cmp(&ctx, &mut raw);
+    rule_wall_clock(&ctx, &mut raw);
+    rule_env_read(&ctx, &mut raw);
+
+    let (mut allows, mut meta) = parse_allows(&ctx);
+
+    // Apply suppressions: a finding is dropped when an allow on its line
+    // lists its rule. Meta findings (malformed/unused-allow) are never
+    // suppressible — they must be fixed, not excused.
+    let mut report = FileReport::default();
+    for f in raw {
+        let hit = allows
+            .iter_mut()
+            .find(|a| a.target_line == f.line && a.rules.iter().any(|r| r == f.rule));
+        match hit {
+            Some(a) => {
+                a.used = true;
+                report.suppressed += 1;
+            }
+            None => report.findings.push(f),
+        }
+    }
+    for a in &allows {
+        if !a.used {
+            meta.push(Finding {
+                rule: "unused-allow",
+                file: path.to_string(),
+                line: a.comment_line,
+                col: a.col,
+                message: format!(
+                    "allow({}) suppressed no finding on line {}",
+                    a.rules.join(", "),
+                    a.target_line
+                ),
+                hint: rule_info("unused-allow").map_or("", |r| r.fix_hint),
+            });
+        }
+    }
+    report.findings.extend(meta);
+    report
+        .findings
+        .sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    report
+}
+
+/// Parses every `rbb-lint:` comment; returns valid allows and malformed-
+/// allow findings.
+fn parse_allows(ctx: &Ctx) -> (Vec<Allow>, Vec<Finding>) {
+    let mut allows = Vec::new();
+    let mut meta = Vec::new();
+    for (fi, tok) in ctx.toks.iter().enumerate() {
+        if tok.kind != TokKind::Comment {
+            continue;
+        }
+        let text = tok.text(ctx.src);
+        let Some(at) = text.find("rbb-lint:") else {
+            continue;
+        };
+        let body = text[at + "rbb-lint:".len()..].trim();
+        let fail = |msg: String, meta: &mut Vec<Finding>| {
+            meta.push(Finding {
+                rule: "malformed-allow",
+                file: ctx.path.to_string(),
+                line: tok.line,
+                col: tok.col,
+                message: msg,
+                hint: rule_info("malformed-allow").map_or("", |r| r.fix_hint),
+            });
+        };
+        let Some(inner) = body
+            .strip_prefix("allow(")
+            .and_then(|r| r.trim_end().strip_suffix(')'))
+        else {
+            fail(
+                "expected `rbb-lint: allow(rule, reason = \"...\")`".to_string(),
+                &mut meta,
+            );
+            continue;
+        };
+        let mut rules = Vec::new();
+        let mut reason: Option<String> = None;
+        let mut bad = false;
+        let mut rest = inner.trim();
+        while !rest.is_empty() {
+            if let Some(r) = rest.strip_prefix("reason") {
+                let r = r.trim_start();
+                let Some(r) = r.strip_prefix('=') else {
+                    fail("expected `=` after `reason`".to_string(), &mut meta);
+                    bad = true;
+                    break;
+                };
+                let r = r.trim_start();
+                let Some(r) = r.strip_prefix('"') else {
+                    fail("reason must be a quoted string".to_string(), &mut meta);
+                    bad = true;
+                    break;
+                };
+                let Some(close) = r.find('"') else {
+                    fail("unterminated reason string".to_string(), &mut meta);
+                    bad = true;
+                    break;
+                };
+                reason = Some(r[..close].to_string());
+                rest = r[close + 1..].trim_start().trim_start_matches(',').trim();
+            } else {
+                let end = rest.find(',').unwrap_or(rest.len());
+                let name = rest[..end].trim();
+                if rule_info(name).is_none() {
+                    fail(format!("unknown rule `{name}`"), &mut meta);
+                    bad = true;
+                    break;
+                }
+                if name == "malformed-allow" || name == "unused-allow" {
+                    fail(format!("rule `{name}` cannot be suppressed"), &mut meta);
+                    bad = true;
+                    break;
+                }
+                rules.push(name.to_string());
+                rest = rest[end..].trim_start_matches(',').trim();
+            }
+        }
+        if bad {
+            continue;
+        }
+        if rules.is_empty() {
+            fail("allow lists no rules".to_string(), &mut meta);
+            continue;
+        }
+        match reason.as_deref() {
+            None => {
+                fail("allow is missing `reason = \"...\"`".to_string(), &mut meta);
+                continue;
+            }
+            Some("") => {
+                fail("allow reason is empty".to_string(), &mut meta);
+                continue;
+            }
+            Some(_) => {}
+        }
+        // Target: own line if code precedes the comment on it; otherwise the
+        // next line that contains code.
+        let trailing = ctx.toks[..fi]
+            .iter()
+            .rev()
+            .take_while(|t| t.line == tok.line)
+            .any(|t| t.is_code());
+        let target_line = if trailing {
+            tok.line
+        } else {
+            ctx.toks[fi + 1..]
+                .iter()
+                .find(|t| t.is_code())
+                .map_or(tok.line, |t| t.line)
+        };
+        allows.push(Allow {
+            rules,
+            target_line,
+            comment_line: tok.line,
+            col: tok.col,
+            used: false,
+        });
+    }
+    (allows, meta)
+}
+
+fn push(out: &mut Vec<Finding>, ctx: &Ctx, rule: &'static str, tok: &Token, message: String) {
+    out.push(Finding {
+        rule,
+        file: ctx.path.to_string(),
+        line: tok.line,
+        col: tok.col,
+        message,
+        hint: rule_info(rule).map_or("", |r| r.fix_hint),
+    });
+}
+
+/// Counts top-level commas of the balanced `<…>` group opening at code
+/// index `lt`. Returns `None` if the group does not close sanely (treated
+/// as not-a-generic-argument-list).
+fn angle_commas(ctx: &Ctx, lt: usize) -> Option<usize> {
+    debug_assert_eq!(ctx.s(lt), "<");
+    let mut angle = 1i32;
+    let mut inner = 0i32; // parens + brackets
+    let mut commas = 0usize;
+    let mut i = lt + 1;
+    while i < lt + 160 {
+        let s = ctx.s(i);
+        if s.is_empty() {
+            return None;
+        }
+        match s {
+            "<" => angle += 1,
+            "<<" => angle += 2,
+            ">" => angle -= 1,
+            ">>" => angle -= 2,
+            "(" | "[" => inner += 1,
+            ")" | "]" => inner -= 1,
+            "," if angle == 1 && inner == 0 => commas += 1,
+            ";" | "{" => return None,
+            _ => {}
+        }
+        if angle <= 0 {
+            return Some(commas);
+        }
+        i += 1;
+    }
+    None
+}
+
+/// R1: std HashMap/HashSet with the default hasher in result crates.
+fn rule_det_map(ctx: &Ctx, out: &mut Vec<Finding>) {
+    const SCOPE: Scope = Scope {
+        all_crates: false,
+        include_tests: false,
+        exempt: &["crates/core/src/det_hash.rs"],
+    };
+    let mut in_use = false;
+    for i in 0..ctx.code.len() {
+        match ctx.s(i) {
+            "use" => in_use = true,
+            ";" => in_use = false,
+            name @ ("HashMap" | "HashSet") => {
+                if in_use {
+                    continue; // imports are inert; uses are what we police
+                }
+                let tok = *ctx.t(i).expect("index in range");
+                if !ctx.active(&SCOPE, tok.start) {
+                    continue;
+                }
+                let need = if name == "HashMap" { 2 } else { 1 };
+                // `Name<...>` directly, or `Name::<...>` turbofish: a hasher
+                // type parameter (comma count >= need) is fine.
+                let lt = if ctx.s(i + 1) == "<" {
+                    Some(i + 1)
+                } else if ctx.s(i + 1) == "::" && ctx.s(i + 2) == "<" {
+                    Some(i + 2)
+                } else {
+                    None
+                };
+                let ok = lt.is_some_and(|l| angle_commas(ctx, l).is_some_and(|c| c >= need));
+                if !ok {
+                    push(
+                        out,
+                        ctx,
+                        "det-map",
+                        &tok,
+                        format!("std {name} with the default RandomState hasher"),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Map-ish type names whose iteration order is hash-dependent. `Det*` are
+/// reproducible but still arbitrary-order, so they count too.
+const MAP_TYPES: &[&str] = &["HashMap", "HashSet", "DetHashMap", "DetHashSet"];
+
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "into_keys",
+    "values",
+    "values_mut",
+    "into_values",
+    "drain",
+];
+
+/// R2: iteration over hash-ordered collections.
+fn rule_unordered_iter(ctx: &Ctx, out: &mut Vec<Finding>) {
+    // Pass 1: build the registry of names with map-ish types in this file —
+    // local type aliases, then bindings/params/fields.
+    let mut map_types: Vec<String> = MAP_TYPES.iter().map(|s| s.to_string()).collect();
+    let n = ctx.code.len();
+    for i in 0..n {
+        if ctx.s(i) == "type" && ctx.kind(i + 1) == Some(TokKind::Ident) && ctx.s(i + 2) == "=" {
+            let mut j = i + 3;
+            while j < n && ctx.s(j) != ";" {
+                if map_types.iter().any(|m| m == ctx.s(j)) {
+                    map_types.push(ctx.s(i + 1).to_string());
+                    break;
+                }
+                j += 1;
+            }
+        }
+    }
+    let is_map_type = |s: &str| map_types.iter().any(|m| m == s);
+    let mut names: Vec<String> = Vec::new();
+    let mut register = |name: &str| {
+        if !name.is_empty() && !names.iter().any(|n| n == name) {
+            names.push(name.to_string());
+        }
+    };
+    for i in 0..n {
+        // `name : [& ['a] mut]* MapType` — params, struct fields, let-with-
+        // annotation all share this shape.
+        if ctx.kind(i) == Some(TokKind::Ident) && ctx.s(i + 1) == ":" {
+            let mut j = i + 2;
+            while matches!(ctx.s(j), "&" | "mut") || ctx.kind(j) == Some(TokKind::Lifetime) {
+                j += 1;
+            }
+            if is_map_type(ctx.s(j)) {
+                register(ctx.s(i));
+            }
+        }
+        // `let [mut] name = MapType…` (type inferred from the constructor).
+        if ctx.s(i) == "let" {
+            let mut j = i + 1;
+            if ctx.s(j) == "mut" {
+                j += 1;
+            }
+            if ctx.kind(j) == Some(TokKind::Ident)
+                && ctx.s(j + 1) == "="
+                && is_map_type(ctx.s(j + 2))
+            {
+                register(ctx.s(j));
+            }
+        }
+    }
+
+    // Pass 2: flag `name.iter()`-style calls and `for … in …name…` headers.
+    let mut flagged_lines: Vec<u32> = Vec::new();
+    let mut emit = |ctx: &Ctx, out: &mut Vec<Finding>, tok: &Token, what: String| {
+        if flagged_lines.contains(&tok.line) {
+            return; // one finding per line is enough signal
+        }
+        flagged_lines.push(tok.line);
+        push(out, ctx, "unordered-iter", tok, what);
+    };
+    for i in 0..n {
+        let tok = match ctx.t(i) {
+            Some(t) => *t,
+            None => continue,
+        };
+        if !ctx.active(&SCOPE_RESULT, tok.start) {
+            continue;
+        }
+        // `name . iter_method (`
+        if ctx.kind(i) == Some(TokKind::Ident)
+            && names.iter().any(|nm| nm == ctx.s(i))
+            && ctx.s(i + 1) == "."
+            && ITER_METHODS.contains(&ctx.s(i + 2))
+            && ctx.s(i + 3) == "("
+            && !is_worklist(ctx, i)
+        {
+            emit(
+                ctx,
+                out,
+                &tok,
+                format!("hash-order iteration: {}.{}()", ctx.s(i), ctx.s(i + 2)),
+            );
+        }
+        // `for pat in header {` with a registered name in the header.
+        if ctx.s(i) == "for" && ctx.s(i + 1) != "<" {
+            let mut depth = 0i32;
+            let mut j = i + 1;
+            let mut in_at = None;
+            while j < n && j < i + 50 {
+                match ctx.s(j) {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "in" if depth == 0 => {
+                        in_at = Some(j);
+                        break;
+                    }
+                    "{" | ";" => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if let Some(start) = in_at {
+                let mut j = start + 1;
+                let mut depth = 0i32;
+                while j < n && j < start + 80 {
+                    match ctx.s(j) {
+                        "(" | "[" => depth += 1,
+                        ")" | "]" => depth -= 1,
+                        "{" if depth == 0 => break,
+                        ";" => break,
+                        s if ctx.kind(j) == Some(TokKind::Ident)
+                            && names.iter().any(|nm| nm == s)
+                            && !is_worklist(ctx, j) =>
+                        {
+                            let ft = *ctx.t(j).expect("index in range");
+                            emit(ctx, out, &ft, format!("hash-order iteration over `{s}`"));
+                            break;
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            }
+        }
+    }
+}
+
+/// The sanctioned worklist pattern: the iteration is collected and sorted
+/// before use, making the hash order immaterial. Heuristic: a `collect`
+/// within the same statement and a `sort*` call within the next three
+/// lines.
+fn is_worklist(ctx: &Ctx, at: usize) -> bool {
+    let line = ctx.t(at).map_or(0, |t| t.line);
+    let mut has_collect = false;
+    let mut j = at;
+    while j < at + 60 {
+        match ctx.s(j) {
+            "" | ";" => break,
+            "collect" => {
+                has_collect = true;
+                break;
+            }
+            _ => j += 1,
+        }
+    }
+    if !has_collect {
+        return false;
+    }
+    let mut k = j;
+    while let Some(t) = ctx.t(k) {
+        if t.line > line + 3 {
+            break;
+        }
+        if ctx.s(k).starts_with("sort") {
+            return true;
+        }
+        k += 1;
+    }
+    false
+}
+
+/// R3: entropy-based seeding, anywhere (tests included).
+fn rule_rng_entropy(ctx: &Ctx, out: &mut Vec<Finding>) {
+    const SCOPE: Scope = Scope {
+        all_crates: true,
+        include_tests: true,
+        exempt: &[],
+    };
+    const BANNED: &[&str] = &[
+        "from_entropy",
+        "try_from_entropy",
+        "thread_rng",
+        "ThreadRng",
+        "OsRng",
+        "getrandom",
+    ];
+    for i in 0..ctx.code.len() {
+        let tok = match ctx.t(i) {
+            Some(t) => *t,
+            None => continue,
+        };
+        if !ctx.active(&SCOPE, tok.start) || ctx.kind(i) != Some(TokKind::Ident) {
+            continue;
+        }
+        let s = ctx.s(i);
+        if BANNED.contains(&s) {
+            push(
+                out,
+                ctx,
+                "rng-entropy",
+                &tok,
+                format!("entropy source `{s}`"),
+            );
+        } else if s == "rand" && ctx.s(i + 1) == "::" && ctx.s(i + 2) == "random" {
+            push(
+                out,
+                ctx,
+                "rng-entropy",
+                &tok,
+                "entropy source `rand::random`".to_string(),
+            );
+        }
+    }
+}
+
+/// R3b: RNG construction outside the sanctioned sites.
+fn rule_rng_construct(ctx: &Ctx, out: &mut Vec<Finding>) {
+    const SCOPE: Scope = Scope {
+        all_crates: false,
+        include_tests: false,
+        exempt: &["crates/core/src/rng.rs", "crates/sim/src/seed.rs"],
+    };
+    const CTORS: &[(&str, &[&str])] = &[
+        (
+            "Xoshiro256pp",
+            &["seed_from", "from_seed", "seed_from_u64", "stream"],
+        ),
+        ("SplitMix64", &["new"]),
+    ];
+    for i in 0..ctx.code.len() {
+        let tok = match ctx.t(i) {
+            Some(t) => *t,
+            None => continue,
+        };
+        if !ctx.active(&SCOPE, tok.start) {
+            continue;
+        }
+        for (ty, ctors) in CTORS {
+            if ctx.s(i) == *ty && ctx.s(i + 1) == "::" && ctors.contains(&ctx.s(i + 2)) {
+                push(
+                    out,
+                    ctx,
+                    "rng-construct",
+                    &tok,
+                    format!("RNG constructed via {}::{}", ty, ctx.s(i + 2)),
+                );
+            }
+        }
+    }
+}
+
+/// R4a: `(… 1.0 - x …).ln()`-style complement feeding a log/power.
+fn rule_ln_complement(ctx: &Ctx, out: &mut Vec<Finding>) {
+    const SINKS: &[&str] = &["ln", "log", "log2", "log10", "powf"];
+    for i in 2..ctx.code.len() {
+        if !(ctx.s(i) == "."
+            && ctx.kind(i + 1) == Some(TokKind::Ident)
+            && SINKS.contains(&ctx.s(i + 1))
+            && ctx.s(i + 2) == "("
+            && ctx.s(i - 1) == ")")
+        {
+            continue;
+        }
+        let tok = match ctx.t(i + 1) {
+            Some(t) => *t,
+            None => continue,
+        };
+        if !ctx.active(&SCOPE_RESULT, tok.start) {
+            continue;
+        }
+        // Walk back to the `(` matching the receiver's `)`.
+        let close = i - 1;
+        let mut depth = 0i32;
+        let mut open = None;
+        let mut j = close;
+        loop {
+            match ctx.s(j) {
+                ")" => depth += 1,
+                "(" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        open = Some(j);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            if j == 0 {
+                break;
+            }
+            j -= 1;
+        }
+        let Some(open) = open else { continue };
+        // Inside the group, at its top level: literal one followed by `-`.
+        let mut depth = 0i32;
+        for k in open + 1..close {
+            match ctx.s(k) {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                one @ ("1.0" | "1." | "1" | "1f64" | "1.0f64")
+                    if depth == 0 && ctx.s(k + 1) == "-" =>
+                {
+                    push(
+                        out,
+                        ctx,
+                        "ln-complement",
+                        &tok,
+                        format!(
+                            "({one} - …).{}() loses precision for small arguments",
+                            ctx.s(i + 1)
+                        ),
+                    );
+                    break;
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// R4b: `1.0 - …exp()…` complement.
+fn rule_exp_complement(ctx: &Ctx, out: &mut Vec<Finding>) {
+    for i in 0..ctx.code.len() {
+        let one = ctx.s(i);
+        if !matches!(one, "1.0" | "1." | "1" | "1f64" | "1.0f64") || ctx.s(i + 1) != "-" {
+            continue;
+        }
+        let tok = match ctx.t(i) {
+            Some(t) => *t,
+            None => continue,
+        };
+        if !ctx.active(&SCOPE_RESULT, tok.start) {
+            continue;
+        }
+        let mut depth = 0i32;
+        let mut j = i + 2;
+        while j < i + 40 {
+            match ctx.s(j) {
+                "" | ";" | "{" => break,
+                "(" | "[" => depth += 1,
+                ")" | "]" => {
+                    if depth == 0 {
+                        break;
+                    }
+                    depth -= 1;
+                }
+                "," if depth == 0 => break,
+                "." if depth == 0 && ctx.s(j + 1) == "exp" && ctx.s(j + 2) == "(" => {
+                    push(
+                        out,
+                        ctx,
+                        "exp-complement",
+                        &tok,
+                        format!("{one} - exp(…) cancels catastrophically near 0"),
+                    );
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+}
+
+/// R4c: truncating casts to narrow unsigned types.
+fn rule_lossy_cast(ctx: &Ctx, out: &mut Vec<Finding>) {
+    for i in 0..ctx.code.len() {
+        if ctx.s(i) != "as" || !matches!(ctx.s(i + 1), "u32" | "u16" | "u8") {
+            continue;
+        }
+        let tok = match ctx.t(i) {
+            Some(t) => *t,
+            None => continue,
+        };
+        if !ctx.active(&SCOPE_RESULT, tok.start) {
+            continue;
+        }
+        push(
+            out,
+            ctx,
+            "lossy-cast",
+            &tok,
+            format!("truncating cast `as {}`", ctx.s(i + 1)),
+        );
+    }
+}
+
+/// R5: panic policy for result crates.
+fn rule_panic(ctx: &Ctx, out: &mut Vec<Finding>) {
+    const MACROS: &[&str] = &["panic", "todo", "unimplemented", "unreachable"];
+    for i in 0..ctx.code.len() {
+        let tok = match ctx.t(i) {
+            Some(t) => *t,
+            None => continue,
+        };
+        if !ctx.active(&SCOPE_RESULT, tok.start) {
+            continue;
+        }
+        let s = ctx.s(i);
+        if matches!(s, "unwrap" | "expect")
+            && i >= 1
+            && ctx.s(i.wrapping_sub(1)) == "."
+            && ctx.s(i + 1) == "("
+        {
+            let ft = *ctx.t(i).expect("index in range");
+            push(out, ctx, "panic", &ft, format!(".{s}() in non-test code"));
+        } else if MACROS.contains(&s) && ctx.s(i + 1) == "!" {
+            push(out, ctx, "panic", &tok, format!("{s}! in non-test code"));
+        }
+    }
+}
+
+/// R6: pub fns that consume an RNG must document their stream contract.
+fn rule_rng_doc(ctx: &Ctx, out: &mut Vec<Finding>) {
+    let n = ctx.code.len();
+    for i in 0..n {
+        if ctx.s(i) != "pub" {
+            continue;
+        }
+        let tok = match ctx.t(i) {
+            Some(t) => *t,
+            None => continue,
+        };
+        if !ctx.active(&SCOPE_RESULT, tok.start) {
+            continue;
+        }
+        // pub [(crate|super|in …)] [const] [async] [unsafe] fn name [<…>] (
+        let mut j = i + 1;
+        if ctx.s(j) == "(" {
+            let mut d = 1i32;
+            j += 1;
+            while j < n && d > 0 {
+                match ctx.s(j) {
+                    "(" => d += 1,
+                    ")" => d -= 1,
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        while matches!(ctx.s(j), "const" | "async" | "unsafe") {
+            j += 1;
+        }
+        if ctx.s(j) != "fn" {
+            continue;
+        }
+        let name = ctx.s(j + 1).to_string();
+        let mut k = j + 2;
+        if ctx.s(k) == "<" {
+            let mut d = 1i32;
+            k += 1;
+            while k < n && d > 0 {
+                match ctx.s(k) {
+                    "<" => d += 1,
+                    "<<" => d += 2,
+                    ">" => d -= 1,
+                    ">>" => d -= 2,
+                    _ => {}
+                }
+                k += 1;
+            }
+        }
+        if ctx.s(k) != "(" {
+            continue;
+        }
+        // Params: look for an RNG-typed argument.
+        let open = k;
+        let mut d = 1i32;
+        let mut takes_rng = false;
+        k += 1;
+        while k < n && d > 0 {
+            match ctx.s(k) {
+                "(" => d += 1,
+                ")" => d -= 1,
+                "Xoshiro256pp" | "SplitMix64" => takes_rng = true,
+                "rng" if ctx.s(k + 1) == ":" => takes_rng = true,
+                _ => {}
+            }
+            k += 1;
+        }
+        let _ = open;
+        if !takes_rng {
+            continue;
+        }
+        // Walk back over attributes and doc comments in the FULL stream.
+        let full_i = ctx.code[i];
+        let mut docs = String::new();
+        let mut fi = full_i;
+        while fi > 0 {
+            let prev = &ctx.toks[fi - 1];
+            match prev.kind {
+                TokKind::DocComment => {
+                    docs.push_str(prev.text(ctx.src));
+                    docs.push('\n');
+                    fi -= 1;
+                }
+                TokKind::Comment => fi -= 1,
+                TokKind::Punct if prev.text(ctx.src) == "]" => {
+                    // Skip back over one `#[…]` attribute group.
+                    let mut d = 1i32;
+                    let mut g = fi - 1;
+                    while g > 0 && d > 0 {
+                        g -= 1;
+                        match ctx.toks[g].text(ctx.src) {
+                            "]" => d += 1,
+                            "[" => d -= 1,
+                            _ => {}
+                        }
+                    }
+                    if g > 0 && ctx.toks[g - 1].text(ctx.src) == "#" {
+                        fi = g - 1;
+                    } else {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+        if !docs.contains("# RNG stream") {
+            push(
+                out,
+                ctx,
+                "rng-doc",
+                &tok,
+                format!("pub fn `{name}` draws randomness but has no `# RNG stream` doc section"),
+            );
+        }
+    }
+}
+
+/// R7: NaN-unsafe float comparison.
+fn rule_partial_cmp(ctx: &Ctx, out: &mut Vec<Finding>) {
+    for i in 0..ctx.code.len() {
+        if ctx.s(i) != "partial_cmp" {
+            continue;
+        }
+        let tok = match ctx.t(i) {
+            Some(t) => *t,
+            None => continue,
+        };
+        if !ctx.active(&SCOPE_RESULT, tok.start) {
+            continue;
+        }
+        push(
+            out,
+            ctx,
+            "partial-cmp",
+            &tok,
+            "partial_cmp on floats (panics or misorders on NaN)".to_string(),
+        );
+    }
+}
+
+/// R8: wall-clock reads.
+fn rule_wall_clock(ctx: &Ctx, out: &mut Vec<Finding>) {
+    for i in 0..ctx.code.len() {
+        if !matches!(ctx.s(i), "Instant" | "SystemTime")
+            || ctx.s(i + 1) != "::"
+            || ctx.s(i + 2) != "now"
+        {
+            continue;
+        }
+        let tok = match ctx.t(i) {
+            Some(t) => *t,
+            None => continue,
+        };
+        if !ctx.active(&SCOPE_RESULT, tok.start) {
+            continue;
+        }
+        push(
+            out,
+            ctx,
+            "wall-clock",
+            &tok,
+            format!("{}::now() in result-affecting code", ctx.s(i)),
+        );
+    }
+}
+
+/// R9: environment reads.
+fn rule_env_read(ctx: &Ctx, out: &mut Vec<Finding>) {
+    for i in 0..ctx.code.len() {
+        if ctx.s(i) != "env" || ctx.s(i + 1) != "::" {
+            continue;
+        }
+        if !matches!(ctx.s(i + 2), "var" | "var_os" | "vars" | "vars_os") {
+            continue;
+        }
+        let tok = match ctx.t(i) {
+            Some(t) => *t,
+            None => continue,
+        };
+        if !ctx.active(&SCOPE_RESULT, tok.start) {
+            continue;
+        }
+        push(
+            out,
+            ctx,
+            "env-read",
+            &tok,
+            format!("env::{}() in result-affecting code", ctx.s(i + 2)),
+        );
+    }
+}

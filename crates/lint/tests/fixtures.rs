@@ -1,0 +1,164 @@
+//! Fixture-corpus tests: every rule has a hit, a clean, and (for the
+//! suppressible rules) a suppressed fixture under `tests/fixtures/<rule>/`,
+//! plus false-positive cases proving the lexer keeps rules out of strings,
+//! comments, macros, and raw strings.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use rbb_lint::{lint_source, FileReport, RULES};
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// Lints a fixture as non-test code in crate `core`, the strictest scope.
+fn lint_fixture(path: &Path) -> FileReport {
+    let src = fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path:?}: {e}"));
+    let rel = format!(
+        "crates/core/src/fixture_{}.rs",
+        path.file_stem().unwrap().to_str().unwrap()
+    );
+    lint_source(&rel, &src, "core", false)
+}
+
+/// Meta rules police the suppression machinery itself and therefore cannot
+/// be suppressed; they have no `suppressed.rs` fixture.
+const META_RULES: &[&str] = &["malformed-allow", "unused-allow"];
+
+#[test]
+fn every_rule_has_a_firing_hit_fixture() {
+    for rule in RULES {
+        let path = fixtures_dir().join(rule.id).join("hit.rs");
+        assert!(path.is_file(), "missing fixture {path:?}");
+        let report = lint_fixture(&path);
+        assert!(
+            report.findings.iter().any(|f| f.rule == rule.id),
+            "rule `{}` did not fire on its hit fixture (got: {:?})",
+            rule.id,
+            report.findings.iter().map(|f| f.rule).collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn every_rule_has_a_silent_clean_fixture() {
+    for rule in RULES {
+        let path = fixtures_dir().join(rule.id).join("clean.rs");
+        assert!(path.is_file(), "missing fixture {path:?}");
+        let report = lint_fixture(&path);
+        assert!(
+            report.findings.is_empty(),
+            "clean fixture for `{}` produced findings: {:?}",
+            rule.id,
+            report
+                .findings
+                .iter()
+                .map(|f| (f.rule, f.line))
+                .collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn every_suppressible_rule_has_a_suppressed_fixture() {
+    for rule in RULES {
+        let path = fixtures_dir().join(rule.id).join("suppressed.rs");
+        if META_RULES.contains(&rule.id) {
+            assert!(
+                !path.exists(),
+                "meta rule `{}` must not have a suppressed fixture",
+                rule.id
+            );
+            continue;
+        }
+        assert!(path.is_file(), "missing fixture {path:?}");
+        let report = lint_fixture(&path);
+        assert!(
+            report.findings.is_empty(),
+            "suppressed fixture for `{}` still reports: {:?}",
+            rule.id,
+            report
+                .findings
+                .iter()
+                .map(|f| (f.rule, f.line))
+                .collect::<Vec<_>>()
+        );
+        assert!(
+            report.suppressed >= 1,
+            "suppressed fixture for `{}` suppressed nothing (unused allow should have fired)",
+            rule.id
+        );
+    }
+}
+
+#[test]
+fn meta_rules_cannot_be_suppressed() {
+    let path = fixtures_dir()
+        .join("malformed-allow")
+        .join("unsuppressible.rs");
+    let report = lint_fixture(&path);
+    assert!(
+        report.findings.iter().any(|f| f.rule == "malformed-allow"),
+        "an allow naming a meta rule must itself be malformed, got {:?}",
+        report.findings.iter().map(|f| f.rule).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn no_fixture_directory_is_orphaned() {
+    // Every `<rule>/` directory corresponds to a live rule, so renamed or
+    // retired rules cannot leave stale fixtures behind.
+    let special = ["false_positives", "golden"];
+    for entry in fs::read_dir(fixtures_dir()).unwrap() {
+        let entry = entry.unwrap();
+        if !entry.path().is_dir() {
+            continue;
+        }
+        let name = entry.file_name().into_string().unwrap();
+        if special.contains(&name.as_str()) {
+            continue;
+        }
+        assert!(
+            RULES.iter().any(|r| r.id == name),
+            "fixture directory `{name}` does not match any rule id"
+        );
+    }
+}
+
+#[test]
+fn violations_inside_literals_and_comments_do_not_fire() {
+    for case in ["strings", "comments", "macros", "raw_strings"] {
+        let path = fixtures_dir()
+            .join("false_positives")
+            .join(format!("{case}.rs"));
+        let report = lint_fixture(&path);
+        assert!(
+            report.findings.is_empty(),
+            "false-positive case `{case}` produced findings: {:?}",
+            report
+                .findings
+                .iter()
+                .map(|f| (f.rule, f.line))
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(
+            report.suppressed, 0,
+            "false-positive case `{case}` should not consume suppressions"
+        );
+    }
+}
+
+#[test]
+fn lexer_recovers_after_tricky_raw_strings() {
+    // A raw string containing a fake terminator must not swallow the rest
+    // of the file: the genuine violation after it still fires.
+    let path = fixtures_dir().join("false_positives").join("canary.rs");
+    let report = lint_fixture(&path);
+    let rules: Vec<&str> = report.findings.iter().map(|f| f.rule).collect();
+    assert_eq!(
+        rules,
+        ["rng-entropy"],
+        "canary expects exactly the post-raw-string violation"
+    );
+}

@@ -1,0 +1,11 @@
+use rbb_core::det_hash::{BuildDetHasher, DetHashMap};
+use std::collections::HashMap;
+
+pub struct Loads {
+    by_bin: DetHashMap<u64, u32>,
+    aux: HashMap<u64, u32, BuildDetHasher>,
+}
+
+pub fn build() -> DetHashMap<u64, u32> {
+    DetHashMap::default()
+}

@@ -1,0 +1,9 @@
+use std::collections::HashMap;
+
+pub struct Loads {
+    by_bin: HashMap<u64, u32>,
+}
+
+pub fn build() -> HashMap<u64, u32> {
+    HashMap::new()
+}

@@ -1,0 +1,6 @@
+use std::collections::HashMap;
+
+// rbb-lint: allow(det-map, reason = "handed to an external API that demands the std hasher")
+pub fn interop() -> HashMap<u64, u32> {
+    Default::default()
+}

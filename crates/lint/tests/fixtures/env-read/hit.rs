@@ -1,0 +1,5 @@
+use std::env;
+
+pub fn threads() -> String {
+    env::var("RBB_THREADS").unwrap_or_default()
+}

@@ -1,0 +1,6 @@
+use std::env;
+
+pub fn threads() -> String {
+    // rbb-lint: allow(env-read, reason = "mirrors the rayon stub's sanctioned thread-count override")
+    env::var("RBB_THREADS").unwrap_or_default()
+}

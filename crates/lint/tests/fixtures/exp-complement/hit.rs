@@ -1,0 +1,3 @@
+pub fn hit_probability(x: f64) -> f64 {
+    1.0 - x.exp()
+}

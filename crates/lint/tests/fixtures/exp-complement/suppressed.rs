@@ -1,0 +1,4 @@
+pub fn pinned(x: f64) -> f64 {
+    // rbb-lint: allow(exp-complement, reason = "argument is bounded away from 0 by the caller; form kept for readability")
+    1.0 - x.exp()
+}

@@ -1,0 +1,14 @@
+use rbb_core::rng::Xoshiro256pp;
+
+pub fn tricky() -> &'static str {
+    r##"a raw string with a fake terminator "# inside"##
+}
+
+/// Entropy canary behind the tricky raw string above.
+///
+/// # RNG stream
+///
+/// Non-reproducible by design; exists to prove the lexer recovered.
+pub fn canary() -> Xoshiro256pp {
+    Xoshiro256pp::from_entropy()
+}

@@ -1,0 +1,9 @@
+// A comment mentioning Xoshiro256pp::from_entropy() and HashMap::new().
+/* block comment: (1.0 - x).ln() and v.sort_by(|a, b| a.partial_cmp(b))
+   /* nested: x.unwrap() and Instant::now() and env::var("T") */
+   still inside the outer comment: 1.0 - x.exp()
+*/
+/// Doc comment quoting `x as u32` and `SystemTime::now()`.
+pub fn quiet() -> u64 {
+    42
+}

@@ -1,0 +1,13 @@
+macro_rules! tally {
+    ($name:ident, $t:ty) => {
+        pub fn $name(x: $t) -> $t {
+            x
+        }
+    };
+}
+
+tally!(rounds, u64);
+
+pub fn report(n: u64) -> String {
+    format!("{{literal braces}} n={n} (see unwrap docs, not a call)")
+}

@@ -1,0 +1,11 @@
+pub fn snippets() -> Vec<&'static str> {
+    vec![
+        r"plain raw: x.unwrap() and HashMap::new()",
+        r#"hash raw: "quoted" Xoshiro256pp::from_entropy()"#,
+        r##"double-hash raw: r#"inner"# and (1.0 - x).ln()"##,
+    ]
+}
+
+pub fn bytes() -> &'static [u8] {
+    br#"byte raw: Instant::now() env::var("X")"#
+}

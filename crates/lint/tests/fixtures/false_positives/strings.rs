@@ -1,0 +1,8 @@
+pub fn docs() -> Vec<&'static str> {
+    vec![
+        "never call Xoshiro256pp::from_entropy() in result code",
+        "prefer ln_1p over (1.0 - x).ln()",
+        "HashMap::new() is banned; x.unwrap() too",
+        "std::time::Instant::now() and env::var(\"X\") stay out of results",
+    ]
+}

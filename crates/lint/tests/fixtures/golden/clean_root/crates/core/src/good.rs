@@ -1,0 +1,9 @@
+use rbb_core::det_hash::DetHashMap;
+
+pub fn table() -> DetHashMap<u64, u32> {
+    DetHashMap::default()
+}
+
+pub fn survival_log(x: f64) -> f64 {
+    (-x).ln_1p()
+}

@@ -1,0 +1,19 @@
+use rbb_core::rng::Xoshiro256pp;
+use std::collections::HashMap;
+
+pub fn fresh() -> Xoshiro256pp {
+    Xoshiro256pp::from_entropy()
+}
+
+pub fn table() -> HashMap<u64, u32> {
+    HashMap::new()
+}
+
+pub fn survival_log(x: f64) -> f64 {
+    (1.0 - x).ln()
+}
+
+pub fn first(xs: &[u64]) -> u64 {
+    // rbb-lint: allow(panic, reason = "constructor asserts non-empty")
+    *xs.first().unwrap()
+}

@@ -1,0 +1,3 @@
+pub fn survival_log(x: f64) -> f64 {
+    (-x).ln_1p()
+}

@@ -1,0 +1,3 @@
+pub fn survival_log(x: f64) -> f64 {
+    (1.0 - x).ln()
+}

@@ -1,0 +1,4 @@
+pub fn pinned(x: f64) -> f64 {
+    // rbb-lint: allow(ln-complement, reason = "committed bit-exact trajectories pin this exact expression")
+    (1.0 - x).ln()
+}

@@ -1,0 +1,3 @@
+pub fn bin_index(x: usize) -> u64 {
+    x as u64
+}

@@ -1,0 +1,3 @@
+pub fn bin_index(x: usize) -> u32 {
+    x as u32
+}

@@ -1,0 +1,4 @@
+pub fn bin_index(x: usize) -> u32 {
+    // rbb-lint: allow(lossy-cast, reason = "validate() bounds n by u32::MAX before this point")
+    x as u32
+}

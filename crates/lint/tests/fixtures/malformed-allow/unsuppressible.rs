@@ -1,0 +1,5 @@
+pub fn f(x: Option<u32>) -> u32 {
+    // rbb-lint: allow(malformed-allow, reason = "trying to silence the meta rule")
+    // rbb-lint: allow(panic)
+    x.unwrap_or(1)
+}

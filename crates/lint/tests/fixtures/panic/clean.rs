@@ -1,0 +1,3 @@
+pub fn first(xs: &[u64]) -> u64 {
+    xs.first().copied().unwrap_or(0)
+}

@@ -1,0 +1,4 @@
+pub fn first(xs: &[u64]) -> u64 {
+    // rbb-lint: allow(panic, reason = "caller asserts non-empty in the constructor")
+    *xs.first().unwrap()
+}

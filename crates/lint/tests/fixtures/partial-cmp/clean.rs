@@ -1,0 +1,3 @@
+pub fn ascending(v: &mut [f64]) {
+    v.sort_by(f64::total_cmp);
+}

@@ -1,0 +1,10 @@
+use rbb_core::rng::Xoshiro256pp;
+
+/// Advances the caller's stream.
+///
+/// # RNG stream
+///
+/// Consumes exactly one draw.
+pub fn advance(rng: &mut Xoshiro256pp) -> u64 {
+    rng.next_u64()
+}

@@ -1,0 +1,10 @@
+use rbb_core::rng::Xoshiro256pp;
+
+/// Engine generator for `seed`.
+///
+/// # RNG stream
+///
+/// The engine-convention stream of `seed`; consumes no draws.
+pub fn start(seed: u64) -> Xoshiro256pp {
+    Xoshiro256pp::seed_from(seed)
+}

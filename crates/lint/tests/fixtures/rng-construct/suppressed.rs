@@ -1,0 +1,11 @@
+use rbb_core::rng::Xoshiro256pp;
+
+/// Engine generator for `seed`.
+///
+/// # RNG stream
+///
+/// The engine-convention stream of `seed`; consumes no draws.
+pub fn start(seed: u64) -> Xoshiro256pp {
+    // rbb-lint: allow(rng-construct, reason = "core cannot depend on rbb_sim::seed; this is the sanctioned engine convention")
+    Xoshiro256pp::seed_from(seed)
+}

@@ -1,0 +1,10 @@
+use rbb_core::rng::Xoshiro256pp;
+
+/// Draws one sample.
+///
+/// # RNG stream
+///
+/// Consumes exactly one draw from the caller's stream.
+pub fn draw(rng: &mut Xoshiro256pp) -> u64 {
+    rng.next_u64()
+}

@@ -1,0 +1,6 @@
+use rbb_core::rng::Xoshiro256pp;
+
+/// Draws one sample.
+pub fn draw(rng: &mut Xoshiro256pp) -> u64 {
+    rng.next_u64()
+}

@@ -1,0 +1,5 @@
+use rbb_core::rng::Xoshiro256pp;
+
+pub fn fresh() -> Xoshiro256pp {
+    Xoshiro256pp::from_entropy()
+}

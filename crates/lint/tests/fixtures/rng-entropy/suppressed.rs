@@ -1,0 +1,11 @@
+use rbb_core::rng::Xoshiro256pp;
+
+/// Entropy-seeded generator for the interactive demo.
+///
+/// # RNG stream
+///
+/// Non-reproducible by design; never feeds a recorded result.
+pub fn jitter_demo() -> Xoshiro256pp {
+    // rbb-lint: allow(rng-entropy, reason = "interactive demo binary; results are never recorded")
+    Xoshiro256pp::from_entropy()
+}

@@ -1,0 +1,7 @@
+use rbb_core::det_hash::DetHashMap;
+
+pub fn bins(m: &DetHashMap<u64, u32>) -> Vec<u64> {
+    let mut v: Vec<u64> = m.keys().copied().collect();
+    v.sort_unstable();
+    v
+}

@@ -1,0 +1,9 @@
+use rbb_core::det_hash::DetHashMap;
+
+pub fn total(m: &DetHashMap<u64, u32>) -> f64 {
+    let mut s = 0.0;
+    for v in m.values() {
+        s += *v as f64;
+    }
+    s
+}

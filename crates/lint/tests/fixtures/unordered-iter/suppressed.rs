@@ -1,0 +1,6 @@
+use rbb_core::det_hash::DetHashMap;
+
+pub fn max_load(m: &DetHashMap<u64, u32>) -> u32 {
+    // rbb-lint: allow(unordered-iter, reason = "max is order-independent over the values")
+    m.values().copied().max().unwrap_or(0)
+}

@@ -1,0 +1,4 @@
+pub fn f(x: Option<u32>) -> u32 {
+    // rbb-lint: allow(panic, reason = "stale: the unwrap below was removed last quarter")
+    x.unwrap_or(1)
+}

@@ -1,0 +1,3 @@
+pub fn stamp(elapsed_rounds: u64) -> u64 {
+    elapsed_rounds
+}

@@ -1,0 +1,106 @@
+//! Lexer round-trip property: on every `.rs` file in the workspace —
+//! including the vendored stubs and the deliberately tricky lint fixtures —
+//! the token stream tiles the source exactly: spans are in order, disjoint,
+//! and everything between tokens is whitespace. A fuzz pass extends the
+//! same invariant (plus "never panics") to adversarial character soup.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use proptest::prelude::*;
+use rbb_lint::lexer::lex;
+
+/// Asserts the tiling invariant and returns the number of tokens.
+fn assert_roundtrip(src: &str, origin: &str) -> usize {
+    let tokens = lex(src);
+    let mut pos = 0usize;
+    for (i, t) in tokens.iter().enumerate() {
+        assert!(
+            t.start >= pos,
+            "{origin}: token {i} overlaps predecessor (start {} < pos {pos})",
+            t.start
+        );
+        assert!(
+            t.end > t.start,
+            "{origin}: token {i} has an empty span at {}",
+            t.start
+        );
+        assert!(
+            src[pos..t.start].chars().all(char::is_whitespace),
+            "{origin}: non-whitespace dropped in gap {pos}..{}",
+            t.start
+        );
+        assert!(
+            src.is_char_boundary(t.start) && src.is_char_boundary(t.end),
+            "{origin}: token {i} span {}..{} splits a char",
+            t.start,
+            t.end
+        );
+        pos = t.end;
+    }
+    assert!(
+        src[pos..].chars().all(char::is_whitespace),
+        "{origin}: non-whitespace dropped after last token"
+    );
+    tokens.len()
+}
+
+/// Collects every `.rs` under `dir`, skipping only build output and VCS
+/// internals — vendor/ and the lint fixtures are deliberately included.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if name != "target" && name != ".git" {
+                collect_rs(&path, out);
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[test]
+fn every_workspace_file_roundtrips() {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = rbb_lint::find_root(manifest).expect("workspace root");
+    let mut files = Vec::new();
+    collect_rs(&root, &mut files);
+    assert!(
+        files.len() > 100,
+        "suspiciously few files found under {root:?}: {}",
+        files.len()
+    );
+    let mut total = 0usize;
+    for path in &files {
+        let src = fs::read_to_string(path).unwrap();
+        total += assert_roundtrip(&src, &path.display().to_string());
+    }
+    assert!(total > 10_000, "suspiciously few tokens: {total}");
+}
+
+/// Characters chosen to hit every tricky lexer path: string/char/raw-string
+/// delimiters, comment openers, prefixes, escapes, multibyte text.
+const ALPHABET: &[char] = &[
+    '"', '\'', '#', 'r', 'b', '/', '*', '\\', '\n', ' ', 'x', '0', '1', '.', '_', '!', '<', '>',
+    '=', '(', ')', '{', '}', 'é', '→', 'λ',
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The lexer is infallible and span-sound on arbitrary character soup.
+    #[test]
+    fn fuzzed_soup_roundtrips(picks in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let src: String = picks
+            .iter()
+            .map(|&b| ALPHABET[b as usize % ALPHABET.len()])
+            .collect();
+        assert_roundtrip(&src, "fuzz");
+    }
+}

@@ -268,6 +268,7 @@ impl EnsembleSpec {
                 let mut scenario = self
                     .scenario
                     .scenario_seeded(seed)
+                    // rbb-lint: allow(panic, reason = "the spec is validated once before the fan-out; per-seed builds cannot fail")
                     .expect("validated spec builds for every seed");
                 let mut stack = ObserverStack::new();
                 if needs_max {
@@ -284,9 +285,11 @@ impl EnsembleSpec {
                     .iter()
                     .map(|kind| match kind {
                         MetricKind::WindowMaxLoad => {
+                            // rbb-lint: allow(panic, reason = "the stack enables exactly the observers the requested statistics need, built above")
                             Some(stack.max_load.as_ref().expect("enabled").window_max() as f64)
                         }
                         MetricKind::MeanRoundMax => {
+                            // rbb-lint: allow(panic, reason = "the stack enables exactly the observers the requested statistics need, built above")
                             Some(stack.max_load.as_ref().expect("enabled").mean_round_max())
                         }
                         MetricKind::FinalMaxLoad => {
@@ -295,9 +298,11 @@ impl EnsembleSpec {
                             Some(scenario.engine().max_load() as f64)
                         }
                         MetricKind::MinEmptyBins => {
+                            // rbb-lint: allow(panic, reason = "the stack enables exactly the observers the requested statistics need, built above")
                             Some(stack.empty_bins.as_ref().expect("enabled").min_empty() as f64)
                         }
                         MetricKind::QuarterViolationRate => {
+                            // rbb-lint: allow(panic, reason = "the stack enables exactly the observers the requested statistics need, built above")
                             let t = stack.empty_bins.as_ref().expect("enabled");
                             (t.rounds() > 0)
                                 .then(|| t.violations_below_quarter() as f64 / t.rounds() as f64)
@@ -305,6 +310,7 @@ impl EnsembleSpec {
                         MetricKind::FirstLegitimateRound => stack
                             .legitimacy
                             .as_ref()
+                            // rbb-lint: allow(panic, reason = "the stack enables exactly the observers the requested statistics need, built above")
                             .expect("enabled")
                             .first_legitimate_round()
                             .map(|r| r as f64),
@@ -420,6 +426,7 @@ impl MetricReport {
                 .iter()
                 .map(|&q| QuantileReport {
                     q,
+                    // rbb-lint: allow(panic, reason = "the histogram holds one sample per trial and trials >= 1 is validated")
                     value: h.quantile(q).expect("non-empty histogram") as u64,
                 })
                 .collect(),
@@ -486,6 +493,7 @@ impl EnsembleReport {
 
     /// Renders the pretty-JSON report (the `rbb ensemble` stdout format).
     pub fn to_json(&self) -> String {
+        // rbb-lint: allow(panic, reason = "serializing a plain data struct is infallible")
         serde_json::to_string_pretty(self).expect("report serialization cannot fail")
     }
 }

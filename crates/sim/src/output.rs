@@ -53,6 +53,7 @@ impl OutputSink {
         fs::create_dir_all(&self.dir)?;
         let path = self.dir.join(format!("{name}.json"));
         let mut f = fs::File::create(path)?;
+        // rbb-lint: allow(panic, reason = "serializing a plain data struct is infallible")
         let s = serde_json::to_string_pretty(value).expect("serialization cannot fail");
         f.write_all(s.as_bytes())?;
         f.write_all(b"\n")

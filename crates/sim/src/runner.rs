@@ -21,6 +21,11 @@ use rbb_core::rng::Xoshiro256pp;
 
 /// Runs `trials` independent trials in parallel. `f(trial_index, rng)`
 /// receives a dedicated RNG; results are returned in trial order.
+///
+/// # RNG stream
+///
+/// Trial `i` receives `seeds.trial_rng(i)` — streams disjoint across
+/// trials and independent of thread count or scheduling.
 pub fn run_trials<T: Send>(
     seeds: SeedTree,
     trials: usize,
@@ -52,6 +57,11 @@ pub fn run_trials_seeded<T: Send>(
 /// interleave per-parameter side effects (e.g. printing a table row as soon
 /// as a parameter finishes). Seeds are derived identically in both, so they
 /// return identical results. Returns `(param, results)` pairs.
+///
+/// # RNG stream
+///
+/// Trial `i` of parameter `p` receives
+/// `seeds.scope(scope_name(p)).trial_rng(i)` — identical to [`sweep_par`].
 pub fn sweep<P: Clone + Sync, T: Send>(
     seeds: SeedTree,
     params: &[P],
@@ -81,6 +91,11 @@ pub fn sweep<P: Clone + Sync, T: Send>(
 /// identical results, independent of thread count (see the module docs for
 /// the determinism contract). Results are grouped back into `(param,
 /// results)` pairs in parameter order, trials in trial order.
+///
+/// # RNG stream
+///
+/// Trial `i` of parameter `p` receives
+/// `seeds.scope(scope_name(p)).trial_rng(i)` — identical to [`sweep`].
 pub fn sweep_par<P: Clone + Sync, T: Send>(
     seeds: SeedTree,
     params: &[P],

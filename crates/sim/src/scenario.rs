@@ -27,6 +27,8 @@ use rbb_core::engine::Engine;
 use rbb_core::metrics::ObserverStack;
 use rbb_core::process::LoadProcess;
 use rbb_core::rng::Xoshiro256pp;
+
+use crate::seed::{adversary_rng, engine_rng};
 use rbb_core::sparse::SparseLoadProcess;
 use rbb_core::tetris::{BatchedTetris, Tetris};
 use rbb_graphs::{GraphLoadProcess, GraphTokenProcess};
@@ -70,7 +72,7 @@ pub fn build_engine(spec: &ScenarioSpec) -> Result<Box<dyn Engine>, SpecError> {
                 Ok(Box::new(GraphLoadProcess::new(
                     graph,
                     config,
-                    Xoshiro256pp::seed_from(seed),
+                    engine_rng(seed),
                 )))
             }
             Some(s) => Ok(Box::new(GraphTokenProcess::with_strategy(
@@ -89,14 +91,11 @@ pub fn build_engine(spec: &ScenarioSpec) -> Result<Box<dyn Engine>, SpecError> {
                     Ok(Box::new(SparseLoadProcess::from_entries(
                         spec.n,
                         entries,
-                        Xoshiro256pp::seed_from(seed),
+                        engine_rng(seed),
                     )))
                 } else {
                     let config = spec.start.build(spec.n, m, seed)?;
-                    Ok(Box::new(LoadProcess::new(
-                        config,
-                        Xoshiro256pp::seed_from(seed),
-                    )))
+                    Ok(Box::new(LoadProcess::new(config, engine_rng(seed))))
                 }
             }
             (Some(s), StopSpec::Covered) => {
@@ -108,28 +107,24 @@ pub fn build_engine(spec: &ScenarioSpec) -> Result<Box<dyn Engine>, SpecError> {
                 Ok(Box::new(BallProcess::new(
                     config,
                     s.to_core(),
-                    Xoshiro256pp::seed_from(seed),
+                    engine_rng(seed),
                 )))
             }
         },
         ArrivalSpec::DChoice { d } => {
             let config = spec.start.build(spec.n, m, seed)?;
-            Ok(Box::new(DChoiceProcess::new(
-                config,
-                d,
-                Xoshiro256pp::seed_from(seed),
-            )))
+            Ok(Box::new(DChoiceProcess::new(config, d, engine_rng(seed))))
         }
         ArrivalSpec::Tetris => {
             let config = spec.start.build(spec.n, m, seed)?;
-            Ok(Box::new(Tetris::new(config, Xoshiro256pp::seed_from(seed))))
+            Ok(Box::new(Tetris::new(config, engine_rng(seed))))
         }
         ArrivalSpec::BatchedTetris { lambda } => {
             let config = spec.start.build(spec.n, m, seed)?;
             Ok(Box::new(BatchedTetris::new(
                 config,
                 lambda,
-                Xoshiro256pp::seed_from(seed),
+                engine_rng(seed),
             )))
         }
     }
@@ -195,6 +190,7 @@ impl StopState {
                         .iter()
                         .enumerate()
                         .filter(|&(_, &l)| l > 0)
+                        // rbb-lint: allow(lossy-cast, reason = "enumerate index < n, validated against the u32 bin-index range")
                         .map(|(u, _)| u as u32)
                         .collect()
                 });
@@ -272,7 +268,7 @@ impl ScenarioSpec {
                 Some(FaultArm {
                     schedule,
                     adversary: build_adversary(adv.kind),
-                    rng: Xoshiro256pp::stream(self.seed, 0xADFE),
+                    rng: adversary_rng(self.seed),
                 })
             }
         };

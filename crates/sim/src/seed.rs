@@ -61,6 +61,64 @@ impl Default for SeedTree {
     }
 }
 
+/// RNG for an engine built from a scenario seed.
+///
+/// This is the sanctioned construction site for the engine convention
+/// (`seed_from(seed)`): every engine factory must call this instead of
+/// constructing a `Xoshiro256pp` ad hoc, so the seed-to-stream mapping is
+/// defined in exactly one place (`rbb-lint` rule `rng-construct` enforces
+/// this).
+///
+/// # RNG stream
+///
+/// Returns the engine stream for `seed` — the stream all pre-spec
+/// experiments used, so migrated specs regenerate identical trajectories.
+/// Construction consumes no draws.
+pub fn engine_rng(seed: u64) -> Xoshiro256pp {
+    Xoshiro256pp::seed_from(seed)
+}
+
+/// RNG for the adversary armed by a scenario.
+///
+/// # RNG stream
+///
+/// Returns stream `0xADFE` of `seed` — disjoint from the engine stream by
+/// the `Xoshiro256pp::stream` construction, so arming an adversary never
+/// perturbs the engine's trajectory. Construction consumes no draws.
+pub fn adversary_rng(seed: u64) -> Xoshiro256pp {
+    Xoshiro256pp::stream(seed, 0xADFE)
+}
+
+/// RNG for an auxiliary, named sub-stream of a scenario seed (start-state
+/// salts, spec-level shuffles).
+///
+/// # RNG stream
+///
+/// Returns stream `salt` of `seed`. Callers must pick salts that are
+/// distinct from each other and from the reserved adversary salt `0xADFE`;
+/// the engine stream (salt-free, [`engine_rng`]) is disjoint from every
+/// salted stream. Construction consumes no draws.
+pub fn salted_rng(seed: u64, salt: u64) -> Xoshiro256pp {
+    Xoshiro256pp::stream(seed, salt)
+}
+
+/// RNG for the legacy XOR-salted sub-streams (`seed_from(seed ^ salt)`):
+/// the committed convention of [`StartSpec::Random`]-style builders and
+/// salted topology construction. New call sites should prefer
+/// [`salted_rng`], whose streams are disjoint by construction rather than
+/// by salt-collision luck — this helper exists so the committed bit-exact
+/// trajectories of pre-spec experiments keep regenerating unchanged.
+///
+/// # RNG stream
+///
+/// Returns the engine-convention stream of `seed ^ salt`. Construction
+/// consumes no draws.
+///
+/// [`StartSpec::Random`]: crate::spec::StartSpec::Random
+pub fn xor_salted_rng(seed: u64, salt: u64) -> Xoshiro256pp {
+    Xoshiro256pp::seed_from(seed ^ salt)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

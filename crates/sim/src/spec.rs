@@ -55,7 +55,6 @@
 use serde::{DeError, Deserialize, Serialize, Value};
 
 use rbb_core::config::Config;
-use rbb_core::rng::Xoshiro256pp;
 use rbb_core::sampling::{random_assignment_entries, random_assignment_multinomial};
 use rbb_core::strategy::QueueStrategy;
 
@@ -140,6 +139,7 @@ impl StartSpec {
                         "start one-per-bin requires balls == n (got {m} balls, {n} bins)"
                     )));
                 }
+                // rbb-lint: allow(lossy-cast, reason = "validate() bounds n by the u32 bin-index range")
                 Ok((0..n as u32).map(|b| (b, 1)).collect())
             }
             StartSpec::AllInOne => Ok(vec![(0, m32)]),
@@ -148,9 +148,12 @@ impl StartSpec {
                     return Err(SpecError(format!("packed k = {k} out of range 1..={n}")));
                 }
                 // Mirrors Config::packed: m/k each, remainder onto bin 0.
+                // rbb-lint: allow(lossy-cast, reason = "k <= n is checked above, and validate() bounds n by the u32 range")
                 let per = m32 / *k as u32;
+                // rbb-lint: allow(lossy-cast, reason = "k <= n is checked above, and validate() bounds n by the u32 range")
                 let rem = m32 % *k as u32;
                 let mut entries: Vec<(u32, u32)> = Vec::with_capacity(*k);
+                // rbb-lint: allow(lossy-cast, reason = "k <= n is checked above, and validate() bounds n by the u32 range")
                 for i in 0..*k as u32 {
                     let load = per + if i == 0 { rem } else { 0 };
                     if load > 0 {
@@ -164,6 +167,7 @@ impl StartSpec {
                 // bin (at least 1), unplaceable tail back onto bin 0.
                 let mut entries: Vec<(u32, u32)> = Vec::new();
                 let mut left = m32;
+                // rbb-lint: allow(lossy-cast, reason = "validate() bounds n by the u32 bin-index range")
                 for b in 0..n as u32 {
                     if left == 0 {
                         break;
@@ -178,11 +182,11 @@ impl StartSpec {
                 Ok(entries)
             }
             StartSpec::Random { salt } => {
-                let mut rng = Xoshiro256pp::seed_from(seed ^ salt);
+                let mut rng = crate::seed::xor_salted_rng(seed, *salt);
                 Ok(random_assignment_entries(&mut rng, n, m))
             }
             StartSpec::RandomMultinomial { salt } => {
-                let mut rng = Xoshiro256pp::seed_from(seed ^ salt);
+                let mut rng = crate::seed::xor_salted_rng(seed, *salt);
                 Ok(random_assignment_multinomial(&mut rng, n, m))
             }
         }
@@ -307,9 +311,10 @@ impl TopologySpec {
                 let side = (n as f64).sqrt().round() as usize;
                 rbb_graphs::torus(side, side)
             }
+            // rbb-lint: allow(lossy-cast, reason = "log2(n) <= 64 for any representable n")
             TopologySpec::Hypercube => rbb_graphs::hypercube((n as f64).log2().round() as u32),
             TopologySpec::RandomRegular { degree, salt } => {
-                let mut rng = Xoshiro256pp::seed_from(seed ^ salt);
+                let mut rng = crate::seed::xor_salted_rng(seed, *salt);
                 rbb_graphs::random_regular(n, *degree, &mut rng)
             }
             TopologySpec::Star => rbb_graphs::star(n),
@@ -1003,6 +1008,7 @@ impl Deserialize for StopSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rbb_core::rng::Xoshiro256pp;
     use rbb_core::sampling::random_assignment;
 
     fn full_spec() -> ScenarioSpec {

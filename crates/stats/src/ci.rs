@@ -102,6 +102,11 @@ pub fn probit(p: f64) -> f64 {
         (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
             / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
     } else {
+        // Audited complement: for p ≥ 0.5 the subtraction `1.0 - p` is
+        // exact (Sterbenz lemma), so reflecting the upper tail onto the
+        // lower-tail branch loses nothing. The quantile near 1 is still
+        // ill-conditioned in p itself; callers with a tail probability in
+        // hand should pass it to the lower tail directly.
         -probit(1.0 - p)
     }
 }
@@ -132,10 +137,14 @@ pub fn wilson_ci(successes: u64, trials: u64, level: f64) -> ConfidenceInterval 
     let z = z_for_level(level);
     let n = trials as f64;
     let p = successes as f64 / n;
+    // Exact complement from the integer counts: `1.0 - p` inherits the
+    // rounding of `p`, which near p = 1 wipes out the failure probability
+    // (e.g. 1 failure in 1e12 trials) and collapses the variance term.
+    let q = (trials - successes) as f64 / n;
     let z2 = z * z;
     let denom = 1.0 + z2 / n;
     let center = (p + z2 / (2.0 * n)) / denom;
-    let half = z * ((p * (1.0 - p) + z2 / (4.0 * n)) / n).sqrt() / denom;
+    let half = z * ((p * q + z2 / (4.0 * n)) / n).sqrt() / denom;
     ConfidenceInterval {
         lo: (center - half).max(0.0),
         hi: (center + half).min(1.0),
@@ -228,6 +237,44 @@ mod tests {
     #[should_panic(expected = "confidence level must be in (0, 1)")]
     fn mean_ci_rejects_level_above_one() {
         mean_ci(&Summary::from_slice(&[1.0, 2.0]), 1.5);
+    }
+
+    #[test]
+    fn wilson_one_failure_in_a_trillion_trials() {
+        // p̂ = 1 − 1e-12. The naive `1.0 - p` complement inherits the
+        // rounding of p (relative error up to ~1e-4 in the complement),
+        // while the integer-derived q = 1/n is correct to one ulp. The
+        // interval must stay strictly below 1 at the low end and keep a
+        // width on the order of z·sqrt(q/n) ≈ 4e-12.
+        let trials: u64 = 1_000_000_000_000;
+        let ci = wilson_ci(trials - 1, trials, 0.95);
+        assert!(ci.hi <= 1.0);
+        assert!(ci.lo < 1.0 - 1e-13, "lo {} not separated from 1", ci.lo);
+        assert!(ci.lo > 1.0 - 1e-10, "lo {} too far from 1", ci.lo);
+        assert!(ci.width() > 0.0 && ci.width() < 1e-10);
+    }
+
+    #[test]
+    fn wilson_one_success_in_a_trillion_trials() {
+        // Mirror case: the variance term is dominated by p itself, which
+        // is already exact; this pins the symmetric behaviour.
+        let trials: u64 = 1_000_000_000_000;
+        let ci = wilson_ci(1, trials, 0.95);
+        assert!(ci.lo >= 0.0);
+        assert!(ci.hi > 1e-13 && ci.hi < 1e-10, "hi {}", ci.hi);
+    }
+
+    #[test]
+    fn probit_upper_tail_mirrors_lower_tail_exactly() {
+        // The upper branch evaluates -probit(1 - p); for p ≥ 0.5 the
+        // complement is exact (Sterbenz), so whenever `1 - tail` is itself
+        // representable the mirror is bitwise. Power-of-two tails make the
+        // outer subtraction exact too, so equality must be strict.
+        for tail in [2f64.powi(-40), 2f64.powi(-20), 2f64.powi(-6)] {
+            assert_eq!(probit(1.0 - tail), -probit(tail));
+        }
+        let far = probit(1.0 - 2f64.powi(-40));
+        assert!(far > 7.0 && far < 7.1, "far-tail probit {far}");
     }
 
     #[test]

@@ -6,8 +6,9 @@
 pub fn quantile(xs: &[f64], q: f64) -> f64 {
     assert!(!xs.is_empty(), "quantile of empty sample");
     assert!((0.0..=1.0).contains(&q), "q must be in [0, 1]");
+    assert!(xs.iter().all(|x| !x.is_nan()), "NaN in sample");
     let mut v: Vec<f64> = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    v.sort_by(f64::total_cmp);
     quantile_sorted(&v, q)
 }
 
@@ -67,8 +68,9 @@ pub struct FiveNum {
 
 /// Computes [`FiveNum`] for a sample.
 pub fn five_num(xs: &[f64]) -> FiveNum {
+    assert!(xs.iter().all(|x| !x.is_nan()), "NaN in sample");
     let mut v: Vec<f64> = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    v.sort_by(f64::total_cmp);
     FiveNum {
         min: v[0],
         q25: quantile_sorted(&v, 0.25),

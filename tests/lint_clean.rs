@@ -1,0 +1,46 @@
+//! Repo-level gate: the workspace lints clean under `rbb-lint`.
+//!
+//! This is the library-level twin of the `==> rbb-lint` step in `ci.sh`:
+//! running the full test suite alone (e.g. `cargo test -q`) already proves
+//! the tree carries zero unsuppressed findings, without needing the shell
+//! gate. On a violation, the failure message carries the same
+//! file:line:col/rule rendering the CLI prints.
+
+use rbb_lint::{find_root, lint_root};
+
+#[test]
+fn workspace_lints_clean() {
+    let root = find_root(std::path::Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root above the facade crate");
+    let (findings, stats) = lint_root(&root).expect("walk workspace sources");
+    assert!(
+        stats.files > 100,
+        "suspiciously few files linted ({}) — did the walk roots move?",
+        stats.files
+    );
+    let rendered: Vec<String> = findings
+        .iter()
+        .map(|f| {
+            format!(
+                "{}:{}:{}: [{}] {}",
+                f.file, f.line, f.col, f.rule, f.message
+            )
+        })
+        .collect();
+    assert!(
+        findings.is_empty(),
+        "rbb-lint found {} unsuppressed violation(s):\n{}",
+        findings.len(),
+        rendered.join("\n")
+    );
+}
+
+#[test]
+fn lint_self_check_passes() {
+    let errors = rbb_lint::self_check();
+    assert!(
+        errors.is_empty(),
+        "rbb-lint self-check failures:\n{}",
+        errors.join("\n")
+    );
+}

@@ -2,10 +2,10 @@
 //! the sequential baseline, and the distance/correlation helpers.
 
 use proptest::prelude::*;
-use std::collections::HashSet;
 
 use rbb_baselines::SequentialProcess;
 use rbb_core::config::Config;
+use rbb_core::det_hash::DetHashSet;
 use rbb_core::rng::Xoshiro256pp;
 use rbb_core::sampling::random_assignment;
 use rbb_graphs::{bfs_distances, erdos_renyi, random_regular, ring, torus, Graph};
@@ -15,13 +15,13 @@ use rbb_traversal::FixedBitSet;
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
-    /// FixedBitSet behaves exactly like a HashSet<usize> under a random
+    /// FixedBitSet behaves exactly like a reference set model under a random
     /// operation sequence.
     #[test]
     fn bitset_matches_hashset(cap in 1usize..300,
                               ops in proptest::collection::vec((any::<bool>(), 0usize..300), 0..120)) {
         let mut bs = FixedBitSet::new(cap);
-        let mut hs: HashSet<usize> = HashSet::new();
+        let mut hs: DetHashSet<usize> = DetHashSet::default();
         for (insert, raw) in ops {
             let i = raw % cap;
             if insert {
