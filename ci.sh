@@ -1,99 +1,194 @@
 #!/usr/bin/env bash
 # CI gate: formatting, lints, docs, release build, full test suite, bench
 # compile smoke, examples, spec validation (scenario + ensemble, including
-# the sparse-regime specs), the sparse-vs-dense equivalence proptests, the
-# ensemble thread-count determinism diff, the theory-conformance suite
-# (budgeted, at two thread counts), experiment smoke, and the perf gates
-# (batched-vs-scalar and sparse-vs-dense).
+# the sparse-regime and sharded specs), the sparse-vs-dense and sharded
+# equivalence proptests, the ensemble and sharded thread-count determinism
+# diffs, the theory-conformance suite (budgeted, at two thread counts),
+# experiment smoke, and the perf gates (batched-vs-scalar, sparse-vs-dense,
+# and sharded-vs-dense).
 # Run from the repository root. Mirrors the tier-1 verify
 # (`cargo build --release && cargo test -q`) plus conformance checks.
 # Fully offline: all external dependencies are vendored under `vendor/`.
+#
+# Stages (each wall-clock timed; summary table at the end):
+#   fmt          cargo fmt --check
+#   lint         clippy, rbb-lint (self-check + gate + JSON artifact), rustdoc
+#   build        release build, bench compile smoke, examples
+#   test         cargo test -q, engine-equivalence proptests, rbb-exp smoke
+#   specs        committed specs run; ensemble + sharded determinism diffs
+#   conformance  theory-conformance suite at 1 and 4 threads (300s budget)
+#   bench        rbb-bench perf gates
+#
+# `./ci.sh --stage <name>` runs one stage in isolation — e.g.
+# `./ci.sh --stage bench` re-runs just the perf gates locally.
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "==> cargo fmt --check"
-cargo fmt --check
+usage() {
+    echo "usage: ./ci.sh [--stage fmt|lint|build|test|specs|conformance|bench]" >&2
+    exit 2
+}
 
-echo "==> cargo clippy --workspace --all-targets -- -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
-
-echo "==> rbb-lint (repo-invariant static analysis, JSON artifact for CI)"
-cargo run -q --release -p rbb-lint -- --self-check
-mkdir -p target
-# The JSON artifact is written even when findings exist (exit 1), so the
-# workflow can upload it from a failed run; the text invocation is the gate.
-cargo run -q --release -p rbb-lint -- --format json > target/rbb-lint.json || true
-cargo run -q --release -p rbb-lint
-
-echo "==> cargo doc (RUSTDOCFLAGS=-D warnings)"
-RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
-
-echo "==> cargo build --release"
-cargo build --release
-
-echo "==> cargo test -q"
-cargo test -q
-
-echo "==> cargo bench --no-run (compile smoke)"
-cargo bench --workspace --no-run -q
-
-echo "==> examples"
-for example in quickstart process_zoo topology_tour adversarial_recovery token_scheduler exact_analysis; do
-    echo "--> cargo run --release --example ${example}"
-    cargo run -q --release --example "${example}" >/dev/null
-done
-
-echo "==> committed specs validate and run (rbb sim / rbb ensemble, --quick)"
-for spec in specs/*.json; do
-    case "$(basename "${spec}")" in
-        ensemble-*) subcommand=ensemble ;;
-        *)          subcommand=sim ;;
+STAGE=all
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --stage)
+            shift
+            [ $# -gt 0 ] || usage
+            STAGE=$1
+            ;;
+        -h|--help) usage ;;
+        *) usage ;;
     esac
-    echo "--> rbb ${subcommand} --spec ${spec} --quick"
-    cargo run -q --release --bin rbb -- "${subcommand}" --spec "${spec}" --quick >/dev/null
+    shift
 done
+case "${STAGE}" in
+    all|fmt|lint|build|test|specs|conformance|bench) ;;
+    *) echo "unknown stage '${STAGE}'" >&2; usage ;;
+esac
 
-echo "==> ensemble determinism gate: byte-identical reports at 1 vs 4 threads"
-RAYON_NUM_THREADS=1 cargo run -q --release --bin rbb -- ensemble \
-    --spec specs/ensemble-stability.json > target/ensemble-t1.json
-RAYON_NUM_THREADS=4 cargo run -q --release --bin rbb -- ensemble \
-    --spec specs/ensemble-stability.json > target/ensemble-t4.json
-if ! diff -q target/ensemble-t1.json target/ensemble-t4.json >/dev/null; then
-    echo "ERROR: ensemble report differs between RAYON_NUM_THREADS=1 and =4" >&2
-    diff target/ensemble-t1.json target/ensemble-t4.json >&2 || true
-    exit 1
-fi
+STAGE_NAMES=()
+STAGE_TIMES=()
 
-echo "==> sparse-vs-dense engine equivalence proptests"
-cargo test -q -p rbb --test proptest_sparse
+run_stage() {
+    local name=$1
+    if [ "${STAGE}" != all ] && [ "${STAGE}" != "${name}" ]; then
+        return 0
+    fi
+    echo "=== stage: ${name} ==="
+    local started=${SECONDS}
+    "stage_${name}"
+    local elapsed=$((SECONDS - started))
+    STAGE_NAMES+=("${name}")
+    STAGE_TIMES+=("${elapsed}")
+}
 
-echo "==> theory-conformance suite (named group, wall-clock budget 300s)"
-conformance_started=${SECONDS}
-RAYON_NUM_THREADS=1 cargo test -q -p rbb --test conformance_theory --test thread_invariance
-RAYON_NUM_THREADS=4 cargo test -q -p rbb --test conformance_theory --test thread_invariance
-conformance_elapsed=$((SECONDS - conformance_started))
-echo "    conformance suite took ${conformance_elapsed}s"
-if [ "${conformance_elapsed}" -gt 300 ]; then
-    echo "ERROR: conformance suite exceeded its 300s wall-clock budget" >&2
-    exit 1
-fi
+stage_fmt() {
+    echo "==> cargo fmt --check"
+    cargo fmt --check
+}
 
-echo "==> rbb-exp --quick smoke (spec/ensemble-migrated set + e24 + sparse-regime e25)"
-cargo run -q --release --bin rbb-exp -- --quick --no-write e01 e05 e09 e12 e13 e14 e16 e24 e25 >/dev/null
+stage_lint() {
+    echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+    cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> rbb-exp rejects unknown experiment ids"
-if cargo run -q --release --bin rbb-exp -- --quick --no-write e01 e99 >/dev/null 2>&1; then
-    echo "ERROR: rbb-exp accepted unknown id e99" >&2
-    exit 1
-fi
+    echo "==> rbb-lint (repo-invariant static analysis, JSON artifact for CI)"
+    cargo run -q --release -p rbb-lint -- --self-check
+    mkdir -p target
+    # One invocation serves both the text gate (exit 1 on findings) and the
+    # JSON artifact: --json-out writes the report before the gate exits, so
+    # the workflow can upload it from a failed run too.
+    cargo run -q --release -p rbb-lint -- --json-out target/rbb-lint.json
 
-# The gate writes its quick-profile report to an untracked path so it never
-# clobbers the committed full-profile BENCH.json snapshot (refresh that one
-# deliberately with `cargo run --release --bin rbb-bench -- --json BENCH.json`).
-# Sparse gate: measured ~30x at m/n = 1/1024 (quick profile); 3x leaves a wide
-# margin for noisy machines while still failing on any real regression.
-echo "==> rbb-bench perf gates (batched >= 1.5x scalar, sparse >= 3x dense at m << n)"
-cargo run -q --release --bin rbb-bench -- --quick --json target/BENCH.json \
-    --min-engine-speedup 1.5 --min-sparse-speedup 3.0
+    echo "==> cargo doc (RUSTDOCFLAGS=-D warnings)"
+    RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+}
+
+stage_build() {
+    echo "==> cargo build --release"
+    cargo build --release
+
+    echo "==> cargo bench --no-run (compile smoke)"
+    cargo bench --workspace --no-run -q
+
+    echo "==> examples"
+    for example in quickstart process_zoo topology_tour adversarial_recovery token_scheduler exact_analysis; do
+        echo "--> cargo run --release --example ${example}"
+        cargo run -q --release --example "${example}" >/dev/null
+    done
+}
+
+stage_test() {
+    echo "==> cargo test -q"
+    cargo test -q
+
+    echo "==> engine equivalence proptests (sparse-vs-dense, sharded)"
+    cargo test -q -p rbb --test proptest_sparse --test proptest_sharded
+
+    echo "==> rbb-exp --quick smoke (spec/ensemble-migrated set + e24-e26)"
+    cargo run -q --release --bin rbb-exp -- --quick --no-write e01 e05 e09 e12 e13 e14 e16 e24 e25 e26 >/dev/null
+
+    echo "==> rbb-exp rejects unknown experiment ids"
+    if cargo run -q --release --bin rbb-exp -- --quick --no-write e01 e99 >/dev/null 2>&1; then
+        echo "ERROR: rbb-exp accepted unknown id e99" >&2
+        exit 1
+    fi
+}
+
+stage_specs() {
+    echo "==> committed specs validate and run (rbb sim / rbb ensemble, --quick)"
+    for spec in specs/*.json; do
+        case "$(basename "${spec}")" in
+            ensemble-*) subcommand=ensemble ;;
+            *)          subcommand=sim ;;
+        esac
+        echo "--> rbb ${subcommand} --spec ${spec} --quick"
+        cargo run -q --release --bin rbb -- "${subcommand}" --spec "${spec}" --quick >/dev/null
+    done
+
+    echo "==> ensemble determinism gate: byte-identical reports at 1 vs 4 threads"
+    RAYON_NUM_THREADS=1 cargo run -q --release --bin rbb -- ensemble \
+        --spec specs/ensemble-stability.json > target/ensemble-t1.json
+    RAYON_NUM_THREADS=4 cargo run -q --release --bin rbb -- ensemble \
+        --spec specs/ensemble-stability.json > target/ensemble-t4.json
+    if ! diff -q target/ensemble-t1.json target/ensemble-t4.json >/dev/null; then
+        echo "ERROR: ensemble report differs between RAYON_NUM_THREADS=1 and =4" >&2
+        diff target/ensemble-t1.json target/ensemble-t4.json >&2 || true
+        exit 1
+    fi
+
+    echo "==> sharded determinism gate: byte-identical reports at 1 vs 4 threads (fixed shards: 4)"
+    RAYON_NUM_THREADS=1 cargo run -q --release --bin rbb -- sim \
+        --spec specs/sharded-large.json --quick > target/sharded-t1.out
+    RAYON_NUM_THREADS=4 cargo run -q --release --bin rbb -- sim \
+        --spec specs/sharded-large.json --quick > target/sharded-t4.out
+    if ! diff -q target/sharded-t1.out target/sharded-t4.out >/dev/null; then
+        echo "ERROR: sharded trial differs between RAYON_NUM_THREADS=1 and =4" >&2
+        diff target/sharded-t1.out target/sharded-t4.out >&2 || true
+        exit 1
+    fi
+}
+
+stage_conformance() {
+    echo "==> theory-conformance suite (named group, wall-clock budget 300s)"
+    local started=${SECONDS}
+    RAYON_NUM_THREADS=1 cargo test -q -p rbb --test conformance_theory --test thread_invariance
+    RAYON_NUM_THREADS=4 cargo test -q -p rbb --test conformance_theory --test thread_invariance
+    local elapsed=$((SECONDS - started))
+    echo "    conformance suite took ${elapsed}s"
+    if [ "${elapsed}" -gt 300 ]; then
+        echo "ERROR: conformance suite exceeded its 300s wall-clock budget" >&2
+        exit 1
+    fi
+}
+
+stage_bench() {
+    # The gate writes its quick-profile report to an untracked path so it never
+    # clobbers the committed full-profile BENCH.json snapshot (refresh that one
+    # deliberately with `cargo run --release --bin rbb-bench -- --json BENCH.json`).
+    # Sparse gate: measured ~30x at m/n = 1/1024 (quick profile); 3x leaves a wide
+    # margin for noisy machines while still failing on any real regression.
+    # Sharded gate: a parallel-scaling assertion (4 shards, n = 10^7); rbb-bench
+    # enforces the 2x threshold when the machine has >= 4 cores and otherwise
+    # prints the measured ratio and skips loudly (it still lands in BENCH.json),
+    # because fewer cores than shards cannot physically express the speedup.
+    echo "==> rbb-bench perf gates (batched >= 1.5x scalar, sparse >= 3x dense, sharded >= 2x dense)"
+    cargo run -q --release --bin rbb-bench -- --quick --json target/BENCH.json \
+        --min-engine-speedup 1.5 --min-sparse-speedup 3.0 --min-sharded-speedup 2.0
+}
+
+run_stage fmt
+run_stage lint
+run_stage build
+run_stage test
+run_stage specs
+run_stage conformance
+run_stage bench
+
+echo ""
+echo "==> stage timings"
+for i in "${!STAGE_NAMES[@]}"; do
+    printf '    %-12s %4ss\n' "${STAGE_NAMES[$i]}" "${STAGE_TIMES[$i]}"
+done
 
 echo "CI OK"

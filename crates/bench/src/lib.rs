@@ -150,6 +150,17 @@ pub struct Derived {
     /// `sparse / sparse-baseline` — the sparse-regime gate; `ci.sh`
     /// enforces a minimum via `--min-sparse-speedup`.
     pub engine_speedup_sparse_vs_dense: Option<f64>,
+    /// Median throughput of `engine/sharded` (the sharded engine, large
+    /// dense regime), in rounds/sec.
+    pub engine_rounds_per_sec_sharded: Option<f64>,
+    /// Median throughput of `engine/sharded-baseline` (the dense engine on
+    /// the same workload), in rounds/sec.
+    pub engine_rounds_per_sec_sharded_baseline: Option<f64>,
+    /// `sharded / sharded-baseline` — the sharded-engine gate; `ci.sh`
+    /// enforces a minimum via `--min-sharded-speedup` when the machine has
+    /// at least as many cores as the benchmark has shards (the ratio is
+    /// always recorded, so single-core CI still tracks the trajectory).
+    pub engine_speedup_sharded_vs_dense: Option<f64>,
 }
 
 impl Derived {
@@ -169,6 +180,8 @@ impl Derived {
         let batched = throughput("engine/batched");
         let sparse = throughput("engine/sparse");
         let sparse_baseline = throughput("engine/sparse-baseline");
+        let sharded = throughput("engine/sharded");
+        let sharded_baseline = throughput("engine/sharded-baseline");
         Self {
             engine_rounds_per_sec_scalar: scalar,
             engine_rounds_per_sec_batched: batched,
@@ -176,6 +189,9 @@ impl Derived {
             engine_rounds_per_sec_sparse: sparse,
             engine_rounds_per_sec_sparse_baseline: sparse_baseline,
             engine_speedup_sparse_vs_dense: ratio(sparse, sparse_baseline),
+            engine_rounds_per_sec_sharded: sharded,
+            engine_rounds_per_sec_sharded_baseline: sharded_baseline,
+            engine_speedup_sharded_vs_dense: ratio(sharded, sharded_baseline),
         }
     }
 }
@@ -275,10 +291,25 @@ mod tests {
     }
 
     #[test]
+    fn derived_sharded_speedup_from_pair() {
+        let mut sharded = measure(spec(), 0, 1, || {});
+        sharded.name = "engine/sharded".into();
+        sharded.throughput_per_sec = 300.0;
+        let mut baseline = sharded.clone();
+        baseline.name = "engine/sharded-baseline".into();
+        baseline.throughput_per_sec = 100.0;
+        let d = Derived::from_results(&[sharded, baseline]);
+        assert_eq!(d.engine_speedup_sharded_vs_dense, Some(3.0));
+        assert_eq!(d.engine_rounds_per_sec_sharded, Some(300.0));
+        assert_eq!(d.engine_speedup_sparse_vs_dense, None);
+    }
+
+    #[test]
     fn derived_is_null_when_engines_filtered_out() {
         let d = Derived::from_results(&[]);
         assert_eq!(d.engine_speedup_batched_vs_scalar, None);
         assert_eq!(d.engine_speedup_sparse_vs_dense, None);
+        assert_eq!(d.engine_speedup_sharded_vs_dense, None);
         // ...and the nulls survive serialization.
         let v = serde::Serialize::serialize(&d);
         let text = serde_json::to_string(&v).unwrap();

@@ -20,6 +20,9 @@
 //! * [`sparse`] — the sparse occupancy engine for the `m ≪ n` regime:
 //!   bit-identical trajectories at `O(#non-empty bins)` per round and
 //!   `O(m)` memory.
+//! * [`sharded`] — the sharded single-trial engine for the large-`n` dense
+//!   regime: bins partitioned into fixed per-shard columns with private RNG
+//!   streams, bit-identical for a fixed shard count at any thread count.
 //! * [`ball_process`] — the ball-identity engine (per-ball progress, delays,
 //!   per-move hooks for cover-time tracking).
 //! * [`tetris`] — the Tetris majorant process of Section 3 and its
@@ -77,6 +80,7 @@ pub mod phases;
 pub mod process;
 pub mod rng;
 pub mod sampling;
+pub mod sharded;
 pub mod sparse;
 pub mod strategy;
 pub mod tetris;
@@ -98,6 +102,7 @@ pub mod prelude {
     pub use crate::phases::PhaseTracker;
     pub use crate::process::LoadProcess;
     pub use crate::rng::{SplitMix64, Xoshiro256pp};
+    pub use crate::sharded::ShardedLoadProcess;
     pub use crate::sparse::SparseLoadProcess;
     pub use crate::strategy::QueueStrategy;
     pub use crate::tetris::{BatchedTetris, Tetris};

@@ -41,6 +41,7 @@ pub mod e22_arrival_correlation;
 pub mod e23_graph_cover;
 pub mod e24_window_scaling;
 pub mod e25_sparse_regime;
+pub mod e26_sharded_scaling;
 
 use common::Experiment;
 
@@ -197,6 +198,12 @@ pub fn registry() -> Vec<Experiment> {
             claim: "stability with room to spare and Theta(m) convergence at n up to 10^8",
             run: e25_sparse_regime::run,
         },
+        Experiment {
+            id: "e26",
+            title: "sharded-engine scaling at large n",
+            claim: "fixed shard count => thread-invariant trajectory; throughput is the machine's business",
+            run: e26_sharded_scaling::run,
+        },
     ]
 }
 
@@ -207,7 +214,7 @@ mod tests {
     #[test]
     fn registry_ids_are_unique_and_ordered() {
         let reg = registry();
-        assert_eq!(reg.len(), 25);
+        assert_eq!(reg.len(), 26);
         for (i, e) in reg.iter().enumerate() {
             assert_eq!(e.id, format!("e{:02}", i + 1));
         }

@@ -1,4 +1,4 @@
-//! `rbb-exp` — runs the experiment suite E01–E24.
+//! `rbb-exp` — runs the experiment suite E01–E26.
 //!
 //! Usage:
 //! ```text
@@ -11,7 +11,7 @@ use rbb_sim::{OutputSink, SeedTree, DEFAULT_MASTER_SEED, RESULTS_DIR};
 
 fn usage() -> ! {
     eprintln!("usage: rbb-exp [--quick] [--seed <u64>] [--no-write] (all | list | <id>...)");
-    eprintln!("       ids: e01..e24; `list` prints the registry");
+    eprintln!("       ids: e01..e26; `list` prints the registry");
     std::process::exit(2);
 }
 

@@ -1,7 +1,8 @@
 //! `rbb-lint` command-line driver.
 //!
 //! ```text
-//! rbb-lint [--root PATH] [--format text|json] [--self-check] [--list-rules]
+//! rbb-lint [--root PATH] [--format text|json] [--json-out PATH]
+//!          [--self-check] [--list-rules]
 //! ```
 //!
 //! Exit codes: 0 clean, 1 unsuppressed findings, 2 usage or I/O error.
@@ -12,13 +13,16 @@ use std::process::ExitCode;
 use rbb_lint::{find_root, lint_root, to_json, RULES};
 
 fn usage() -> &'static str {
-    "usage: rbb-lint [--root PATH] [--format text|json] [--self-check] [--list-rules]\n\
+    "usage: rbb-lint [--root PATH] [--format text|json] [--json-out PATH]\n\
+     \u{20}               [--self-check] [--list-rules]\n\
      \n\
      Lints crates/, tests/, and examples/ under the workspace root for\n\
      determinism, RNG-stream, and numerical-safety violations.\n\
      \n\
      --root PATH     workspace root (default: found by walking up from cwd)\n\
      --format FMT    text (default) or json\n\
+     --json-out PATH additionally write the JSON report to PATH (so one\n\
+     \u{20}               invocation serves both the human and the artifact)\n\
      --self-check    verify every rule fires/stays quiet on embedded samples\n\
      --list-rules    print the rule table and exit\n\
      \n\
@@ -28,6 +32,7 @@ fn usage() -> &'static str {
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut format = String::from("text");
+    let mut json_out: Option<PathBuf> = None;
     let mut do_self_check = false;
     let mut list_rules = false;
 
@@ -46,6 +51,13 @@ fn main() -> ExitCode {
                 Some("json") => format = "json".into(),
                 other => {
                     eprintln!("--format must be text or json (got {other:?})\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--json-out" => match args.next() {
+                Some(p) => json_out = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--json-out requires a path\n{}", usage());
                     return ExitCode::from(2);
                 }
             },
@@ -101,6 +113,13 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    if let Some(path) = &json_out {
+        if let Err(e) = std::fs::write(path, to_json(&findings, &stats)) {
+            eprintln!("rbb-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
 
     if format == "json" {
         print!("{}", to_json(&findings, &stats));

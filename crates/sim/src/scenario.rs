@@ -29,6 +29,7 @@ use rbb_core::process::LoadProcess;
 use rbb_core::rng::Xoshiro256pp;
 
 use crate::seed::{adversary_rng, engine_rng};
+use rbb_core::sharded::ShardedLoadProcess;
 use rbb_core::sparse::SparseLoadProcess;
 use rbb_core::tetris::{BatchedTetris, Tetris};
 use rbb_graphs::{GraphLoadProcess, GraphTokenProcess};
@@ -42,7 +43,7 @@ use crate::spec::{
 ///
 /// | topology | arrival | strategy | stop | engine |
 /// |---|---|---|---|---|
-/// | complete | uniform | — | any but covered | [`LoadProcess`] / [`SparseLoadProcess`] |
+/// | complete | uniform | — | any but covered | [`LoadProcess`] / [`SparseLoadProcess`] / [`ShardedLoadProcess`] |
 /// | complete | uniform | set | covered | [`Traversal`] |
 /// | complete | uniform | set | other | [`BallProcess`] |
 /// | complete | d-choice | — | any | [`DChoiceProcess`] |
@@ -51,10 +52,13 @@ use crate::spec::{
 /// | graph | uniform | — | any but covered | [`GraphLoadProcess`] |
 /// | graph | uniform | set | any | [`GraphTokenProcess`] |
 ///
-/// The load-only cell resolves dense vs sparse through
-/// [`ScenarioSpec::resolved_engine`] (bit-identical trajectories either
-/// way); the sparse engine is built from [`StartSpec::build_entries`]
-/// without ever allocating a dense `O(n)` start vector.
+/// The load-only cell resolves dense vs sparse vs sharded through
+/// [`ScenarioSpec::resolved_engine`] (dense and sparse are bit-identical;
+/// sharded is bit-identical at `shards: 1` and law-equal above — see the
+/// spec module docs); the sparse engine is built from
+/// [`StartSpec::build_entries`] without ever allocating a dense `O(n)`
+/// start vector, and the sharded engine derives its per-shard streams from
+/// the spec seed inside [`ShardedLoadProcess::new`].
 ///
 /// [`StartSpec::build_entries`]: crate::spec::StartSpec::build_entries
 pub fn build_engine(spec: &ScenarioSpec) -> Result<Box<dyn Engine>, SpecError> {
@@ -85,19 +89,28 @@ pub fn build_engine(spec: &ScenarioSpec) -> Result<Box<dyn Engine>, SpecError> {
 
     match spec.arrival {
         ArrivalSpec::Uniform => match (spec.strategy, spec.stop) {
-            (None, _) => {
-                if spec.resolved_engine() == EngineSpec::Sparse {
+            (None, _) => match spec.resolved_engine() {
+                EngineSpec::Sparse => {
                     let entries = spec.start.build_entries(spec.n, m, seed)?;
                     Ok(Box::new(SparseLoadProcess::from_entries(
                         spec.n,
                         entries,
                         engine_rng(seed),
                     )))
-                } else {
+                }
+                EngineSpec::Sharded => {
+                    let config = spec.start.build(spec.n, m, seed)?;
+                    Ok(Box::new(ShardedLoadProcess::new(
+                        config,
+                        seed,
+                        spec.resolved_shards(),
+                    )))
+                }
+                _ => {
                     let config = spec.start.build(spec.n, m, seed)?;
                     Ok(Box::new(LoadProcess::new(config, engine_rng(seed))))
                 }
-            }
+            },
             (Some(s), StopSpec::Covered) => {
                 let config = spec.start.build(spec.n, m, seed)?;
                 Ok(Box::new(Traversal::from_config(config, s.to_core(), seed)))
@@ -644,6 +657,80 @@ mod tests {
         assert_eq!(outcome.rounds, 500);
         assert_eq!(scenario.engine().balls(), 200);
         assert!(stack.empty_bins.unwrap().min_empty() >= 10_000_000 - 200);
+    }
+
+    #[test]
+    fn one_shard_scenario_agrees_bit_for_bit_with_dense() {
+        // The shards: 1 partition uses the engine-convention stream, so the
+        // factory-built sharded scenario must reproduce the dense one
+        // exactly — observers, adversary arm and all.
+        let base = ScenarioSpec::builder(512)
+            .adversary(
+                AdversaryKindSpec::Packed { k: 3 },
+                ScheduleSpec::Period { period: 41 },
+            )
+            .horizon_rounds(300)
+            .seed(23)
+            .build();
+        let dense_spec = ScenarioSpec {
+            engine: Some(EngineSpec::Dense),
+            ..base.clone()
+        };
+        let sharded_spec = ScenarioSpec {
+            engine: Some(EngineSpec::Sharded),
+            shards: Some(1),
+            ..base
+        };
+        let mut dense = dense_spec.scenario().unwrap();
+        let mut sharded = sharded_spec.scenario().unwrap();
+        let mut dense_stack = ObserverStack::new()
+            .with_max_load()
+            .with_empty_bins()
+            .with_trace(10);
+        let mut sharded_stack = dense_stack.clone();
+        let a = dense.run_observed(&mut dense_stack);
+        let b = sharded.run_observed(&mut sharded_stack);
+        assert_eq!(a, b);
+        assert_eq!(dense.engine().config(), sharded.engine().config());
+        assert_eq!(
+            dense_stack.trace.as_ref().unwrap().points(),
+            sharded_stack.trace.as_ref().unwrap().points()
+        );
+    }
+
+    #[test]
+    fn sharded_scenario_is_reproducible_at_fixed_shard_count() {
+        let spec = ScenarioSpec::builder(1000)
+            .engine(EngineSpec::Sharded)
+            .shards(4)
+            .horizon_rounds(200)
+            .seed(11)
+            .build();
+        let run = |spec: &ScenarioSpec| {
+            let mut s = spec.scenario().unwrap();
+            let mut stack = ObserverStack::new().with_max_load();
+            let outcome = s.run_observed(&mut stack);
+            (outcome, stack.max_load.unwrap().window_max())
+        };
+        assert_eq!(run(&spec), run(&spec.clone()));
+    }
+
+    #[test]
+    fn auto_resolves_sharded_at_large_dense_n_and_builds() {
+        // Above the auto threshold the dense load-only cell runs sharded;
+        // keep the horizon tiny so the test stays fast at n = 2·10^6.
+        let spec = ScenarioSpec::builder(crate::spec::SHARDED_AUTO_MIN_N)
+            .horizon_rounds(3)
+            .seed(5)
+            .build();
+        assert_eq!(spec.resolved_engine(), EngineSpec::Sharded);
+        let mut scenario = spec.scenario().unwrap();
+        let outcome = scenario.run();
+        assert_eq!(outcome.rounds, 3);
+        assert_eq!(
+            scenario.engine().balls(),
+            crate::spec::SHARDED_AUTO_MIN_N as u64
+        );
     }
 
     #[test]

@@ -42,6 +42,15 @@
 //! * `"dense"` — always the dense engine.
 //! * `"sparse"` — always the sparse engine (rejected for specs outside the
 //!   load-only uniform/complete cell, which has no sparse implementation).
+//! * `"sharded"` — the sharded single-trial engine
+//!   ([`ShardedLoadProcess`](rbb_core::sharded::ShardedLoadProcess)), for
+//!   large dense load-only cells. Unlike `dense`/`sparse` it draws from
+//!   *per-shard* RNG streams, so for `shards > 1` it is equal to the dense
+//!   stream **in law, not per seed** (pinned by `tests/proptest_sharded.rs`;
+//!   `shards: 1` is bit-identical). Its own contract: for a **fixed** shard
+//!   count the trajectory is bit-identical at any `RAYON_NUM_THREADS`. The
+//!   optional `shards` field (default [`DEFAULT_SHARDS`]) sets the
+//!   partition and is part of the reproducibility key.
 //! * `"auto"` (also the default when the field is omitted/`null`) — sparse
 //!   iff the spec is in the load-only cell **and** `64·balls ≤ n`
 //!   ([`SPARSE_AUTO_RATIO`]). The 1/64 density cut-off is deliberately
@@ -49,8 +58,13 @@
 //!   dense round streams `4n` bytes branchlessly, a sparse round pays a few
 //!   hash-map operations per ball), and below 1/64 the sparse engine also
 //!   wins `O(n) → O(m)` on memory, which at `n = 10^8` is the difference
-//!   between a 400 MB load vector and a few megabytes. Either way the
-//!   trajectory is the same, so `auto` can never change published numbers.
+//!   between a 400 MB load vector and a few megabytes. Denser load-only
+//!   cells at `n ≥ `[`SHARDED_AUTO_MIN_N`] resolve to the sharded engine
+//!   (with [`DEFAULT_SHARDS`] shards — never the machine's thread count,
+//!   which would break cross-machine reproducibility); everything else is
+//!   dense. Dense/sparse trajectories are identical either way; the
+//!   sharded pick changes the stream but not the law, and it only fires at
+//!   scales where per-seed trajectories were never published.
 
 use serde::{DeError, Deserialize, Serialize, Value};
 
@@ -201,8 +215,14 @@ pub enum EngineSpec {
     Dense,
     /// The sparse `O(#occupied)`-per-round engine (load-only cell only).
     Sparse,
+    /// The sharded single-trial engine (load-only cell only): per-shard
+    /// RNG streams, bit-identical for a fixed `shards` at any thread
+    /// count, equal to the dense stream in law (bit-identical at
+    /// `shards: 1`).
+    Sharded,
     /// Pick per the density heuristic: sparse iff `SPARSE_AUTO_RATIO·balls
-    /// ≤ n` (and the spec is in the load-only cell). The default.
+    /// ≤ n`, else sharded iff `n ≥ SHARDED_AUTO_MIN_N` (both only in the
+    /// load-only cell). The default.
     #[default]
     Auto,
 }
@@ -210,6 +230,20 @@ pub enum EngineSpec {
 /// `auto` engine selection picks the sparse engine when
 /// `SPARSE_AUTO_RATIO · balls ≤ n`. See the module docs for why 1/64.
 pub const SPARSE_AUTO_RATIO: u64 = 64;
+
+/// `auto` engine selection picks the sharded engine for dense load-only
+/// cells with at least this many bins (a scale where the `O(n)` column
+/// scans dominate a round and sharding can amortize). Deliberately far
+/// above every committed spec and golden fixture that predates the sharded
+/// engine, so `auto` resolutions — and therefore published trajectories —
+/// are unchanged below it.
+pub const SHARDED_AUTO_MIN_N: usize = 2_000_000;
+
+/// Shard count used when `engine: "sharded"` (or an `auto` resolution to
+/// it) does not set the `shards` field explicitly. A fixed constant — never
+/// the machine's core count — because the shard count is part of the
+/// reproducibility key.
+pub const DEFAULT_SHARDS: usize = 4;
 
 /// How a moving ball picks its destination (the rebalancing rule).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -418,10 +452,15 @@ pub struct ScenarioSpec {
     pub arrival: ArrivalSpec,
     /// Queue strategy; `None` runs the load-only engine.
     pub strategy: Option<StrategySpec>,
-    /// Load-process implementation: `"dense"`, `"sparse"`, or `"auto"`
-    /// (`None` ≡ auto). See the module docs for the density heuristic and
-    /// the bit-identity guarantee.
+    /// Load-process implementation: `"dense"`, `"sparse"`, `"sharded"`, or
+    /// `"auto"` (`None` ≡ auto). See the module docs for the density
+    /// heuristic and the bit-identity guarantee.
     pub engine: Option<EngineSpec>,
+    /// Shard count for the sharded engine (`None` ≡ [`DEFAULT_SHARDS`]).
+    /// Part of the reproducibility key: trajectories are bit-identical for
+    /// a fixed shard count, not across shard counts. Only valid together
+    /// with `engine: "sharded"`.
+    pub shards: Option<usize>,
     /// Topology; [`TopologySpec::Complete`] is the paper's process.
     pub topology: TopologySpec,
     /// Optional adversary arm.
@@ -448,6 +487,7 @@ impl ScenarioSpec {
                 arrival: ArrivalSpec::Uniform,
                 strategy: None,
                 engine: None,
+                shards: None,
                 topology: TopologySpec::Complete,
                 adversary: None,
                 horizon: HorizonSpec::FactorN { factor: 100 },
@@ -471,14 +511,19 @@ impl ScenarioSpec {
     }
 
     /// Resolves the `engine` field to a concrete choice: explicit
-    /// `dense`/`sparse` win; `auto` (and an omitted field) picks sparse iff
-    /// the spec is in the load-only cell and
-    /// [`SPARSE_AUTO_RATIO`]` · balls ≤ n`. Trajectories are bit-identical
-    /// either way, so this is purely a performance decision.
+    /// `dense`/`sparse`/`sharded` win; `auto` (and an omitted field) picks
+    /// sparse iff the spec is in the load-only cell and
+    /// [`SPARSE_AUTO_RATIO`]` · balls ≤ n`, then sharded iff the cell is
+    /// load-only and `n ≥ `[`SHARDED_AUTO_MIN_N`], else dense. Dense and
+    /// sparse are bit-identical, so choosing between them is purely a
+    /// performance decision; the sharded pick keeps the law but changes the
+    /// stream (see the module docs), and only fires above the committed
+    /// fixtures' scale.
     pub fn resolved_engine(&self) -> EngineSpec {
         match self.engine.unwrap_or_default() {
             EngineSpec::Dense => EngineSpec::Dense,
             EngineSpec::Sparse => EngineSpec::Sparse,
+            EngineSpec::Sharded => EngineSpec::Sharded,
             EngineSpec::Auto => {
                 let sparse = self.is_load_only_cell()
                     && self
@@ -487,11 +532,21 @@ impl ScenarioSpec {
                         .is_some_and(|scaled| scaled <= self.n as u64);
                 if sparse {
                     EngineSpec::Sparse
+                } else if self.is_load_only_cell() && self.n >= SHARDED_AUTO_MIN_N {
+                    EngineSpec::Sharded
                 } else {
                     EngineSpec::Dense
                 }
             }
         }
+    }
+
+    /// The shard count a sharded resolution runs with: the explicit
+    /// `shards` field, else [`DEFAULT_SHARDS`] capped at `n` (so tiny
+    /// explicit-sharded specs stay valid). Meaningless — and rejected by
+    /// [`validate`](Self::validate) — unless the engine is sharded.
+    pub fn resolved_shards(&self) -> usize {
+        self.shards.unwrap_or(DEFAULT_SHARDS).min(self.n)
     }
 
     /// Returns a copy with the seed replaced — the sweep entry point (one
@@ -542,6 +597,31 @@ impl ScenarioSpec {
                  engine to \"dense\" or \"auto\""
                     .into(),
             ));
+        }
+        if self.engine == Some(EngineSpec::Sharded) && !self.is_load_only_cell() {
+            return Err(SpecError(
+                "the sharded engine serves the load-only uniform process on the complete \
+                 topology; remove `strategy`/`topology`/`arrival` overrides or set \
+                 engine to \"dense\" or \"auto\""
+                    .into(),
+            ));
+        }
+        if let Some(shards) = self.shards {
+            if self.engine != Some(EngineSpec::Sharded) {
+                // Strict: a shards field on a non-sharded spec is a typo'd
+                // intent, not a harmless default.
+                return Err(SpecError(
+                    "`shards` only applies to engine \"sharded\"; set engine: \"sharded\" \
+                     or remove the field"
+                        .into(),
+                ));
+            }
+            if shards < 1 || shards > self.n {
+                return Err(SpecError(format!(
+                    "shards = {shards} out of range 1..={} (need 1 <= shards <= n)",
+                    self.n
+                )));
+            }
         }
         if let StartSpec::Packed { k } = self.start {
             if k < 1 || k > self.n {
@@ -689,6 +769,14 @@ impl ScenarioSpecBuilder {
         self
     }
 
+    /// Sets the shard count for the sharded engine (default:
+    /// [`DEFAULT_SHARDS`]). Only valid together with
+    /// [`engine`](Self::engine)`(EngineSpec::Sharded)`.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.spec.shards = Some(shards);
+        self
+    }
+
     /// Sets the topology.
     pub fn topology(mut self, t: TopologySpec) -> Self {
         self.spec.topology = t;
@@ -797,6 +885,7 @@ impl Serialize for EngineSpec {
             match self {
                 EngineSpec::Dense => "dense",
                 EngineSpec::Sparse => "sparse",
+                EngineSpec::Sharded => "sharded",
                 EngineSpec::Auto => "auto",
             }
             .to_string(),
@@ -809,6 +898,7 @@ impl Deserialize for EngineSpec {
         match value.as_str() {
             Some("dense") => Ok(EngineSpec::Dense),
             Some("sparse") => Ok(EngineSpec::Sparse),
+            Some("sharded") => Ok(EngineSpec::Sharded),
             Some("auto") => Ok(EngineSpec::Auto),
             Some(other) => Err(DeError(format!("unknown engine '{other}'"))),
             None => Err(DeError::expected("engine string", value)),
@@ -1279,6 +1369,123 @@ mod tests {
                 .resolved_engine(),
             EngineSpec::Dense
         );
+    }
+
+    #[test]
+    fn sharded_engine_round_trips_with_shards_field() {
+        let spec = ScenarioSpec::builder(4096)
+            .engine(EngineSpec::Sharded)
+            .shards(4)
+            .build();
+        let json = serde_json::to_string_pretty(&spec).unwrap();
+        assert!(json.contains("\"engine\": \"sharded\""));
+        assert!(json.contains("\"shards\": 4"));
+        let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+        spec.validate().unwrap();
+        assert_eq!(spec.resolved_engine(), EngineSpec::Sharded);
+        assert_eq!(spec.resolved_shards(), 4);
+        // Omitted shards field: the fixed default, capped at n.
+        let default = ScenarioSpec::builder(4096)
+            .engine(EngineSpec::Sharded)
+            .build();
+        default.validate().unwrap();
+        assert_eq!(default.resolved_shards(), DEFAULT_SHARDS);
+        let tiny = ScenarioSpec::builder(2).engine(EngineSpec::Sharded).build();
+        tiny.validate().unwrap();
+        assert_eq!(tiny.resolved_shards(), 2);
+    }
+
+    #[test]
+    fn auto_heuristic_picks_sharded_only_at_large_dense_n() {
+        // Large dense load-only cell: sharded (boundary inclusive).
+        let big = ScenarioSpec::builder(SHARDED_AUTO_MIN_N).build();
+        assert_eq!(big.resolved_engine(), EngineSpec::Sharded);
+        assert_eq!(big.resolved_shards(), DEFAULT_SHARDS);
+        // Just below the boundary: dense.
+        assert_eq!(
+            ScenarioSpec::builder(SHARDED_AUTO_MIN_N - 1)
+                .build()
+                .resolved_engine(),
+            EngineSpec::Dense
+        );
+        // Sparse wins over sharded when both heuristics fire.
+        assert_eq!(
+            ScenarioSpec::builder(SHARDED_AUTO_MIN_N)
+                .balls(100)
+                .start(StartSpec::AllInOne)
+                .build()
+                .resolved_engine(),
+            EngineSpec::Sparse
+        );
+        // Large n outside the load-only cell: dense.
+        assert_eq!(
+            ScenarioSpec::builder(SHARDED_AUTO_MIN_N)
+                .arrival(ArrivalSpec::DChoice { d: 2 })
+                .build()
+                .resolved_engine(),
+            EngineSpec::Dense
+        );
+        // Explicit dense wins at any n.
+        assert_eq!(
+            ScenarioSpec::builder(SHARDED_AUTO_MIN_N)
+                .engine(EngineSpec::Dense)
+                .build()
+                .resolved_engine(),
+            EngineSpec::Dense
+        );
+    }
+
+    #[test]
+    fn sharded_engine_rejected_outside_load_only_cell() {
+        let bad = [
+            ScenarioSpec::builder(64)
+                .engine(EngineSpec::Sharded)
+                .strategy(StrategySpec::Fifo)
+                .build(),
+            ScenarioSpec::builder(64)
+                .engine(EngineSpec::Sharded)
+                .topology(TopologySpec::Ring)
+                .build(),
+            ScenarioSpec::builder(64)
+                .engine(EngineSpec::Sharded)
+                .arrival(ArrivalSpec::Tetris)
+                .build(),
+        ];
+        for spec in bad {
+            let err = spec.validate().unwrap_err();
+            assert!(err.0.contains("sharded engine"), "{err}");
+        }
+    }
+
+    #[test]
+    fn shards_field_validation() {
+        // shards without engine: "sharded" is rejected, even harmless ones.
+        for engine in [None, Some(EngineSpec::Dense), Some(EngineSpec::Auto)] {
+            let mut spec = ScenarioSpec::builder(64).shards(4).build();
+            spec.engine = engine;
+            let err = spec.validate().unwrap_err();
+            assert!(err.0.contains("shards"), "{err}");
+        }
+        // Out-of-range shard counts are rejected.
+        for shards in [0usize, 65] {
+            let err = ScenarioSpec::builder(64)
+                .engine(EngineSpec::Sharded)
+                .shards(shards)
+                .build()
+                .validate()
+                .unwrap_err();
+            assert!(err.0.contains("shards"), "{err}");
+        }
+        // The full valid range passes.
+        for shards in [1usize, 64] {
+            ScenarioSpec::builder(64)
+                .engine(EngineSpec::Sharded)
+                .shards(shards)
+                .build()
+                .validate()
+                .unwrap();
+        }
     }
 
     #[test]

@@ -43,6 +43,15 @@ fn engine_matrix() -> Vec<Combo> {
             StopSpec::Horizon,
         ),
         (
+            // The sharded engine at 4 shards (spec_for forces engine:
+            // sharded); scalar and batched round bodies both exist.
+            "load-sharded",
+            ArrivalSpec::Uniform,
+            None,
+            TopologySpec::Complete,
+            StopSpec::Horizon,
+        ),
+        (
             "ball-fifo",
             ArrivalSpec::Uniform,
             Some(StrategySpec::Fifo),
@@ -136,6 +145,9 @@ fn spec_for(combo: &Combo, n: usize, seed: u64) -> ScenarioSpec {
     }
     if *label == "load-sparse" {
         b = b.engine(rbb_sim::EngineSpec::Sparse);
+    }
+    if *label == "load-sharded" {
+        b = b.engine(rbb_sim::EngineSpec::Sharded).shards(4);
     }
     b.build()
 }

@@ -93,6 +93,7 @@ fn arb_spec() -> impl Strategy<Value = ScenarioSpec> {
                         2 => Some(EngineSpec::Sparse),
                         _ => Some(EngineSpec::Auto),
                     },
+                    shards: None,
                     topology,
                     adversary: match adv_pick {
                         0 => None,

@@ -43,6 +43,28 @@ fn sparse_ensemble_report_json() -> String {
     spec.run().unwrap().to_json()
 }
 
+/// The committed sharded single-trial spec (`specs/sharded-large.json`),
+/// loaded from disk like the sparse ensemble above. At n = 10^6 the engine
+/// takes its thread-pool round path, so this pins the sharded determinism
+/// contract — fixed shard count ⇒ bit-identical trajectory at any worker
+/// count — on the exact spec `ci.sh` diffs at the CLI level. Horizon
+/// trimmed to keep the three-thread-count run cheap.
+fn sharded_trial_digest() -> (rbb_sim::ScenarioOutcome, rbb_core::config::Config) {
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../specs/sharded-large.json");
+    let text = std::fs::read_to_string(&path).expect("committed sharded spec");
+    let mut spec: rbb_sim::ScenarioSpec = serde_json::from_str(&text).expect("spec parses");
+    assert_eq!(
+        spec.resolved_engine(),
+        rbb_sim::EngineSpec::Sharded,
+        "committed spec must exercise the sharded engine"
+    );
+    spec.horizon = rbb_sim::HorizonSpec::Rounds { rounds: 40 };
+    let mut scenario = spec.scenario().expect("sharded scenario builds");
+    let outcome = scenario.run();
+    (outcome, scenario.engine().config().clone())
+}
+
 fn sweep_result() -> Vec<(usize, Vec<u64>)> {
     sweep_par(
         SeedTree::new(0xF00D),
@@ -57,6 +79,7 @@ fn sweep_result() -> Vec<(usize, Vec<u64>)> {
 fn ensemble_and_sweep_are_byte_identical_across_thread_counts() {
     let mut reports = Vec::new();
     let mut sparse_reports = Vec::new();
+    let mut sharded_digests = Vec::new();
     let mut sweeps = Vec::new();
     for threads in ["1", "2", "4"] {
         std::env::set_var("RAYON_NUM_THREADS", threads);
@@ -66,6 +89,7 @@ fn ensemble_and_sweep_are_byte_identical_across_thread_counts() {
         );
         reports.push(ensemble_report_json());
         sparse_reports.push(sparse_ensemble_report_json());
+        sharded_digests.push(sharded_trial_digest());
         sweeps.push(sweep_result());
     }
     std::env::remove_var("RAYON_NUM_THREADS");
@@ -85,6 +109,14 @@ fn ensemble_and_sweep_are_byte_identical_across_thread_counts() {
     assert_eq!(
         sparse_reports[0], sparse_reports[2],
         "sparse ensemble report differs between 1 and 4 threads"
+    );
+    assert_eq!(
+        sharded_digests[0], sharded_digests[1],
+        "sharded trial differs between 1 and 2 threads"
+    );
+    assert_eq!(
+        sharded_digests[0], sharded_digests[2],
+        "sharded trial differs between 1 and 4 threads"
     );
     assert_eq!(sweeps[0], sweeps[1]);
     assert_eq!(sweeps[0], sweeps[2]);
