@@ -72,12 +72,15 @@ stage_lint() {
     echo "==> cargo clippy --workspace --all-targets -- -D warnings"
     cargo clippy --workspace --all-targets -- -D warnings
 
-    echo "==> rbb-lint (repo-invariant static analysis, JSON artifact for CI)"
+    echo "==> rbb-lint (token + semantic + repo-invariant rules, JSON artifact for CI)"
     cargo run -q --release -p rbb-lint -- --self-check
     mkdir -p target
     # One invocation serves both the text gate (exit 1 on findings) and the
     # JSON artifact: --json-out writes the report before the gate exits, so
-    # the workflow can upload it from a failed run too.
+    # the workflow can upload it from a failed run too. The default run
+    # includes the repo-invariant family (spec-golden, experiment-doc,
+    # engine-proptest, bench-schema) — no --no-repo here: skew between
+    # committed artifacts must fail the gate.
     cargo run -q --release -p rbb-lint -- --json-out target/rbb-lint.json
 
     echo "==> cargo doc (RUSTDOCFLAGS=-D warnings)"

@@ -377,9 +377,10 @@ impl ShardedLoadProcess {
         let departures: usize = (0..shard_count)
             .into_par_iter()
             .map(|s| {
-                // rbb-lint: allow(panic, reason = "each task locks only its own uncontended shard; poisoning would mean a sibling panicked, which rayon re-raises anyway")
+                // rbb-lint: allow(panic, unordered-merge, reason = "commutes: task index = shard index, so each task locks only its own uncontended shard and no cross-task state merges; poisoning would mean a sibling panicked, which rayon re-raises anyway")
                 let mut guard = work[s].lock().expect("shard mutex poisoned");
                 let (shard, row) = &mut *guard;
+                // rbb-lint: allow(rng-in-par, reason = "shard.rng is the per-shard stream pre-salted with SHARD_STREAM_SALT at construction; tasks never share a stream")
                 depart_and_throw(shard, row, &sampler, router, true)
             })
             .collect::<Vec<usize>>()
@@ -394,7 +395,7 @@ impl ShardedLoadProcess {
         let _: Vec<()> = (0..shard_count)
             .into_par_iter()
             .map(|t| {
-                // rbb-lint: allow(panic, reason = "each task locks only its own uncontended shard; poisoning would mean a sibling panicked, which rayon re-raises anyway")
+                // rbb-lint: allow(panic, unordered-merge, reason = "commutes: task index = shard index, so each task locks only its own uncontended shard and no cross-task state merges; poisoning would mean a sibling panicked, which rayon re-raises anyway")
                 let mut shard = cells[t].lock().expect("shard mutex poisoned");
                 apply_inbound(&mut shard, &rows, t);
             })

@@ -1,0 +1,618 @@
+//! Per-file fact extraction over the [`crate::structure`] tree.
+//!
+//! This is the dataflow half of the semantic analyzer: for every function
+//! it records whether the body *draws* from an RNG, *constructs* one, or
+//! enters rayon, plus the callee names — enough for the workspace-level
+//! call-graph fixpoint in [`crate::rules`] to compute the transitive
+//! versions of those facts. For every closure that runs under a rayon
+//! entry point it records the draw, call, and shared-state-mutation sites
+//! the `rng-in-par` / `unordered-merge` rules judge. Literal-salt stream
+//! constructions and `Engine` impls are collected for `salt-collision`
+//! and the `--repo` consistency checks.
+//!
+//! Everything here is heuristic and name-based (no type information); the
+//! deliberate over- and under-approximations are listed in the "blind
+//! spots" section of `crates/lint/README.md`.
+
+use crate::structure::{Node, NodeKind, View};
+
+/// Methods that consume randomness from a generator or sampler.
+const DRAW_METHODS: &[&str] = &[
+    "next_u64",
+    "next_below",
+    "uniform_usize",
+    "next_f64",
+    "bernoulli",
+    "shuffle",
+    "exponential",
+    "sample",
+    "fill_u32",
+];
+
+/// Methods that mutate state reachable from more than one rayon task:
+/// lock acquisition, interior mutability, and atomic read-modify-write.
+const MERGE_METHODS: &[&str] = &[
+    "lock",
+    "borrow_mut",
+    "write",
+    "store",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_max",
+    "fetch_min",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+/// Sanctioned per-stream constructors callable by bare name or as methods:
+/// the `rbb_sim::seed` helpers and the `SeedTree` derivation methods. A
+/// parallel closure that derives its stream through one of these is
+/// following the per-shard/per-trial discipline by construction.
+const SANCTIONED_BARE: &[&str] = &[
+    "engine_rng",
+    "adversary_rng",
+    "salted_rng",
+    "xor_salted_rng",
+    "trial_rng",
+    "trial",
+];
+
+/// Type-qualified RNG constructors (also count as "constructs directly").
+const CTOR_QUALIFIED: &[&str] = &[
+    "Xoshiro256pp::seed_from",
+    "Xoshiro256pp::from_seed",
+    "Xoshiro256pp::seed_from_u64",
+    "Xoshiro256pp::stream",
+    "SplitMix64::new",
+];
+
+/// Callees whose second literal argument is a stream salt.
+const SALT_CALLEES: &[&str] = &["stream", "salted_rng", "xor_salted_rng"];
+
+/// Keywords that look like `name(` but are not calls.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "match", "for", "loop", "return", "fn", "move", "in", "as", "let", "else",
+    "break", "continue", "unsafe", "do", "await", "yield", "use", "where", "impl", "pub",
+];
+
+/// Compound and plain assignment operators (for `*x = …` / `x[i] += …`).
+const ASSIGN_OPS: &[&str] = &[
+    "=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=",
+];
+
+/// Rayon entry points (mirrors `structure::is_par_entry`).
+fn is_par_entry(name: &str) -> bool {
+    matches!(
+        name,
+        "spawn" | "join" | "scope" | "install" | "into_par_iter"
+    ) || name.starts_with("par_")
+}
+
+/// A source position for anchoring findings.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Site {
+    pub line: u32,
+    pub col: u32,
+}
+
+/// Scope callbacks threaded in from the rule engine (facts are extracted
+/// everywhere; findings fire only where the corresponding scope is
+/// active).
+pub(crate) struct ScopeFns<'a> {
+    /// Result-crate, non-test scope at a byte offset.
+    pub active: &'a dyn Fn(usize) -> bool,
+    /// Same, minus the sanctioned RNG definition files (salt sites there
+    /// are the definitions, not uses).
+    pub salt_active: &'a dyn Fn(usize) -> bool,
+    /// Whether a byte offset is test code (testish file or `#[cfg(test)]`).
+    pub in_test: &'a dyn Fn(usize) -> bool,
+}
+
+/// Call-graph facts for one function.
+pub(crate) struct FnFact {
+    /// Names this function answers to: bare, plus `Type::name` inside an
+    /// impl (with `Self::` resolved to the impl type at call sites).
+    pub names: Vec<String>,
+    /// Body draws from an RNG directly.
+    pub draws: bool,
+    /// Body constructs an RNG (sanctioned helper or type constructor).
+    pub constructs: bool,
+    /// Body enters rayon directly (`par_*`/`spawn`/`join`/`scope`).
+    pub par_entry: bool,
+    /// Callee names (bare, or `Type::name` for type-qualified calls).
+    pub calls: Vec<String>,
+}
+
+/// One rayon-parallel closure with the sites the semantic rules judge.
+pub(crate) struct ParClosure {
+    /// Whether the closure (or a lexically enclosing parallel closure)
+    /// constructs its own stream via a sanctioned constructor.
+    pub sanctioned: bool,
+    /// Direct RNG draw sites: (method, site, scope-active).
+    pub draws: Vec<(String, Site, bool)>,
+    /// Call sites: (callee name, site, scope-active).
+    pub calls: Vec<(String, Site, bool)>,
+    /// Shared-state mutation sites: (description, site, scope-active).
+    pub merges: Vec<(String, Site, bool)>,
+}
+
+/// A call site passing a literal salt to a stream constructor.
+pub(crate) struct SaltSite {
+    pub value: u64,
+    pub callee: String,
+    pub site: Site,
+    pub active: bool,
+}
+
+/// An `impl Engine for Type` site (for the `engine-proptest` repo check).
+pub(crate) struct EngineImplSite {
+    pub type_name: String,
+    pub site: Site,
+}
+
+/// Everything extracted from one file.
+#[derive(Default)]
+pub(crate) struct FileFacts {
+    pub fns: Vec<FnFact>,
+    pub par_closures: Vec<ParClosure>,
+    pub salts: Vec<SaltSite>,
+    pub engine_impls: Vec<EngineImplSite>,
+}
+
+/// Extracts all facts from a structurized file.
+pub(crate) fn extract(v: &View, root: &Node, scopes: &ScopeFns) -> FileFacts {
+    let mut facts = FileFacts::default();
+    walk(v, root, None, None, scopes, &mut facts);
+    facts
+}
+
+/// Recursive tree walk. `impl_type` is the enclosing impl's self type (for
+/// qualified fn names); `par_sanctioned` is `Some(sanctioned)` when inside
+/// a parallel closure chain.
+fn walk(
+    v: &View,
+    node: &Node,
+    impl_type: Option<&str>,
+    par_sanctioned: Option<bool>,
+    scopes: &ScopeFns,
+    facts: &mut FileFacts,
+) {
+    for child in &node.children {
+        let byte = v.t(child.start).start;
+        match &child.kind {
+            NodeKind::Root | NodeKind::Mod(_) | NodeKind::Trait(_) => {
+                walk(v, child, None, None, scopes, facts);
+            }
+            NodeKind::Impl {
+                type_name,
+                trait_name,
+            } => {
+                if trait_name.as_deref() == Some("Engine") && !(scopes.in_test)(byte) {
+                    facts.engine_impls.push(EngineImplSite {
+                        type_name: type_name.clone(),
+                        site: site_of(v, child.start),
+                    });
+                }
+                walk(v, child, Some(type_name), None, scopes, facts);
+            }
+            NodeKind::Fn(sig) => {
+                if !(scopes.in_test)(byte) {
+                    // Graph facts scan the fn's region including closure
+                    // interiors (a draw inside a closure the fn runs is
+                    // still a draw the fn performs) but excluding nested
+                    // item declarations.
+                    let mut kept = Vec::new();
+                    collect_kept(child, true, &mut kept);
+                    let bag = scan(v, &kept, &[], impl_type, scopes);
+                    let mut names = vec![sig.name.clone()];
+                    if let Some(t) = impl_type {
+                        names.push(format!("{t}::{}", sig.name));
+                    }
+                    facts.fns.push(FnFact {
+                        names,
+                        draws: bag.draws_any,
+                        constructs: bag.constructs,
+                        par_entry: bag.par_entry,
+                        calls: bag.call_names,
+                    });
+                    facts.salts.extend(bag.salts);
+                }
+                // Nested fns reset both impl and parallel context.
+                walk(v, child, None, None, scopes, facts);
+            }
+            NodeKind::Closure { parallel, params } => {
+                if *parallel {
+                    // Scan only the closure's own tokens: nested closures
+                    // (which inherit `parallel`) report their own sites.
+                    let mut kept = Vec::new();
+                    collect_kept(child, false, &mut kept);
+                    let bag = scan(v, &kept, params, impl_type, scopes);
+                    let sanctioned = par_sanctioned.unwrap_or(false) || bag.constructs;
+                    facts.par_closures.push(ParClosure {
+                        sanctioned,
+                        draws: bag.draw_sites,
+                        calls: bag.call_sites,
+                        merges: bag.merge_sites,
+                    });
+                    walk(v, child, impl_type, Some(sanctioned), scopes, facts);
+                } else {
+                    walk(v, child, impl_type, par_sanctioned, scopes, facts);
+                }
+            }
+        }
+    }
+}
+
+fn site_of(v: &View, i: usize) -> Site {
+    let t = v.t(i);
+    Site {
+        line: t.line,
+        col: t.col,
+    }
+}
+
+/// Collects the code-token indices a node owns itself: gaps between
+/// children, plus (when `keep_closures`) closure descendants' own tokens.
+fn collect_kept(node: &Node, keep_closures: bool, out: &mut Vec<usize>) {
+    let mut pos = node.start;
+    for c in &node.children {
+        out.extend(pos..c.start);
+        if keep_closures && matches!(c.kind, NodeKind::Closure { .. }) {
+            collect_kept(c, true, out);
+        }
+        pos = c.end;
+    }
+    out.extend(pos..node.end);
+}
+
+/// Scan results for one region.
+#[derive(Default)]
+struct Bag {
+    draws_any: bool,
+    constructs: bool,
+    par_entry: bool,
+    call_names: Vec<String>,
+    draw_sites: Vec<(String, Site, bool)>,
+    call_sites: Vec<(String, Site, bool)>,
+    merge_sites: Vec<(String, Site, bool)>,
+    salts: Vec<SaltSite>,
+}
+
+/// Scans the kept token positions of one region. `params` are the
+/// region's binding names (closure params); let-bound locals are
+/// collected in a pre-pass so `*local = …` is not a shared-state merge.
+fn scan(
+    v: &View,
+    kept: &[usize],
+    params: &[String],
+    impl_type: Option<&str>,
+    scopes: &ScopeFns,
+) -> Bag {
+    let mut bag = Bag::default();
+    let n = kept.len();
+    let s = |p: usize| if p < n { v.s(kept[p]) } else { "" };
+    let kind_ident = |p: usize| p < n && v.kind(kept[p]) == crate::lexer::TokKind::Ident;
+
+    // Pre-pass: local bindings (params + `let` patterns).
+    let mut locals: Vec<String> = params.to_vec();
+    let mut p = 0;
+    while p < n {
+        if s(p) == "let" {
+            let mut q = p + 1;
+            while q < n && !matches!(s(q), "=" | ";") {
+                if kind_ident(q) && !matches!(s(q), "mut" | "ref") {
+                    locals.push(s(q).to_string());
+                }
+                q += 1;
+            }
+            p = q;
+        } else {
+            p += 1;
+        }
+    }
+
+    let mut p = 0;
+    while p < n {
+        let cur = s(p);
+        // Call expression: `name(`, `recv.name(`, `Type::name(`.
+        if kind_ident(p) && s(p + 1) == "(" && !NON_CALL_KEYWORDS.contains(&cur) {
+            let prev = if p > 0 { s(p - 1) } else { "" };
+            if prev == "fn" {
+                p += 1;
+                continue;
+            }
+            let site = site_of(v, kept[p]);
+            let active = (scopes.active)(v.t(kept[p]).start);
+            let is_method = prev == ".";
+            let qualifier = if prev == "::" && p >= 2 && kind_ident(p - 2) {
+                let q = s(p - 2);
+                let q = if q == "Self" {
+                    impl_type.unwrap_or("Self")
+                } else {
+                    q
+                };
+                // Uppercase qualifier = type path; lowercase = module path
+                // (call recorded bare so `seed::salted_rng` finds the fn).
+                q.chars()
+                    .next()
+                    .filter(|c| c.is_ascii_uppercase())
+                    .map(|_| q.to_string())
+            } else {
+                None
+            };
+            let call_name = match &qualifier {
+                Some(q) => format!("{q}::{cur}"),
+                None => cur.to_string(),
+            };
+            if is_method && DRAW_METHODS.contains(&cur) {
+                bag.draws_any = true;
+                bag.draw_sites.push((cur.to_string(), site, active));
+            }
+            if is_method && MERGE_METHODS.contains(&cur) {
+                bag.merge_sites.push((format!(".{cur}()"), site, active));
+            }
+            if SANCTIONED_BARE.contains(&cur) || CTOR_QUALIFIED.contains(&call_name.as_str()) {
+                bag.constructs = true;
+            }
+            if is_par_entry(cur) {
+                bag.par_entry = true;
+            }
+            if SALT_CALLEES.contains(&cur) {
+                if let Some(value) = literal_salt_arg(v, kept, p + 1) {
+                    bag.salts.push(SaltSite {
+                        value,
+                        callee: cur.to_string(),
+                        site,
+                        active: (scopes.salt_active)(v.t(kept[p]).start),
+                    });
+                }
+            }
+            bag.call_names.push(call_name.clone());
+            bag.call_sites.push((call_name, site, active));
+            p += 2;
+            continue;
+        }
+        // Deref-assign to a captured binding: `*shared = …`, `*acc += …`.
+        if cur == "*"
+            && kind_ident(p + 1)
+            && ASSIGN_OPS.contains(&s(p + 2))
+            && !locals.iter().any(|l| l == s(p + 1))
+        {
+            let what = format!("*{} {}", s(p + 1), s(p + 2));
+            let site = site_of(v, kept[p]);
+            let active = (scopes.active)(v.t(kept[p]).start);
+            bag.merge_sites.push((what, site, active));
+            p += 3;
+            continue;
+        }
+        // Index-assign to a captured binding: `out[i] = …`, `loads[b] += …`.
+        if kind_ident(p) && s(p + 1) == "[" && !locals.iter().any(|l| l == cur) {
+            let mut depth = 1usize;
+            let mut q = p + 2;
+            while q < n && depth > 0 {
+                match s(q) {
+                    "[" => depth += 1,
+                    "]" => depth -= 1,
+                    _ => {}
+                }
+                q += 1;
+            }
+            if depth == 0 && q < n && ASSIGN_OPS.contains(&s(q)) {
+                let what = format!("{cur}[..] {}", s(q));
+                let site = site_of(v, kept[p]);
+                let active = (scopes.active)(v.t(kept[p]).start);
+                bag.merge_sites.push((what, site, active));
+                p = q + 1;
+                continue;
+            }
+        }
+        p += 1;
+    }
+    bag
+}
+
+/// If the call whose `(` is at kept-position `open` passes exactly two
+/// top-level arguments and the second is a single integer literal,
+/// returns its value (the literal salt).
+fn literal_salt_arg(v: &View, kept: &[usize], open: usize) -> Option<u64> {
+    let n = kept.len();
+    let s = |p: usize| if p < n { v.s(kept[p]) } else { "" };
+    if s(open) != "(" {
+        return None;
+    }
+    let mut depth = 0usize;
+    let mut args: Vec<(usize, usize)> = Vec::new();
+    let mut arg_start = open + 1;
+    let mut p = open;
+    loop {
+        if p >= n {
+            return None; // unbalanced
+        }
+        match s(p) {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    if p > arg_start {
+                        args.push((arg_start, p));
+                    }
+                    break;
+                }
+            }
+            "," if depth == 1 => {
+                args.push((arg_start, p));
+                arg_start = p + 1;
+            }
+            _ => {}
+        }
+        p += 1;
+    }
+    if args.len() != 2 {
+        return None;
+    }
+    let (lo, hi) = args[1];
+    if hi - lo != 1 || v.kind(kept[lo]) != crate::lexer::TokKind::Number {
+        return None;
+    }
+    parse_int_literal(s(lo))
+}
+
+/// Parses a Rust integer literal: underscores, `0x`/`0o`/`0b` radixes, and
+/// type suffixes. Returns `None` for floats or malformed input.
+fn parse_int_literal(text: &str) -> Option<u64> {
+    let cleaned = text.replace('_', "");
+    let (radix, digits) = if let Some(r) = cleaned.strip_prefix("0x") {
+        (16, r)
+    } else if let Some(r) = cleaned.strip_prefix("0o") {
+        (8, r)
+    } else if let Some(r) = cleaned.strip_prefix("0b") {
+        (2, r)
+    } else {
+        (10, cleaned.as_str())
+    };
+    let end = digits
+        .find(|c: char| !c.is_digit(radix))
+        .unwrap_or(digits.len());
+    let (num, suffix) = digits.split_at(end);
+    if num.is_empty() {
+        return None;
+    }
+    if !suffix.is_empty()
+        && !matches!(
+            suffix,
+            "u8" | "u16"
+                | "u32"
+                | "u64"
+                | "u128"
+                | "usize"
+                | "i8"
+                | "i16"
+                | "i32"
+                | "i64"
+                | "i128"
+                | "isize"
+        )
+    {
+        return None;
+    }
+    u64::from_str_radix(num, radix).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::structure::structurize;
+
+    fn facts_of(src: &str) -> FileFacts {
+        let st = structurize(src);
+        let v = View {
+            src,
+            toks: &st.toks,
+            code: &st.code,
+        };
+        let yes: &dyn Fn(usize) -> bool = &|_| true;
+        let no: &dyn Fn(usize) -> bool = &|_| false;
+        extract(
+            &v,
+            &st.root,
+            &ScopeFns {
+                active: yes,
+                salt_active: yes,
+                in_test: no,
+            },
+        )
+    }
+
+    #[test]
+    fn fn_facts_record_draws_constructs_calls() {
+        let f = facts_of(
+            "impl Sampler {\n\
+             fn draw(&self, rng: &mut Xoshiro256pp) -> u64 { rng.next_u64() }\n\
+             fn fresh(seed: u64) -> Xoshiro256pp { Xoshiro256pp::stream(seed, 3) }\n\
+             fn indirect(&self, rng: &mut Xoshiro256pp) -> u64 { self.draw(rng) }\n\
+             }",
+        );
+        assert_eq!(f.fns.len(), 3);
+        let by_name = |n: &str| f.fns.iter().find(|x| x.names[0] == n).unwrap();
+        assert!(by_name("draw").draws);
+        assert!(by_name("draw").names.contains(&"Sampler::draw".to_string()));
+        assert!(by_name("fresh").constructs && !by_name("fresh").draws);
+        let ind = by_name("indirect");
+        assert!(!ind.draws && ind.calls.iter().any(|c| c == "draw"));
+        assert_eq!(f.salts.len(), 1);
+        assert_eq!(f.salts[0].value, 3);
+    }
+
+    #[test]
+    fn par_closures_record_sites_and_sanction() {
+        let f = facts_of(
+            "fn a(n: u64, w: &W) -> u64 {\n\
+             (0..n).into_par_iter().map(|i| w.rng.next_u64() + i).sum()\n\
+             }\n\
+             fn b(n: u64, seed: u64) -> u64 {\n\
+             (0..n).into_par_iter().map(|i| salted_rng(seed, i).next_u64()).sum()\n\
+             }\n\
+             fn c(n: usize, total: &Mutex<u64>) {\n\
+             (0..n).into_par_iter().for_each(|i| { *total.lock().unwrap() += i as u64; });\n\
+             }",
+        );
+        assert_eq!(f.par_closures.len(), 3);
+        let unsanctioned = &f.par_closures[0];
+        assert!(!unsanctioned.sanctioned);
+        assert_eq!(unsanctioned.draws.len(), 1);
+        let sanctioned = &f.par_closures[1];
+        assert!(sanctioned.sanctioned);
+        let merging = &f.par_closures[2];
+        assert!(merging.merges.iter().any(|(w, _, _)| w == ".lock()"));
+    }
+
+    #[test]
+    fn locals_are_not_shared_state() {
+        let f = facts_of(
+            "fn a(n: usize) {\n\
+             (0..n).into_par_iter().for_each(|i| {\n\
+             let mut acc = 0u64; acc += 1; let mut v = vec![0; 4]; v[i] = 1; *(&mut acc) = 2;\n\
+             });\n\
+             }",
+        );
+        // `acc` and `v` are let-bound inside the closure; none of the
+        // mutations touch shared state. (`*(&mut acc)` has a non-ident
+        // after `*`, so the deref heuristic skips it too.)
+        assert!(f.par_closures[0].merges.is_empty());
+    }
+
+    #[test]
+    fn salt_literals_parse_radixes_and_suffixes() {
+        assert_eq!(parse_int_literal("42"), Some(42));
+        assert_eq!(parse_int_literal("0xADFE"), Some(0xADFE));
+        assert_eq!(parse_int_literal("0x5EED_BA11"), Some(0x5EED_BA11));
+        assert_eq!(parse_int_literal("7u64"), Some(7));
+        assert_eq!(parse_int_literal("0b101"), Some(5));
+        assert_eq!(parse_int_literal("1.5"), None);
+        assert_eq!(parse_int_literal("1e9"), None);
+    }
+
+    #[test]
+    fn non_literal_salts_are_ignored() {
+        let f = facts_of(
+            "fn mk(seed: u64, s: usize) -> Xoshiro256pp {\n\
+             Xoshiro256pp::stream(seed, BASE + s as u64)\n\
+             }",
+        );
+        assert!(f.salts.is_empty());
+    }
+
+    #[test]
+    fn engine_impls_are_collected() {
+        let f = facts_of(
+            "impl Engine for SparseLoadProcess { fn round(&mut self) {} }\n\
+             impl SparseLoadProcess { fn new() {} }\n\
+             impl Display for SparseLoadProcess {}",
+        );
+        assert_eq!(f.engine_impls.len(), 1);
+        assert_eq!(f.engine_impls[0].type_name, "SparseLoadProcess");
+    }
+}

@@ -107,6 +107,16 @@ struct Lexer<'s> {
 
 impl Lexer<'_> {
     fn run(mut self) -> Vec<Token> {
+        // A leading shebang (`#!/usr/bin/env …`) is stripped by rustc before
+        // lexing; treat it as a comment so its payload (which may contain
+        // unbalanced quotes) cannot derail the rest of the file. `#![…]` at
+        // the top of a file is an inner attribute, not a shebang.
+        if self.src.starts_with(b"#!") && self.src.get(2) != Some(&b'[') {
+            while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+                self.pos += 1;
+            }
+            self.emit(TokKind::Comment, 0);
+        }
         while self.pos < self.src.len() {
             let b = self.src[self.pos];
             match b {
@@ -361,8 +371,9 @@ impl Lexer<'_> {
                 }
                 self.emit(TokKind::Ident, start);
             }
-            (b"r" | b"br" | b"rb", Some(b'"' | b'#')) => self.raw_string(start),
-            (b"b", Some(b'"')) => self.string(start),
+            (b"r" | b"br" | b"rb" | b"cr", Some(b'"' | b'#')) => self.raw_string(start),
+            // C-string literals (Rust 1.77+): `c"…"` and, above, `cr#"…"#`.
+            (b"b" | b"c", Some(b'"')) => self.string(start),
             (b"b", Some(b'\'')) => {
                 // Byte char literal `b'x'` / `b'\n'`.
                 self.pos += 1;
@@ -503,6 +514,44 @@ let r = r#"panic!("x")"#; /* block /* nested */ done */"##;
         let toks = kinds(src);
         assert!(toks.contains(&(TokKind::Ident, "r#type".to_string())));
         assert!(toks.contains(&(TokKind::Str, "r\"raw\"".to_string())));
+    }
+
+    #[test]
+    fn c_string_literals_are_strings() {
+        let src = r###"let a = c"from_entropy() not code"; let b = cr#"panic!("x")"#; let c = cr"plain";"###;
+        let toks = kinds(src);
+        let strs: Vec<String> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Str)
+            .map(|(_, s)| s.clone())
+            .collect();
+        assert_eq!(strs.len(), 3, "c-string prefixes must lex as Str: {toks:?}");
+        assert!(strs[0].starts_with("c\""));
+        assert!(strs[1].starts_with("cr#\""));
+        assert!(strs[2].starts_with("cr\""));
+        // No spurious identifiers from inside the literals.
+        assert!(!toks
+            .iter()
+            .any(|(k, s)| *k == TokKind::Ident && s == "from_entropy"));
+    }
+
+    #[test]
+    fn leading_shebang_is_a_comment() {
+        let src = "#!/usr/bin/env -S cargo +'nightly' \"q\nfn main() { let x = 1; }\n";
+        let toks = lex(src);
+        assert_eq!(toks[0].kind, TokKind::Comment);
+        assert_eq!(toks[0].text(src), "#!/usr/bin/env -S cargo +'nightly' \"q");
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text(src))
+            .collect();
+        assert_eq!(idents, ["fn", "main", "let", "x"]);
+        // `#![…]` at file start is an inner attribute, not a shebang.
+        let attr = "#![forbid(unsafe_code)]\nfn f() {}\n";
+        let toks = lex(attr);
+        assert_eq!(toks[0].kind, TokKind::Punct);
+        assert_eq!(toks[0].text(attr), "#");
     }
 
     #[test]

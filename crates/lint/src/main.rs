@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! rbb-lint [--root PATH] [--format text|json] [--json-out PATH]
-//!          [--self-check] [--list-rules]
+//!          [--no-repo] [--self-check] [--list-rules]
 //! ```
 //!
 //! Exit codes: 0 clean, 1 unsuppressed findings, 2 usage or I/O error.
@@ -10,21 +10,24 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use rbb_lint::{find_root, lint_root, to_json, RULES};
+use rbb_lint::{find_root, lint_root_opts, to_json, RULES};
 
 fn usage() -> &'static str {
     "usage: rbb-lint [--root PATH] [--format text|json] [--json-out PATH]\n\
-     \u{20}               [--self-check] [--list-rules]\n\
+     \u{20}               [--no-repo] [--self-check] [--list-rules]\n\
      \n\
      Lints crates/, tests/, and examples/ under the workspace root for\n\
-     determinism, RNG-stream, and numerical-safety violations.\n\
+     determinism, RNG-stream/concurrency, and numerical-safety violations,\n\
+     plus cross-file repo invariants (specs vs goldens, experiment docs,\n\
+     engine property coverage, bench schema).\n\
      \n\
      --root PATH     workspace root (default: found by walking up from cwd)\n\
      --format FMT    text (default) or json\n\
      --json-out PATH additionally write the JSON report to PATH (so one\n\
      \u{20}               invocation serves both the human and the artifact)\n\
+     --no-repo       skip the repo-invariant (repo family) checks\n\
      --self-check    verify every rule fires/stays quiet on embedded samples\n\
-     --list-rules    print the rule table and exit\n\
+     --list-rules    print the rule table (id, family, summary) and exit\n\
      \n\
      exit status: 0 clean, 1 findings, 2 error"
 }
@@ -35,6 +38,7 @@ fn main() -> ExitCode {
     let mut json_out: Option<PathBuf> = None;
     let mut do_self_check = false;
     let mut list_rules = false;
+    let mut with_repo = true;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -61,6 +65,7 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--no-repo" => with_repo = false,
             "--self-check" => do_self_check = true,
             "--list-rules" => list_rules = true,
             "--help" | "-h" => {
@@ -76,7 +81,7 @@ fn main() -> ExitCode {
 
     if list_rules {
         for r in RULES {
-            println!("{:16} {}", r.id, r.summary);
+            println!("{:20} {:8} {}", r.id, r.family().label(), r.summary);
         }
         return ExitCode::SUCCESS;
     }
@@ -106,7 +111,7 @@ fn main() -> ExitCode {
         }
     };
 
-    let (findings, stats) = match lint_root(&root) {
+    let (findings, stats) = match lint_root_opts(&root, with_repo) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("rbb-lint: I/O error: {e}");

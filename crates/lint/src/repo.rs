@@ -1,0 +1,405 @@
+//! The `--repo` rule family: cross-file invariants the compiler can't see.
+//!
+//! Each check compares two artifacts that must stay in sync:
+//!
+//! * `spec-golden` — every committed `specs/*.json` scenario has a golden
+//!   stdout fixture under `crates/cli/tests/golden/`, and vice versa (an
+//!   orphan golden means the spec it pinned was deleted without its
+//!   byte-diff gate).
+//! * `experiment-doc` — every experiment id registered in
+//!   `crates/experiments/src/lib.rs` is mentioned in `EXPERIMENTS.md`.
+//! * `engine-proptest` — every `impl Engine for T` type name appears in
+//!   `tests/proptest_engines.rs`, the law-equality property suite.
+//! * `bench-schema` — `BENCH.json`'s `schema_version` matches the bench
+//!   crate's `SCHEMA_VERSION` constant.
+//!
+//! A [`RepoView`] is loaded once per run; each side of a comparison that
+//! is missing entirely (e.g. a fixture mini-root with no `specs/` at all)
+//! disables that check, so single-file linting and synthetic test trees
+//! stay quiet. Findings anchored in `.rs` files route through the normal
+//! suppression machinery; findings anchored in data files (specs,
+//! goldens) are structurally unsuppressible — fix the tree, not the lint.
+
+use std::fs;
+use std::path::Path;
+
+use crate::facts::EngineImplSite;
+use crate::lexer::{lex, TokKind};
+use crate::rules::{rule_info, Finding};
+
+/// Snapshot of the repo-level artifacts the `--repo` checks compare.
+#[derive(Default)]
+pub(crate) struct RepoView {
+    /// Stems of `specs/*.json` (`None` when the directory is absent).
+    pub specs: Option<Vec<String>>,
+    /// Stems of `crates/cli/tests/golden/*.stdout`.
+    pub goldens: Option<Vec<String>>,
+    /// `(path, source)` of the experiment registry.
+    pub registry: Option<(String, String)>,
+    /// Content of `EXPERIMENTS.md`.
+    pub experiments_md: Option<String>,
+    /// `(path, content)` of `tests/proptest_engines.rs`.
+    pub proptest_engines: Option<(String, String)>,
+    /// `(path, line, value)` of the bench crate's `SCHEMA_VERSION` const.
+    pub bench_const: Option<(String, u32, u64)>,
+    /// `schema_version` value read from `BENCH.json`.
+    pub bench_json: Option<u64>,
+}
+
+impl RepoView {
+    /// Loads the view from a workspace root. Missing artifacts load as
+    /// `None` (disabling the corresponding check), never as an error.
+    pub fn load(root: &Path) -> RepoView {
+        let stems = |dir: &Path, ext: &str| -> Option<Vec<String>> {
+            let mut out: Vec<String> = fs::read_dir(dir)
+                .ok()?
+                .filter_map(|e| e.ok())
+                .filter_map(|e| {
+                    let p = e.path();
+                    (p.extension().and_then(|x| x.to_str()) == Some(ext))
+                        .then(|| p.file_stem()?.to_str().map(str::to_string))
+                        .flatten()
+                })
+                .collect();
+            out.sort();
+            Some(out)
+        };
+        let read = |rel: &str| -> Option<(String, String)> {
+            fs::read_to_string(root.join(rel))
+                .ok()
+                .map(|src| (rel.to_string(), src))
+        };
+        let registry = read("crates/experiments/src/lib.rs");
+        let proptest_engines = read("tests/proptest_engines.rs");
+        let bench_const =
+            read("crates/bench/src/lib.rs").and_then(|(p, src)| find_schema_const(&p, &src));
+        let bench_json = fs::read_to_string(root.join("BENCH.json"))
+            .ok()
+            .and_then(|s| find_json_u64(&s, "schema_version"));
+        RepoView {
+            specs: stems(&root.join("specs"), "json"),
+            goldens: stems(&root.join("crates/cli/tests/golden"), "stdout"),
+            registry,
+            experiments_md: fs::read_to_string(root.join("EXPERIMENTS.md")).ok(),
+            proptest_engines,
+            bench_json,
+            bench_const,
+        }
+    }
+
+    /// Runs every enabled check. `engine_impls` are the
+    /// `impl Engine for T` sites collected per file: `(path, site)`.
+    pub fn check(&self, engine_impls: &[(String, EngineImplSite)]) -> Vec<Finding> {
+        let mut out = Vec::new();
+        self.check_spec_golden(&mut out);
+        self.check_experiment_doc(&mut out);
+        self.check_engine_proptest(engine_impls, &mut out);
+        self.check_bench_schema(&mut out);
+        out
+    }
+
+    fn check_spec_golden(&self, out: &mut Vec<Finding>) {
+        let (Some(specs), Some(goldens)) = (&self.specs, &self.goldens) else {
+            return;
+        };
+        for s in specs {
+            if !goldens.contains(s) {
+                out.push(finding(
+                    "spec-golden",
+                    format!("specs/{s}.json"),
+                    1,
+                    1,
+                    format!(
+                        "spec `{s}` has no golden fixture crates/cli/tests/golden/{s}.stdout \
+                         (its output is not byte-diffed by CI)"
+                    ),
+                ));
+            }
+        }
+        for g in goldens {
+            if !specs.contains(g) {
+                out.push(finding(
+                    "spec-golden",
+                    format!("crates/cli/tests/golden/{g}.stdout"),
+                    1,
+                    1,
+                    format!("orphan golden fixture: specs/{g}.json does not exist"),
+                ));
+            }
+        }
+    }
+
+    fn check_experiment_doc(&self, out: &mut Vec<Finding>) {
+        let (Some((reg_path, reg_src)), Some(md)) = (&self.registry, &self.experiments_md) else {
+            return;
+        };
+        for (id, line, col) in registry_ids(reg_src) {
+            if !contains_word_ci(md, &id) {
+                out.push(finding(
+                    "experiment-doc",
+                    reg_path.clone(),
+                    line,
+                    col,
+                    format!(
+                        "experiment `{id}` is registered but never mentioned in EXPERIMENTS.md"
+                    ),
+                ));
+            }
+        }
+    }
+
+    fn check_engine_proptest(&self, impls: &[(String, EngineImplSite)], out: &mut Vec<Finding>) {
+        let Some((pt_path, pt_src)) = &self.proptest_engines else {
+            return;
+        };
+        for (file, im) in impls {
+            if !contains_word(pt_src, &im.type_name) {
+                out.push(finding(
+                    "engine-proptest",
+                    file.clone(),
+                    im.site.line,
+                    im.site.col,
+                    format!(
+                        "engine `{}` implements Engine but never appears in {pt_path}",
+                        im.type_name
+                    ),
+                ));
+            }
+        }
+    }
+
+    fn check_bench_schema(&self, out: &mut Vec<Finding>) {
+        let (Some((path, line, konst)), Some(json)) = (&self.bench_const, self.bench_json) else {
+            return;
+        };
+        if *konst != json {
+            out.push(finding(
+                "bench-schema",
+                path.clone(),
+                *line,
+                1,
+                format!(
+                    "SCHEMA_VERSION is {konst} but BENCH.json records schema_version {json} \
+                     (regenerate BENCH.json or bump in lockstep)"
+                ),
+            ));
+        }
+    }
+}
+
+fn finding(rule: &'static str, file: String, line: u32, col: u32, message: String) -> Finding {
+    Finding {
+        rule,
+        file,
+        line,
+        col,
+        message,
+        hint: rule_info(rule).map_or("", |r| r.fix_hint),
+    }
+}
+
+/// Extracts `(id, line, col)` triples from the experiment registry source
+/// by the token pattern `id : "eNN"`.
+fn registry_ids(src: &str) -> Vec<(String, u32, u32)> {
+    let toks = lex(src);
+    let code: Vec<usize> = (0..toks.len()).filter(|&i| toks[i].is_code()).collect();
+    let mut out = Vec::new();
+    for w in code.windows(3) {
+        let (a, b, c) = (&toks[w[0]], &toks[w[1]], &toks[w[2]]);
+        if a.kind == TokKind::Ident
+            && a.text(src) == "id"
+            && b.text(src) == ":"
+            && c.kind == TokKind::Str
+        {
+            let lit = c.text(src).trim_matches('"');
+            if !lit.is_empty() {
+                out.push((lit.to_string(), c.line, c.col));
+            }
+        }
+    }
+    out
+}
+
+/// Case-sensitive word-boundary containment (boundary = not `[A-Za-z0-9]`
+/// and not `_`), so `LoadProcess` does not match inside
+/// `ShardedLoadProcess`.
+fn contains_word(hay: &str, needle: &str) -> bool {
+    contains_word_impl(hay, needle, false)
+}
+
+/// Case-insensitive variant for experiment ids (`e01` matches `E01`); `_`
+/// is treated as a boundary so `e01_stability` counts as a mention.
+fn contains_word_ci(hay: &str, needle: &str) -> bool {
+    contains_word_impl(hay, needle, true)
+}
+
+fn contains_word_impl(hay: &str, needle: &str, ci: bool) -> bool {
+    if needle.is_empty() {
+        return false;
+    }
+    let (h, n) = if ci {
+        (hay.to_ascii_lowercase(), needle.to_ascii_lowercase())
+    } else {
+        (hay.to_string(), needle.to_string())
+    };
+    let boundary = |c: Option<char>| match c {
+        None => true,
+        Some(c) => {
+            if ci {
+                !c.is_ascii_alphanumeric()
+            } else {
+                !(c.is_ascii_alphanumeric() || c == '_')
+            }
+        }
+    };
+    let mut from = 0;
+    while let Some(at) = h[from..].find(&n) {
+        let at = from + at;
+        if boundary(h[..at].chars().next_back()) && boundary(h[at + n.len()..].chars().next()) {
+            return true;
+        }
+        from = at + 1;
+    }
+    false
+}
+
+/// Finds `SCHEMA_VERSION` in the bench crate source by token pattern
+/// (`const SCHEMA_VERSION : <ty> = <number>`), returning `(path, line,
+/// value)`.
+fn find_schema_const(path: &str, src: &str) -> Option<(String, u32, u64)> {
+    let toks = lex(src);
+    let code: Vec<usize> = (0..toks.len()).filter(|&i| toks[i].is_code()).collect();
+    for (pos, &ci) in code.iter().enumerate() {
+        let t = &toks[ci];
+        if t.kind == TokKind::Ident && t.text(src) == "SCHEMA_VERSION" {
+            // Scan forward a few tokens for `= <number>`.
+            for w in pos + 1..(pos + 6).min(code.len()) {
+                let u = &toks[code[w]];
+                if u.text(src) == "=" {
+                    let vtok = &toks[*code.get(w + 1)?];
+                    if vtok.kind == TokKind::Number {
+                        let value: u64 = vtok
+                            .text(src)
+                            .replace('_', "")
+                            .trim_end_matches(|c: char| c.is_ascii_alphabetic())
+                            .parse()
+                            .ok()?;
+                        return Some((path.to_string(), t.line, value));
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Extracts an unsigned integer field value from a flat JSON document by
+/// key (enough for `BENCH.json`'s top-level `schema_version`).
+fn find_json_u64(json: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\"");
+    let at = json.find(&pat)?;
+    let rest = json[at + pat.len()..].trim_start().strip_prefix(':')?;
+    let rest = rest.trim_start();
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::facts::Site;
+
+    fn view() -> RepoView {
+        RepoView {
+            specs: Some(vec!["alpha".into(), "beta".into()]),
+            goldens: Some(vec!["alpha".into(), "gamma".into()]),
+            registry: Some((
+                "crates/experiments/src/lib.rs".into(),
+                "fn registry() { Experiment { id: \"e01\", title: \"t\" }; \
+                 Experiment { id: \"e02\", title: \"u\" }; }"
+                    .into(),
+            )),
+            experiments_md: Some("## E01 — stability\nonly the first".into()),
+            proptest_engines: Some((
+                "tests/proptest_engines.rs".into(),
+                "let e = LoadProcess::new();".into(),
+            )),
+            bench_const: Some(("crates/bench/src/lib.rs".into(), 26, 1)),
+            bench_json: Some(2),
+        }
+    }
+
+    #[test]
+    fn all_four_checks_fire() {
+        let impls = vec![
+            (
+                "crates/core/src/lib.rs".to_string(),
+                EngineImplSite {
+                    type_name: "LoadProcess".into(),
+                    site: Site { line: 1, col: 1 },
+                },
+            ),
+            (
+                "crates/core/src/sharded.rs".to_string(),
+                EngineImplSite {
+                    type_name: "ShardedLoadProcess".into(),
+                    site: Site { line: 2, col: 1 },
+                },
+            ),
+        ];
+        let findings = view().check(&impls);
+        let rules: Vec<(&str, &str)> = findings.iter().map(|f| (f.rule, f.file.as_str())).collect();
+        assert!(rules.contains(&("spec-golden", "specs/beta.json")));
+        assert!(rules.contains(&("spec-golden", "crates/cli/tests/golden/gamma.stdout")));
+        assert!(rules.contains(&("experiment-doc", "crates/experiments/src/lib.rs")));
+        assert!(rules.contains(&("engine-proptest", "crates/core/src/sharded.rs")));
+        assert!(rules.contains(&("bench-schema", "crates/bench/src/lib.rs")));
+        // LoadProcess appears word-bounded in the proptest source; e01 is
+        // mentioned (case-insensitively) in EXPERIMENTS.md.
+        assert!(!rules
+            .iter()
+            .any(|(r, f)| *r == "engine-proptest" && f.ends_with("lib.rs")));
+        assert_eq!(
+            findings
+                .iter()
+                .filter(|f| f.rule == "experiment-doc")
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn missing_sides_disable_checks() {
+        let empty = RepoView::default();
+        assert!(empty.check(&[]).is_empty());
+        let mut half = RepoView {
+            specs: Some(vec!["alpha".into()]),
+            ..RepoView::default()
+        };
+        assert!(half.check(&[]).is_empty(), "specs without goldens dir");
+        half.goldens = Some(Vec::new());
+        assert_eq!(half.check(&[]).len(), 1);
+    }
+
+    #[test]
+    fn word_boundaries() {
+        assert!(contains_word("uses LoadProcess here", "LoadProcess"));
+        assert!(!contains_word("ShardedLoadProcess", "LoadProcess"));
+        assert!(!contains_word("LoadProcess2", "LoadProcess"));
+        assert!(contains_word_ci("## E01 — stability", "e01"));
+        assert!(contains_word_ci("e01_stability module", "e01"));
+        assert!(!contains_word_ci("e012", "e01"));
+    }
+
+    #[test]
+    fn json_and_const_scanners() {
+        assert_eq!(
+            find_json_u64("{\n  \"schema_version\": 3,\n}", "schema_version"),
+            Some(3)
+        );
+        let c = find_schema_const("p", "pub const SCHEMA_VERSION: u32 = 7;\n");
+        assert_eq!(c, Some(("p".into(), 1, 7)));
+    }
+}

@@ -24,10 +24,39 @@
 //! including tests: a nondeterministically seeded test is flaky by
 //! construction.
 
+use crate::facts::{self, FileFacts};
 use crate::lexer::{lex, TokKind, Token};
+use crate::repo::RepoView;
+use crate::structure::{self, NodeKind, View};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// Crates whose code can affect reported results.
 const RESULT_CRATES: &[&str] = &["core", "sim", "stats"];
+
+/// Which analysis layer a rule runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuleFamily {
+    /// Pattern over the token stream of one file.
+    Token,
+    /// Needs the structurizer + workspace call-graph facts.
+    Semantic,
+    /// Cross-file repo invariant (the `--repo` family).
+    Repo,
+    /// Polices the suppression machinery itself.
+    Meta,
+}
+
+impl RuleFamily {
+    /// Short label for the `--list-rules` table.
+    pub fn label(self) -> &'static str {
+        match self {
+            RuleFamily::Token => "token",
+            RuleFamily::Semantic => "semantic",
+            RuleFamily::Repo => "repo",
+            RuleFamily::Meta => "meta",
+        }
+    }
+}
 
 /// Static description of one rule.
 #[derive(Debug, Clone, Copy)]
@@ -40,6 +69,29 @@ pub struct RuleInfo {
     pub explanation: &'static str,
     /// What to do instead.
     pub fix_hint: &'static str,
+}
+
+impl RuleInfo {
+    /// The analysis layer this rule belongs to.
+    pub fn family(&self) -> RuleFamily {
+        match self.id {
+            "undocumented-stream" | "rng-in-par" | "unordered-merge" | "salt-collision" => {
+                RuleFamily::Semantic
+            }
+            "spec-golden" | "experiment-doc" | "engine-proptest" | "bench-schema" => {
+                RuleFamily::Repo
+            }
+            "malformed-allow" | "unused-allow" => RuleFamily::Meta,
+            _ => RuleFamily::Token,
+        }
+    }
+
+    /// Whether an allow comment may name this rule. Meta rules police the
+    /// suppression machinery; `spec-golden` anchors in data files where no
+    /// allow comment can live — for all of these, fix the tree instead.
+    pub fn suppressible(&self) -> bool {
+        !matches!(self.id, "malformed-allow" | "unused-allow" | "spec-golden")
+    }
 }
 
 /// The rule registry. Order is the order findings are reported in per file.
@@ -111,11 +163,12 @@ pub const RULES: &[RuleInfo] = &[
                    reason states the invariant that makes the panic unreachable",
     },
     RuleInfo {
-        id: "rng-doc",
-        summary: "pub fn consuming an RNG without a `# RNG stream` doc section",
+        id: "undocumented-stream",
+        summary: "pub fn with an RNG parameter lacking a `# RNG stream` doc section",
         explanation: "stream discipline is part of a sampler's contract: callers must know \
                       how many draws a call consumes and from which stream, or two \
-                      subsystems will silently share or skew a stream.",
+                      subsystems will silently share or skew a stream. (Signature-accurate \
+                      successor of PR 6's token-level `rng-doc`.)",
         fix_hint: "add a `# RNG stream` section to the doc comment describing the draws \
                    consumed and the stream expected",
     },
@@ -141,6 +194,71 @@ pub const RULES: &[RuleInfo] = &[
                       not captured in the ScenarioSpec, breaking reproduction from a spec \
                       file alone.",
         fix_hint: "plumb configuration through ScenarioSpec / function parameters",
+    },
+    RuleInfo {
+        id: "rng-in-par",
+        summary: "RNG draw reachable inside a rayon closure without a sanctioned stream",
+        explanation: "a draw under rayon consumes from whatever stream the task happens to \
+                      share, so the trajectory depends on work-stealing order; every \
+                      parallel task must derive its own stream (per-shard or per-trial) \
+                      from the master seed.",
+        fix_hint: "construct the task's stream inside the closure via rbb_sim::seed \
+                   (salted_rng, SeedTree::trial_rng) or a salted Xoshiro256pp::stream, or \
+                   justify the pre-salted state in an allow reason",
+    },
+    RuleInfo {
+        id: "unordered-merge",
+        summary: "shared-state mutation inside a rayon closure without a commutes reason",
+        explanation: "Mutex/RefCell/atomic mutation from parallel tasks applies updates in \
+                      scheduling order; unless the update commutes exactly, the result \
+                      depends on thread timing and the byte-diff determinism gate breaks.",
+        fix_hint: "return per-task values and merge in deterministic order after the join \
+                   (the PR 7 shard pattern), or add an allow whose reason starts with \
+                   `commutes:` and argues order-independence",
+    },
+    RuleInfo {
+        id: "salt-collision",
+        summary: "two stream constructions passing the same literal salt",
+        explanation: "two subsystems salting the same master seed with the same literal \
+                      share one RNG stream: their draws interleave nondeterministically \
+                      with call order and correlate results that must be independent.",
+        fix_hint: "give each subsystem a distinct documented salt (see the salt registry \
+                   in rbb_sim::seed)",
+    },
+    RuleInfo {
+        id: "spec-golden",
+        summary: "specs/*.json and crates/cli/tests/golden/*.stdout out of sync",
+        explanation: "a spec without a golden is not byte-diffed by CI, so its output can \
+                      drift silently; an orphan golden pins output of a spec that no \
+                      longer exists.",
+        fix_hint: "run the spec with UPDATE_GOLDEN=1 to create its fixture, or delete the \
+                   orphan golden together with its spec",
+    },
+    RuleInfo {
+        id: "experiment-doc",
+        summary: "registered experiment missing from EXPERIMENTS.md",
+        explanation: "EXPERIMENTS.md is the map from paper claims to measured records; an \
+                      undocumented experiment id leaves its table unexplained and its \
+                      claim unpinned.",
+        fix_hint: "add the experiment id to EXPERIMENTS.md (at minimum to the index \
+                   table) describing what it measures",
+    },
+    RuleInfo {
+        id: "engine-proptest",
+        summary: "Engine impl not exercised by tests/proptest_engines.rs",
+        explanation: "the engine law-equality property suite is what keeps every engine \
+                      bit-compatible in law with the dense reference; an engine outside \
+                      it can drift without failing CI.",
+        fix_hint: "add the engine type to the matrix in tests/proptest_engines.rs (or the \
+                   engine-name constant it checks)",
+    },
+    RuleInfo {
+        id: "bench-schema",
+        summary: "BENCH.json schema_version disagrees with the bench crate constant",
+        explanation: "the perf gate parses BENCH.json by schema; a version skew means the \
+                      committed baseline and the harness disagree about field meaning.",
+        fix_hint: "regenerate BENCH.json with the current harness, or bump SCHEMA_VERSION \
+                   and the artifact in lockstep",
     },
     RuleInfo {
         id: "malformed-allow",
@@ -379,10 +497,35 @@ struct Allow {
     used: bool,
 }
 
-/// Lints one file's source. `path` is the display path, `crate_name` the
-/// component after `crates/` ("" for repo-level tests), `testish` the
-/// path-level test exemption.
-pub fn lint_source(path: &str, src: &str, crate_name: &str, testish: bool) -> FileReport {
+/// Stream-constructor definition files: the salt values there are the
+/// registry, not competing uses.
+const SCOPE_SALT: Scope = Scope {
+    all_crates: false,
+    include_tests: false,
+    exempt: &["crates/sim/src/seed.rs", "crates/core/src/rng.rs"],
+};
+
+/// Phase-1 output for one file: raw findings (token + structure rules),
+/// the parsed suppressions, meta findings, and extracted facts for the
+/// workspace resolve pass.
+pub(crate) struct FileAnalysis {
+    pub path: String,
+    raw: Vec<Finding>,
+    allows: Vec<Allow>,
+    meta: Vec<Finding>,
+    pub facts: FileFacts,
+}
+
+/// Phase 1: lexes, structurizes, and runs every single-file rule over one
+/// source file. `path` is the display path, `crate_name` the component
+/// after `crates/` ("" for repo-level tests), `testish` the path-level
+/// test exemption. Cross-file rules fire later, in [`resolve`].
+pub(crate) fn analyze_source(
+    path: &str,
+    src: &str,
+    crate_name: &str,
+    testish: bool,
+) -> FileAnalysis {
     let ctx = Ctx::new(path, src, crate_name, testish);
     let mut raw: Vec<Finding> = Vec::new();
 
@@ -394,50 +537,312 @@ pub fn lint_source(path: &str, src: &str, crate_name: &str, testish: bool) -> Fi
     rule_exp_complement(&ctx, &mut raw);
     rule_lossy_cast(&ctx, &mut raw);
     rule_panic(&ctx, &mut raw);
-    rule_rng_doc(&ctx, &mut raw);
     rule_partial_cmp(&ctx, &mut raw);
     rule_wall_clock(&ctx, &mut raw);
     rule_env_read(&ctx, &mut raw);
 
-    let (mut allows, mut meta) = parse_allows(&ctx);
+    // Structure pass: reuse the token stream already lexed for the token
+    // rules; the structurizer only re-walks indices.
+    let view = View {
+        src: ctx.src,
+        toks: &ctx.toks,
+        code: &ctx.code,
+    };
+    let root = structure::parse(&view);
+    rule_undocumented_stream(&ctx, &root, &mut raw);
 
-    // Apply suppressions: a finding is dropped when an allow on its line
-    // lists its rule. Meta findings (malformed/unused-allow) are never
-    // suppressible — they must be fixed, not excused.
-    let mut report = FileReport::default();
-    for f in raw {
-        let hit = allows
-            .iter_mut()
-            .find(|a| a.target_line == f.line && a.rules.iter().any(|r| r == f.rule));
-        match hit {
-            Some(a) => {
-                a.used = true;
-                report.suppressed += 1;
+    let active = |b: usize| ctx.active(&SCOPE_RESULT, b);
+    let salt_active = |b: usize| ctx.active(&SCOPE_SALT, b);
+    let in_test = |b: usize| ctx.testish || ctx.in_test_region(b);
+    let facts = facts::extract(
+        &view,
+        &root,
+        &facts::ScopeFns {
+            active: &active,
+            salt_active: &salt_active,
+            in_test: &in_test,
+        },
+    );
+
+    let (allows, meta) = parse_allows(&ctx);
+    FileAnalysis {
+        path: path.to_string(),
+        raw,
+        allows,
+        meta,
+        facts,
+    }
+}
+
+/// Phase 2: joins per-file analyses into workspace findings — runs the
+/// call-graph fixpoint, fires the semantic rules (`rng-in-par`,
+/// `unordered-merge`, `salt-collision`), folds in repo-invariant findings,
+/// and applies suppressions. Returns the final findings (per-file blocks
+/// in input order, repo orphans last) and the total suppressed count.
+pub(crate) fn resolve(
+    mut analyses: Vec<FileAnalysis>,
+    repo: Option<&RepoView>,
+) -> (Vec<Finding>, usize) {
+    // --- Call graph: flatten fns, index by every name they answer to. ---
+    let mut flat: Vec<(usize, usize)> = Vec::new(); // (analysis idx, fn idx)
+    let mut byname: HashMap<&str, Vec<usize>> = HashMap::new();
+    for (ai, a) in analyses.iter().enumerate() {
+        for (fi, f) in a.facts.fns.iter().enumerate() {
+            let gid = flat.len();
+            flat.push((ai, fi));
+            for n in &f.names {
+                byname.entry(n.as_str()).or_default().push(gid);
             }
-            None => report.findings.push(f),
         }
     }
-    for a in &allows {
-        if !a.used {
-            meta.push(Finding {
-                rule: "unused-allow",
-                file: path.to_string(),
-                line: a.comment_line,
-                col: a.col,
+    // Monotone boolean fixpoint: a fn draws*/constructs*/enters-rayon* if
+    // it does so directly or any resolvable callee does. Name resolution
+    // is exact-match over the registered names (bare and `Type::name`), so
+    // unresolvable callees contribute nothing — a documented blind spot.
+    let n = flat.len();
+    let mut draws: Vec<bool> = Vec::with_capacity(n);
+    let mut constructs: Vec<bool> = Vec::with_capacity(n);
+    let mut rayon: Vec<bool> = Vec::with_capacity(n);
+    let mut edges: Vec<Vec<usize>> = Vec::with_capacity(n);
+    for &(ai, fi) in &flat {
+        let f = &analyses[ai].facts.fns[fi];
+        draws.push(f.draws);
+        constructs.push(f.constructs);
+        rayon.push(f.par_entry);
+        edges.push(
+            f.calls
+                .iter()
+                .filter_map(|c| byname.get(c.as_str()))
+                .flatten()
+                .copied()
+                .collect(),
+        );
+    }
+    loop {
+        let mut changed = false;
+        for g in 0..n {
+            for &cg in &edges[g] {
+                if draws[cg] && !draws[g] {
+                    draws[g] = true;
+                    changed = true;
+                }
+                if constructs[cg] && !constructs[g] {
+                    constructs[g] = true;
+                    changed = true;
+                }
+                if rayon[cg] && !rayon[g] {
+                    rayon[g] = true;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // (draws-transitively, constructs-transitively, enters-rayon-transitively)
+    let name_flags = |name: &str| -> (bool, bool, bool) {
+        let mut f = (false, false, false);
+        if let Some(ids) = byname.get(name) {
+            for &g in ids {
+                f.0 |= draws[g];
+                f.1 |= constructs[g];
+                f.2 |= rayon[g];
+            }
+        }
+        f
+    };
+
+    // --- Semantic rules over the par-closure and salt facts. ---
+    let mut extra: Vec<Vec<Finding>> = (0..analyses.len()).map(|_| Vec::new()).collect();
+    for (ai, a) in analyses.iter().enumerate() {
+        for pc in &a.facts.par_closures {
+            // A closure is sanctioned if it (or a lexically enclosing
+            // parallel closure) constructs a stream, directly or via a
+            // callee that constructs* one.
+            let sanctioned =
+                pc.sanctioned || pc.calls.iter().any(|(name, _, _)| name_flags(name).1);
+            if !sanctioned {
+                let mut lines: HashSet<u32> = HashSet::new();
+                for (method, site, active) in &pc.draws {
+                    if *active && lines.insert(site.line) {
+                        extra[ai].push(Finding {
+                            rule: "rng-in-par",
+                            file: a.path.clone(),
+                            line: site.line,
+                            col: site.col,
+                            message: format!(
+                                "RNG draw `.{method}()` inside a parallel closure \
+                                 that constructs no per-task stream"
+                            ),
+                            hint: rule_info("rng-in-par").map_or("", |r| r.fix_hint),
+                        });
+                    }
+                }
+                for (callee, site, active) in &pc.calls {
+                    let (d, c, r) = name_flags(callee);
+                    if *active && d && !c && lines.insert(site.line) {
+                        let tail = if r {
+                            ", and it fans out under rayon itself"
+                        } else {
+                            ""
+                        };
+                        extra[ai].push(Finding {
+                            rule: "rng-in-par",
+                            file: a.path.clone(),
+                            line: site.line,
+                            col: site.col,
+                            message: format!(
+                                "call to `{callee}` draws from an RNG inside a \
+                                 parallel closure that constructs no per-task stream{tail}"
+                            ),
+                            hint: rule_info("rng-in-par").map_or("", |r| r.fix_hint),
+                        });
+                    }
+                }
+            }
+            for (what, site, active) in &pc.merges {
+                if *active {
+                    extra[ai].push(Finding {
+                        rule: "unordered-merge",
+                        file: a.path.clone(),
+                        line: site.line,
+                        col: site.col,
+                        message: format!(
+                            "shared-state mutation via `{what}` inside a parallel closure"
+                        ),
+                        hint: rule_info("unordered-merge").map_or("", |r| r.fix_hint),
+                    });
+                }
+            }
+        }
+    }
+
+    // salt-collision: group literal salts workspace-wide; two distinct
+    // sites sharing a value share a stream. BTreeMap keeps emission
+    // deterministic.
+    let mut by_salt: BTreeMap<u64, Vec<(usize, String, u32, u32)>> = BTreeMap::new();
+    for (ai, a) in analyses.iter().enumerate() {
+        for s in a.facts.salts.iter().filter(|s| s.active) {
+            by_salt.entry(s.value).or_default().push((
+                ai,
+                s.callee.clone(),
+                s.site.line,
+                s.site.col,
+            ));
+        }
+    }
+    for (value, mut sites) in by_salt {
+        sites.sort_by_key(|s| (s.0, s.2, s.3));
+        let distinct: HashSet<(usize, u32)> = sites.iter().map(|s| (s.0, s.2)).collect();
+        if distinct.len() < 2 {
+            continue;
+        }
+        for (i, (ai, callee, line, col)) in sites.iter().enumerate() {
+            let Some((oa, _, oline, _)) = sites
+                .iter()
+                .enumerate()
+                .find(|(j, s)| *j != i && (s.0, s.2) != (*ai, *line))
+                .map(|(_, s)| s)
+            else {
+                continue;
+            };
+            extra[*ai].push(Finding {
+                rule: "salt-collision",
+                file: analyses[*ai].path.clone(),
+                line: *line,
+                col: *col,
                 message: format!(
-                    "allow({}) suppressed no finding on line {}",
-                    a.rules.join(", "),
-                    a.target_line
+                    "literal salt {value:#x} in `{callee}` is also used at {}:{oline}",
+                    analyses[*oa].path
                 ),
-                hint: rule_info("unused-allow").map_or("", |r| r.fix_hint),
+                hint: rule_info("salt-collision").map_or("", |r| r.fix_hint),
             });
         }
     }
-    report.findings.extend(meta);
-    report
-        .findings
-        .sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
-    report
+
+    // --- Repo invariants: route file-anchored findings to their file so
+    // suppressions apply; the rest (data-file anchors) become orphans. ---
+    let mut orphans: Vec<Finding> = Vec::new();
+    if let Some(repo) = repo {
+        let impls: Vec<(String, facts::EngineImplSite)> = analyses
+            .iter()
+            .flat_map(|a| {
+                a.facts.engine_impls.iter().map(|e| {
+                    (
+                        a.path.clone(),
+                        facts::EngineImplSite {
+                            type_name: e.type_name.clone(),
+                            site: e.site,
+                        },
+                    )
+                })
+            })
+            .collect();
+        for f in repo.check(&impls) {
+            match analyses.iter().position(|a| a.path == f.file) {
+                Some(ai) => extra[ai].push(f),
+                None => orphans.push(f),
+            }
+        }
+    }
+
+    // --- Suppression + assembly, per file in input order. ---
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut suppressed = 0usize;
+    for (ai, a) in analyses.iter_mut().enumerate() {
+        let mut block: Vec<Finding> = Vec::new();
+        for f in a.raw.drain(..).chain(extra[ai].drain(..)) {
+            let hit = a
+                .allows
+                .iter_mut()
+                .find(|al| al.target_line == f.line && al.rules.iter().any(|r| r == f.rule));
+            match hit {
+                Some(al) => {
+                    al.used = true;
+                    suppressed += 1;
+                }
+                None => block.push(f),
+            }
+        }
+        block.append(&mut a.meta);
+        for al in &a.allows {
+            if !al.used {
+                block.push(Finding {
+                    rule: "unused-allow",
+                    file: a.path.clone(),
+                    line: al.comment_line,
+                    col: al.col,
+                    message: format!(
+                        "allow({}) suppressed no finding on line {}",
+                        al.rules.join(", "),
+                        al.target_line
+                    ),
+                    hint: rule_info("unused-allow").map_or("", |r| r.fix_hint),
+                });
+            }
+        }
+        block.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+        findings.append(&mut block);
+    }
+    orphans.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
+    });
+    findings.append(&mut orphans);
+    (findings, suppressed)
+}
+
+/// Lints one file's source in isolation (no repo invariants; the call
+/// graph sees only this file). `path` is the display path, `crate_name`
+/// the component after `crates/` ("" for repo-level tests), `testish` the
+/// path-level test exemption.
+pub fn lint_source(path: &str, src: &str, crate_name: &str, testish: bool) -> FileReport {
+    let a = analyze_source(path, src, crate_name, testish);
+    let (findings, suppressed) = resolve(vec![a], None);
+    FileReport {
+        findings,
+        suppressed,
+    }
 }
 
 /// Parses every `rbb-lint:` comment; returns valid allows and malformed-
@@ -507,7 +912,7 @@ fn parse_allows(ctx: &Ctx) -> (Vec<Allow>, Vec<Finding>) {
                     bad = true;
                     break;
                 }
-                if name == "malformed-allow" || name == "unused-allow" {
+                if !rule_info(name).is_some_and(|r| r.suppressible()) {
                     fail(format!("rule `{name}` cannot be suppressed"), &mut meta);
                     bad = true;
                     break;
@@ -1069,121 +1474,37 @@ fn rule_panic(ctx: &Ctx, out: &mut Vec<Finding>) {
     }
 }
 
-/// R6: pub fns that consume an RNG must document their stream contract.
-fn rule_rng_doc(ctx: &Ctx, out: &mut Vec<Finding>) {
-    let n = ctx.code.len();
-    for i in 0..n {
-        if ctx.s(i) != "pub" {
+/// R6 (v2): pub fns with an RNG parameter must document their stream
+/// contract. Structure-based successor of PR 6's token-level `rng-doc` —
+/// the signature facts come from the structurizer, so `fn` pointer types,
+/// generic bounds, and attribute noise no longer confuse the match.
+fn rule_undocumented_stream(ctx: &Ctx, root: &structure::Node, out: &mut Vec<Finding>) {
+    let mut stack: Vec<&structure::Node> = vec![root];
+    while let Some(node) = stack.pop() {
+        stack.extend(node.children.iter());
+        let NodeKind::Fn(sig) = &node.kind else {
+            continue;
+        };
+        if !(sig.is_pub && sig.takes_rng && !sig.has_stream_doc) {
             continue;
         }
-        let tok = match ctx.t(i) {
-            Some(t) => *t,
-            None => continue,
+        let Some(&fi) = ctx.code.get(node.start) else {
+            continue;
         };
+        let tok = ctx.toks[fi];
         if !ctx.active(&SCOPE_RESULT, tok.start) {
             continue;
         }
-        // pub [(crate|super|in …)] [const] [async] [unsafe] fn name [<…>] (
-        let mut j = i + 1;
-        if ctx.s(j) == "(" {
-            let mut d = 1i32;
-            j += 1;
-            while j < n && d > 0 {
-                match ctx.s(j) {
-                    "(" => d += 1,
-                    ")" => d -= 1,
-                    _ => {}
-                }
-                j += 1;
-            }
-        }
-        while matches!(ctx.s(j), "const" | "async" | "unsafe") {
-            j += 1;
-        }
-        if ctx.s(j) != "fn" {
-            continue;
-        }
-        let name = ctx.s(j + 1).to_string();
-        let mut k = j + 2;
-        if ctx.s(k) == "<" {
-            let mut d = 1i32;
-            k += 1;
-            while k < n && d > 0 {
-                match ctx.s(k) {
-                    "<" => d += 1,
-                    "<<" => d += 2,
-                    ">" => d -= 1,
-                    ">>" => d -= 2,
-                    _ => {}
-                }
-                k += 1;
-            }
-        }
-        if ctx.s(k) != "(" {
-            continue;
-        }
-        // Params: look for an RNG-typed argument.
-        let open = k;
-        let mut d = 1i32;
-        let mut takes_rng = false;
-        k += 1;
-        while k < n && d > 0 {
-            match ctx.s(k) {
-                "(" => d += 1,
-                ")" => d -= 1,
-                "Xoshiro256pp" | "SplitMix64" => takes_rng = true,
-                "rng" if ctx.s(k + 1) == ":" => takes_rng = true,
-                _ => {}
-            }
-            k += 1;
-        }
-        let _ = open;
-        if !takes_rng {
-            continue;
-        }
-        // Walk back over attributes and doc comments in the FULL stream.
-        let full_i = ctx.code[i];
-        let mut docs = String::new();
-        let mut fi = full_i;
-        while fi > 0 {
-            let prev = &ctx.toks[fi - 1];
-            match prev.kind {
-                TokKind::DocComment => {
-                    docs.push_str(prev.text(ctx.src));
-                    docs.push('\n');
-                    fi -= 1;
-                }
-                TokKind::Comment => fi -= 1,
-                TokKind::Punct if prev.text(ctx.src) == "]" => {
-                    // Skip back over one `#[…]` attribute group.
-                    let mut d = 1i32;
-                    let mut g = fi - 1;
-                    while g > 0 && d > 0 {
-                        g -= 1;
-                        match ctx.toks[g].text(ctx.src) {
-                            "]" => d += 1,
-                            "[" => d -= 1,
-                            _ => {}
-                        }
-                    }
-                    if g > 0 && ctx.toks[g - 1].text(ctx.src) == "#" {
-                        fi = g - 1;
-                    } else {
-                        break;
-                    }
-                }
-                _ => break,
-            }
-        }
-        if !docs.contains("# RNG stream") {
-            push(
-                out,
-                ctx,
-                "rng-doc",
-                &tok,
-                format!("pub fn `{name}` draws randomness but has no `# RNG stream` doc section"),
-            );
-        }
+        push(
+            out,
+            ctx,
+            "undocumented-stream",
+            &tok,
+            format!(
+                "pub fn `{}` takes an RNG but has no `# RNG stream` doc section",
+                sig.name
+            ),
+        );
     }
 }
 

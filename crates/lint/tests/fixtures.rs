@@ -6,7 +6,7 @@
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use rbb_lint::{lint_source, FileReport, RULES};
+use rbb_lint::{lint_source, FileReport, RuleFamily, RULES};
 
 fn fixtures_dir() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
@@ -26,9 +26,21 @@ fn lint_fixture(path: &Path) -> FileReport {
 /// be suppressed; they have no `suppressed.rs` fixture.
 const META_RULES: &[&str] = &["malformed-allow", "unused-allow"];
 
+/// Repo-family rules compare cross-file artifacts, so a single-file
+/// fixture cannot exercise them; they have mini-root trees under
+/// `tests/fixtures/repo/` driven by `tests/repo_rules.rs` instead.
+fn is_repo_rule(id: &str) -> bool {
+    RULES
+        .iter()
+        .any(|r| r.id == id && r.family() == RuleFamily::Repo)
+}
+
 #[test]
 fn every_rule_has_a_firing_hit_fixture() {
     for rule in RULES {
+        if is_repo_rule(rule.id) {
+            continue;
+        }
         let path = fixtures_dir().join(rule.id).join("hit.rs");
         assert!(path.is_file(), "missing fixture {path:?}");
         let report = lint_fixture(&path);
@@ -44,6 +56,9 @@ fn every_rule_has_a_firing_hit_fixture() {
 #[test]
 fn every_rule_has_a_silent_clean_fixture() {
     for rule in RULES {
+        if is_repo_rule(rule.id) {
+            continue;
+        }
         let path = fixtures_dir().join(rule.id).join("clean.rs");
         assert!(path.is_file(), "missing fixture {path:?}");
         let report = lint_fixture(&path);
@@ -63,6 +78,9 @@ fn every_rule_has_a_silent_clean_fixture() {
 #[test]
 fn every_suppressible_rule_has_a_suppressed_fixture() {
     for rule in RULES {
+        if is_repo_rule(rule.id) {
+            continue;
+        }
         let path = fixtures_dir().join(rule.id).join("suppressed.rs");
         if META_RULES.contains(&rule.id) {
             assert!(
@@ -109,7 +127,7 @@ fn meta_rules_cannot_be_suppressed() {
 fn no_fixture_directory_is_orphaned() {
     // Every `<rule>/` directory corresponds to a live rule, so renamed or
     // retired rules cannot leave stale fixtures behind.
-    let special = ["false_positives", "golden"];
+    let special = ["false_positives", "golden", "repo"];
     for entry in fs::read_dir(fixtures_dir()).unwrap() {
         let entry = entry.unwrap();
         if !entry.path().is_dir() {
@@ -128,7 +146,7 @@ fn no_fixture_directory_is_orphaned() {
 
 #[test]
 fn violations_inside_literals_and_comments_do_not_fire() {
-    for case in ["strings", "comments", "macros", "raw_strings"] {
+    for case in ["strings", "comments", "macros", "raw_strings", "cstrings"] {
         let path = fixtures_dir()
             .join("false_positives")
             .join(format!("{case}.rs"));

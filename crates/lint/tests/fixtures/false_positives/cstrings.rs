@@ -1,0 +1,20 @@
+#!/usr/bin/env cargo
+// The shebang above must lex as a comment, not as `#` `!` punctuation
+// that could glue onto the next item. C-string literals (Rust 1.77+)
+// must lex as strings end-to-end, so the violations spelled inside them
+// never fire.
+
+fn c_literals() -> usize {
+    let a = c"Xoshiro256pp::from_entropy()";
+    let b = c"HashMap::new() and Instant::now()";
+    let c = cr"1.0 - x.exp() inside a raw c-string";
+    let d = cr#"env::var("RBB_THREADS") with "quotes""#;
+    let e = b"SplitMix64::new(0) as bytes";
+    let f = br#"partial_cmp inside raw bytes"#;
+    a.to_bytes().len()
+        + b.to_bytes().len()
+        + c.len()
+        + d.len()
+        + e.len()
+        + f.len()
+}

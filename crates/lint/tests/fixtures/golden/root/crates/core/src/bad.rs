@@ -17,3 +17,19 @@ pub fn first(xs: &[u64]) -> u64 {
     // rbb-lint: allow(panic, reason = "constructor asserts non-empty")
     *xs.first().unwrap()
 }
+
+pub fn parallel_draw(rng: &mut Xoshiro256pp, n: u64) -> u64 {
+    (0..n).into_par_iter().map(|i| rng.next_u64() ^ i).sum()
+}
+
+pub fn racy_count(total: &Mutex<u64>, n: u64) {
+    (0..n).into_par_iter().for_each(|_i| {
+        *total.lock().unwrap_or_else(|e| e.into_inner()) += 1;
+    });
+}
+
+pub fn colliding_streams(seed: u64) -> (Xoshiro256pp, Xoshiro256pp) {
+    let topology = salted_rng(seed, 5);
+    let arrivals = salted_rng(seed, 0x5);
+    (topology, arrivals)
+}

@@ -1,0 +1,1 @@
+pub const SCHEMA_VERSION: u32 = 1;

@@ -1,0 +1,5 @@
+struct FooProcess;
+
+impl Engine for FooProcess {
+    fn round(&mut self) {}
+}

@@ -1,0 +1,1 @@
+fn matrix() { check::<FooProcess>(); }

@@ -1,0 +1,6 @@
+struct FooProcess;
+
+// rbb-lint: allow(engine-proptest, reason = "bit-compatibility is pinned by the dedicated conformance suite instead")
+impl Engine for FooProcess {
+    fn round(&mut self) {}
+}

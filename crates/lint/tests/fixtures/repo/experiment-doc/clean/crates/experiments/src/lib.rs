@@ -1,0 +1,4 @@
+fn registry() {
+    Experiment { id: "e01" };
+    Experiment { id: "e02" };
+}

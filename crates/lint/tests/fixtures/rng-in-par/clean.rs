@@ -1,0 +1,29 @@
+use rayon::prelude::*;
+
+/// Each task derives its own stream from the master seed, so the
+/// trajectory is independent of scheduling.
+fn per_task_stream(seed: u64, n: u64) -> u64 {
+    (0..n)
+        .into_par_iter()
+        .map(|i| {
+            let mut rng = salted_rng(seed, i);
+            rng.next_u64()
+        })
+        .sum()
+}
+
+fn make_stream(seed: u64, salt: u64) -> Xoshiro256pp {
+    salted_rng(seed, salt)
+}
+
+/// The sanctioned constructor is a callee; constructs* still sanctions
+/// the closure.
+fn per_task_stream_via_helper(seed: u64, n: u64) -> u64 {
+    (0..n)
+        .into_par_iter()
+        .map(|i| {
+            let mut rng = make_stream(seed, i);
+            rng.next_u64()
+        })
+        .sum()
+}

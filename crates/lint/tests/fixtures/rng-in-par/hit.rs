@@ -1,0 +1,20 @@
+use rayon::prelude::*;
+
+struct Shard {
+    rng: Xoshiro256pp,
+}
+
+/// Draws one value per task straight from a captured shard — the stream
+/// position each task sees depends on work-stealing order.
+fn direct_draw(w: &mut Shard, n: u64) -> u64 {
+    (0..n).into_par_iter().map(|i| w.rng.next_u64() ^ i).sum()
+}
+
+fn helper(rng: &mut Xoshiro256pp) -> u64 {
+    rng.next_u64()
+}
+
+/// The draw is one call deep; the call-graph pass still reaches it.
+fn transitive_draw(w: &mut Shard, n: u64) -> u64 {
+    (0..n).into_par_iter().map(|_i| helper(&mut w.rng)).sum()
+}

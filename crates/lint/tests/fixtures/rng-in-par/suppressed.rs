@@ -1,0 +1,21 @@
+use rayon::prelude::*;
+
+struct Shard {
+    rng: Xoshiro256pp,
+}
+
+fn draw_from(shard: &mut Shard) -> u64 {
+    shard.rng.next_u64()
+}
+
+fn pre_salted(shards: &mut [Mutex<Shard>], n: usize) -> u64 {
+    (0..n)
+        .into_par_iter()
+        .map(|s| {
+            // rbb-lint: allow(panic, unordered-merge, reason = "commutes: task s is the only locker of shard s, so no cross-task state merges")
+            let mut shard = shards[s].lock().expect("uncontended");
+            // rbb-lint: allow(rng-in-par, reason = "shard.rng was salted per shard at construction; tasks never share a stream")
+            draw_from(&mut shard)
+        })
+        .sum()
+}

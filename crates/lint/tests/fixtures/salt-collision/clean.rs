@@ -1,0 +1,13 @@
+/// Distinct salts per subsystem: independent streams.
+fn build(seed: u64) -> (Xoshiro256pp, Xoshiro256pp, Xoshiro256pp) {
+    let topology = salted_rng(seed, 0x2A);
+    let arrivals = salted_rng(seed, 43);
+    let faults = xor_salted_rng(seed, 44);
+    (topology, arrivals, faults)
+}
+
+/// Non-literal salts are out of scope for the collision check (the
+/// call-site value is not statically known).
+fn per_shard(seed: u64, shard: u64) -> Xoshiro256pp {
+    salted_rng(seed, shard)
+}

@@ -1,0 +1,7 @@
+/// Two subsystems salting the master seed with the same literal share a
+/// stream — the radix spelling does not save them.
+fn build(seed: u64) -> (Xoshiro256pp, Xoshiro256pp) {
+    let topology = salted_rng(seed, 0x2A);
+    let arrivals = salted_rng(seed, 42);
+    (topology, arrivals)
+}

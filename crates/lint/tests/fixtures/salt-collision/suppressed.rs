@@ -1,0 +1,9 @@
+/// A deliberate shared stream (coupling construction) carries an allow at
+/// both sites.
+fn coupled(seed: u64) -> (Xoshiro256pp, Xoshiro256pp) {
+    // rbb-lint: allow(salt-collision, reason = "coupling argument: both chains must consume the identical arrival stream")
+    let chain_a = salted_rng(seed, 9);
+    // rbb-lint: allow(salt-collision, reason = "coupling argument: both chains must consume the identical arrival stream")
+    let chain_b = salted_rng(seed, 9);
+    (chain_a, chain_b)
+}

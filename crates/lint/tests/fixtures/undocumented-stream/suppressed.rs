@@ -1,7 +1,7 @@
 use rbb_core::rng::Xoshiro256pp;
 
 /// Draws one sample.
-// rbb-lint: allow(rng-doc, reason = "private-by-convention helper documented at the call site")
+// rbb-lint: allow(undocumented-stream, reason = "private-by-convention helper documented at the call site")
 pub fn draw(rng: &mut Xoshiro256pp) -> u64 {
     rng.next_u64()
 }

@@ -1,0 +1,16 @@
+use rayon::prelude::*;
+
+/// Per-task values merged by the reduction — no shared state touched
+/// inside the closures.
+fn fold_after_join(n: u64) -> u64 {
+    (0..n).into_par_iter().map(|i| i * 2).sum()
+}
+
+/// Sequential mutation of a local is not a merge.
+fn sequential_total(n: u64) -> u64 {
+    let mut total = 0u64;
+    for i in 0..n {
+        total += i;
+    }
+    total
+}

@@ -1,0 +1,17 @@
+use rayon::prelude::*;
+
+/// Tasks race on one accumulator: the lock order (and, for floats, the
+/// sum) would depend on scheduling.
+fn racy_total(total: &Mutex<u64>, n: u64) {
+    (0..n).into_par_iter().for_each(|i| {
+        *total.lock().unwrap_or_else(|e| e.into_inner()) += i;
+    });
+}
+
+/// Atomic read-modify-write is just as order-dependent for non-commuting
+/// updates.
+fn racy_atomic(hits: &AtomicU64, n: u64) {
+    (0..n).into_par_iter().for_each(|_i| {
+        hits.fetch_add(1, Ordering::Relaxed);
+    });
+}

@@ -1,0 +1,9 @@
+use rayon::prelude::*;
+
+/// Saturating max commutes, so the merge order is immaterial.
+fn max_depth(deepest: &AtomicU64, n: u64) {
+    (0..n).into_par_iter().for_each(|i| {
+        // rbb-lint: allow(unordered-merge, reason = "commutes: fetch_max is order-independent — the final value is the max regardless of interleaving")
+        deepest.fetch_max(i, Ordering::Relaxed);
+    });
+}

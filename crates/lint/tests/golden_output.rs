@@ -76,7 +76,26 @@ fn list_rules_covers_every_rule() {
             "--list-rules is missing `{}`",
             rule.id
         );
+        assert!(
+            stdout.contains(rule.family().label()),
+            "--list-rules is missing family `{}`",
+            rule.family().label()
+        );
     }
+    check_golden("list_rules.txt", &stdout);
+}
+
+#[test]
+fn no_repo_still_reports_file_rules() {
+    let root = golden_dir().join("root");
+    let out = run(&["--root", root.to_str().unwrap(), "--no-repo"]);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "file-rule violations still exit 1"
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("rng-in-par"), "stdout: {stdout}");
 }
 
 #[test]

@@ -85,11 +85,31 @@ fn every_workspace_file_roundtrips() {
 }
 
 /// Characters chosen to hit every tricky lexer path: string/char/raw-string
-/// delimiters, comment openers, prefixes, escapes, multibyte text.
+/// delimiters, comment openers, prefixes (`c` covers c-string literals and
+/// the `cr` raw variant), escapes, multibyte text.
 const ALPHABET: &[char] = &[
-    '"', '\'', '#', 'r', 'b', '/', '*', '\\', '\n', ' ', 'x', '0', '1', '.', '_', '!', '<', '>',
-    '=', '(', ')', '{', '}', 'é', '→', 'λ',
+    '"', '\'', '#', 'r', 'b', 'c', '/', '*', '\\', '\n', ' ', 'x', '0', '1', '.', '_', '!', '<',
+    '>', '=', '(', ')', '{', '}', 'é', '→', 'λ',
 ];
+
+/// Regression pins for the PR 8 lexer fixes: c-string literals in all
+/// spellings and a leading shebang, each of which previously fractured
+/// into punct-plus-ident tokens.
+#[test]
+fn c_strings_and_shebang_roundtrip() {
+    for src in [
+        "let a = c\"text\";",
+        "let b = cr\"raw\";",
+        "let c = cr#\"raw \" inner\"#;",
+        "let d = cr##\"nested \"# still\"##;",
+        "#!/usr/bin/env cargo\nfn main() {}",
+        "#!/usr/bin/env cargo\n// comment\nc\"both fixes in one file\";",
+    ] {
+        assert_roundtrip(src, src);
+    }
+    // A shebang-lookalike inner attribute must still lex as punctuation.
+    assert_roundtrip("#![forbid(unsafe_code)]", "inner attribute");
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(512))]

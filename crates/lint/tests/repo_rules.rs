@@ -1,0 +1,105 @@
+//! Repo-invariant (`--repo` family) rules over committed mini-root trees
+//! under `tests/fixtures/repo/<rule>/{hit,clean}/`: each hit tree skews
+//! exactly one artifact pair, each clean tree keeps it in sync. These
+//! rules compare files across the workspace, so the single-file fixture
+//! corpus in `fixtures.rs` cannot cover them.
+
+use std::path::{Path, PathBuf};
+
+use rbb_lint::{lint_root, lint_root_opts, Finding};
+
+fn repo_root(rule: &str, case: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/repo")
+        .join(rule)
+        .join(case)
+}
+
+fn findings(rule: &str, case: &str) -> Vec<Finding> {
+    let (findings, _) = lint_root(&repo_root(rule, case)).expect("lint mini-root");
+    findings
+}
+
+fn assert_only(rule: &str, got: &[Finding]) {
+    assert!(
+        got.iter().all(|f| f.rule == rule),
+        "expected only `{rule}` findings, got {:?}",
+        got.iter()
+            .map(|f| (f.rule, f.file.as_str()))
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn spec_golden_fires_both_directions_and_stays_quiet_in_sync() {
+    let hit = findings("spec-golden", "hit");
+    assert_only("spec-golden", &hit);
+    let files: Vec<&str> = hit.iter().map(|f| f.file.as_str()).collect();
+    assert!(
+        files.contains(&"specs/alpha.json"),
+        "spec without golden must be flagged at the spec: {files:?}"
+    );
+    assert!(
+        files.contains(&"crates/cli/tests/golden/beta.stdout"),
+        "orphan golden must be flagged at the golden: {files:?}"
+    );
+    assert!(findings("spec-golden", "clean").is_empty());
+}
+
+#[test]
+fn experiment_doc_fires_per_missing_id_and_stays_quiet_when_documented() {
+    let hit = findings("experiment-doc", "hit");
+    assert_only("experiment-doc", &hit);
+    assert_eq!(hit.len(), 1, "only e02 is undocumented: {hit:?}");
+    assert!(hit[0].message.contains("e02"));
+    assert_eq!(hit[0].file, "crates/experiments/src/lib.rs");
+    assert!(findings("experiment-doc", "clean").is_empty());
+}
+
+#[test]
+fn engine_proptest_fires_at_the_impl_site_and_stays_quiet_when_listed() {
+    let hit = findings("engine-proptest", "hit");
+    assert_only("engine-proptest", &hit);
+    assert_eq!(hit.len(), 1, "{hit:?}");
+    assert_eq!(hit[0].file, "crates/core/src/engine.rs");
+    assert!(hit[0].message.contains("FooProcess"));
+    assert!(findings("engine-proptest", "clean").is_empty());
+}
+
+#[test]
+fn engine_proptest_findings_route_through_suppression() {
+    // The finding anchors in a linted .rs file, so a reasoned allow on the
+    // impl line suppresses it like any code-anchored finding.
+    let (findings, stats) =
+        lint_root(&repo_root("engine-proptest", "suppressed")).expect("lint mini-root");
+    assert!(
+        findings.is_empty(),
+        "allow on the impl line must suppress: {findings:?}"
+    );
+    assert_eq!(stats.suppressed, 1);
+}
+
+#[test]
+fn bench_schema_fires_on_skew_and_stays_quiet_on_match() {
+    let hit = findings("bench-schema", "hit");
+    assert_only("bench-schema", &hit);
+    assert_eq!(hit.len(), 1, "{hit:?}");
+    assert_eq!(hit[0].file, "crates/bench/src/lib.rs");
+    assert!(findings("bench-schema", "clean").is_empty());
+}
+
+#[test]
+fn no_repo_flag_disables_the_family() {
+    for rule in [
+        "spec-golden",
+        "experiment-doc",
+        "engine-proptest",
+        "bench-schema",
+    ] {
+        let (findings, _) = lint_root_opts(&repo_root(rule, "hit"), false).expect("lint mini-root");
+        assert!(
+            findings.is_empty(),
+            "`{rule}` hit tree must be quiet without repo checks: {findings:?}"
+        );
+    }
+}

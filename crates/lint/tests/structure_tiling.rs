@@ -1,0 +1,127 @@
+//! Structurizer tiling property: on every `.rs` file in the workspace —
+//! vendored stubs and the deliberately nasty lint fixtures included — the
+//! node tree produced by `structurize` owns every code token exactly once
+//! (children tile their parent's range, sibling ranges are disjoint and
+//! ordered, nothing is dropped). A fuzz pass extends the invariant, plus
+//! "never panics", to adversarial brace/pipe/keyword soup, which is where
+//! closure-versus-bitor disambiguation and unbalanced delimiters live.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use proptest::prelude::*;
+use rbb_lint::structure::{structurize, validate_tiling};
+
+fn assert_tiles(src: &str, origin: &str) {
+    let s = structurize(src);
+    validate_tiling(&s.root, s.code.len())
+        .unwrap_or_else(|e| panic!("{origin}: tiling violated: {e}"));
+}
+
+/// Collects every `.rs` under `dir`, skipping only build output and VCS
+/// internals — vendor/ and the lint fixtures are deliberately included.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if name != "target" && name != ".git" {
+                collect_rs(&path, out);
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[test]
+fn every_workspace_file_tiles() {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = rbb_lint::find_root(manifest).expect("workspace root");
+    let mut files = Vec::new();
+    collect_rs(&root, &mut files);
+    assert!(
+        files.len() > 100,
+        "suspiciously few files found under {root:?}: {}",
+        files.len()
+    );
+    for path in &files {
+        let src = fs::read_to_string(path).unwrap();
+        assert_tiles(&src, &path.display().to_string());
+    }
+}
+
+/// Tokens chosen to stress the structurizer: item keywords, closure pipes
+/// versus bit-or, generics angles versus comparisons, every delimiter
+/// (balanced or not), parallel-iterator method names, and string/comment
+/// openers so node boundaries land next to non-code tokens.
+const SOUP: &[&str] = &[
+    "fn",
+    "mod",
+    "impl",
+    "trait",
+    "for",
+    "move",
+    "return",
+    "match",
+    "else",
+    "in",
+    "let",
+    "pub",
+    "f",
+    "x",
+    "Rng",
+    "rng",
+    "into_par_iter",
+    "map",
+    "spawn",
+    "|",
+    "||",
+    "&",
+    "&&",
+    ":",
+    "::",
+    ",",
+    ";",
+    "->",
+    "=>",
+    "<",
+    ">",
+    "<<",
+    ">>",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+    "#",
+    "!",
+    "=",
+    "0",
+    "1.0",
+    "\"s\"",
+    "'a",
+    "// c\n",
+    "/* b */",
+    ".",
+    "?",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// `structurize` is infallible and tiling-sound on arbitrary token soup.
+    #[test]
+    fn fuzzed_soup_tiles(picks in proptest::collection::vec(any::<u8>(), 0..120)) {
+        let src: String = picks
+            .iter()
+            .flat_map(|&b| [SOUP[b as usize % SOUP.len()], " "])
+            .collect();
+        assert_tiles(&src, "fuzz");
+    }
+}

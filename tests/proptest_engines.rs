@@ -14,6 +14,23 @@ use proptest::prelude::*;
 
 use rbb_sim::{ArrivalSpec, ScenarioSpec, StopSpec, StrategySpec, TopologySpec};
 
+/// Every `impl Engine` type the matrix below drives (indirectly, through
+/// `rbb_sim::build_engine`). rbb-lint's `engine-proptest` repo check
+/// cross-references the workspace's Engine impls against this file, so a
+/// new engine must be added both to [`engine_matrix`] and to this list.
+const COVERED_ENGINES: &[&str] = &[
+    "LoadProcess",
+    "SparseLoadProcess",
+    "ShardedLoadProcess",
+    "BallProcess",
+    "DChoiceProcess",
+    "Tetris",
+    "BatchedTetris",
+    "Traversal",
+    "GraphLoadProcess",
+    "GraphTokenProcess",
+];
+
 /// Every distinct engine family the factory serves, as spec fragments:
 /// `(label, arrival, strategy, topology, stop)`.
 type Combo = (
@@ -205,4 +222,15 @@ fn engine_matrix_pinned_seeds() {
             assert_paths_identical(&combo, 33, seed, 100);
         }
     }
+}
+
+/// The coverage list exists for rbb-lint's `engine-proptest`
+/// cross-reference; keep it duplicate-free so a stale or copy-pasted
+/// entry is noticed.
+#[test]
+fn covered_engines_list_has_no_duplicates() {
+    let mut names = COVERED_ENGINES.to_vec();
+    names.sort_unstable();
+    names.dedup();
+    assert_eq!(names.len(), COVERED_ENGINES.len());
 }
