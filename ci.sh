@@ -16,6 +16,8 @@
 #   build        release build, bench compile smoke, examples
 #   test         cargo test -q, engine-equivalence proptests, rbb-exp smoke
 #   specs        committed specs run; ensemble + sharded determinism diffs
+#   serve        rbb-serve daemon end to end: socket session, snapshot →
+#                restore → resume byte-diffed against an uninterrupted run
 #   conformance  theory-conformance suite at 1 and 4 threads (300s budget)
 #   bench        rbb-bench perf gates
 #
@@ -25,7 +27,7 @@ set -euo pipefail
 cd "$(dirname "$0")"
 
 usage() {
-    echo "usage: ./ci.sh [--stage fmt|lint|build|test|specs|conformance|bench]" >&2
+    echo "usage: ./ci.sh [--stage fmt|lint|build|test|specs|serve|conformance|bench]" >&2
     exit 2
 }
 
@@ -43,7 +45,7 @@ while [ $# -gt 0 ]; do
     shift
 done
 case "${STAGE}" in
-    all|fmt|lint|build|test|specs|conformance|bench) ;;
+    all|fmt|lint|build|test|specs|serve|conformance|bench) ;;
     *) echo "unknown stage '${STAGE}'" >&2; usage ;;
 esac
 
@@ -108,6 +110,14 @@ stage_test() {
     echo "==> engine equivalence proptests (sparse-vs-dense, sharded)"
     cargo test -q -p rbb --test proptest_sparse --test proptest_sharded
 
+    echo "==> snapshot/restore round-trip proptests (dense, sparse, sharded)"
+    cargo test -q -p rbb --test proptest_snapshot
+
+    echo "==> RNG guard regression under the release profile"
+    # debug_assert! would vanish here — these tests pin that the bound and
+    # rate validations are hard asserts that survive optimized builds.
+    cargo test -q --release -p rbb-core --lib rng::
+
     echo "==> rbb-exp --quick smoke (spec/ensemble-migrated set + e24-e26)"
     cargo run -q --release --bin rbb-exp -- --quick --no-write e01 e05 e09 e12 e13 e14 e16 e24 e25 e26 >/dev/null
 
@@ -152,6 +162,93 @@ stage_specs() {
     fi
 }
 
+stage_serve() {
+    # End-to-end daemon gate, per engine: (1) an uninterrupted stdio session
+    # answers prefix+suffix requests; (2) session A on a Unix socket answers
+    # the prefix and writes a snapshot; (3) a fresh daemon B restores the
+    # snapshot and answers the suffix. The suffix draws plenty of RNG
+    # (placements + whole rounds), so any drift in the restored stream state
+    # breaks the byte-diffs below.
+    echo "==> rbb-serve end to end: snapshot -> restore -> resume byte-diff"
+    cargo build -q --release -p rbb-serve
+    local bin=target/release/rbb-serve
+    local dir=target/serve-stage
+    rm -rf "${dir}"
+    mkdir -p "${dir}"
+
+    cat > "${dir}/prefix.req" <<'EOF'
+{"op":"place"}
+{"op":"step","rounds":40}
+{"op":"place","count":5}
+{"op":"query"}
+{"op":"depart","bin":0}
+EOF
+    cat > "${dir}/suffix.req" <<'EOF'
+{"op":"place"}
+{"op":"step","rounds":25}
+{"op":"place","count":7}
+{"op":"query"}
+{"op":"place"}
+EOF
+
+    local engine sock daemon
+    for engine in dense sparse sharded; do
+        local shard_args=()
+        if [ "${engine}" = sharded ]; then
+            shard_args=(--shards 4)
+        fi
+
+        echo "--> ${engine}: uninterrupted reference session (stdio)"
+        cat "${dir}/prefix.req" "${dir}/suffix.req" \
+            | "${bin}" --stdio --spec specs/serve-session.json --engine "${engine}" \
+                  ${shard_args[@]+"${shard_args[@]}"} \
+            > "${dir}/${engine}-full.out"
+
+        echo "--> ${engine}: session A on a Unix socket, checkpoint, clean shutdown"
+        sock="${dir}/${engine}.sock"
+        "${bin}" --socket "${sock}" --spec specs/serve-session.json --engine "${engine}" \
+            ${shard_args[@]+"${shard_args[@]}"} &
+        daemon=$!
+        for _ in $(seq 100); do
+            [ -S "${sock}" ] && break
+            sleep 0.1
+        done
+        [ -S "${sock}" ] || { echo "ERROR: ${engine} daemon socket never appeared" >&2; exit 1; }
+        { cat "${dir}/prefix.req"
+          echo "{\"op\":\"snapshot\",\"path\":\"${dir}/${engine}.snap\"}"
+          echo '{"op":"shutdown"}'
+        } | "${bin}" --connect "${sock}" > "${dir}/${engine}-a.out"
+        wait "${daemon}" || { echo "ERROR: ${engine} daemon exited non-zero" >&2; exit 1; }
+
+        echo "--> ${engine}: session B restores the checkpoint and resumes"
+        # Deliberately started on a tiny default engine: restore must replace
+        # it wholesale with the checkpointed ${engine} state.
+        { echo "{\"op\":\"restore\",\"path\":\"${dir}/${engine}.snap\"}"
+          cat "${dir}/suffix.req"
+          echo '{"op":"shutdown"}'
+        } | "${bin}" --stdio --n 8 --seed 999 > "${dir}/${engine}-b.out"
+
+        # Prefix responses: uninterrupted run vs session A, byte-identical.
+        if ! diff <(head -n 5 "${dir}/${engine}-full.out") \
+                  <(head -n 5 "${dir}/${engine}-a.out") >/dev/null; then
+            echo "ERROR: ${engine} prefix responses diverged (full vs session A)" >&2
+            diff <(head -n 5 "${dir}/${engine}-full.out") \
+                 <(head -n 5 "${dir}/${engine}-a.out") >&2 || true
+            exit 1
+        fi
+        # Suffix responses: uninterrupted run vs restored session B (B's
+        # line 1 is the restore ack, line 7 the shutdown ack).
+        if ! diff <(tail -n 5 "${dir}/${engine}-full.out") \
+                  <(sed -n '2,6p' "${dir}/${engine}-b.out") >/dev/null; then
+            echo "ERROR: ${engine} resumed responses diverged (full vs session B)" >&2
+            diff <(tail -n 5 "${dir}/${engine}-full.out") \
+                 <(sed -n '2,6p' "${dir}/${engine}-b.out") >&2 || true
+            exit 1
+        fi
+        echo "    ${engine}: snapshot -> restore -> resume is byte-identical"
+    done
+}
+
 stage_conformance() {
     echo "==> theory-conformance suite (named group, wall-clock budget 300s)"
     local started=${SECONDS}
@@ -185,6 +282,7 @@ run_stage lint
 run_stage build
 run_stage test
 run_stage specs
+run_stage serve
 run_stage conformance
 run_stage bench
 

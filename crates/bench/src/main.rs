@@ -25,6 +25,7 @@ use rbb_core::rng::Xoshiro256pp;
 use rbb_core::strategy::QueueStrategy;
 use rbb_core::tetris::Tetris;
 use rbb_graphs::{complete, ring, RandomWalk};
+use rbb_serve::{MockClock, Session};
 use rbb_sim::{
     sweep_par_seeded, EngineSpec, EnsembleSpec, MetricKind, MetricSpec, ScenarioSpec, SeedTree,
     StartSpec,
@@ -69,6 +70,10 @@ struct Profile {
     ens_n: usize,
     ens_reps: usize,
     ens_rounds: u64,
+    /// Serve target: `serve_places` hot-path placements per timed iteration
+    /// through a daemon session at `serve_n` bins.
+    serve_n: usize,
+    serve_places: u64,
     warmup: usize,
     reps: usize,
 }
@@ -95,6 +100,8 @@ const FULL: Profile = Profile {
     ens_n: 512,
     ens_reps: 32,
     ens_rounds: 500,
+    serve_n: 4096,
+    serve_places: 200_000,
     warmup: 3,
     reps: 15,
 };
@@ -121,6 +128,8 @@ const QUICK: Profile = Profile {
     ens_n: 128,
     ens_reps: 8,
     ens_rounds: 100,
+    serve_n: 1024,
+    serve_places: 50_000,
     warmup: 1,
     reps: 5,
 };
@@ -157,6 +166,7 @@ fn registry(p: &Profile, seed: u64) -> Vec<Bench> {
     let (sharded_n, sharded_shards, sharded_rounds) =
         (p.sharded_n, p.sharded_shards, p.sharded_rounds);
     let (ens_n, ens_reps, ens_rounds) = (p.ens_n, p.ens_reps, p.ens_rounds);
+    let (serve_n, serve_places) = (p.serve_n, p.serve_places);
 
     let ball_fixture = move |seed: u64| {
         BallProcess::new(
@@ -469,6 +479,31 @@ fn registry(p: &Profile, seed: u64) -> Vec<Bench> {
                 Box::new(move || {
                     let report = spec.run().expect("valid ensemble");
                     std::hint::black_box(report);
+                })
+            }),
+        ),
+        mk(
+            // The rbb-serve hot path end to end: request parse (fast path)
+            // → engine placement → response render, on one core with the
+            // deterministic mock clock. The ISSUE gate wants ≥ 10^6
+            // placements/s here.
+            Spec::new(
+                "serve/place",
+                "serve",
+                serve_n as u64,
+                serve_places,
+                "placements",
+            ),
+            Box::new(move || {
+                let mut session = Session::new(
+                    Box::new(LoadProcess::legitimate_start(serve_n, seed)),
+                    Box::new(MockClock::new(25)),
+                );
+                Box::new(move || {
+                    for _ in 0..serve_places {
+                        let resp = session.handle_line("{\"op\":\"place\"}");
+                        std::hint::black_box(&resp);
+                    }
                 })
             }),
         ),

@@ -182,6 +182,11 @@ pub fn ensemble(args: &Args) -> Result<(), ParseError> {
         spec.replications = seeds
             .parse()
             .map_err(|_| ParseError(format!("--seeds: cannot parse '{seeds}'")))?;
+        if spec.replications == 0 {
+            return Err(ParseError(
+                "--seeds must be at least 1: an ensemble with zero replications has no trials to report".into(),
+            ));
+        }
     }
     if let Some(master) = args.get("master-seed") {
         spec.master_seed = master
@@ -408,5 +413,21 @@ mod tests {
     fn exact_runs_and_validates_bound() {
         exact(&args("exact --n 3")).unwrap();
         assert!(exact(&args("exact --n 9")).is_err());
+    }
+
+    #[test]
+    fn ensemble_rejects_zero_seeds() {
+        // A committed spec with --seeds 0 must fail fast at flag validation
+        // (not deep inside the runner) with a message naming the flag.
+        let err = ensemble(&args(
+            "ensemble --spec ../../specs/ensemble-stability.json --seeds 0",
+        ))
+        .unwrap_err();
+        assert!(err.0.contains("--seeds must be at least 1"), "{}", err.0);
+        let unparsable = ensemble(&args(
+            "ensemble --spec ../../specs/ensemble-stability.json --seeds nope",
+        ))
+        .unwrap_err();
+        assert!(unparsable.0.contains("--seeds"), "{}", unparsable.0);
     }
 }

@@ -28,6 +28,7 @@
 
 use crate::config::Config;
 use crate::metrics::RoundObserver;
+use crate::snapshot::SnapshotState;
 
 /// A round-synchronous simulation engine over a load configuration.
 ///
@@ -135,6 +136,44 @@ pub trait Engine {
         let _ = placement;
         // rbb-lint: allow(panic, reason = "guarded by supports_faults(); the scenario factory rejects faulty specs for engines without support")
         panic!("this engine does not support adversarial reassignment");
+    }
+
+    /// Whether the incremental allocation surface
+    /// ([`place`](Engine::place) / [`depart`](Engine::depart)) is supported.
+    /// Only the load engines (dense, sparse, sharded) implement it; engines
+    /// whose state is not a plain load vector (ball identities, Tetris
+    /// non-conservation) report `false` and `rbb-serve` rejects allocation
+    /// requests against them.
+    fn supports_incremental(&self) -> bool {
+        false
+    }
+
+    /// Places one **new** ball into a bin chosen uniformly at random from
+    /// the engine's own RNG stream (the sharded engine draws from shard 0's
+    /// stream), between rounds; returns the chosen bin and grows the ball
+    /// count by one. Panics if unsupported
+    /// ([`supports_incremental`](Engine::supports_incremental) is the guard)
+    /// or if the ball count would overflow the `u32` load bound.
+    fn place(&mut self) -> usize {
+        // rbb-lint: allow(panic, reason = "guarded by supports_incremental(); rbb-serve rejects allocation requests for engines without support")
+        panic!("this engine does not support incremental placement");
+    }
+
+    /// Removes one ball from `bin`, between rounds; returns `false` (a
+    /// no-op) if the bin is empty or out of range. Panics if unsupported
+    /// ([`supports_incremental`](Engine::supports_incremental) is the
+    /// guard).
+    fn depart(&mut self, bin: usize) -> bool {
+        let _ = bin;
+        // rbb-lint: allow(panic, reason = "guarded by supports_incremental(); rbb-serve rejects allocation requests for engines without support")
+        panic!("this engine does not support incremental departure");
+    }
+
+    /// The engine's bit-exact resumable state (loads + RNG stream states +
+    /// round counter), for engines that support serialized snapshots — see
+    /// [`crate::snapshot`]. `None` for engines without snapshot support.
+    fn snapshot(&self) -> Option<SnapshotState> {
+        None
     }
 
     /// Coverage progress for engines that track a visited-set goal
@@ -266,6 +305,21 @@ mod tests {
             t.apply_fault(&[0; 8]);
         }));
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn incremental_and_snapshot_defaults_are_gated() {
+        let mut t = Tetris::new(Config::one_per_bin(8), Xoshiro256pp::seed_from(5));
+        assert!(!Engine::supports_incremental(&t));
+        assert!(Engine::snapshot(&t).is_none());
+        let place = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            t.place();
+        }));
+        assert!(place.is_err(), "default place must panic");
+        let depart = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            t.depart(0);
+        }));
+        assert!(depart.is_err(), "default depart must panic");
     }
 
     #[test]

@@ -41,6 +41,9 @@
 //!   per-bin arrival series (the Appendix-B variables at scale), busy-period
 //!   decomposition (the Lemma-6 phase structure), and exact/empirical
 //!   mixing measurements.
+//! * [`snapshot`] — serializable bit-exact engine snapshots (loads + RNG
+//!   stream states + round counter) with validated restore, for the three
+//!   load engines.
 //! * [`exact`] — exact finite-chain analysis for small `n` (ground truth for
 //!   the engines) and the Appendix-B counterexample.
 //! * [`rng`] / [`sampling`] — deterministic PRNG and exact samplers.
@@ -81,6 +84,7 @@ pub mod process;
 pub mod rng;
 pub mod sampling;
 pub mod sharded;
+pub mod snapshot;
 pub mod sparse;
 pub mod strategy;
 pub mod tetris;
@@ -103,6 +107,7 @@ pub mod prelude {
     pub use crate::process::LoadProcess;
     pub use crate::rng::{SplitMix64, Xoshiro256pp};
     pub use crate::sharded::ShardedLoadProcess;
+    pub use crate::snapshot::{SnapshotError, SnapshotState};
     pub use crate::sparse::SparseLoadProcess;
     pub use crate::strategy::QueueStrategy;
     pub use crate::tetris::{BatchedTetris, Tetris};

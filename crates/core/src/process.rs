@@ -21,6 +21,7 @@ use crate::rng::Xoshiro256pp;
 use crate::sampling::{
     throw_uniform, throw_uniform_batched, throw_uniform_recording, UniformSampler,
 };
+use crate::snapshot::{SnapshotError, SnapshotState, ENGINE_DENSE, SNAPSHOT_VERSION};
 
 /// Load-only repeated balls-into-bins simulator.
 ///
@@ -87,7 +88,8 @@ impl LoadProcess {
         self.config.n()
     }
 
-    /// Total ball count (invariant across rounds).
+    /// Total ball count (rounds conserve it; the incremental
+    /// [`Engine::place`]/[`Engine::depart`] surface changes it).
     #[inline]
     pub fn balls(&self) -> u64 {
         self.balls
@@ -181,6 +183,48 @@ impl LoadProcess {
         );
         self.config = new_config;
     }
+
+    /// Captures the complete resumable state — loads, raw RNG stream state,
+    /// round and ball counters. Restoring through [`Self::from_snapshot`]
+    /// resumes the trajectory bit-identically.
+    pub fn snapshot_state(&self) -> SnapshotState {
+        let entries = self
+            .config
+            .loads()
+            .iter()
+            .enumerate()
+            .filter(|&(_, &l)| l > 0)
+            // rbb-lint: allow(lossy-cast, reason = "enumerate index < n, and the constructors assert n fits the u32 index range")
+            .map(|(b, &l)| (b as u32, l))
+            .collect();
+        SnapshotState {
+            version: SNAPSHOT_VERSION,
+            engine: ENGINE_DENSE.to_string(),
+            n: self.config.n(),
+            shards: 1,
+            round: self.round,
+            balls: self.balls,
+            entries,
+            rng_states: vec![self.rng.state()],
+        }
+    }
+
+    /// Rebuilds a dense process from a snapshot (validated first); the
+    /// restored process resumes the snapshotted trajectory bit-identically.
+    pub fn from_snapshot(state: &SnapshotState) -> Result<Self, SnapshotError> {
+        state.validate()?;
+        if state.engine != ENGINE_DENSE {
+            return Err(SnapshotError(format!(
+                "expected a {ENGINE_DENSE} snapshot, got '{}'",
+                state.engine
+            )));
+        }
+        // rbb-lint: allow(rng-construct, reason = "restoring a serialized stream state captured from a live engine snapshot, not seeding a new stream")
+        let rng = Xoshiro256pp::from_state(state.rng_states[0]);
+        let mut p = Self::new(Config::from_loads(state.dense_loads()), rng);
+        p.round = state.round;
+        Ok(p)
+    }
 }
 
 /// The run family (`run`, `run_silent`, `run_until`) is provided by
@@ -202,6 +246,13 @@ impl Engine for LoadProcess {
         self.round
     }
 
+    /// The tracked counter, not the trait default's `O(n)` load sum — the
+    /// serve hot path reads this per placement.
+    #[inline]
+    fn balls(&self) -> u64 {
+        self.balls
+    }
+
     #[inline]
     fn config(&self) -> &Config {
         &self.config
@@ -215,6 +266,38 @@ impl Engine for LoadProcess {
     /// vector (ball identities are irrelevant to the load-only engine).
     fn apply_fault(&mut self, placement: &[usize]) {
         self.adversarial_reassign(placement_to_config(self.n(), placement));
+    }
+
+    fn supports_incremental(&self) -> bool {
+        true
+    }
+
+    /// Incremental arrival: one uniform destination draw from the engine
+    /// stream, exactly the per-ball primitive a round uses.
+    fn place(&mut self) -> usize {
+        assert!(
+            self.balls < u32::MAX as u64,
+            "place would overflow the u32 load bound"
+        );
+        let b = self.rng.uniform_usize(self.config.n());
+        self.config.loads_mut()[b] += 1;
+        self.balls += 1;
+        b
+    }
+
+    fn depart(&mut self, bin: usize) -> bool {
+        match self.config.loads_mut().get_mut(bin) {
+            Some(slot) if *slot > 0 => {
+                *slot -= 1;
+                self.balls -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn snapshot(&self) -> Option<SnapshotState> {
+        Some(self.snapshot_state())
     }
 }
 
@@ -442,6 +525,59 @@ mod tests {
         let mut p = LoadProcess::new(Config::all_in_one(64, 200), Xoshiro256pp::seed_from(25));
         p.run_silent(300);
         assert_eq!(p.config().total_balls(), 200);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bit_identically() {
+        let mut p = LoadProcess::legitimate_start(64, 33);
+        p.run_silent(37);
+        let snap = Engine::snapshot(&p).expect("dense engine snapshots");
+        let mut q = LoadProcess::from_snapshot(&snap).unwrap();
+        assert_eq!(q.round(), 37);
+        assert_eq!(q.config(), p.config());
+        for _ in 0..100 {
+            p.step();
+            q.step();
+        }
+        assert_eq!(p.config(), q.config());
+        assert_eq!(Engine::snapshot(&p), Engine::snapshot(&q));
+    }
+
+    #[test]
+    fn from_snapshot_rejects_other_kinds() {
+        let mut snap = LoadProcess::legitimate_start(8, 1).snapshot_state();
+        snap.engine = "sparse".to_string();
+        assert!(LoadProcess::from_snapshot(&snap).is_err());
+    }
+
+    #[test]
+    fn place_and_depart_update_loads_and_mass() {
+        let mut p = LoadProcess::legitimate_start(32, 44);
+        assert!(Engine::supports_incremental(&p));
+        let b = Engine::place(&mut p);
+        assert!(b < 32);
+        assert_eq!(p.balls(), 33);
+        assert_eq!(p.config().loads()[b], 2);
+        assert!(Engine::depart(&mut p, b));
+        assert_eq!(p.balls(), 32);
+        assert!(!Engine::depart(&mut p, 99), "out of range is a no-op");
+        assert!(Engine::depart(&mut p, 0));
+        assert!(!Engine::depart(&mut p, 0), "empty bin is a no-op");
+        assert_eq!(p.balls(), 31);
+        p.step();
+        assert_eq!(p.config().total_balls(), 31);
+    }
+
+    #[test]
+    fn place_consumes_the_engine_stream_deterministically() {
+        let mut a = LoadProcess::legitimate_start(64, 9);
+        let mut b = a.clone();
+        for _ in 0..20 {
+            assert_eq!(Engine::place(&mut a), Engine::place(&mut b));
+        }
+        a.run_silent(10);
+        b.run_silent(10);
+        assert_eq!(a.config(), b.config());
     }
 
     #[test]

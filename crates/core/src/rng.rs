@@ -84,6 +84,37 @@ impl Xoshiro256pp {
         Self::seed_from(sm2.next_u64())
     }
 
+    /// Returns the raw 256-bit generator state, for snapshot serialization.
+    ///
+    /// Pair with [`Self::from_state`]: a generator rebuilt from this value
+    /// continues the exact output stream, which is what makes engine
+    /// snapshot → restore → resume bit-identical to an uninterrupted run.
+    #[inline]
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from a state captured by [`Self::state`].
+    ///
+    /// This is a *resume* constructor, not a seeding path: use it only for
+    /// states previously captured from a live generator (snapshot restore).
+    /// Fresh streams must go through [`Self::seed_from`]/[`Self::stream`] so
+    /// seed derivation stays centralized.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the all-zero state — it is the generator's fixed point and
+    /// can never be observed via [`Self::state`] on a validly seeded
+    /// generator, so it always indicates a corrupted snapshot.
+    #[inline]
+    pub fn from_state(state: [u64; 4]) -> Self {
+        assert!(
+            state != [0, 0, 0, 0],
+            "from_state: the all-zero state is the xoshiro fixed point (corrupted snapshot?)"
+        );
+        Self { s: state }
+    }
+
     /// Returns the next raw 64-bit output.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
@@ -101,9 +132,19 @@ impl Xoshiro256pp {
 
     /// Uniform draw in `[0, bound)` using Lemire's multiply-shift rejection
     /// method (unbiased, usually a single multiplication).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`: the empty range has no uniform draw. This is
+    /// a hard guard (not `debug_assert!`) — in release builds the unguarded
+    /// arithmetic would silently return 0 from an empty range, and a
+    /// long-running service cannot afford that class of wrong answer.
     #[inline]
     pub fn next_below(&mut self, bound: u64) -> u64 {
-        debug_assert!(bound > 0, "next_below bound must be positive");
+        assert!(
+            bound > 0,
+            "next_below: bound must be positive (a uniform draw from an empty range is undefined)"
+        );
         let mut x = self.next_u64();
         let mut m = (x as u128).wrapping_mul(bound as u128);
         let mut lo = m as u64;
@@ -120,6 +161,11 @@ impl Xoshiro256pp {
     }
 
     /// Uniform index in `[0, n)` — the "choose a bin u.a.r." primitive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` (see [`Self::next_below`]); the guard holds in
+    /// release builds too.
     #[inline]
     pub fn uniform_usize(&mut self, n: usize) -> usize {
         self.next_below(n as u64) as usize
@@ -146,9 +192,19 @@ impl Xoshiro256pp {
     }
 
     /// Standard exponential variate with the given `rate` (inverse CDF).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `rate` is finite and strictly positive. This is a hard
+    /// guard (not `debug_assert!`): a non-positive or non-finite rate yields
+    /// `inf`/`NaN` samples in release builds, which then poison every
+    /// downstream mean silently instead of failing at the call site.
     #[inline]
     pub fn exponential(&mut self, rate: f64) -> f64 {
-        debug_assert!(rate > 0.0);
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "exponential: rate must be finite and positive, got {rate}"
+        );
         // 1 - U in (0, 1] avoids ln(0).
         // rbb-lint: allow(ln-complement, reason = "1 - next_f64() maps [0,1) onto (0,1] to dodge ln(0); committed bit-exact trajectories pin this exact expression, so the ln_1p form cannot be swapped in (see README numerical notes)")
         -(1.0 - self.next_f64()).ln() / rate
@@ -349,5 +405,85 @@ mod tests {
         // Must not be the all-zero fixed point (which would emit only 0).
         let outputs: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
         assert!(outputs.iter().any(|&x| x != 0));
+    }
+
+    // The zero-bound and bad-rate guards must hold in *release* builds too
+    // (they were debug_assert!s that silently produced 0 / inf / NaN under
+    // --release). ci.sh runs this module's tests under --release as well,
+    // so these should_panic tests pin the hard-guard behavior in both
+    // profiles.
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn next_below_zero_bound_panics_in_every_profile() {
+        let mut rng = Xoshiro256pp::seed_from(31);
+        let _ = rng.next_below(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn uniform_usize_zero_panics_in_every_profile() {
+        let mut rng = Xoshiro256pp::seed_from(31);
+        let _ = rng.uniform_usize(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be finite and positive")]
+    fn exponential_zero_rate_panics_in_every_profile() {
+        let mut rng = Xoshiro256pp::seed_from(37);
+        let _ = rng.exponential(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be finite and positive")]
+    fn exponential_negative_rate_panics_in_every_profile() {
+        let mut rng = Xoshiro256pp::seed_from(37);
+        let _ = rng.exponential(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be finite and positive")]
+    fn exponential_nan_rate_panics_in_every_profile() {
+        let mut rng = Xoshiro256pp::seed_from(37);
+        let _ = rng.exponential(f64::NAN);
+    }
+
+    #[test]
+    fn exponential_boundary_rates_stay_finite() {
+        // Valid-but-extreme rates. Samples are bounded by 53·ln 2 / rate
+        // (u = 1 - next_f64() is at least 2^-53), so any rate down to
+        // ~2.1e-307 keeps every sample finite and non-negative.
+        let mut rng = Xoshiro256pp::seed_from(41);
+        for rate in [1e-300, 1.0, 1e300, f64::MAX] {
+            for _ in 0..100 {
+                let x = rng.exponential(rate);
+                assert!(x.is_finite() && x >= 0.0, "rate {rate} gave {x}");
+            }
+        }
+        // Below that, overflow to +inf is the correct IEEE answer (the
+        // distribution's mean exceeds f64::MAX) — but never NaN or negative.
+        for _ in 0..100 {
+            let x = rng.exponential(f64::MIN_POSITIVE);
+            assert!(!x.is_nan() && x >= 0.0, "subnormal-boundary rate gave {x}");
+        }
+    }
+
+    #[test]
+    fn state_round_trip_resumes_the_stream() {
+        let mut a = Xoshiro256pp::seed_from(43);
+        for _ in 0..57 {
+            a.next_u64(); // advance off the seed point
+        }
+        let mut b = Xoshiro256pp::from_state(a.state());
+        assert_eq!(a, b);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "all-zero state")]
+    fn from_state_rejects_the_fixed_point() {
+        let _ = Xoshiro256pp::from_state([0; 4]);
     }
 }

@@ -56,6 +56,7 @@ use crate::config::Config;
 use crate::engine::Engine;
 use crate::rng::Xoshiro256pp;
 use crate::sampling::UniformSampler;
+use crate::snapshot::{SnapshotError, SnapshotState, ENGINE_SHARDED, SNAPSHOT_VERSION};
 
 /// Base salt of the per-shard RNG streams: shard `s ≥ 1` draws from
 /// `Xoshiro256pp::stream(seed, SHARD_STREAM_SALT + s)`. Shard 0 uses the
@@ -303,7 +304,8 @@ impl ShardedLoadProcess {
         self.n
     }
 
-    /// Total ball count (invariant across rounds).
+    /// Total ball count (rounds conserve it; the incremental
+    /// [`Engine::place`]/[`Engine::depart`] surface changes it).
     #[inline]
     pub fn balls(&self) -> u64 {
         self.balls
@@ -430,6 +432,55 @@ impl ShardedLoadProcess {
             .all(|s| s.nonempty == s.loads.iter().filter(|&&l| l > 0).count()));
         departures
     }
+
+    /// Captures the complete resumable state: the de-strided loads in
+    /// canonical (bin-sorted) order and every shard's raw RNG stream state,
+    /// in shard order. Outboxes and draw scratch are round-scoped and carry
+    /// no state across rounds, so they are not captured.
+    pub fn snapshot_state(&self) -> SnapshotState {
+        let mut entries = Vec::new();
+        for (s, shard) in self.shards.iter().enumerate() {
+            for (idx, &l) in shard.loads.iter().enumerate() {
+                if l > 0 {
+                    // rbb-lint: allow(lossy-cast, reason = "unroute yields a bin < n, and n fits the u32 index range (asserted at construction)")
+                    entries.push((self.router.unroute(s, idx) as u32, l));
+                }
+            }
+        }
+        entries.sort_unstable();
+        SnapshotState {
+            version: SNAPSHOT_VERSION,
+            engine: ENGINE_SHARDED.to_string(),
+            n: self.n,
+            shards: self.shard_count,
+            round: self.round,
+            balls: self.balls,
+            entries,
+            rng_states: self.shards.iter().map(|s| s.rng.state()).collect(),
+        }
+    }
+
+    /// Rebuilds a sharded process from a snapshot (validated first); the
+    /// restored process resumes the snapshotted trajectory bit-identically
+    /// at the snapshot's shard count.
+    pub fn from_snapshot(state: &SnapshotState) -> Result<Self, SnapshotError> {
+        state.validate()?;
+        if state.engine != ENGINE_SHARDED {
+            return Err(SnapshotError(format!(
+                "expected a {ENGINE_SHARDED} snapshot, got '{}'",
+                state.engine
+            )));
+        }
+        // The seed only feeds the freshly derived streams, which the loop
+        // below overwrites with the captured states.
+        let mut p = Self::new(Config::from_loads(state.dense_loads()), 0, state.shards);
+        for (shard, &captured) in p.shards.iter_mut().zip(&state.rng_states) {
+            // rbb-lint: allow(rng-construct, reason = "restoring serialized stream states captured from a live engine snapshot, not seeding new streams")
+            shard.rng = Xoshiro256pp::from_state(captured);
+        }
+        p.round = state.round;
+        Ok(p)
+    }
 }
 
 /// The RNG stream of shard `s` — see the module docs.
@@ -540,6 +591,52 @@ impl Engine for ShardedLoadProcess {
             *slot += 1;
         }
         self.dense.take();
+    }
+
+    fn supports_incremental(&self) -> bool {
+        true
+    }
+
+    /// Incremental arrival: one uniform destination draw from **shard 0's**
+    /// stream (the engine-convention stream, so at `shards = 1` this is
+    /// bit-compatible with the dense engine's `place`).
+    fn place(&mut self) -> usize {
+        assert!(
+            self.balls < u32::MAX as u64,
+            "place would overflow the u32 load bound"
+        );
+        let b = self.shards[0].rng.uniform_usize(self.n);
+        // rbb-lint: allow(lossy-cast, reason = "draws are < n, and n fits the u32 index range (asserted at construction)")
+        let (s, idx) = self.router.route(b as u32);
+        let shard = &mut self.shards[s];
+        let slot = &mut shard.loads[idx as usize];
+        shard.nonempty += (*slot == 0) as usize;
+        *slot += 1;
+        self.balls += 1;
+        self.dense.take();
+        b
+    }
+
+    fn depart(&mut self, bin: usize) -> bool {
+        if bin >= self.n {
+            return false;
+        }
+        // rbb-lint: allow(lossy-cast, reason = "bin < n, and n fits the u32 index range (asserted at construction)")
+        let (s, idx) = self.router.route(bin as u32);
+        let shard = &mut self.shards[s];
+        let slot = &mut shard.loads[idx as usize];
+        if *slot == 0 {
+            return false;
+        }
+        *slot -= 1;
+        shard.nonempty -= (*slot == 0) as usize;
+        self.balls -= 1;
+        self.dense.take();
+        true
+    }
+
+    fn snapshot(&self) -> Option<SnapshotState> {
+        Some(self.snapshot_state())
     }
 }
 
@@ -729,6 +826,58 @@ mod tests {
     #[should_panic(expected = "exceeds the bin count")]
     fn more_shards_than_bins_rejected() {
         let _ = ShardedLoadProcess::legitimate_start(4, 1, 5);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bit_identically_at_any_shard_count() {
+        for shards in [1usize, 3, 4] {
+            let mut p = ShardedLoadProcess::new(Config::all_in_one(96, 120), 27, shards);
+            p.run_silent(30);
+            let snap = Engine::snapshot(&p).expect("sharded engine snapshots");
+            assert_eq!(snap.rng_states.len(), shards);
+            assert!(
+                snap.entries.windows(2).all(|w| w[0].0 < w[1].0),
+                "entries must be in canonical bin order"
+            );
+            let mut q = ShardedLoadProcess::from_snapshot(&snap).unwrap();
+            assert_eq!(Engine::round(&q), 30);
+            for _ in 0..50 {
+                // Mixing the paths is fine: they are bit-identical.
+                p.step();
+                q.step_batched();
+            }
+            assert_eq!(Engine::config(&p), Engine::config(&q), "shards={shards}");
+            assert_eq!(Engine::snapshot(&p), Engine::snapshot(&q));
+        }
+    }
+
+    #[test]
+    fn place_and_depart_maintain_shard_counters() {
+        let mut p = ShardedLoadProcess::legitimate_start(60, 19, 7);
+        assert!(Engine::supports_incremental(&p));
+        let b = Engine::place(&mut p);
+        assert!(b < 60);
+        assert_eq!(p.balls(), 61);
+        assert_eq!(Engine::bin_load(&p, b), 2);
+        assert!(Engine::depart(&mut p, b));
+        assert!(Engine::depart(&mut p, b));
+        assert!(!Engine::depart(&mut p, b), "bin drained");
+        assert!(!Engine::depart(&mut p, 60), "out of range is a no-op");
+        assert_eq!(p.balls(), 59);
+        assert_eq!(Engine::nonempty_bins(&p), 59);
+        // Debug builds recount the incremental counters every round.
+        p.run_silent(20);
+        assert_eq!(p.balls(), 59);
+    }
+
+    #[test]
+    fn one_shard_place_matches_dense_place() {
+        let mut dense = LoadProcess::legitimate_start(64, 51);
+        let mut sharded = ShardedLoadProcess::legitimate_start(64, 51, 1);
+        for _ in 0..30 {
+            assert_eq!(Engine::place(&mut dense), Engine::place(&mut sharded));
+        }
+        assert_twins(dense, sharded, 40);
     }
 
     #[test]

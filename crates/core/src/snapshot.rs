@@ -1,0 +1,278 @@
+//! Bit-exact, serializable snapshots of engine state.
+//!
+//! A [`SnapshotState`] captures everything a load engine needs to resume a
+//! trajectory *exactly*: the occupied-bin loads, the raw 256-bit state of
+//! every RNG stream the engine owns, and the round/ball counters. Restoring
+//! through [`restore`] (or the per-engine `from_snapshot` constructors)
+//! yields an engine whose remaining trajectory is bit-identical to the
+//! uninterrupted run — the contract `tests/proptest_snapshot.rs` and the
+//! `ci.sh` serve stage pin for the dense, sparse, and sharded engines.
+//!
+//! Scratch buffers (destination batches, shard outboxes) and derived caches
+//! (dense-view memos, the Lemire sampler) are deliberately **not** part of
+//! the state: they never influence the trajectory and are rebuilt from `n`
+//! on restore.
+//!
+//! The struct serializes through the workspace serde stub, so a snapshot
+//! renders as a single JSON object — the wire format `rbb-serve` uses for
+//! its `snapshot`/`restore` requests and checkpoint files.
+
+use serde::{Deserialize, Serialize};
+
+use crate::engine::Engine;
+use crate::process::LoadProcess;
+use crate::sharded::ShardedLoadProcess;
+use crate::sparse::SparseLoadProcess;
+
+/// Version tag carried by every serialized snapshot. Bump in lockstep with
+/// any change to the field layout or its meaning.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Engine-kind tag of [`LoadProcess`] snapshots.
+pub const ENGINE_DENSE: &str = "dense";
+/// Engine-kind tag of [`SparseLoadProcess`] snapshots.
+pub const ENGINE_SPARSE: &str = "sparse";
+/// Engine-kind tag of [`ShardedLoadProcess`] snapshots.
+pub const ENGINE_SHARDED: &str = "sharded";
+
+/// A snapshot failed to validate or restore.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotError(pub String);
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// The complete, serializable state of a load engine at a round boundary.
+///
+/// Invariants (enforced by [`SnapshotState::validate`], which every restore
+/// path runs):
+///
+/// * `entries` lists `(bin, load)` pairs with strictly increasing bin
+///   indices, every bin `< n`, and every load `> 0` — a canonical sparse
+///   encoding, identical for all three engines at equal configurations.
+/// * `balls` equals the sum of the entry loads and fits a `u32` (the
+///   workspace-wide ball-count bound).
+/// * `rng_states` holds one xoshiro256++ state per engine stream — exactly
+///   one for the dense and sparse engines, one per shard (in shard order)
+///   for the sharded engine — and none of them is the all-zero fixed point.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SnapshotState {
+    /// Layout version ([`SNAPSHOT_VERSION`]).
+    pub version: u32,
+    /// Engine kind: `"dense"`, `"sparse"`, or `"sharded"`.
+    pub engine: String,
+    /// Number of bins.
+    pub n: usize,
+    /// Shard count (1 for the dense and sparse engines).
+    pub shards: usize,
+    /// Rounds completed so far.
+    pub round: u64,
+    /// Balls currently in the system.
+    pub balls: u64,
+    /// Occupied bins as `(bin, load)` pairs, sorted by bin index.
+    pub entries: Vec<(u32, u32)>,
+    /// Raw xoshiro256++ states, one per engine stream.
+    pub rng_states: Vec<[u64; 4]>,
+}
+
+impl SnapshotState {
+    /// Checks every structural invariant of the snapshot. All restore paths
+    /// call this first, so a corrupted or hand-edited snapshot fails with an
+    /// actionable message instead of resuming a wrong trajectory.
+    pub fn validate(&self) -> Result<(), SnapshotError> {
+        let err = |msg: String| Err(SnapshotError(msg));
+        if self.version != SNAPSHOT_VERSION {
+            return err(format!(
+                "snapshot version {} unsupported (this build reads version {SNAPSHOT_VERSION})",
+                self.version
+            ));
+        }
+        if self.n == 0 {
+            return err("snapshot has zero bins".to_string());
+        }
+        if self.n > u32::MAX as usize + 1 {
+            return err(format!("bin count {} exceeds the u32 index range", self.n));
+        }
+        let expected_streams = match self.engine.as_str() {
+            ENGINE_DENSE | ENGINE_SPARSE => {
+                if self.shards != 1 {
+                    return err(format!(
+                        "{} engine must have shards = 1, got {}",
+                        self.engine, self.shards
+                    ));
+                }
+                1
+            }
+            ENGINE_SHARDED => {
+                if self.shards == 0 || self.shards > self.n {
+                    return err(format!(
+                        "shard count {} outside 1..={} (the bin count)",
+                        self.shards, self.n
+                    ));
+                }
+                self.shards
+            }
+            other => {
+                return err(format!(
+                    "unknown engine kind '{other}' (dense | sparse | sharded)"
+                ))
+            }
+        };
+        if self.rng_states.len() != expected_streams {
+            return err(format!(
+                "{} engine expects {expected_streams} RNG stream(s), snapshot has {}",
+                self.engine,
+                self.rng_states.len()
+            ));
+        }
+        for (i, s) in self.rng_states.iter().enumerate() {
+            if *s == [0, 0, 0, 0] {
+                return err(format!(
+                    "RNG stream {i} is the all-zero xoshiro fixed point (corrupted snapshot)"
+                ));
+            }
+        }
+        let mut total: u64 = 0;
+        let mut prev: Option<u32> = None;
+        for &(bin, load) in &self.entries {
+            if (bin as usize) >= self.n {
+                return err(format!("entry bin {bin} out of range (n = {})", self.n));
+            }
+            if load == 0 {
+                return err(format!("entry for bin {bin} has zero load"));
+            }
+            if prev.is_some_and(|p| p >= bin) {
+                return err(format!(
+                    "entries not strictly increasing at bin {bin} (canonical snapshots sort by bin)"
+                ));
+            }
+            prev = Some(bin);
+            total += load as u64;
+        }
+        if total != self.balls {
+            return err(format!(
+                "ball count {} disagrees with the entry total {total}",
+                self.balls
+            ));
+        }
+        if self.balls > u32::MAX as u64 {
+            return err(format!(
+                "ball count {} exceeds the u32 load bound",
+                self.balls
+            ));
+        }
+        Ok(())
+    }
+
+    /// The dense load vector encoded by `entries`. Call after
+    /// [`Self::validate`]; entries out of range are ignored here.
+    pub(crate) fn dense_loads(&self) -> Vec<u32> {
+        let mut loads = vec![0u32; self.n];
+        for &(bin, load) in &self.entries {
+            if let Some(slot) = loads.get_mut(bin as usize) {
+                *slot = load;
+            }
+        }
+        loads
+    }
+}
+
+/// Validates `state` and rebuilds the engine it came from, boxed behind the
+/// [`Engine`] trait — the daemon-side restore entry point. Dispatches on the
+/// `engine` kind tag to [`LoadProcess::from_snapshot`],
+/// [`SparseLoadProcess::from_snapshot`], or
+/// [`ShardedLoadProcess::from_snapshot`].
+pub fn restore(state: &SnapshotState) -> Result<Box<dyn Engine>, SnapshotError> {
+    state.validate()?;
+    match state.engine.as_str() {
+        ENGINE_DENSE => Ok(Box::new(LoadProcess::from_snapshot(state)?)),
+        ENGINE_SPARSE => Ok(Box::new(SparseLoadProcess::from_snapshot(state)?)),
+        ENGINE_SHARDED => Ok(Box::new(ShardedLoadProcess::from_snapshot(state)?)),
+        other => Err(SnapshotError(format!("unknown engine kind '{other}'"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::rng::Xoshiro256pp;
+
+    type Corruption = (&'static str, Box<dyn Fn(&mut SnapshotState)>);
+
+    fn valid_state() -> SnapshotState {
+        SnapshotState {
+            version: SNAPSHOT_VERSION,
+            engine: ENGINE_DENSE.to_string(),
+            n: 8,
+            shards: 1,
+            round: 5,
+            balls: 8,
+            entries: vec![(0, 3), (2, 4), (7, 1)],
+            rng_states: vec![Xoshiro256pp::seed_from(1).state()],
+        }
+    }
+
+    #[test]
+    fn valid_state_validates_and_round_trips_through_serde() {
+        let state = valid_state();
+        state.validate().unwrap();
+        let back = SnapshotState::deserialize(&state.serialize()).unwrap();
+        assert_eq!(back, state);
+    }
+
+    #[test]
+    fn validation_rejects_structural_corruption() {
+        let cases: Vec<Corruption> = vec![
+            ("version", Box::new(|s| s.version = 99)),
+            ("kind", Box::new(|s| s.engine = "warped".into())),
+            ("zero bins", Box::new(|s| s.n = 0)),
+            ("dense shards", Box::new(|s| s.shards = 2)),
+            ("bin range", Box::new(|s| s.entries[2].0 = 8)),
+            ("zero load", Box::new(|s| s.entries[1].1 = 0)),
+            ("unsorted", Box::new(|s| s.entries.swap(0, 2))),
+            ("ball total", Box::new(|s| s.balls = 7)),
+            ("stream count", Box::new(|s| s.rng_states.clear())),
+            ("zero stream", Box::new(|s| s.rng_states[0] = [0; 4])),
+        ];
+        for (what, corrupt) in cases {
+            let mut s = valid_state();
+            corrupt(&mut s);
+            assert!(s.validate().is_err(), "corruption '{what}' must be caught");
+            assert!(restore(&s).is_err(), "restore must reject '{what}' too");
+        }
+    }
+
+    #[test]
+    fn sharded_stream_count_must_match_shards() {
+        let mut s = valid_state();
+        s.engine = ENGINE_SHARDED.to_string();
+        s.shards = 3;
+        assert!(s.validate().is_err(), "3 shards need 3 streams");
+        s.rng_states = (0..3).map(|i| Xoshiro256pp::stream(9, i).state()).collect();
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn restore_dispatches_on_the_kind_tag() {
+        let state = valid_state();
+        let engine = restore(&state).unwrap();
+        assert_eq!(engine.n(), 8);
+        assert_eq!(engine.balls(), 8);
+        assert_eq!(engine.round(), 5);
+        assert_eq!(
+            engine.config(),
+            &Config::from_loads(vec![3, 0, 4, 0, 0, 0, 0, 1])
+        );
+    }
+
+    #[test]
+    fn dense_loads_rebuilds_the_vector() {
+        assert_eq!(valid_state().dense_loads(), vec![3, 0, 4, 0, 0, 0, 0, 1]);
+    }
+}

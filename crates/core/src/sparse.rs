@@ -47,6 +47,7 @@ use crate::det_hash::DetHashMap;
 use crate::engine::Engine;
 use crate::rng::Xoshiro256pp;
 use crate::sampling::UniformSampler;
+use crate::snapshot::{SnapshotError, SnapshotState, ENGINE_SPARSE, SNAPSHOT_VERSION};
 
 /// Occupancy map type of the sparse engine: bin index → load, keyed through
 /// the workspace-wide deterministic hasher ([`crate::det_hash`] — formerly
@@ -199,7 +200,8 @@ impl SparseLoadProcess {
         self.n
     }
 
-    /// Total ball count (invariant across rounds).
+    /// Total ball count (rounds conserve it; the incremental
+    /// [`Engine::place`]/[`Engine::depart`] surface changes it).
     #[inline]
     pub fn balls(&self) -> u64 {
         self.balls
@@ -296,6 +298,44 @@ impl SparseLoadProcess {
         self.dests = dests;
         self.finish_round(departures)
     }
+
+    /// Captures the complete resumable state, with entries in canonical
+    /// (bin-sorted) order. The occupied-worklist *order* is not trajectory
+    /// state: a round's draw count depends only on how many bins are
+    /// occupied and the destinations are i.i.d., so restoring with a sorted
+    /// worklist resumes the same load trajectory the snapshotted process
+    /// would have taken.
+    pub fn snapshot_state(&self) -> SnapshotState {
+        let mut entries: Vec<(u32, u32)> = self.loads.iter().map(|(&b, &l)| (b, l)).collect();
+        entries.sort_unstable();
+        SnapshotState {
+            version: SNAPSHOT_VERSION,
+            engine: ENGINE_SPARSE.to_string(),
+            n: self.n,
+            shards: 1,
+            round: self.round,
+            balls: self.balls,
+            entries,
+            rng_states: vec![self.rng.state()],
+        }
+    }
+
+    /// Rebuilds a sparse process from a snapshot (validated first); the
+    /// restored process resumes the snapshotted trajectory bit-identically.
+    pub fn from_snapshot(state: &SnapshotState) -> Result<Self, SnapshotError> {
+        state.validate()?;
+        if state.engine != ENGINE_SPARSE {
+            return Err(SnapshotError(format!(
+                "expected a {ENGINE_SPARSE} snapshot, got '{}'",
+                state.engine
+            )));
+        }
+        // rbb-lint: allow(rng-construct, reason = "restoring a serialized stream state captured from a live engine snapshot, not seeding a new stream")
+        let rng = Xoshiro256pp::from_state(state.rng_states[0]);
+        let mut p = Self::from_entries(state.n, state.entries.iter().copied(), rng);
+        p.round = state.round;
+        Ok(p)
+    }
 }
 
 impl Engine for SparseLoadProcess {
@@ -384,6 +424,48 @@ impl Engine for SparseLoadProcess {
             self.arrive(bin as u32);
         }
         self.invalidate();
+    }
+
+    fn supports_incremental(&self) -> bool {
+        true
+    }
+
+    /// Incremental arrival: one uniform destination draw from the engine
+    /// stream — bit-compatible with the dense engine's `place`.
+    fn place(&mut self) -> usize {
+        assert!(
+            self.balls < u32::MAX as u64,
+            "place would overflow the u32 load bound"
+        );
+        // rbb-lint: allow(lossy-cast, reason = "n fits the u32 index range (asserted at construction); draws are < n")
+        let b = self.rng.uniform_usize(self.n) as u32;
+        self.arrive(b);
+        self.balls += 1;
+        self.invalidate();
+        b as usize
+    }
+
+    fn depart(&mut self, bin: usize) -> bool {
+        if bin >= self.n {
+            return false;
+        }
+        // rbb-lint: allow(lossy-cast, reason = "bin < n, and n fits the u32 index range (asserted at construction)")
+        let b = bin as u32;
+        let Some(slot) = self.loads.get_mut(&b) else {
+            return false;
+        };
+        *slot -= 1;
+        if *slot == 0 {
+            self.loads.remove(&b);
+            self.occupied.retain(|&x| x != b);
+        }
+        self.balls -= 1;
+        self.invalidate();
+        true
+    }
+
+    fn snapshot(&self) -> Option<SnapshotState> {
+        Some(self.snapshot_state())
     }
 }
 
@@ -510,6 +592,53 @@ mod tests {
     fn apply_fault_rejects_mass_change() {
         let mut p = SparseLoadProcess::legitimate_start(8, 1);
         Engine::apply_fault(&mut p, &[0; 9]);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bit_identically() {
+        let mut p = SparseLoadProcess::from_entries(1000, vec![(3, 40), (700, 2)], rng(31));
+        p.run_silent(25);
+        let snap = Engine::snapshot(&p).expect("sparse engine snapshots");
+        assert!(
+            snap.entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "entries must be in canonical bin order"
+        );
+        let mut q = SparseLoadProcess::from_snapshot(&snap).unwrap();
+        assert_eq!(Engine::round(&q), 25);
+        for _ in 0..60 {
+            p.step();
+            q.step();
+        }
+        assert_eq!(Engine::config(&p), Engine::config(&q));
+        assert_eq!(Engine::snapshot(&p), Engine::snapshot(&q));
+    }
+
+    #[test]
+    fn place_and_depart_track_occupancy() {
+        let mut p = SparseLoadProcess::from_entries(50, vec![(10, 2)], rng(41));
+        assert!(Engine::supports_incremental(&p));
+        let b = Engine::place(&mut p);
+        assert!(b < 50);
+        assert_eq!(p.balls(), 3);
+        assert_eq!(Engine::bin_load(&p, b), if b == 10 { 3 } else { 1 });
+        assert!(Engine::depart(&mut p, 10));
+        assert!(Engine::depart(&mut p, 10) || b == 10, "bin 10 had 2 balls");
+        assert!(!Engine::depart(&mut p, 50), "out of range is a no-op");
+        assert!(!Engine::depart(&mut p, 49), "empty bin is a no-op");
+        assert_eq!(p.occupied.len(), p.loads.len());
+        assert!(p.loads.values().all(|&l| l > 0));
+        p.step();
+        assert_eq!(p.balls(), p.loads.values().map(|&l| l as u64).sum::<u64>());
+    }
+
+    #[test]
+    fn place_matches_dense_place_bit_for_bit() {
+        let mut dense = LoadProcess::legitimate_start(64, 51);
+        let mut sparse = SparseLoadProcess::legitimate_start(64, 51);
+        for _ in 0..30 {
+            assert_eq!(Engine::place(&mut dense), Engine::place(&mut sparse));
+        }
+        assert_twins(dense, sparse, 40);
     }
 
     #[test]

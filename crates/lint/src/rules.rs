@@ -16,8 +16,10 @@
 //!
 //! ## Scoping
 //!
-//! Result-affecting crates are `core`, `sim`, and `stats`: a determinism or
-//! numerical bug there changes reported trajectories and statistics.
+//! Result-affecting crates are `core`, `sim`, `stats`, and `serve`: a
+//! determinism or numerical bug there changes reported trajectories and
+//! statistics (for `serve`, the responses and checkpoints a daemon session
+//! hands back).
 //! Most rules fire only in those crates and only in non-test code — files
 //! under `tests/`, `benches/`, or `examples/` directories, and regions
 //! under `#[cfg(test)]`, are exempt. Entropy rules fire everywhere
@@ -31,7 +33,7 @@ use crate::structure::{self, NodeKind, View};
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// Crates whose code can affect reported results.
-const RESULT_CRATES: &[&str] = &["core", "sim", "stats"];
+const RESULT_CRATES: &[&str] = &["core", "sim", "stats", "serve"];
 
 /// Which analysis layer a rule runs on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -185,7 +187,8 @@ pub const RULES: &[RuleInfo] = &[
         explanation: "Instant::now/SystemTime::now make control flow or output depend on \
                       machine speed; results must be a pure function of the spec and seed.",
         fix_hint: "thread timing through the caller (bench/CLI layers may measure; \
-                   core/sim/stats must not)",
+                   core/sim/stats must not; serve measures only through its Clock \
+                   abstraction, whose monotonic impl carries the sanctioned allows)",
     },
     RuleInfo {
         id: "env-read",
@@ -1287,7 +1290,13 @@ fn rule_rng_construct(ctx: &Ctx, out: &mut Vec<Finding>) {
     const CTORS: &[(&str, &[&str])] = &[
         (
             "Xoshiro256pp",
-            &["seed_from", "from_seed", "seed_from_u64", "stream"],
+            &[
+                "seed_from",
+                "from_seed",
+                "seed_from_u64",
+                "stream",
+                "from_state",
+            ],
         ),
         ("SplitMix64", &["new"]),
     ];

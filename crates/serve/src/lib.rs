@@ -1,0 +1,41 @@
+//! # rbb-serve — a long-running allocation daemon over the rbb engines
+//!
+//! The simulation crates answer "run this spec to completion"; this crate
+//! answers "keep an engine alive and let clients allocate against it". A
+//! [`session::Session`] wraps any [`Engine`](rbb_core::engine::Engine)
+//! behind a line-JSON request loop:
+//!
+//! * `place` — assign one new ball to a uniformly chosen bin (the engine's
+//!   own RNG stream decides) and return the bin,
+//! * `depart` — remove a ball from a bin,
+//! * `step` — advance whole rebalancing rounds,
+//! * `query` — the cheap metric surface (loads, max load, legitimacy),
+//! * `snapshot` / `restore` — bit-exact checkpointing through
+//!   [`rbb_core::snapshot`]: a restored daemon resumes the *identical*
+//!   trajectory the uninterrupted one would have taken (the `ci.sh` serve
+//!   stage byte-diffs the two),
+//! * `stats` — placement-latency percentiles and throughput counters,
+//! * `shutdown` — clean exit.
+//!
+//! The `rbb-serve` binary exposes a session over stdio, a Unix socket, or a
+//! TCP socket, one line-JSON request per line, one response line each.
+//!
+//! # Determinism
+//!
+//! Everything an allocation response contains is a pure function of the
+//! spec, the seed, and the request sequence — never of wall-clock time.
+//! Timing feeds only the `stats` surface, through the [`clock::Clock`]
+//! abstraction: daemons read the monotonic clock (the sanctioned sites),
+//! tests and benchmarks inject the fixed-tick [`clock::MockClock`] so even
+//! latency reports are reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod session;
+pub mod stats;
+
+pub use clock::{Clock, MockClock, MonotonicClock};
+pub use session::{serve_lines, Session};
+pub use stats::{LatencyHistogram, ServeStats};

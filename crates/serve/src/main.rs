@@ -1,0 +1,248 @@
+//! `rbb-serve` — the allocation daemon binary.
+//!
+//! ```text
+//! rbb-serve --stdio [engine flags]          serve one session over stdin/stdout
+//! rbb-serve --socket PATH [engine flags]    serve sequential sessions on a Unix socket
+//! rbb-serve --tcp ADDR [engine flags]       serve sequential sessions on a TCP socket
+//! rbb-serve --connect PATH                  client: forward stdin lines to a Unix-socket daemon
+//!
+//! engine flags:
+//!   --spec FILE        build the engine from a scenario spec (JSON)
+//!   --engine KIND      dense | sparse | sharded | auto (overrides the spec)
+//!   --shards K         shard count for the sharded engine
+//!   --n N              bins for the default spec (default 1024)
+//!   --seed S           seed for the default spec (default 1)
+//!   --mock-clock       fixed-tick clock: deterministic stats responses
+//! ```
+//!
+//! The daemon answers one line-JSON response per request line; see
+//! `rbb_serve::session` for the protocol. Socket modes accept connections
+//! sequentially (one session at a time — the engine is single-threaded
+//! state) and exit after a connection issues `shutdown`.
+
+use std::io::{BufReader, BufWriter, Write};
+
+use rbb_serve::clock::{Clock, MockClock, MonotonicClock};
+use rbb_serve::session::{serve_lines, Session};
+use rbb_sim::spec::EngineSpec;
+use rbb_sim::{build_engine, ScenarioSpec};
+
+/// Everything the command line configures.
+struct Args {
+    mode: Mode,
+    spec_path: Option<String>,
+    engine: Option<EngineSpec>,
+    shards: Option<usize>,
+    n: usize,
+    seed: u64,
+    mock_clock: bool,
+}
+
+enum Mode {
+    Stdio,
+    Socket(String),
+    Tcp(String),
+    Connect(String),
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("rbb-serve: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args(std::env::args().skip(1))?;
+    match &args.mode {
+        Mode::Connect(path) => return client(path),
+        Mode::Stdio => {
+            let mut session = build_session(&args)?;
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            serve_lines(&mut session, stdin.lock(), BufWriter::new(stdout.lock()))
+                .map_err(|e| format!("stdio session: {e}"))?;
+        }
+        Mode::Socket(path) => {
+            let mut session = build_session(&args)?;
+            // A stale socket file from a previous daemon would make bind fail.
+            let _ = std::fs::remove_file(path);
+            let listener = std::os::unix::net::UnixListener::bind(path)
+                .map_err(|e| format!("binding {path}: {e}"))?;
+            for conn in listener.incoming() {
+                let conn = conn.map_err(|e| format!("accept on {path}: {e}"))?;
+                let reader =
+                    BufReader::new(conn.try_clone().map_err(|e| format!("socket clone: {e}"))?);
+                serve_lines(&mut session, reader, BufWriter::new(conn))
+                    .map_err(|e| format!("socket session: {e}"))?;
+                if session.is_shutdown() {
+                    break;
+                }
+            }
+            let _ = std::fs::remove_file(path);
+        }
+        Mode::Tcp(addr) => {
+            let mut session = build_session(&args)?;
+            let listener =
+                std::net::TcpListener::bind(addr).map_err(|e| format!("binding {addr}: {e}"))?;
+            for conn in listener.incoming() {
+                let conn = conn.map_err(|e| format!("accept on {addr}: {e}"))?;
+                let reader =
+                    BufReader::new(conn.try_clone().map_err(|e| format!("socket clone: {e}"))?);
+                serve_lines(&mut session, reader, BufWriter::new(conn))
+                    .map_err(|e| format!("tcp session: {e}"))?;
+                if session.is_shutdown() {
+                    break;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Client mode: lockstep request/response forwarding so scripted drivers
+/// (like the `ci.sh` serve stage) can talk to a Unix-socket daemon with
+/// nothing but this binary.
+fn client(path: &str) -> Result<(), String> {
+    use std::io::BufRead;
+    let stream = std::os::unix::net::UnixStream::connect(path)
+        .map_err(|e| format!("connecting to {path}: {e}"))?;
+    let mut reader = BufReader::new(
+        stream
+            .try_clone()
+            .map_err(|e| format!("socket clone: {e}"))?,
+    );
+    let mut writer = BufWriter::new(stream);
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| format!("stdin: {e}"))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        writer
+            .write_all(line.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .map_err(|e| format!("writing to daemon: {e}"))?;
+        let mut response = String::new();
+        let got = reader
+            .read_line(&mut response)
+            .map_err(|e| format!("reading from daemon: {e}"))?;
+        if got == 0 {
+            return Err("daemon closed the connection".to_string());
+        }
+        out.write_all(response.as_bytes())
+            .and_then(|()| out.flush())
+            .map_err(|e| format!("stdout: {e}"))?;
+    }
+    Ok(())
+}
+
+fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
+    let mut args = Args {
+        mode: Mode::Stdio,
+        spec_path: None,
+        engine: None,
+        shards: None,
+        n: 1024,
+        seed: 1,
+        mock_clock: false,
+    };
+    let mut mode_set = false;
+    let mut argv = argv.peekable();
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| argv.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--stdio" => {
+                args.mode = Mode::Stdio;
+                mode_set = true;
+            }
+            "--socket" => {
+                args.mode = Mode::Socket(value("--socket")?);
+                mode_set = true;
+            }
+            "--tcp" => {
+                args.mode = Mode::Tcp(value("--tcp")?);
+                mode_set = true;
+            }
+            "--connect" => {
+                args.mode = Mode::Connect(value("--connect")?);
+                mode_set = true;
+            }
+            "--spec" => args.spec_path = Some(value("--spec")?),
+            "--engine" => {
+                args.engine = Some(match value("--engine")?.as_str() {
+                    "dense" => EngineSpec::Dense,
+                    "sparse" => EngineSpec::Sparse,
+                    "sharded" => EngineSpec::Sharded,
+                    "auto" => EngineSpec::Auto,
+                    other => {
+                        return Err(format!(
+                            "--engine must be dense | sparse | sharded | auto, got '{other}'"
+                        ))
+                    }
+                });
+            }
+            "--shards" => {
+                let k: usize = value("--shards")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?;
+                args.shards = Some(k);
+            }
+            "--n" => {
+                args.n = value("--n")?.parse().map_err(|e| format!("--n: {e}"))?;
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--mock-clock" => args.mock_clock = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: rbb-serve (--stdio | --socket PATH | --tcp ADDR | --connect PATH) \
+                     [--spec FILE] [--engine KIND] [--shards K] [--n N] [--seed S] [--mock-clock]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown flag '{other}' (try --help)")),
+        }
+    }
+    if !mode_set {
+        return Err(
+            "pick a mode: --stdio, --socket PATH, --tcp ADDR, or --connect PATH".to_string(),
+        );
+    }
+    Ok(args)
+}
+
+/// Builds the spec (file or defaults), applies overrides, validates, and
+/// wraps the engine into a session.
+fn build_session(args: &Args) -> Result<Session, String> {
+    let mut spec = match &args.spec_path {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            serde_json::from_str::<ScenarioSpec>(&text)
+                .map_err(|e| format!("parsing {path}: {e}"))?
+        }
+        None => ScenarioSpec::builder(args.n)
+            .name("serve-session")
+            .seed(args.seed)
+            .build(),
+    };
+    if let Some(engine) = args.engine {
+        spec.engine = Some(engine);
+    }
+    if let Some(shards) = args.shards {
+        spec.shards = Some(shards);
+    }
+    let engine = build_engine(&spec).map_err(|e| format!("building the engine: {e}"))?;
+    let clock: Box<dyn Clock> = if args.mock_clock {
+        Box::new(MockClock::new(1000))
+    } else {
+        Box::new(MonotonicClock::new())
+    };
+    Ok(Session::new(engine, clock))
+}

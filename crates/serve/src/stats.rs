@@ -1,0 +1,214 @@
+//! Session counters and the log2-bucket latency histogram behind the
+//! `stats` request.
+//!
+//! Percentiles are computed over power-of-two buckets with pure integer
+//! arithmetic, so a session driven by the fixed-tick
+//! [`MockClock`](crate::clock::MockClock) produces byte-identical `stats`
+//! responses on every run.
+
+use serde::Serialize;
+
+/// Number of histogram buckets: bucket `i` holds samples whose bit length
+/// is `i` (bucket 0 is exactly zero; bucket 64 is `≥ 2^63`).
+const BUCKETS: usize = 65;
+
+/// A log2-bucket histogram of nanosecond samples: O(1) record, O(65)
+/// quantile, fixed 520-byte footprint regardless of sample count.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: [0; BUCKETS],
+            count: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded samples.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Records one nanosecond sample.
+    #[inline]
+    pub fn record(&mut self, nanos: u64) {
+        let bucket = (u64::BITS - nanos.leading_zeros()) as usize;
+        self.buckets[bucket] += 1;
+        self.count += 1;
+    }
+
+    /// The `permille`-th per-mille quantile (500 = p50, 990 = p99) as the
+    /// upper bound of the bucket the quantile lands in — integer arithmetic
+    /// only, so identical inputs give identical output on every platform.
+    /// Returns 0 for an empty histogram.
+    pub fn quantile_permille(&self, permille: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        // Rank of the quantile sample, 1-based, rounded up (the "nearest
+        // rank" definition), clamped into [1, count].
+        let rank = (self.count * permille).div_ceil(1000).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper_bound(i);
+            }
+        }
+        bucket_upper_bound(BUCKETS - 1)
+    }
+
+    /// Median (p50) in nanoseconds.
+    pub fn p50(&self) -> u64 {
+        self.quantile_permille(500)
+    }
+
+    /// 99th percentile in nanoseconds.
+    pub fn p99(&self) -> u64 {
+        self.quantile_permille(990)
+    }
+}
+
+/// Largest sample a bucket can hold: bucket `i` covers bit length `i`, so
+/// its upper bound is `2^i - 1` (bucket 0 holds exactly 0).
+fn bucket_upper_bound(i: usize) -> u64 {
+    if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// Running counters of one serve session.
+#[derive(Debug, Clone, Default)]
+pub struct ServeStats {
+    /// Requests handled (including failed ones).
+    pub requests: u64,
+    /// Requests answered with `"ok": false`.
+    pub errors: u64,
+    /// Balls placed through `place`.
+    pub placements: u64,
+    /// Balls removed through `depart` (only counting non-empty hits).
+    pub departures: u64,
+    /// Rebalancing rounds advanced through `step`.
+    pub rounds: u64,
+    /// Per-placement latency samples.
+    pub place_latency: LatencyHistogram,
+}
+
+impl ServeStats {
+    /// Renders the counters into the serializable `stats` response payload.
+    /// `elapsed_nanos` is the session clock's current reading.
+    pub fn report(&self, elapsed_nanos: u64) -> StatsReport {
+        let placements_per_sec = if elapsed_nanos == 0 {
+            0.0
+        } else {
+            self.placements as f64 * 1e9 / elapsed_nanos as f64
+        };
+        StatsReport {
+            ok: true,
+            requests: self.requests,
+            errors: self.errors,
+            placements: self.placements,
+            departures: self.departures,
+            rounds: self.rounds,
+            place_p50_nanos: self.place_latency.p50(),
+            place_p99_nanos: self.place_latency.p99(),
+            elapsed_nanos,
+            placements_per_sec,
+        }
+    }
+}
+
+/// The `stats` response payload.
+#[derive(Debug, Clone, Serialize)]
+pub struct StatsReport {
+    /// Always `true` (the response envelope's success flag).
+    pub ok: bool,
+    /// Requests handled (including failed ones).
+    pub requests: u64,
+    /// Requests answered with `"ok": false`.
+    pub errors: u64,
+    /// Balls placed through `place`.
+    pub placements: u64,
+    /// Balls removed through `depart`.
+    pub departures: u64,
+    /// Rebalancing rounds advanced through `step`.
+    pub rounds: u64,
+    /// Median placement latency (bucket upper bound, nanoseconds).
+    pub place_p50_nanos: u64,
+    /// 99th-percentile placement latency (bucket upper bound, nanoseconds).
+    pub place_p99_nanos: u64,
+    /// Session clock reading at report time.
+    pub elapsed_nanos: u64,
+    /// Placement throughput over the session lifetime.
+    pub placements_per_sec: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), 0);
+    }
+
+    #[test]
+    fn quantiles_walk_the_buckets() {
+        let mut h = LatencyHistogram::new();
+        // 98 fast samples (bit length 7 → bucket upper bound 127) and 2
+        // slow ones (bucket upper bound 2^20 - 1).
+        for _ in 0..98 {
+            h.record(100);
+        }
+        for _ in 0..2 {
+            h.record(1 << 19);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.p50(), 127);
+        assert_eq!(h.p99(), (1 << 20) - 1);
+        assert_eq!(h.quantile_permille(1000), (1 << 20) - 1);
+        assert_eq!(h.quantile_permille(1), 127);
+    }
+
+    #[test]
+    fn extreme_samples_land_in_the_edge_buckets() {
+        let mut h = LatencyHistogram::new();
+        h.record(0);
+        assert_eq!(h.p50(), 0);
+        h.record(u64::MAX);
+        assert_eq!(h.quantile_permille(1000), u64::MAX);
+    }
+
+    #[test]
+    fn report_is_deterministic() {
+        let mut s = ServeStats {
+            requests: 10,
+            placements: 8,
+            ..Default::default()
+        };
+        s.place_latency.record(1000);
+        let a = serde_json::to_string(&s.report(8_000)).unwrap();
+        let b = serde_json::to_string(&s.report(8_000)).unwrap();
+        assert_eq!(a, b);
+        assert!(a.contains("\"placements_per_sec\""));
+        assert_eq!(s.report(0).placements_per_sec, 0.0);
+        assert_eq!(s.report(8_000).placements_per_sec, 1e6);
+    }
+}

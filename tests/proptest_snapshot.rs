@@ -1,0 +1,211 @@
+//! Snapshot/restore round trip: for every load engine (dense, sparse,
+//! sharded), a snapshot taken mid-trajectory — serialized to JSON and
+//! parsed back — restores an engine whose remaining trajectory is
+//! bit-identical to the uninterrupted original, across seeds, start
+//! configurations, shard counts, and interleaved `place`/`depart` traffic.
+//! This is the invariant the `rbb-serve` daemon's checkpointing rides on.
+
+use proptest::prelude::*;
+
+use rbb_core::engine::Engine;
+use rbb_core::snapshot::{restore, SnapshotState};
+use rbb_sim::{EngineSpec, ScenarioSpec, StartSpec};
+use serde::Deserialize as _;
+
+/// The three engines with a snapshot surface, with a shard-count axis for
+/// the sharded one.
+fn engine_axis() -> Vec<(EngineSpec, Option<usize>)> {
+    vec![
+        (EngineSpec::Dense, None),
+        (EngineSpec::Sparse, None),
+        (EngineSpec::Sharded, Some(1)),
+        (EngineSpec::Sharded, Some(3)),
+        (EngineSpec::Sharded, Some(4)),
+    ]
+}
+
+fn build(
+    engine: EngineSpec,
+    shards: Option<usize>,
+    start: StartSpec,
+    n: usize,
+    seed: u64,
+) -> Box<dyn Engine> {
+    let mut b = ScenarioSpec::builder(n)
+        .name("snapshot-roundtrip")
+        .start(start)
+        .seed(seed)
+        .engine(engine);
+    if let Some(k) = shards {
+        b = b.shards(k);
+    }
+    let spec = b.build();
+    spec.validate().expect("axis specs must validate");
+    rbb_sim::build_engine(&spec).expect("factory")
+}
+
+/// Asserts two engines agree on every cheap observable.
+fn assert_twins(a: &dyn Engine, b: &dyn Engine, context: &str) {
+    assert_eq!(a.round(), b.round(), "round diverged {context}");
+    assert_eq!(a.balls(), b.balls(), "mass diverged {context}");
+    assert_eq!(a.max_load(), b.max_load(), "max load diverged {context}");
+    assert_eq!(
+        a.empty_bins(),
+        b.empty_bins(),
+        "empty bins diverged {context}"
+    );
+    // The sparse engine's occupancy worklist order is history-dependent and
+    // deliberately not trajectory state (each round draws once per occupied
+    // bin, destinations i.i.d.), so compare the sets, then per-bin loads.
+    let sort = |e: &dyn Engine| {
+        let mut bins = e.nonempty_bins_list().unwrap_or_default();
+        bins.sort_unstable();
+        bins
+    };
+    let occupied = sort(a);
+    assert_eq!(occupied, sort(b), "occupancy diverged {context}");
+    for bin in occupied {
+        assert_eq!(
+            a.bin_load(bin as usize),
+            b.bin_load(bin as usize),
+            "load of bin {bin} diverged {context}"
+        );
+    }
+}
+
+/// Runs `k` rounds plus some incremental traffic, snapshots, round-trips
+/// the state through JSON, restores, then drives original and restoree in
+/// lockstep for `m` more rounds of mixed traffic.
+fn assert_roundtrip(
+    engine: EngineSpec,
+    shards: Option<usize>,
+    start: StartSpec,
+    n: usize,
+    seed: u64,
+    k: u64,
+    m: u64,
+) {
+    let label = format!("({engine:?}, shards {shards:?}, n {n}, seed {seed})");
+    let mut original = build(engine, shards, start, n, seed);
+    for _ in 0..k {
+        original.step_batched();
+    }
+    // Incremental traffic before the snapshot: arrivals and departures are
+    // part of the state the checkpoint must carry.
+    let b0 = original.place();
+    original.depart(b0);
+    original.place();
+
+    let state = original
+        .snapshot()
+        .unwrap_or_else(|| panic!("{label}: load engines must snapshot"));
+    let json = serde_json::to_string(&state).expect("snapshot states serialize");
+    let parsed: SnapshotState = serde_json::from_str(&json)
+        .unwrap_or_else(|e| panic!("{label}: snapshot JSON must parse back: {e}"));
+    assert_eq!(parsed, state, "{label}: JSON round trip must be lossless");
+
+    let mut restored = restore(&parsed).unwrap_or_else(|e| panic!("{label}: restore failed: {e}"));
+    assert_twins(original.as_ref(), restored.as_ref(), &label);
+
+    // Lockstep resume: rounds, placements, and departures must all replay
+    // bit-identically (same RNG stream state ⇒ same draws).
+    for r in 0..m {
+        let moved_a = original.step_batched();
+        let moved_b = restored.step_batched();
+        assert_eq!(
+            moved_a, moved_b,
+            "{label}: movers diverged at resume round {r}"
+        );
+        let pa = original.place();
+        let pb = restored.place();
+        assert_eq!(pa, pb, "{label}: placement diverged at resume round {r}");
+        assert_eq!(
+            original.depart(pa),
+            restored.depart(pb),
+            "{label}: departure diverged at resume round {r}"
+        );
+        assert_twins(original.as_ref(), restored.as_ref(), &label);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Random (n, seed, split) across engines × starts.
+    #[test]
+    fn snapshot_restore_resumes_bit_identically(
+        n in 9usize..65,
+        seed in any::<u64>(),
+        k in 1u64..30,
+        m in 5u64..20,
+    ) {
+        for (engine, shards) in engine_axis() {
+            for start in [StartSpec::OnePerBin, StartSpec::AllInOne, StartSpec::Geometric] {
+                assert_roundtrip(engine, shards, start, n, seed, k, m);
+            }
+        }
+    }
+}
+
+/// A fixed-seed pass so the axis is exercised even with a trimmed property
+/// runner.
+#[test]
+fn snapshot_axis_pinned_seeds() {
+    for (engine, shards) in engine_axis() {
+        for seed in [1u64, 0xBEEF] {
+            assert_roundtrip(engine, shards, StartSpec::OnePerBin, 33, seed, 25, 10);
+        }
+    }
+}
+
+/// A snapshot is a value: restoring the same state twice yields two
+/// independent engines on the same trajectory (no shared mutability).
+#[test]
+fn one_snapshot_restores_many_identical_engines() {
+    let mut e = build(EngineSpec::Sharded, Some(4), StartSpec::AllInOne, 48, 7);
+    for _ in 0..20 {
+        e.step();
+    }
+    let state = e.snapshot().expect("snapshot");
+    let mut a = restore(&state).expect("restore a");
+    let mut b = restore(&state).expect("restore b");
+    for _ in 0..15 {
+        assert_eq!(a.step_batched(), b.step_batched());
+        assert_eq!(a.place(), b.place());
+    }
+    assert_twins(a.as_ref(), b.as_ref(), "(twin restores)");
+}
+
+/// Corrupted snapshots are rejected by `restore`, not trusted.
+#[test]
+fn restore_rejects_corruption() {
+    let mut e = build(EngineSpec::Dense, None, StartSpec::OnePerBin, 16, 3);
+    e.step();
+    let good = e.snapshot().expect("snapshot");
+    let json = serde_json::to_string(&good).expect("serialize");
+
+    // Flip the mass so entries no longer sum to `balls`.
+    let mut tampered: SnapshotState = serde_json::from_str(&json).expect("parse");
+    tampered.balls += 1;
+    assert!(
+        restore(&tampered).is_err(),
+        "mass mismatch must be rejected"
+    );
+
+    // Truncate the RNG streams.
+    let mut tampered: SnapshotState = serde_json::from_str(&json).expect("parse");
+    tampered.rng_states.clear();
+    assert!(
+        restore(&tampered).is_err(),
+        "missing streams must be rejected"
+    );
+
+    // Structural corruption at the JSON layer: a wrong-kind field.
+    let broken = json.replace("\"dense\"", "\"marble\"");
+    let parsed = serde_json::parse_value_str(&broken).expect("still JSON");
+    let state = SnapshotState::deserialize(&parsed).expect("shape still parses");
+    assert!(
+        restore(&state).is_err(),
+        "unknown engine kinds must be rejected"
+    );
+}

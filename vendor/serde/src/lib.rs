@@ -347,6 +347,50 @@ impl<T: Deserialize> Deserialize for Vec<T> {
     }
 }
 
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        let items: Vec<T> = Deserialize::deserialize(value)?;
+        let got = items.len();
+        items
+            .try_into()
+            .map_err(|_| DeError(format!("expected array of length {N}, got {got}")))
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        let items = value
+            .as_array()
+            .ok_or_else(|| DeError::expected("2-element array", value))?;
+        if items.len() != 2 {
+            return Err(DeError(format!(
+                "expected 2-element array, got {} elements",
+                items.len()
+            )));
+        }
+        Ok((A::deserialize(&items[0])?, B::deserialize(&items[1])?))
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        let items = value
+            .as_array()
+            .ok_or_else(|| DeError::expected("3-element array", value))?;
+        if items.len() != 3 {
+            return Err(DeError(format!(
+                "expected 3-element array, got {} elements",
+                items.len()
+            )));
+        }
+        Ok((
+            A::deserialize(&items[0])?,
+            B::deserialize(&items[1])?,
+            C::deserialize(&items[2])?,
+        ))
+    }
+}
+
 impl Deserialize for Value {
     fn deserialize(value: &Value) -> Result<Self, DeError> {
         Ok(value.clone())
@@ -430,6 +474,26 @@ mod tests {
         assert_eq!(obj.get("a"), Some(&Value::UInt(1)));
         assert_eq!(obj.get("b"), Some(&Value::Null));
         assert_eq!(Value::UInt(1).get("a"), None);
+    }
+
+    #[test]
+    fn arrays_and_tuples_round_trip() {
+        let arr = [1u64, 2, 3, 4];
+        assert_eq!(<[u64; 4]>::deserialize(&arr.serialize()), Ok(arr));
+        assert!(<[u64; 4]>::deserialize(&[1u64, 2].serialize()).is_err());
+        let pair = (3u32, 9u32);
+        assert_eq!(<(u32, u32)>::deserialize(&pair.serialize()), Ok(pair));
+        assert!(<(u32, u32)>::deserialize(&Value::UInt(1)).is_err());
+        let triple = (1u32, "x".to_string(), true);
+        assert_eq!(
+            <(u32, String, bool)>::deserialize(&triple.serialize()),
+            Ok(triple)
+        );
+        let nested = vec![(1u32, 2u32), (7, 8)];
+        assert_eq!(
+            Vec::<(u32, u32)>::deserialize(&nested.serialize()),
+            Ok(nested)
+        );
     }
 
     #[test]
