@@ -16,6 +16,8 @@
 #   build        release build, bench compile smoke, examples
 #   test         cargo test -q, engine-equivalence proptests, rbb-exp smoke
 #   specs        committed specs run; ensemble + sharded determinism diffs
+#   weighted     weighted regime: specs/weighted-*.json byte-diffed against
+#                their goldens; unit-degeneration/obliviousness proptests
 #   serve        rbb-serve daemon end to end: socket session, snapshot →
 #                restore → resume byte-diffed against an uninterrupted run
 #   conformance  theory-conformance suite at 1 and 4 threads (300s budget)
@@ -27,7 +29,7 @@ set -euo pipefail
 cd "$(dirname "$0")"
 
 usage() {
-    echo "usage: ./ci.sh [--stage fmt|lint|build|test|specs|serve|conformance|bench]" >&2
+    echo "usage: ./ci.sh [--stage fmt|lint|build|test|specs|weighted|serve|conformance|bench]" >&2
     exit 2
 }
 
@@ -45,7 +47,7 @@ while [ $# -gt 0 ]; do
     shift
 done
 case "${STAGE}" in
-    all|fmt|lint|build|test|specs|serve|conformance|bench) ;;
+    all|fmt|lint|build|test|specs|weighted|serve|conformance|bench) ;;
     *) echo "unknown stage '${STAGE}'" >&2; usage ;;
 esac
 
@@ -162,6 +164,42 @@ stage_specs() {
     fi
 }
 
+stage_weighted() {
+    # The weighted-regime gate: the committed weighted specs replay
+    # byte-identically against their golden fixtures (same harness
+    # convention as crates/cli/tests/golden_specs.rs — RAYON_NUM_THREADS
+    # pinned), and the weighted equivalence laws (unit degeneration,
+    # weight obliviousness, snapshot round-trip) hold across
+    # dense/sparse/sharded.
+    echo "==> weighted specs byte-diff against golden fixtures"
+    local found=0
+    for spec in specs/weighted-*.json specs/ensemble-weighted*.json; do
+        [ -e "${spec}" ] || continue
+        found=1
+        local stem subcommand
+        stem=$(basename "${spec}" .json)
+        case "${stem}" in
+            ensemble-*) subcommand=ensemble ;;
+            *)          subcommand=sim ;;
+        esac
+        echo "--> rbb ${subcommand} --spec ${spec} --quick vs golden"
+        RAYON_NUM_THREADS=2 cargo run -q --release --bin rbb -- \
+            "${subcommand}" --spec "${spec}" --quick > "target/${stem}.out"
+        if ! diff -q "target/${stem}.out" "crates/cli/tests/golden/${stem}.stdout" >/dev/null; then
+            echo "ERROR: ${spec} output drifted from its golden fixture" >&2
+            diff "target/${stem}.out" "crates/cli/tests/golden/${stem}.stdout" >&2 || true
+            exit 1
+        fi
+    done
+    if [ "${found}" -eq 0 ]; then
+        echo "ERROR: no weighted specs found under specs/" >&2
+        exit 1
+    fi
+
+    echo "==> weighted equivalence proptests (unit degeneration, obliviousness, snapshots)"
+    cargo test -q -p rbb --test proptest_weighted
+}
+
 stage_serve() {
     # End-to-end daemon gate, per engine: (1) an uninterrupted stdio session
     # answers prefix+suffix requests; (2) session A on a Unix socket answers
@@ -275,6 +313,14 @@ stage_bench() {
     echo "==> rbb-bench perf gates (batched >= 1.5x scalar, sparse >= 3x dense, sharded >= 2x dense)"
     cargo run -q --release --bin rbb-bench -- --quick --json target/BENCH.json \
         --min-engine-speedup 1.5 --min-sparse-speedup 3.0 --min-sharded-speedup 2.0
+    # Weighted-unit gate: the unit fast path through the weighted constructor
+    # must stay within 5% of the batched kernel (same workload) — the weighted
+    # layer is free when unused, and this keeps it that way. A 5% budget needs
+    # the interleaved full-profile pair at a healthy rep count; the quick
+    # profile's sub-ms iterations are scheduler noise at that resolution.
+    echo "==> rbb-bench weighted-unit neutrality gate (>= 0.95x batched, interleaved pair)"
+    cargo run -q --release --bin rbb-bench -- --only engine/weighted-unit --reps 25 \
+        --min-weighted-unit-ratio 0.95
 }
 
 run_stage fmt
@@ -282,6 +328,7 @@ run_stage lint
 run_stage build
 run_stage test
 run_stage specs
+run_stage weighted
 run_stage serve
 run_stage conformance
 run_stage bench

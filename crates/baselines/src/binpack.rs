@@ -1,0 +1,244 @@
+//! Greedy first-fit-decreasing bin packing — the centralized comparator
+//! for the weighted regime (experiment E27).
+//!
+//! The weighted repeated process keeps the maximum *weighted* load bounded
+//! with no coordination: every bin applies the same local one-release rule,
+//! and a churned ball perturbs only the bins it visits. The classical
+//! alternative is a central packer that recomputes a near-optimal
+//! assignment after every change. FFD is the canonical such packer
+//! (11/9·OPT + 6/9 bins, Dósa 2007); what it buys in packing quality it
+//! pays in **rebalancing cost**: a single weight change can relocate a
+//! constant fraction of all balls. [`rebalancing_cost_under_churn`]
+//! measures that cost so E27 can plot it against the process's O(1)
+//! per-round per-bin movement.
+
+use rbb_core::rng::Xoshiro256pp;
+
+/// A complete assignment of weighted balls to capacity-`cap` bins.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packing {
+    /// `assignment[k]` = bin of ball `k`.
+    pub assignment: Vec<u32>,
+    /// Per-bin packed weight.
+    pub loads: Vec<u64>,
+    /// Capacity every bin respects.
+    pub cap: u64,
+}
+
+impl Packing {
+    /// Number of bins holding at least one ball.
+    pub fn bins_used(&self) -> usize {
+        self.loads.iter().filter(|&&l| l > 0).count()
+    }
+
+    /// Maximum packed weight over all bins.
+    pub fn max_load(&self) -> u64 {
+        self.loads.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Balls assigned to different bins in `self` vs `other` (same arity).
+    pub fn moves_versus(&self, other: &Packing) -> u64 {
+        self.assignment
+            .iter()
+            .zip(&other.assignment)
+            .filter(|(a, b)| a != b)
+            .count() as u64
+    }
+}
+
+/// Deterministic first-fit-decreasing: sort balls by weight descending
+/// (ties broken by ball index, so equal-weight inputs pack identically on
+/// every run), then place each ball in the lowest-indexed bin with room.
+///
+/// Returns `None` if some ball fits in no bin — callers choose `bins`/`cap`
+/// feasibility; this function never panics on infeasible input.
+pub fn first_fit_decreasing(weights: &[u32], bins: usize, cap: u64) -> Option<Packing> {
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by_key(|&k| (core::cmp::Reverse(weights[k]), k));
+    let mut loads = vec![0u64; bins];
+    let mut assignment = vec![0u32; weights.len()];
+    for k in order {
+        let w = u64::from(weights[k]);
+        let bin = loads.iter().position(|&l| l + w <= cap)?;
+        loads[bin] += w;
+        // rbb-lint: allow(lossy-cast, reason = "bin < bins <= u32 bin-index domain shared with Config loads")
+        assignment[k] = bin as u32;
+    }
+    Some(Packing {
+        assignment,
+        loads,
+        cap,
+    })
+}
+
+/// Minimum bin count FFD needs for `weights` at capacity `cap`, i.e. the
+/// classical bin-packing objective. `None` if a single ball exceeds `cap`.
+pub fn ffd_bins_used(weights: &[u32], cap: u64) -> Option<usize> {
+    if weights.is_empty() {
+        return Some(0);
+    }
+    first_fit_decreasing(weights, weights.len(), cap).map(|p| p.bins_used())
+}
+
+/// Rebalancing cost of full repacking over a churn sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChurnReport {
+    /// Churn events applied.
+    pub events: u64,
+    /// Balls (other than the churned one) relocated, summed over events.
+    pub total_moves: u64,
+    /// Worst single-event relocation count.
+    pub max_moves: u64,
+}
+
+impl ChurnReport {
+    /// Mean collateral moves per churn event.
+    pub fn mean_moves(&self) -> f64 {
+        if self.events == 0 {
+            return 0.0;
+        }
+        self.total_moves as f64 / self.events as f64
+    }
+}
+
+/// Applies `events` churn events — each replaces one uniformly chosen
+/// ball's weight with a fresh uniform draw from `1..=w_max` — repacking
+/// from scratch with FFD after each, and counts how many *other* balls
+/// change bins (the collateral rebalancing the process never pays).
+///
+/// Returns `None` on empty input, `w_max == 0`, or if any repack becomes
+/// infeasible for the given `bins`/`cap`.
+///
+/// # RNG stream
+///
+/// Consumes exactly two draws per event from `rng`: one `uniform_usize`
+/// for the churned ball and one `next_below` for its replacement weight.
+/// Callers derive `rng` from the master seed (E27 salts a dedicated
+/// stream); this function constructs no stream of its own.
+pub fn rebalancing_cost_under_churn(
+    weights: &[u32],
+    bins: usize,
+    cap: u64,
+    w_max: u32,
+    events: u64,
+    rng: &mut Xoshiro256pp,
+) -> Option<ChurnReport> {
+    if weights.is_empty() || w_max == 0 {
+        return None;
+    }
+    let mut weights = weights.to_vec();
+    let mut current = first_fit_decreasing(&weights, bins, cap)?;
+    let mut report = ChurnReport {
+        events: 0,
+        total_moves: 0,
+        max_moves: 0,
+    };
+    for _ in 0..events {
+        let ball = rng.uniform_usize(weights.len());
+        // rbb-lint: allow(lossy-cast, reason = "next_below(w_max as u64) < w_max <= u32::MAX")
+        weights[ball] = 1 + rng.next_below(u64::from(w_max)) as u32;
+        let next = first_fit_decreasing(&weights, bins, cap)?;
+        let mut moves = next.moves_versus(&current);
+        // The churned ball's own relocation is forced, not collateral.
+        if next.assignment[ball] != current.assignment[ball] {
+            moves -= 1;
+        }
+        report.events += 1;
+        report.total_moves += moves;
+        report.max_moves = report.max_moves.max(moves);
+        current = next;
+    }
+    Some(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packs_the_textbook_example() {
+        // Weights {7,6,4,4,3} at cap 10: FFD uses 7+3, 6+4, 4 = 3 bins
+        // (optimal).
+        let p = first_fit_decreasing(&[7, 6, 4, 4, 3], 5, 10).unwrap();
+        assert_eq!(p.bins_used(), 3);
+        assert!(p.loads.iter().all(|&l| l <= 10));
+        assert_eq!(p.loads.iter().sum::<u64>(), 24);
+    }
+
+    #[test]
+    fn assignment_respects_capacity_and_mass() {
+        let weights = [9u32, 1, 4, 1, 25, 2, 8, 8, 8];
+        let p = first_fit_decreasing(&weights, 4, 30).unwrap();
+        let mut recount = vec![0u64; 4];
+        for (k, &bin) in p.assignment.iter().enumerate() {
+            recount[bin as usize] += u64::from(weights[k]);
+        }
+        assert_eq!(recount, p.loads);
+        assert!(p.max_load() <= 30);
+    }
+
+    #[test]
+    fn infeasible_inputs_return_none() {
+        // A ball bigger than cap fits nowhere.
+        assert!(first_fit_decreasing(&[11], 3, 10).is_none());
+        // Mass exceeds bins * cap.
+        assert!(first_fit_decreasing(&[6, 6, 6], 2, 10).is_none());
+        assert!(ffd_bins_used(&[11], 10).is_none());
+    }
+
+    #[test]
+    fn bins_used_is_within_the_ffd_guarantee() {
+        // 11/9 * OPT + 6/9; OPT >= ceil(mass/cap).
+        let weights: Vec<u32> = (1..=60).map(|k| 1 + (97 * k) % 40).collect();
+        let cap = 64u64;
+        let used = ffd_bins_used(&weights, cap).unwrap();
+        let mass: u64 = weights.iter().map(|&w| u64::from(w)).sum();
+        let opt_lb = mass.div_ceil(cap);
+        assert!(used as u64 >= opt_lb);
+        assert!((used as f64) <= (11.0 / 9.0) * opt_lb as f64 + 6.0 / 9.0 + 1.0);
+    }
+
+    #[test]
+    fn equal_weights_pack_deterministically() {
+        let a = first_fit_decreasing(&[5; 12], 6, 10).unwrap();
+        let b = first_fit_decreasing(&[5; 12], 6, 10).unwrap();
+        assert_eq!(a, b);
+        // Ties broken by index: balls 0,1 share bin 0, balls 2,3 bin 1, …
+        assert_eq!(a.assignment, vec![0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5]);
+    }
+
+    #[test]
+    fn churn_is_deterministic_per_seed() {
+        let weights = [3u32; 24];
+        let mut r1 = Xoshiro256pp::seed_from(9);
+        let mut r2 = Xoshiro256pp::seed_from(9);
+        let a = rebalancing_cost_under_churn(&weights, 24, 12, 8, 200, &mut r1).unwrap();
+        let b = rebalancing_cost_under_churn(&weights, 24, 12, 8, 200, &mut r2).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.events, 200);
+    }
+
+    #[test]
+    fn churn_relocations_are_collateral_damage() {
+        // Tightly packed equal weights: bumping one ball's weight reshuffles
+        // the decreasing order, so FFD relocates balls it did not touch.
+        let weights = [4u32; 32];
+        let mut rng = Xoshiro256pp::seed_from(11);
+        let report = rebalancing_cost_under_churn(&weights, 32, 9, 9, 300, &mut rng).unwrap();
+        assert!(
+            report.total_moves > 0,
+            "full repacking should move untouched balls"
+        );
+        assert!(report.max_moves >= 1);
+        assert!(report.mean_moves() > 0.0);
+    }
+
+    #[test]
+    fn churn_rejects_degenerate_inputs() {
+        let mut rng = Xoshiro256pp::seed_from(1);
+        assert!(rebalancing_cost_under_churn(&[], 4, 10, 5, 10, &mut rng).is_none());
+        assert!(rebalancing_cost_under_churn(&[3], 1, 10, 0, 10, &mut rng).is_none());
+        // cap 4, w_max 9: some draw eventually exceeds cap -> infeasible.
+        assert!(rebalancing_cost_under_churn(&[2, 2], 2, 4, 9, 500, &mut rng).is_none());
+    }
+}

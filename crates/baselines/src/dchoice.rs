@@ -23,6 +23,11 @@ pub struct DChoiceProcess {
 
 impl DChoiceProcess {
     /// Creates the process with `d ≥ 1` choices.
+    ///
+    /// # RNG stream
+    ///
+    /// Each round consumes `d` `uniform_usize` draws per non-empty bin, in
+    /// bin order. Callers hand over a stream derived from the master seed.
     pub fn new(config: Config, d: usize, rng: Xoshiro256pp) -> Self {
         assert!(d >= 1, "need at least one choice");
         let n = config.n();
@@ -37,6 +42,7 @@ impl DChoiceProcess {
 
     /// One ball per bin start.
     pub fn legitimate_start(n: usize, d: usize, seed: u64) -> Self {
+        // rbb-lint: allow(rng-construct, reason = "baseline convenience constructor seeded by the caller's master seed; baselines sits below rbb_sim::seed in the crate graph")
         Self::new(Config::one_per_bin(n), d, Xoshiro256pp::seed_from(seed))
     }
 

@@ -7,6 +7,9 @@
 //! * [`independent`] — unconstrained parallel random walks (no
 //!   one-release-per-round constraint): isolates the queueing correlation.
 //! * [`sqrt_bound`] — the prior `O(√t)` bound of \[12\] as an explicit curve.
+//! * [`binpack`] — greedy first-fit-decreasing packing with a
+//!   rebalancing-cost-under-churn metric: the centralized comparator for
+//!   the weighted regime (E27).
 //! * [`jackson`] — a closed Jackson network on the clique (\[30\]): the
 //!   sequential, product-form cousin from classical queueing theory.
 //! * [`sequential`] — the sequentialized (random firing order) update of
@@ -15,6 +18,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod binpack;
 pub mod dchoice;
 pub mod independent;
 pub mod jackson;
@@ -22,6 +26,7 @@ pub mod oneshot;
 pub mod sequential;
 pub mod sqrt_bound;
 
+pub use binpack::{first_fit_decreasing, rebalancing_cost_under_churn, ChurnReport, Packing};
 pub use dchoice::DChoiceProcess;
 pub use independent::IndependentWalks;
 pub use jackson::JacksonNetwork;

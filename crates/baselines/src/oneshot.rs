@@ -11,11 +11,19 @@ use rbb_core::sampling::random_assignment;
 use rbb_stats::IntHistogram;
 
 /// One one-shot throw: returns the resulting configuration.
+///
+/// # RNG stream
+///
+/// Consumes exactly `m` uniform draws from `rng`, one per ball.
 pub fn oneshot(n: usize, m: u64, rng: &mut Xoshiro256pp) -> Config {
     Config::from_loads(random_assignment(rng, n, m))
 }
 
 /// Maximum load of a single one-shot throw.
+///
+/// # RNG stream
+///
+/// Consumes exactly `m` uniform draws from `rng` (one [`oneshot`] throw).
 pub fn oneshot_max_load(n: usize, m: u64, rng: &mut Xoshiro256pp) -> u32 {
     oneshot(n, m, rng).max_load()
 }
@@ -24,6 +32,7 @@ pub fn oneshot_max_load(n: usize, m: u64, rng: &mut Xoshiro256pp) -> u32 {
 pub fn oneshot_max_load_distribution(n: usize, m: u64, trials: usize, seed: u64) -> IntHistogram {
     let mut hist = IntHistogram::new();
     for i in 0..trials {
+        // rbb-lint: allow(rng-construct, reason = "per-trial stream salted by trial index from the caller's master seed; baselines sits below rbb_sim::seed in the crate graph")
         let mut rng = Xoshiro256pp::stream(seed, i as u64);
         hist.add(oneshot_max_load(n, m, &mut rng) as usize);
     }

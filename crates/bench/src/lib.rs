@@ -23,7 +23,11 @@ use std::time::Instant;
 
 /// Version of the `BENCH.json` schema emitted by [`BenchReport::to_json`].
 /// Bump on any breaking change to the report shape.
-pub const SCHEMA_VERSION: u32 = 1;
+/// v2: added the interleaved `engine/weighted-unit` /
+/// `engine/weighted-unit-baseline` pair and the
+/// `engine_rounds_per_sec_weighted_unit{,_baseline}` +
+/// `engine_ratio_weighted_unit_vs_batched` derived fields.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// One measured benchmark: `reps` timed iterations after `warmup` untimed
 /// ones, summarized by min/median/mean nanoseconds per iteration and the
@@ -51,6 +55,13 @@ pub struct BenchResult {
     pub mean_ns: f64,
     /// `items_per_iter / median_seconds` — the headline throughput.
     pub throughput_per_sec: f64,
+    /// For the primary side of a [`measure_paired`] run: the median over
+    /// reps of the per-rep throughput ratio against the partner routine
+    /// (`partner_ns[i] / self_ns[i]`). Adjacent-in-time reps see the same
+    /// machine drift, so this is far tighter than the ratio of the two
+    /// medians; tight gates read this. `None` for single measurements and
+    /// for the partner side.
+    pub paired_ratio: Option<f64>,
 }
 
 /// Identification half of a benchmark: everything except the timings.
@@ -95,6 +106,31 @@ pub fn median(samples: &[f64]) -> f64 {
     rbb_stats::median(samples)
 }
 
+/// Summarizes timed samples into a [`BenchResult`] (median-derived
+/// throughput, min/median/mean ns).
+fn summarize(spec: Spec, samples_ns: &[f64]) -> BenchResult {
+    let median_ns = median(samples_ns);
+    let min_ns = samples_ns.iter().copied().fold(f64::INFINITY, f64::min);
+    let mean_ns = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+    BenchResult {
+        throughput_per_sec: if median_ns > 0.0 {
+            spec.items_per_iter as f64 * 1e9 / median_ns
+        } else {
+            0.0
+        },
+        name: spec.name,
+        group: spec.group,
+        n: spec.n,
+        items_per_iter: spec.items_per_iter,
+        unit: spec.unit,
+        reps: samples_ns.len(),
+        min_ns,
+        median_ns,
+        mean_ns,
+        paired_ratio: None,
+    }
+}
+
 /// Times `routine`: `warmup` untimed iterations (cache/branch-predictor
 /// warm-up and, for the engines, burn-in to the stationary load profile),
 /// then `reps` timed iterations summarized into a [`BenchResult`].
@@ -109,25 +145,51 @@ pub fn measure(spec: Spec, warmup: usize, reps: usize, mut routine: impl FnMut()
         routine();
         samples_ns.push(start.elapsed().as_secs_f64() * 1e9);
     }
-    let median_ns = median(&samples_ns);
-    let min_ns = samples_ns.iter().copied().fold(f64::INFINITY, f64::min);
-    let mean_ns = samples_ns.iter().sum::<f64>() / reps as f64;
-    BenchResult {
-        throughput_per_sec: if median_ns > 0.0 {
-            spec.items_per_iter as f64 * 1e9 / median_ns
-        } else {
-            0.0
-        },
-        name: spec.name,
-        group: spec.group,
-        n: spec.n,
-        items_per_iter: spec.items_per_iter,
-        unit: spec.unit,
-        reps,
-        min_ns,
-        median_ns,
-        mean_ns,
+    summarize(spec, &samples_ns)
+}
+
+/// Times two routines interleaved (a, b, a, b, …), warmup and timed reps
+/// alike, summarizing each side as its own [`BenchResult`].
+///
+/// On a machine with drifting background load, two *separately* measured
+/// medians can disagree by tens of percent even for identical code, which
+/// swamps any tight ratio gate. Interleaving exposes both sides to the same
+/// drift, so their median ratio stays meaningful at the few-percent scale.
+/// Use this for neutrality gates (e.g. the weighted-unit ≤ 5% budget);
+/// independent [`measure`] calls are fine for order-of-magnitude speedups.
+pub fn measure_paired(
+    spec_a: Spec,
+    spec_b: Spec,
+    warmup: usize,
+    reps: usize,
+    mut routine_a: impl FnMut(),
+    mut routine_b: impl FnMut(),
+) -> (BenchResult, BenchResult) {
+    let reps = reps.max(1);
+    for _ in 0..warmup {
+        routine_a();
+        routine_b();
     }
+    let mut samples_a = Vec::with_capacity(reps);
+    let mut samples_b = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let start = Instant::now();
+        routine_a();
+        samples_a.push(start.elapsed().as_secs_f64() * 1e9);
+        let start = Instant::now();
+        routine_b();
+        samples_b.push(start.elapsed().as_secs_f64() * 1e9);
+    }
+    // Per-rep ratios pair each timing with its in-time neighbor, so machine
+    // drift cancels rep by rep instead of only in aggregate.
+    let ratios: Vec<f64> = samples_a
+        .iter()
+        .zip(&samples_b)
+        .map(|(&a, &b)| if a > 0.0 { b / a } else { 0.0 })
+        .collect();
+    let mut result_a = summarize(spec_a, &samples_a);
+    result_a.paired_ratio = Some(median(&ratios));
+    (result_a, summarize(spec_b, &samples_b))
 }
 
 /// Cross-benchmark numbers derived from the raw measurements. `None` fields
@@ -161,6 +223,24 @@ pub struct Derived {
     /// at least as many cores as the benchmark has shards (the ratio is
     /// always recorded, so single-core CI still tracks the trajectory).
     pub engine_speedup_sharded_vs_dense: Option<f64>,
+    /// Median throughput of `engine/weighted-unit` (the dense engine built
+    /// through the weighted constructor with all-ones weights — the unit
+    /// fast path), in rounds/sec.
+    pub engine_rounds_per_sec_weighted_unit: Option<f64>,
+    /// Median throughput of `engine/weighted-unit-baseline` (the plain
+    /// batched engine on the identical workload, measured interleaved with
+    /// `engine/weighted-unit` via [`measure_paired`]), in rounds/sec.
+    pub engine_rounds_per_sec_weighted_unit_baseline: Option<f64>,
+    /// `weighted-unit / weighted-unit-baseline` — the weighted-layer
+    /// neutrality gate; `ci.sh` enforces a minimum via
+    /// `--min-weighted-unit-ratio` (0.95 ⇒ the unit-weight fast path may
+    /// regress at most 5% against the batched kernel). The baseline is the
+    /// `engine/batched` kernel re-measured interleaved with the weighted
+    /// side, and the ratio is the per-rep paired median
+    /// ([`BenchResult::paired_ratio`]), falling back to the ratio of the
+    /// two medians — two independently measured medians drift by far more
+    /// than the 5% budget on a shared machine.
+    pub engine_ratio_weighted_unit_vs_batched: Option<f64>,
 }
 
 impl Derived {
@@ -182,6 +262,12 @@ impl Derived {
         let sparse_baseline = throughput("engine/sparse-baseline");
         let sharded = throughput("engine/sharded");
         let sharded_baseline = throughput("engine/sharded-baseline");
+        let weighted_unit = throughput("engine/weighted-unit");
+        let weighted_unit_baseline = throughput("engine/weighted-unit-baseline");
+        let weighted_unit_paired = results
+            .iter()
+            .find(|r| r.name == "engine/weighted-unit")
+            .and_then(|r| r.paired_ratio);
         Self {
             engine_rounds_per_sec_scalar: scalar,
             engine_rounds_per_sec_batched: batched,
@@ -192,6 +278,10 @@ impl Derived {
             engine_rounds_per_sec_sharded: sharded,
             engine_rounds_per_sec_sharded_baseline: sharded_baseline,
             engine_speedup_sharded_vs_dense: ratio(sharded, sharded_baseline),
+            engine_rounds_per_sec_weighted_unit: weighted_unit,
+            engine_rounds_per_sec_weighted_unit_baseline: weighted_unit_baseline,
+            engine_ratio_weighted_unit_vs_batched: weighted_unit_paired
+                .or_else(|| ratio(weighted_unit, weighted_unit_baseline)),
         }
     }
 }
@@ -305,6 +395,53 @@ mod tests {
     }
 
     #[test]
+    fn derived_weighted_unit_ratio_from_pair() {
+        let mut baseline = measure(spec(), 0, 1, || {});
+        baseline.name = "engine/weighted-unit-baseline".into();
+        baseline.throughput_per_sec = 200.0;
+        let mut weighted = baseline.clone();
+        weighted.name = "engine/weighted-unit".into();
+        weighted.throughput_per_sec = 190.0;
+        assert_eq!(weighted.paired_ratio, None);
+        let d = Derived::from_results(&[baseline.clone(), weighted.clone()]);
+        assert_eq!(d.engine_rounds_per_sec_weighted_unit, Some(190.0));
+        assert_eq!(d.engine_rounds_per_sec_weighted_unit_baseline, Some(200.0));
+        // No per-rep paired ratio recorded → fall back to the median ratio.
+        assert_eq!(d.engine_ratio_weighted_unit_vs_batched, Some(0.95));
+        // The pair is independent of both the scalar side and the
+        // standalone engine/batched entry.
+        assert_eq!(d.engine_speedup_batched_vs_scalar, None);
+        // A recorded paired ratio wins over the ratio of medians.
+        weighted.paired_ratio = Some(0.99);
+        let d = Derived::from_results(&[baseline, weighted]);
+        assert_eq!(d.engine_ratio_weighted_unit_vs_batched, Some(0.99));
+    }
+
+    #[test]
+    fn measure_paired_interleaves_and_summarizes_both_sides() {
+        let order = std::cell::RefCell::new(String::new());
+        let spec_b = Spec::new("engine/b", "engine", 64, 10, "rounds");
+        let (ra, rb) = measure_paired(
+            spec(),
+            spec_b,
+            2,
+            5,
+            || order.borrow_mut().push('a'),
+            || order.borrow_mut().push('b'),
+        );
+        assert_eq!(ra.reps, 5);
+        assert_eq!(rb.reps, 5);
+        assert!(ra.min_ns >= 0.0 && rb.min_ns >= 0.0);
+        assert_eq!(rb.name, "engine/b");
+        // The primary side carries the per-rep paired ratio, the partner
+        // side does not.
+        assert!(ra.paired_ratio.is_some_and(|r| r > 0.0));
+        assert_eq!(rb.paired_ratio, None);
+        // 2 warmup + 5 timed on each side, strictly alternating.
+        assert_eq!(*order.borrow(), "ab".repeat(7));
+    }
+
+    #[test]
     fn derived_is_null_when_engines_filtered_out() {
         let d = Derived::from_results(&[]);
         assert_eq!(d.engine_speedup_batched_vs_scalar, None);
@@ -332,7 +469,7 @@ mod tests {
         };
         let json = report.to_json();
         for key in [
-            "\"schema_version\": 1",
+            "\"schema_version\": 2",
             "\"benchmarks\"",
             "\"median_ns\"",
             "\"throughput_per_sec\"",

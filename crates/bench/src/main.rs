@@ -12,10 +12,11 @@
 //! ```text
 //! rbb-bench [--quick] [--json <path>] [--only <substring>]
 //!           [--reps <k>] [--seed <u64>] [--min-engine-speedup <x>]
-//!           [--min-sparse-speedup <x>] [--list]
+//!           [--min-sparse-speedup <x>] [--min-sharded-speedup <x>]
+//!           [--min-weighted-unit-ratio <x>] [--list]
 //! ```
 
-use rbb_bench::{measure, BenchReport, BenchResult, Derived, Spec, SCHEMA_VERSION};
+use rbb_bench::{measure, measure_paired, BenchReport, BenchResult, Derived, Spec, SCHEMA_VERSION};
 use rbb_core::ball_process::BallProcess;
 use rbb_core::config::Config;
 use rbb_core::engine::Engine;
@@ -24,6 +25,7 @@ use rbb_core::process::LoadProcess;
 use rbb_core::rng::Xoshiro256pp;
 use rbb_core::strategy::QueueStrategy;
 use rbb_core::tetris::Tetris;
+use rbb_core::weights::{Capacities, Weights};
 use rbb_graphs::{complete, ring, RandomWalk};
 use rbb_serve::{MockClock, Session};
 use rbb_sim::{
@@ -139,7 +141,7 @@ fn usage() -> ! {
         "usage: rbb-bench [--quick] [--json <path>] [--only <substring>]\n\
          \u{20}                [--reps <k>] [--seed <u64>] [--min-engine-speedup <x>]\n\
          \u{20}                [--min-sparse-speedup <x>] [--min-sharded-speedup <x>]\n\
-         \u{20}                [--list]"
+         \u{20}                [--min-weighted-unit-ratio <x>] [--list]"
     );
     std::process::exit(2);
 }
@@ -149,13 +151,29 @@ fn usage() -> ! {
 /// survives the `--only` filter; `--list` never constructs any.
 struct Bench {
     spec: Spec,
-    build: Box<dyn FnOnce() -> Box<dyn FnMut()>>,
+    kind: Kind,
+}
+
+/// How a registered benchmark is measured.
+enum Kind {
+    /// One routine, timed on its own ([`measure`]).
+    Single(Box<dyn FnOnce() -> Box<dyn FnMut()>>),
+    /// Two routines timed interleaved ([`measure_paired`]) so their ratio
+    /// survives timing drift; `baseline` names the second side's entry.
+    Paired {
+        baseline: Spec,
+        #[allow(clippy::type_complexity)]
+        build: Box<dyn FnOnce() -> (Box<dyn FnMut()>, Box<dyn FnMut()>)>,
+    },
 }
 
 /// The benchmark registry — the single source of truth for names, sizes,
 /// and routines (`--list`, `--only`, and the measurements all read it).
 fn registry(p: &Profile, seed: u64) -> Vec<Bench> {
-    let mk = |spec: Spec, build: Box<dyn FnOnce() -> Box<dyn FnMut()>>| Bench { spec, build };
+    let mk = |spec: Spec, build: Box<dyn FnOnce() -> Box<dyn FnMut()>>| Bench {
+        spec,
+        kind: Kind::Single(build),
+    };
     let (engine_n, engine_rounds) = (p.engine_n, p.engine_rounds);
     let (ball_n, ball_rounds) = (p.ball_n, p.ball_rounds);
     let (trav_n, trav_rounds) = (p.traversal_n, p.traversal_rounds);
@@ -230,6 +248,44 @@ fn registry(p: &Profile, seed: u64) -> Vec<Bench> {
                 })
             }),
         ),
+        Bench {
+            // The identical workload as engine/batched, but built through
+            // the weighted constructor with all-ones weights and unbounded
+            // capacities: the overlay normalizes away, so any measured gap
+            // against the plain batched engine is overhead the weighted
+            // layer leaked into the unit fast path (gated < 5% by ci.sh).
+            // The two sides are timed interleaved — a 5% budget is far
+            // below the drift between two independently measured medians.
+            spec: Spec::new(
+                "engine/weighted-unit",
+                "engine",
+                engine_n as u64,
+                engine_rounds,
+                "rounds",
+            ),
+            kind: Kind::Paired {
+                baseline: Spec::new(
+                    "engine/weighted-unit-baseline",
+                    "engine",
+                    engine_n as u64,
+                    engine_rounds,
+                    "rounds",
+                ),
+                build: Box::new(move || {
+                    let mut weighted = LoadProcess::with_weights(
+                        Config::one_per_bin(engine_n),
+                        Xoshiro256pp::seed_from(seed),
+                        Weights::Explicit(vec![1; engine_n]),
+                        Capacities::Unbounded,
+                    );
+                    let mut plain = LoadProcess::legitimate_start(engine_n, seed);
+                    (
+                        Box::new(move || weighted.run_silent(engine_rounds)),
+                        Box::new(move || plain.run_silent(engine_rounds)),
+                    )
+                }),
+            },
+        },
         mk(
             Spec::new(
                 "ball_engine/scalar",
@@ -514,17 +570,29 @@ fn registry(p: &Profile, seed: u64) -> Vec<Bench> {
 /// stationary load profile, so the timed iterations measure equilibrium
 /// throughput.
 fn run_benchmarks(p: &Profile, seed: u64, only: Option<&str>, reps: usize) -> Vec<BenchResult> {
+    let print_line = |r: &BenchResult| {
+        println!(
+            "{:<24} n={:<6} {:>14.1} ns/iter {:>16.0} {}/s",
+            r.name, r.n, r.median_ns, r.throughput_per_sec, r.unit
+        );
+    };
     registry(p, seed)
         .into_iter()
         .filter(|b| only.is_none_or(|pat| b.spec.name.contains(pat)))
-        .map(|b| {
-            let mut routine = (b.build)();
-            let r = measure(b.spec, p.warmup, reps, &mut routine);
-            println!(
-                "{:<24} n={:<6} {:>14.1} ns/iter {:>16.0} {}/s",
-                r.name, r.n, r.median_ns, r.throughput_per_sec, r.unit
-            );
-            r
+        .flat_map(|b| match b.kind {
+            Kind::Single(build) => {
+                let mut routine = build();
+                let r = measure(b.spec, p.warmup, reps, &mut routine);
+                print_line(&r);
+                vec![r]
+            }
+            Kind::Paired { baseline, build } => {
+                let (mut ra, mut rb) = build();
+                let (a, base) = measure_paired(b.spec, baseline, p.warmup, reps, &mut ra, &mut rb);
+                print_line(&a);
+                print_line(&base);
+                vec![a, base]
+            }
         })
         .collect()
 }
@@ -539,6 +607,7 @@ fn main() {
     let mut min_speedup: Option<f64> = None;
     let mut min_sparse_speedup: Option<f64> = None;
     let mut min_sharded_speedup: Option<f64> = None;
+    let mut min_weighted_unit_ratio: Option<f64> = None;
     let mut list = false;
 
     let mut i = 0;
@@ -563,6 +632,9 @@ fn main() {
             "--min-sharded-speedup" => {
                 min_sharded_speedup = Some(take(&mut i).parse().unwrap_or_else(|_| usage()))
             }
+            "--min-weighted-unit-ratio" => {
+                min_weighted_unit_ratio = Some(take(&mut i).parse().unwrap_or_else(|_| usage()))
+            }
             _ => usage(),
         }
         i += 1;
@@ -572,6 +644,9 @@ fn main() {
         // Unconsumed builders construct no fixtures, so listing is free.
         for bench in registry(&QUICK, seed) {
             println!("{}", bench.spec.name);
+            if let Kind::Paired { baseline, .. } = &bench.kind {
+                println!("{}", baseline.name);
+            }
         }
         return;
     }
@@ -598,6 +673,9 @@ fn main() {
             "sharded speedup (sharded vs dense engine, {} shards): {speedup:.2}x",
             profile.sharded_shards
         );
+    }
+    if let Some(ratio) = derived.engine_ratio_weighted_unit_vs_batched {
+        println!("weighted-unit ratio (unit fast path vs batched): {ratio:.2}x");
     }
 
     let report = BenchReport {
@@ -687,6 +765,25 @@ fn main() {
             }
             None => {
                 eprintln!("sharded perf gate FAILED: sharded benchmarks were filtered out");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(min) = min_weighted_unit_ratio {
+        match report.derived.engine_ratio_weighted_unit_vs_batched {
+            Some(ratio) if ratio >= min => {
+                println!("weighted-unit perf gate OK: {ratio:.2}x >= {min:.2}x");
+            }
+            Some(ratio) => {
+                eprintln!(
+                    "weighted-unit perf gate FAILED: unit fast path at {ratio:.2}x of \
+                     engine/batched < required {min:.2}x (the weighted layer leaked \
+                     overhead into the unit path)"
+                );
+                std::process::exit(1);
+            }
+            None => {
+                eprintln!("weighted-unit perf gate FAILED: engine benchmarks were filtered out");
                 std::process::exit(1);
             }
         }

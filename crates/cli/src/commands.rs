@@ -146,6 +146,9 @@ pub fn sim(args: &Args) -> Result<(), ParseError> {
         .with_max_load()
         .with_empty_bins()
         .with_legitimacy(threshold);
+    if spec.is_weighted() {
+        stack = stack.with_weighted_load().with_capacity();
+    }
     let outcome = scenario.run_observed(&mut stack);
 
     println!("  rounds run           : {}", outcome.rounds);
@@ -159,6 +162,25 @@ pub fn sim(args: &Args) -> Result<(), ParseError> {
         println!("  faults injected      : {}", outcome.faults);
     }
     print_summary(n, &stack, threshold);
+    if let Some(wl) = &stack.weighted_load {
+        let engine = scenario.engine();
+        println!(
+            "  weighted max (window): {} (scaled bound = {})",
+            wl.window_max(),
+            threshold.weighted_bound(n, engine.total_weight(), engine.balls()),
+        );
+        println!(
+            "  mean weighted max    : {}",
+            fmt_f64(wl.mean_round_max(), 2)
+        );
+    }
+    if let Some(cap) = &stack.capacity {
+        println!(
+            "  capacity violations  : {} rounds in violation, worst {} bins over",
+            cap.rounds_in_violation(),
+            cap.max_violations(),
+        );
+    }
     if let Some(p) = scenario.engine().min_progress() {
         println!("  min token progress   : {p}");
     }

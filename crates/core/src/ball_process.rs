@@ -106,9 +106,11 @@ impl BallProcess {
     }
 
     #[inline]
-    /// Number of balls `m`.
-    pub fn balls(&self) -> usize {
-        self.stats.len()
+    /// Number of balls `m` — `u64` like every other engine's ball counter
+    /// (the [`Engine::balls`] unit), even though ball identities cap the
+    /// practical range well below it.
+    pub fn balls(&self) -> u64 {
+        self.stats.len() as u64
     }
 
     #[inline]

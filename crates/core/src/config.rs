@@ -223,6 +223,17 @@ impl LegitimacyThreshold {
     pub fn is_legitimate(&self, q: &Config) -> bool {
         q.max_load() <= self.bound(q.n())
     }
+
+    /// The weighted-load bound: the unit bound scaled by the mean ball
+    /// weight, `⌈β·ln n⌉ · max(1, ⌈W/m⌉)` for total weight `W` over `m`
+    /// balls. With unit weights (`W = m`) this is exactly
+    /// [`bound`](Self::bound), so weighted legitimacy degenerates to the
+    /// paper's definition; under skew it asks the same structural question —
+    /// "is no bin holding more than O(log n) *average-sized* balls?"
+    pub fn weighted_bound(&self, n: usize, total_weight: u64, balls: u64) -> u64 {
+        let mean_weight = total_weight.div_ceil(balls.max(1)).max(1);
+        u64::from(self.bound(n)) * mean_weight
+    }
 }
 
 impl Default for LegitimacyThreshold {
@@ -327,6 +338,20 @@ mod tests {
         assert!(t.is_legitimate(&legit));
         let bad = Config::all_in_one(n, n as u32);
         assert!(!t.is_legitimate(&bad));
+    }
+
+    #[test]
+    fn weighted_bound_degenerates_to_unit_and_scales_with_mean() {
+        let t = LegitimacyThreshold::default();
+        // Unit weights: W = m, mean 1 — exactly the unit bound.
+        assert_eq!(t.weighted_bound(1024, 1024, 1024), u64::from(t.bound(1024)));
+        // Mean weight 3 (ceil of 2.5) scales the bound.
+        assert_eq!(
+            t.weighted_bound(1024, 2560, 1024),
+            3 * u64::from(t.bound(1024))
+        );
+        // Degenerate empty system: bound stays positive.
+        assert_eq!(t.weighted_bound(64, 0, 0), u64::from(t.bound(64)));
     }
 
     #[test]

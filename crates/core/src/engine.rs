@@ -29,6 +29,7 @@
 use crate::config::Config;
 use crate::metrics::RoundObserver;
 use crate::snapshot::SnapshotState;
+use crate::weights::Capacities;
 
 /// A round-synchronous simulation engine over a load configuration.
 ///
@@ -167,6 +168,65 @@ pub trait Engine {
         let _ = bin;
         // rbb-lint: allow(panic, reason = "guarded by supports_incremental(); rbb-serve rejects allocation requests for engines without support")
         panic!("this engine does not support incremental departure");
+    }
+
+    /// Whether the engine carries non-unit ball weights. `false` for every
+    /// engine outside the weighted configurations of the load engines; when
+    /// `false`, all the `weighted_*` accessors below degenerate to their
+    /// unit counterparts.
+    fn weighted(&self) -> bool {
+        false
+    }
+
+    /// Total weight in the system. Equals [`balls`](Engine::balls) for unit
+    /// engines.
+    fn total_weight(&self) -> u64 {
+        self.balls()
+    }
+
+    /// Maximum **weighted** load over all bins. Equals
+    /// [`max_load`](Engine::max_load) for unit engines.
+    fn weighted_max_load(&self) -> u64 {
+        u64::from(self.max_load())
+    }
+
+    /// Weighted load of one bin. Equals [`bin_load`](Engine::bin_load) for
+    /// unit engines.
+    fn weighted_bin_load(&self, bin: usize) -> u64 {
+        u64::from(self.bin_load(bin))
+    }
+
+    /// The per-bin capacity bounds the engine observes —
+    /// [`Capacities::Unbounded`] unless configured otherwise (only the load
+    /// engines accept capacities).
+    fn capacities(&self) -> &Capacities {
+        &Capacities::Unbounded
+    }
+
+    /// Number of bins whose weighted load currently exceeds their capacity.
+    /// 0 under [`Capacities::Unbounded`]; the default otherwise scans all
+    /// `n` bins, and the sparse engine overrides it with an `O(#occupied)`
+    /// scan (empty bins never violate — capacities are ≥ 1).
+    fn capacity_violations(&self) -> u64 {
+        let caps = self.capacities();
+        if caps.is_unbounded() {
+            return 0;
+        }
+        (0..self.n())
+            .filter(|&b| caps.bound(b).is_some_and(|c| self.weighted_bin_load(b) > c))
+            .count() as u64
+    }
+
+    /// Places one **new** ball of weight `weight`, the weighted counterpart
+    /// of [`place`](Engine::place) — same RNG draw, same returned bin. The
+    /// default accepts only weight 1 (unit engines have nowhere to record a
+    /// heavier ball); weighted load engines override it.
+    fn place_weighted(&mut self, weight: u32) -> usize {
+        assert_eq!(
+            weight, 1,
+            "this engine is not weighted: only weight-1 placements are supported"
+        );
+        self.place()
     }
 
     /// The engine's bit-exact resumable state (loads + RNG stream states +
@@ -329,6 +389,30 @@ mod tests {
         assert!(Engine::min_progress(&bp).expect("ball engine tracks progress") > 0);
         let lp = LoadProcess::legitimate_start(16, 6);
         assert_eq!(Engine::min_progress(&lp), None);
+    }
+
+    #[test]
+    fn weighted_defaults_degenerate_to_unit() {
+        let mut p = LoadProcess::legitimate_start(16, 9);
+        p.run_silent(20);
+        assert!(!Engine::weighted(&p));
+        assert_eq!(Engine::total_weight(&p), Engine::balls(&p));
+        assert_eq!(
+            Engine::weighted_max_load(&p),
+            u64::from(Engine::max_load(&p))
+        );
+        assert_eq!(
+            Engine::weighted_bin_load(&p, 3),
+            u64::from(Engine::bin_load(&p, 3))
+        );
+        assert!(Engine::capacities(&p).is_unbounded());
+        assert_eq!(Engine::capacity_violations(&p), 0);
+        let b = Engine::place_weighted(&mut p, 1);
+        assert!(b < 16);
+        let heavy = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Engine::place_weighted(&mut p, 2);
+        }));
+        assert!(heavy.is_err(), "unit engines must reject weight > 1");
     }
 
     #[test]

@@ -44,6 +44,9 @@
 //! * [`snapshot`] — serializable bit-exact engine snapshots (loads + RNG
 //!   stream states + round counter) with validated restore, for the three
 //!   load engines.
+//! * [`weights`] — weighted balls and capacity-constrained bins: a metric
+//!   overlay over the weight-oblivious dynamics, bit-identical to the unit
+//!   process when all weights are 1.
 //! * [`exact`] — exact finite-chain analysis for small `n` (ground truth for
 //!   the engines) and the Appendix-B counterexample.
 //! * [`rng`] / [`sampling`] — deterministic PRNG and exact samplers.
@@ -88,6 +91,7 @@ pub mod snapshot;
 pub mod sparse;
 pub mod strategy;
 pub mod tetris;
+pub mod weights;
 
 /// The most commonly used items, re-exported.
 pub mod prelude {
@@ -100,8 +104,8 @@ pub mod prelude {
     pub use crate::engine::Engine;
     pub use crate::markov::ZChain;
     pub use crate::metrics::{
-        EmptyBinsTracker, LegitimacyTracker, MaxLoadTracker, NullObserver, ObserverStack,
-        RoundObserver, TrajectoryRecorder,
+        CapacityTracker, EmptyBinsTracker, LegitimacyTracker, MaxLoadTracker, NullObserver,
+        ObserverStack, RoundObserver, TrajectoryRecorder, WeightedLoadTracker,
     };
     pub use crate::phases::PhaseTracker;
     pub use crate::process::LoadProcess;
@@ -111,4 +115,5 @@ pub mod prelude {
     pub use crate::sparse::SparseLoadProcess;
     pub use crate::strategy::QueueStrategy;
     pub use crate::tetris::{BatchedTetris, Tetris};
+    pub use crate::weights::{Capacities, WeightOverlay, Weights};
 }

@@ -271,6 +271,125 @@ impl RoundObserver for LegitimacyTracker {
     }
 }
 
+/// Tracks the **weighted** maximum load over the run — the weighted
+/// counterpart of [`MaxLoadTracker`]. Weighted loads live on the engine
+/// (the [`Config`] only knows ball counts), so this tracker is fed through
+/// [`ObserverStack::observe_engine`]'s accessor path; on a unit engine it
+/// degenerates to the unit max load ([`Engine::weighted_max_load`]'s
+/// default).
+#[derive(Debug, Default, Clone)]
+pub struct WeightedLoadTracker {
+    max: u64,
+    argmax_round: u64,
+    rounds: u64,
+    sum_of_round_max: u64,
+}
+
+impl WeightedLoadTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `max_{t ≤ T} W(t)` — the window maximum of the per-round weighted
+    /// max load.
+    pub fn window_max(&self) -> u64 {
+        self.max
+    }
+
+    /// First round at which the window max was attained.
+    pub fn argmax_round(&self) -> u64 {
+        self.argmax_round
+    }
+
+    /// Mean of the per-round weighted maximum load.
+    pub fn mean_round_max(&self) -> f64 {
+        if self.rounds == 0 {
+            return 0.0;
+        }
+        self.sum_of_round_max as f64 / self.rounds as f64
+    }
+
+    /// Number of rounds observed.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Folds one round's pre-computed weighted max load in.
+    #[inline]
+    pub fn record(&mut self, round: u64, weighted_max: u64) {
+        if weighted_max > self.max {
+            self.max = weighted_max;
+            self.argmax_round = round;
+        }
+        self.rounds += 1;
+        self.sum_of_round_max += weighted_max;
+    }
+}
+
+/// Tracks capacity violations ([`Engine::capacity_violations`]): how often
+/// and how badly bins exceed their bounds over a run. Capacities are
+/// *observed*, never enforced, so this tracker is the whole story of a
+/// capacity-constrained run. Engine-path only, like [`WeightedLoadTracker`];
+/// on an unbounded engine every round records zero.
+#[derive(Debug, Default, Clone)]
+pub struct CapacityTracker {
+    max_violations: u64,
+    argmax_round: u64,
+    rounds_in_violation: u64,
+    sum_violations: u64,
+    rounds: u64,
+}
+
+impl CapacityTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Largest per-round violation count seen.
+    pub fn max_violations(&self) -> u64 {
+        self.max_violations
+    }
+
+    /// First round attaining the maximum violation count.
+    pub fn argmax_round(&self) -> u64 {
+        self.argmax_round
+    }
+
+    /// Number of observed rounds with at least one bin over its bound.
+    pub fn rounds_in_violation(&self) -> u64 {
+        self.rounds_in_violation
+    }
+
+    /// Mean violating-bin count per round.
+    pub fn mean_violations(&self) -> f64 {
+        if self.rounds == 0 {
+            return 0.0;
+        }
+        self.sum_violations as f64 / self.rounds as f64
+    }
+
+    /// Number of rounds observed.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Folds one round's pre-computed violating-bin count in.
+    #[inline]
+    pub fn record(&mut self, round: u64, violations: u64) {
+        if violations > self.max_violations {
+            self.max_violations = violations;
+            self.argmax_round = round;
+        }
+        if violations > 0 {
+            self.rounds_in_violation += 1;
+        }
+        self.sum_violations += violations;
+        self.rounds += 1;
+    }
+}
+
 /// A single recorded trajectory row.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TrajectoryPoint {
@@ -371,6 +490,13 @@ pub struct ObserverStack {
     pub legitimacy: Option<LegitimacyTracker>,
     /// Down-sampled trajectory trace, when enabled.
     pub trace: Option<TrajectoryRecorder>,
+    /// Weighted window max load, when enabled (engine path only — the
+    /// dense-[`Config`] [`RoundObserver`] path has no weighted state and
+    /// leaves it untouched).
+    pub weighted_load: Option<WeightedLoadTracker>,
+    /// Capacity-violation statistics, when enabled (engine path only, like
+    /// [`ObserverStack::weighted_load`]).
+    pub capacity: Option<CapacityTracker>,
 }
 
 impl ObserverStack {
@@ -403,12 +529,26 @@ impl ObserverStack {
         self
     }
 
+    /// Adds a [`WeightedLoadTracker`] (engine observation path only).
+    pub fn with_weighted_load(mut self) -> Self {
+        self.weighted_load = Some(WeightedLoadTracker::new());
+        self
+    }
+
+    /// Adds a [`CapacityTracker`] (engine observation path only).
+    pub fn with_capacity(mut self) -> Self {
+        self.capacity = Some(CapacityTracker::new());
+        self
+    }
+
     /// Whether any component is enabled.
     pub fn is_empty(&self) -> bool {
         self.max_load.is_none()
             && self.empty_bins.is_none()
             && self.legitimacy.is_none()
             && self.trace.is_none()
+            && self.weighted_load.is_none()
+            && self.capacity.is_none()
     }
 
     /// Observes one completed round through the [`Engine`]'s cheap metric
@@ -437,6 +577,12 @@ impl ObserverStack {
             if t.wants(round) {
                 t.record(round, max, empty, engine.nonempty_bins());
             }
+        }
+        if let Some(t) = &mut self.weighted_load {
+            t.record(round, engine.weighted_max_load());
+        }
+        if let Some(t) = &mut self.capacity {
+            t.record(round, engine.capacity_violations());
         }
     }
 }
@@ -624,6 +770,92 @@ mod tests {
         assert!(ObserverStack::new().is_empty());
         assert!(!ObserverStack::new().with_max_load().is_empty());
         assert!(!ObserverStack::new().with_trace(2).is_empty());
+        assert!(!ObserverStack::new().with_weighted_load().is_empty());
+        assert!(!ObserverStack::new().with_capacity().is_empty());
+    }
+
+    #[test]
+    fn weighted_load_tracker_tracks_window_max() {
+        let mut t = WeightedLoadTracker::new();
+        t.record(1, 10);
+        t.record(2, 40);
+        t.record(3, 40);
+        t.record(4, 6);
+        assert_eq!(t.window_max(), 40);
+        assert_eq!(t.argmax_round(), 2);
+        assert_eq!(t.rounds(), 4);
+        assert!((t.mean_round_max() - 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_tracker_counts_violating_rounds() {
+        let mut t = CapacityTracker::new();
+        t.record(1, 0);
+        t.record(2, 3);
+        t.record(3, 1);
+        t.record(4, 0);
+        assert_eq!(t.max_violations(), 3);
+        assert_eq!(t.argmax_round(), 2);
+        assert_eq!(t.rounds_in_violation(), 2);
+        assert_eq!(t.rounds(), 4);
+        assert!((t.mean_violations() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_observers_on_a_weighted_engine() {
+        use crate::config::Config;
+        use crate::process::LoadProcess;
+        use crate::rng::Xoshiro256pp;
+        use crate::weights::{Capacities, Weights};
+        let n = 32;
+        let mut p = LoadProcess::with_weights(
+            Config::all_in_one(n, n as u32),
+            Xoshiro256pp::seed_from(5),
+            Weights::zipf(n as u64, 1.0, 16),
+            Capacities::Uniform(4),
+        );
+        let mut stack = ObserverStack::new()
+            .with_max_load()
+            .with_weighted_load()
+            .with_capacity();
+        for _ in 0..200 {
+            p.step();
+            stack.observe_engine(p.round(), &p);
+        }
+        let wl = stack.weighted_load.as_ref().unwrap();
+        let ml = stack.max_load.as_ref().unwrap();
+        // All mass starts in one bin: the first observed weighted max is
+        // near the total weight and dominates the unit max throughout.
+        assert!(wl.window_max() >= u64::from(ml.window_max()));
+        assert_eq!(wl.rounds(), 200);
+        // A 16-weighted ball in a capacity-4 world: violations must occur.
+        let cap = stack.capacity.as_ref().unwrap();
+        assert!(cap.max_violations() >= 1);
+        assert!(cap.rounds_in_violation() >= 1);
+        assert_eq!(cap.rounds(), 200);
+    }
+
+    #[test]
+    fn weighted_observers_degenerate_on_unit_engines() {
+        use crate::process::LoadProcess;
+        // On a unit, unbounded engine the weighted tracker mirrors the unit
+        // max-load tracker and the capacity tracker stays at zero.
+        let mut p = LoadProcess::legitimate_start(64, 9);
+        let mut stack = ObserverStack::new()
+            .with_max_load()
+            .with_weighted_load()
+            .with_capacity();
+        for _ in 0..100 {
+            p.step();
+            stack.observe_engine(p.round(), &p);
+        }
+        let wl = stack.weighted_load.unwrap();
+        let ml = stack.max_load.unwrap();
+        assert_eq!(wl.window_max(), u64::from(ml.window_max()));
+        assert_eq!(wl.argmax_round(), ml.argmax_round());
+        let cap = stack.capacity.unwrap();
+        assert_eq!(cap.max_violations(), 0);
+        assert_eq!(cap.rounds_in_violation(), 0);
     }
 
     #[test]

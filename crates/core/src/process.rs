@@ -21,7 +21,11 @@ use crate::rng::Xoshiro256pp;
 use crate::sampling::{
     throw_uniform, throw_uniform_batched, throw_uniform_recording, UniformSampler,
 };
-use crate::snapshot::{SnapshotError, SnapshotState, ENGINE_DENSE, SNAPSHOT_VERSION};
+use crate::snapshot::{
+    SnapshotError, SnapshotState, WeightedSection, ENGINE_DENSE, SNAPSHOT_VERSION,
+    SNAPSHOT_VERSION_WEIGHTED,
+};
+use crate::weights::{Capacities, WeightOverlay, Weights};
 
 /// Load-only repeated balls-into-bins simulator.
 ///
@@ -47,6 +51,14 @@ pub struct LoadProcess {
     /// process's lifetime), so the batched path does not re-pay the
     /// `2^64 mod n` rejection-threshold division every round.
     sampler: UniformSampler,
+    /// Weight overlay — `None` in the unit configuration, where every step
+    /// path takes its original branch untouched (the weighted code is never
+    /// on the unit path).
+    weighted: Option<WeightOverlay>,
+    /// Observed capacity bounds ([`Capacities::Unbounded`] by default).
+    capacities: Capacities,
+    /// Scalar-path destination scratch for weighted rounds.
+    dests_scalar: Vec<usize>,
 }
 
 impl LoadProcess {
@@ -67,7 +79,51 @@ impl LoadProcess {
             balls,
             dests: Vec::new(),
             sampler,
+            weighted: None,
+            capacities: Capacities::Unbounded,
+            dests_scalar: Vec::new(),
         }
+    }
+
+    /// Creates a weighted, capacity-observing process. [`Weights::Unit`]
+    /// (or an explicit all-ones vector) builds no overlay at all, so the
+    /// unit configuration is the *same engine* as [`Self::new`] — identical
+    /// trajectory, RNG stream, and snapshot bytes. Non-unit weights are
+    /// assigned ball by ball in bin order over `config`.
+    ///
+    /// # RNG stream
+    ///
+    /// Identical to [`Self::new`]: weights never touch the RNG — each round
+    /// still consumes one uniform draw per non-empty bin, in bin order.
+    pub fn with_weights(
+        config: Config,
+        rng: Xoshiro256pp,
+        weights: Weights,
+        capacities: Capacities,
+    ) -> Self {
+        let weights = weights.normalized();
+        if let Err(e) = weights.validate(config.total_balls()) {
+            // rbb-lint: allow(panic, reason = "constructor contract violation, caught by spec-layer validation first")
+            panic!("invalid weights: {e}");
+        }
+        if let Err(e) = capacities.validate(config.n()) {
+            // rbb-lint: allow(panic, reason = "constructor contract violation, caught by spec-layer validation first")
+            panic!("invalid capacities: {e}");
+        }
+        let mut p = Self::new(config, rng);
+        if let Weights::Explicit(ws) = &weights {
+            let entries = p
+                .config
+                .loads()
+                .iter()
+                .enumerate()
+                .filter(|&(_, &l)| l > 0)
+                // rbb-lint: allow(lossy-cast, reason = "enumerate index < n, which fits the u32 bin-index range")
+                .map(|(b, &l)| (b as u32, l));
+            p.weighted = Some(WeightOverlay::from_entries(entries, ws));
+        }
+        p.capacities = capacities;
+        p
     }
 
     /// Convenience constructor: `n` balls into `n` bins, one per bin.
@@ -104,6 +160,9 @@ impl LoadProcess {
     /// Advances one round; returns the number of balls that moved (equal to
     /// the number of non-empty bins at the start of the round).
     pub fn step(&mut self) -> usize {
+        if self.weighted.is_some() {
+            return self.step_weighted(false);
+        }
         let loads = self.config.loads_mut();
         let mut departures = 0usize;
         for l in loads.iter_mut() {
@@ -127,6 +186,9 @@ impl LoadProcess {
     ///
     /// [`step`]: LoadProcess::step
     pub fn step_batched(&mut self) -> usize {
+        if self.weighted.is_some() {
+            return self.step_weighted(true);
+        }
         let loads = self.config.loads_mut();
         let mut departures = 0usize;
         for l in loads.iter_mut() {
@@ -150,10 +212,66 @@ impl LoadProcess {
         departures
     }
 
+    /// The weighted round: identical departure scan and destination draws
+    /// as the unit paths (same RNG stream, draw for draw), plus the metric
+    /// transport pairing the `k`-th departing bin with the `k`-th draw.
+    fn step_weighted(&mut self, batched: bool) -> usize {
+        let Self {
+            config,
+            rng,
+            dests,
+            sampler,
+            weighted,
+            dests_scalar,
+            ..
+        } = self;
+        // rbb-lint: allow(panic, reason = "only reached behind a weighted.is_some() guard in step/step_batched")
+        let overlay = weighted.as_mut().expect("weighted step needs an overlay");
+        let loads = config.loads_mut();
+        let mut departures = 0usize;
+        overlay.srcs.clear();
+        for (b, l) in loads.iter_mut().enumerate() {
+            if *l > 0 {
+                *l -= 1;
+                departures += 1;
+                // rbb-lint: allow(lossy-cast, reason = "enumerate index < n, which fits the u32 bin-index range")
+                overlay.srcs.push(b as u32);
+            }
+        }
+        if batched {
+            throw_uniform_batched(sampler, rng, loads, departures, dests);
+        } else {
+            throw_uniform_recording(rng, loads, departures, dests_scalar);
+            dests.clear();
+            // rbb-lint: allow(lossy-cast, reason = "destinations are bin indices < n, which fits u32")
+            dests.extend(dests_scalar.iter().map(|&d| d as u32));
+        }
+        overlay.transport(dests);
+        self.round += 1;
+        debug_assert_eq!(self.config.total_balls(), self.balls);
+        debug_assert!(self.weighted.as_ref().is_some_and(|o| o
+            .check_against(
+                self.config
+                    .loads()
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &l)| l > 0)
+                    // rbb-lint: allow(lossy-cast, reason = "bin index < n, and n fits u32 by the Config invariant")
+                    .map(|(b, &l)| (b as u32, l)),
+            )
+            .is_ok()));
+        departures
+    }
+
     /// Advances one round, recording each mover's destination in `dests`
     /// (bin indices in the order the source bins were scanned). Used by the
     /// Lemma-3 coupling, which reuses these choices for the Tetris copy.
     pub fn step_recording(&mut self, dests: &mut Vec<usize>) -> usize {
+        assert!(
+            self.weighted.is_none(),
+            "step_recording is a unit-path primitive (the Lemma-3 coupling); \
+             weighted rounds go through step/step_batched"
+        );
         let loads = self.config.loads_mut();
         let mut departures = 0usize;
         for l in loads.iter_mut() {
@@ -197,8 +315,13 @@ impl LoadProcess {
             // rbb-lint: allow(lossy-cast, reason = "enumerate index < n, and the constructors assert n fits the u32 index range")
             .map(|(b, &l)| (b as u32, l))
             .collect();
+        let weighted = weighted_section(self.weighted.as_ref(), &self.capacities);
         SnapshotState {
-            version: SNAPSHOT_VERSION,
+            version: if weighted.is_some() {
+                SNAPSHOT_VERSION_WEIGHTED
+            } else {
+                SNAPSHOT_VERSION
+            },
             engine: ENGINE_DENSE.to_string(),
             n: self.config.n(),
             shards: 1,
@@ -206,6 +329,7 @@ impl LoadProcess {
             balls: self.balls,
             entries,
             rng_states: vec![self.rng.state()],
+            weighted,
         }
     }
 
@@ -223,8 +347,32 @@ impl LoadProcess {
         let rng = Xoshiro256pp::from_state(state.rng_states[0]);
         let mut p = Self::new(Config::from_loads(state.dense_loads()), rng);
         p.round = state.round;
+        if let Some(w) = &state.weighted {
+            p.capacities = w.capacities()?;
+            if !w.queues.is_empty() {
+                p.weighted = Some(WeightOverlay::from_queues(&w.queues));
+            }
+        }
         Ok(p)
     }
+}
+
+/// The snapshot encoding shared by the three load engines: a weighted
+/// section is emitted iff there is anything non-unit to record — an overlay
+/// or non-default capacities (an overlay-less section carries capacities
+/// only; validation rejects the vacuous unbounded-and-empty combination).
+pub(crate) fn weighted_section(
+    overlay: Option<&WeightOverlay>,
+    capacities: &Capacities,
+) -> Option<WeightedSection> {
+    if overlay.is_none() && capacities.is_unbounded() {
+        return None;
+    }
+    Some(WeightedSection {
+        queues: overlay.map_or_else(Vec::new, WeightOverlay::queues_sorted),
+        cap_kind: capacities.kind_str().to_string(),
+        caps: capacities.bounds_vec(),
+    })
 }
 
 /// The run family (`run`, `run_silent`, `run_until`) is provided by
@@ -275,13 +423,29 @@ impl Engine for LoadProcess {
     /// Incremental arrival: one uniform destination draw from the engine
     /// stream, exactly the per-ball primitive a round uses.
     fn place(&mut self) -> usize {
+        self.place_weighted(1)
+    }
+
+    /// Same RNG draw as [`place`](Engine::place) — the weight only feeds
+    /// the overlay. A unit process accepts weight 1 only (it has no overlay
+    /// to record a heavier ball in).
+    fn place_weighted(&mut self, weight: u32) -> usize {
         assert!(
             self.balls < u32::MAX as u64,
             "place would overflow the u32 load bound"
         );
+        assert!(
+            weight == 1 || self.weighted.is_some(),
+            "this process is unit-weight: only weight-1 placements are supported"
+        );
+        assert!(weight >= 1, "placed weight must be at least 1");
         let b = self.rng.uniform_usize(self.config.n());
         self.config.loads_mut()[b] += 1;
         self.balls += 1;
+        if let Some(o) = &mut self.weighted {
+            // rbb-lint: allow(lossy-cast, reason = "destination is a bin index < n, which fits u32")
+            o.place(b as u32, weight);
+        }
         b
     }
 
@@ -290,9 +454,61 @@ impl Engine for LoadProcess {
             Some(slot) if *slot > 0 => {
                 *slot -= 1;
                 self.balls -= 1;
+                if let Some(o) = &mut self.weighted {
+                    // rbb-lint: allow(lossy-cast, reason = "in-range bin index < n, which fits u32")
+                    o.depart(bin as u32);
+                }
                 true
             }
             _ => false,
+        }
+    }
+
+    fn weighted(&self) -> bool {
+        self.weighted.is_some()
+    }
+
+    fn total_weight(&self) -> u64 {
+        self.weighted
+            .as_ref()
+            .map_or(self.balls, WeightOverlay::total)
+    }
+
+    fn weighted_max_load(&self) -> u64 {
+        match &self.weighted {
+            Some(o) => o.weighted_max_load(),
+            None => u64::from(self.config.max_load()),
+        }
+    }
+
+    fn weighted_bin_load(&self, bin: usize) -> u64 {
+        match &self.weighted {
+            // rbb-lint: allow(lossy-cast, reason = "out-of-range bins read as empty, matching the dense path's 0 load")
+            Some(o) => o.weighted_load(bin as u32),
+            None => u64::from(self.config.loads().get(bin).copied().unwrap_or(0)),
+        }
+    }
+
+    fn capacities(&self) -> &Capacities {
+        &self.capacities
+    }
+
+    /// `O(#occupied)` through the overlay; the capacity-only unit case
+    /// falls back to the dense `O(n)` scan.
+    fn capacity_violations(&self) -> u64 {
+        match &self.weighted {
+            Some(o) => o.capacity_violations(&self.capacities),
+            None => {
+                if self.capacities.is_unbounded() {
+                    return 0;
+                }
+                self.config
+                    .loads()
+                    .iter()
+                    .enumerate()
+                    .filter(|&(b, &l)| self.capacities.bound(b).is_some_and(|c| u64::from(l) > c))
+                    .count() as u64
+            }
         }
     }
 
@@ -596,5 +812,184 @@ mod tests {
         let mut p = LoadProcess::new(cfg, rng);
         p.run_silent(100);
         assert_eq!(p.config().total_balls(), 400);
+    }
+
+    fn zipf_process(n: usize, seed: u64, caps: Capacities) -> LoadProcess {
+        let config = Config::one_per_bin(n);
+        LoadProcess::with_weights(
+            config,
+            Xoshiro256pp::seed_from(seed),
+            Weights::zipf(n as u64, 1.0, 50),
+            caps,
+        )
+    }
+
+    #[test]
+    fn unit_weights_build_the_same_engine() {
+        // Weights::Unit (and an explicit all-ones vector) must not build an
+        // overlay: the weighted constructor returns the *same* engine as
+        // `new`, trajectory, stream, and snapshot bytes included.
+        let plain = LoadProcess::legitimate_start(64, 51);
+        for weights in [Weights::Unit, Weights::Explicit(vec![1; 64])] {
+            let mut w = LoadProcess::with_weights(
+                Config::one_per_bin(64),
+                Xoshiro256pp::seed_from(51),
+                weights,
+                Capacities::Unbounded,
+            );
+            assert!(w.weighted.is_none());
+            assert!(!Engine::weighted(&w));
+            let mut reference = plain.clone();
+            for i in 0..120 {
+                if i % 2 == 0 {
+                    reference.step();
+                    w.step();
+                } else {
+                    reference.step_batched();
+                    w.step_batched();
+                }
+                assert_eq!(reference.config(), w.config());
+            }
+            assert_eq!(reference.rng, w.rng);
+            assert_eq!(Engine::snapshot(&reference), Engine::snapshot(&w));
+        }
+    }
+
+    #[test]
+    fn weighted_trajectory_matches_unit_trajectory() {
+        // Weight-obliviousness: the load trajectory and RNG stream of a
+        // weighted process are bit-identical to the unit process from the
+        // same seed — weights are a metric overlay, not a dynamic.
+        let mut unit = LoadProcess::legitimate_start(128, 52);
+        let mut zipf = zipf_process(128, 52, Capacities::Unbounded);
+        assert!(Engine::weighted(&zipf));
+        for i in 0..200 {
+            if i % 2 == 0 {
+                unit.step();
+                zipf.step();
+            } else {
+                unit.step_batched();
+                zipf.step_batched();
+            }
+            assert_eq!(unit.config(), zipf.config());
+        }
+        assert_eq!(unit.rng, zipf.rng, "weights must never touch the RNG");
+        assert_eq!(Engine::balls(&zipf), 128);
+        assert_eq!(
+            Engine::total_weight(&zipf),
+            Weights::zipf(128, 1.0, 50).total(128)
+        );
+    }
+
+    #[test]
+    fn weighted_scalar_and_batched_paths_are_bit_identical() {
+        let mut scalar = zipf_process(96, 53, Capacities::Unbounded);
+        let mut batched = scalar.clone();
+        for _ in 0..150 {
+            scalar.step();
+            batched.step_batched();
+            assert_eq!(scalar.config(), batched.config());
+            assert_eq!(
+                Engine::weighted_max_load(&scalar),
+                Engine::weighted_max_load(&batched)
+            );
+        }
+        assert_eq!(scalar.rng, batched.rng);
+        assert_eq!(Engine::snapshot(&scalar), Engine::snapshot(&batched));
+    }
+
+    #[test]
+    fn weighted_rounds_conserve_total_weight() {
+        let mut p = zipf_process(64, 54, Capacities::Uniform(60));
+        let total = Engine::total_weight(&p);
+        for _ in 0..100 {
+            p.step_batched();
+            assert_eq!(Engine::total_weight(&p), total);
+            assert!(Engine::weighted_max_load(&p) <= total);
+        }
+        // Weighted max load dominates the unweighted count whenever any
+        // heavy ball exists (here ball 0 weighs 50).
+        assert!(Engine::weighted_max_load(&p) >= u64::from(Engine::max_load(&p)));
+    }
+
+    #[test]
+    fn weighted_snapshot_round_trips_bit_identically() {
+        let mut p = zipf_process(48, 55, Capacities::Uniform(55));
+        p.run_silent(31);
+        let snap = Engine::snapshot(&p).expect("dense engine snapshots");
+        assert_eq!(snap.version, SNAPSHOT_VERSION_WEIGHTED);
+        let w = snap.weighted.as_ref().expect("weighted section");
+        assert_eq!(w.cap_kind, "uniform");
+        let mut q = LoadProcess::from_snapshot(&snap).unwrap();
+        assert_eq!(Engine::total_weight(&q), Engine::total_weight(&p));
+        assert_eq!(Engine::capacities(&q), Engine::capacities(&p));
+        for _ in 0..60 {
+            p.step_batched();
+            q.step_batched();
+        }
+        assert_eq!(p.config(), q.config());
+        assert_eq!(Engine::snapshot(&p), Engine::snapshot(&q));
+    }
+
+    #[test]
+    fn capacity_only_process_snapshots_and_counts_violations() {
+        // Unit weights + real capacities: no overlay, but the capacities
+        // persist through snapshots and violations use the dense scan.
+        let mut p = LoadProcess::with_weights(
+            Config::all_in_one(16, 16),
+            Xoshiro256pp::seed_from(56),
+            Weights::Unit,
+            Capacities::Uniform(3),
+        );
+        assert!(p.weighted.is_none());
+        assert_eq!(Engine::capacity_violations(&p), 1, "bin 0 holds 16 > 3");
+        let snap = Engine::snapshot(&p).expect("dense engine snapshots");
+        assert_eq!(snap.version, SNAPSHOT_VERSION_WEIGHTED);
+        assert!(snap.weighted.as_ref().is_some_and(|w| w.queues.is_empty()));
+        let q = LoadProcess::from_snapshot(&snap).unwrap();
+        assert_eq!(Engine::capacities(&q), &Capacities::Uniform(3));
+        assert_eq!(Engine::capacity_violations(&q), 1);
+        p.run_silent(200);
+        assert_eq!(p.config().total_balls(), 16);
+    }
+
+    #[test]
+    fn weighted_place_and_depart_track_the_overlay() {
+        let mut p = zipf_process(32, 57, Capacities::Unbounded);
+        let total = Engine::total_weight(&p);
+        let b = Engine::place_weighted(&mut p, 40);
+        assert_eq!(Engine::total_weight(&p), total + 40);
+        assert_eq!(Engine::balls(&p), 33);
+        assert!(Engine::weighted_bin_load(&p, b) >= 40);
+        assert!(Engine::depart(&mut p, b), "bin just received a ball");
+        assert_eq!(Engine::balls(&p), 32);
+        p.step_batched();
+        assert_eq!(p.config().total_balls(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "unit-weight")]
+    fn unit_process_rejects_heavy_placements() {
+        let mut p = LoadProcess::legitimate_start(8, 58);
+        Engine::place_weighted(&mut p, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unit-path primitive")]
+    fn weighted_process_rejects_step_recording() {
+        let mut p = zipf_process(8, 59, Capacities::Unbounded);
+        let mut dests = Vec::new();
+        p.step_recording(&mut dests);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid weights")]
+    fn with_weights_rejects_wrong_arity() {
+        LoadProcess::with_weights(
+            Config::one_per_bin(4),
+            Xoshiro256pp::seed_from(60),
+            Weights::Explicit(vec![2, 3]),
+            Capacities::Unbounded,
+        );
     }
 }

@@ -54,9 +54,13 @@ use rayon::prelude::*;
 
 use crate::config::Config;
 use crate::engine::Engine;
+use crate::process::weighted_section;
 use crate::rng::Xoshiro256pp;
 use crate::sampling::UniformSampler;
-use crate::snapshot::{SnapshotError, SnapshotState, ENGINE_SHARDED, SNAPSHOT_VERSION};
+use crate::snapshot::{
+    SnapshotError, SnapshotState, ENGINE_SHARDED, SNAPSHOT_VERSION, SNAPSHOT_VERSION_WEIGHTED,
+};
+use crate::weights::{Capacities, WeightOverlay, Weights};
 
 /// Base salt of the per-shard RNG streams: shard `s ≥ 1` draws from
 /// `Xoshiro256pp::stream(seed, SHARD_STREAM_SALT + s)`. Shard 0 uses the
@@ -227,6 +231,14 @@ pub struct ShardedLoadProcess {
     /// Lazily materialized dense view for `Engine::config`; invalidated on
     /// every mutation.
     dense: OnceCell<Config>,
+    /// Weight overlay — `None` in the unit configuration, where every step
+    /// path takes its original branch untouched.
+    weighted: Option<WeightOverlay>,
+    /// Observed capacity bounds ([`Capacities::Unbounded`] by default).
+    capacities: Capacities,
+    /// Global-destination scratch of the weighted round (per-shard draws
+    /// concatenated in shard order, each in draw order).
+    wdests: Vec<u32>,
 }
 
 impl ShardedLoadProcess {
@@ -284,7 +296,53 @@ impl ShardedLoadProcess {
             balls,
             sampler: UniformSampler::new(n as u64),
             dense: OnceCell::new(),
+            weighted: None,
+            capacities: Capacities::Unbounded,
+            wdests: Vec::new(),
         }
+    }
+
+    /// Creates a weighted, capacity-observing sharded process.
+    /// [`Weights::Unit`] (or an explicit all-ones vector) builds no overlay,
+    /// so the unit configuration is the same engine as [`Self::new`]. At
+    /// `shards = 1` the weighted trajectory — and every weighted metric —
+    /// is bit-identical to [`LoadProcess::with_weights`]; at `shards > 1`
+    /// it is law-equal, exactly as in the unit regime.
+    ///
+    /// [`LoadProcess::with_weights`]: crate::process::LoadProcess::with_weights
+    pub fn with_weights(
+        config: Config,
+        seed: u64,
+        shards: usize,
+        weights: Weights,
+        capacities: Capacities,
+    ) -> Self {
+        let weights = weights.normalized();
+        if let Err(e) = weights.validate(config.total_balls()) {
+            // rbb-lint: allow(panic, reason = "constructor contract violation, caught by spec-layer validation first")
+            panic!("invalid weights: {e}");
+        }
+        if let Err(e) = capacities.validate(config.n()) {
+            // rbb-lint: allow(panic, reason = "constructor contract violation, caught by spec-layer validation first")
+            panic!("invalid capacities: {e}");
+        }
+        let overlay = match &weights {
+            Weights::Unit => None,
+            Weights::Explicit(ws) => {
+                let entries = config
+                    .loads()
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &l)| l > 0)
+                    // rbb-lint: allow(lossy-cast, reason = "enumerate index < n, which fits the u32 bin-index range")
+                    .map(|(b, &l)| (b as u32, l));
+                Some(WeightOverlay::from_entries(entries, ws))
+            }
+        };
+        let mut p = Self::new(config, seed, shards);
+        p.weighted = overlay;
+        p.capacities = capacities;
+        p
     }
 
     /// Convenience constructor: `n` balls into `n` bins, one per bin.
@@ -326,6 +384,9 @@ impl ShardedLoadProcess {
     /// Each shard consumes one uniform draw per ball it releases, from its
     /// own stream — see [`Self::new`].
     pub fn step(&mut self) -> usize {
+        if self.weighted.is_some() {
+            return self.step_weighted();
+        }
         self.round_sequential(false)
     }
 
@@ -340,11 +401,58 @@ impl ShardedLoadProcess {
     /// draw-for-draw compatible with the scalar one, and the
     /// sequential-vs-parallel scheduling choice never touches an RNG.
     pub fn step_batched(&mut self) -> usize {
+        if self.weighted.is_some() {
+            return self.step_weighted();
+        }
         if self.shard_count == 1 || self.n < PAR_MIN_N {
             self.round_sequential(true)
         } else {
             self.round_parallel()
         }
+    }
+
+    /// The weighted round — always sequential, always batched draws (the
+    /// batched sampler is draw-for-draw compatible with the scalar one, so
+    /// `step` and `step_batched` stay bit-identical on weighted engines
+    /// too). Each shard's departing columns are recorded in column order
+    /// and paired with that shard's draws in draw order — the canonical
+    /// transport order, which at `shards = 1` is exactly the dense scan.
+    fn step_weighted(&mut self) -> usize {
+        let sampler = self.sampler;
+        let router = self.router;
+        let mut overlay = self
+            .weighted
+            .take()
+            // rbb-lint: allow(panic, reason = "only reached behind a weighted.is_some() guard in step/step_batched")
+            .expect("weighted step needs an overlay");
+        overlay.srcs.clear();
+        let mut dests = std::mem::take(&mut self.wdests);
+        dests.clear();
+        let mut departures = 0usize;
+        for (s, (shard, row)) in self
+            .shards
+            .iter_mut()
+            .zip(self.outboxes.iter_mut())
+            .enumerate()
+        {
+            for (idx, &l) in shard.loads.iter().enumerate() {
+                if l > 0 {
+                    // rbb-lint: allow(lossy-cast, reason = "unroute yields a bin < n, and n fits the u32 index range (asserted at construction)")
+                    overlay.srcs.push(router.unroute(s, idx) as u32);
+                }
+            }
+            departures += depart_and_throw(shard, row, &sampler, router, true);
+            // `shard.dests` still holds this shard's raw draws — global bin
+            // indices in draw order — which the routing above only read.
+            dests.extend_from_slice(&shard.dests);
+        }
+        for (t, shard) in self.shards.iter_mut().enumerate() {
+            apply_inbound(shard, &self.outboxes, t);
+        }
+        overlay.transport(&dests);
+        self.wdests = dests;
+        self.weighted = Some(overlay);
+        self.finish_round(departures)
     }
 
     /// Both phases in shard-index order on the calling thread.
@@ -430,6 +538,19 @@ impl ShardedLoadProcess {
             .shards
             .iter()
             .all(|s| s.nonempty == s.loads.iter().filter(|&&l| l > 0).count()));
+        debug_assert!(self.weighted.as_ref().is_none_or(|o| {
+            let router = self.router;
+            let occupied = self.shards.iter().enumerate().flat_map(|(s, shard)| {
+                shard
+                    .loads
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &l)| l > 0)
+                    // rbb-lint: allow(lossy-cast, reason = "unroute yields a global bin index < n, and n fits u32")
+                    .map(move |(idx, &l)| (router.unroute(s, idx) as u32, l))
+            });
+            o.check_against(occupied).is_ok()
+        }));
         departures
     }
 
@@ -448,8 +569,13 @@ impl ShardedLoadProcess {
             }
         }
         entries.sort_unstable();
+        let weighted = weighted_section(self.weighted.as_ref(), &self.capacities);
         SnapshotState {
-            version: SNAPSHOT_VERSION,
+            version: if weighted.is_some() {
+                SNAPSHOT_VERSION_WEIGHTED
+            } else {
+                SNAPSHOT_VERSION
+            },
             engine: ENGINE_SHARDED.to_string(),
             n: self.n,
             shards: self.shard_count,
@@ -457,6 +583,7 @@ impl ShardedLoadProcess {
             balls: self.balls,
             entries,
             rng_states: self.shards.iter().map(|s| s.rng.state()).collect(),
+            weighted,
         }
     }
 
@@ -479,6 +606,12 @@ impl ShardedLoadProcess {
             shard.rng = Xoshiro256pp::from_state(captured);
         }
         p.round = state.round;
+        if let Some(w) = &state.weighted {
+            p.capacities = w.capacities()?;
+            if !w.queues.is_empty() {
+                p.weighted = Some(WeightOverlay::from_queues(&w.queues));
+            }
+        }
         Ok(p)
     }
 }
@@ -601,10 +734,21 @@ impl Engine for ShardedLoadProcess {
     /// stream (the engine-convention stream, so at `shards = 1` this is
     /// bit-compatible with the dense engine's `place`).
     fn place(&mut self) -> usize {
+        self.place_weighted(1)
+    }
+
+    /// Same shard-0 RNG draw as [`place`](Engine::place) — the weight only
+    /// feeds the overlay. A unit process accepts weight 1 only.
+    fn place_weighted(&mut self, weight: u32) -> usize {
         assert!(
             self.balls < u32::MAX as u64,
             "place would overflow the u32 load bound"
         );
+        assert!(
+            weight == 1 || self.weighted.is_some(),
+            "this process is unit-weight: only weight-1 placements are supported"
+        );
+        assert!(weight >= 1, "placed weight must be at least 1");
         let b = self.shards[0].rng.uniform_usize(self.n);
         // rbb-lint: allow(lossy-cast, reason = "draws are < n, and n fits the u32 index range (asserted at construction)")
         let (s, idx) = self.router.route(b as u32);
@@ -613,6 +757,10 @@ impl Engine for ShardedLoadProcess {
         shard.nonempty += (*slot == 0) as usize;
         *slot += 1;
         self.balls += 1;
+        if let Some(o) = &mut self.weighted {
+            // rbb-lint: allow(lossy-cast, reason = "draws are < n, and n fits the u32 index range (asserted at construction)")
+            o.place(b as u32, weight);
+        }
         self.dense.take();
         b
     }
@@ -631,8 +779,64 @@ impl Engine for ShardedLoadProcess {
         *slot -= 1;
         shard.nonempty -= (*slot == 0) as usize;
         self.balls -= 1;
+        if let Some(o) = &mut self.weighted {
+            // rbb-lint: allow(lossy-cast, reason = "bin < n, and n fits the u32 index range (asserted at construction)")
+            o.depart(bin as u32);
+        }
         self.dense.take();
         true
+    }
+
+    fn weighted(&self) -> bool {
+        self.weighted.is_some()
+    }
+
+    fn total_weight(&self) -> u64 {
+        self.weighted
+            .as_ref()
+            .map_or(self.balls, WeightOverlay::total)
+    }
+
+    fn weighted_max_load(&self) -> u64 {
+        match &self.weighted {
+            Some(o) => o.weighted_max_load(),
+            None => u64::from(Engine::max_load(self)),
+        }
+    }
+
+    fn weighted_bin_load(&self, bin: usize) -> u64 {
+        match &self.weighted {
+            // rbb-lint: allow(lossy-cast, reason = "out-of-range bins read as empty, matching the unit path's 0 load")
+            Some(o) => o.weighted_load(bin as u32),
+            None => {
+                if bin >= self.n {
+                    return 0;
+                }
+                u64::from(Engine::bin_load(self, bin))
+            }
+        }
+    }
+
+    fn capacities(&self) -> &Capacities {
+        &self.capacities
+    }
+
+    fn capacity_violations(&self) -> u64 {
+        match &self.weighted {
+            Some(o) => o.capacity_violations(&self.capacities),
+            None => {
+                if self.capacities.is_unbounded() {
+                    return 0;
+                }
+                (0..self.n)
+                    .filter(|&b| {
+                        self.capacities
+                            .bound(b)
+                            .is_some_and(|c| u64::from(Engine::bin_load(self, b)) > c)
+                    })
+                    .count() as u64
+            }
+        }
     }
 
     fn snapshot(&self) -> Option<SnapshotState> {
@@ -920,6 +1124,133 @@ mod tests {
             p.run_silent(100);
             assert_eq!(p.balls(), m as u64);
         }
+    }
+
+    #[test]
+    fn one_shard_weighted_is_bit_identical_to_weighted_dense() {
+        // The tentpole invariant at the sharded layer: at shards = 1 the
+        // weighted sharded engine matches the weighted dense engine in
+        // trajectory, RNG stream, and every weighted metric.
+        let n = 96;
+        let weights = Weights::zipf(n as u64, 1.0, 40);
+        let caps = Capacities::Uniform(50);
+        let mut dense = LoadProcess::with_weights(
+            Config::one_per_bin(n),
+            Xoshiro256pp::seed_from(81),
+            weights.clone(),
+            caps.clone(),
+        );
+        let mut sharded =
+            ShardedLoadProcess::with_weights(Config::one_per_bin(n), 81, 1, weights, caps);
+        assert!(Engine::weighted(&sharded));
+        for r in 0..160 {
+            let a = dense.step_batched();
+            let b = sharded.step_batched();
+            assert_eq!(a, b, "departure count diverged at round {r}");
+            assert_eq!(
+                Engine::weighted_max_load(&dense),
+                Engine::weighted_max_load(&sharded),
+                "weighted max load diverged at round {r}"
+            );
+            assert_eq!(
+                Engine::capacity_violations(&dense),
+                Engine::capacity_violations(&sharded),
+                "violation count diverged at round {r}"
+            );
+            assert_eq!(dense.config(), Engine::config(&sharded), "round {r}");
+        }
+        assert_eq!(Engine::total_weight(&dense), Engine::total_weight(&sharded));
+        let a = Engine::snapshot(&dense).unwrap();
+        let b = Engine::snapshot(&sharded).unwrap();
+        assert_eq!(a.weighted, b.weighted, "identical weighted sections");
+        assert_eq!(a.entries, b.entries);
+    }
+
+    #[test]
+    fn weighted_multi_shard_conserves_weight_and_is_reproducible() {
+        let make = || {
+            ShardedLoadProcess::with_weights(
+                Config::one_per_bin(128),
+                82,
+                4,
+                Weights::zipf(128, 1.0, 30),
+                Capacities::Uniform(40),
+            )
+        };
+        let mut a = make();
+        let mut b = make();
+        let total = Engine::total_weight(&a);
+        for _ in 0..120 {
+            // step and step_batched share the weighted round body.
+            a.step();
+            b.step_batched();
+            assert_eq!(Engine::total_weight(&a), total);
+        }
+        assert_eq!(Engine::config(&a), Engine::config(&b));
+        assert_eq!(Engine::weighted_max_load(&a), Engine::weighted_max_load(&b));
+        assert!(Engine::weighted_max_load(&a) >= u64::from(Engine::max_load(&a)));
+    }
+
+    #[test]
+    fn weighted_snapshot_round_trips_at_any_shard_count() {
+        for shards in [1usize, 3, 4] {
+            let mut p = ShardedLoadProcess::with_weights(
+                Config::one_per_bin(60),
+                83,
+                shards,
+                Weights::zipf(60, 1.0, 20),
+                Capacities::Uniform(25),
+            );
+            p.run_silent(21);
+            let snap = Engine::snapshot(&p).expect("sharded engine snapshots");
+            assert_eq!(snap.version, SNAPSHOT_VERSION_WEIGHTED);
+            let mut q = ShardedLoadProcess::from_snapshot(&snap).unwrap();
+            assert_eq!(Engine::total_weight(&q), Engine::total_weight(&p));
+            assert_eq!(Engine::capacities(&q), &Capacities::Uniform(25));
+            for _ in 0..40 {
+                p.step_batched();
+                q.step_batched();
+            }
+            assert_eq!(Engine::config(&p), Engine::config(&q), "shards={shards}");
+            assert_eq!(Engine::snapshot(&p), Engine::snapshot(&q));
+        }
+    }
+
+    #[test]
+    fn unit_weights_build_the_same_sharded_engine() {
+        let mut plain = ShardedLoadProcess::legitimate_start(64, 84, 4);
+        let mut unit = ShardedLoadProcess::with_weights(
+            Config::one_per_bin(64),
+            84,
+            4,
+            Weights::Explicit(vec![1; 64]),
+            Capacities::Unbounded,
+        );
+        assert!(unit.weighted.is_none(), "all-ones collapses to no overlay");
+        for _ in 0..80 {
+            plain.step_batched();
+            unit.step_batched();
+        }
+        assert_eq!(Engine::snapshot(&plain), Engine::snapshot(&unit));
+    }
+
+    #[test]
+    fn weighted_place_draws_from_shard_zero() {
+        let mut p = ShardedLoadProcess::with_weights(
+            Config::one_per_bin(32),
+            85,
+            2,
+            Weights::zipf(32, 1.0, 20),
+            Capacities::Unbounded,
+        );
+        let total = Engine::total_weight(&p);
+        let b = Engine::place_weighted(&mut p, 9);
+        assert_eq!(Engine::total_weight(&p), total + 9);
+        assert!(Engine::weighted_bin_load(&p, b) >= 9);
+        assert!(Engine::depart(&mut p, b));
+        assert_eq!(p.balls(), 32);
+        p.run_silent(10);
+        assert_eq!(p.balls(), 32);
     }
 
     #[test]

@@ -17,16 +17,24 @@
 //! renders as a single JSON object — the wire format `rbb-serve` uses for
 //! its `snapshot`/`restore` requests and checkpoint files.
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 use crate::engine::Engine;
 use crate::process::LoadProcess;
 use crate::sharded::ShardedLoadProcess;
 use crate::sparse::SparseLoadProcess;
+use crate::weights::Capacities;
 
-/// Version tag carried by every serialized snapshot. Bump in lockstep with
-/// any change to the field layout or its meaning.
+/// Version tag of the original (unit-weight, unbounded-capacity) layout.
+/// Engines in the unit configuration still emit exactly this version with
+/// byte-identical serialization, so every pre-weighted snapshot on disk
+/// restores unchanged.
 pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Version tag of the weighted layout: version 1 plus a `weighted` section
+/// ([`WeightedSection`]) carrying the per-bin weight queues and the
+/// capacity bounds.
+pub const SNAPSHOT_VERSION_WEIGHTED: u32 = 2;
 
 /// Engine-kind tag of [`LoadProcess`] snapshots.
 pub const ENGINE_DENSE: &str = "dense";
@@ -60,9 +68,12 @@ impl std::error::Error for SnapshotError {}
 /// * `rng_states` holds one xoshiro256++ state per engine stream — exactly
 ///   one for the dense and sparse engines, one per shard (in shard order)
 ///   for the sharded engine — and none of them is the all-zero fixed point.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+/// * `weighted` is present exactly when `version` is
+///   [`SNAPSHOT_VERSION_WEIGHTED`]; version-1 snapshots serialize without
+///   the key at all, byte-identical to the pre-weighted layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SnapshotState {
-    /// Layout version ([`SNAPSHOT_VERSION`]).
+    /// Layout version ([`SNAPSHOT_VERSION`] or [`SNAPSHOT_VERSION_WEIGHTED`]).
     pub version: u32,
     /// Engine kind: `"dense"`, `"sparse"`, or `"sharded"`.
     pub engine: String,
@@ -78,6 +89,77 @@ pub struct SnapshotState {
     pub entries: Vec<(u32, u32)>,
     /// Raw xoshiro256++ states, one per engine stream.
     pub rng_states: Vec<[u64; 4]>,
+    /// Weight queues and capacity bounds — `Some` iff the layout version is
+    /// [`SNAPSHOT_VERSION_WEIGHTED`].
+    pub weighted: Option<WeightedSection>,
+}
+
+/// The version-2 weighted section: per-bin FIFO weight queues plus the
+/// serialized capacity bounds.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WeightedSection {
+    /// `(bin, weights front→back)` per occupied bin, sorted by bin index.
+    /// Empty for a unit-weight engine that only observes capacities.
+    pub queues: Vec<(u32, Vec<u32>)>,
+    /// Capacity kind tag: `"unbounded"`, `"uniform"`, or `"explicit"`.
+    pub cap_kind: String,
+    /// Capacity bounds: empty, one shared value, or one per bin.
+    pub caps: Vec<u64>,
+}
+
+impl WeightedSection {
+    /// The decoded capacity bounds.
+    pub fn capacities(&self) -> Result<Capacities, SnapshotError> {
+        Capacities::from_parts(&self.cap_kind, &self.caps).map_err(SnapshotError)
+    }
+}
+
+// Serialize/Deserialize are written by hand (not derived) so that the
+// optional `weighted` key is *omitted* — not rendered as `null` — when
+// absent: version-1 snapshots must stay byte-identical to the pre-weighted
+// layout, which the serve golden and every checkpoint on disk pin down.
+impl Serialize for SnapshotState {
+    fn serialize(&self) -> Value {
+        let mut fields = vec![
+            ("version".to_string(), self.version.serialize()),
+            ("engine".to_string(), self.engine.serialize()),
+            ("n".to_string(), self.n.serialize()),
+            ("shards".to_string(), self.shards.serialize()),
+            ("round".to_string(), self.round.serialize()),
+            ("balls".to_string(), self.balls.serialize()),
+            ("entries".to_string(), self.entries.serialize()),
+            ("rng_states".to_string(), self.rng_states.serialize()),
+        ];
+        if let Some(w) = &self.weighted {
+            fields.push(("weighted".to_string(), w.serialize()));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for SnapshotState {
+    fn deserialize(value: &Value) -> Result<Self, serde::DeError> {
+        let get = |key: &str| serde::field(value, key);
+        Ok(Self {
+            version: Deserialize::deserialize(get("version")?)
+                .map_err(|e: serde::DeError| e.in_field("version"))?,
+            engine: Deserialize::deserialize(get("engine")?)
+                .map_err(|e: serde::DeError| e.in_field("engine"))?,
+            n: Deserialize::deserialize(get("n")?).map_err(|e: serde::DeError| e.in_field("n"))?,
+            shards: Deserialize::deserialize(get("shards")?)
+                .map_err(|e: serde::DeError| e.in_field("shards"))?,
+            round: Deserialize::deserialize(get("round")?)
+                .map_err(|e: serde::DeError| e.in_field("round"))?,
+            balls: Deserialize::deserialize(get("balls")?)
+                .map_err(|e: serde::DeError| e.in_field("balls"))?,
+            entries: Deserialize::deserialize(get("entries")?)
+                .map_err(|e: serde::DeError| e.in_field("entries"))?,
+            rng_states: Deserialize::deserialize(get("rng_states")?)
+                .map_err(|e: serde::DeError| e.in_field("rng_states"))?,
+            weighted: Deserialize::deserialize(get("weighted")?)
+                .map_err(|e: serde::DeError| e.in_field("weighted"))?,
+        })
+    }
 }
 
 impl SnapshotState {
@@ -86,11 +168,28 @@ impl SnapshotState {
     /// actionable message instead of resuming a wrong trajectory.
     pub fn validate(&self) -> Result<(), SnapshotError> {
         let err = |msg: String| Err(SnapshotError(msg));
-        if self.version != SNAPSHOT_VERSION {
+        if self.version != SNAPSHOT_VERSION && self.version != SNAPSHOT_VERSION_WEIGHTED {
             return err(format!(
-                "snapshot version {} unsupported (this build reads version {SNAPSHOT_VERSION})",
+                "snapshot version {} unsupported (this build reads versions \
+                 {SNAPSHOT_VERSION} and {SNAPSHOT_VERSION_WEIGHTED})",
                 self.version
             ));
+        }
+        match (&self.weighted, self.version) {
+            (None, SNAPSHOT_VERSION) | (Some(_), SNAPSHOT_VERSION_WEIGHTED) => {}
+            (Some(_), _) => {
+                return err(format!(
+                    "version {} snapshots carry no weighted section (that is version \
+                     {SNAPSHOT_VERSION_WEIGHTED})",
+                    self.version
+                ));
+            }
+            (None, _) => {
+                return err(format!(
+                    "version {} snapshots require a weighted section",
+                    self.version
+                ));
+            }
         }
         if self.n == 0 {
             return err("snapshot has zero bins".to_string());
@@ -166,6 +265,45 @@ impl SnapshotState {
                 self.balls
             ));
         }
+        if let Some(w) = &self.weighted {
+            let caps = w.capacities()?;
+            caps.validate(self.n).map_err(SnapshotError)?;
+            if caps.is_unbounded() && w.queues.is_empty() {
+                return err(
+                    "weighted section is vacuous (no queues, unbounded capacities) — \
+                     a unit snapshot must use version 1"
+                        .to_string(),
+                );
+            }
+            // Non-empty queues must mirror `entries` exactly: same bins,
+            // queue length == load, every weight >= 1.
+            if !w.queues.is_empty() {
+                if w.queues.len() != self.entries.len() {
+                    return err(format!(
+                        "{} weight queues but {} occupied bins",
+                        w.queues.len(),
+                        self.entries.len()
+                    ));
+                }
+                for (&(bin, load), (qbin, ws)) in self.entries.iter().zip(&w.queues) {
+                    if *qbin != bin {
+                        return err(format!(
+                            "weight queue for bin {qbin} does not match entry bin {bin} \
+                             (queues are sorted by bin, mirroring entries)"
+                        ));
+                    }
+                    if ws.len() != load as usize {
+                        return err(format!(
+                            "bin {bin}: weight queue lists {} balls, load says {load}",
+                            ws.len()
+                        ));
+                    }
+                    if ws.contains(&0) {
+                        return err(format!("bin {bin} holds a ball of weight 0"));
+                    }
+                }
+            }
+        }
         Ok(())
     }
 
@@ -215,7 +353,19 @@ mod tests {
             balls: 8,
             entries: vec![(0, 3), (2, 4), (7, 1)],
             rng_states: vec![Xoshiro256pp::seed_from(1).state()],
+            weighted: None,
         }
+    }
+
+    fn valid_weighted_state() -> SnapshotState {
+        let mut s = valid_state();
+        s.version = SNAPSHOT_VERSION_WEIGHTED;
+        s.weighted = Some(WeightedSection {
+            queues: vec![(0, vec![5, 1, 2]), (2, vec![1, 1, 9, 1]), (7, vec![30])],
+            cap_kind: "uniform".to_string(),
+            caps: vec![40],
+        });
+        s
     }
 
     #[test]
@@ -239,6 +389,16 @@ mod tests {
             ("ball total", Box::new(|s| s.balls = 7)),
             ("stream count", Box::new(|s| s.rng_states.clear())),
             ("zero stream", Box::new(|s| s.rng_states[0] = [0; 4])),
+            (
+                "v1 with weighted section",
+                Box::new(|s| {
+                    s.weighted = Some(WeightedSection {
+                        queues: vec![],
+                        cap_kind: "uniform".to_string(),
+                        caps: vec![3],
+                    })
+                }),
+            ),
         ];
         for (what, corrupt) in cases {
             let mut s = valid_state();
@@ -246,6 +406,106 @@ mod tests {
             assert!(s.validate().is_err(), "corruption '{what}' must be caught");
             assert!(restore(&s).is_err(), "restore must reject '{what}' too");
         }
+    }
+
+    #[test]
+    fn weighted_state_validates_and_round_trips() {
+        let state = valid_weighted_state();
+        state.validate().unwrap();
+        let back = SnapshotState::deserialize(&state.serialize()).unwrap();
+        assert_eq!(back, state);
+    }
+
+    #[test]
+    fn weighted_validation_rejects_section_corruption() {
+        type WCorruption = (&'static str, Box<dyn Fn(&mut SnapshotState)>);
+        fn weighted(s: &mut SnapshotState) -> &mut WeightedSection {
+            s.weighted.as_mut().unwrap()
+        }
+        let cases: Vec<WCorruption> = vec![
+            ("v2 without section", Box::new(|s| s.weighted = None)),
+            (
+                "queue count",
+                Box::new(move |s| {
+                    weighted(s).queues.pop();
+                }),
+            ),
+            (
+                "queue bin mismatch",
+                Box::new(move |s| weighted(s).queues[1].0 = 3),
+            ),
+            (
+                "queue length vs load",
+                Box::new(move |s| weighted(s).queues[0].1.push(4)),
+            ),
+            (
+                "zero weight",
+                Box::new(move |s| weighted(s).queues[2].1[0] = 0),
+            ),
+            (
+                "bad cap kind",
+                Box::new(move |s| weighted(s).cap_kind = "warped".to_string()),
+            ),
+            (
+                "uniform caps arity",
+                Box::new(move |s| weighted(s).caps = vec![1, 2]),
+            ),
+            (
+                "explicit caps length",
+                Box::new(move |s| {
+                    let w = weighted(s);
+                    w.cap_kind = "explicit".to_string();
+                    w.caps = vec![9; 3];
+                }),
+            ),
+            (
+                "zero capacity",
+                Box::new(move |s| weighted(s).caps = vec![0]),
+            ),
+            (
+                "vacuous section",
+                Box::new(move |s| {
+                    let w = weighted(s);
+                    w.queues.clear();
+                    w.cap_kind = "unbounded".to_string();
+                    w.caps.clear();
+                }),
+            ),
+        ];
+        for (what, corrupt) in cases {
+            let mut s = valid_weighted_state();
+            corrupt(&mut s);
+            assert!(s.validate().is_err(), "corruption '{what}' must be caught");
+        }
+    }
+
+    #[test]
+    fn unit_capacity_only_section_is_valid_without_queues() {
+        // A unit-weight engine observing capacities snapshots with an empty
+        // queue list but a real capacity bound.
+        let mut s = valid_weighted_state();
+        let w = s.weighted.as_mut().unwrap();
+        w.queues.clear();
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn v1_serialization_omits_the_weighted_key() {
+        // The pre-weighted byte format must be preserved exactly: no
+        // `"weighted": null` key may appear on version-1 snapshots.
+        let v1 = valid_state().serialize();
+        let keys: Vec<&str> = v1
+            .as_object()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert!(!keys.contains(&"weighted"), "{keys:?}");
+        let v2 = valid_weighted_state().serialize();
+        assert!(
+            v2.as_object().unwrap().iter().any(|(k, _)| k == "weighted"),
+            "version-2 snapshots must carry the weighted key"
+        );
     }
 
     #[test]

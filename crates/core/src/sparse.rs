@@ -45,9 +45,13 @@ use std::collections::hash_map::Entry;
 use crate::config::Config;
 use crate::det_hash::DetHashMap;
 use crate::engine::Engine;
+use crate::process::weighted_section;
 use crate::rng::Xoshiro256pp;
 use crate::sampling::UniformSampler;
-use crate::snapshot::{SnapshotError, SnapshotState, ENGINE_SPARSE, SNAPSHOT_VERSION};
+use crate::snapshot::{
+    SnapshotError, SnapshotState, ENGINE_SPARSE, SNAPSHOT_VERSION, SNAPSHOT_VERSION_WEIGHTED,
+};
+use crate::weights::{Capacities, WeightOverlay, Weights};
 
 /// Occupancy map type of the sparse engine: bin index → load, keyed through
 /// the workspace-wide deterministic hasher ([`crate::det_hash`] — formerly
@@ -96,6 +100,11 @@ pub struct SparseLoadProcess {
     /// Lazily materialized dense view for `Engine::config`; invalidated on
     /// every mutation, so steady-state stepping never allocates `O(n)`.
     dense: OnceCell<Config>,
+    /// Weight overlay — `None` in the unit configuration, where every step
+    /// path takes its original branch untouched.
+    weighted: Option<WeightOverlay>,
+    /// Observed capacity bounds ([`Capacities::Unbounded`] by default).
+    capacities: Capacities,
 }
 
 impl SparseLoadProcess {
@@ -155,7 +164,56 @@ impl SparseLoadProcess {
             sampler: UniformSampler::new(n as u64),
             dests: Vec::new(),
             dense: OnceCell::new(),
+            weighted: None,
+            capacities: Capacities::Unbounded,
         }
+    }
+
+    /// Creates a weighted, capacity-observing sparse process — the sparse
+    /// counterpart of [`LoadProcess::with_weights`], bit-identical to it in
+    /// trajectory, RNG stream, and weighted metrics from the same seed and
+    /// start. [`Weights::Unit`] (or an explicit all-ones vector) builds no
+    /// overlay, so the unit configuration is the same engine as
+    /// [`Self::new`].
+    ///
+    /// # RNG stream
+    ///
+    /// Identical to [`Self::new`]: weights never touch the RNG — each round
+    /// still consumes one uniform draw per departing bin, in bin order.
+    ///
+    /// [`LoadProcess::with_weights`]: crate::process::LoadProcess::with_weights
+    pub fn with_weights(
+        config: Config,
+        rng: Xoshiro256pp,
+        weights: Weights,
+        capacities: Capacities,
+    ) -> Self {
+        let weights = weights.normalized();
+        if let Err(e) = weights.validate(config.total_balls()) {
+            // rbb-lint: allow(panic, reason = "constructor contract violation, caught by spec-layer validation first")
+            panic!("invalid weights: {e}");
+        }
+        if let Err(e) = capacities.validate(config.n()) {
+            // rbb-lint: allow(panic, reason = "constructor contract violation, caught by spec-layer validation first")
+            panic!("invalid capacities: {e}");
+        }
+        let overlay = match &weights {
+            Weights::Unit => None,
+            Weights::Explicit(ws) => {
+                let entries = config
+                    .loads()
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &l)| l > 0)
+                    // rbb-lint: allow(lossy-cast, reason = "enumerate index < n, which fits the u32 bin-index range")
+                    .map(|(b, &l)| (b as u32, l));
+                Some(WeightOverlay::from_entries(entries, ws))
+            }
+        };
+        let mut p = Self::new(config, rng);
+        p.weighted = overlay;
+        p.capacities = capacities;
+        p
     }
 
     /// Creates a sparse process from a dense configuration (collecting its
@@ -266,7 +324,51 @@ impl SparseLoadProcess {
             "mass violated"
         );
         debug_assert_eq!(self.loads.len(), self.occupied.len());
+        debug_assert!(self.weighted.as_ref().is_none_or(|o| o
+            // rbb-lint: allow(unordered-iter, reason = "check_against counts and compares per-bin; order-independent")
+            .check_against(self.loads.iter().map(|(&b, &l)| (b, l)))
+            .is_ok()));
         departures
+    }
+
+    /// The weighted round: same draws as the unit paths, plus the metric
+    /// transport. Departing bins enter the transport in **ascending bin
+    /// order** — the canonical order the dense engine's scan produces — so
+    /// the weighted sparse engine stays bit-identical to the weighted dense
+    /// engine even though the unit worklist is unordered.
+    fn step_weighted(&mut self, batched: bool) -> usize {
+        {
+            let overlay = self
+                .weighted
+                .as_mut()
+                // rbb-lint: allow(panic, reason = "only reached behind a weighted.is_some() guard in step/step_batched")
+                .expect("weighted step needs an overlay");
+            overlay.srcs.clear();
+            overlay.srcs.extend_from_slice(&self.occupied);
+            overlay.srcs.sort_unstable();
+        }
+        let departures = self.depart_all();
+        let mut dests = std::mem::take(&mut self.dests);
+        if batched {
+            dests.resize(departures, 0);
+            self.sampler.fill_u32(&mut self.rng, &mut dests);
+        } else {
+            dests.clear();
+            for _ in 0..departures {
+                // rbb-lint: allow(lossy-cast, reason = "n fits the u32 index range (asserted at construction); draws are < n")
+                dests.push(self.rng.uniform_usize(self.n) as u32);
+            }
+        }
+        for &b in &dests {
+            self.arrive(b);
+        }
+        let overlay = self.weighted.as_mut();
+        overlay
+            // rbb-lint: allow(panic, reason = "the overlay checked above cannot vanish mid-round")
+            .expect("weighted step needs an overlay")
+            .transport(&dests);
+        self.dests = dests;
+        self.finish_round(departures)
     }
 
     /// Advances one round through the scalar path; returns the number of
@@ -274,6 +376,9 @@ impl SparseLoadProcess {
     /// [`LoadProcess::step`](crate::process::LoadProcess::step): `d` scalar
     /// uniform draws, where `d` is the number of non-empty bins.
     pub fn step(&mut self) -> usize {
+        if self.weighted.is_some() {
+            return self.step_weighted(false);
+        }
         let departures = self.depart_all();
         for _ in 0..departures {
             // rbb-lint: allow(lossy-cast, reason = "n fits the u32 index range (asserted at construction); draws are < n")
@@ -288,6 +393,9 @@ impl SparseLoadProcess {
     /// Bit-identical to [`step`](SparseLoadProcess::step) — and to the dense
     /// engine's batched path — from equal state.
     pub fn step_batched(&mut self) -> usize {
+        if self.weighted.is_some() {
+            return self.step_weighted(true);
+        }
         let departures = self.depart_all();
         self.dests.resize(departures, 0);
         let mut dests = std::mem::take(&mut self.dests);
@@ -308,8 +416,13 @@ impl SparseLoadProcess {
     pub fn snapshot_state(&self) -> SnapshotState {
         let mut entries: Vec<(u32, u32)> = self.loads.iter().map(|(&b, &l)| (b, l)).collect();
         entries.sort_unstable();
+        let weighted = weighted_section(self.weighted.as_ref(), &self.capacities);
         SnapshotState {
-            version: SNAPSHOT_VERSION,
+            version: if weighted.is_some() {
+                SNAPSHOT_VERSION_WEIGHTED
+            } else {
+                SNAPSHOT_VERSION
+            },
             engine: ENGINE_SPARSE.to_string(),
             n: self.n,
             shards: 1,
@@ -317,6 +430,7 @@ impl SparseLoadProcess {
             balls: self.balls,
             entries,
             rng_states: vec![self.rng.state()],
+            weighted,
         }
     }
 
@@ -334,6 +448,12 @@ impl SparseLoadProcess {
         let rng = Xoshiro256pp::from_state(state.rng_states[0]);
         let mut p = Self::from_entries(state.n, state.entries.iter().copied(), rng);
         p.round = state.round;
+        if let Some(w) = &state.weighted {
+            p.capacities = w.capacities()?;
+            if !w.queues.is_empty() {
+                p.weighted = Some(WeightOverlay::from_queues(&w.queues));
+            }
+        }
         Ok(p)
     }
 }
@@ -433,14 +553,28 @@ impl Engine for SparseLoadProcess {
     /// Incremental arrival: one uniform destination draw from the engine
     /// stream — bit-compatible with the dense engine's `place`.
     fn place(&mut self) -> usize {
+        self.place_weighted(1)
+    }
+
+    /// Same RNG draw as [`place`](Engine::place) — the weight only feeds
+    /// the overlay. A unit process accepts weight 1 only.
+    fn place_weighted(&mut self, weight: u32) -> usize {
         assert!(
             self.balls < u32::MAX as u64,
             "place would overflow the u32 load bound"
         );
+        assert!(
+            weight == 1 || self.weighted.is_some(),
+            "this process is unit-weight: only weight-1 placements are supported"
+        );
+        assert!(weight >= 1, "placed weight must be at least 1");
         // rbb-lint: allow(lossy-cast, reason = "n fits the u32 index range (asserted at construction); draws are < n")
         let b = self.rng.uniform_usize(self.n) as u32;
         self.arrive(b);
         self.balls += 1;
+        if let Some(o) = &mut self.weighted {
+            o.place(b, weight);
+        }
         self.invalidate();
         b as usize
     }
@@ -460,8 +594,63 @@ impl Engine for SparseLoadProcess {
             self.occupied.retain(|&x| x != b);
         }
         self.balls -= 1;
+        if let Some(o) = &mut self.weighted {
+            o.depart(b);
+        }
         self.invalidate();
         true
+    }
+
+    fn weighted(&self) -> bool {
+        self.weighted.is_some()
+    }
+
+    fn total_weight(&self) -> u64 {
+        self.weighted
+            .as_ref()
+            .map_or(self.balls, WeightOverlay::total)
+    }
+
+    fn weighted_max_load(&self) -> u64 {
+        match &self.weighted {
+            Some(o) => o.weighted_max_load(),
+            None => u64::from(Engine::max_load(self)),
+        }
+    }
+
+    fn weighted_bin_load(&self, bin: usize) -> u64 {
+        match &self.weighted {
+            // rbb-lint: allow(lossy-cast, reason = "out-of-range bins read as empty, matching the unit path's 0 load")
+            Some(o) => o.weighted_load(bin as u32),
+            None => u64::from(Engine::bin_load(self, bin)),
+        }
+    }
+
+    fn capacities(&self) -> &Capacities {
+        &self.capacities
+    }
+
+    /// `O(#occupied)` in every mode — the overlay map for weighted runs,
+    /// the occupancy map for capacity-only unit runs (empty bins never
+    /// violate, so the trait default's `O(n)` scan is never needed here).
+    fn capacity_violations(&self) -> u64 {
+        match &self.weighted {
+            Some(o) => o.capacity_violations(&self.capacities),
+            None => {
+                if self.capacities.is_unbounded() {
+                    return 0;
+                }
+                // rbb-lint: allow(unordered-iter, reason = "counting violators is order-independent")
+                self.loads
+                    .iter()
+                    .filter(|(&b, &l)| {
+                        self.capacities
+                            .bound(b as usize)
+                            .is_some_and(|c| u64::from(l) > c)
+                    })
+                    .count() as u64
+            }
+        }
     }
 
     fn snapshot(&self) -> Option<SnapshotState> {
@@ -673,6 +862,115 @@ mod tests {
             assert!(p.occupied.iter().all(|b| p.loads.contains_key(b)));
             assert!(p.loads.values().all(|&l| l > 0));
         }
+    }
+
+    #[test]
+    fn weighted_sparse_is_bit_identical_to_weighted_dense() {
+        // The tentpole invariant at the sparse layer: from the same seed,
+        // start, and weights, the weighted sparse engine matches the
+        // weighted dense engine in trajectory, RNG stream, and every
+        // weighted metric — the sorted-departure transport reproduces the
+        // dense scan order exactly.
+        let n = 96;
+        let weights = Weights::zipf(n as u64, 1.0, 40);
+        let caps = Capacities::Uniform(50);
+        let mut dense = LoadProcess::with_weights(
+            Config::one_per_bin(n),
+            rng(71),
+            weights.clone(),
+            caps.clone(),
+        );
+        let mut sparse =
+            SparseLoadProcess::with_weights(Config::one_per_bin(n), rng(71), weights, caps);
+        assert!(Engine::weighted(&sparse));
+        for r in 0..160 {
+            let (a, b) = if r % 3 == 0 {
+                (dense.step(), sparse.step())
+            } else {
+                (dense.step_batched(), sparse.step_batched())
+            };
+            assert_eq!(a, b, "departure count diverged at round {r}");
+            assert_eq!(
+                Engine::weighted_max_load(&dense),
+                Engine::weighted_max_load(&sparse),
+                "weighted max load diverged at round {r}"
+            );
+            assert_eq!(
+                Engine::capacity_violations(&dense),
+                Engine::capacity_violations(&sparse),
+                "violation count diverged at round {r}"
+            );
+            assert_eq!(dense.config(), Engine::config(&sparse), "round {r}");
+        }
+        assert_eq!(Engine::total_weight(&dense), Engine::total_weight(&sparse));
+        for bin in 0..n {
+            assert_eq!(
+                Engine::weighted_bin_load(&dense, bin),
+                Engine::weighted_bin_load(&sparse, bin)
+            );
+        }
+        let a = Engine::snapshot(&dense).unwrap();
+        let b = Engine::snapshot(&sparse).unwrap();
+        assert_eq!(a.weighted, b.weighted, "identical weighted sections");
+        assert_eq!(a.entries, b.entries);
+    }
+
+    #[test]
+    fn weighted_snapshot_round_trips_bit_identically() {
+        let mut p = SparseLoadProcess::with_weights(
+            Config::one_per_bin(48),
+            rng(72),
+            Weights::zipf(48, 1.0, 30),
+            Capacities::Uniform(25),
+        );
+        p.run_silent(19);
+        let snap = Engine::snapshot(&p).expect("sparse engine snapshots");
+        assert_eq!(snap.version, SNAPSHOT_VERSION_WEIGHTED);
+        let mut q = SparseLoadProcess::from_snapshot(&snap).unwrap();
+        assert_eq!(Engine::total_weight(&q), Engine::total_weight(&p));
+        assert_eq!(Engine::capacities(&q), &Capacities::Uniform(25));
+        for _ in 0..50 {
+            p.step_batched();
+            q.step_batched();
+        }
+        assert_eq!(Engine::config(&p), Engine::config(&q));
+        assert_eq!(Engine::snapshot(&p), Engine::snapshot(&q));
+    }
+
+    #[test]
+    fn unit_weights_build_the_same_sparse_engine() {
+        let mut plain = SparseLoadProcess::legitimate_start(64, 73);
+        let mut unit = SparseLoadProcess::with_weights(
+            Config::one_per_bin(64),
+            rng(73),
+            Weights::Explicit(vec![1; 64]),
+            Capacities::Unbounded,
+        );
+        assert!(unit.weighted.is_none(), "all-ones collapses to no overlay");
+        for _ in 0..80 {
+            plain.step_batched();
+            unit.step_batched();
+        }
+        assert_eq!(plain.rng, unit.rng);
+        assert_eq!(Engine::snapshot(&plain), Engine::snapshot(&unit));
+    }
+
+    #[test]
+    fn weighted_place_and_depart_track_the_overlay() {
+        let mut p = SparseLoadProcess::with_weights(
+            Config::one_per_bin(32),
+            rng(74),
+            Weights::zipf(32, 1.0, 20),
+            Capacities::Unbounded,
+        );
+        let total = Engine::total_weight(&p);
+        let b = Engine::place_weighted(&mut p, 15);
+        assert_eq!(Engine::total_weight(&p), total + 15);
+        assert!(Engine::weighted_bin_load(&p, b) >= 15);
+        assert!(Engine::depart(&mut p, b));
+        assert_eq!(p.balls(), 32);
+        p.step();
+        assert_eq!(p.balls(), 32);
     }
 
     #[test]

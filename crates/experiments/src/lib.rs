@@ -42,6 +42,7 @@ pub mod e23_graph_cover;
 pub mod e24_window_scaling;
 pub mod e25_sparse_regime;
 pub mod e26_sharded_scaling;
+pub mod e27_weighted_skew;
 
 use common::Experiment;
 
@@ -204,6 +205,12 @@ pub fn registry() -> Vec<Experiment> {
             claim: "fixed shard count => thread-invariant trajectory; throughput is the machine's business",
             run: e26_sharded_scaling::run,
         },
+        Experiment {
+            id: "e27",
+            title: "weighted Zipf balls and capacity-constrained bins",
+            claim: "weight-oblivious dynamics hold the weighted envelope at max(w_max, bound*mean); FFD packs tighter but pays collateral churn moves",
+            run: e27_weighted_skew::run,
+        },
     ]
 }
 
@@ -214,7 +221,7 @@ mod tests {
     #[test]
     fn registry_ids_are_unique_and_ordered() {
         let reg = registry();
-        assert_eq!(reg.len(), 26);
+        assert_eq!(reg.len(), 27);
         for (i, e) in reg.iter().enumerate() {
             assert_eq!(e.id, format!("e{:02}", i + 1));
         }

@@ -16,10 +16,11 @@
 //!
 //! ## Scoping
 //!
-//! Result-affecting crates are `core`, `sim`, `stats`, and `serve`: a
-//! determinism or numerical bug there changes reported trajectories and
-//! statistics (for `serve`, the responses and checkpoints a daemon session
-//! hands back).
+//! Result-affecting crates are `core`, `sim`, `stats`, `serve`, and
+//! `baselines`: a determinism or numerical bug there changes reported
+//! trajectories and statistics (for `serve`, the responses and checkpoints
+//! a daemon session hands back; for `baselines`, the comparator curves
+//! experiments plot against the process).
 //! Most rules fire only in those crates and only in non-test code — files
 //! under `tests/`, `benches/`, or `examples/` directories, and regions
 //! under `#[cfg(test)]`, are exempt. Entropy rules fire everywhere
@@ -33,7 +34,7 @@ use crate::structure::{self, NodeKind, View};
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// Crates whose code can affect reported results.
-const RESULT_CRATES: &[&str] = &["core", "sim", "stats", "serve"];
+const RESULT_CRATES: &[&str] = &["core", "sim", "stats", "serve", "baselines"];
 
 /// Which analysis layer a rule runs on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -9,10 +9,10 @@
 //!
 //! | op | request fields | response fields |
 //! |----|----------------|-----------------|
-//! | `place` | `count?` (default 1) | `bin`+`load` (or `bins` when `count` given), `balls` |
+//! | `place` | `count?` (default 1), `weight?` (default 1; ≠ 1 needs a weighted engine) | `bin`+`load` (or `bins` when `count` given), `balls` |
 //! | `depart` | `bin` | `removed`, `load`, `balls` |
 //! | `step` | `rounds?` (default 1) | `round`, `moved` (last round's movers) |
-//! | `query` | `bin?` | `n`, `round`, `balls`, `max_load`, `empty_bins`, `nonempty_bins`, `bound`, `legitimate` (+ `load` when `bin` given) |
+//! | `query` | `bin?` | `n`, `round`, `balls`, `max_load`, `empty_bins`, `nonempty_bins`, `bound`, `legitimate` (+ `load` when `bin` given; + `total_weight`, `weighted_max_load`, `weighted_bound`, `capacity_violations` on weighted engines) |
 //! | `snapshot` | `path?` | `state` (the [`SnapshotState`] object; also written to `path` when given) |
 //! | `restore` | `state` or `path` | `engine`, `n`, `round`, `balls` |
 //! | `stats` | | the [`crate::stats::StatsReport`] fields |
@@ -156,10 +156,50 @@ impl Session {
         ))
     }
 
+    /// Parses and guards the optional `weight` field: `None` when absent,
+    /// otherwise a validated non-zero weight the engine can carry.
+    fn opt_weight(&self, req: &Value) -> Result<Option<u32>, String> {
+        let Some(w) = opt_u64(req, "weight")? else {
+            return Ok(None);
+        };
+        if w == 0 {
+            return Err("weight must be at least 1".to_string());
+        }
+        let Ok(w) = u32::try_from(w) else {
+            return Err("weight exceeds the u32 weight bound".to_string());
+        };
+        if w != 1 && !self.engine.weighted() {
+            return Err(
+                "non-unit weight needs a weighted engine (this engine is unit-weight)".to_string(),
+            );
+        }
+        Ok(Some(w))
+    }
+
+    /// One timed weighted placement; response shape matches `place_one`.
+    fn place_one_weighted(&mut self, weight: u32) -> Result<String, String> {
+        self.guard_incremental()?;
+        if self.engine.balls() >= u32::MAX as u64 {
+            return Err("ball count is at the u32 load bound".to_string());
+        }
+        let t0 = self.clock.now_nanos();
+        let bin = self.engine.place_weighted(weight);
+        let t1 = self.clock.now_nanos();
+        self.stats.place_latency.record(t1.saturating_sub(t0));
+        self.stats.placements += 1;
+        let load = self.engine.bin_load(bin);
+        let balls = self.engine.balls();
+        Ok(format!(
+            r#"{{"ok":true,"bin":{bin},"load":{load},"balls":{balls}}}"#
+        ))
+    }
+
     fn op_place(&mut self, req: &Value) -> Result<String, String> {
-        let count = match opt_u64(req, "count")? {
-            None => return self.place_one(),
-            Some(c) => c,
+        let weight = self.opt_weight(req)?;
+        let count = match (opt_u64(req, "count")?, weight) {
+            (None, None) => return self.place_one(),
+            (None, Some(w)) => return self.place_one_weighted(w),
+            (Some(c), _) => c,
         };
         if count == 0 || count > MAX_PLACE_BATCH {
             return Err(format!("count must be in 1..={MAX_PLACE_BATCH}"));
@@ -171,7 +211,10 @@ impl Session {
                 return Err("ball count reached the u32 load bound mid-batch".to_string());
             }
             let t0 = self.clock.now_nanos();
-            let bin = self.engine.place();
+            let bin = match weight {
+                Some(w) => self.engine.place_weighted(w),
+                None => self.engine.place(),
+            };
             let t1 = self.clock.now_nanos();
             self.stats.place_latency.record(t1.saturating_sub(t0));
             self.stats.placements += 1;
@@ -248,6 +291,26 @@ impl Session {
             ("bound".to_string(), Value::UInt(bound as u64)),
             ("legitimate".to_string(), Value::Bool(legitimate)),
         ];
+        // Weighted surface: appended only on weighted engines, so unit
+        // sessions keep the pre-weighted response bytes.
+        if self.engine.weighted() {
+            let total_weight = self.engine.total_weight();
+            let weighted_bound = if n >= 2 {
+                LegitimacyThreshold::default().weighted_bound(n, total_weight, self.engine.balls())
+            } else {
+                0
+            };
+            fields.push(("total_weight".to_string(), Value::UInt(total_weight)));
+            fields.push((
+                "weighted_max_load".to_string(),
+                Value::UInt(self.engine.weighted_max_load()),
+            ));
+            fields.push(("weighted_bound".to_string(), Value::UInt(weighted_bound)));
+            fields.push((
+                "capacity_violations".to_string(),
+                Value::UInt(self.engine.capacity_violations()),
+            ));
+        }
         if let Some(bin) = opt_u64(req, "bin")? {
             let bin = bin as usize;
             if bin >= n {
@@ -487,6 +550,97 @@ mod tests {
         assert!(a.contains(r#""placements":50"#), "{a}");
         // Each placement spans one 1000ns tick → bucket upper bound 1023.
         assert!(a.contains(r#""place_p50_nanos":1023"#), "{a}");
+    }
+
+    fn weighted_session(n: usize, seed: u64) -> Session {
+        use rbb_core::weights::{Capacities, Weights};
+        let engine = LoadProcess::with_weights(
+            Config::one_per_bin(n),
+            Xoshiro256pp::seed_from(seed),
+            Weights::zipf(n as u64, 1.0, 16),
+            Capacities::Uniform(8),
+        );
+        Session::new(Box::new(engine), Box::new(MockClock::new(1000)))
+    }
+
+    #[test]
+    fn weighted_place_routes_the_weight_to_the_overlay() {
+        let mut s = weighted_session(64, 21);
+        let before: u64 = s.engine().total_weight();
+        let resp = s.handle_line(r#"{"op":"place","weight":7}"#);
+        assert!(resp.starts_with(r#"{"ok":true,"bin":"#), "{resp}");
+        assert_eq!(s.engine().total_weight(), before + 7);
+        let batch = s.handle_line(r#"{"op":"place","count":3,"weight":5}"#);
+        assert!(batch.contains(r#""bins":["#), "{batch}");
+        assert_eq!(s.engine().total_weight(), before + 7 + 15);
+        // weight 0 and oversized weights are protocol errors, not panics.
+        for bad in [
+            r#"{"op":"place","weight":0}"#,
+            r#"{"op":"place","weight":4294967296}"#,
+        ] {
+            assert!(s.handle_line(bad).contains(r#""ok":false"#));
+        }
+    }
+
+    #[test]
+    fn unit_engines_reject_non_unit_weights_but_accept_weight_one() {
+        let mut s = session(16, 3);
+        let heavy = s.handle_line(r#"{"op":"place","weight":2}"#);
+        assert!(heavy.contains("needs a weighted engine"), "{heavy}");
+        // weight 1 on a unit engine is the same placement as no weight.
+        let mut t = session(16, 3);
+        let explicit = s.handle_line(r#"{"op":"place","weight":1}"#);
+        let implicit = t.handle_line(r#"{"op":"place"}"#);
+        assert_eq!(explicit, implicit);
+    }
+
+    #[test]
+    fn weighted_query_reports_the_weighted_surface() {
+        let mut s = weighted_session(64, 9);
+        let resp = s.handle_line(r#"{"op":"query"}"#);
+        for key in [
+            r#""total_weight":"#,
+            r#""weighted_max_load":"#,
+            r#""weighted_bound":"#,
+            r#""capacity_violations":"#,
+        ] {
+            assert!(resp.contains(key), "missing {key} in {resp}");
+        }
+        // Unit sessions keep the pre-weighted response bytes.
+        let mut u = session(64, 9);
+        let unit = u.handle_line(r#"{"op":"query"}"#);
+        assert!(!unit.contains("total_weight"), "{unit}");
+        assert!(unit.ends_with(r#""legitimate":true}"#), "{unit}");
+    }
+
+    #[test]
+    fn weighted_snapshot_restore_resumes_identically() {
+        let mut a = weighted_session(32, 17);
+        for req in [
+            r#"{"op":"place","weight":9}"#,
+            r#"{"op":"step","rounds":11}"#,
+        ] {
+            assert!(a.handle_line(req).contains(r#""ok":true"#));
+        }
+        let snap = a.handle_line(r#"{"op":"snapshot"}"#);
+        let state = serde_json::parse_value_str(&snap)
+            .unwrap()
+            .get("state")
+            .cloned()
+            .unwrap();
+        let mut b = session(8, 1);
+        let restore_req = render(&Value::Object(vec![
+            ("op".to_string(), Value::Str("restore".to_string())),
+            ("state".to_string(), state),
+        ]));
+        assert!(b.handle_line(&restore_req).contains(r#""ok":true"#));
+        for req in [
+            r#"{"op":"place","weight":4}"#,
+            r#"{"op":"step","rounds":5}"#,
+            r#"{"op":"query"}"#,
+        ] {
+            assert_eq!(a.handle_line(req), b.handle_line(req), "diverged at {req}");
+        }
     }
 
     #[test]

@@ -60,6 +60,16 @@ pub enum MetricKind {
     Rounds,
     /// Adversarial faults injected.
     Faults,
+    /// `max_{t ≤ T} W(t)` — the window max **weighted** load. On a unit
+    /// scenario this coincides with the window max load.
+    WeightedWindowMaxLoad,
+    /// Weighted max load of the final configuration.
+    FinalWeightedMaxLoad,
+    /// Bins over their capacity bound in the final configuration (always 0
+    /// for unbounded scenarios).
+    FinalCapacityViolations,
+    /// Fraction of observed rounds with at least one bin over its bound.
+    CapacityViolationRate,
 }
 
 impl MetricKind {
@@ -75,6 +85,10 @@ impl MetricKind {
             MetricKind::StopRound => "stop-round",
             MetricKind::Rounds => "rounds",
             MetricKind::Faults => "faults",
+            MetricKind::WeightedWindowMaxLoad => "weighted-window-max-load",
+            MetricKind::FinalWeightedMaxLoad => "final-weighted-max-load",
+            MetricKind::FinalCapacityViolations => "final-capacity-violations",
+            MetricKind::CapacityViolationRate => "capacity-violation-rate",
         }
     }
 
@@ -90,12 +104,16 @@ impl MetricKind {
             "stop-round" => MetricKind::StopRound,
             "rounds" => MetricKind::Rounds,
             "faults" => MetricKind::Faults,
+            "weighted-window-max-load" => MetricKind::WeightedWindowMaxLoad,
+            "final-weighted-max-load" => MetricKind::FinalWeightedMaxLoad,
+            "final-capacity-violations" => MetricKind::FinalCapacityViolations,
+            "capacity-violation-rate" => MetricKind::CapacityViolationRate,
             _ => return None,
         })
     }
 
     /// Every metric kind, in report order.
-    pub fn all() -> [MetricKind; 9] {
+    pub fn all() -> [MetricKind; 13] {
         [
             MetricKind::WindowMaxLoad,
             MetricKind::MeanRoundMax,
@@ -106,6 +124,10 @@ impl MetricKind {
             MetricKind::StopRound,
             MetricKind::Rounds,
             MetricKind::Faults,
+            MetricKind::WeightedWindowMaxLoad,
+            MetricKind::FinalWeightedMaxLoad,
+            MetricKind::FinalCapacityViolations,
+            MetricKind::CapacityViolationRate,
         ]
     }
 }
@@ -255,6 +277,14 @@ impl EnsembleSpec {
             .metrics
             .iter()
             .any(|m| m.kind == MetricKind::FirstLegitimateRound);
+        let needs_weighted = self
+            .metrics
+            .iter()
+            .any(|m| m.kind == MetricKind::WeightedWindowMaxLoad);
+        let needs_capacity = self
+            .metrics
+            .iter()
+            .any(|m| m.kind == MetricKind::CapacityViolationRate);
 
         // Surface factory errors (e.g. an adversary against a fault-less
         // engine) before fanning out; per-trial construction cannot fail
@@ -279,6 +309,12 @@ impl EnsembleSpec {
                 }
                 if needs_legit {
                     stack = stack.with_legitimacy(LegitimacyThreshold::default());
+                }
+                if needs_weighted {
+                    stack = stack.with_weighted_load();
+                }
+                if needs_capacity {
+                    stack = stack.with_capacity();
                 }
                 let outcome = scenario.run_observed(&mut stack);
                 kinds
@@ -317,6 +353,22 @@ impl EnsembleSpec {
                         MetricKind::StopRound => outcome.stop_round.map(|r| r as f64),
                         MetricKind::Rounds => Some(outcome.rounds as f64),
                         MetricKind::Faults => Some(outcome.faults as f64),
+                        MetricKind::WeightedWindowMaxLoad => {
+                            // rbb-lint: allow(panic, reason = "the stack enables exactly the observers the requested statistics need, built above")
+                            Some(stack.weighted_load.as_ref().expect("enabled").window_max() as f64)
+                        }
+                        MetricKind::FinalWeightedMaxLoad => {
+                            Some(scenario.engine().weighted_max_load() as f64)
+                        }
+                        MetricKind::FinalCapacityViolations => {
+                            Some(scenario.engine().capacity_violations() as f64)
+                        }
+                        MetricKind::CapacityViolationRate => {
+                            // rbb-lint: allow(panic, reason = "the stack enables exactly the observers the requested statistics need, built above")
+                            let t = stack.capacity.as_ref().expect("enabled");
+                            (t.rounds() > 0)
+                                .then(|| t.rounds_in_violation() as f64 / t.rounds() as f64)
+                        }
                     })
                     .collect()
             });
@@ -732,6 +784,82 @@ mod tests {
             let report = EnsembleSpec::new(scenario, 3, 4).run().unwrap();
             assert_eq!(report.metrics.len(), 2);
         }
+    }
+
+    #[test]
+    fn weighted_metric_names_round_trip() {
+        for kind in MetricKind::all() {
+            assert_eq!(MetricKind::parse(kind.name()), Some(kind), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn weighted_ensemble_reports_weighted_statistics() {
+        use crate::spec::{CapacitiesSpec, WeightsSpec};
+        let scenario = ScenarioSpec::builder(64)
+            .weights(WeightsSpec::Zipf {
+                s: 1.0,
+                w_max: Some(16),
+            })
+            .capacities(CapacitiesSpec::Uniform { c: 4 })
+            .start(StartSpec::AllInOne)
+            .balls(64)
+            .horizon_rounds(150)
+            .build();
+        let report = EnsembleSpec::new(scenario, 21, 6)
+            .with_metrics(vec![
+                MetricSpec::plain(MetricKind::WindowMaxLoad),
+                MetricSpec::plain(MetricKind::WeightedWindowMaxLoad),
+                MetricSpec::plain(MetricKind::FinalWeightedMaxLoad),
+                MetricSpec::plain(MetricKind::FinalCapacityViolations),
+                MetricSpec::plain(MetricKind::CapacityViolationRate),
+            ])
+            .run()
+            .unwrap();
+        let unit = report.metric(MetricKind::WindowMaxLoad).unwrap();
+        let weighted = report.metric(MetricKind::WeightedWindowMaxLoad).unwrap();
+        // Weighted mass dominates ball counts under a non-unit skew.
+        assert!(weighted.mean >= unit.mean);
+        assert_eq!(weighted.count, 6);
+        let final_w = report.metric(MetricKind::FinalWeightedMaxLoad).unwrap();
+        assert!(final_w.mean >= 1.0);
+        // A 16-weight ball against capacity 4: violations are structural.
+        let rate = report.metric(MetricKind::CapacityViolationRate).unwrap();
+        assert!(rate.mean > 0.0 && rate.mean <= 1.0);
+        let final_v = report.metric(MetricKind::FinalCapacityViolations).unwrap();
+        assert!(final_v.mean >= 1.0, "the heavy ball always violates c=4");
+    }
+
+    #[test]
+    fn weighted_metrics_on_unit_scenarios_degenerate_to_unit_values() {
+        let scenario = ScenarioSpec::builder(64).horizon_rounds(100).build();
+        let report = EnsembleSpec::new(scenario, 13, 5)
+            .with_metrics(vec![
+                MetricSpec::plain(MetricKind::WindowMaxLoad),
+                MetricSpec::plain(MetricKind::WeightedWindowMaxLoad),
+                MetricSpec::plain(MetricKind::FinalMaxLoad),
+                MetricSpec::plain(MetricKind::FinalWeightedMaxLoad),
+                MetricSpec::plain(MetricKind::FinalCapacityViolations),
+            ])
+            .run()
+            .unwrap();
+        let unit = report.metric(MetricKind::WindowMaxLoad).unwrap();
+        let weighted = report.metric(MetricKind::WeightedWindowMaxLoad).unwrap();
+        assert_eq!(unit.mean, weighted.mean);
+        assert_eq!(
+            report.metric(MetricKind::FinalMaxLoad).unwrap().mean,
+            report
+                .metric(MetricKind::FinalWeightedMaxLoad)
+                .unwrap()
+                .mean
+        );
+        assert_eq!(
+            report
+                .metric(MetricKind::FinalCapacityViolations)
+                .unwrap()
+                .mean,
+            0.0
+        );
     }
 
     #[test]

@@ -51,8 +51,8 @@ pub use runner::{run_trials, run_trials_seeded, sweep, sweep_par, sweep_par_seed
 pub use scenario::{build_engine, Scenario, ScenarioOutcome};
 pub use seed::{SeedTree, DEFAULT_MASTER_SEED};
 pub use spec::{
-    AdversaryKindSpec, AdversarySpec, ArrivalSpec, EngineSpec, HorizonSpec, ScenarioSpec,
-    ScenarioSpecBuilder, ScheduleSpec, SpecError, StartSpec, StopSpec, StrategySpec, TopologySpec,
-    SPARSE_AUTO_RATIO,
+    AdversaryKindSpec, AdversarySpec, ArrivalSpec, CapacitiesSpec, EngineSpec, HorizonSpec,
+    ScenarioSpec, ScenarioSpecBuilder, ScheduleSpec, SpecError, StartSpec, StopSpec, StrategySpec,
+    TopologySpec, WeightsSpec, SPARSE_AUTO_RATIO,
 };
 pub use table::{fmt_f64, Table};

@@ -89,6 +89,37 @@ pub fn build_engine(spec: &ScenarioSpec) -> Result<Box<dyn Engine>, SpecError> {
 
     match spec.arrival {
         ArrivalSpec::Uniform => match (spec.strategy, spec.stop) {
+            (None, _) if spec.weights.is_some() || spec.capacities.is_some() => {
+                // The weighted/capacity-observing constructors. Weight
+                // assignment is defined in bin order over the dense start
+                // configuration, so all three engines build from the dense
+                // config; the unit/unbounded configuration of each is the
+                // same engine as the plain arm below, bit for bit.
+                let config = spec.start.build(spec.n, m, seed)?;
+                let weights = spec.core_weights();
+                let capacities = spec.core_capacities();
+                match spec.resolved_engine() {
+                    EngineSpec::Sparse => Ok(Box::new(SparseLoadProcess::with_weights(
+                        config,
+                        engine_rng(seed),
+                        weights,
+                        capacities,
+                    ))),
+                    EngineSpec::Sharded => Ok(Box::new(ShardedLoadProcess::with_weights(
+                        config,
+                        seed,
+                        spec.resolved_shards(),
+                        weights,
+                        capacities,
+                    ))),
+                    _ => Ok(Box::new(LoadProcess::with_weights(
+                        config,
+                        engine_rng(seed),
+                        weights,
+                        capacities,
+                    ))),
+                }
+            }
             (None, _) => match spec.resolved_engine() {
                 EngineSpec::Sparse => {
                     let entries = spec.start.build_entries(spec.n, m, seed)?;
@@ -224,7 +255,17 @@ impl StopState {
     fn met(&self, engine: &dyn Engine) -> bool {
         match self {
             StopState::Horizon => false,
-            StopState::Legitimate(thr) => engine.max_load() <= thr.bound(engine.n()),
+            StopState::Legitimate(thr) => {
+                if engine.weighted() {
+                    // Weighted legitimacy: the unit bound scaled by the mean
+                    // ball weight — `M(q) ≤ ⌈β ln n⌉` on the *weighted* load,
+                    // with the threshold adjusted for the total mass.
+                    engine.weighted_max_load()
+                        <= thr.weighted_bound(engine.n(), engine.total_weight(), engine.balls())
+                } else {
+                    engine.max_load() <= thr.bound(engine.n())
+                }
+            }
             StopState::AllEmptied { never_emptied } => never_emptied.is_empty(),
             StopState::Covered => engine.covered() == Some(true),
         }
@@ -731,6 +772,145 @@ mod tests {
             scenario.engine().balls(),
             crate::spec::SHARDED_AUTO_MIN_N as u64
         );
+    }
+
+    #[test]
+    fn unit_weight_spec_builds_the_same_engine() {
+        // A `weights: unit` / `capacities: unbounded` spec must reproduce
+        // the plain spec's run bit for bit — same engine, same stream.
+        use crate::spec::{CapacitiesSpec, WeightsSpec};
+        let plain = ScenarioSpec::builder(128)
+            .horizon_rounds(300)
+            .seed(9)
+            .build();
+        let unit = ScenarioSpec {
+            weights: Some(WeightsSpec::Unit),
+            capacities: Some(CapacitiesSpec::Unbounded),
+            ..plain.clone()
+        };
+        let mut a = plain.scenario().unwrap();
+        let mut b = unit.scenario().unwrap();
+        let mut stack_a = ObserverStack::new().with_max_load();
+        let mut stack_b = stack_a.clone();
+        assert_eq!(a.run_observed(&mut stack_a), b.run_observed(&mut stack_b));
+        assert_eq!(a.engine().config(), b.engine().config());
+        assert!(!b.engine().weighted());
+        assert_eq!(
+            stack_a.max_load.unwrap().window_max(),
+            stack_b.max_load.unwrap().window_max()
+        );
+    }
+
+    #[test]
+    fn weighted_spec_matches_hand_built_engine() {
+        use crate::spec::{CapacitiesSpec, WeightsSpec};
+        let spec = ScenarioSpec::builder(64)
+            .weights(WeightsSpec::Zipf {
+                s: 1.0,
+                w_max: None,
+            })
+            .capacities(CapacitiesSpec::Uniform { c: 50 })
+            .horizon_rounds(200)
+            .seed(31)
+            .build();
+        let mut scenario = spec.scenario().unwrap();
+        scenario.run();
+        let engine = scenario.engine();
+        assert!(engine.weighted());
+
+        let mut p = LoadProcess::with_weights(
+            Config::one_per_bin(64),
+            Xoshiro256pp::seed_from(31),
+            spec.core_weights(),
+            spec.core_capacities(),
+        );
+        for _ in 0..200 {
+            p.step_batched();
+        }
+        assert_eq!(engine.config(), p.config());
+        assert_eq!(engine.weighted_max_load(), p.weighted_max_load());
+        assert_eq!(engine.total_weight(), p.total_weight());
+        assert_eq!(engine.capacity_violations(), p.capacity_violations());
+    }
+
+    #[test]
+    fn weighted_sparse_and_dense_scenarios_agree_bit_for_bit() {
+        use crate::spec::{CapacitiesSpec, WeightsSpec};
+        let base = ScenarioSpec::builder(512)
+            .balls(6)
+            .start(StartSpec::AllInOne)
+            .weights(WeightsSpec::Explicit(vec![9, 1, 4, 1, 25, 2]))
+            .capacities(CapacitiesSpec::Uniform { c: 30 })
+            .horizon_rounds(300)
+            .seed(17)
+            .build();
+        assert_eq!(base.resolved_engine(), EngineSpec::Sparse);
+        let dense_spec = ScenarioSpec {
+            engine: Some(EngineSpec::Dense),
+            ..base.clone()
+        };
+        let sparse_spec = ScenarioSpec {
+            engine: Some(EngineSpec::Sparse),
+            ..base
+        };
+        let mut dense = dense_spec.scenario().unwrap();
+        let mut sparse = sparse_spec.scenario().unwrap();
+        let a = dense.run();
+        let b = sparse.run();
+        assert_eq!(a, b);
+        assert_eq!(dense.engine().config(), sparse.engine().config());
+        assert_eq!(
+            dense.engine().weighted_max_load(),
+            sparse.engine().weighted_max_load()
+        );
+        assert_eq!(
+            dense.engine().capacity_violations(),
+            sparse.engine().capacity_violations()
+        );
+    }
+
+    #[test]
+    fn weighted_legitimate_stop_uses_the_weighted_bound() {
+        use crate::spec::WeightsSpec;
+        // All mass in one bin with heavy balls: the run must stop at the
+        // first round whose *weighted* max load clears the weighted bound.
+        let n = 128;
+        let spec = ScenarioSpec::builder(n)
+            .start(StartSpec::AllInOne)
+            .balls(n as u64)
+            .weights(WeightsSpec::Zipf {
+                s: 1.0,
+                w_max: Some(8),
+            })
+            .stop(StopSpec::Legitimate)
+            .horizon_rounds(40 * n as u64)
+            .seed(6)
+            .build();
+        let mut scenario = spec.scenario().unwrap();
+        let outcome = scenario.run();
+        let stop_round = outcome.stop_round.expect("legitimizes within horizon");
+
+        // Replay by hand against the weighted threshold.
+        let thr = LegitimacyThreshold::default();
+        let mut p = LoadProcess::with_weights(
+            Config::all_in_one(n, n as u32),
+            Xoshiro256pp::seed_from(6),
+            spec.core_weights(),
+            spec.core_capacities(),
+        );
+        let bound = thr.weighted_bound(n, p.total_weight(), p.balls());
+        let mut expect = None;
+        for _ in 0..40 * n as u64 {
+            p.step_batched();
+            if p.weighted_max_load() <= bound {
+                expect = Some(p.round());
+                break;
+            }
+        }
+        assert_eq!(Some(stop_round), expect);
+        // The weighted stop is strictly later than the unit-load stop
+        // would be at this skew: the weighted max dominates the unit max.
+        assert!(scenario.engine().weighted_max_load() <= bound);
     }
 
     #[test]

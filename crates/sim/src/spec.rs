@@ -71,6 +71,7 @@ use serde::{DeError, Deserialize, Serialize, Value};
 use rbb_core::config::Config;
 use rbb_core::sampling::{random_assignment_entries, random_assignment_multinomial};
 use rbb_core::strategy::QueueStrategy;
+use rbb_core::weights::{Capacities, Weights, DEFAULT_ZIPF_W_MAX};
 
 /// Validation failure for a [`ScenarioSpec`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -298,6 +299,93 @@ impl StrategySpec {
     }
 }
 
+/// Per-ball weights — the weighted generalization of the unit-load model.
+///
+/// Weights are **metric-only**: they never change the dynamics or the RNG
+/// stream (each non-empty bin still releases exactly one ball per round,
+/// FIFO by arrival), so the unit configuration of every weighted engine is
+/// bit-identical to the historical unit engine. Restricted to the load-only
+/// uniform/complete cell — the only cell whose engines carry the weight
+/// overlay.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WeightsSpec {
+    /// Every ball weighs 1 — the paper's model, and the same engine as an
+    /// omitted `weights` field.
+    Unit,
+    /// Power-law weights: ball `k` (in bin order over the start
+    /// configuration) weighs `round(w_max / (k+1)^s)`, clamped to
+    /// `[1, w_max]`. Deterministic — no RNG draw — so the engine stream is
+    /// untouched. Larger `s` concentrates the mass on the first balls.
+    Zipf {
+        /// Skew exponent (finite, > 0).
+        s: f64,
+        /// Heaviest weight (`None` ≡ [`DEFAULT_ZIPF_W_MAX`]).
+        w_max: Option<u32>,
+    },
+    /// One weight per ball, in bin order over the start configuration.
+    /// Must have exactly `balls` entries, all ≥ 1.
+    Explicit(Vec<u32>),
+}
+
+impl WeightsSpec {
+    /// Lowers to the core weight model for `balls` balls.
+    pub fn to_core(&self, balls: u64) -> Weights {
+        match self {
+            WeightsSpec::Unit => Weights::Unit,
+            WeightsSpec::Zipf { s, w_max } => {
+                Weights::zipf(balls, *s, w_max.unwrap_or(DEFAULT_ZIPF_W_MAX))
+            }
+            WeightsSpec::Explicit(ws) => Weights::Explicit(ws.clone()).normalized(),
+        }
+    }
+
+    /// Whether this spec names the unit weighting (without materializing a
+    /// weight vector): `unit`, zipf capped at `w_max: 1`, or an explicit
+    /// all-ones vector.
+    pub fn is_unit(&self) -> bool {
+        match self {
+            WeightsSpec::Unit => true,
+            WeightsSpec::Zipf { w_max, .. } => w_max.unwrap_or(DEFAULT_ZIPF_W_MAX) == 1,
+            WeightsSpec::Explicit(ws) => ws.iter().all(|&w| w == 1),
+        }
+    }
+}
+
+/// Per-bin capacity bounds — *observed* constraints, never dynamics: the
+/// process runs exactly as without them while the engine counts how many
+/// bins exceed their bound ([`Engine::capacity_violations`]). Restricted to
+/// the load-only uniform/complete cell, like [`WeightsSpec`].
+///
+/// [`Engine::capacity_violations`]: rbb_core::engine::Engine::capacity_violations
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CapacitiesSpec {
+    /// No bounds (the same engine as an omitted `capacities` field).
+    Unbounded,
+    /// Every bin bounded by the same weighted load `c ≥ 1`.
+    Uniform {
+        /// The shared bound.
+        c: u64,
+    },
+    /// One bound per bin; must have exactly `n` entries, all ≥ 1.
+    Explicit(Vec<u64>),
+}
+
+impl CapacitiesSpec {
+    /// Lowers to the core capacity model.
+    pub fn to_core(&self) -> Capacities {
+        match self {
+            CapacitiesSpec::Unbounded => Capacities::Unbounded,
+            CapacitiesSpec::Uniform { c } => Capacities::Uniform(*c),
+            CapacitiesSpec::Explicit(caps) => Capacities::Explicit(caps.clone()),
+        }
+    }
+
+    /// Whether this spec names the trivial (unbounded) capacity model.
+    pub fn is_unbounded(&self) -> bool {
+        matches!(self, CapacitiesSpec::Unbounded)
+    }
+}
+
 /// The graph the walk is constrained to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TopologySpec {
@@ -446,6 +534,11 @@ pub struct ScenarioSpec {
     pub n: usize,
     /// Number of balls (defaults to `n`).
     pub balls: Option<u64>,
+    /// Per-ball weights (`None` ≡ unit). Metric-only — see [`WeightsSpec`].
+    pub weights: Option<WeightsSpec>,
+    /// Per-bin capacity bounds (`None` ≡ unbounded) — see
+    /// [`CapacitiesSpec`].
+    pub capacities: Option<CapacitiesSpec>,
     /// Initial configuration.
     pub start: StartSpec,
     /// Rebalancing rule.
@@ -483,6 +576,8 @@ impl ScenarioSpec {
                 name: None,
                 n,
                 balls: None,
+                weights: None,
+                capacities: None,
                 start: StartSpec::OnePerBin,
                 arrival: ArrivalSpec::Uniform,
                 strategy: None,
@@ -510,6 +605,29 @@ impl ScenarioSpec {
             && matches!(self.arrival, ArrivalSpec::Uniform)
     }
 
+    /// The core weight model this spec runs with (`None` ≡ unit).
+    pub fn core_weights(&self) -> Weights {
+        self.weights
+            .as_ref()
+            .map_or(Weights::Unit, |w| w.to_core(self.balls_or_default()))
+    }
+
+    /// The core capacity model this spec runs with (`None` ≡ unbounded).
+    pub fn core_capacities(&self) -> Capacities {
+        self.capacities
+            .as_ref()
+            .map_or(Capacities::Unbounded, CapacitiesSpec::to_core)
+    }
+
+    /// Whether the spec carries non-trivial weighted state: non-unit
+    /// weights or real capacity bounds. A `weights: unit` /
+    /// `capacities: unbounded` spec is *not* weighted — it builds the same
+    /// engine as omitting the fields, bit for bit.
+    pub fn is_weighted(&self) -> bool {
+        self.weights.as_ref().is_some_and(|w| !w.is_unit())
+            || self.capacities.as_ref().is_some_and(|c| !c.is_unbounded())
+    }
+
     /// Resolves the `engine` field to a concrete choice: explicit
     /// `dense`/`sparse`/`sharded` win; `auto` (and an omitted field) picks
     /// sparse iff the spec is in the load-only cell and
@@ -532,7 +650,17 @@ impl ScenarioSpec {
                         .is_some_and(|scaled| scaled <= self.n as u64);
                 if sparse {
                     EngineSpec::Sparse
-                } else if self.is_load_only_cell() && self.n >= SHARDED_AUTO_MIN_N {
+                } else if self.is_load_only_cell()
+                    && self.n >= SHARDED_AUTO_MIN_N
+                    && !self.is_weighted()
+                {
+                    // Weighted mass never auto-selects sharded: the sharded
+                    // weighted round is law-equal but stream-different from
+                    // dense (it always consumes batched draws), so the
+                    // upgrade must be an explicit `engine: "sharded"` opt-in
+                    // rather than a silent heuristic flip. Dense and sparse
+                    // stay bit-identical under weights, so the sparse pick
+                    // above remains safe.
                     EngineSpec::Sharded
                 } else {
                     EngineSpec::Dense
@@ -579,6 +707,42 @@ impl ScenarioSpec {
         }
         if u32::try_from(m).is_err() {
             return Err(SpecError("balls must fit in u32".into()));
+        }
+        if self.weights.is_some() || self.capacities.is_some() {
+            if !self.is_load_only_cell() {
+                // Strict like `shards`: a weights/capacities field outside
+                // the only cell that implements them is a typo'd intent.
+                return Err(SpecError(
+                    "weights/capacities apply to the load-only uniform process on the \
+                     complete topology; remove `strategy`/`topology`/`arrival` overrides"
+                        .into(),
+                ));
+            }
+            if self.is_weighted() && self.adversary.is_some() {
+                return Err(SpecError(
+                    "weighted scenarios do not support adversaries yet".into(),
+                ));
+            }
+            if let Some(WeightsSpec::Zipf { s, w_max }) = &self.weights {
+                if !s.is_finite() || *s <= 0.0 {
+                    return Err(SpecError(format!(
+                        "zipf weights need a finite skew s > 0 (got {s})"
+                    )));
+                }
+                if w_max == &Some(0) {
+                    return Err(SpecError("zipf weights need w_max >= 1".into()));
+                }
+            }
+            if let Some(WeightsSpec::Explicit(ws)) = &self.weights {
+                // Validate the raw vector: `to_core` collapses all-ones to
+                // the unit model, which would mask an arity mismatch.
+                Weights::Explicit(ws.clone())
+                    .validate(m)
+                    .map_err(|e| SpecError(format!("invalid weights: {e}")))?;
+            }
+            self.core_capacities()
+                .validate(self.n)
+                .map_err(|e| SpecError(format!("invalid capacities: {e}")))?;
         }
         if matches!(self.start, StartSpec::OnePerBin) && m != self.n as u64 {
             return Err(SpecError(format!(
@@ -742,6 +906,18 @@ impl ScenarioSpecBuilder {
     /// Sets the ball count (default: `n`).
     pub fn balls(mut self, m: u64) -> Self {
         self.spec.balls = Some(m);
+        self
+    }
+
+    /// Sets the per-ball weights (default: unit).
+    pub fn weights(mut self, w: WeightsSpec) -> Self {
+        self.spec.weights = Some(w);
+        self
+    }
+
+    /// Sets the per-bin capacity bounds (default: unbounded).
+    pub fn capacities(mut self, c: CapacitiesSpec) -> Self {
+        self.spec.capacities = Some(c);
         self
     }
 
@@ -956,6 +1132,58 @@ impl Deserialize for StrategySpec {
             Some("random") => Ok(StrategySpec::Random),
             Some(other) => Err(DeError(format!("unknown strategy '{other}'"))),
             None => Err(DeError::expected("strategy string", value)),
+        }
+    }
+}
+
+impl Serialize for WeightsSpec {
+    fn serialize(&self) -> Value {
+        match self {
+            WeightsSpec::Unit => kind_obj("unit", vec![]),
+            WeightsSpec::Zipf { s, w_max } => kind_obj(
+                "zipf",
+                vec![("s", s.serialize()), ("w_max", w_max.serialize())],
+            ),
+            WeightsSpec::Explicit(ws) => kind_obj("explicit", vec![("weights", ws.serialize())]),
+        }
+    }
+}
+
+impl Deserialize for WeightsSpec {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match read_kind(value, "weights")?.as_str() {
+            "unit" => Ok(WeightsSpec::Unit),
+            "zipf" => Ok(WeightsSpec::Zipf {
+                s: read_param(value, "s")?,
+                w_max: read_param(value, "w_max")?,
+            }),
+            "explicit" => Ok(WeightsSpec::Explicit(read_param(value, "weights")?)),
+            other => Err(DeError(format!("unknown weights kind '{other}'"))),
+        }
+    }
+}
+
+impl Serialize for CapacitiesSpec {
+    fn serialize(&self) -> Value {
+        match self {
+            CapacitiesSpec::Unbounded => kind_obj("unbounded", vec![]),
+            CapacitiesSpec::Uniform { c } => kind_obj("uniform", vec![("c", c.serialize())]),
+            CapacitiesSpec::Explicit(caps) => {
+                kind_obj("explicit", vec![("caps", caps.serialize())])
+            }
+        }
+    }
+}
+
+impl Deserialize for CapacitiesSpec {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match read_kind(value, "capacities")?.as_str() {
+            "unbounded" => Ok(CapacitiesSpec::Unbounded),
+            "uniform" => Ok(CapacitiesSpec::Uniform {
+                c: read_param(value, "c")?,
+            }),
+            "explicit" => Ok(CapacitiesSpec::Explicit(read_param(value, "caps")?)),
+            other => Err(DeError(format!("unknown capacities kind '{other}'"))),
         }
     }
 }
@@ -1523,5 +1751,207 @@ mod tests {
         let reseeded = spec.with_seed(99);
         assert_eq!(reseeded.seed, 99);
         assert_eq!(reseeded.with_seed(spec.seed), spec);
+    }
+
+    #[test]
+    fn weighted_spec_round_trips_and_validates() {
+        let spec = ScenarioSpec::builder(64)
+            .weights(WeightsSpec::Zipf {
+                s: 1.0,
+                w_max: None,
+            })
+            .capacities(CapacitiesSpec::Uniform { c: 40 })
+            .horizon_rounds(100)
+            .build();
+        spec.validate().unwrap();
+        let json = serde_json::to_string_pretty(&spec).unwrap();
+        assert!(json.contains("\"kind\": \"zipf\""), "{json}");
+        let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+        assert!(spec.is_weighted());
+
+        let explicit = ScenarioSpec::builder(4)
+            .balls(4)
+            .weights(WeightsSpec::Explicit(vec![5, 1, 2, 1]))
+            .capacities(CapacitiesSpec::Explicit(vec![9, 9, 9, 9]))
+            .build();
+        explicit.validate().unwrap();
+        let json = serde_json::to_string_pretty(&explicit).unwrap();
+        let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, explicit);
+    }
+
+    #[test]
+    fn old_spec_json_without_weighted_keys_still_parses() {
+        // The pre-weights schema (no `weights`/`capacities` keys) must keep
+        // parsing to the unit model — every committed spec predates them.
+        let json = r#"{
+            "n": 64,
+            "start": {"kind": "one-per-bin"},
+            "arrival": {"kind": "uniform"},
+            "topology": {"kind": "complete"},
+            "horizon": {"kind": "factor-n", "factor": 10},
+            "stop": "horizon",
+            "seed": 7
+        }"#;
+        let spec: ScenarioSpec = serde_json::from_str(json).unwrap();
+        assert_eq!(spec.weights, None);
+        assert_eq!(spec.capacities, None);
+        assert!(!spec.is_weighted());
+        assert_eq!(spec.core_weights(), rbb_core::weights::Weights::Unit);
+        assert!(spec.core_capacities().is_unbounded());
+    }
+
+    #[test]
+    fn unit_weight_specs_are_not_weighted() {
+        // All three spellings of "everything weighs 1" are recognized as
+        // the unit model without materializing a weight vector.
+        for w in [
+            WeightsSpec::Unit,
+            WeightsSpec::Zipf {
+                s: 2.0,
+                w_max: Some(1),
+            },
+            WeightsSpec::Explicit(vec![1; 64]),
+        ] {
+            let spec = ScenarioSpec::builder(64).weights(w.clone()).build();
+            spec.validate().unwrap();
+            assert!(!spec.is_weighted(), "{w:?}");
+            assert!(spec.core_weights().is_unit(), "{w:?}");
+        }
+    }
+
+    #[test]
+    fn weighted_validation_catches_bad_specs() {
+        let bad = [
+            // Outside the load-only cell.
+            ScenarioSpec::builder(64)
+                .weights(WeightsSpec::Unit)
+                .strategy(StrategySpec::Fifo)
+                .build(),
+            ScenarioSpec::builder(64)
+                .capacities(CapacitiesSpec::Uniform { c: 4 })
+                .topology(TopologySpec::Ring)
+                .build(),
+            ScenarioSpec::builder(64)
+                .weights(WeightsSpec::Zipf {
+                    s: 1.0,
+                    w_max: None,
+                })
+                .arrival(ArrivalSpec::DChoice { d: 2 })
+                .build(),
+            // Weighted + adversary.
+            ScenarioSpec::builder(64)
+                .weights(WeightsSpec::Zipf {
+                    s: 1.0,
+                    w_max: None,
+                })
+                .adversary(
+                    AdversaryKindSpec::AllInOne,
+                    ScheduleSpec::Gamma { gamma: 6 },
+                )
+                .build(),
+            // Bad zipf parameters.
+            ScenarioSpec::builder(64)
+                .weights(WeightsSpec::Zipf {
+                    s: f64::NAN,
+                    w_max: None,
+                })
+                .build(),
+            ScenarioSpec::builder(64)
+                .weights(WeightsSpec::Zipf {
+                    s: -1.0,
+                    w_max: None,
+                })
+                .build(),
+            ScenarioSpec::builder(64)
+                .weights(WeightsSpec::Zipf {
+                    s: 0.0,
+                    w_max: None,
+                })
+                .build(),
+            ScenarioSpec::builder(64)
+                .weights(WeightsSpec::Zipf {
+                    s: 1.0,
+                    w_max: Some(0),
+                })
+                .build(),
+            // Wrong arities / zero entries.
+            ScenarioSpec::builder(64)
+                .weights(WeightsSpec::Explicit(vec![2, 3]))
+                .build(),
+            ScenarioSpec::builder(64)
+                .weights(WeightsSpec::Explicit(vec![1; 63]))
+                .build(),
+            ScenarioSpec::builder(4)
+                .balls(4)
+                .weights(WeightsSpec::Explicit(vec![1, 0, 1, 1]))
+                .build(),
+            ScenarioSpec::builder(64)
+                .capacities(CapacitiesSpec::Explicit(vec![4, 4]))
+                .build(),
+            ScenarioSpec::builder(64)
+                .capacities(CapacitiesSpec::Uniform { c: 0 })
+                .build(),
+        ];
+        for spec in bad {
+            assert!(spec.validate().is_err(), "accepted: {spec:?}");
+        }
+        // A unit weights field beside an adversary stays legal: the engine
+        // is the plain unit engine.
+        ScenarioSpec::builder(64)
+            .weights(WeightsSpec::Unit)
+            .adversary(
+                AdversaryKindSpec::AllInOne,
+                ScheduleSpec::Gamma { gamma: 6 },
+            )
+            .build()
+            .validate()
+            .unwrap();
+    }
+
+    #[test]
+    fn weighted_mass_never_auto_selects_sharded() {
+        // Unit-weight control at the sharded auto threshold: sharded.
+        let unit = ScenarioSpec::builder(SHARDED_AUTO_MIN_N).build();
+        assert_eq!(unit.resolved_engine(), EngineSpec::Sharded);
+        // The same spec with non-unit weights resolves dense instead.
+        let weighted = ScenarioSpec::builder(SHARDED_AUTO_MIN_N)
+            .weights(WeightsSpec::Zipf {
+                s: 1.0,
+                w_max: None,
+            })
+            .build();
+        assert_eq!(weighted.resolved_engine(), EngineSpec::Dense);
+        // Capacity bounds alone also block the silent stream flip.
+        let capped = ScenarioSpec::builder(SHARDED_AUTO_MIN_N)
+            .capacities(CapacitiesSpec::Uniform { c: 30 })
+            .build();
+        assert_eq!(capped.resolved_engine(), EngineSpec::Dense);
+        // A unit weights field does not: it is the same engine.
+        let unit_field = ScenarioSpec::builder(SHARDED_AUTO_MIN_N)
+            .weights(WeightsSpec::Unit)
+            .build();
+        assert_eq!(unit_field.resolved_engine(), EngineSpec::Sharded);
+        // The sparse pick is unaffected by weights (bit-identical engines).
+        let sparse = ScenarioSpec::builder(4096)
+            .balls(8)
+            .start(StartSpec::AllInOne)
+            .weights(WeightsSpec::Zipf {
+                s: 1.0,
+                w_max: None,
+            })
+            .build();
+        assert_eq!(sparse.resolved_engine(), EngineSpec::Sparse);
+        // Explicit sharded + weights stays allowed — an opt-in.
+        ScenarioSpec::builder(64)
+            .weights(WeightsSpec::Zipf {
+                s: 1.0,
+                w_max: None,
+            })
+            .engine(EngineSpec::Sharded)
+            .build()
+            .validate()
+            .unwrap();
     }
 }

@@ -63,7 +63,7 @@ pub fn record_delays(process: &mut BallProcess, rounds: u64) -> IntHistogram {
 /// distribution the FIFO analysis speaks about.
 pub fn record_delays_exact(process: &mut BallProcess, rounds: u64) -> IntHistogram {
     // Track arrival rounds locally (balls start "arrived at round 0").
-    let m = process.balls();
+    let m = process.balls() as usize;
     let mut arrival = vec![process.round(); m];
     let mut hist = IntHistogram::new();
     for _ in 0..rounds {

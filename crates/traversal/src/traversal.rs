@@ -44,7 +44,7 @@ impl Traversal {
     pub fn from_config(config: Config, strategy: QueueStrategy, seed: u64) -> Self {
         let n = config.n();
         let process = BallProcess::new(config, strategy, Xoshiro256pp::stream(seed, 0));
-        let m = process.balls();
+        let m = process.balls() as usize;
         let mut visited = vec![FixedBitSet::new(n); m];
         let mut covered = 0usize;
         for bin in 0..n {
@@ -71,7 +71,7 @@ impl Traversal {
     /// Number of tokens.
     #[inline]
     pub fn tokens(&self) -> usize {
-        self.process.balls()
+        self.process.balls() as usize
     }
 
     /// Current round.

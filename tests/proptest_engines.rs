@@ -18,10 +18,18 @@ use rbb_sim::{ArrivalSpec, ScenarioSpec, StopSpec, StrategySpec, TopologySpec};
 /// `rbb_sim::build_engine`). rbb-lint's `engine-proptest` repo check
 /// cross-references the workspace's Engine impls against this file, so a
 /// new engine must be added both to [`engine_matrix`] and to this list.
+///
+/// The load engines are covered in both their unit and their **weighted**
+/// configurations (the `*-weighted` matrix labels); the weighted-specific
+/// laws — unit degeneration, weight obliviousness, snapshot round-trip —
+/// live in `tests/proptest_weighted.rs`.
 const COVERED_ENGINES: &[&str] = &[
     "LoadProcess",
+    "LoadProcess (weighted)",
     "SparseLoadProcess",
+    "SparseLoadProcess (weighted)",
     "ShardedLoadProcess",
+    "ShardedLoadProcess (weighted)",
     "BallProcess",
     "DChoiceProcess",
     "Tetris",
@@ -63,6 +71,31 @@ fn engine_matrix() -> Vec<Combo> {
             // The sharded engine at 4 shards (spec_for forces engine:
             // sharded); scalar and batched round bodies both exist.
             "load-sharded",
+            ArrivalSpec::Uniform,
+            None,
+            TopologySpec::Complete,
+            StopSpec::Horizon,
+        ),
+        (
+            // The dense engine carrying the weighted overlay (spec_for
+            // adds zipf weights + a uniform capacity for `*-weighted`
+            // labels): the scalar/batched law must hold with the overlay
+            // in play, not just on the unit fast path.
+            "load-weighted",
+            ArrivalSpec::Uniform,
+            None,
+            TopologySpec::Complete,
+            StopSpec::Horizon,
+        ),
+        (
+            "load-sparse-weighted",
+            ArrivalSpec::Uniform,
+            None,
+            TopologySpec::Complete,
+            StopSpec::Horizon,
+        ),
+        (
+            "load-sharded-weighted",
             ArrivalSpec::Uniform,
             None,
             TopologySpec::Complete,
@@ -160,11 +193,19 @@ fn spec_for(combo: &Combo, n: usize, seed: u64) -> ScenarioSpec {
     if let Some(s) = strategy {
         b = b.strategy(*s);
     }
-    if *label == "load-sparse" {
+    if label.starts_with("load-sparse") {
         b = b.engine(rbb_sim::EngineSpec::Sparse);
     }
-    if *label == "load-sharded" {
+    if label.starts_with("load-sharded") {
         b = b.engine(rbb_sim::EngineSpec::Sharded).shards(4);
+    }
+    if label.ends_with("-weighted") {
+        b = b
+            .weights(rbb_sim::WeightsSpec::Zipf {
+                s: 1.0,
+                w_max: Some(8),
+            })
+            .capacities(rbb_sim::CapacitiesSpec::Uniform { c: 3 });
     }
     b.build()
 }

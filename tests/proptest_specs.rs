@@ -84,6 +84,8 @@ fn arb_spec() -> impl Strategy<Value = ScenarioSpec> {
                     name: Some(format!("prop-{n}-{seed}")),
                     n,
                     balls: (balls_some == 1).then_some(balls_v),
+                    weights: None,
+                    capacities: None,
                     start,
                     arrival,
                     strategy,
